@@ -1,0 +1,27 @@
+//! The comparison methods of §VI-A, built on the same substrates (pager,
+//! R-tree, B+-trees, relation) as the signature approach so that all methods
+//! are measured on one I/O ledger:
+//!
+//! * [`boolean_first`] — **Boolean**: select tuples by B+-tree index scan or
+//!   table scan (whichever the cost model prefers), then compute the
+//!   skyline/top-k of the selected set in memory.
+//! * [`domination_first`] — **Domination**/**Ranking**: the BBS progressive
+//!   algorithm \[9\] without boolean pruning, verifying each candidate result
+//!   by a random tuple access under the minimal-probing principle \[3\].
+//! * [`index_merge`] — **Index Merge** \[14\] (top-k only): progressive R-tree
+//!   expansion with selective B+-tree probes implementing the reformulated
+//!   "MAX if predicates fail" ranking function.
+//! * [`reference`](mod@reference) — in-memory oracles (BNL skyline,
+//!   sort-based top-k) used as ground truth by the test suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolean_first;
+pub mod domination_first;
+pub mod index_merge;
+pub mod reference;
+
+pub use boolean_first::{BooleanIndexSet, BooleanSkylineOutcome, BooleanTopKOutcome, SelectRoute};
+pub use domination_first::{bbs_skyline, ranking_topk};
+pub use index_merge::index_merge_topk;

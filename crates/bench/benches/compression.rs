@@ -1,0 +1,71 @@
+//! Ablation: the node-level bitmap codecs (§IV-B.1's "adaptively choosing
+//! different compression scheme[s]") across bit densities, plus the Bloom
+//! filter alternative of §VII.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcube_bitmap::{
+    decode, AdaptiveCodec, BitArray, BloomFilter, Codec, LiteralCodec, RleCodec, WahCodec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn array_with_density(len: usize, density: f64, seed: u64) -> BitArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BitArray::from_bits((0..len).map(|_| rng.gen::<f64>() < density))
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/encode_2048b");
+    for density in [0.01f64, 0.2, 0.5] {
+        let bits = array_with_density(2048, density, 7);
+        let codecs: Vec<(&str, Box<dyn Codec>)> = vec![
+            ("literal", Box::new(LiteralCodec)),
+            ("rle", Box::new(RleCodec)),
+            ("wah", Box::new(WahCodec)),
+            ("adaptive", Box::new(AdaptiveCodec)),
+        ];
+        for (name, codec) in codecs {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("d{density}")),
+                &bits,
+                |b, bits| b.iter(|| codec.encode(bits).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/decode_2048b");
+    for density in [0.01f64, 0.5] {
+        let bits = array_with_density(2048, density, 8);
+        let encoded = AdaptiveCodec.encode(&bits);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{density}")),
+            &encoded,
+            |b, enc| b.iter(|| decode(enc).unwrap().0.count_ones()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut bf = BloomFilter::with_rate(100_000, 0.01);
+    for k in 0..100_000u64 {
+        bf.insert(k * 31);
+    }
+    c.bench_function("bloom/contains_1k", |b| {
+        b.iter(|| (0..1000u64).filter(|&k| bf.contains(k * 31)).count())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_encode, bench_decode, bench_bloom
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Incremental-maintenance benchmarks (§IV-B.3 / Fig 7): tracked R-tree
+//! insertion, signature patching, and the full-rebuild alternative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcube_core::{PCube, PCubeConfig, PCubeDb};
+use pcube_cube::MaterializationPlan;
+use pcube_data::{sample_pref, synthetic, Distribution};
+use pcube_storage::{IoStats, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_incremental_insert(c: &mut Criterion) {
+    let spec = pcube_bench::default_spec(50_000, 123);
+    let mut db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut coords = vec![0.0f64; 3];
+    c.bench_function("maintenance/insert_one_into_50k", |b| {
+        b.iter(|| {
+            let codes: Vec<u32> = (0..3).map(|_| rng.gen_range(0..100)).collect();
+            sample_pref(&mut rng, Distribution::Uniform, &mut coords);
+            db.insert_coded(&codes, &coords)
+        })
+    });
+}
+
+fn bench_full_rebuild(c: &mut Criterion) {
+    let spec = pcube_bench::default_spec(50_000, 124);
+    let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+    c.bench_function("maintenance/rebuild_pcube_50k", |b| {
+        b.iter(|| {
+            PCube::build(
+                db.relation(),
+                db.rtree(),
+                &MaterializationPlan::Atomic,
+                PAGE_SIZE,
+                IoStats::new_shared(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_incremental_insert, bench_full_rebuild
+}
+criterion_main!(benches);

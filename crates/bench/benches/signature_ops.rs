@@ -1,0 +1,80 @@
+//! Microbenchmarks of the signature primitives (§IV-B): generation from
+//! tuple paths, union, intersection with fix-up, point membership, and
+//! page-sized decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcube_core::encode::{decompose, encode_partial};
+use pcube_core::Signature;
+use pcube_rtree::Path;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const M: usize = 64;
+const HEIGHT: usize = 3;
+
+/// Random depth-3 tuple paths over a fanout-64 tree.
+fn random_paths(n: usize, seed: u64) -> Vec<Path> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Path(vec![
+                rng.gen_range(1..=M as u16),
+                rng.gen_range(1..=M as u16),
+                rng.gen_range(1..=M as u16),
+            ])
+        })
+        .collect()
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature/from_paths");
+    for n in [1_000usize, 10_000, 100_000] {
+        let paths = random_paths(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &paths, |b, paths| {
+            b.iter(|| Signature::from_paths(M, paths.iter()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_operations(c: &mut Criterion) {
+    let a = Signature::from_paths(M, random_paths(20_000, 2).iter());
+    let b = Signature::from_paths(M, random_paths(20_000, 3).iter());
+    c.bench_function("signature/union_20k", |bench| bench.iter(|| a.union(&b)));
+    c.bench_function("signature/intersect_20k", |bench| {
+        bench.iter(|| a.intersect(&b, HEIGHT))
+    });
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let sig = Signature::from_paths(M, random_paths(50_000, 4).iter());
+    let probes = random_paths(1_000, 5);
+    c.bench_function("signature/contains_1k_probes", |b| {
+        b.iter(|| probes.iter().filter(|p| sig.contains(p)).count())
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let sig = Signature::from_paths(M, random_paths(50_000, 6).iter());
+    let mut group = c.benchmark_group("signature/decompose");
+    for payload in [512usize, 4092] {
+        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, &p| {
+            b.iter(|| {
+                let parts = decompose(&sig, HEIGHT, p);
+                parts.iter().map(|part| encode_partial(part).len()).sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generation, bench_set_operations, bench_membership, bench_decompose
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Substrate microbenchmarks: the B+-tree and R-tree operations every
+//! method in the evaluation is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcube_bptree::BPlusTree;
+use pcube_rtree::{RTree, RTreeConfig};
+use pcube_storage::{BufferPool, IoCategory, IoStats, Pager, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bptree_with(n: u64) -> BPlusTree {
+    let pager = Pager::new(PAGE_SIZE, IoCategory::BptreePage, IoStats::new_shared());
+    BPlusTree::bulk_load(pager, (0..n).map(|k| (k * 2, k)), 1.0)
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let tree = bptree_with(500_000);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("bptree/get_500k", |b| {
+        b.iter(|| tree.get(rng.gen_range(0..1_000_000)))
+    });
+    c.bench_function("bptree/range_100_500k", |b| {
+        b.iter(|| {
+            let lo = rng.gen_range(0..999_800u64);
+            tree.range(lo..lo + 200).count()
+        })
+    });
+    c.bench_function("bptree/bulk_load_100k", |b| {
+        b.iter(|| bptree_with(100_000).len())
+    });
+    let mut insert_tree = bptree_with(100_000);
+    let mut next = 1_000_001u64;
+    c.bench_function("bptree/insert_into_100k", |b| {
+        b.iter(|| {
+            next += 2;
+            insert_tree.insert(next, 0)
+        })
+    });
+}
+
+fn random_points(n: usize, seed: u64) -> Vec<(u64, Vec<f64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| (i as u64, vec![rng.gen(), rng.gen(), rng.gen()])).collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let cfg = RTreeConfig::for_page(3, PAGE_SIZE);
+    let points = random_points(200_000, 2);
+    c.bench_function("rtree/bulk_load_str_200k", |b| {
+        b.iter(|| {
+            let pager = Pager::new(PAGE_SIZE, IoCategory::RtreeBlock, IoStats::new_shared());
+            RTree::bulk_load(pager, cfg, points.clone(), 0.7).len()
+        })
+    });
+    let pager = Pager::new(PAGE_SIZE, IoCategory::RtreeBlock, IoStats::new_shared());
+    let mut tree = RTree::bulk_load(pager, cfg, points.clone(), 0.7);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut next_tid = 200_000u64;
+    c.bench_function("rtree/insert_into_200k", |b| {
+        b.iter(|| {
+            next_tid += 1;
+            tree.insert(next_tid, &[rng.gen(), rng.gen(), rng.gen()]);
+        })
+    });
+    c.bench_function("rtree/insert_tracked_into_200k", |b| {
+        b.iter(|| {
+            next_tid += 1;
+            tree.insert_tracked(next_tid, &[rng.gen(), rng.gen(), rng.gen()]).moved.len()
+        })
+    });
+    c.bench_function("rtree/read_node", |b| {
+        b.iter(|| tree.read_node(tree.root_pid()).entries.len())
+    });
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    let stats = IoStats::new_shared();
+    let mut pager = Pager::new(PAGE_SIZE, IoCategory::RtreeBlock, stats);
+    let pids: Vec<_> = (0..1000)
+        .map(|_| {
+            let pid = pager.allocate();
+            pager.write(pid, &vec![1u8; PAGE_SIZE]);
+            pid
+        })
+        .collect();
+    let mut pool = BufferPool::new(128);
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("storage/buffer_pool_zipfish_reads", |b| {
+        b.iter(|| {
+            // Skewed accesses: mostly the first 100 pages.
+            let i = if rng.gen::<f64>() < 0.9 {
+                rng.gen_range(0..100)
+            } else {
+                rng.gen_range(0..1000)
+            };
+            pool.read(&pager, pids[i])[0]
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bptree, bench_rtree, bench_buffer_pool
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Bloom filter: the lossy signature compression sketched in §VII.
+//!
+//! "We can build a bloom filter on all SID's whose corresponding entries are 1
+//! in the signature. During query execution, we can load the compressed
+//! signature (i.e., a bloom filter), and test a SID upon that." False
+//! positives make boolean pruning *conservative* (a pruned-in node may turn
+//! out empty, costing extra R-tree reads) but never drop answers, because a
+//! Bloom filter has no false negatives.
+
+use crate::array::BitArray;
+
+/// A Bloom filter over `u64` keys (signature SIDs).
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: BitArray,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_items` at the given target false
+    /// positive rate, using the standard optimal sizing
+    /// `m = -n ln p / (ln 2)^2`, `k = (m/n) ln 2`.
+    ///
+    /// # Panics
+    /// Panics if `fp_rate` is not in `(0, 1)`.
+    pub fn with_rate(expected_items: usize, fp_rate: f64) -> Self {
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp_rate must be in (0,1)");
+        let n = expected_items.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-(n * fp_rate.ln()) / (ln2 * ln2)).ceil() as usize;
+        let k = ((m as f64 / n) * ln2).round().max(1.0) as u32;
+        BloomFilter { bits: BitArray::zeros(m.max(8)), k }
+    }
+
+    /// Creates a filter with an explicit number of bits and hash functions.
+    ///
+    /// # Panics
+    /// Panics if `m_bits` or `k` is zero.
+    pub fn with_params(m_bits: usize, k: u32) -> Self {
+        assert!(m_bits > 0 && k > 0, "bloom parameters must be positive");
+        BloomFilter { bits: BitArray::zeros(m_bits), k }
+    }
+
+    /// Number of bits in the filter.
+    pub fn len_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = Self::mix(key);
+        let m = self.bits.len() as u64;
+        for i in 0..self.k {
+            let idx = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % m;
+            self.bits.set(idx as usize, true);
+        }
+    }
+
+    /// Tests a key. `false` is definitive; `true` may be a false positive.
+    pub fn contains(&self, key: u64) -> bool {
+        let (h1, h2) = Self::mix(key);
+        let m = self.bits.len() as u64;
+        (0..self.k).all(|i| {
+            let idx = h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % m;
+            self.bits.get(idx as usize)
+        })
+    }
+
+    /// Fraction of bits set; an estimate of saturation.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Serialized size in bytes (bit array only; `k` adds one byte).
+    pub fn size_bytes(&self) -> usize {
+        1 + self.bits.len().div_ceil(8)
+    }
+
+    /// Double hashing via two rounds of SplitMix64.
+    fn mix(key: u64) -> (u64, u64) {
+        (splitmix64(key), splitmix64(key ^ 0x9E37_79B9_7F4A_7C15) | 1)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::with_rate(1000, 0.01);
+        for key in 0..1000u64 {
+            bf.insert(key * 7919);
+        }
+        for key in 0..1000u64 {
+            assert!(bf.contains(key * 7919), "inserted key {key} must be found");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_near_target() {
+        let mut bf = BloomFilter::with_rate(10_000, 0.01);
+        for key in 0..10_000u64 {
+            bf.insert(key);
+        }
+        let fp = (10_000u64..110_000).filter(|&k| bf.contains(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "observed fp rate {rate} too high");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let bf = BloomFilter::with_params(1024, 4);
+        assert!(!bf.contains(0));
+        assert!(!bf.contains(u64::MAX));
+        assert_eq!(bf.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sizing_grows_with_items_and_shrinks_with_rate() {
+        let small = BloomFilter::with_rate(100, 0.01);
+        let big = BloomFilter::with_rate(10_000, 0.01);
+        assert!(big.len_bits() > small.len_bits());
+        let loose = BloomFilter::with_rate(1000, 0.1);
+        let tight = BloomFilter::with_rate(1000, 0.001);
+        assert!(tight.len_bits() > loose.len_bits());
+        assert!(tight.hashes() > loose.hashes());
+    }
+}

@@ -1,0 +1,374 @@
+//! Per-node bitmap compression codecs.
+//!
+//! Every encoding is self-describing: one tag byte ([`CodecKind`]), a varint
+//! bit length, then the scheme-specific payload. [`AdaptiveCodec`] encodes
+//! with every scheme and keeps the smallest — the paper's point that "bit
+//! arrays in different nodes may have significantly different characteristics,
+//! and one may achieve better compression ratio by adaptively choosing
+//! different compression scheme[s]".
+
+use crate::array::BitArray;
+use crate::varint::{read_varint, write_varint};
+
+/// Identifies which scheme produced an encoded bit array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecKind {
+    /// Raw words, no compression.
+    Literal,
+    /// Alternating run lengths, varint coded (good for clustered bits).
+    Rle,
+    /// 32-bit word-aligned hybrid (WAH), good for sparse/dense mixtures.
+    Wah,
+}
+
+impl CodecKind {
+    fn tag(self) -> u8 {
+        match self {
+            CodecKind::Literal => 0,
+            CodecKind::Rle => 1,
+            CodecKind::Wah => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(CodecKind::Literal),
+            1 => Some(CodecKind::Rle),
+            2 => Some(CodecKind::Wah),
+            _ => None,
+        }
+    }
+}
+
+/// A bitmap compression scheme.
+pub trait Codec {
+    /// Appends the encoding of `bits` to `out`.
+    fn encode_into(&self, bits: &BitArray, out: &mut Vec<u8>);
+
+    /// Encodes into a fresh buffer.
+    fn encode(&self, bits: &BitArray) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(bits, &mut out);
+        out
+    }
+}
+
+/// Decodes any encoding produced by the codecs in this module.
+///
+/// Returns the decoded array and the number of bytes consumed, or `None` on
+/// malformed input.
+pub fn decode(buf: &[u8]) -> Option<(BitArray, usize)> {
+    let mut pos = 0usize;
+    let tag = *buf.get(pos)?;
+    pos += 1;
+    let kind = CodecKind::from_tag(tag)?;
+    let len = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+    let bits = match kind {
+        CodecKind::Literal => {
+            let n_words = len.div_ceil(64);
+            let mut words = Vec::with_capacity(n_words);
+            for _ in 0..n_words {
+                let end = pos.checked_add(8)?;
+                let chunk = buf.get(pos..end)?;
+                words.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+                pos = end;
+            }
+            BitArray::from_words(len, words)
+        }
+        CodecKind::Rle => {
+            let mut bits = BitArray::zeros(len);
+            let mut i = 0usize;
+            let mut value = false;
+            while i < len {
+                let run = usize::try_from(read_varint(buf, &mut pos)?).ok()?;
+                let end = i.checked_add(run)?;
+                if end > len {
+                    return None;
+                }
+                if value {
+                    for j in i..end {
+                        bits.set(j, true);
+                    }
+                }
+                i = end;
+                value = !value;
+            }
+            bits
+        }
+        CodecKind::Wah => {
+            let mut bits = BitArray::zeros(len);
+            let mut i = 0usize; // next bit position to fill
+            while i < len {
+                let end = pos.checked_add(4)?;
+                let word = u32::from_le_bytes(buf.get(pos..end)?.try_into().unwrap());
+                pos = end;
+                if word & FILL_FLAG != 0 {
+                    let fill_one = word & FILL_VALUE != 0;
+                    let n_groups = (word & FILL_COUNT) as usize;
+                    let n_bits = n_groups.checked_mul(GROUP_BITS)?;
+                    let stop = i.checked_add(n_bits)?.min(len);
+                    if fill_one {
+                        for j in i..stop {
+                            bits.set(j, true);
+                        }
+                    }
+                    i += n_bits;
+                } else {
+                    for k in 0..GROUP_BITS {
+                        let j = i + k;
+                        if j >= len {
+                            break;
+                        }
+                        if word >> k & 1 == 1 {
+                            bits.set(j, true);
+                        }
+                    }
+                    i += GROUP_BITS;
+                }
+            }
+            bits
+        }
+    };
+    Some((bits, pos))
+}
+
+/// Raw encoding: tag, bit length, little-endian words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiteralCodec;
+
+impl Codec for LiteralCodec {
+    fn encode_into(&self, bits: &BitArray, out: &mut Vec<u8>) {
+        out.push(CodecKind::Literal.tag());
+        write_varint(out, bits.len() as u64);
+        for w in bits.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+}
+
+/// Run-length encoding: varint run lengths of alternating values, starting
+/// with a (possibly zero-length) run of zeros.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RleCodec;
+
+impl Codec for RleCodec {
+    fn encode_into(&self, bits: &BitArray, out: &mut Vec<u8>) {
+        out.push(CodecKind::Rle.tag());
+        write_varint(out, bits.len() as u64);
+        let mut value = false;
+        let mut run = 0u64;
+        for i in 0..bits.len() {
+            if bits.get(i) == value {
+                run += 1;
+            } else {
+                write_varint(out, run);
+                value = !value;
+                run = 1;
+            }
+        }
+        if run > 0 {
+            write_varint(out, run);
+        }
+    }
+}
+
+const GROUP_BITS: usize = 31;
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_VALUE: u32 = 1 << 30;
+const FILL_COUNT: u32 = (1 << 30) - 1;
+
+/// 32-bit word-aligned hybrid. Bits are grouped into 31-bit groups; a group
+/// that is all zeros or all ones is folded into a *fill word* (flag bit,
+/// value bit, 30-bit group count), anything else is stored as a *literal
+/// word* (top bit clear, 31 payload bits). The final partial group is stored
+/// as a literal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WahCodec;
+
+impl Codec for WahCodec {
+    fn encode_into(&self, bits: &BitArray, out: &mut Vec<u8>) {
+        out.push(CodecKind::Wah.tag());
+        write_varint(out, bits.len() as u64);
+        let mut pending_fill: Option<(bool, u32)> = None;
+        let mut i = 0usize;
+        while i < bits.len() {
+            let group_len = GROUP_BITS.min(bits.len() - i);
+            let mut word = 0u32;
+            for k in 0..group_len {
+                if bits.get(i + k) {
+                    word |= 1 << k;
+                }
+            }
+            let full = group_len == GROUP_BITS;
+            let fill_of = if !full {
+                None
+            } else if word == 0 {
+                Some(false)
+            } else if word == (1u32 << GROUP_BITS) - 1 {
+                Some(true)
+            } else {
+                None
+            };
+            match (fill_of, &mut pending_fill) {
+                (Some(v), Some((pv, count))) if *pv == v && *count < FILL_COUNT => {
+                    *count += 1;
+                }
+                (Some(v), pending) => {
+                    if let Some((pv, count)) = pending.take() {
+                        emit_fill(out, pv, count);
+                    }
+                    *pending = Some((v, 1));
+                }
+                (None, pending) => {
+                    if let Some((pv, count)) = pending.take() {
+                        emit_fill(out, pv, count);
+                    }
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+            i += group_len;
+        }
+        if let Some((pv, count)) = pending_fill {
+            emit_fill(out, pv, count);
+        }
+    }
+}
+
+fn emit_fill(out: &mut Vec<u8>, value: bool, count: u32) {
+    let word = FILL_FLAG | if value { FILL_VALUE } else { 0 } | (count & FILL_COUNT);
+    out.extend_from_slice(&word.to_le_bytes());
+}
+
+/// Encodes with every scheme and keeps the smallest output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveCodec;
+
+impl Codec for AdaptiveCodec {
+    fn encode_into(&self, bits: &BitArray, out: &mut Vec<u8>) {
+        let lit = LiteralCodec.encode(bits);
+        let rle = RleCodec.encode(bits);
+        let wah = WahCodec.encode(bits);
+        let best = [&lit, &rle, &wah].into_iter().min_by_key(|b| b.len()).unwrap();
+        out.extend_from_slice(best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(codec: &dyn Codec, bits: &BitArray) {
+        let enc = codec.encode(bits);
+        let (dec, used) = decode(&enc).expect("decodes");
+        assert_eq!(used, enc.len(), "whole buffer consumed");
+        assert_eq!(&dec, bits);
+    }
+
+    fn cases() -> Vec<BitArray> {
+        let mut v = vec![
+            BitArray::zeros(0),
+            BitArray::zeros(1),
+            BitArray::from_bits([true]),
+            BitArray::from_bits([true, false]),
+            BitArray::zeros(31),
+            BitArray::zeros(32),
+            BitArray::zeros(1000),
+        ];
+        let mut dense = BitArray::zeros(500);
+        for i in 0..500 {
+            dense.set(i, true);
+        }
+        v.push(dense);
+        let mut sparse = BitArray::zeros(2048);
+        for i in [0usize, 100, 1023, 2047] {
+            sparse.set(i, true);
+        }
+        v.push(sparse);
+        let mut alt = BitArray::zeros(97);
+        for i in (0..97).step_by(2) {
+            alt.set(i, true);
+        }
+        v.push(alt);
+        let mut runs = BitArray::zeros(300);
+        for i in 50..200 {
+            runs.set(i, true);
+        }
+        v.push(runs);
+        v
+    }
+
+    #[test]
+    fn literal_roundtrips() {
+        for b in cases() {
+            roundtrip(&LiteralCodec, &b);
+        }
+    }
+
+    #[test]
+    fn rle_roundtrips() {
+        for b in cases() {
+            roundtrip(&RleCodec, &b);
+        }
+    }
+
+    #[test]
+    fn wah_roundtrips() {
+        for b in cases() {
+            roundtrip(&WahCodec, &b);
+        }
+    }
+
+    #[test]
+    fn adaptive_roundtrips_and_never_beats_best() {
+        for b in cases() {
+            roundtrip(&AdaptiveCodec, &b);
+            let a = AdaptiveCodec.encode(&b).len();
+            let best = [
+                LiteralCodec.encode(&b).len(),
+                RleCodec.encode(&b).len(),
+                WahCodec.encode(&b).len(),
+            ]
+            .into_iter()
+            .min()
+            .unwrap();
+            assert_eq!(a, best);
+        }
+    }
+
+    #[test]
+    fn sparse_arrays_compress_well() {
+        let mut sparse = BitArray::zeros(4096);
+        sparse.set(17, true);
+        let lit = LiteralCodec.encode(&sparse).len();
+        let ad = AdaptiveCodec.encode(&sparse).len();
+        assert!(ad * 10 < lit, "adaptive {ad} should be far smaller than literal {lit}");
+    }
+
+    #[test]
+    fn wah_long_fill_runs_use_one_word() {
+        let zeros = BitArray::zeros(31 * 1000);
+        // tag + varint(len) + 1 fill word
+        let enc = WahCodec.encode(&zeros);
+        assert!(enc.len() <= 1 + 3 + 4, "got {}", enc.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_none());
+        assert!(decode(&[9, 1]).is_none()); // unknown tag
+        let mut enc = LiteralCodec.encode(&BitArray::from_bits([true; 64]));
+        enc.truncate(enc.len() - 1);
+        assert!(decode(&enc).is_none());
+    }
+
+    #[test]
+    fn decode_reports_bytes_consumed_with_trailing_data() {
+        let b = BitArray::from_bits([true, false, true]);
+        let mut enc = RleCodec.encode(&b);
+        let used_expected = enc.len();
+        enc.extend_from_slice(&[0xAA, 0xBB]);
+        let (dec, used) = decode(&enc).unwrap();
+        assert_eq!(dec, b);
+        assert_eq!(used, used_expected);
+    }
+}

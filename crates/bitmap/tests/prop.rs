@@ -1,0 +1,100 @@
+//! Property tests for bit arrays, codecs and the Bloom filter.
+
+use pcube_bitmap::{
+    decode, read_varint, write_varint, AdaptiveCodec, BitArray, BloomFilter, Codec, LiteralCodec,
+    RleCodec, WahCodec,
+};
+use proptest::prelude::*;
+
+fn arb_bits() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 0..600)
+}
+
+/// Clustered bit patterns (runs), the shape real signatures have.
+fn arb_runs() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec((any::<bool>(), 1usize..60), 0..20).prop_map(|runs| {
+        runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_random(bits in arb_bits()) {
+        let arr = BitArray::from_bits(bits.iter().copied());
+        for codec in [&LiteralCodec as &dyn Codec, &RleCodec, &WahCodec, &AdaptiveCodec] {
+            let enc = codec.encode(&arr);
+            let (dec, used) = decode(&enc).expect("decodes");
+            prop_assert_eq!(used, enc.len());
+            prop_assert_eq!(&dec, &arr);
+        }
+    }
+
+    #[test]
+    fn all_codecs_roundtrip_runs(bits in arb_runs()) {
+        let arr = BitArray::from_bits(bits.iter().copied());
+        for codec in [&LiteralCodec as &dyn Codec, &RleCodec, &WahCodec, &AdaptiveCodec] {
+            let enc = codec.encode(&arr);
+            let (dec, _) = decode(&enc).expect("decodes");
+            prop_assert_eq!(&dec, &arr);
+        }
+    }
+
+    #[test]
+    fn adaptive_is_minimal(bits in arb_bits()) {
+        let arr = BitArray::from_bits(bits.iter().copied());
+        let adaptive = AdaptiveCodec.encode(&arr).len();
+        let best = [LiteralCodec.encode(&arr).len(), RleCodec.encode(&arr).len(), WahCodec.encode(&arr).len()]
+            .into_iter().min().unwrap();
+        prop_assert_eq!(adaptive, best);
+    }
+
+    #[test]
+    fn or_and_match_boolean_semantics(a in arb_bits(), b in arb_bits()) {
+        let n = a.len().min(b.len());
+        let x = BitArray::from_bits(a[..n].iter().copied());
+        let y = BitArray::from_bits(b[..n].iter().copied());
+        let mut or = x.clone();
+        or.or_assign(&y);
+        let mut and = x.clone();
+        and.and_assign(&y);
+        for i in 0..n {
+            prop_assert_eq!(or.get(i), a[i] || b[i]);
+            prop_assert_eq!(and.get(i), a[i] && b[i]);
+        }
+    }
+
+    #[test]
+    fn iter_ones_matches_gets(bits in arb_bits()) {
+        let arr = BitArray::from_bits(bits.iter().copied());
+        let from_iter: Vec<usize> = arr.iter_ones().collect();
+        let from_get: Vec<usize> = (0..bits.len()).filter(|&i| arr.get(i)).collect();
+        prop_assert_eq!(from_iter, from_get);
+        prop_assert_eq!(arr.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(keys in prop::collection::hash_set(any::<u64>(), 0..300)) {
+        let mut bf = BloomFilter::with_rate(keys.len().max(1), 0.05);
+        for &k in &keys {
+            bf.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(bf.contains(k));
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Must return None or a valid array, never panic.
+        let _ = decode(&bytes);
+    }
+}

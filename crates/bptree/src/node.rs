@@ -1,0 +1,226 @@
+//! On-page node layout for the B+-tree.
+//!
+//! Leaf page:    `[type:u8][count:u16][next:u32]` then `count` entries of
+//!               `key:u64, value:u64` (16 bytes each) starting at byte 8.
+//! Internal page:`[type:u8][count:u16][pad]` then `child0:u32` at byte 8 and
+//!               `count` entries of `key:u64, child:u32` (12 bytes each)
+//!               starting at byte 12. Child `i` covers keys `< keys[i]`,
+//!               child `count` covers the rest.
+
+use pcube_storage::{read_u16, read_u32, read_u64, write_u16, write_u32, write_u64, PageId};
+
+pub const TYPE_LEAF: u8 = 0;
+pub const TYPE_INTERNAL: u8 = 1;
+
+const LEAF_HEADER: usize = 8;
+const LEAF_ENTRY: usize = 16;
+const INTERNAL_HEADER: usize = 12;
+const INTERNAL_ENTRY: usize = 12;
+
+/// Maximum number of `(key, value)` entries in a leaf of `page_size` bytes.
+pub fn leaf_capacity(page_size: usize) -> usize {
+    let cap = (page_size - LEAF_HEADER) / LEAF_ENTRY;
+    assert!(cap >= 3, "page too small for a useful B+-tree leaf");
+    cap
+}
+
+/// Maximum number of separator keys in an internal node of `page_size` bytes.
+pub fn internal_capacity(page_size: usize) -> usize {
+    let cap = (page_size - INTERNAL_HEADER) / INTERNAL_ENTRY;
+    assert!(cap >= 3, "page too small for a useful B+-tree internal node");
+    cap
+}
+
+pub fn node_type(page: &[u8]) -> u8 {
+    page[0]
+}
+
+pub fn count(page: &[u8]) -> usize {
+    read_u16(page, 1) as usize
+}
+
+pub fn set_count(page: &mut [u8], n: usize) {
+    write_u16(page, 1, u16::try_from(n).expect("node count fits u16"));
+}
+
+pub fn init_leaf(page: &mut [u8]) {
+    page[0] = TYPE_LEAF;
+    set_count(page, 0);
+    set_next_leaf(page, PageId::INVALID);
+}
+
+pub fn init_internal(page: &mut [u8]) {
+    page[0] = TYPE_INTERNAL;
+    set_count(page, 0);
+}
+
+// ---- leaf accessors ----
+
+pub fn next_leaf(page: &[u8]) -> PageId {
+    PageId(read_u32(page, 3))
+}
+
+pub fn set_next_leaf(page: &mut [u8], pid: PageId) {
+    write_u32(page, 3, pid.0);
+}
+
+pub fn leaf_key(page: &[u8], i: usize) -> u64 {
+    read_u64(page, LEAF_HEADER + i * LEAF_ENTRY)
+}
+
+pub fn leaf_value(page: &[u8], i: usize) -> u64 {
+    read_u64(page, LEAF_HEADER + i * LEAF_ENTRY + 8)
+}
+
+pub fn set_leaf_entry(page: &mut [u8], i: usize, key: u64, value: u64) {
+    write_u64(page, LEAF_HEADER + i * LEAF_ENTRY, key);
+    write_u64(page, LEAF_HEADER + i * LEAF_ENTRY + 8, value);
+}
+
+/// Shifts leaf entries `[i..count)` right by one to open slot `i`.
+pub fn leaf_open_slot(page: &mut [u8], i: usize, n: usize) {
+    let start = LEAF_HEADER + i * LEAF_ENTRY;
+    let end = LEAF_HEADER + n * LEAF_ENTRY;
+    page.copy_within(start..end, start + LEAF_ENTRY);
+}
+
+/// Shifts leaf entries `[i+1..count)` left by one, removing slot `i`.
+pub fn leaf_close_slot(page: &mut [u8], i: usize, n: usize) {
+    let start = LEAF_HEADER + (i + 1) * LEAF_ENTRY;
+    let end = LEAF_HEADER + n * LEAF_ENTRY;
+    page.copy_within(start..end, start - LEAF_ENTRY);
+}
+
+/// Binary search for `key` among the leaf's entries: `Ok(i)` if present at
+/// `i`, `Err(i)` for its insertion point.
+pub fn leaf_search(page: &[u8], key: u64) -> Result<usize, usize> {
+    let n = count(page);
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        match leaf_key(page, mid).cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+// ---- internal accessors ----
+
+pub fn internal_key(page: &[u8], i: usize) -> u64 {
+    read_u64(page, INTERNAL_HEADER + i * INTERNAL_ENTRY)
+}
+
+pub fn internal_child(page: &[u8], i: usize) -> PageId {
+    if i == 0 {
+        PageId(read_u32(page, 8))
+    } else {
+        PageId(read_u32(page, INTERNAL_HEADER + (i - 1) * INTERNAL_ENTRY + 8))
+    }
+}
+
+pub fn set_internal_child(page: &mut [u8], i: usize, pid: PageId) {
+    if i == 0 {
+        write_u32(page, 8, pid.0);
+    } else {
+        write_u32(page, INTERNAL_HEADER + (i - 1) * INTERNAL_ENTRY + 8, pid.0);
+    }
+}
+
+pub fn set_internal_key(page: &mut [u8], i: usize, key: u64) {
+    write_u64(page, INTERNAL_HEADER + i * INTERNAL_ENTRY, key);
+}
+
+/// Opens key slot `i` (and the child slot to its right) in an internal node
+/// with `n` keys.
+pub fn internal_open_slot(page: &mut [u8], i: usize, n: usize) {
+    let start = INTERNAL_HEADER + i * INTERNAL_ENTRY;
+    let end = INTERNAL_HEADER + n * INTERNAL_ENTRY;
+    page.copy_within(start..end, start + INTERNAL_ENTRY);
+}
+
+/// Index of the child subtree that covers `key`.
+pub fn internal_descend(page: &[u8], key: u64) -> usize {
+    let n = count(page);
+    let mut lo = 0usize;
+    let mut hi = n;
+    // First key strictly greater than `key`; child index equals that position.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(page, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_paper_page_size() {
+        // 4 KB pages: 255 leaf entries, 340 internal separators.
+        assert_eq!(leaf_capacity(4096), 255);
+        assert_eq!(internal_capacity(4096), 340);
+    }
+
+    #[test]
+    fn leaf_layout_roundtrip() {
+        let mut page = vec![0u8; 256];
+        init_leaf(&mut page);
+        assert_eq!(node_type(&page), TYPE_LEAF);
+        assert!(next_leaf(&page).is_invalid());
+        set_leaf_entry(&mut page, 0, 10, 100);
+        set_leaf_entry(&mut page, 1, 20, 200);
+        set_count(&mut page, 2);
+        leaf_open_slot(&mut page, 1, 2);
+        set_leaf_entry(&mut page, 1, 15, 150);
+        set_count(&mut page, 3);
+        assert_eq!(
+            (0..3).map(|i| (leaf_key(&page, i), leaf_value(&page, i))).collect::<Vec<_>>(),
+            vec![(10, 100), (15, 150), (20, 200)]
+        );
+        leaf_close_slot(&mut page, 0, 3);
+        set_count(&mut page, 2);
+        assert_eq!(leaf_key(&page, 0), 15);
+    }
+
+    #[test]
+    fn leaf_search_finds_positions() {
+        let mut page = vec![0u8; 256];
+        init_leaf(&mut page);
+        for (i, k) in [10u64, 20, 30].iter().enumerate() {
+            set_leaf_entry(&mut page, i, *k, 0);
+        }
+        set_count(&mut page, 3);
+        assert_eq!(leaf_search(&page, 20), Ok(1));
+        assert_eq!(leaf_search(&page, 5), Err(0));
+        assert_eq!(leaf_search(&page, 25), Err(2));
+        assert_eq!(leaf_search(&page, 35), Err(3));
+    }
+
+    #[test]
+    fn internal_descend_routes_by_separator() {
+        let mut page = vec![0u8; 256];
+        init_internal(&mut page);
+        set_internal_child(&mut page, 0, PageId(100));
+        set_internal_key(&mut page, 0, 10);
+        set_internal_child(&mut page, 1, PageId(101));
+        set_internal_key(&mut page, 1, 20);
+        set_internal_child(&mut page, 2, PageId(102));
+        set_count(&mut page, 2);
+        assert_eq!(internal_descend(&page, 5), 0);
+        assert_eq!(internal_descend(&page, 10), 1); // separator key goes right
+        assert_eq!(internal_descend(&page, 15), 1);
+        assert_eq!(internal_descend(&page, 20), 2);
+        assert_eq!(internal_descend(&page, 99), 2);
+        assert_eq!(internal_child(&page, 0), PageId(100));
+        assert_eq!(internal_child(&page, 2), PageId(102));
+    }
+}

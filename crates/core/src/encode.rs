@@ -1,0 +1,264 @@
+//! Compressing signatures and decomposing them into page-sized partials.
+//!
+//! The paper compresses each node's bit array individually (adaptive,
+//! node-level — §IV-B.1 gives three reasons) and then decomposes a signature
+//! tree into *partial signatures*, each fitting a disk page: a breadth-first
+//! traversal from the root is cut when the page fills; the process restarts
+//! from the root's first child, then its following children, then the next
+//! level, skipping nodes already coded. Each partial is a subtree fragment
+//! referenced by the SID of its root.
+
+use std::collections::{HashSet, VecDeque};
+
+use pcube_bitmap::{decode, AdaptiveCodec, BitArray, Codec};
+use pcube_rtree::{Path, Sid};
+
+use crate::signature::Signature;
+
+/// One page-sized fragment of a signature: the nodes (in BFS order) of a
+/// subtree rooted at `root_sid`, minus any nodes coded by earlier partials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialSignature {
+    /// SID of the subtree root this partial is referenced by.
+    pub root_sid: Sid,
+    /// `(sid, bits)` pairs in BFS order.
+    pub nodes: Vec<(Sid, BitArray)>,
+}
+
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn encoded_node_len(sid: Sid, bits: &BitArray) -> usize {
+    varint_len(sid.0) + AdaptiveCodec.encode(bits).len()
+}
+
+/// Serializes a partial: `[root_sid][n_nodes]` then `[sid][encoded bits]`
+/// per node, all varint/self-describing.
+pub fn encode_partial(partial: &PartialSignature) -> Vec<u8> {
+    let mut out = Vec::new();
+    pcube_bitmap::write_varint(&mut out, partial.root_sid.0);
+    pcube_bitmap::write_varint(&mut out, partial.nodes.len() as u64);
+    for (sid, bits) in &partial.nodes {
+        pcube_bitmap::write_varint(&mut out, sid.0);
+        AdaptiveCodec.encode_into(bits, &mut out);
+    }
+    out
+}
+
+/// Inverse of [`encode_partial`]. Returns `None` on malformed input.
+pub fn decode_partial(buf: &[u8]) -> Option<PartialSignature> {
+    let mut pos = 0usize;
+    let root_sid = Sid(pcube_bitmap::read_varint(buf, &mut pos)?);
+    let n = pcube_bitmap::read_varint(buf, &mut pos)? as usize;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sid = Sid(pcube_bitmap::read_varint(buf, &mut pos)?);
+        let (bits, used) = decode(&buf[pos..])?;
+        pos += used;
+        nodes.push((sid, bits));
+    }
+    Some(PartialSignature { root_sid, nodes })
+}
+
+/// Decomposes a signature into partials no larger than `payload_limit`
+/// bytes each (§IV-B.1).
+///
+/// `height` is the R-tree height (node levels), needed to know where bits
+/// stop referring to child nodes.
+///
+/// # Panics
+/// Panics if a single node's encoding exceeds `payload_limit` (cannot
+/// happen for sane page sizes: an M=204 literal array is ~30 bytes).
+pub fn decompose(sig: &Signature, height: usize, payload_limit: usize) -> Vec<PartialSignature> {
+    let m = sig.m_max();
+    let mut partials = Vec::new();
+    if sig.is_empty() {
+        return partials;
+    }
+    let mut coded: HashSet<Sid> = HashSet::new();
+    let mut frontier: Vec<Path> = vec![Path::root()];
+    let total = sig.node_count();
+
+    while !frontier.is_empty() && coded.len() < total {
+        let mut next: Vec<Path> = Vec::new();
+        for root in &frontier {
+            let root_sid = root.sid(m);
+            // BFS within the subtree under `root`, skipping coded nodes and
+            // cutting when the page payload would overflow.
+            let mut queue: VecDeque<Path> = VecDeque::new();
+            queue.push_back(root.clone());
+            let mut nodes: Vec<(Sid, BitArray)> = Vec::new();
+            let mut size = varint_len(root_sid.0) + 3; // header: root sid + node-count varint
+            'bfs: while let Some(p) = queue.pop_front() {
+                let sid = p.sid(m);
+                let Some(bits) = sig.node(sid) else { continue };
+                if !coded.contains(&sid) {
+                    let len = encoded_node_len(sid, bits);
+                    assert!(
+                        varint_len(root_sid.0) + 3 + len <= payload_limit,
+                        "single node encoding ({len} B) exceeds page payload {payload_limit}"
+                    );
+                    if size + len > payload_limit {
+                        break 'bfs;
+                    }
+                    size += len;
+                    coded.insert(sid);
+                    nodes.push((sid, bits.clone()));
+                }
+                if p.depth() + 1 < height {
+                    for pos in bits.iter_ones() {
+                        queue.push_back(p.child(pos as u16 + 1));
+                    }
+                }
+            }
+            if !nodes.is_empty() {
+                partials.push(PartialSignature { root_sid, nodes });
+            }
+            // Next round restarts from this root's children.
+            if root.depth() + 1 < height {
+                if let Some(bits) = sig.node(root_sid) {
+                    for pos in bits.iter_ones() {
+                        next.push(root.child(pos as u16 + 1));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    debug_assert_eq!(coded.len(), total, "decomposition must cover every node");
+    partials
+}
+
+/// Reassembles a signature from all of its partials.
+pub fn reassemble(m_max: usize, partials: &[PartialSignature]) -> Signature {
+    let mut sig = Signature::empty(m_max);
+    for p in partials {
+        for (sid, bits) in &p.nodes {
+            let mut b = bits.clone();
+            b.grow(m_max);
+            sig.insert_node(*sid, b);
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1_a1() -> Signature {
+        // (A = a1): t1 <1,1,1>, t3 <1,2,1>.
+        Signature::from_paths(2, [Path(vec![1, 1, 1]), Path(vec![1, 2, 1])].iter())
+    }
+
+    #[test]
+    fn paper_decomposition_example() {
+        // §IV-B.1 walks Fig 2.a with a page that fits two nodes: the first
+        // partial holds the root (10) and N1 (11), referenced by SID 0; the
+        // second holds leaves N3, N4, referenced by N1 whose SID = 1.
+        let sig = table1_a1();
+        // Two nodes of M=2 cost ~5 bytes each encoded; pick a limit that
+        // fits exactly two.
+        let one = encoded_node_len(Sid(0), sig.node(Sid(0)).unwrap());
+        let limit = 4 + 2 * one; // header estimate (4) + exactly two nodes
+        let partials = decompose(&sig, 3, limit);
+        assert_eq!(partials.len(), 2, "{partials:?}");
+        assert_eq!(partials[0].root_sid, Sid(0));
+        assert_eq!(partials[0].nodes.len(), 2);
+        assert_eq!(partials[0].nodes[0].0, Sid(0));
+        assert_eq!(partials[0].nodes[1].0, Path(vec![1]).sid(2));
+        assert_eq!(partials[1].root_sid, Path(vec![1]).sid(2), "referenced by N1, SID 1");
+        let sids: Vec<Sid> = partials[1].nodes.iter().map(|(s, _)| *s).collect();
+        assert_eq!(sids, vec![Path(vec![1, 1]).sid(2), Path(vec![1, 2]).sid(2)]);
+    }
+
+    #[test]
+    fn single_page_when_it_fits() {
+        let sig = table1_a1();
+        let partials = decompose(&sig, 3, 4096);
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0].nodes.len(), sig.node_count());
+    }
+
+    #[test]
+    fn decompose_reassemble_roundtrip_various_limits() {
+        let mut sig = Signature::empty(4);
+        // A bushy 3-level signature.
+        for a in 1..=4u16 {
+            for b in 1..=4u16 {
+                for c in [1u16, 3] {
+                    sig.set_path(&Path(vec![a, b, c]));
+                }
+            }
+        }
+        sig.validate(3);
+        for limit in [24usize, 40, 64, 128, 4096] {
+            let partials = decompose(&sig, 3, limit);
+            let back = reassemble(4, &partials);
+            assert_eq!(back, sig, "limit {limit}");
+            // Each node coded exactly once.
+            let coded: usize = partials.iter().map(|p| p.nodes.len()).sum();
+            assert_eq!(coded, sig.node_count(), "limit {limit}");
+            // Every partial's nodes are under its root.
+            for p in &partials {
+                let root = Path::from_sid(p.root_sid, 4);
+                for (sid, _) in &p.nodes {
+                    let path = Path::from_sid(*sid, 4);
+                    assert!(root.is_prefix_of(&path), "{root} not prefix of {path}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partials_respect_size_limit() {
+        let mut sig = Signature::empty(8);
+        for a in 1..=8u16 {
+            for b in 1..=8u16 {
+                sig.set_path(&Path(vec![a, b]));
+            }
+        }
+        let limit = 48;
+        for p in decompose(&sig, 2, limit) {
+            let enc = encode_partial(&p);
+            assert!(enc.len() <= limit, "partial of {} bytes exceeds {limit}", enc.len());
+        }
+    }
+
+    #[test]
+    fn encode_decode_partial_roundtrip() {
+        let sig = table1_a1();
+        for p in decompose(&sig, 3, 4096) {
+            let enc = encode_partial(&p);
+            let dec = decode_partial(&enc).expect("decodes");
+            assert_eq!(dec.root_sid, p.root_sid);
+            assert_eq!(dec.nodes.len(), p.nodes.len());
+            for ((s1, b1), (s2, b2)) in dec.nodes.iter().zip(&p.nodes) {
+                assert_eq!(s1, s2);
+                assert_eq!(b1, b2);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_partial_rejects_garbage() {
+        assert!(decode_partial(&[]).is_none());
+        let sig = table1_a1();
+        let mut enc = encode_partial(&decompose(&sig, 3, 4096).remove(0));
+        enc.truncate(enc.len() - 2);
+        assert!(decode_partial(&enc).is_none());
+    }
+
+    #[test]
+    fn empty_signature_has_no_partials() {
+        let sig = Signature::empty(4);
+        assert!(decompose(&sig, 3, 100).is_empty());
+        assert!(reassemble(4, &[]).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! P-Cube: the signature measure and the signature-guided preference query
+//! processor (Xin & Han, ICDE 2008).
+//!
+//! A **signature** summarizes, for one cube cell (a boolean selection such as
+//! `A = a1`), which parts of a shared R-tree partition contain tuples of that
+//! cell: one bit per node slot, mirroring the R-tree's topology (§IV-B). The
+//! **P-Cube** materializes signatures for a set of cuboids (by default the
+//! atomic, one-dimensional ones), compressed per node and decomposed into
+//! page-sized *partial signatures* indexed by `(cell id, subtree-root SID)`.
+//!
+//! At query time, Algorithm 1 runs a branch-and-bound search over the R-tree
+//! that pushes **both** prunings into the traversal:
+//!
+//! * *preference pruning* — dominance against discovered skylines, or ranking
+//!   lower bounds against the current top-k;
+//! * *boolean pruning* — a node or tuple whose signature bit is 0 cannot
+//!   contribute to the selection, so its subtree is skipped without touching
+//!   the R-tree or the base table.
+//!
+//! The crate is organized as the paper's §IV–V:
+//!
+//! | module | paper | contents |
+//! |---|---|---|
+//! | [`signature`] | IV-B.1 | [`Signature`]: generation, union, intersection |
+//! | [`encode`] | IV-B.1 | node-level compression + page-sized decomposition |
+//! | [`store`] | IV-B.2 | on-disk partial signatures, lazy [`SignatureCursor`] |
+//! | [`pcube`] | IV, IV-B.3 | [`PCube`] build + incremental maintenance, [`PCubeDb`] |
+//! | [`rank`] | III, V-B | ranking functions with MBR lower bounds |
+//! | [`query`] | V | Algorithm 1 for skylines and top-k, drill-down/roll-up |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod encode;
+pub mod pcube;
+pub mod persist;
+pub mod query;
+pub mod rank;
+pub mod signature;
+pub mod store;
+
+pub use bloom::BloomSignature;
+pub use pcube::{PCube, PCubeConfig, PCubeDb};
+pub use persist::PersistError;
+pub use query::{
+    convex_hull_query, dynamic_skyline_query, skyline_drill_down, skyline_query, skyline_query_probed, skyline_roll_up, topk_drill_down,
+    topk_query, topk_query_probed, topk_roll_up, QueryStats, SkylineOutcome, SkylineState,
+    TopKOutcome, TopKState,
+};
+pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
+pub use signature::Signature;
+pub use store::{BooleanProbe, SignatureCursor, SignatureStore};

@@ -1,0 +1,481 @@
+//! Building the P-Cube, answering probe requests, and incremental
+//! maintenance (§IV, §IV-B.3).
+
+use std::collections::HashMap;
+
+use pcube_cube::{
+    group_by, normalize, CellKey, CellRegistry, CuboidMask, MaterializationPlan, Relation,
+    Selection,
+};
+use pcube_rtree::{Path, PathDelta, RTree, RTreeConfig};
+use pcube_storage::{IoCategory, IoStats, Pager, SharedStats};
+
+use crate::signature::Signature;
+use crate::store::{BooleanProbe, SignatureStore};
+
+/// Build-time options for a P-Cube.
+#[derive(Debug, Clone)]
+pub struct PCubeConfig {
+    /// Which cuboids get materialized signatures. The paper's experiments
+    /// use [`MaterializationPlan::Atomic`].
+    pub plan: MaterializationPlan,
+    /// Page size for signature pages, R-tree nodes and B+-trees (the paper
+    /// uses 4 KB).
+    pub page_size: usize,
+    /// STR fill factor for the R-tree bulk load. The default 0.7 mimics the
+    /// occupancy of a dynamically built R-tree (≈ ln 2), so incremental
+    /// inserts rarely cascade splits; use 1.0 for a packed read-only tree.
+    pub rtree_fill: f64,
+}
+
+impl Default for PCubeConfig {
+    fn default() -> Self {
+        PCubeConfig {
+            plan: MaterializationPlan::Atomic,
+            page_size: pcube_storage::PAGE_SIZE,
+            rtree_fill: 0.7,
+        }
+    }
+}
+
+/// The signature cube: one signature per materialized cell, stored
+/// compressed and decomposed on counted pages.
+pub struct PCube {
+    pub(crate) registry: CellRegistry,
+    pub(crate) store: SignatureStore,
+    pub(crate) cuboids: Vec<CuboidMask>,
+}
+
+impl PCube {
+    /// Computes signatures for every cell of every cuboid in `plan`.
+    ///
+    /// This is the tuple-oriented generation of §IV-B.1: one R-tree
+    /// traversal yields the `path` column, then each cuboid group-by turns
+    /// its cells' path lists into signatures.
+    pub fn build(
+        relation: &Relation,
+        rtree: &RTree,
+        plan: &MaterializationPlan,
+        page_size: usize,
+        stats: SharedStats,
+    ) -> Self {
+        let sig_pager = Pager::new(page_size, IoCategory::SignaturePage, stats.clone());
+        let dir_pager = Pager::new(page_size, IoCategory::BptreePage, stats);
+        let mut store = SignatureStore::new(sig_pager, dir_pager, rtree.m_max(), rtree.height());
+        let mut registry = CellRegistry::new();
+
+        // The `path` column: tids are dense, so a vector indexes it.
+        let mut paths: Vec<Path> = vec![Path::root(); relation.len()];
+        rtree.for_each_tuple(|tid, path, _| paths[tid as usize] = path.clone());
+
+        let cuboids = plan.cuboids(relation.schema().n_bool());
+        for &cuboid in &cuboids {
+            for (cell, tids) in group_by(relation, cuboid) {
+                let sig = Signature::from_paths(
+                    rtree.m_max(),
+                    tids.iter().map(|&t| &paths[t as usize]),
+                );
+                let code = registry.intern(cell);
+                store.write_signature(code, &sig);
+            }
+        }
+        PCube { registry, store, cuboids }
+    }
+
+    /// The signature store (sizes, partial counts, raw loads).
+    pub fn store(&self) -> &SignatureStore {
+        &self.store
+    }
+
+    /// The cell registry (cell key ↔ dense code).
+    pub fn registry(&self) -> &CellRegistry {
+        &self.registry
+    }
+
+    /// The materialized cuboids.
+    pub fn cuboids(&self) -> &[CuboidMask] {
+        &self.cuboids
+    }
+
+    /// Total materialized bytes (signature pages + directory).
+    pub fn size_bytes(&self) -> u64 {
+        self.store.size_bytes()
+    }
+
+    /// Builds the boolean-pruning probe for a selection (§IV-B.2).
+    ///
+    /// If the exact cell is materialized, a single lazy cursor serves it.
+    /// Otherwise the selection is covered by its atomic cells: lazily ANDed
+    /// cursors by default, or — with `eager_assembly` — fully loaded and
+    /// intersected with the recursive fix-up (Fig 3.c) up front.
+    pub fn probe(&self, selection: &Selection, eager_assembly: bool) -> BooleanProbe<'_> {
+        let selection = normalize(selection);
+        if selection.is_empty() {
+            return BooleanProbe::All;
+        }
+        if let Some(code) = self.registry.code(&CellKey::from_selection(&selection)) {
+            return BooleanProbe::Single(self.store.cursor(code));
+        }
+        // Assemble from atomic cells. A predicate value never seen in the
+        // data has no cell; the empty signature prunes everything.
+        let codes: Vec<Option<u32>> = selection
+            .iter()
+            .map(|p| self.registry.code(&CellKey::atomic(p.dim, p.value)))
+            .collect();
+        if codes.iter().any(Option::is_none) {
+            return BooleanProbe::Assembled(Signature::empty(self.store.m_max()));
+        }
+        if eager_assembly {
+            let mut sigs = codes.iter().map(|c| self.store.load_full(c.unwrap()));
+            let first = sigs.next().expect("non-empty selection");
+            let assembled = sigs.fold(first, |acc, s| acc.intersect(&s, self.store.height()));
+            BooleanProbe::Assembled(assembled)
+        } else {
+            BooleanProbe::IntersectLazy(
+                codes.into_iter().map(|c| self.store.cursor(c.unwrap())).collect(),
+            )
+        }
+    }
+
+    /// Builds a lossy Bloom-filter probe (§VII) for the selection at the
+    /// given false-positive target. The filters are constructed from the
+    /// exact signatures (one full load per predicate cell); a production
+    /// deployment would persist them instead. Sound: never prunes a
+    /// qualifying subtree.
+    pub fn probe_bloom(&self, selection: &Selection, fp_rate: f64) -> BooleanProbe<'_> {
+        let selection = normalize(selection);
+        if selection.is_empty() {
+            return BooleanProbe::All;
+        }
+        let mut filters = Vec::with_capacity(selection.len());
+        for p in &selection {
+            match self.registry.code(&CellKey::atomic(p.dim, p.value)) {
+                None => return BooleanProbe::Assembled(Signature::empty(self.store.m_max())),
+                Some(code) => {
+                    let sig = self.store.load_full(code);
+                    filters.push(crate::bloom::BloomSignature::from_signature(&sig, fp_rate));
+                }
+            }
+        }
+        BooleanProbe::Bloom(filters)
+    }
+
+    /// Applies the path changes of one R-tree insert/delete to every
+    /// affected cell signature (§IV-B.3).
+    ///
+    /// "Only the signatures of cells [the changed tuples belong to] are
+    /// affected. Furthermore, only the entries on the path … are possibly
+    /// affected." Changes are grouped per cell; each affected cell's
+    /// signature is loaded, patched and rewritten.
+    ///
+    /// `rtree_height` must be the tree's height *after* the mutation (a root
+    /// split deepens every path).
+    pub fn apply_delta(&mut self, relation: &Relation, delta: &PathDelta, rtree_height: usize) {
+        self.store.set_height(rtree_height);
+        // (cell code, clears, sets)
+        let mut changes: HashMap<u32, (Vec<Path>, Vec<Path>)> = HashMap::new();
+        let mut add = |registry: &mut CellRegistry,
+                       cuboids: &[CuboidMask],
+                       tid: u64,
+                       old: Option<&Path>,
+                       new: Option<&Path>| {
+            for &cuboid in cuboids {
+                let values: Vec<u32> =
+                    cuboid.dims().iter().map(|&d| relation.bool_code(tid, d)).collect();
+                let code = registry.intern(CellKey { mask: cuboid, values });
+                let entry = changes.entry(code).or_default();
+                if let Some(p) = old {
+                    entry.0.push(p.clone());
+                }
+                if let Some(p) = new {
+                    entry.1.push(p.clone());
+                }
+            }
+        };
+        for (tid, old, new) in &delta.moved {
+            add(&mut self.registry, &self.cuboids, *tid, Some(old), Some(new));
+        }
+        if let Some((tid, path)) = &delta.inserted {
+            add(&mut self.registry, &self.cuboids, *tid, None, Some(path));
+        }
+        if let Some((tid, path)) = &delta.removed {
+            add(&mut self.registry, &self.cuboids, *tid, Some(path), None);
+        }
+        for (code, (clears, sets)) in changes {
+            // Pure insertions take the paper's fast path: flip bits inside
+            // the partials already on disk. Anything involving clears (or a
+            // page overflow) falls back to a full per-cell rewrite.
+            if clears.is_empty() && self.store.apply_sets_in_place(code, &sets) {
+                continue;
+            }
+            let mut sig = self.store.load_full(code);
+            for p in &clears {
+                sig.clear_path(p);
+            }
+            for p in &sets {
+                sig.set_path(p);
+            }
+            self.store.write_signature(code, &sig);
+        }
+    }
+}
+
+/// A complete P-Cube database: base relation, shared R-tree partition,
+/// signature cube, and one I/O ledger across all of them.
+///
+/// This is the type queries run against; see
+/// [`skyline_query`](crate::query::skyline_query) and
+/// [`topk_query`](crate::query::topk_query).
+pub struct PCubeDb {
+    pub(crate) relation: Relation,
+    pub(crate) rtree: RTree,
+    pub(crate) pcube: PCube,
+    pub(crate) stats: SharedStats,
+}
+
+impl PCubeDb {
+    /// Builds the R-tree partition and the P-Cube over `relation`.
+    pub fn build(mut relation: Relation, config: &PCubeConfig) -> Self {
+        let stats = IoStats::new_shared();
+        relation.attach_stats(stats.clone());
+        let rtree_pager = Pager::new(config.page_size, IoCategory::RtreeBlock, stats.clone());
+        let rtree_cfg = RTreeConfig::for_page(relation.schema().n_pref(), config.page_size);
+        let items: Vec<(u64, Vec<f64>)> =
+            (0..relation.len() as u64).map(|t| (t, relation.pref_coords(t))).collect();
+        let rtree = RTree::bulk_load(rtree_pager, rtree_cfg, items, config.rtree_fill);
+        let pcube = PCube::build(&relation, &rtree, &config.plan, config.page_size, stats.clone());
+        PCubeDb { relation, rtree, pcube, stats }
+    }
+
+    /// The base relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The shared R-tree partition template.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+
+    /// The signature cube.
+    pub fn pcube(&self) -> &PCube {
+        &self.pcube
+    }
+
+    /// The shared I/O ledger.
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    /// Inserts a row (string boolean values) and incrementally maintains the
+    /// R-tree and every affected signature. Returns the new tid.
+    pub fn insert(&mut self, bool_values: &[&str], coords: &[f64]) -> u64 {
+        let tid = self.relation.push(bool_values, coords);
+        self.finish_insert(tid, coords)
+    }
+
+    /// Inserts a row given pre-encoded boolean codes.
+    pub fn insert_coded(&mut self, bool_codes: &[u32], coords: &[f64]) -> u64 {
+        let tid = self.relation.push_coded(bool_codes, coords);
+        self.finish_insert(tid, coords)
+    }
+
+    fn finish_insert(&mut self, tid: u64, coords: &[f64]) -> u64 {
+        let delta = self.rtree.insert_tracked(tid, coords);
+        self.pcube.apply_delta(&self.relation, &delta, self.rtree.height());
+        tid
+    }
+
+    /// Builds a [`Selection`] from `(dimension name, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics on an unknown dimension name; an unknown *value* yields a
+    /// selection that matches nothing (a valid query).
+    pub fn selection(&self, preds: &[(&str, &str)]) -> Selection {
+        preds
+            .iter()
+            .map(|(dim_name, value)| {
+                let dim = self
+                    .relation
+                    .schema()
+                    .bool_index(dim_name)
+                    .unwrap_or_else(|| panic!("unknown boolean dimension {dim_name}"));
+                let value = self
+                    .relation
+                    .dictionary(dim)
+                    .code(value)
+                    // Unseen value: a code beyond any dictionary entry.
+                    .unwrap_or(u32::MAX);
+                pcube_cube::Predicate { dim, value }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcube_cube::{Predicate, Schema};
+
+    /// The paper's Table I as a PCubeDb (coordinates force Fig 1's grouping
+    /// only approximately — STR packs its own tiles — but every signature
+    /// property is checked against brute force, not fixed constants).
+    fn table1_db() -> PCubeDb {
+        let mut r = Relation::new(Schema::new(&["A", "B"], &["X", "Y"]));
+        let rows = [
+            ("a1", "b1", 0.00, 0.40),
+            ("a2", "b2", 0.20, 0.60),
+            ("a1", "b1", 0.30, 0.70),
+            ("a3", "b3", 0.50, 0.40),
+            ("a4", "b1", 0.60, 0.00),
+            ("a2", "b3", 0.72, 0.30),
+            ("a4", "b2", 0.72, 0.36),
+            ("a3", "b3", 0.85, 0.62),
+        ];
+        for (a, b, x, y) in rows {
+            r.push(&[a, b], &[x, y]);
+        }
+        PCubeDb::build(r, &PCubeConfig::default())
+    }
+
+    /// Checks that every materialized signature equals one rebuilt from the
+    /// R-tree's current tuple paths — the master consistency invariant.
+    fn assert_signatures_consistent(db: &PCubeDb) {
+        let mut paths: HashMap<u64, Path> = HashMap::new();
+        db.rtree().for_each_tuple(|tid, path, _| {
+            paths.insert(tid, path.clone());
+        });
+        for &cuboid in db.pcube().cuboids() {
+            for (cell, tids) in group_by(db.relation(), cuboid) {
+                let expect = Signature::from_paths(
+                    db.rtree().m_max(),
+                    tids.iter().map(|t| &paths[t]),
+                );
+                let code = db.pcube().registry().code(&cell).expect("cell registered");
+                let got = db.pcube().store().load_full(code);
+                assert_eq!(got, expect, "cell {cell:?}");
+                got.validate(db.rtree().height());
+            }
+        }
+    }
+
+    #[test]
+    fn build_registers_atomic_cells_and_valid_signatures() {
+        let db = table1_db();
+        // A has 4 values, B has 3 → 7 atomic cells.
+        assert_eq!(db.pcube().registry().len(), 7);
+        assert_signatures_consistent(&db);
+    }
+
+    #[test]
+    fn probe_for_single_predicate_matches_brute_force() {
+        let db = table1_db();
+        let a1 = db.selection(&[("A", "a1")]);
+        let mut probe = db.pcube().probe(&a1, false);
+        let mut paths: HashMap<u64, Path> = HashMap::new();
+        db.rtree().for_each_tuple(|tid, p, _| {
+            paths.insert(tid, p.clone());
+        });
+        for tid in 0..db.relation().len() as u64 {
+            let expected = db.relation().matches(tid, &a1);
+            assert_eq!(probe.contains(&paths[&tid]), expected, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn probe_for_unknown_value_prunes_everything() {
+        let db = table1_db();
+        let sel = db.selection(&[("A", "a99")]);
+        let mut probe = db.pcube().probe(&sel, false);
+        let mut any = false;
+        db.rtree().for_each_tuple(|_, p, _| {
+            any |= probe.contains(p);
+        });
+        assert!(!any);
+    }
+
+    #[test]
+    fn probe_multi_predicate_lazy_and_eager_are_tuple_exact() {
+        let db = table1_db();
+        let sel = db.selection(&[("A", "a2"), ("B", "b2")]);
+        let mut paths: HashMap<u64, Path> = HashMap::new();
+        db.rtree().for_each_tuple(|tid, p, _| {
+            paths.insert(tid, p.clone());
+        });
+        for eager in [false, true] {
+            let mut probe = db.pcube().probe(&sel, eager);
+            for tid in 0..db.relation().len() as u64 {
+                let expected = db.relation().matches(tid, &sel);
+                assert_eq!(probe.contains(&paths[&tid]), expected, "tid {tid}, eager {eager}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_probe_accepts_all() {
+        let db = table1_db();
+        let mut probe = db.pcube().probe(&Vec::new(), false);
+        db.rtree().for_each_tuple(|_, p, _| {
+            assert!(probe.contains(p));
+        });
+    }
+
+    #[test]
+    fn incremental_insert_keeps_signatures_consistent() {
+        let mut db = table1_db();
+        // Insert enough rows to force leaf and root splits.
+        for i in 0..60u32 {
+            let f = f64::from(i);
+            let a = format!("a{}", i % 5 + 1);
+            let b = format!("b{}", i % 4 + 1);
+            db.insert(&[&a, &b], &[(f * 0.137) % 1.0, (f * 0.311) % 1.0]);
+            if i % 10 == 0 {
+                assert_signatures_consistent(&db);
+            }
+        }
+        db.rtree().check_invariants();
+        assert_signatures_consistent(&db);
+        assert_eq!(db.relation().len(), 68);
+    }
+
+    #[test]
+    fn insert_with_new_dictionary_value_creates_cell() {
+        let mut db = table1_db();
+        let before = db.pcube().registry().len();
+        db.insert(&["a9", "b9"], &[0.99, 0.99]);
+        assert_eq!(db.pcube().registry().len(), before + 2);
+        assert_signatures_consistent(&db);
+        // The new cell is immediately queryable.
+        let sel = db.selection(&[("A", "a9")]);
+        let mut probe = db.pcube().probe(&sel, false);
+        let mut hits = 0;
+        db.rtree().for_each_tuple(|_, p, _| {
+            if probe.contains(p) {
+                hits += 1;
+            }
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn materializing_level2_cuboids_serves_composite_cells_directly() {
+        let mut r = Relation::new(Schema::new(&["A", "B"], &["X", "Y"]));
+        for i in 0..40u32 {
+            let f = f64::from(i);
+            r.push(
+                &[&format!("a{}", i % 3), &format!("b{}", i % 2)],
+                &[(f * 0.7) % 1.0, (f * 0.3) % 1.0],
+            );
+        }
+        let cfg = PCubeConfig {
+            plan: MaterializationPlan::UpToLevel(2),
+            ..PCubeConfig::default()
+        };
+        let db = PCubeDb::build(r, &cfg);
+        assert_eq!(db.pcube().cuboids().len(), 3);
+        let sel = vec![Predicate { dim: 0, value: 1 }, Predicate { dim: 1, value: 0 }];
+        let probe = db.pcube().probe(&sel, false);
+        assert!(matches!(probe, BooleanProbe::Single(_)), "composite cell should be direct");
+        assert_signatures_consistent(&db);
+    }
+}

@@ -1,0 +1,325 @@
+//! Checkpointing a built database to a single file and re-opening it.
+//!
+//! Building a P-Cube over millions of rows takes seconds; reloading a saved
+//! one takes a memcpy. [`PCubeDb::save_to_bytes`] serializes the relation
+//! (schema, dictionaries, columns), the shared R-tree (pager image +
+//! structural metadata), the cell registry, and the signature store (pager
+//! image + directory B+-tree image) into one self-describing buffer;
+//! [`PCubeDb::load_from_bytes`] restores an identical database. File-path
+//! convenience wrappers are provided.
+//!
+//! The format is a versioned, little-endian, length-prefixed layout —
+//! deliberately hand-rolled so the workspace keeps its tiny dependency
+//! footprint.
+//!
+//! # Example
+//!
+//! ```
+//! use pcube_core::{PCubeConfig, PCubeDb};
+//! use pcube_cube::{Relation, Schema};
+//!
+//! let mut r = Relation::new(Schema::new(&["kind"], &["x", "y"]));
+//! r.push(&["a"], &[0.1, 0.9]);
+//! r.push(&["b"], &[0.7, 0.2]);
+//! let db = PCubeDb::build(r, &PCubeConfig::default());
+//!
+//! let image = db.save_to_bytes();
+//! let again = PCubeDb::load_from_bytes(&image).unwrap();
+//! assert_eq!(again.relation().len(), 2);
+//! ```
+
+use pcube_cube::{CellKey, CuboidMask, Relation, Schema};
+use pcube_rtree::{RTree, RTreeConfig};
+use pcube_storage::{IoCategory, IoStats, PageId, Pager};
+
+use crate::pcube::{PCube, PCubeDb};
+use crate::store::SignatureStore;
+
+const MAGIC: &[u8; 8] = b"PCUBEDB1";
+
+/// A serialization or deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "persist error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError(msg.into()))
+}
+
+// ------------------------------------------------------------ wire format --
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => fail("truncated input"),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError("bad utf-8".into()))
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl PCubeDb {
+    /// Serializes the whole database (relation, R-tree, signatures,
+    /// registry) into one buffer.
+    pub fn save_to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+
+        // --- relation ---
+        let schema = self.relation.schema();
+        put_u32(&mut out, schema.n_bool() as u32);
+        for d in 0..schema.n_bool() {
+            put_string(&mut out, schema.bool_name(d));
+        }
+        put_u32(&mut out, schema.n_pref() as u32);
+        for d in 0..schema.n_pref() {
+            put_string(&mut out, schema.pref_name(d));
+        }
+        for d in 0..schema.n_bool() {
+            let values = self.relation.dictionary(d).values();
+            put_u64(&mut out, values.len() as u64);
+            for v in values {
+                put_string(&mut out, v);
+            }
+        }
+        put_u64(&mut out, self.relation.len() as u64);
+        for d in 0..schema.n_bool() {
+            for &c in self.relation.bool_column(d) {
+                put_u32(&mut out, c);
+            }
+        }
+        for d in 0..schema.n_pref() {
+            for &x in self.relation.pref_column(d) {
+                put_f64(&mut out, x);
+            }
+        }
+
+        // --- R-tree ---
+        let (root, height, len) = self.rtree.parts();
+        put_u32(&mut out, self.rtree.dims() as u32);
+        put_u32(&mut out, self.rtree.m_max() as u32);
+        put_u32(&mut out, self.rtree.m_min() as u32);
+        put_u32(&mut out, root.0);
+        put_u64(&mut out, height as u64);
+        put_u64(&mut out, len);
+        self.rtree.pager().serialize_into(&mut out);
+
+        // --- cube: cuboids + registry (code order) ---
+        put_u64(&mut out, self.pcube.cuboids.len() as u64);
+        for m in &self.pcube.cuboids {
+            put_u32(&mut out, m.0);
+        }
+        put_u64(&mut out, self.pcube.registry.len() as u64);
+        for code in 0..self.pcube.registry.len() as u32 {
+            let key = self.pcube.registry.key(code).expect("dense codes");
+            put_u32(&mut out, key.mask.0);
+            put_u64(&mut out, key.values.len() as u64);
+            for &v in &key.values {
+                put_u32(&mut out, v);
+            }
+        }
+
+        // --- signature store ---
+        let (sig_pager, directory, m_max, s_height) = self.pcube.store.parts_ref();
+        put_u64(&mut out, m_max as u64);
+        put_u64(&mut out, s_height as u64);
+        sig_pager.serialize_into(&mut out);
+        let (d_root, d_height, d_len) = directory.parts();
+        put_u32(&mut out, d_root.0);
+        put_u64(&mut out, d_height as u64);
+        put_u64(&mut out, d_len);
+        directory.pager().serialize_into(&mut out);
+
+        out
+    }
+
+    /// Restores a database saved by [`PCubeDb::save_to_bytes`]. The restored
+    /// instance has a fresh (zeroed) I/O ledger.
+    pub fn load_from_bytes(buf: &[u8]) -> Result<PCubeDb, PersistError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(8)? != MAGIC {
+            return fail("not a pcube database file");
+        }
+        let stats = IoStats::new_shared();
+
+        // --- relation ---
+        let n_bool = r.u32()? as usize;
+        let mut bool_names = Vec::with_capacity(n_bool);
+        for _ in 0..n_bool {
+            bool_names.push(r.string()?);
+        }
+        let n_pref = r.u32()? as usize;
+        if n_pref == 0 {
+            return fail("no preference dimensions");
+        }
+        let mut pref_names = Vec::with_capacity(n_pref);
+        for _ in 0..n_pref {
+            pref_names.push(r.string()?);
+        }
+        let schema = Schema::new(
+            &bool_names.iter().map(String::as_str).collect::<Vec<_>>(),
+            &pref_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let mut relation = Relation::new(schema);
+        for d in 0..n_bool {
+            let n_values = r.u64()? as usize;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(r.string()?);
+            }
+            relation.restore_dictionary(d, &values);
+        }
+        let n_rows = r.u64()? as usize;
+        let mut bool_cols = vec![Vec::with_capacity(n_rows); n_bool];
+        for col in bool_cols.iter_mut() {
+            for _ in 0..n_rows {
+                col.push(r.u32()?);
+            }
+        }
+        let mut pref_cols = vec![Vec::with_capacity(n_rows); n_pref];
+        for col in pref_cols.iter_mut() {
+            for _ in 0..n_rows {
+                col.push(r.f64()?);
+            }
+        }
+        let mut codes = vec![0u32; n_bool];
+        let mut coords = vec![0f64; n_pref];
+        for row in 0..n_rows {
+            for (d, c) in codes.iter_mut().enumerate() {
+                *c = bool_cols[d][row];
+            }
+            for (d, x) in coords.iter_mut().enumerate() {
+                *x = pref_cols[d][row];
+            }
+            relation.push_coded(&codes, &coords);
+        }
+        relation.attach_stats(stats.clone());
+
+        // --- R-tree ---
+        let dims = r.u32()? as usize;
+        let m_max = r.u32()? as usize;
+        let m_min = r.u32()? as usize;
+        let root = PageId(r.u32()?);
+        let height = r.u64()? as usize;
+        let len = r.u64()?;
+        let (pager, used) =
+            Pager::deserialize_from(&buf[r.pos..], IoCategory::RtreeBlock, stats.clone())
+                .ok_or_else(|| PersistError("corrupt R-tree pager".into()))?;
+        r.pos += used;
+        if dims != n_pref {
+            return fail("R-tree dimensionality does not match the schema");
+        }
+        let config = RTreeConfig::explicit(dims, m_min, m_max);
+        let rtree = RTree::from_parts(pager, config, root, height, len);
+
+        // --- cube ---
+        let n_cuboids = r.u64()? as usize;
+        let mut cuboids = Vec::with_capacity(n_cuboids);
+        for _ in 0..n_cuboids {
+            cuboids.push(CuboidMask(r.u32()?));
+        }
+        let n_cells = r.u64()? as usize;
+        let mut registry = pcube_cube::CellRegistry::new();
+        for expected in 0..n_cells as u32 {
+            let mask = CuboidMask(r.u32()?);
+            let n_values = r.u64()? as usize;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                values.push(r.u32()?);
+            }
+            let code = registry.intern(CellKey { mask, values });
+            if code != expected {
+                return fail("registry codes are not dense");
+            }
+        }
+
+        // --- signature store ---
+        let s_m_max = r.u64()? as usize;
+        let s_height = r.u64()? as usize;
+        let (sig_pager, used) =
+            Pager::deserialize_from(&buf[r.pos..], IoCategory::SignaturePage, stats.clone())
+                .ok_or_else(|| PersistError("corrupt signature pager".into()))?;
+        r.pos += used;
+        let d_root = PageId(r.u32()?);
+        let d_height = r.u64()? as usize;
+        let d_len = r.u64()?;
+        let (dir_pager, used) =
+            Pager::deserialize_from(&buf[r.pos..], IoCategory::BptreePage, stats.clone())
+                .ok_or_else(|| PersistError("corrupt directory pager".into()))?;
+        r.pos += used;
+        if r.pos != buf.len() {
+            return fail("trailing bytes after database image");
+        }
+        let directory = pcube_bptree::BPlusTree::from_parts(dir_pager, d_root, d_height, d_len);
+        let store = SignatureStore::from_parts(sig_pager, directory, s_m_max, s_height);
+
+        Ok(PCubeDb {
+            relation,
+            rtree,
+            pcube: PCube { registry, store, cuboids },
+            stats,
+        })
+    }
+
+    /// Saves the database to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
+        std::fs::write(path, self.save_to_bytes()).map_err(|e| PersistError(e.to_string()))
+    }
+
+    /// Opens a database saved with [`PCubeDb::save`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<PCubeDb, PersistError> {
+        let bytes = std::fs::read(path).map_err(|e| PersistError(e.to_string()))?;
+        Self::load_from_bytes(&bytes)
+    }
+}

@@ -1,0 +1,145 @@
+//! Dynamic skyline queries — the §VII extension ("Algorithm 1 can also be
+//! easily extended to support other preference queries, such as dynamic
+//! skyline queries [9]").
+//!
+//! Given a query point `q`, tuple `p` *dynamically dominates* `p'` iff
+//! `|p_d − q_d| ≤ |p'_d − q_d|` on every chosen dimension and strictly on at
+//! least one: the skyline of the data after the coordinate transform
+//! `x ↦ |x − q|`. The same branch-and-bound framework applies because the
+//! transform of a box has an attainable per-dimension lower corner
+//! (`min_{x∈[lo,hi]} |x − q_d|` is reached independently per dimension), so
+//! both the BBS ordering key and the dominance prune carry over.
+
+use pcube_cube::{normalize, Selection};
+use pcube_rtree::{DecodedEntry, Mbr};
+
+use crate::pcube::PCubeDb;
+use crate::query::{dominates, seed_root, Candidate, CandidateHeap, QueryStats};
+
+/// A completed dynamic skyline query.
+pub struct DynamicSkylineOutcome {
+    /// Dynamic skyline tuples as `(tid, original coordinates)`.
+    pub skyline: Vec<(u64, Vec<f64>)>,
+    /// Execution metrics.
+    pub stats: QueryStats,
+}
+
+/// Answers a dynamic skyline query around `q` under a boolean selection,
+/// using signature-based boolean pruning exactly as the static variant.
+///
+/// `pref_dims` selects the dimensions compared; `q` is indexed by the full
+/// coordinate space (like the tuples' coordinates).
+///
+/// # Panics
+/// Panics if `pref_dims` is empty or `q` is shorter than the coordinate
+/// space.
+pub fn dynamic_skyline_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    q: &[f64],
+    pref_dims: &[usize],
+) -> DynamicSkylineOutcome {
+    assert!(!pref_dims.is_empty(), "need at least one preference dimension");
+    assert!(
+        pref_dims.iter().all(|&d| d < q.len()),
+        "query point must cover every preference dimension"
+    );
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    let mut probe = db.pcube().probe(&selection, false);
+
+    // Transform helpers. `t_point` keeps the full dimensionality so that
+    // `dominates(_, _, pref_dims)` indexes it directly.
+    let t_point = |coords: &[f64]| -> Vec<f64> {
+        coords.iter().enumerate().map(|(d, &x)| (x - q.get(d).copied().unwrap_or(0.0)).abs()).collect()
+    };
+    let t_corner = |mbr: &Mbr| -> Vec<f64> {
+        (0..mbr.dims())
+            .map(|d| {
+                let qd = q[d];
+                if qd < mbr.min[d] {
+                    mbr.min[d] - qd
+                } else if qd > mbr.max[d] {
+                    qd - mbr.max[d]
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let key = |t: &[f64]| -> f64 { pref_dims.iter().map(|&d| t[d]).sum() };
+
+    let mut heap = CandidateHeap::new();
+    let dims = db.rtree().dims();
+    seed_root(db, &mut heap);
+
+    // result holds (tid, original coords, transformed coords).
+    let mut result: Vec<(u64, Vec<f64>, Vec<f64>)> = Vec::new();
+    let mut stats = QueryStats::default();
+
+    while let Some(entry) = heap.pop() {
+        let t_probe: Vec<f64> = match &entry.cand {
+            Candidate::Tuple { coords, .. } => t_point(coords),
+            Candidate::Node { mbr, .. } => {
+                if mbr.min[0].is_infinite() {
+                    vec![0.0; dims] // the seeded root: never dominated
+                } else {
+                    t_corner(mbr)
+                }
+            }
+        };
+        if result.iter().any(|(_, _, s)| dominates(s, &t_probe, pref_dims)) {
+            continue;
+        }
+        if !probe.contains(entry.cand.path()) {
+            continue;
+        }
+        match entry.cand {
+            Candidate::Tuple { tid, coords, .. } => {
+                let t = t_point(&coords);
+                result.push((tid, coords, t));
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                stats.nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let t = t_point(&coords);
+                            if result.iter().any(|(_, _, s)| dominates(s, &t, pref_dims)) {
+                                continue;
+                            }
+                            if !probe.contains(&child_path) {
+                                continue;
+                            }
+                            let score = key(&t);
+                            heap.push(score, Candidate::Tuple { tid, path: child_path, coords });
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let corner = t_corner(&mbr);
+                            if result.iter().any(|(_, _, s)| dominates(s, &corner, pref_dims)) {
+                                continue;
+                            }
+                            if !probe.contains(&child_path) {
+                                continue;
+                            }
+                            let score = key(&corner);
+                            heap.push(score, Candidate::Node { pid: child, path: child_path, mbr });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    stats.peak_heap = heap.peak();
+    stats.partials_loaded = probe.partials_loaded();
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    DynamicSkylineOutcome {
+        skyline: result.into_iter().map(|(tid, coords, _)| (tid, coords)).collect(),
+        stats,
+    }
+}

@@ -1,0 +1,194 @@
+//! Convex hull queries — the §VII extension ("Algorithm 1 can also be
+//! easily extended to support … convex hull queries [21]").
+//!
+//! Given a boolean selection, returns the convex hull of the qualifying
+//! tuples in two chosen preference dimensions. The search walks the R-tree
+//! with signature-based boolean pruning plus a geometric prune: a node whose
+//! MBR lies strictly inside the convex hull of the points found so far can
+//! contribute no hull vertex and is skipped. Candidates are visited in
+//! best-first order of distance from the running hull's centroid proxy
+//! (farthest first), which grows the hull quickly and makes the inside-test
+//! prune effective early.
+
+use pcube_cube::{normalize, Selection};
+use pcube_rtree::{DecodedEntry, Path};
+
+use crate::pcube::PCubeDb;
+use crate::query::QueryStats;
+
+/// A completed convex hull query.
+pub struct HullOutcome {
+    /// Hull vertices as `(tid, [x, y])` in counter-clockwise order starting
+    /// from the lowest-then-leftmost point.
+    pub hull: Vec<(u64, [f64; 2])>,
+    /// Execution metrics.
+    pub stats: QueryStats,
+}
+
+/// Computes the convex hull of the tuples satisfying `selection`, projected
+/// on preference dimensions `dims = (x, y)`.
+///
+/// # Panics
+/// Panics if the two dimensions coincide or exceed the schema.
+pub fn convex_hull_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    dims: (usize, usize),
+) -> HullOutcome {
+    let n_pref = db.relation().schema().n_pref();
+    assert!(dims.0 < n_pref && dims.1 < n_pref, "hull dimensions out of range");
+    assert_ne!(dims.0, dims.1, "hull needs two distinct dimensions");
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    let mut probe = db.pcube().probe(&selection, false);
+    let mut stats = QueryStats::default();
+
+    // Collect qualifying points by a signature-pruned DFS, skipping any
+    // subtree whose MBR projection is already strictly inside the running
+    // hull (it cannot contain a vertex of the final hull).
+    let mut points: Vec<(u64, [f64; 2])> = Vec::new();
+    let mut hull: Vec<(u64, [f64; 2])> = Vec::new();
+    let mut stack = vec![(db.rtree().root_pid(), Path::root())];
+    while let Some((pid, path)) = stack.pop() {
+        let node = db.rtree().read_node(pid);
+        stats.nodes_expanded += 1;
+        for (slot, entry) in node.entries {
+            let child_path = path.child(slot as u16 + 1);
+            match entry {
+                DecodedEntry::Tuple { tid, coords } => {
+                    let p = [coords[dims.0], coords[dims.1]];
+                    if strictly_inside_hull(&hull, p) {
+                        continue;
+                    }
+                    if !probe.contains(&child_path) {
+                        continue;
+                    }
+                    points.push((tid, p));
+                    // Rebuild the running hull occasionally to keep the
+                    // inside-test sharp without paying O(n log n) per point.
+                    if points.len().is_power_of_two() {
+                        hull = monotone_chain(&points);
+                    }
+                }
+                DecodedEntry::Child { child, mbr } => {
+                    let corners = [
+                        [mbr.min[dims.0], mbr.min[dims.1]],
+                        [mbr.min[dims.0], mbr.max[dims.1]],
+                        [mbr.max[dims.0], mbr.min[dims.1]],
+                        [mbr.max[dims.0], mbr.max[dims.1]],
+                    ];
+                    if corners.iter().all(|&c| strictly_inside_hull(&hull, c)) {
+                        continue; // geometric prune
+                    }
+                    if !probe.contains(&child_path) {
+                        continue;
+                    }
+                    stack.push((child, child_path));
+                }
+            }
+        }
+    }
+    let hull = monotone_chain(&points);
+
+    stats.partials_loaded = probe.partials_loaded();
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    HullOutcome { hull, stats }
+}
+
+fn cross(o: [f64; 2], a: [f64; 2], b: [f64; 2]) -> f64 {
+    (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+}
+
+/// `true` if `p` lies strictly inside the (counter-clockwise) hull — on the
+/// boundary counts as outside so boundary duplicates are still collected.
+fn strictly_inside_hull(hull: &[(u64, [f64; 2])], p: [f64; 2]) -> bool {
+    if hull.len() < 3 {
+        return false;
+    }
+    hull.iter().zip(hull.iter().cycle().skip(1)).all(|(&(_, a), &(_, b))| cross(a, b, p) > 1e-12)
+}
+
+/// Andrew's monotone chain; returns the hull counter-clockwise, collinear
+/// boundary points dropped. Stable for fewer than three points.
+pub(crate) fn monotone_chain(points: &[(u64, [f64; 2])]) -> Vec<(u64, [f64; 2])> {
+    let mut pts: Vec<(u64, [f64; 2])> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.1[0]
+            .partial_cmp(&b.1[0])
+            .unwrap()
+            .then(a.1[1].partial_cmp(&b.1[1]).unwrap())
+            .then(a.0.cmp(&b.0))
+    });
+    pts.dedup_by(|a, b| a.1 == b.1);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let chain = |iter: &mut dyn Iterator<Item = &(u64, [f64; 2])>| {
+        let mut half: Vec<(u64, [f64; 2])> = Vec::new();
+        for &p in iter {
+            while half.len() >= 2
+                && cross(half[half.len() - 2].1, half[half.len() - 1].1, p.1) <= 1e-12
+            {
+                half.pop();
+            }
+            half.push(p);
+        }
+        half
+    };
+    let mut lower = chain(&mut pts.iter());
+    let mut upper = chain(&mut pts.iter().rev());
+    // Drop each chain's final point — it is the first point of the other.
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[(f64, f64)]) -> Vec<(u64, [f64; 2])> {
+        raw.iter().enumerate().map(|(i, &(x, y))| (i as u64, [x, y])).collect()
+    }
+
+    #[test]
+    fn chain_finds_square_hull() {
+        let points = pts(&[
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (0.5, 0.5),
+            (0.2, 0.8),
+        ]);
+        let hull = monotone_chain(&points);
+        let ids: Vec<u64> = hull.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3], "ccw from lowest-leftmost");
+    }
+
+    #[test]
+    fn chain_handles_degenerate_inputs() {
+        assert!(monotone_chain(&[]).is_empty());
+        assert_eq!(monotone_chain(&pts(&[(0.3, 0.4)])).len(), 1);
+        assert_eq!(monotone_chain(&pts(&[(0.0, 0.0), (1.0, 1.0)])).len(), 2);
+        // Collinear points collapse to the two extremes.
+        let hull = monotone_chain(&pts(&[(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)]));
+        assert_eq!(hull.len(), 2);
+        // All-identical points collapse to one.
+        let hull = monotone_chain(&pts(&[(0.5, 0.5), (0.5, 0.5), (0.5, 0.5)]));
+        assert_eq!(hull.len(), 1);
+    }
+
+    #[test]
+    fn inside_test_is_strict() {
+        let hull = monotone_chain(&pts(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]));
+        assert!(strictly_inside_hull(&hull, [0.5, 0.5]));
+        assert!(!strictly_inside_hull(&hull, [0.0, 0.5]), "boundary is not inside");
+        assert!(!strictly_inside_hull(&hull, [1.5, 0.5]));
+        assert!(!strictly_inside_hull(&[], [0.5, 0.5]));
+    }
+}

@@ -1,0 +1,238 @@
+//! Query processing using the P-Cube (§V): the progressive, signature-guided
+//! branch-and-bound framework of Algorithm 1, instantiated for skyline and
+//! top-k queries, plus the incremental drill-down/roll-up execution of §V-C.
+
+mod dynamic;
+mod hull;
+mod skyline;
+mod topk;
+
+pub use dynamic::{dynamic_skyline_query, DynamicSkylineOutcome};
+pub use hull::{convex_hull_query, HullOutcome};
+pub use skyline::{
+    skyline_drill_down, skyline_query, skyline_query_probed, skyline_roll_up, SkylineOutcome,
+    SkylineState,
+};
+pub use topk::{topk_drill_down, topk_query, topk_query_probed, topk_roll_up, TopKOutcome, TopKState};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use pcube_rtree::{Mbr, Path};
+use pcube_storage::{IoSnapshot, PageId};
+
+/// Per-query execution metrics, matching the measurements in §VI.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// R-tree nodes expanded (each one a counted block retrieval).
+    pub nodes_expanded: u64,
+    /// Maximum candidate-heap size (Fig 10's memory metric).
+    pub peak_heap: usize,
+    /// Partial signatures loaded (the `SSig` series of Fig 9).
+    pub partials_loaded: u64,
+    /// Counted I/O performed by the query (all categories).
+    pub io: IoSnapshot,
+    /// Wall-clock seconds of CPU work (the in-memory part).
+    pub cpu_seconds: f64,
+}
+
+/// A candidate in the branch-and-bound search: an R-tree node or a tuple.
+#[derive(Debug, Clone)]
+pub enum Candidate {
+    /// An R-tree node (internal or leaf) awaiting expansion.
+    Node {
+        /// Page of the node.
+        pid: PageId,
+        /// Path of the node from the root.
+        path: Path,
+        /// The node's bounding rectangle.
+        mbr: Mbr,
+    },
+    /// A data tuple awaiting result/prune classification.
+    Tuple {
+        /// Tuple id.
+        tid: u64,
+        /// Full tuple path (leaf path + slot).
+        path: Path,
+        /// Preference coordinates.
+        coords: Vec<f64>,
+    },
+}
+
+impl Candidate {
+    /// The candidate's path (used for signature probes).
+    pub fn path(&self) -> &Path {
+        match self {
+            Candidate::Node { path, .. } | Candidate::Tuple { path, .. } => path,
+        }
+    }
+}
+
+/// A scored heap entry. Lower scores pop first; ties break by insertion
+/// sequence for determinism.
+#[derive(Debug, Clone)]
+pub struct HeapEntry {
+    /// The ordering key (`d(n)` for skylines, `f(n)` for top-k).
+    pub score: f64,
+    /// Monotone tie-breaker.
+    pub seq: u64,
+    /// The node or tuple itself.
+    pub cand: Candidate,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min score on top.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The candidate heap with peak-size tracking (Fig 10).
+#[derive(Debug, Default)]
+pub struct CandidateHeap {
+    heap: BinaryHeap<HeapEntry>,
+    peak: usize,
+    seq: u64,
+}
+
+impl CandidateHeap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        CandidateHeap::default()
+    }
+
+    /// Pushes a candidate with the given score.
+    pub fn push(&mut self, score: f64, cand: Candidate) {
+        self.seq += 1;
+        self.heap.push(HeapEntry { score, seq: self.seq, cand });
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Re-inserts an existing entry (keeps its original sequence number).
+    pub fn push_entry(&mut self, entry: HeapEntry) {
+        self.heap.push(entry);
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// Pops the minimum-score entry.
+    pub fn pop(&mut self) -> Option<HeapEntry> {
+        self.heap.pop()
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Largest size the heap ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drains the remaining entries (used to save the frontier as `d_list`
+    /// when a top-k query terminates early).
+    pub fn drain(&mut self) -> Vec<HeapEntry> {
+        std::mem::take(&mut self.heap).into_vec()
+    }
+}
+
+/// Seeds a candidate heap with the R-tree root: an un-dominatable MBR and
+/// the smallest possible score, so it always pops first and is never pruned.
+pub(crate) fn seed_root(db: &crate::pcube::PCubeDb, heap: &mut CandidateHeap) {
+    let dims = db.rtree().dims();
+    let mbr = Mbr { min: vec![f64::NEG_INFINITY; dims], max: vec![f64::INFINITY; dims] };
+    heap.push(
+        f64::NEG_INFINITY,
+        Candidate::Node { pid: db.rtree().root_pid(), path: Path::root(), mbr },
+    );
+}
+
+/// `true` if `a` dominates `b` on the given dimensions: `a ≤ b` everywhere
+/// and `a < b` somewhere (§I's definition, restricted to `dims`).
+pub fn dominates(a: &[f64], b: &[f64], dims: &[usize]) -> bool {
+    let mut strict = false;
+    for &d in dims {
+        if a[d] > b[d] {
+            return false;
+        }
+        if a[d] < b[d] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(score_seq: (f64, u64)) -> HeapEntry {
+        HeapEntry {
+            score: score_seq.0,
+            seq: score_seq.1,
+            cand: Candidate::Tuple { tid: 0, path: Path::root(), coords: vec![] },
+        }
+    }
+
+    #[test]
+    fn heap_pops_minimum_score_first() {
+        let mut h = CandidateHeap::new();
+        for s in [0.5, 0.1, 0.9, 0.3] {
+            h.push(s, Candidate::Tuple { tid: 0, path: Path::root(), coords: vec![] });
+        }
+        let order: Vec<f64> = std::iter::from_fn(|| h.pop().map(|e| e.score)).collect();
+        assert_eq!(order, vec![0.1, 0.3, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut h = CandidateHeap::new();
+        h.push_entry(tuple((1.0, 2)));
+        h.push_entry(tuple((1.0, 1)));
+        h.push_entry(tuple((1.0, 3)));
+        let seqs: Vec<u64> = std::iter::from_fn(|| h.pop().map(|e| e.seq)).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peak_tracks_maximum_occupancy() {
+        let mut h = CandidateHeap::new();
+        for s in 0..5 {
+            h.push(s as f64, Candidate::Tuple { tid: 0, path: Path::root(), coords: vec![] });
+        }
+        h.pop();
+        h.pop();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.peak(), 5);
+    }
+
+    #[test]
+    fn dominance_definition() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0], &[0, 1]));
+        assert!(dominates(&[0.5, 2.0], &[1.0, 2.0], &[0, 1]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0], &[0, 1]), "equal points do not dominate");
+        assert!(!dominates(&[0.0, 3.0], &[1.0, 2.0], &[0, 1]), "incomparable");
+        // Subset dimensions change the verdict.
+        assert!(dominates(&[0.0, 9.0], &[1.0, 2.0], &[0]));
+    }
+}

@@ -1,0 +1,273 @@
+//! Skyline processing using P-Cube (§V-A) with incremental drill-down and
+//! roll-up (§V-C).
+
+use pcube_cube::{normalize, Predicate, Selection};
+use pcube_rtree::{DecodedEntry, Path};
+
+use crate::pcube::PCubeDb;
+use crate::query::{dominates, seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats};
+use crate::rank::{MinCoordSum, RankingFunction};
+use crate::store::BooleanProbe;
+
+/// One discovered skyline object.
+#[derive(Debug, Clone)]
+struct ResultEntry {
+    tid: u64,
+    coords: Vec<f64>,
+    path: Path,
+    score: f64,
+}
+
+/// The three lists Algorithm 1 maintains, kept after the query so that
+/// drill-down and roll-up can rebuild the candidate heap without starting
+/// from the root (Lemma 2).
+pub struct SkylineState {
+    selection: Selection,
+    pref_dims: Vec<usize>,
+    result: Vec<ResultEntry>,
+    b_list: Vec<HeapEntry>,
+    d_list: Vec<HeapEntry>,
+}
+
+impl SkylineState {
+    /// The boolean selection this state answers.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// Entries pruned by boolean predicates (kept for roll-up).
+    pub fn b_list_len(&self) -> usize {
+        self.b_list.len()
+    }
+
+    /// Entries pruned by domination (kept for drill-down).
+    pub fn d_list_len(&self) -> usize {
+        self.d_list.len()
+    }
+}
+
+/// A completed skyline query: the result, execution metrics, and the saved
+/// state for follow-up drill-down/roll-up queries.
+pub struct SkylineOutcome {
+    /// Skyline tuples as `(tid, preference coordinates)`, in ascending
+    /// coordinate-sum order.
+    pub skyline: Vec<(u64, Vec<f64>)>,
+    /// Execution metrics.
+    pub stats: QueryStats,
+    /// Saved lists for incremental follow-ups.
+    pub state: SkylineState,
+}
+
+/// Answers `SELECT skylines FROM R WHERE selection PREFERENCE BY pref_dims`
+/// with the signature-guided Algorithm 1.
+///
+/// `eager_assembly` controls multi-predicate probes (see
+/// [`crate::store::BooleanProbe`]).
+pub fn skyline_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    eager_assembly: bool,
+) -> SkylineOutcome {
+    // Capture the clock and ledger before probe construction so that eager
+    // assembly's signature loads are part of the measured query cost.
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let probe = db.pcube().probe(&normalize(selection), eager_assembly);
+    skyline_query_inner(db, selection, pref_dims, probe, started, before)
+}
+
+/// Like [`skyline_query`] but with a caller-supplied boolean probe —
+/// used to run the search under alternative pruning structures (e.g. the
+/// lossy Bloom probes of §VII via [`crate::PCube::probe_bloom`]).
+pub fn skyline_query_probed(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    probe: BooleanProbe<'_>,
+) -> SkylineOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    skyline_query_inner(db, selection, pref_dims, probe, started, before)
+}
+
+fn skyline_query_inner(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    mut probe: BooleanProbe<'_>,
+    started: std::time::Instant,
+    before: pcube_storage::IoSnapshot,
+) -> SkylineOutcome {
+    let selection = normalize(selection);
+    let mut heap = CandidateHeap::new();
+    seed_root(db, &mut heap);
+    let mut state = SkylineState {
+        selection,
+        pref_dims: pref_dims.to_vec(),
+        result: Vec::new(),
+        b_list: Vec::new(),
+        d_list: Vec::new(),
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    finish(state, stats)
+}
+
+/// Strengthens the previous query with one more predicate, reconstructing
+/// the candidate heap as `result ∪ d_list` (Lemma 2).
+pub fn skyline_drill_down(db: &PCubeDb, prev: SkylineState, extra: Predicate) -> SkylineOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let mut selection = prev.selection.clone();
+    selection.push(extra);
+    let selection = normalize(&selection);
+    let mut probe = db.pcube().probe(&selection, false);
+    let mut heap = CandidateHeap::new();
+    for r in &prev.result {
+        heap.push(
+            r.score,
+            Candidate::Tuple { tid: r.tid, path: r.path.clone(), coords: r.coords.clone() },
+        );
+    }
+    for e in prev.d_list {
+        heap.push_entry(e);
+    }
+    let mut state = SkylineState {
+        selection,
+        pref_dims: prev.pref_dims,
+        result: Vec::new(),
+        // Entries that failed the old (weaker) predicates still fail.
+        b_list: prev.b_list,
+        d_list: Vec::new(),
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    finish(state, stats)
+}
+
+/// Relaxes the previous query by dropping every predicate on `dim`,
+/// reconstructing the candidate heap as `result ∪ b_list` (Lemma 2).
+pub fn skyline_roll_up(db: &PCubeDb, prev: SkylineState, dim: usize) -> SkylineOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection: Selection =
+        prev.selection.iter().copied().filter(|p| p.dim != dim).collect();
+    let mut probe = db.pcube().probe(&selection, false);
+    let mut heap = CandidateHeap::new();
+    for r in &prev.result {
+        heap.push(
+            r.score,
+            Candidate::Tuple { tid: r.tid, path: r.path.clone(), coords: r.coords.clone() },
+        );
+    }
+    for e in prev.b_list {
+        heap.push_entry(e);
+    }
+    let mut state = SkylineState {
+        selection,
+        pref_dims: prev.pref_dims,
+        result: Vec::new(),
+        b_list: Vec::new(),
+        // Old dominated entries stay dominated: their dominators satisfied
+        // the stricter old predicates, hence also the relaxed ones.
+        d_list: prev.d_list,
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    finish(state, stats)
+}
+
+fn finish(state: SkylineState, stats: QueryStats) -> SkylineOutcome {
+    let skyline = state.result.iter().map(|r| (r.tid, r.coords.clone())).collect();
+    SkylineOutcome { skyline, stats, state }
+}
+
+/// The main loop of Algorithm 1, instantiated for skylines.
+fn run(
+    db: &PCubeDb,
+    probe: &mut BooleanProbe<'_>,
+    heap: &mut CandidateHeap,
+    state: &mut SkylineState,
+    started: std::time::Instant,
+    before: pcube_storage::IoSnapshot,
+) -> QueryStats {
+    let f = MinCoordSum::new(state.pref_dims.clone());
+    let mut stats = QueryStats::default();
+
+    while let Some(entry) = heap.pop() {
+        // prune(): domination first (lines 14–16), then boolean (17–19).
+        if dominated_entry(&entry, state) {
+            state.d_list.push(entry);
+            continue;
+        }
+        if !probe.contains(entry.cand.path()) {
+            state.b_list.push(entry);
+            continue;
+        }
+        match entry.cand {
+            Candidate::Tuple { tid, path, coords } => {
+                // A lossy probe (Bloom, §VII) may pass non-qualifying
+                // tuples; verify against the base table (one counted random
+                // access, like minimal probing) before emitting.
+                if probe.is_lossy() && !state.selection.is_empty() {
+                    let codes = db.relation().fetch(tid);
+                    if !state.selection.iter().all(|p| codes[p.dim] == p.value) {
+                        state.b_list.push(HeapEntry {
+                            score: entry.score,
+                            seq: entry.seq,
+                            cand: Candidate::Tuple { tid, path, coords },
+                        });
+                        continue;
+                    }
+                }
+                let score = entry.score;
+                state.result.push(ResultEntry { tid, coords, path, score });
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                stats.nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    let (cand, score) = match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let s = f.score(&coords);
+                            (Candidate::Tuple { tid, path: child_path, coords }, s)
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let s = f.lower_bound(&mbr);
+                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
+                        }
+                    };
+                    // Lines 10–12: prune before inserting to keep the heap
+                    // (and memory) small.
+                    let e = HeapEntry { score, seq: 0, cand };
+                    if dominated_entry(&e, state) {
+                        state.d_list.push(e);
+                    } else if !probe.contains(e.cand.path()) {
+                        state.b_list.push(e);
+                    } else {
+                        heap.push(e.score, e.cand);
+                    }
+                }
+            }
+        }
+    }
+
+    stats.peak_heap = heap.peak();
+    stats.partials_loaded = probe.partials_loaded();
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    stats
+}
+
+/// Domination pruning: a tuple is pruned if some discovered skyline point
+/// dominates it; a node is pruned if some skyline point dominates its lower
+/// corner (then it dominates everything inside — the BBS rule).
+fn dominated_entry(entry: &HeapEntry, state: &SkylineState) -> bool {
+    let probe_point: &[f64] = match &entry.cand {
+        Candidate::Tuple { coords, .. } => coords,
+        Candidate::Node { mbr, .. } => &mbr.min,
+    };
+    state
+        .result
+        .iter()
+        .any(|r| dominates(&r.coords, probe_point, &state.pref_dims))
+}

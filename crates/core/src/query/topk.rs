@@ -1,0 +1,258 @@
+//! Top-k processing using P-Cube (§V-B): best-first search ordered by the
+//! ranking function's lower bound, with signature-based boolean pruning.
+
+use pcube_cube::{normalize, Predicate, Selection};
+use pcube_rtree::{DecodedEntry, Path};
+
+use crate::pcube::PCubeDb;
+use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats};
+use crate::rank::RankingFunction;
+use crate::store::BooleanProbe;
+
+/// One top-k result.
+#[derive(Debug, Clone)]
+struct ResultEntry {
+    tid: u64,
+    coords: Vec<f64>,
+    path: Path,
+    score: f64,
+}
+
+/// Saved lists for incremental drill-down/roll-up of a top-k query. The
+/// `d_list` holds the remaining search frontier at the moment the k-th
+/// result was found.
+pub struct TopKState {
+    selection: Selection,
+    k: usize,
+    result: Vec<ResultEntry>,
+    b_list: Vec<HeapEntry>,
+    d_list: Vec<HeapEntry>,
+}
+
+impl TopKState {
+    /// The boolean selection this state answers.
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+}
+
+/// A completed top-k query.
+pub struct TopKOutcome {
+    /// `(tid, coordinates, score)` in ascending score order, at most `k`
+    /// entries (fewer if the selection matches fewer tuples).
+    pub topk: Vec<(u64, Vec<f64>, f64)>,
+    /// Execution metrics.
+    pub stats: QueryStats,
+    /// Saved lists for incremental follow-ups.
+    pub state: TopKState,
+}
+
+/// Answers `SELECT top-k FROM R WHERE selection ORDER BY f` with the
+/// signature-guided Algorithm 1.
+///
+/// Because candidates pop in ascending lower-bound order and tuples carry
+/// exact scores, the first `k` qualifying tuples popped *are* the top-k —
+/// the search stops there and saves the remaining frontier for drill-downs.
+pub fn topk_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    eager_assembly: bool,
+) -> TopKOutcome {
+    // Ledger captured before probe construction: eager assembly's loads
+    // count toward the query.
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let probe = db.pcube().probe(&normalize(selection), eager_assembly);
+    topk_query_inner(db, selection, k, f, probe, started, before)
+}
+
+/// Like [`topk_query`] but with a caller-supplied boolean probe (see
+/// [`crate::PCube::probe_bloom`]).
+pub fn topk_query_probed(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    probe: BooleanProbe<'_>,
+) -> TopKOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    topk_query_inner(db, selection, k, f, probe, started, before)
+}
+
+fn topk_query_inner(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    mut probe: BooleanProbe<'_>,
+    started: std::time::Instant,
+    before: pcube_storage::IoSnapshot,
+) -> TopKOutcome {
+    let selection = normalize(selection);
+    let mut heap = CandidateHeap::new();
+    seed_root(db, &mut heap);
+    let mut state = TopKState {
+        selection,
+        k,
+        result: Vec::new(),
+        b_list: Vec::new(),
+        d_list: Vec::new(),
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    finish(state, stats)
+}
+
+/// Strengthens the previous query with one more predicate; the candidate
+/// heap restarts from `result ∪ d_list` (Lemma 2).
+pub fn topk_drill_down(
+    db: &PCubeDb,
+    prev: TopKState,
+    extra: Predicate,
+    f: &dyn RankingFunction,
+) -> TopKOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let mut selection = prev.selection.clone();
+    selection.push(extra);
+    let selection = normalize(&selection);
+    let mut probe = db.pcube().probe(&selection, false);
+    let mut heap = CandidateHeap::new();
+    for r in &prev.result {
+        heap.push(
+            r.score,
+            Candidate::Tuple { tid: r.tid, path: r.path.clone(), coords: r.coords.clone() },
+        );
+    }
+    for e in prev.d_list {
+        heap.push_entry(e);
+    }
+    let mut state = TopKState {
+        selection,
+        k: prev.k,
+        result: Vec::new(),
+        b_list: prev.b_list,
+        d_list: Vec::new(),
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    finish(state, stats)
+}
+
+/// Relaxes the previous query by dropping predicates on `dim`; the heap
+/// restarts from `result ∪ b_list` (Lemma 2).
+pub fn topk_roll_up(
+    db: &PCubeDb,
+    prev: TopKState,
+    dim: usize,
+    f: &dyn RankingFunction,
+) -> TopKOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection: Selection =
+        prev.selection.iter().copied().filter(|p| p.dim != dim).collect();
+    let mut probe = db.pcube().probe(&selection, false);
+    let mut heap = CandidateHeap::new();
+    for r in &prev.result {
+        heap.push(
+            r.score,
+            Candidate::Tuple { tid: r.tid, path: r.path.clone(), coords: r.coords.clone() },
+        );
+    }
+    for e in prev.b_list {
+        heap.push_entry(e);
+    }
+    let mut state = TopKState {
+        selection,
+        k: prev.k,
+        result: Vec::new(),
+        b_list: Vec::new(),
+        // The old frontier's lower bounds are no smaller than the old k-th
+        // score, and the old results still qualify after relaxation, so the
+        // frontier cannot produce a new top-k member (see Lemma 2); it is
+        // kept so later drill-downs retain full coverage.
+        d_list: prev.d_list,
+    };
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    finish(state, stats)
+}
+
+fn finish(state: TopKState, stats: QueryStats) -> TopKOutcome {
+    let topk = state.result.iter().map(|r| (r.tid, r.coords.clone(), r.score)).collect();
+    TopKOutcome { topk, stats, state }
+}
+
+fn run(
+    db: &PCubeDb,
+    probe: &mut BooleanProbe<'_>,
+    heap: &mut CandidateHeap,
+    state: &mut TopKState,
+    f: &dyn RankingFunction,
+    started: std::time::Instant,
+    before: pcube_storage::IoSnapshot,
+) -> QueryStats {
+    let mut stats = QueryStats::default();
+
+    while let Some(entry) = heap.pop() {
+        if state.result.len() >= state.k {
+            // Preference pruning: everything still queued has a lower bound
+            // no better than the k-th result. Save the frontier for
+            // drill-down continuation and stop.
+            state.d_list.push(entry);
+            state.d_list.extend(heap.drain());
+            break;
+        }
+        if !probe.contains(entry.cand.path()) {
+            state.b_list.push(entry);
+            continue;
+        }
+        match entry.cand {
+            Candidate::Tuple { tid, path, coords } => {
+                // Lossy probes (Bloom, §VII) require base-table verification
+                // of candidate results, as in minimal probing.
+                if probe.is_lossy() && !state.selection.is_empty() {
+                    let codes = db.relation().fetch(tid);
+                    if !state.selection.iter().all(|p| codes[p.dim] == p.value) {
+                        state.b_list.push(HeapEntry {
+                            score: entry.score,
+                            seq: entry.seq,
+                            cand: Candidate::Tuple { tid, path, coords },
+                        });
+                        continue;
+                    }
+                }
+                let score = entry.score;
+                state.result.push(ResultEntry { tid, coords, path, score });
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                stats.nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    let (cand, score) = match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let s = f.score(&coords);
+                            (Candidate::Tuple { tid, path: child_path, coords }, s)
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let s = f.lower_bound(&mbr);
+                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
+                        }
+                    };
+                    if !probe.contains(cand.path()) {
+                        state.b_list.push(HeapEntry { score, seq: 0, cand });
+                    } else {
+                        heap.push(score, cand);
+                    }
+                }
+            }
+        }
+    }
+
+    stats.peak_heap = heap.peak();
+    stats.partials_loaded = probe.partials_loaded();
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    stats
+}

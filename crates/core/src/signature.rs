@@ -1,0 +1,407 @@
+//! The in-memory signature: a tree of bit arrays mirroring the R-tree.
+
+use std::collections::HashMap;
+
+use pcube_bitmap::BitArray;
+use pcube_rtree::{Path, Sid};
+
+/// A signature for one cube cell over a shared R-tree partition (§IV-B.1).
+///
+/// For every R-tree node that contains at least one tuple of the cell, the
+/// signature stores a bit array of length `M` (the tree fanout): bit `i` is 1
+/// iff slot `i+1` of that node leads to a tuple of the cell. Nodes with no
+/// such tuple are simply absent — their bit in the parent is 0.
+///
+/// Invariants (checked by [`Signature::validate`]):
+/// * every stored array has at least one set bit;
+/// * for every set bit at a non-leaf node, the child node's array is present;
+/// * every stored non-root node is reachable via a set bit in its parent.
+///
+/// # Example — the paper's (A = a1) cell (Fig 2.a)
+///
+/// ```
+/// use pcube_core::Signature;
+/// use pcube_rtree::Path;
+///
+/// // t1 has path <1,1,1>, t3 has <1,2,1> in the Fig 1 R-tree (M = 2).
+/// let sig = Signature::from_paths(2, [Path(vec![1, 1, 1]), Path(vec![1, 2, 1])].iter());
+/// assert!(sig.contains(&Path(vec![1, 2])));      // node N4 holds a1-data
+/// assert!(!sig.contains(&Path(vec![2])));        // nothing under N2
+/// assert_eq!(sig.node_count(), 4);               // root, N1, N3, N4
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    m_max: usize,
+    nodes: HashMap<Sid, BitArray>,
+}
+
+impl Signature {
+    /// An empty signature (no tuple of the cell anywhere) for fanout `m_max`.
+    pub fn empty(m_max: usize) -> Self {
+        Signature { m_max, nodes: HashMap::new() }
+    }
+
+    /// Builds the signature from the cell's tuple paths.
+    ///
+    /// This is the tuple-oriented generation of §IV-B.1: group the relation
+    /// by the cuboid, and for each cell turn its tuples' `path` column into
+    /// the bit tree. (The paper describes it as a recursive sort; setting
+    /// bits per path prefix computes the identical result in one pass.)
+    ///
+    /// # Panics
+    /// Panics if a path position exceeds `m_max`.
+    pub fn from_paths<'a>(m_max: usize, paths: impl IntoIterator<Item = &'a Path>) -> Self {
+        let mut sig = Signature::empty(m_max);
+        for path in paths {
+            sig.set_path(path);
+        }
+        sig
+    }
+
+    /// The fanout this signature was built for (bit-array length).
+    pub fn m_max(&self) -> usize {
+        self.m_max
+    }
+
+    /// Number of stored node arrays.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of set bits across all nodes.
+    pub fn bit_count(&self) -> usize {
+        self.nodes.values().map(BitArray::count_ones).sum()
+    }
+
+    /// `true` if the signature covers no tuple.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The bit array of the node at `sid`, if present.
+    pub fn node(&self, sid: Sid) -> Option<&BitArray> {
+        self.nodes.get(&sid)
+    }
+
+    /// Iterates over `(sid, bits)` pairs in unspecified order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (Sid, &BitArray)> {
+        self.nodes.iter().map(|(s, b)| (*s, b))
+    }
+
+    /// Inserts a decoded node array (used when reassembling from partials).
+    ///
+    /// # Panics
+    /// Panics if the array length differs from `m_max`.
+    pub fn insert_node(&mut self, sid: Sid, bits: BitArray) {
+        assert_eq!(bits.len(), self.m_max, "node array length must equal M");
+        self.nodes.insert(sid, bits);
+    }
+
+    /// Sets the bits for every prefix of `path` (marks the tuple present).
+    pub fn set_path(&mut self, path: &Path) {
+        for level in 0..path.depth() {
+            let node_sid = path.prefix(level).sid(self.m_max);
+            let pos = path.0[level] as usize - 1;
+            assert!(pos < self.m_max, "path position exceeds fanout");
+            self.nodes
+                .entry(node_sid)
+                .or_insert_with(|| BitArray::zeros(self.m_max))
+                .set(pos, true);
+        }
+    }
+
+    /// Clears the leaf-most bit of `path` and prunes emptied ancestors.
+    ///
+    /// Correct only when no *other* tuple of the cell shares the full path
+    /// (paths are unique per tuple, so this holds by construction).
+    pub fn clear_path(&mut self, path: &Path) {
+        for level in (0..path.depth()).rev() {
+            let node_sid = path.prefix(level).sid(self.m_max);
+            let pos = path.0[level] as usize - 1;
+            // Only clear the parent bit if the child subtree became empty.
+            if level + 1 < path.depth() {
+                let child_sid = path.prefix(level + 1).sid(self.m_max);
+                if self.nodes.contains_key(&child_sid) {
+                    break;
+                }
+            }
+            let Some(bits) = self.nodes.get_mut(&node_sid) else { break };
+            bits.set(pos, false);
+            if bits.all_zero() {
+                self.nodes.remove(&node_sid);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// `true` if every prefix bit along `path` is set — i.e. the subtree or
+    /// tuple at `path` contains data of this cell.
+    pub fn contains(&self, path: &Path) -> bool {
+        for level in 0..path.depth() {
+            let node_sid = path.prefix(level).sid(self.m_max);
+            let pos = path.0[level] as usize - 1;
+            match self.nodes.get(&node_sid) {
+                Some(bits) if bits.get(pos) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// The union operator: bit-or of both signatures (§IV-B.2, Fig 3.b).
+    ///
+    /// # Panics
+    /// Panics on fanout mismatch.
+    pub fn union(&self, other: &Signature) -> Signature {
+        assert_eq!(self.m_max, other.m_max, "union of signatures over different partitions");
+        let mut out = self.clone();
+        for (sid, bits) in &other.nodes {
+            match out.nodes.get_mut(sid) {
+                Some(mine) => mine.or_assign(bits),
+                None => {
+                    out.nodes.insert(*sid, bits.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The intersection operator with the recursive fix-up (§IV-B.2,
+    /// Fig 3.c): a bit stays 1 only if it is 1 in both inputs *and* (for
+    /// non-leaf levels) the intersected child subtree is non-empty.
+    ///
+    /// `height` is the R-tree height (1 = root is a leaf); bits at depth
+    /// `height - 1` refer to tuples and need no child check.
+    ///
+    /// # Panics
+    /// Panics on fanout mismatch.
+    pub fn intersect(&self, other: &Signature, height: usize) -> Signature {
+        assert_eq!(self.m_max, other.m_max, "intersection over different partitions");
+        let mut out = Signature::empty(self.m_max);
+        self.intersect_rec(other, &Path::root(), height, &mut out);
+        out
+    }
+
+    /// Recursively intersects the subtree at `node_path`; returns `true` if
+    /// any bit survives (so the parent keeps its bit).
+    fn intersect_rec(
+        &self,
+        other: &Signature,
+        node_path: &Path,
+        height: usize,
+        out: &mut Signature,
+    ) -> bool {
+        let sid = node_path.sid(self.m_max);
+        let (Some(a), Some(b)) = (self.nodes.get(&sid), other.nodes.get(&sid)) else {
+            return false;
+        };
+        let mut bits = a.clone();
+        bits.and_assign(b);
+        if node_path.depth() + 1 < height {
+            // Internal node: verify each surviving bit's child recursively.
+            let set: Vec<usize> = bits.iter_ones().collect();
+            for pos in set {
+                let child = node_path.child(pos as u16 + 1);
+                if !self.intersect_rec(other, &child, height, out) {
+                    bits.set(pos, false);
+                }
+            }
+        }
+        if bits.all_zero() {
+            return false;
+        }
+        out.nodes.insert(sid, bits);
+        true
+    }
+
+    /// Checks the structural invariants given the R-tree `height`.
+    ///
+    /// # Panics
+    /// Panics with a description of the violated invariant.
+    pub fn validate(&self, height: usize) {
+        if self.nodes.is_empty() {
+            return;
+        }
+        assert!(self.nodes.contains_key(&Sid::ROOT), "non-empty signature must have a root");
+        let mut reachable = 0usize;
+        let mut stack = vec![Path::root()];
+        while let Some(p) = stack.pop() {
+            let sid = p.sid(self.m_max);
+            let bits = self.nodes.get(&sid).expect("set bit points at a missing child node");
+            assert!(!bits.all_zero(), "stored node {sid} is all-zero");
+            reachable += 1;
+            if p.depth() + 1 < height {
+                for pos in bits.iter_ones() {
+                    stack.push(p.child(pos as u16 + 1));
+                }
+            }
+        }
+        assert_eq!(reachable, self.nodes.len(), "unreachable node arrays present");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tuple paths of Table I in the paper (M = 2).
+    fn table1_paths() -> Vec<(u64, Path)> {
+        vec![
+            (1, Path(vec![1, 1, 1])),
+            (2, Path(vec![1, 1, 2])),
+            (3, Path(vec![1, 2, 1])),
+            (4, Path(vec![1, 2, 2])),
+            (5, Path(vec![2, 1, 1])),
+            (6, Path(vec![2, 1, 2])),
+            (7, Path(vec![2, 2, 1])),
+            (8, Path(vec![2, 2, 2])),
+        ]
+    }
+
+    fn cell_signature(tids: &[u64]) -> Signature {
+        let all = table1_paths();
+        let paths: Vec<Path> =
+            all.iter().filter(|(t, _)| tids.contains(t)).map(|(_, p)| p.clone()).collect();
+        Signature::from_paths(2, paths.iter())
+    }
+
+    fn bits(sig: &Signature, path: &[u16]) -> String {
+        let sid = Path(path.to_vec()).sid(2);
+        match sig.node(sid) {
+            None => "--".into(),
+            Some(b) => (0..2).map(|i| if b.get(i) { '1' } else { '0' }).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_figure2a_a1_signature() {
+        // Cell (A = a1) holds t1 <1,1,1> and t3 <1,2,1>. Fig 2.a: root 10,
+        // N1 11, N3 10, N4 10.
+        let sig = cell_signature(&[1, 3]);
+        assert_eq!(bits(&sig, &[]), "10");
+        assert_eq!(bits(&sig, &[1]), "11");
+        assert_eq!(bits(&sig, &[1, 1]), "10");
+        assert_eq!(bits(&sig, &[1, 2]), "10");
+        assert_eq!(bits(&sig, &[2]), "--");
+        assert_eq!(sig.node_count(), 4);
+        // Fig 1's tree has three node levels (root, N1/N2, N3..N6), so
+        // height = 3; bits at depth-2 nodes refer to tuples.
+        sig.validate(3);
+    }
+
+    #[test]
+    fn contains_follows_bits() {
+        let sig = cell_signature(&[1, 3]);
+        assert!(sig.contains(&Path(vec![1])));
+        assert!(sig.contains(&Path(vec![1, 2])));
+        assert!(sig.contains(&Path(vec![1, 2, 1]))); // t3 itself
+        assert!(!sig.contains(&Path(vec![1, 2, 2]))); // t4 is a3
+        assert!(!sig.contains(&Path(vec![2])));
+        assert!(!sig.contains(&Path(vec![2, 1, 1])));
+        assert!(sig.contains(&Path::root()), "root is vacuously contained");
+    }
+
+    #[test]
+    fn paper_figure3_union_and_intersection() {
+        // Fig 3: (A=a2) covers t2 <1,1,2>, t6 <2,1,2>;
+        //        (B=b2) covers t2 <1,1,2>, t7 <2,2,1>.
+        let a2 = cell_signature(&[2, 6]);
+        let b2 = cell_signature(&[2, 7]);
+
+        // Union (Fig 3.b): root 11, N1 10, N2 11, N3 01, N5 01, N6 10.
+        let u = a2.union(&b2);
+        assert_eq!(bits(&u, &[]), "11");
+        assert_eq!(bits(&u, &[1]), "10");
+        assert_eq!(bits(&u, &[2]), "11");
+        assert_eq!(bits(&u, &[1, 1]), "01");
+        assert_eq!(bits(&u, &[2, 1]), "01");
+        assert_eq!(bits(&u, &[2, 2]), "10");
+
+        // Intersection (Fig 3.c): only t2 survives; the N2 subtree dies via
+        // the recursive fix-up (a2 has t6 under N5, b2 has t7 under N6 —
+        // their bit-and at N2 level is 10&01 = 00).
+        let i = a2.intersect(&b2, 3);
+        assert_eq!(bits(&i, &[]), "10");
+        assert_eq!(bits(&i, &[1]), "10");
+        assert_eq!(bits(&i, &[1, 1]), "01");
+        assert_eq!(bits(&i, &[2]), "--");
+        i.validate(3);
+        assert!(i.contains(&Path(vec![1, 1, 2])));
+        assert!(!i.contains(&Path(vec![2, 1, 2])));
+    }
+
+    #[test]
+    fn intersection_fixup_clears_parent_bits() {
+        // a3 = {t4 <1,2,2>, t8 <2,2,2>}, b1 = {t1 <1,1,1>, t3... wait b1 = t1,t3? No:
+        // From Table I: B=b1 rows are t1, t3, t5 — paths <1,1,1>, <1,2,1>, <2,1,1>.
+        let a3 = cell_signature(&[4, 8]);
+        let b1 = cell_signature(&[1, 3, 5]);
+        // a3 ∧ b1: no tuple has both A=a3 and B=b1 → empty after fix-up,
+        // even though node-level bit-ands are non-zero (both have bits under
+        // N1 and the root).
+        let i = a3.intersect(&b1, 3);
+        assert!(i.is_empty(), "got {i:?}");
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = cell_signature(&[1, 3]);
+        let e = Signature::empty(2);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+        assert!(e.intersect(&a, 3).is_empty());
+    }
+
+    #[test]
+    fn set_then_clear_roundtrips_to_empty() {
+        let mut sig = Signature::empty(3);
+        let p1 = Path(vec![1, 2]);
+        let p2 = Path(vec![1, 3]);
+        sig.set_path(&p1);
+        sig.set_path(&p2);
+        // Depth-2 tuple paths mean two node levels: height = 2.
+        sig.validate(2);
+        assert!(sig.contains(&p1) && sig.contains(&p2));
+        sig.clear_path(&p1);
+        sig.validate(2);
+        assert!(!sig.contains(&p1));
+        assert!(sig.contains(&p2), "sibling must survive");
+        sig.clear_path(&p2);
+        assert!(sig.is_empty());
+    }
+
+    #[test]
+    fn clear_path_keeps_shared_prefixes() {
+        let mut sig = Signature::empty(2);
+        sig.set_path(&Path(vec![1, 1, 1]));
+        sig.set_path(&Path(vec![1, 1, 2]));
+        sig.clear_path(&Path(vec![1, 1, 1]));
+        assert!(sig.contains(&Path(vec![1, 1, 2])));
+        assert!(!sig.contains(&Path(vec![1, 1, 1])));
+        assert!(sig.contains(&Path(vec![1, 1])), "shared internal node stays");
+        sig.validate(3);
+    }
+
+    #[test]
+    fn from_paths_equals_incremental_sets() {
+        let paths: Vec<Path> = table1_paths().into_iter().map(|(_, p)| p).collect();
+        let bulk = Signature::from_paths(2, paths.iter());
+        let mut inc = Signature::empty(2);
+        for p in &paths {
+            inc.set_path(p);
+        }
+        assert_eq!(bulk, inc);
+        // Full table: every node fully set.
+        assert_eq!(bulk.node_count(), 7);
+        assert_eq!(bulk.bit_count(), 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_fanout_union_panics() {
+        let a = Signature::empty(2);
+        let b = Signature::empty(3);
+        let _ = a.union(&b);
+    }
+}

@@ -1,0 +1,751 @@
+//! On-disk signature storage and lazy retrieval (§IV-B.2).
+//!
+//! "All signatures are stored on disk and indexed by the cell ID and the
+//! root (of the sub-tree) SID. During query processing, we load the partial
+//! signatures p only if the node encoded within p is requested."
+//!
+//! Each partial signature occupies one page of a dedicated pager (charged to
+//! [`IoCategory::SignaturePage`]); the directory mapping
+//! `(cell id, reference SID) → page` is a [`BPlusTree`] charged to
+//! [`IoCategory::BptreePage`]. A [`SignatureCursor`] loads partials on
+//! demand following the paper's rule: to resolve a node, try the partial
+//! referenced by the root, then by the first-level ancestor on the node's
+//! path, then the second level, and so on.
+
+use std::collections::{HashMap, HashSet};
+
+use pcube_bitmap::BitArray;
+use pcube_bptree::{composite_key, split_key, BPlusTree};
+use pcube_rtree::{Path, Sid};
+use pcube_storage::{read_u32, write_u32, IoCategory, Pager};
+
+use crate::encode::{decode_partial, decompose, encode_partial, PartialSignature};
+use crate::signature::Signature;
+
+const RECORD_HEADER: usize = 4; // per-partial payload length u32
+
+/// Disk-resident store of compressed, decomposed signatures for many cells.
+///
+/// Partial signatures of one cell are packed contiguously: several small
+/// partials may share a page (each is still no larger than a page, as the
+/// decomposition guarantees). The directory value encodes `(page, offset)`
+/// so a partial load is exactly one signature-page read.
+pub struct SignatureStore {
+    pager: Pager,
+    directory: BPlusTree,
+    m_max: usize,
+    height: usize,
+    payload_limit: usize,
+}
+
+impl SignatureStore {
+    /// Creates an empty store.
+    ///
+    /// `sig_pager` holds partial-signature pages (category
+    /// [`IoCategory::SignaturePage`]); `dir_pager` backs the directory
+    /// B+-tree. `m_max`/`height` are the R-tree fanout and height the
+    /// signatures were generated over.
+    pub fn new(sig_pager: Pager, dir_pager: Pager, m_max: usize, height: usize) -> Self {
+        assert_eq!(
+            sig_pager.category(),
+            IoCategory::SignaturePage,
+            "signature pages must be charged to the SignaturePage category"
+        );
+        let payload_limit = sig_pager.page_size() - RECORD_HEADER;
+        // Directory upper levels are pinned: the buffer-pool assumption any
+        // 2008-era system would make for a hot index's internal pages.
+        let mut directory = BPlusTree::new(dir_pager);
+        directory.set_internal_pinning(true);
+        SignatureStore {
+            pager: sig_pager,
+            directory,
+            m_max,
+            height,
+            payload_limit,
+        }
+    }
+
+    /// Decomposes the store for persistence: `(signature pager, directory
+    /// tree, m_max, height)`.
+    pub fn into_parts(self) -> (Pager, BPlusTree, usize, usize) {
+        (self.pager, self.directory, self.m_max, self.height)
+    }
+
+    /// Borrowed view of the parts (for serialization without consuming).
+    pub fn parts_ref(&self) -> (&Pager, &BPlusTree, usize, usize) {
+        (&self.pager, &self.directory, self.m_max, self.height)
+    }
+
+    /// Re-opens a store from deserialized parts.
+    pub fn from_parts(pager: Pager, mut directory: BPlusTree, m_max: usize, height: usize) -> Self {
+        directory.set_internal_pinning(true);
+        let payload_limit = pager.page_size() - RECORD_HEADER;
+        SignatureStore { pager, directory, m_max, height, payload_limit }
+    }
+
+    /// The R-tree fanout signatures are sized for.
+    pub fn m_max(&self) -> usize {
+        self.m_max
+    }
+
+    /// The R-tree height used for decomposition and intersection.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Updates the height (after R-tree growth during maintenance).
+    pub fn set_height(&mut self, height: usize) {
+        self.height = height;
+    }
+
+    /// Total bytes of live signature pages plus the directory.
+    pub fn size_bytes(&self) -> u64 {
+        self.pager.size_bytes() + self.directory.pager().size_bytes()
+    }
+
+    /// Number of stored partial signatures.
+    pub fn partial_count(&self) -> u64 {
+        self.directory.len()
+    }
+
+    fn dir_key(cell: u32, sid: Sid) -> u64 {
+        let sid32 = u32::try_from(sid.0)
+            .expect("partial-root SID exceeds u32 — tree too deep for the directory key layout");
+        composite_key(cell, sid32)
+    }
+
+    fn locator(page: pcube_storage::PageId, offset: usize) -> u64 {
+        (u64::from(page.0) << 32) | offset as u64
+    }
+
+    fn unpack_locator(loc: u64) -> (pcube_storage::PageId, usize) {
+        (pcube_storage::PageId((loc >> 32) as u32), (loc & 0xFFFF_FFFF) as usize)
+    }
+
+    /// Writes (or replaces) the signature of `cell`, packing its partials
+    /// contiguously across as few pages as possible.
+    pub fn write_signature(&mut self, cell: u32, sig: &Signature) {
+        assert_eq!(sig.m_max(), self.m_max, "fanout mismatch");
+        self.delete_signature(cell);
+        let page_size = self.pager.page_size();
+        let mut page = vec![0u8; page_size];
+        let mut used = 0usize;
+        let mut pid: Option<pcube_storage::PageId> = None;
+        for partial in decompose(sig, self.height, self.payload_limit) {
+            let bytes = encode_partial(&partial);
+            assert!(bytes.len() <= self.payload_limit, "partial exceeds page payload");
+            if pid.is_none() || used + RECORD_HEADER + bytes.len() > page_size {
+                if let Some(full) = pid.take() {
+                    self.pager.write(full, &page);
+                }
+                page.fill(0);
+                used = 0;
+                pid = Some(self.pager.allocate());
+            }
+            write_u32(&mut page, used, bytes.len() as u32);
+            page[used + RECORD_HEADER..used + RECORD_HEADER + bytes.len()]
+                .copy_from_slice(&bytes);
+            let old = self.directory.insert(
+                Self::dir_key(cell, partial.root_sid),
+                Self::locator(pid.unwrap(), used),
+            );
+            assert!(old.is_none(), "duplicate partial reference for cell {cell}");
+            used += RECORD_HEADER + bytes.len();
+        }
+        if let Some(last) = pid {
+            self.pager.write(last, &page);
+        }
+    }
+
+    /// Removes all partials of `cell` (no-op if absent).
+    pub fn delete_signature(&mut self, cell: u32) {
+        let keys: Vec<(u64, u64)> = self
+            .directory
+            .range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+            .collect();
+        let mut freed = std::collections::HashSet::new();
+        for (key, loc) in keys {
+            self.directory.remove(key);
+            let (page, _) = Self::unpack_locator(loc);
+            if freed.insert(page) {
+                self.pager.free(page);
+            }
+        }
+    }
+
+    /// Loads one partial by its reference SID, charging one signature-page
+    /// read (plus the directory descent). `None` if no such partial.
+    pub fn load_partial(&self, cell: u32, ref_sid: Sid) -> Option<PartialSignature> {
+        let loc = self.directory.get(Self::dir_key(cell, ref_sid))?;
+        Some(self.load_partial_at(loc))
+    }
+
+    /// Loads a partial straight from its locator (one signature-page read).
+    fn load_partial_at(&self, loc: u64) -> PartialSignature {
+        let (pid, offset) = Self::unpack_locator(loc);
+        let page = self.pager.read(pid);
+        let len = read_u32(page, offset) as usize;
+        decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len])
+            .expect("stored partial must decode")
+    }
+
+    /// All `(reference SID, locator)` pairs of a cell, via one directory
+    /// range scan (the refs are contiguous in key space, so this typically
+    /// costs a descent plus one leaf page).
+    fn locators_of(&self, cell: u32) -> HashMap<Sid, u64> {
+        self.directory
+            .range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+            .map(|(k, loc)| (Sid(u64::from(split_key(k).1)), loc))
+            .collect()
+    }
+
+    /// Loads and reassembles the complete signature of `cell` (used by
+    /// maintenance and eager multi-predicate assembly). Charges one read per
+    /// partial plus the directory scan.
+    pub fn load_full(&self, cell: u32) -> Signature {
+        let mut sig = Signature::empty(self.m_max);
+        for (_, loc) in
+            self.directory.range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+        {
+            let (pid, offset) = Self::unpack_locator(loc);
+            let page = self.pager.read(pid);
+            let len = read_u32(page, offset) as usize;
+            let partial =
+                decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len])
+                    .expect("stored partial must decode");
+            for (sid, bits) in partial.nodes {
+                let mut b = bits;
+                b.grow(self.m_max);
+                sig.insert_node(sid, b);
+            }
+        }
+        sig
+    }
+
+    /// The paper's in-place maintenance fast path for pure insertions
+    /// (§IV-B.3): "we then load those partial signatures containing the
+    /// path, and flip the corresponding entries from 0 to 1."
+    ///
+    /// Flips the bits along every path in `sets` inside the partials that
+    /// already encode the touched nodes; nodes the cell never reached before
+    /// are appended as fresh partials (referenced by the first new node on
+    /// the path, so the cursor's root-then-deeper retrieval rule still finds
+    /// them). Returns `false` — leaving the store completely untouched — if
+    /// the edit cannot be done in place (a rewritten page would overflow, or
+    /// the cell has no signature yet); callers then fall back to
+    /// [`SignatureStore::write_signature`].
+    pub fn apply_sets_in_place(&mut self, cell: u32, sets: &[Path]) -> bool {
+        if sets.is_empty() {
+            return true;
+        }
+        // Locators of every existing partial of the cell.
+        let locators: Vec<(Sid, (pcube_storage::PageId, usize))> = self
+            .directory
+            .range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+            .map(|(k, loc)| (Sid(u64::from(split_key(k).1)), Self::unpack_locator(loc)))
+            .collect();
+        if locators.is_empty() {
+            return false;
+        }
+        let ref_set: HashMap<Sid, (pcube_storage::PageId, usize)> =
+            locators.iter().copied().collect();
+
+        // Lazily loaded partials by reference, plus which got modified.
+        let mut loaded: HashMap<Sid, PartialSignature> = HashMap::new();
+        let mut modified: HashSet<Sid> = HashSet::new();
+        // Brand-new nodes created by this batch, keyed by node SID.
+        let mut added: HashMap<Sid, BitArray> = HashMap::new();
+        let mut added_order: Vec<Sid> = Vec::new();
+
+        for path in sets {
+            for level in 0..path.depth() {
+                let node_path = path.prefix(level);
+                let node_sid = node_path.sid(self.m_max);
+                let pos = path.0[level] as usize - 1;
+                if let Some(bits) = added.get_mut(&node_sid) {
+                    bits.set(pos, true);
+                    continue;
+                }
+                // Find the partial encoding this node by the retrieval rule.
+                let mut found: Option<Sid> = None;
+                for l in 0..=node_path.depth() {
+                    let r = node_path.prefix(l).sid(self.m_max);
+                    if !ref_set.contains_key(&r) {
+                        continue;
+                    }
+                    let partial = match loaded.entry(r) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let p = self
+                                .load_partial(cell, r)
+                                .expect("directory entry must resolve");
+                            v.insert(p)
+                        }
+                    };
+                    if partial.nodes.iter().any(|(s, _)| *s == node_sid) {
+                        found = Some(r);
+                        break;
+                    }
+                }
+                match found {
+                    Some(r) => {
+                        let partial = loaded.get_mut(&r).unwrap();
+                        let (_, bits) =
+                            partial.nodes.iter_mut().find(|(s, _)| *s == node_sid).unwrap();
+                        bits.grow(self.m_max);
+                        bits.set(pos, true);
+                        modified.insert(r);
+                    }
+                    None => {
+                        // New node for this cell.
+                        let mut bits = BitArray::zeros(self.m_max);
+                        bits.set(pos, true);
+                        added.insert(node_sid, bits);
+                        added_order.push(node_sid);
+                    }
+                }
+            }
+        }
+
+        // Re-encode every page that hosts a modified partial and verify it
+        // still fits BEFORE touching the store.
+        let mut pages: HashMap<pcube_storage::PageId, Vec<Sid>> = HashMap::new();
+        for (r, (pid, _)) in &ref_set {
+            pages.entry(*pid).or_default().push(*r);
+        }
+        // (page, new contents, per-record (ref, new offset)) per rewritten page
+        type PageRewrite = (pcube_storage::PageId, Vec<u8>, Vec<(Sid, usize)>);
+        let mut page_rewrites: Vec<PageRewrite> = Vec::new();
+        let affected_pages: HashSet<pcube_storage::PageId> =
+            modified.iter().map(|r| ref_set[r].0).collect();
+        for pid in affected_pages {
+            let mut refs = pages.remove(&pid).unwrap_or_default();
+            refs.sort_by_key(|r| ref_set[r].1); // original record order
+            let mut new_page = vec![0u8; self.pager.page_size()];
+            let mut used = 0usize;
+            let mut new_offsets = Vec::with_capacity(refs.len());
+            for r in refs {
+                let bytes = if modified.contains(&r) {
+                    encode_partial(&loaded[&r])
+                } else {
+                    // Copy the untouched record verbatim.
+                    let (p, off) = ref_set[&r];
+                    let page = self.pager.read_uncounted(p);
+                    let len = read_u32(page, off) as usize;
+                    page[off + RECORD_HEADER..off + RECORD_HEADER + len].to_vec()
+                };
+                if used + RECORD_HEADER + bytes.len() > new_page.len() {
+                    return false; // would overflow: fall back to full rewrite
+                }
+                write_u32(&mut new_page, used, bytes.len() as u32);
+                new_page[used + RECORD_HEADER..used + RECORD_HEADER + bytes.len()]
+                    .copy_from_slice(&bytes);
+                new_offsets.push((r, used));
+                used += RECORD_HEADER + bytes.len();
+            }
+            page_rewrites.push((pid, new_page, new_offsets));
+        }
+
+        // Group new nodes into chain partials headed by the shallowest new
+        // node on each path, and verify each fits a page.
+        let mut new_partials: Vec<PartialSignature> = Vec::new();
+        let mut claimed: HashSet<Sid> = HashSet::new();
+        for &head in &added_order {
+            if claimed.contains(&head) {
+                continue;
+            }
+            let head_path = Path::from_sid(head, self.m_max);
+            let mut nodes: Vec<(Sid, BitArray)> = Vec::new();
+            // BFS order over this batch's new nodes under `head`.
+            let mut members: Vec<(Path, Sid)> = added_order
+                .iter()
+                .filter(|s| !claimed.contains(s))
+                .map(|&s| (Path::from_sid(s, self.m_max), s))
+                .filter(|(p, _)| head_path.is_prefix_of(p))
+                .collect();
+            members.sort_by_key(|(p, _)| p.depth());
+            for (_, s) in members {
+                claimed.insert(s);
+                nodes.push((s, added[&s].clone()));
+            }
+            let partial = PartialSignature { root_sid: head, nodes };
+            if encode_partial(&partial).len() > self.payload_limit
+                || u32::try_from(head.0).is_err()
+            {
+                return false;
+            }
+            new_partials.push(partial);
+        }
+
+        // All feasible: commit. 1) rewrite pages + fix shifted offsets.
+        for (pid, page, offsets) in page_rewrites {
+            self.pager.write(pid, &page);
+            for (r, off) in offsets {
+                if ref_set[&r].1 != off {
+                    self.directory.insert(Self::dir_key(cell, r), Self::locator(pid, off));
+                }
+            }
+        }
+        // 2) append new partials, packed onto fresh pages.
+        if !new_partials.is_empty() {
+            let page_size = self.pager.page_size();
+            let mut page = vec![0u8; page_size];
+            let mut used = 0usize;
+            let mut pid: Option<pcube_storage::PageId> = None;
+            for partial in &new_partials {
+                let bytes = encode_partial(partial);
+                if pid.is_none() || used + RECORD_HEADER + bytes.len() > page_size {
+                    if let Some(full) = pid.take() {
+                        self.pager.write(full, &page);
+                    }
+                    page.fill(0);
+                    used = 0;
+                    pid = Some(self.pager.allocate());
+                }
+                write_u32(&mut page, used, bytes.len() as u32);
+                page[used + RECORD_HEADER..used + RECORD_HEADER + bytes.len()]
+                    .copy_from_slice(&bytes);
+                let old = self.directory.insert(
+                    Self::dir_key(cell, partial.root_sid),
+                    Self::locator(pid.unwrap(), used),
+                );
+                assert!(old.is_none(), "new partial must have a fresh reference");
+                used += RECORD_HEADER + bytes.len();
+            }
+            if let Some(last) = pid {
+                self.pager.write(last, &page);
+            }
+        }
+        true
+    }
+
+    /// All reference SIDs stored for `cell` (test/diagnostic helper).
+    pub fn partial_refs(&self, cell: u32) -> Vec<Sid> {
+        self.directory
+            .range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+            .map(|(k, _)| Sid(u64::from(split_key(k).1)))
+            .collect()
+    }
+
+    /// Opens a lazily-loading cursor over `cell`'s signature.
+    pub fn cursor(&self, cell: u32) -> SignatureCursor<'_> {
+        SignatureCursor {
+            store: self,
+            cell,
+            nodes: HashMap::new(),
+            tried_refs: HashSet::new(),
+            locators: None,
+            partials_loaded: 0,
+        }
+    }
+}
+
+/// Lazily materializes one cell's signature during query processing,
+/// loading a partial only when a node it encodes is first requested.
+pub struct SignatureCursor<'a> {
+    store: &'a SignatureStore,
+    cell: u32,
+    nodes: HashMap<Sid, BitArray>,
+    tried_refs: HashSet<Sid>,
+    /// Reference→locator map, fetched with one directory range scan on
+    /// first use (a cell's directory entries are contiguous).
+    locators: Option<HashMap<Sid, u64>>,
+    partials_loaded: u64,
+}
+
+impl SignatureCursor<'_> {
+    /// Number of partial signatures loaded so far (the `SSig` metric).
+    pub fn partials_loaded(&self) -> u64 {
+        self.partials_loaded
+    }
+
+    /// `true` if the subtree/tuple at `path` contains data of this cell —
+    /// the boolean-prune test of Algorithm 1. Loads partials on demand.
+    pub fn contains(&mut self, path: &Path) -> bool {
+        for level in 0..path.depth() {
+            let node_path = path.prefix(level);
+            let pos = path.0[level] as usize - 1;
+            match self.node_bits(&node_path) {
+                Some(bits) if bits.get(pos) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// The bit array of the node at `node_path`, if the cell has data there.
+    fn node_bits(&mut self, node_path: &Path) -> Option<&BitArray> {
+        let sid = node_path.sid(self.store.m_max);
+        if !self.nodes.contains_key(&sid) {
+            if self.locators.is_none() {
+                self.locators = Some(self.store.locators_of(self.cell));
+            }
+            // Paper's retrieval rule: try the partial referenced by the
+            // root, then by deeper and deeper ancestors along the path.
+            for level in 0..=node_path.depth() {
+                let ref_sid = node_path.prefix(level).sid(self.store.m_max);
+                if !self.tried_refs.insert(ref_sid) {
+                    continue;
+                }
+                if let Some(&loc) = self.locators.as_ref().unwrap().get(&ref_sid) {
+                    let partial = self.store.load_partial_at(loc);
+                    self.partials_loaded += 1;
+                    for (s, bits) in partial.nodes {
+                        let mut b = bits;
+                        b.grow(self.store.m_max);
+                        self.nodes.entry(s).or_insert(b);
+                    }
+                }
+                if self.nodes.contains_key(&sid) {
+                    break;
+                }
+            }
+        }
+        self.nodes.get(&sid)
+    }
+}
+
+/// The boolean-pruning side of Algorithm 1: answers "may the subtree/tuple
+/// at this path contain data satisfying the selection?".
+///
+/// * [`BooleanProbe::All`] — no predicates (`BP = ∅`), prunes nothing.
+/// * [`BooleanProbe::Single`] — one predicate, one lazily-loaded signature.
+/// * [`BooleanProbe::IntersectLazy`] — k predicates ANDed across k lazy
+///   cursors. Exact for tuples; conservative (never over-prunes) for
+///   internal nodes because the recursive emptiness fix-up is skipped.
+/// * [`BooleanProbe::Assembled`] — k signatures loaded fully and intersected
+///   with the fix-up (Fig 3.c) before the search; tightest pruning, highest
+///   up-front load cost. The `assemble-eager` ablation compares the two.
+/// * [`BooleanProbe::Bloom`] — the lossy Bloom-filter summaries of §VII,
+///   ANDed across predicates; sound but with false positives.
+pub enum BooleanProbe<'a> {
+    /// No boolean predicate.
+    All,
+    /// Exactly one predicate.
+    Single(SignatureCursor<'a>),
+    /// Conjunction evaluated lazily across per-predicate cursors.
+    IntersectLazy(Vec<SignatureCursor<'a>>),
+    /// Conjunction assembled eagerly into one in-memory signature.
+    Assembled(Signature),
+    /// Lossy Bloom summaries (§VII), one per predicate, ANDed.
+    Bloom(Vec<crate::bloom::BloomSignature>),
+}
+
+impl BooleanProbe<'_> {
+    /// `true` if the path may contain qualifying data (never a false
+    /// negative; see the variant docs for false-positive behaviour).
+    pub fn contains(&mut self, path: &Path) -> bool {
+        match self {
+            BooleanProbe::All => true,
+            BooleanProbe::Single(c) => c.contains(path),
+            BooleanProbe::IntersectLazy(cs) => cs.iter_mut().all(|c| c.contains(path)),
+            BooleanProbe::Assembled(sig) => sig.contains(path),
+            BooleanProbe::Bloom(filters) => filters.iter().all(|f| f.contains(path)),
+        }
+    }
+
+    /// `true` if the probe can report false positives (lossy Bloom
+    /// summaries). Query processors must then verify candidate result
+    /// tuples against the base table before emitting them.
+    pub fn is_lossy(&self) -> bool {
+        matches!(self, BooleanProbe::Bloom(_))
+    }
+
+    /// Partial signatures loaded by the underlying cursors.
+    pub fn partials_loaded(&self) -> u64 {
+        match self {
+            BooleanProbe::All | BooleanProbe::Assembled(_) | BooleanProbe::Bloom(_) => 0,
+            BooleanProbe::Single(c) => c.partials_loaded(),
+            BooleanProbe::IntersectLazy(cs) => cs.iter().map(|c| c.partials_loaded()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcube_storage::{IoStats, SharedStats, PAGE_SIZE};
+
+    fn store_with(page_size: usize) -> (SignatureStore, SharedStats) {
+        let stats = IoStats::new_shared();
+        let sig_pager = Pager::new(page_size, IoCategory::SignaturePage, stats.clone());
+        let dir_pager = Pager::new(PAGE_SIZE, IoCategory::BptreePage, stats.clone());
+        (SignatureStore::new(sig_pager, dir_pager, 2, 3), stats)
+    }
+
+    fn a1_signature() -> Signature {
+        Signature::from_paths(2, [Path(vec![1, 1, 1]), Path(vec![1, 2, 1])].iter())
+    }
+
+    #[test]
+    fn write_then_load_full_roundtrips() {
+        let (mut store, _) = store_with(PAGE_SIZE);
+        let sig = a1_signature();
+        store.write_signature(7, &sig);
+        assert_eq!(store.load_full(7), sig);
+        assert!(store.load_full(8).is_empty(), "unknown cell is empty");
+    }
+
+    #[test]
+    fn rewrite_replaces_old_partials() {
+        let (mut store, _) = store_with(PAGE_SIZE);
+        store.write_signature(1, &a1_signature());
+        let sig2 = Signature::from_paths(2, [Path(vec![2, 2, 2])].iter());
+        store.write_signature(1, &sig2);
+        assert_eq!(store.load_full(1), sig2);
+        assert_eq!(store.partial_count(), 1);
+    }
+
+    #[test]
+    fn tiny_pages_force_multiple_partials_and_cursor_follows_refs() {
+        // 20-byte pages (16-byte payload): each partial holds ~2 tiny nodes.
+        let (mut store, stats) = store_with(20);
+        let sig = a1_signature();
+        store.write_signature(3, &sig);
+        assert!(store.partial_count() >= 2, "expected decomposition, got {}", store.partial_count());
+        assert_eq!(store.load_full(3), sig);
+
+        stats.reset();
+        let mut cursor = store.cursor(3);
+        // Probing the root region loads only the first partial.
+        assert!(cursor.contains(&Path(vec![1])));
+        let after_root = cursor.partials_loaded();
+        assert_eq!(after_root, 1);
+        // A pruned branch needs no further loads.
+        assert!(!cursor.contains(&Path(vec![2])));
+        assert_eq!(cursor.partials_loaded(), after_root);
+        // Descending to a leaf bit may load deeper partials.
+        assert!(cursor.contains(&Path(vec![1, 2, 1])));
+        assert!(!cursor.contains(&Path(vec![1, 2, 2])));
+        assert_eq!(
+            stats.reads(IoCategory::SignaturePage),
+            cursor.partials_loaded(),
+            "every partial load is one signature-page read"
+        );
+    }
+
+    #[test]
+    fn cursor_on_missing_cell_contains_nothing() {
+        let (store, _) = store_with(PAGE_SIZE);
+        let mut cursor = store.cursor(42);
+        assert!(!cursor.contains(&Path(vec![1])));
+        assert!(cursor.contains(&Path::root()), "root is vacuously contained");
+    }
+
+    #[test]
+    fn cursor_matches_full_signature_on_every_path() {
+        let (mut store, _) = store_with(48);
+        let mut sig = Signature::empty(2);
+        for a in 1..=2u16 {
+            for b in 1..=2u16 {
+                if (a + b) % 2 == 0 {
+                    sig.set_path(&Path(vec![a, b, 1]));
+                }
+            }
+        }
+        store.write_signature(5, &sig);
+        let mut cursor = store.cursor(5);
+        for a in 1..=2u16 {
+            for b in 1..=2u16 {
+                for c in 1..=2u16 {
+                    let p = Path(vec![a, b, c]);
+                    assert_eq!(cursor.contains(&p), sig.contains(&p), "path {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_variants_agree_on_tuples() {
+        let (mut store, _) = store_with(PAGE_SIZE);
+        // a2 = {t2 <1,1,2>, t6 <2,1,2>}, b2 = {t2 <1,1,2>, t7 <2,2,1>}.
+        let a2 = Signature::from_paths(2, [Path(vec![1, 1, 2]), Path(vec![2, 1, 2])].iter());
+        let b2 = Signature::from_paths(2, [Path(vec![1, 1, 2]), Path(vec![2, 2, 1])].iter());
+        store.write_signature(0, &a2);
+        store.write_signature(1, &b2);
+
+        let mut lazy = BooleanProbe::IntersectLazy(vec![store.cursor(0), store.cursor(1)]);
+        let assembled = a2.intersect(&b2, 3);
+        let mut eager = BooleanProbe::Assembled(assembled);
+        for a in 1..=2u16 {
+            for b in 1..=2u16 {
+                for c in 1..=2u16 {
+                    let p = Path(vec![a, b, c]);
+                    assert_eq!(lazy.contains(&p), eager.contains(&p), "tuple path {p}");
+                }
+            }
+        }
+        // Internal nodes: lazy may be looser, never tighter.
+        for a in 1..=2u16 {
+            for b in 1..=2u16 {
+                let p = Path(vec![a, b]);
+                if eager.contains(&p) {
+                    assert!(lazy.contains(&p), "lazy must not over-prune {p}");
+                }
+            }
+        }
+        // The N2 subtree is the paper's example of lazy being looser: both
+        // cells have data under <2>, but no shared tuple.
+        assert!(lazy.contains(&Path(vec![2])));
+        assert!(!eager.contains(&Path(vec![2])));
+    }
+
+    #[test]
+    fn in_place_sets_match_full_rewrite() {
+        // Apply the same insertions via the fast path and via rewrite; the
+        // stored signatures must be identical, across page sizes that force
+        // different decomposition shapes.
+        for page in [24usize, 48, 4096] {
+            let (mut fast, _) = store_with(page);
+            let (mut slow, _) = store_with(page);
+            let base = a1_signature();
+            fast.write_signature(1, &base);
+            slow.write_signature(1, &base);
+            let new_paths = vec![
+                Path(vec![1, 1, 2]), // flips bits in existing nodes only
+                Path(vec![2, 2, 1]), // creates a brand-new chain under <2>
+                Path(vec![2, 2, 2]), // extends that new chain
+            ];
+            let ok = fast.apply_sets_in_place(1, &new_paths);
+            let mut sig = slow.load_full(1);
+            for p in &new_paths {
+                sig.set_path(p);
+            }
+            slow.write_signature(1, &sig);
+            if ok {
+                assert_eq!(fast.load_full(1), slow.load_full(1), "page {page}");
+            } // else: fast path declined and left the store untouched
+            if !ok {
+                assert_eq!(fast.load_full(1), base, "failed fast path must not mutate");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_set_on_missing_cell_declines() {
+        let (mut store, _) = store_with(4096);
+        assert!(!store.apply_sets_in_place(9, &[Path(vec![1, 1, 1])]));
+    }
+
+    #[test]
+    fn in_place_new_nodes_are_found_by_cursor() {
+        let (mut store, _) = store_with(32); // tiny pages: several partials
+        store.write_signature(2, &a1_signature());
+        let fresh = Path(vec![2, 1, 1]);
+        assert!(store.apply_sets_in_place(2, std::slice::from_ref(&fresh)));
+        let mut cursor = store.cursor(2);
+        assert!(cursor.contains(&fresh));
+        assert!(cursor.contains(&Path(vec![1, 1, 1])), "old contents intact");
+        assert!(!cursor.contains(&Path(vec![2, 1, 2])));
+    }
+
+    #[test]
+    fn directory_and_page_io_are_charged() {
+        let (mut store, stats) = store_with(PAGE_SIZE);
+        store.write_signature(9, &a1_signature());
+        stats.reset();
+        let _ = store.load_full(9);
+        assert!(stats.reads(IoCategory::SignaturePage) >= 1);
+        assert!(stats.reads(IoCategory::BptreePage) >= 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Conjunctive boolean selections.
+
+/// One equality predicate `A_dim = value` on a boolean dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Index of the boolean dimension.
+    pub dim: usize,
+    /// Dictionary code of the required value.
+    pub value: u32,
+}
+
+/// A conjunction of equality predicates — the paper's
+/// `WHERE A1 = a1 AND … AND Ai = ai`. The empty selection accepts every
+/// tuple (`BP = ∅`).
+pub type Selection = Vec<Predicate>;
+
+/// Returns `selection` with any duplicate predicates removed, validating
+/// that no dimension is constrained to two different values (which would be
+/// unsatisfiable and is almost certainly a caller bug).
+///
+/// # Panics
+/// Panics on contradictory predicates.
+pub fn normalize(selection: &Selection) -> Selection {
+    let mut out: Selection = Vec::with_capacity(selection.len());
+    for p in selection {
+        match out.iter().find(|q| q.dim == p.dim) {
+            Some(q) if q.value != p.value => {
+                panic!("contradictory predicates on dimension {}", p.dim)
+            }
+            Some(_) => {}
+            None => out.push(*p),
+        }
+    }
+    out.sort_by_key(|p| p.dim);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let sel = vec![
+            Predicate { dim: 2, value: 5 },
+            Predicate { dim: 0, value: 1 },
+            Predicate { dim: 2, value: 5 },
+        ];
+        let n = normalize(&sel);
+        assert_eq!(n, vec![Predicate { dim: 0, value: 1 }, Predicate { dim: 2, value: 5 }]);
+    }
+
+    #[test]
+    fn empty_selection_normalizes_to_empty() {
+        assert!(normalize(&Vec::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn contradiction_panics() {
+        let sel = vec![Predicate { dim: 1, value: 2 }, Predicate { dim: 1, value: 3 }];
+        let _ = normalize(&sel);
+    }
+}

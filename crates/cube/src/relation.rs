@@ -1,0 +1,265 @@
+//! The columnar base table with a simulated heap file.
+
+use std::cell::Cell;
+
+use pcube_storage::{IoCategory, SharedStats};
+
+use crate::predicate::Selection;
+use crate::schema::{Dictionary, Schema};
+
+/// The base relation `R`: boolean columns (dictionary-encoded `u32`) and
+/// preference columns (`f64`), stored column-wise, plus a *simulated heap
+/// file* so tuple accesses cost I/O like the paper's:
+///
+/// * [`Relation::fetch`] — random access by tid, charging one
+///   [`IoCategory::TupleRandomAccess`] (this is the `DBool` counter of
+///   Fig 9, used by the domination-first baseline's boolean verification);
+/// * [`Relation::scan`] — a full table scan charging one
+///   [`IoCategory::HeapScan`] per heap page (the table-scan alternative of
+///   the boolean-first baseline).
+pub struct Relation {
+    schema: Schema,
+    dictionaries: Vec<Dictionary>,
+    bool_cols: Vec<Vec<u32>>,
+    pref_cols: Vec<Vec<f64>>,
+    page_size: usize,
+    stats: Option<SharedStats>,
+}
+
+impl Relation {
+    /// Creates an empty relation with 4 KB heap pages.
+    pub fn new(schema: Schema) -> Self {
+        let nb = schema.n_bool();
+        let np = schema.n_pref();
+        Relation {
+            schema,
+            dictionaries: vec![Dictionary::new(); nb],
+            bool_cols: vec![Vec::new(); nb],
+            pref_cols: vec![Vec::new(); np],
+            page_size: pcube_storage::PAGE_SIZE,
+            stats: None,
+        }
+    }
+
+    /// Attaches the shared I/O ledger that tuple accesses are charged to.
+    pub fn attach_stats(&mut self, stats: SharedStats) {
+        self.stats = Some(stats);
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The dictionary of boolean dimension `dim`.
+    pub fn dictionary(&self, dim: usize) -> &Dictionary {
+        &self.dictionaries[dim]
+    }
+
+    /// Re-interns dictionary values in code order (persistence restore).
+    ///
+    /// # Panics
+    /// Panics if the dimension's dictionary is not empty.
+    pub fn restore_dictionary(&mut self, dim: usize, values: &[String]) {
+        assert!(self.dictionaries[dim].is_empty(), "dictionary already populated");
+        for v in values {
+            self.dictionaries[dim].intern(v);
+        }
+    }
+
+    /// The raw code column of boolean dimension `dim`.
+    pub fn bool_column(&self, dim: usize) -> &[u32] {
+        &self.bool_cols[dim]
+    }
+
+    /// The raw coordinate column of preference dimension `dim`.
+    pub fn pref_column(&self, dim: usize) -> &[f64] {
+        &self.pref_cols[dim]
+    }
+
+    /// Number of rows; row ids (tids) are `0..len`.
+    pub fn len(&self) -> usize {
+        self.pref_cols[0].len()
+    }
+
+    /// `true` if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a row given raw codes and coordinates; returns its tid.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push_coded(&mut self, bool_codes: &[u32], pref_coords: &[f64]) -> u64 {
+        assert_eq!(bool_codes.len(), self.schema.n_bool(), "boolean arity");
+        assert_eq!(pref_coords.len(), self.schema.n_pref(), "preference arity");
+        for (col, &c) in self.bool_cols.iter_mut().zip(bool_codes) {
+            col.push(c);
+        }
+        for (col, &v) in self.pref_cols.iter_mut().zip(pref_coords) {
+            col.push(v);
+        }
+        (self.len() - 1) as u64
+    }
+
+    /// Appends a row with string boolean values (interned on the fly).
+    pub fn push(&mut self, bool_values: &[&str], pref_coords: &[f64]) -> u64 {
+        assert_eq!(bool_values.len(), self.schema.n_bool(), "boolean arity");
+        let codes: Vec<u32> =
+            bool_values.iter().zip(&mut self.dictionaries).map(|(v, d)| d.intern(v)).collect();
+        self.push_coded(&codes, pref_coords)
+    }
+
+    /// Code of boolean dimension `dim` in row `tid` (no I/O charge; use
+    /// [`Relation::fetch`] when the access models a disk read).
+    pub fn bool_code(&self, tid: u64, dim: usize) -> u32 {
+        self.bool_cols[dim][tid as usize]
+    }
+
+    /// Coordinates of row `tid` on all preference dimensions.
+    pub fn pref_coords(&self, tid: u64) -> Vec<f64> {
+        self.pref_cols.iter().map(|c| c[tid as usize]).collect()
+    }
+
+    /// Value of preference dimension `dim` in row `tid`.
+    pub fn pref_value(&self, tid: u64, dim: usize) -> f64 {
+        self.pref_cols[dim][tid as usize]
+    }
+
+    /// Bytes one tuple occupies in the simulated heap file.
+    pub fn tuple_bytes(&self) -> usize {
+        4 * self.schema.n_bool() + 8 * self.schema.n_pref()
+    }
+
+    /// Tuples per heap page.
+    pub fn tuples_per_page(&self) -> usize {
+        (self.page_size / self.tuple_bytes()).max(1)
+    }
+
+    /// Heap pages the table occupies.
+    pub fn heap_pages(&self) -> u64 {
+        (self.len() as u64).div_ceil(self.tuples_per_page() as u64)
+    }
+
+    /// Randomly accesses row `tid`, charging one tuple random access, and
+    /// returns its boolean codes. This is the paper's "randomly accessing
+    /// data by tid stored in the R-tree" for boolean verification.
+    pub fn fetch(&self, tid: u64) -> Vec<u32> {
+        if let Some(stats) = &self.stats {
+            stats.record_reads(IoCategory::TupleRandomAccess, 1);
+        }
+        self.bool_cols.iter().map(|c| c[tid as usize]).collect()
+    }
+
+    /// `true` if row `tid` satisfies the conjunctive selection (no I/O
+    /// charge — pair with [`Relation::fetch`] or scan accounting).
+    pub fn matches(&self, tid: u64, selection: &Selection) -> bool {
+        selection.iter().all(|p| self.bool_code(tid, p.dim) == p.value)
+    }
+
+    /// Scans the whole table, charging one sequential heap-page read per
+    /// [`Relation::tuples_per_page`] rows, yielding tids matching
+    /// `selection`.
+    pub fn scan<'a>(&'a self, selection: &'a Selection) -> impl Iterator<Item = u64> + 'a {
+        let per_page = self.tuples_per_page() as u64;
+        // Page accounting is per iterator, so interleaved scans each charge
+        // their own page reads.
+        let last_page = Cell::new(u64::MAX);
+        (0..self.len() as u64).filter(move |&tid| {
+            let page = tid / per_page;
+            if last_page.get() != page {
+                last_page.set(page);
+                if let Some(stats) = &self.stats {
+                    stats.record_reads(IoCategory::HeapScan, 1);
+                }
+            }
+            self.matches(tid, selection)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use pcube_storage::IoStats;
+
+    fn sample() -> Relation {
+        // The paper's Table I: A, B boolean; X, Y preference.
+        let mut r = Relation::new(Schema::new(&["A", "B"], &["X", "Y"]));
+        let rows = [
+            ("a1", "b1", 0.00, 0.40),
+            ("a2", "b2", 0.20, 0.60),
+            ("a1", "b1", 0.30, 0.70),
+            ("a3", "b3", 0.50, 0.40),
+            ("a4", "b1", 0.60, 0.00),
+            ("a2", "b3", 0.72, 0.30),
+            ("a4", "b2", 0.72, 0.36),
+            ("a3", "b3", 0.85, 0.62),
+        ];
+        for (a, b, x, y) in rows {
+            r.push(&[a, b], &[x, y]);
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let r = sample();
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.pref_coords(0), vec![0.00, 0.40]);
+        assert_eq!(r.pref_value(5, 0), 0.72);
+        // a1 interned first -> code 0; t3 (tid 2) is also a1.
+        assert_eq!(r.bool_code(2, 0), 0);
+        assert_eq!(r.dictionary(0).value(0), Some("a1"));
+        assert_eq!(r.dictionary(0).len(), 4);
+        assert_eq!(r.dictionary(1).len(), 3);
+    }
+
+    #[test]
+    fn selection_matching() {
+        let r = sample();
+        let a1 = r.dictionary(0).code("a1").unwrap();
+        let b1 = r.dictionary(1).code("b1").unwrap();
+        let sel: Selection = vec![Predicate { dim: 0, value: a1 }, Predicate { dim: 1, value: b1 }];
+        let matches: Vec<u64> = (0..8).filter(|&t| r.matches(t, &sel)).collect();
+        assert_eq!(matches, vec![0, 2]); // t1 and t3 in paper numbering
+    }
+
+    #[test]
+    fn fetch_charges_random_access() {
+        let mut r = sample();
+        let stats = IoStats::new_shared();
+        r.attach_stats(stats.clone());
+        let codes = r.fetch(3);
+        assert_eq!(codes.len(), 2);
+        assert_eq!(stats.reads(IoCategory::TupleRandomAccess), 1);
+        r.fetch(4);
+        assert_eq!(stats.reads(IoCategory::TupleRandomAccess), 2);
+    }
+
+    #[test]
+    fn scan_charges_per_heap_page() {
+        let mut r = Relation::new(Schema::new(&["A"], &["X"]));
+        for i in 0..5000 {
+            r.push_coded(&[i % 10], &[i as f64]);
+        }
+        let stats = IoStats::new_shared();
+        r.attach_stats(stats.clone());
+        let sel: Selection = vec![Predicate { dim: 0, value: 3 }];
+        let hits = r.scan(&sel).count();
+        assert_eq!(hits, 500);
+        assert_eq!(stats.reads(IoCategory::HeapScan), r.heap_pages());
+        assert!(r.heap_pages() < 5000 / 100, "pages should batch many tuples");
+    }
+
+    #[test]
+    fn heap_geometry() {
+        let r = sample();
+        // 2 bool (4B) + 2 pref (8B) = 24 bytes per tuple.
+        assert_eq!(r.tuple_bytes(), 24);
+        assert_eq!(r.tuples_per_page(), 4096 / 24);
+        assert_eq!(r.heap_pages(), 1);
+    }
+}

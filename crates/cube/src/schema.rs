@@ -1,0 +1,158 @@
+//! Dimension names and dictionary encoding for boolean-dimension values.
+
+use std::collections::HashMap;
+
+/// Order-of-insertion dictionary mapping string values to dense `u32` codes.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    codes: HashMap<String, u32>,
+    values: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Returns the code for `value`, allocating the next code on first use.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&c) = self.codes.get(value) {
+            return c;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary full");
+        self.codes.insert(value.to_owned(), code);
+        self.values.push(value.to_owned());
+        code
+    }
+
+    /// The code for `value`, if it has been interned.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.codes.get(value).copied()
+    }
+
+    /// The string for `code`, if allocated.
+    pub fn value(&self, code: u32) -> Option<&str> {
+        self.values.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct values (the dimension's cardinality so far).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All interned values in code order (code `i` = `values()[i]`).
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+}
+
+/// Names of the boolean and preference dimensions of a relation.
+///
+/// The sample schema of the paper's Example 1 would be
+/// `Schema::new(&["type", "maker", "color"], &["price", "mileage"])`.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    bool_dims: Vec<String>,
+    pref_dims: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from dimension names.
+    ///
+    /// # Panics
+    /// Panics on duplicate names within a dimension set or empty preference
+    /// dimensions.
+    pub fn new(bool_dims: &[&str], pref_dims: &[&str]) -> Self {
+        assert!(!pref_dims.is_empty(), "need at least one preference dimension");
+        let unique = |v: &[&str]| {
+            let mut s: Vec<&str> = v.to_vec();
+            s.sort_unstable();
+            s.dedup();
+            s.len() == v.len()
+        };
+        assert!(unique(bool_dims), "duplicate boolean dimension name");
+        assert!(unique(pref_dims), "duplicate preference dimension name");
+        Schema {
+            bool_dims: bool_dims.iter().map(|s| s.to_string()).collect(),
+            pref_dims: pref_dims.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of boolean dimensions (`Db`).
+    pub fn n_bool(&self) -> usize {
+        self.bool_dims.len()
+    }
+
+    /// Number of preference dimensions (`Dp`).
+    pub fn n_pref(&self) -> usize {
+        self.pref_dims.len()
+    }
+
+    /// Name of boolean dimension `i`.
+    pub fn bool_name(&self, i: usize) -> &str {
+        &self.bool_dims[i]
+    }
+
+    /// Name of preference dimension `i`.
+    pub fn pref_name(&self, i: usize) -> &str {
+        &self.pref_dims[i]
+    }
+
+    /// Index of the boolean dimension called `name`.
+    pub fn bool_index(&self, name: &str) -> Option<usize> {
+        self.bool_dims.iter().position(|d| d == name)
+    }
+
+    /// Index of the preference dimension called `name`.
+    pub fn pref_index(&self, name: &str) -> Option<usize> {
+        self.pref_dims.iter().position(|d| d == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_interns_and_reuses_codes() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("sedan"), 0);
+        assert_eq!(d.intern("suv"), 1);
+        assert_eq!(d.intern("sedan"), 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.code("suv"), Some(1));
+        assert_eq!(d.code("coupe"), None);
+        assert_eq!(d.value(0), Some("sedan"));
+        assert_eq!(d.value(9), None);
+    }
+
+    #[test]
+    fn schema_lookups() {
+        let s = Schema::new(&["type", "maker", "color"], &["price", "mileage"]);
+        assert_eq!(s.n_bool(), 3);
+        assert_eq!(s.n_pref(), 2);
+        assert_eq!(s.bool_index("color"), Some(2));
+        assert_eq!(s.bool_index("price"), None);
+        assert_eq!(s.pref_index("price"), Some(0));
+        assert_eq!(s.bool_name(0), "type");
+        assert_eq!(s.pref_name(1), "mileage");
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_dimension_rejected() {
+        let _ = Schema::new(&["a", "a"], &["x"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_preference_dims_rejected() {
+        let _ = Schema::new(&["a"], &[]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the cube model: group-by must partition the table,
+//! and cells/selections must agree with row-level matching.
+
+use pcube_cube::{group_by, CellKey, CuboidMask, Predicate, Relation, Schema};
+use proptest::prelude::*;
+
+fn relation_from(rows: &[Vec<u32>]) -> Relation {
+    let n_bool = rows.first().map_or(2, Vec::len);
+    let names: Vec<String> = (0..n_bool).map(|i| format!("A{i}")).collect();
+    let schema =
+        Schema::new(&names.iter().map(String::as_str).collect::<Vec<_>>(), &["X"]);
+    let mut r = Relation::new(schema);
+    for row in rows {
+        r.push_coded(row, &[0.5]);
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn group_by_partitions_the_table(
+        rows in prop::collection::vec(prop::collection::vec(0u32..5, 3..=3), 1..120),
+        mask_bits in 0u32..8,
+    ) {
+        let r = relation_from(&rows);
+        let mask = CuboidMask(mask_bits);
+        let groups = group_by(&r, mask);
+        // Every tid appears exactly once.
+        let mut seen = vec![false; rows.len()];
+        for (cell, tids) in &groups {
+            for &tid in tids {
+                prop_assert!(!seen[tid as usize], "tid {tid} in two cells");
+                seen[tid as usize] = true;
+                // And the row actually matches the cell's selection.
+                prop_assert!(r.matches(tid, &cell.to_selection()));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some tid missing from the partition");
+    }
+
+    #[test]
+    fn cell_selection_roundtrip(dims in prop::collection::btree_set(0usize..8, 1..4),
+                                values in prop::collection::vec(0u32..100, 3)) {
+        let preds: Vec<Predicate> = dims
+            .iter()
+            .zip(values.iter().cycle())
+            .map(|(&dim, &value)| Predicate { dim, value })
+            .collect();
+        let key = CellKey::from_selection(&preds);
+        let back = key.to_selection();
+        let mut expect = preds.clone();
+        expect.sort_by_key(|p| p.dim);
+        prop_assert_eq!(back, expect);
+        prop_assert_eq!(key.mask.level(), dims.len());
+    }
+
+    #[test]
+    fn scan_matches_filter(rows in prop::collection::vec(prop::collection::vec(0u32..4, 2..=2), 0..200),
+                           d0 in 0u32..4) {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let r = relation_from(&rows);
+        let sel = vec![Predicate { dim: 0, value: d0 }];
+        let scanned: Vec<u64> = r.scan(&sel).collect();
+        let expect: Vec<u64> =
+            (0..rows.len() as u64).filter(|&t| r.bool_code(t, 0) == d0).collect();
+        prop_assert_eq!(scanned, expect);
+    }
+}

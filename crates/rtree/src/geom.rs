@@ -1,0 +1,171 @@
+//! Minimum bounding rectangles and the few geometric predicates R* needs.
+
+/// An axis-aligned minimum bounding rectangle in `dims` dimensions.
+///
+/// A point is represented as a degenerate `Mbr` with `min == max` where
+/// convenient; leaf entries store bare coordinate slices instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    /// Lower corner, one value per dimension.
+    pub min: Vec<f64>,
+    /// Upper corner, one value per dimension.
+    pub max: Vec<f64>,
+}
+
+impl Mbr {
+    /// The degenerate rectangle covering a single point.
+    pub fn point(coords: &[f64]) -> Self {
+        Mbr { min: coords.to_vec(), max: coords.to_vec() }
+    }
+
+    /// An "empty" rectangle that acts as the identity for [`Mbr::expand`].
+    pub fn empty(dims: usize) -> Self {
+        Mbr { min: vec![f64::INFINITY; dims], max: vec![f64::NEG_INFINITY; dims] }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// `true` if this rectangle is the [`Mbr::empty`] identity.
+    pub fn is_empty(&self) -> bool {
+        self.min.iter().zip(&self.max).any(|(lo, hi)| lo > hi)
+    }
+
+    /// Grows `self` to cover `other`.
+    pub fn expand(&mut self, other: &Mbr) {
+        for d in 0..self.min.len() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    /// Grows `self` to cover the point `coords`.
+    pub fn expand_point(&mut self, coords: &[f64]) {
+        for ((lo, hi), &c) in self.min.iter_mut().zip(self.max.iter_mut()).zip(coords) {
+            *lo = lo.min(c);
+            *hi = hi.max(c);
+        }
+    }
+
+    /// The union of two rectangles.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut out = self.clone();
+        out.expand(other);
+        out
+    }
+
+    /// Hyper-volume (product of side lengths); zero for degenerate boxes.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).product()
+    }
+
+    /// Sum of side lengths (the R* "margin" criterion).
+    pub fn margin(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// Volume of the intersection with `other` (zero if disjoint).
+    pub fn overlap(&self, other: &Mbr) -> f64 {
+        let mut v = 1.0;
+        for d in 0..self.min.len() {
+            let lo = self.min[d].max(other.min[d]);
+            let hi = self.max[d].min(other.max[d]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// Increase in area needed to cover `other`.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// `true` if `coords` lies inside (inclusive) the rectangle.
+    pub fn contains_point(&self, coords: &[f64]) -> bool {
+        self.min.iter().zip(&self.max).zip(coords).all(|((lo, hi), c)| lo <= c && c <= hi)
+    }
+
+
+    /// `true` if `other` lies fully inside `self` (inclusive).
+    pub fn contains(&self, other: &Mbr) -> bool {
+        (0..self.min.len()).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// Sum of the lower corner's coordinates.
+    ///
+    /// This is the BBS ordering key for skylines: "each node n is associated
+    /// with d(n) = min over the region of Σ Nᵢ(x)", which for a rectangle is
+    /// attained at its lower corner.
+    pub fn min_coord_sum(&self) -> f64 {
+        self.min.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbr(min: &[f64], max: &[f64]) -> Mbr {
+        Mbr { min: min.to_vec(), max: max.to_vec() }
+    }
+
+    #[test]
+    fn area_margin_overlap() {
+        let a = mbr(&[0.0, 0.0], &[2.0, 3.0]);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        let b = mbr(&[1.0, 1.0], &[3.0, 2.0]);
+        assert_eq!(a.overlap(&b), 1.0);
+        assert_eq!(b.overlap(&a), 1.0);
+        let c = mbr(&[5.0, 5.0], &[6.0, 6.0]);
+        assert_eq!(a.overlap(&c), 0.0);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = mbr(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = mbr(&[2.0, 2.0], &[3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u, mbr(&[0.0, 0.0], &[3.0, 3.0]));
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn empty_identity() {
+        let mut e = Mbr::empty(2);
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        assert_eq!(e.margin(), 0.0);
+        e.expand_point(&[1.0, 2.0]);
+        assert!(!e.is_empty());
+        assert_eq!(e, Mbr::point(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn containment() {
+        let a = mbr(&[0.0, 0.0], &[4.0, 4.0]);
+        assert!(a.contains_point(&[0.0, 4.0]));
+        assert!(!a.contains_point(&[4.1, 0.0]));
+        assert!(a.contains(&mbr(&[1.0, 1.0], &[2.0, 2.0])));
+        assert!(a.contains(&a));
+        assert!(!a.contains(&mbr(&[1.0, 1.0], &[5.0, 2.0])));
+    }
+
+    #[test]
+    fn min_coord_sum_is_lower_corner() {
+        let a = mbr(&[0.25, 0.5], &[0.9, 0.9]);
+        assert_eq!(a.min_coord_sum(), 0.75);
+    }
+}

@@ -1,0 +1,56 @@
+//! A paged R*-tree over the preference dimensions.
+//!
+//! This is the shared *partition template* of the P-Cube model (§IV-A, third
+//! proposal): the preference dimensions are partitioned once, and every cube
+//! cell is summarized by a signature over this single tree. Three properties
+//! set this implementation apart from a generic R-tree library and exist
+//! specifically for signatures:
+//!
+//! * **Stable slots.** "Every node (including leaf) in R-tree can hold up to
+//!   M entries. We assume each node keeps track of its free entries. When a
+//!   new tuple is added, the first free entry is assigned" (§IV-B.3). Entries
+//!   never shift within a node; an occupancy bitmap tracks free slots. A
+//!   signature bit therefore keeps meaning the same child across inserts, and
+//!   a non-splitting insert changes only the new tuple's path.
+//! * **Paths and SIDs.** Every node and tuple has a [`Path`] — the 1-based
+//!   slot positions from the root — and paths map to signature IDs
+//!   ([`Path::sid`]) exactly as in the paper:
+//!   `SID = p0·(M+1)^l + p1·(M+1)^(l-1) + … + p(l-1)`.
+//! * **Tracked mutation.** [`RTree::insert_tracked`] reports which tuple
+//!   paths changed (old → new), including under node splits, by traversing
+//!   the affected subtree before and after the structural change — the
+//!   paper's own recipe for incremental signature maintenance.
+//!
+//! Nodes live on counted [`pcube_storage::Pager`] pages, so every node visit
+//! is a measured "R-tree block retrieval" (the `DBlock`/`SBlock` series of
+//! Fig 9). Construction offers both one-at-a-time insertion and STR bulk
+//! loading ([`RTree::bulk_load`]).
+//!
+//! # Example
+//!
+//! ```
+//! use pcube_rtree::{RTree, RTreeConfig};
+//! use pcube_storage::{IoCategory, IoStats, Pager, PAGE_SIZE};
+//!
+//! let pager = Pager::new(PAGE_SIZE, IoCategory::RtreeBlock, IoStats::new_shared());
+//! let mut tree = RTree::new(pager, RTreeConfig::for_page(2, PAGE_SIZE));
+//! let delta = tree.insert_tracked(7, &[0.25, 0.75]);
+//! let (tid, path) = delta.inserted.unwrap();
+//! assert_eq!(tid, 7);
+//! assert_eq!(path.depth(), 1, "root is a leaf; the tuple sits in slot {}", path.0[0]);
+//! assert!(tree.read_node(tree.root_pid()).is_leaf);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geom;
+mod node;
+mod path;
+mod split;
+mod tree;
+
+pub use geom::Mbr;
+pub use node::{DecodedEntry, DecodedNode};
+pub use path::{Path, Sid};
+pub use tree::{PathDelta, RTree, RTreeConfig};

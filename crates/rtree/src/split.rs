@@ -1,0 +1,156 @@
+//! The R* topological split (Beckmann et al., SIGMOD 1990).
+//!
+//! Given the `M+1` entries of an overflowing node, choose a split axis by
+//! minimizing the total margin over all candidate distributions, then choose
+//! the distribution on that axis minimizing overlap (ties by combined area).
+
+use crate::geom::Mbr;
+use crate::node::DecodedEntry;
+
+/// Partitions `entries` (by index) into two groups, each of size at least
+/// `m_min`.
+///
+/// # Panics
+/// Panics if `entries.len() < 2 * m_min` (no legal distribution exists).
+pub fn rstar_split(entries: &[DecodedEntry], dims: usize, m_min: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = entries.len();
+    assert!(n >= 2 * m_min, "cannot split {n} entries with minimum fill {m_min}");
+    let mbrs: Vec<Mbr> = entries.iter().map(DecodedEntry::mbr).collect();
+
+    // For each axis, two sort orders: by lower coordinate, by upper coordinate.
+    let order_by = |key: &dyn Fn(usize) -> f64| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal));
+        idx
+    };
+
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut axis_orders: Vec<[Vec<usize>; 2]> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let by_min = order_by(&|i| mbrs[i].min[d]);
+        let by_max = order_by(&|i| mbrs[i].max[d]);
+        let mut margin_sum = 0.0;
+        for order in [&by_min, &by_max] {
+            for k in m_min..=n - m_min {
+                let (g1, g2) = group_mbrs(order, &mbrs, k, dims);
+                margin_sum += g1.margin() + g2.margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = d;
+        }
+        axis_orders.push([by_min, by_max]);
+    }
+
+    // On the chosen axis, pick the distribution with minimal overlap.
+    let mut best: Option<(f64, f64, &Vec<usize>, usize)> = None;
+    for order in &axis_orders[best_axis] {
+        for k in m_min..=n - m_min {
+            let (g1, g2) = group_mbrs(order, &mbrs, k, dims);
+            let overlap = g1.overlap(&g2);
+            let area = g1.area() + g2.area();
+            let better = match best {
+                None => true,
+                Some((bo, ba, _, _)) => overlap < bo || (overlap == bo && area < ba),
+            };
+            if better {
+                best = Some((overlap, area, order, k));
+            }
+        }
+    }
+    let (_, _, order, k) = best.expect("at least one distribution");
+    (order[..k].to_vec(), order[k..].to_vec())
+}
+
+fn group_mbrs(order: &[usize], mbrs: &[Mbr], k: usize, dims: usize) -> (Mbr, Mbr) {
+    let mut g1 = Mbr::empty(dims);
+    for &i in &order[..k] {
+        g1.expand(&mbrs[i]);
+    }
+    let mut g2 = Mbr::empty(dims);
+    for &i in &order[k..] {
+        g2.expand(&mbrs[i]);
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(coords: &[f64]) -> DecodedEntry {
+        DecodedEntry::Tuple { tid: 0, coords: coords.to_vec() }
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        // Four points near the origin, four near (10, 10).
+        let mut entries = Vec::new();
+        for i in 0..4 {
+            entries.push(tuple(&[0.1 * i as f64, 0.1 * i as f64]));
+        }
+        for i in 0..4 {
+            entries.push(tuple(&[10.0 + 0.1 * i as f64, 10.0 + 0.1 * i as f64]));
+        }
+        let (a, b) = rstar_split(&entries, 2, 2);
+        assert_eq!(a.len() + b.len(), 8);
+        let low: Vec<usize> = (0..4).collect();
+        let mut a_sorted = a.clone();
+        a_sorted.sort_unstable();
+        let mut b_sorted = b.clone();
+        b_sorted.sort_unstable();
+        assert!(
+            a_sorted == low || b_sorted == low,
+            "split should isolate the low cluster: {a_sorted:?} / {b_sorted:?}"
+        );
+    }
+
+    #[test]
+    fn respects_minimum_fill() {
+        let entries: Vec<DecodedEntry> = (0..7).map(|i| tuple(&[i as f64, 0.0])).collect();
+        let (a, b) = rstar_split(&entries, 2, 3);
+        assert!(a.len() >= 3 && b.len() >= 3, "groups {} / {}", a.len(), b.len());
+        let mut all: Vec<usize> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn splits_identical_points_legally() {
+        let entries: Vec<DecodedEntry> = (0..6).map(|_| tuple(&[0.5, 0.5])).collect();
+        let (a, b) = rstar_split(&entries, 2, 2);
+        assert!(a.len() >= 2 && b.len() >= 2);
+        assert_eq!(a.len() + b.len(), 6);
+    }
+
+    #[test]
+    fn chooses_the_discriminating_axis() {
+        // Spread on Y only; a good split must cut along Y, giving zero overlap.
+        let entries: Vec<DecodedEntry> =
+            (0..8).map(|i| tuple(&[0.5, i as f64])).collect();
+        let (a, b) = rstar_split(&entries, 2, 2);
+        // One group must sit entirely below the other in Y (= index) order.
+        let a_max = a.iter().copied().max().unwrap();
+        let a_min = a.iter().copied().min().unwrap();
+        let b_max = b.iter().copied().max().unwrap();
+        let b_min = b.iter().copied().min().unwrap();
+        assert!(a_max < b_min || b_max < a_min, "groups overlap on Y: {a:?} / {b:?}");
+    }
+
+    #[test]
+    fn minimal_legal_input_splits() {
+        let entries = vec![tuple(&[0.0, 0.0]), tuple(&[1.0, 1.0])];
+        let (a, b) = rstar_split(&entries, 2, 1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_entries_panics() {
+        let entries = vec![tuple(&[0.0, 0.0])];
+        let _ = rstar_split(&entries, 2, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the slotted R*-tree: structural invariants, content
+//! preservation, and — most importantly for P-Cube — exactness of the
+//! tracked path deltas under arbitrary insert/delete interleavings.
+
+use pcube_rtree::{Path, RTree, RTreeConfig};
+use pcube_storage::{IoCategory, IoStats, Pager};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_point(dims: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, dims..=dims)
+}
+
+fn tree(dims: usize, m_min: usize, m_max: usize) -> RTree {
+    let pager = Pager::new(1024, IoCategory::RtreeBlock, IoStats::new_shared());
+    RTree::new(pager, RTreeConfig::explicit(dims, m_min, m_max))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inserts_preserve_invariants_and_content(points in prop::collection::vec(arb_point(2), 1..150)) {
+        let mut t = tree(2, 1, 3);
+        for (tid, p) in points.iter().enumerate() {
+            t.insert(tid as u64, p);
+        }
+        t.check_invariants();
+        prop_assert_eq!(t.len(), points.len() as u64);
+        let mut seen: Vec<(u64, Vec<f64>)> = Vec::new();
+        t.for_each_tuple(|tid, _, coords| seen.push((tid, coords.to_vec())));
+        seen.sort_by_key(|(tid, _)| *tid);
+        for (tid, coords) in &seen {
+            prop_assert_eq!(coords, &points[*tid as usize]);
+        }
+        prop_assert_eq!(seen.len(), points.len());
+    }
+
+    #[test]
+    fn tracked_deltas_equal_brute_force_diff(
+        points in prop::collection::vec(arb_point(2), 1..120),
+        m_max in 2usize..6,
+    ) {
+        let mut t = tree(2, 1, m_max);
+        for (tid, p) in points.iter().enumerate() {
+            let before: HashMap<u64, Path> = t.tuple_paths().into_iter().collect();
+            let delta = t.insert_tracked(tid as u64, p);
+            let after: HashMap<u64, Path> = t.tuple_paths().into_iter().collect();
+
+            let (itid, ipath) = delta.inserted.clone().expect("insert reported");
+            prop_assert_eq!(itid, tid as u64);
+            prop_assert_eq!(&after[&itid], &ipath);
+
+            let mut expect: Vec<(u64, Path, Path)> = before
+                .iter()
+                .filter(|(t0, old)| &after[t0] != *old)
+                .map(|(t0, old)| (*t0, old.clone(), after[t0].clone()))
+                .collect();
+            expect.sort_by_key(|(t0, _, _)| *t0);
+            let mut got = delta.moved.clone();
+            got.sort_by_key(|(t0, _, _)| *t0);
+            prop_assert_eq!(got, expect);
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn deletes_move_nothing_else(
+        points in prop::collection::vec(arb_point(3), 2..100),
+        victims in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+    ) {
+        let mut t = tree(3, 1, 4);
+        for (tid, p) in points.iter().enumerate() {
+            t.insert(tid as u64, p);
+        }
+        let mut alive: Vec<u64> = (0..points.len() as u64).collect();
+        for victim in victims {
+            if alive.is_empty() {
+                break;
+            }
+            let idx = victim.index(alive.len());
+            let tid = alive.swap_remove(idx);
+            let before: HashMap<u64, Path> = t.tuple_paths().into_iter().collect();
+            let path = t.delete_tracked(tid, &points[tid as usize]).expect("present");
+            prop_assert_eq!(&before[&tid], &path);
+            let after: HashMap<u64, Path> = t.tuple_paths().into_iter().collect();
+            prop_assert_eq!(after.len(), alive.len());
+            for (t0, p0) in &after {
+                prop_assert_eq!(p0, &before[t0], "stable slots on delete");
+            }
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn bulk_load_holds_everything(
+        points in prop::collection::vec(arb_point(2), 0..300),
+        fill in 0.4f64..=1.0,
+    ) {
+        let items: Vec<(u64, Vec<f64>)> =
+            points.iter().enumerate().map(|(i, p)| (i as u64, p.clone())).collect();
+        let pager = Pager::new(1024, IoCategory::RtreeBlock, IoStats::new_shared());
+        let t = RTree::bulk_load(pager, RTreeConfig::for_page(2, 1024), items, fill);
+        t.check_invariants();
+        prop_assert_eq!(t.len(), points.len() as u64);
+        let mut tids: Vec<u64> = t.tuple_paths().into_iter().map(|(tid, _)| tid).collect();
+        tids.sort_unstable();
+        prop_assert_eq!(tids, (0..points.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paths_map_to_unique_sids(points in prop::collection::vec(arb_point(2), 1..200)) {
+        let mut t = tree(2, 1, 3);
+        for (tid, p) in points.iter().enumerate() {
+            t.insert(tid as u64, p);
+        }
+        let mut sids = std::collections::HashSet::new();
+        for (_, path) in t.tuple_paths() {
+            prop_assert!(sids.insert(path.sid(t.m_max())), "duplicate SID for {}", path);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! A small LRU buffer pool layered over a [`Pager`].
+//!
+//! The paper's query-time I/O counts assume a cold cache per query (every node
+//! visit is a block retrieval). The buffer pool exists for the ablation
+//! experiments that ask how much a warm cache changes the picture: reads served
+//! from the pool are *not* charged to the ledger, only misses are.
+
+use std::collections::HashMap;
+
+use crate::page::PageId;
+use crate::pager::Pager;
+
+/// LRU read cache with hit/miss accounting.
+///
+/// Only caches reads; writes go straight through to the pager and invalidate
+/// any cached copy.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// Map page id -> slot in `entries`.
+    map: HashMap<PageId, usize>,
+    /// Cached pages in arbitrary slot order.
+    entries: Vec<(PageId, Box<[u8]>, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool that holds up to `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of read requests served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of read requests that had to touch the pager.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Pages currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads `pid`, consulting the cache first. A miss charges one counted
+    /// read on `pager` and installs the page, evicting the least recently
+    /// used entry if the pool is full.
+    pub fn read<'a>(&'a mut self, pager: &Pager, pid: PageId) -> &'a [u8] {
+        self.clock += 1;
+        if let Some(&slot) = self.map.get(&pid) {
+            self.hits += 1;
+            self.entries[slot].2 = self.clock;
+            return &self.entries[slot].1;
+        }
+        self.misses += 1;
+        let data: Box<[u8]> = pager.read(pid).into();
+        let slot = if self.entries.len() < self.capacity {
+            self.entries.push((pid, data, self.clock));
+            self.entries.len() - 1
+        } else {
+            // Evict the entry with the smallest timestamp.
+            let (victim, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .expect("capacity > 0");
+            let old = self.entries[victim].0;
+            self.map.remove(&old);
+            self.entries[victim] = (pid, data, self.clock);
+            victim
+        };
+        self.map.insert(pid, slot);
+        &self.entries[slot].1
+    }
+
+    /// Writes through to the pager and invalidates any cached copy of `pid`.
+    pub fn write(&mut self, pager: &mut Pager, pid: PageId, data: &[u8]) {
+        if let Some(slot) = self.map.remove(&pid) {
+            // Keep slot layout simple: replace with the new contents rather
+            // than compacting the vector.
+            self.entries[slot] = (pid, data.into(), self.clock);
+            self.map.insert(pid, slot);
+        }
+        pager.write(pid, data);
+    }
+
+    /// Drops every cached page (e.g. between queries to model a cold cache).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{IoCategory, IoStats};
+    use crate::Pager;
+
+    fn setup(n_pages: usize) -> (Pager, Vec<PageId>) {
+        let stats = IoStats::new_shared();
+        let mut pager = Pager::new(64, IoCategory::RtreeBlock, stats);
+        let pids: Vec<PageId> = (0..n_pages)
+            .map(|i| {
+                let pid = pager.allocate();
+                pager.write(pid, &[i as u8; 64]);
+                pid
+            })
+            .collect();
+        pager.stats().reset();
+        (pager, pids)
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_cache() {
+        let (pager, pids) = setup(1);
+        let mut pool = BufferPool::new(4);
+        for _ in 0..5 {
+            let page = pool.read(&pager, pids[0]);
+            assert_eq!(page[0], 0);
+        }
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 4);
+        assert_eq!(pager.stats().reads(IoCategory::RtreeBlock), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (pager, pids) = setup(3);
+        let mut pool = BufferPool::new(2);
+        pool.read(&pager, pids[0]); // miss
+        pool.read(&pager, pids[1]); // miss
+        pool.read(&pager, pids[0]); // hit, makes 1 the LRU
+        pool.read(&pager, pids[2]); // miss, evicts 1
+        pool.read(&pager, pids[0]); // hit
+        pool.read(&pager, pids[1]); // miss again
+        assert_eq!(pool.misses(), 4);
+        assert_eq!(pool.hits(), 2);
+    }
+
+    #[test]
+    fn write_through_updates_cached_copy() {
+        let (mut pager, pids) = setup(1);
+        let mut pool = BufferPool::new(2);
+        pool.read(&pager, pids[0]);
+        pool.write(&mut pager, pids[0], &[9u8; 64]);
+        let page = pool.read(&pager, pids[0]);
+        assert_eq!(page[0], 9);
+        // The post-write read must be a cache hit (write refreshed the copy).
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn clear_models_a_cold_cache() {
+        let (pager, pids) = setup(1);
+        let mut pool = BufferPool::new(2);
+        pool.read(&pager, pids[0]);
+        pool.clear();
+        pool.read(&pager, pids[0]);
+        assert_eq!(pool.misses(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Little-endian read/write helpers used by every on-page node layout.
+//!
+//! All multi-byte values stored on pages in this workspace use little-endian
+//! encoding. These helpers panic on out-of-bounds offsets, which indicates a
+//! node-layout bug rather than a recoverable condition.
+
+/// Reads a `u16` at `offset`.
+#[inline]
+pub fn read_u16(buf: &[u8], offset: usize) -> u16 {
+    u16::from_le_bytes(buf[offset..offset + 2].try_into().unwrap())
+}
+
+/// Writes a `u16` at `offset`.
+#[inline]
+pub fn write_u16(buf: &mut [u8], offset: usize, value: u16) {
+    buf[offset..offset + 2].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Reads a `u32` at `offset`.
+#[inline]
+pub fn read_u32(buf: &[u8], offset: usize) -> u32 {
+    u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap())
+}
+
+/// Writes a `u32` at `offset`.
+#[inline]
+pub fn write_u32(buf: &mut [u8], offset: usize, value: u32) {
+    buf[offset..offset + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Reads a `u64` at `offset`.
+#[inline]
+pub fn read_u64(buf: &[u8], offset: usize) -> u64 {
+    u64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())
+}
+
+/// Writes a `u64` at `offset`.
+#[inline]
+pub fn write_u64(buf: &mut [u8], offset: usize, value: u64) {
+    buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Reads an `f64` at `offset`.
+#[inline]
+pub fn read_f64(buf: &[u8], offset: usize) -> f64 {
+    f64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())
+}
+
+/// Writes an `f64` at `offset`.
+#[inline]
+pub fn write_f64(buf: &mut [u8], offset: usize, value: f64) {
+    buf[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = [0u8; 32];
+        write_u16(&mut buf, 0, 0xBEEF);
+        write_u32(&mut buf, 2, 0xDEAD_BEEF);
+        write_u64(&mut buf, 6, 0x0123_4567_89AB_CDEF);
+        write_f64(&mut buf, 14, -1234.5678);
+        assert_eq!(read_u16(&buf, 0), 0xBEEF);
+        assert_eq!(read_u32(&buf, 2), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&buf, 6), 0x0123_4567_89AB_CDEF);
+        assert_eq!(read_f64(&buf, 14), -1234.5678);
+    }
+
+    #[test]
+    fn nan_and_infinities_roundtrip() {
+        let mut buf = [0u8; 8];
+        write_f64(&mut buf, 0, f64::INFINITY);
+        assert_eq!(read_f64(&buf, 0), f64::INFINITY);
+        write_f64(&mut buf, 0, f64::NEG_INFINITY);
+        assert_eq!(read_f64(&buf, 0), f64::NEG_INFINITY);
+        write_f64(&mut buf, 0, f64::NAN);
+        assert!(read_f64(&buf, 0).is_nan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let buf = [0u8; 4];
+        let _ = read_u64(&buf, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Page identifiers and the default page size.
+
+/// Default page size in bytes, matching the paper's experimental setting
+/// ("The page size in R-tree is set as 4KB", §VI-A).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within one [`crate::Pager`].
+///
+/// Page ids are dense, allocated from zero, and may be recycled after
+/// [`crate::Pager::free`]. A `PageId` is only meaningful for the pager that
+/// allocated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel used on disk to encode "no page" (e.g. a missing sibling
+    /// pointer in a B+-tree leaf chain).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// Returns `true` if this id is the [`PageId::INVALID`] sentinel.
+    #[inline]
+    pub fn is_invalid(self) -> bool {
+        self == Self::INVALID
+    }
+
+    /// The raw index of the page.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sentinel_is_detected() {
+        assert!(PageId::INVALID.is_invalid());
+        assert!(!PageId(0).is_invalid());
+        assert!(!PageId(123).is_invalid());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PageId(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(5).index(), 5);
+    }
+}

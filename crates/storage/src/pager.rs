@@ -1,0 +1,340 @@
+//! The simulated disk: a pager of fixed-size pages with counted I/O.
+
+use crate::page::PageId;
+use crate::stats::{IoCategory, SharedStats};
+
+/// An in-memory "disk" of fixed-size pages.
+///
+/// Each pager is dedicated to one storage structure (an R-tree, a B+-tree, a
+/// signature file, a heap file) and charges its accesses to a single
+/// [`IoCategory`] on a shared [`crate::IoStats`] ledger. This mirrors how the
+/// paper attributes disk accesses per structure (Fig 9: `DBlock`, `SBlock`,
+/// `SSig`, `DBool`).
+///
+/// Reads and writes are counted; allocation alone is not (allocating a page
+/// without writing it performs no disk access on a real system either).
+#[derive(Debug)]
+pub struct Pager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<PageId>,
+    category: IoCategory,
+    stats: SharedStats,
+}
+
+impl Pager {
+    /// Creates an empty pager whose accesses will be charged to `category`.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: usize, category: IoCategory, stats: SharedStats) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Pager { page_size, pages: Vec::new(), free: Vec::new(), category, stats }
+    }
+
+    /// The fixed page size of this pager, in bytes.
+    #[inline]
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The category this pager charges accesses to.
+    #[inline]
+    pub fn category(&self) -> IoCategory {
+        self.category
+    }
+
+    /// The shared ledger this pager records into.
+    #[inline]
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    /// Number of live (allocated, not freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total bytes occupied by live pages.
+    pub fn size_bytes(&self) -> u64 {
+        self.live_pages() as u64 * self.page_size as u64
+    }
+
+    /// Allocates a zeroed page and returns its id. Recycles freed pages.
+    pub fn allocate(&mut self) -> PageId {
+        if let Some(pid) = self.free.pop() {
+            self.pages[pid.index()] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            return pid;
+        }
+        let pid = PageId(u32::try_from(self.pages.len()).expect("pager full"));
+        assert!(!pid.is_invalid(), "pager exhausted the PageId space");
+        self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        pid
+    }
+
+    /// Releases a page back to the allocator.
+    ///
+    /// # Panics
+    /// Panics if `pid` is not a live page (double free or never allocated).
+    pub fn free(&mut self, pid: PageId) {
+        let slot = self.pages.get_mut(pid.index()).expect("free of unallocated page");
+        assert!(slot.take().is_some(), "double free of {pid}");
+        self.free.push(pid);
+    }
+
+    /// Reads a page, charging one read to this pager's category.
+    ///
+    /// # Panics
+    /// Panics if `pid` is not a live page.
+    pub fn read(&self, pid: PageId) -> &[u8] {
+        self.stats.record_reads(self.category, 1);
+        self.page(pid)
+    }
+
+    /// Returns page contents *without* charging a disk access.
+    ///
+    /// Used by callers that have their own accounting policy, e.g. the
+    /// [`crate::BufferPool`] (which charges only on cache miss) and in-memory
+    /// rebuild passes that the paper does not count as query I/O.
+    pub fn read_uncounted(&self, pid: PageId) -> &[u8] {
+        self.page(pid)
+    }
+
+    /// Overwrites a page, charging one write. `data` must be exactly one page.
+    ///
+    /// # Panics
+    /// Panics if `pid` is not live or `data.len() != page_size`.
+    pub fn write(&mut self, pid: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.page_size, "page write must cover the whole page");
+        self.stats.record_writes(self.category, 1);
+        let slot = self.pages.get_mut(pid.index()).and_then(Option::as_mut).expect("write to dead page");
+        slot.copy_from_slice(data);
+    }
+
+    /// In-place page update via a closure, charging one read and one write.
+    ///
+    /// Convenient for node updates that only touch a few bytes.
+    pub fn update<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.stats.record_reads(self.category, 1);
+        self.stats.record_writes(self.category, 1);
+        let slot = self.pages.get_mut(pid.index()).and_then(Option::as_mut).expect("update of dead page");
+        f(slot)
+    }
+
+    fn page(&self, pid: PageId) -> &[u8] {
+        self.pages.get(pid.index()).and_then(Option::as_ref).expect("read of dead page")
+    }
+
+    /// Serializes the pager's pages and free list (not counted as I/O;
+    /// checkpointing is outside the query cost model).
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        crate::write_u64(push_n(out, 8), 0, self.page_size as u64);
+        let mut buf = [0u8; 8];
+        crate::write_u64(&mut buf, 0, self.pages.len() as u64);
+        out.extend_from_slice(&buf);
+        for slot in &self.pages {
+            match slot {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    out.extend_from_slice(p);
+                }
+            }
+        }
+        crate::write_u64(&mut buf, 0, self.free.len() as u64);
+        out.extend_from_slice(&buf);
+        for pid in &self.free {
+            let mut b4 = [0u8; 4];
+            crate::write_u32(&mut b4, 0, pid.0);
+            out.extend_from_slice(&b4);
+        }
+    }
+
+    /// Rebuilds a pager from [`Pager::serialize_into`] output. Returns the
+    /// pager and the bytes consumed. `None` on malformed input.
+    pub fn deserialize_from(
+        buf: &[u8],
+        category: IoCategory,
+        stats: SharedStats,
+    ) -> Option<(Pager, usize)> {
+        let mut pos = 0usize;
+        let page_size = read_u64_at(buf, &mut pos)? as usize;
+        if page_size == 0 || page_size > buf.len() {
+            return None;
+        }
+        let n_pages = read_u64_at(buf, &mut pos)? as usize;
+        // Every page slot costs at least one tag byte, bounding n_pages.
+        if n_pages > buf.len() {
+            return None;
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for _ in 0..n_pages {
+            let tag = *buf.get(pos)?;
+            pos += 1;
+            match tag {
+                0 => pages.push(None),
+                1 => {
+                    let end = pos.checked_add(page_size)?;
+                    pages.push(Some(buf.get(pos..end)?.to_vec().into_boxed_slice()));
+                    pos = end;
+                }
+                _ => return None,
+            }
+        }
+        let n_free = read_u64_at(buf, &mut pos)? as usize;
+        if n_free > buf.len() {
+            return None;
+        }
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let end = pos.checked_add(4)?;
+            let v = u32::from_le_bytes(buf.get(pos..end)?.try_into().ok()?);
+            pos = end;
+            free.push(PageId(v));
+        }
+        Some((Pager { page_size, pages, free, category, stats }, pos))
+    }
+}
+
+/// Appends `n` zero bytes and returns a mutable view of them.
+fn push_n(out: &mut Vec<u8>, n: usize) -> &mut [u8] {
+    let start = out.len();
+    out.resize(start + n, 0);
+    &mut out[start..]
+}
+
+fn read_u64_at(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let end = pos.checked_add(8)?;
+    let v = u64::from_le_bytes(buf.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoStats;
+    use crate::PAGE_SIZE;
+
+    fn pager() -> Pager {
+        Pager::new(PAGE_SIZE, IoCategory::RtreeBlock, IoStats::new_shared())
+    }
+
+    #[test]
+    fn allocate_returns_zeroed_pages_with_dense_ids() {
+        let mut p = pager();
+        let a = p.allocate();
+        let b = p.allocate();
+        assert_eq!(a, PageId(0));
+        assert_eq!(b, PageId(1));
+        assert!(p.read(a).iter().all(|&x| x == 0));
+        assert_eq!(p.live_pages(), 2);
+        assert_eq!(p.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut p = pager();
+        let pid = p.allocate();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[100] = 7;
+        data[PAGE_SIZE - 1] = 9;
+        p.write(pid, &data);
+        let got = p.read(pid);
+        assert_eq!(got[100], 7);
+        assert_eq!(got[PAGE_SIZE - 1], 9);
+    }
+
+    #[test]
+    fn freed_pages_are_recycled_zeroed() {
+        let mut p = pager();
+        let a = p.allocate();
+        let mut data = vec![0xFFu8; PAGE_SIZE];
+        data[0] = 1;
+        p.write(a, &data);
+        p.free(a);
+        let b = p.allocate();
+        assert_eq!(a, b, "free list should recycle");
+        assert!(p.read(b).iter().all(|&x| x == 0), "recycled page must be zeroed");
+    }
+
+    #[test]
+    fn reads_and_writes_are_counted_but_allocation_is_not() {
+        let stats = IoStats::new_shared();
+        let mut p = Pager::new(64, IoCategory::BptreePage, stats.clone());
+        let pid = p.allocate();
+        assert_eq!(stats.total_reads() + stats.total_writes(), 0);
+        p.write(pid, &[1u8; 64]);
+        let _ = p.read(pid);
+        let _ = p.read_uncounted(pid);
+        p.update(pid, |b| b[0] = 2);
+        assert_eq!(stats.reads(IoCategory::BptreePage), 2); // read + update
+        assert_eq!(stats.writes(IoCategory::BptreePage), 2); // write + update
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut p = pager();
+        let a = p.allocate();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_write_panics() {
+        let mut p = pager();
+        let a = p.allocate();
+        p.write(a, &[0u8; 10]);
+    }
+
+    #[test]
+    fn serialization_roundtrips_pages_and_free_list() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        let b = p.allocate();
+        let c = p.allocate();
+        p.write(a, &[1u8; 64]);
+        p.write(b, &[2u8; 64]);
+        p.write(c, &[3u8; 64]);
+        p.free(b);
+        let mut bytes = Vec::new();
+        p.serialize_into(&mut bytes);
+        let (q, used) =
+            Pager::deserialize_from(&bytes, IoCategory::SignaturePage, IoStats::new_shared())
+                .expect("roundtrip");
+        assert_eq!(used, bytes.len());
+        assert_eq!(q.page_size(), 64);
+        assert_eq!(q.live_pages(), 2);
+        assert_eq!(q.read_uncounted(a)[0], 1);
+        assert_eq!(q.read_uncounted(c)[0], 3);
+        // The free list survives: the next allocation reuses b.
+        let mut q = q;
+        assert_eq!(q.allocate(), b);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        for bytes in [&b""[..], &[0u8; 4][..], &[0xFFu8; 64][..]] {
+            assert!(Pager::deserialize_from(
+                bytes,
+                IoCategory::RtreeBlock,
+                IoStats::new_shared()
+            )
+            .is_none());
+        }
+    }
+
+    #[test]
+    fn update_mutates_in_place() {
+        let mut p = pager();
+        let a = p.allocate();
+        let out = p.update(a, |buf| {
+            buf[3] = 42;
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(p.read(a)[3], 42);
+    }
+}

@@ -1,0 +1,295 @@
+//! I/O accounting: categories, counters and the modeled cost function.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The kinds of disk access the paper's evaluation distinguishes.
+///
+/// Figure 9 plots `DBool` (random tuple accesses by the domination-first
+/// baseline), `DBlock`/`SBlock` (R-tree block retrievals) and `SSig`
+/// (signature page loads). Figures 5/6 additionally involve B+-tree pages and
+/// sequential heap-file scans, so those get their own buckets too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoCategory {
+    /// R-tree node (block) retrieval.
+    RtreeBlock,
+    /// Partial-signature page load.
+    SignaturePage,
+    /// B+-tree page read (boolean-dimension indexes and the signature
+    /// directory).
+    BptreePage,
+    /// Random access to a base-table tuple by tid (boolean verification in
+    /// the domination-first baseline).
+    TupleRandomAccess,
+    /// Sequential heap-file page scan (table-scan alternative of the
+    /// boolean-first baseline).
+    HeapScan,
+}
+
+impl IoCategory {
+    /// All categories, in display order.
+    pub const ALL: [IoCategory; 5] = [
+        IoCategory::RtreeBlock,
+        IoCategory::SignaturePage,
+        IoCategory::BptreePage,
+        IoCategory::TupleRandomAccess,
+        IoCategory::HeapScan,
+    ];
+
+    fn slot(self) -> usize {
+        match self {
+            IoCategory::RtreeBlock => 0,
+            IoCategory::SignaturePage => 1,
+            IoCategory::BptreePage => 2,
+            IoCategory::TupleRandomAccess => 3,
+            IoCategory::HeapScan => 4,
+        }
+    }
+}
+
+impl fmt::Display for IoCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            IoCategory::RtreeBlock => "rtree-block",
+            IoCategory::SignaturePage => "signature-page",
+            IoCategory::BptreePage => "bptree-page",
+            IoCategory::TupleRandomAccess => "tuple-random",
+            IoCategory::HeapScan => "heap-scan",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Shared, interior-mutable I/O ledger.
+///
+/// One `IoStats` is typically shared (via [`SharedStats`]) by every pager in a
+/// database instance, so an experiment can snapshot, run a query, and diff.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: [Cell<u64>; 5],
+    writes: [Cell<u64>; 5],
+}
+
+/// Reference-counted handle to an [`IoStats`] ledger.
+pub type SharedStats = Rc<IoStats>;
+
+impl IoStats {
+    /// Creates a fresh ledger behind an `Rc`, ready to share between pagers.
+    pub fn new_shared() -> SharedStats {
+        Rc::new(IoStats::default())
+    }
+
+    /// Records `n` page reads in `category`.
+    #[inline]
+    pub fn record_reads(&self, category: IoCategory, n: u64) {
+        let c = &self.reads[category.slot()];
+        c.set(c.get() + n);
+    }
+
+    /// Records `n` page writes in `category`.
+    #[inline]
+    pub fn record_writes(&self, category: IoCategory, n: u64) {
+        let c = &self.writes[category.slot()];
+        c.set(c.get() + n);
+    }
+
+    /// Number of reads recorded in `category`.
+    #[inline]
+    pub fn reads(&self, category: IoCategory) -> u64 {
+        self.reads[category.slot()].get()
+    }
+
+    /// Number of writes recorded in `category`.
+    #[inline]
+    pub fn writes(&self, category: IoCategory) -> u64 {
+        self.writes[category.slot()].get()
+    }
+
+    /// Total reads across all categories.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().map(Cell::get).sum()
+    }
+
+    /// Total writes across all categories.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().map(Cell::get).sum()
+    }
+
+    /// Copies the current counter values into an owned [`IoSnapshot`].
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: [
+                self.reads[0].get(),
+                self.reads[1].get(),
+                self.reads[2].get(),
+                self.reads[3].get(),
+                self.reads[4].get(),
+            ],
+            writes: [
+                self.writes[0].get(),
+                self.writes[1].get(),
+                self.writes[2].get(),
+                self.writes[3].get(),
+                self.writes[4].get(),
+            ],
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in &self.reads {
+            c.set(0);
+        }
+        for c in &self.writes {
+            c.set(0);
+        }
+    }
+}
+
+/// An owned copy of the counters, used to measure a single operation by
+/// subtracting two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    reads: [u64; 5],
+    writes: [u64; 5],
+}
+
+impl IoSnapshot {
+    /// Reads recorded in `category` at snapshot time.
+    pub fn reads(&self, category: IoCategory) -> u64 {
+        self.reads[category.slot()]
+    }
+
+    /// Writes recorded in `category` at snapshot time.
+    pub fn writes(&self, category: IoCategory) -> u64 {
+        self.writes[category.slot()]
+    }
+
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        let mut out = IoSnapshot::default();
+        for i in 0..5 {
+            out.reads[i] = self.reads[i].saturating_sub(earlier.reads[i]);
+            out.writes[i] = self.writes[i].saturating_sub(earlier.writes[i]);
+        }
+        out
+    }
+
+    /// Total reads across all categories.
+    pub fn total_reads(&self) -> u64 {
+        self.reads.iter().sum()
+    }
+
+    /// Total writes across all categories.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.iter().sum()
+    }
+}
+
+/// Converts an I/O ledger into modeled seconds.
+///
+/// The experiments in this repository run entirely in RAM, so raw wall-clock
+/// alone would hide the disk behaviour the paper measures (a random tuple
+/// access costs the same as a cached read in RAM, but ~10 ms on a 2008-era
+/// disk). The cost model charges each access category a configurable latency;
+/// figure runners report `cpu_seconds + modeled_io_seconds`.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Cost of one random page access (seek + rotational delay + transfer).
+    pub random_page_seconds: f64,
+    /// Cost of one sequentially scanned page.
+    pub sequential_page_seconds: f64,
+}
+
+impl Default for CostModel {
+    /// A 2008-era commodity disk: ~10 ms random access, ~0.1 ms per
+    /// sequential 4 KB page (≈ 40 MB/s streaming).
+    fn default() -> Self {
+        CostModel {
+            random_page_seconds: 10e-3,
+            sequential_page_seconds: 0.1e-3,
+        }
+    }
+}
+
+impl CostModel {
+    /// Modeled seconds for the accesses recorded in `snap`.
+    ///
+    /// Heap scans are charged the sequential rate; every other category is a
+    /// random access. Writes are charged like random reads (the maintenance
+    /// experiment, Fig 7, is write-heavy).
+    pub fn seconds(&self, snap: &IoSnapshot) -> f64 {
+        let mut s = 0.0;
+        for cat in IoCategory::ALL {
+            let per_page = match cat {
+                IoCategory::HeapScan => self.sequential_page_seconds,
+                _ => self.random_page_seconds,
+            };
+            s += (snap.reads(cat) + snap.writes(cat)) as f64 * per_page;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_category() {
+        let stats = IoStats::default();
+        stats.record_reads(IoCategory::RtreeBlock, 3);
+        stats.record_reads(IoCategory::SignaturePage, 1);
+        stats.record_writes(IoCategory::BptreePage, 2);
+        assert_eq!(stats.reads(IoCategory::RtreeBlock), 3);
+        assert_eq!(stats.reads(IoCategory::SignaturePage), 1);
+        assert_eq!(stats.reads(IoCategory::BptreePage), 0);
+        assert_eq!(stats.writes(IoCategory::BptreePage), 2);
+        assert_eq!(stats.total_reads(), 4);
+        assert_eq!(stats.total_writes(), 2);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_an_operation() {
+        let stats = IoStats::default();
+        stats.record_reads(IoCategory::RtreeBlock, 10);
+        let before = stats.snapshot();
+        stats.record_reads(IoCategory::RtreeBlock, 5);
+        stats.record_reads(IoCategory::TupleRandomAccess, 7);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.reads(IoCategory::RtreeBlock), 5);
+        assert_eq!(delta.reads(IoCategory::TupleRandomAccess), 7);
+        assert_eq!(delta.total_reads(), 12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let stats = IoStats::default();
+        stats.record_reads(IoCategory::HeapScan, 9);
+        stats.record_writes(IoCategory::HeapScan, 9);
+        stats.reset();
+        assert_eq!(stats.total_reads(), 0);
+        assert_eq!(stats.total_writes(), 0);
+    }
+
+    #[test]
+    fn cost_model_charges_sequential_scans_less() {
+        let stats = IoStats::default();
+        stats.record_reads(IoCategory::HeapScan, 100);
+        let seq = CostModel::default().seconds(&stats.snapshot());
+        stats.reset();
+        stats.record_reads(IoCategory::TupleRandomAccess, 100);
+        let rand = CostModel::default().seconds(&stats.snapshot());
+        assert!(rand > 10.0 * seq, "random {rand} vs sequential {seq}");
+    }
+
+    #[test]
+    fn category_display_names_are_stable() {
+        let names: Vec<String> = IoCategory::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            ["rtree-block", "signature-page", "bptree-page", "tuple-random", "heap-scan"]
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! A tiny interactive shell over the SQL front end: builds the used-car
+//! database and answers `SELECT SKYLINE …` / `SELECT TOP k …` statements.
+//!
+//! Run with: `cargo run --release --example sql_repl`
+//! Pipe statements in, or type interactively (empty line or `quit` exits):
+//!
+//! ```text
+//! echo "select top 5 from cars where type = 'sedan' order by price" \
+//!     | cargo run --release --example sql_repl
+//! ```
+
+use pcube::prelude::*;
+use pcube::sql;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2008);
+    let mut cars = Relation::new(Schema::new(&["type", "maker", "color"], &["price", "mileage"]));
+    let types = ["sedan", "suv", "coupe", "truck"];
+    let makers = ["toyota", "honda", "ford", "bmw"];
+    let colors = ["red", "blue", "white", "black"];
+    for _ in 0..20_000 {
+        let t = types[rng.gen_range(0..types.len())];
+        let m = makers[rng.gen_range(0..makers.len())];
+        let c = colors[rng.gen_range(0..colors.len())];
+        let age: f64 = rng.gen();
+        let price = ((1.0 - age) * 0.8 + rng.gen::<f64>() * 0.2).clamp(0.0, 0.999);
+        let mileage = (age * 0.8 + rng.gen::<f64>() * 0.2).clamp(0.0, 0.999);
+        cars.push(&[t, m, c], &[price, mileage]);
+    }
+    let db = PCubeDb::build(cars, &PCubeConfig::default());
+    println!(
+        "pcube sql shell — table `cars` ({} rows; boolean: type, maker, color; \
+         preference: price, mileage)",
+        db.relation().len()
+    );
+    println!("example: select top 5 from cars where color = 'red' order by price + 0.5 * mileage");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("pcube> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() || line.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match sql::execute(&db, line) {
+            Err(e) => println!("{e}"),
+            Ok(out) => {
+                for row in out.rows.iter().take(20) {
+                    let score = row.score.map(|s| format!("  score {s:.5}")).unwrap_or_default();
+                    println!(
+                        "  tid {:<6} {:<7} {:<7} {:<6} price {:.3} mileage {:.3}{}",
+                        row.tid,
+                        row.bool_values[0],
+                        row.bool_values[1],
+                        row.bool_values[2],
+                        row.coords[0],
+                        row.coords[1],
+                        score
+                    );
+                }
+                if out.rows.len() > 20 {
+                    println!("  … and {} more rows", out.rows.len() - 20);
+                }
+                println!(
+                    "  ({} rows; {} R-tree blocks, {} signature pages, peak heap {})",
+                    out.rows.len(),
+                    out.stats.io.reads(IoCategory::RtreeBlock),
+                    out.stats.io.reads(IoCategory::SignaturePage),
+                    out.stats.peak_heap
+                );
+            }
+        }
+    }
+}

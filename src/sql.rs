@@ -1,0 +1,565 @@
+//! A small SQL-style front end for the paper's query notation (§III):
+//!
+//! ```sql
+//! SELECT SKYLINE FROM r WHERE type = 'sedan' AND color = 'red'
+//!     PREFERENCE BY price, mileage
+//!
+//! SELECT TOP 10 FROM r WHERE type = 'sedan'
+//!     ORDER BY (price - 0.3)^2 + 0.5 * (mileage - 0.15)^2
+//! ```
+//!
+//! Ranking expressions are sums of terms, each either linear
+//! (`[w *] dim`) or squared-distance (`[w *] (dim - target)^2` with
+//! `w ≥ 0`), which covers the paper's Example 1 function family and the
+//! evaluation's linear functions while guaranteeing a derivable lower bound
+//! (§III's requirement).
+
+use pcube_core::{skyline_query, topk_query, PCubeDb, QueryStats, RankingFunction};
+use pcube_cube::{Predicate, Selection};
+use pcube_rtree::Mbr;
+use std::fmt;
+
+/// A parse or binding failure, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError(msg.into()))
+}
+
+/// One term of a ranking expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankTerm {
+    /// `weight * dim`
+    Linear {
+        /// Preference-dimension name.
+        dim: String,
+        /// Coefficient (any sign).
+        weight: f64,
+    },
+    /// `weight * (dim - target)^2`, `weight ≥ 0`
+    SquaredDistance {
+        /// Preference-dimension name.
+        dim: String,
+        /// Non-negative coefficient.
+        weight: f64,
+        /// The preferred value.
+        target: f64,
+    },
+}
+
+/// A parsed query, not yet bound to a database.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlQuery {
+    /// `SELECT SKYLINE FROM … [WHERE …] [PREFERENCE BY …]`
+    Skyline {
+        /// `(dimension, value)` equality predicates.
+        predicates: Vec<(String, String)>,
+        /// Preference dimensions (empty = all).
+        pref_dims: Vec<String>,
+    },
+    /// `SELECT TOP k FROM … [WHERE …] ORDER BY expr`
+    TopK {
+        /// Result size.
+        k: usize,
+        /// `(dimension, value)` equality predicates.
+        predicates: Vec<(String, String)>,
+        /// The ranking expression.
+        ranking: Vec<RankTerm>,
+    },
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Number(f64),
+    Symbol(char),
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return err("unterminated string literal");
+                }
+                out.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| SqlError(format!("bad number {text:?}")))?;
+                out.push(Token::Number(value));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(chars[start..j].iter().collect()));
+                i = j;
+            }
+            '=' | '(' | ')' | '+' | '-' | '*' | '^' | ',' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == c => Ok(()),
+            other => err(format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(w)) => Ok(w),
+            other => err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, SqlError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            other => err(format!("expected number, found {other:?}")),
+        }
+    }
+
+    fn predicates(&mut self) -> Result<Vec<(String, String)>, SqlError> {
+        if !self.keyword("where") {
+            return Ok(Vec::new());
+        }
+        let mut preds = Vec::new();
+        loop {
+            let dim = self.ident()?;
+            self.expect_symbol('=')?;
+            let value = match self.next() {
+                Some(Token::Str(s)) => s,
+                Some(Token::Ident(w)) => w,
+                Some(Token::Number(n)) => format!("{n}"),
+                other => return err(format!("expected value, found {other:?}")),
+            };
+            preds.push((dim, value));
+            if !self.keyword("and") {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    /// `expr := term (+ term)*` where
+    /// `term := [number *] base` and
+    /// `base := ident | ( ident - number ) ^ 2`.
+    fn ranking(&mut self) -> Result<Vec<RankTerm>, SqlError> {
+        let mut terms = vec![self.term()?];
+        while matches!(self.peek(), Some(Token::Symbol('+'))) {
+            self.pos += 1;
+            terms.push(self.term()?);
+        }
+        Ok(terms)
+    }
+
+    fn term(&mut self) -> Result<RankTerm, SqlError> {
+        let weight = if let Some(Token::Number(_)) = self.peek() {
+            let w = self.number()?;
+            self.expect_symbol('*')?;
+            w
+        } else {
+            1.0
+        };
+        match self.peek() {
+            Some(Token::Symbol('(')) => {
+                self.pos += 1;
+                let dim = self.ident()?;
+                self.expect_symbol('-')?;
+                let target = self.number()?;
+                self.expect_symbol(')')?;
+                self.expect_symbol('^')?;
+                match self.next() {
+                    Some(Token::Number(n)) if (n - 2.0).abs() < f64::EPSILON => {}
+                    other => return err(format!("only ^2 is supported, found {other:?}")),
+                }
+                if weight < 0.0 {
+                    return err("squared-distance terms need a non-negative weight");
+                }
+                Ok(RankTerm::SquaredDistance { dim, weight, target })
+            }
+            Some(Token::Ident(_)) => {
+                let dim = self.ident()?;
+                Ok(RankTerm::Linear { dim, weight })
+            }
+            other => err(format!("expected a ranking term, found {other:?}")),
+        }
+    }
+}
+
+/// Parses one statement of the paper's query notation.
+pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
+    let mut p = Parser { tokens: lex(sql)?, pos: 0 };
+    p.expect_keyword("select")?;
+    let query = if p.keyword("skyline") || p.keyword("skylines") {
+        p.expect_keyword("from")?;
+        let _table = p.ident()?;
+        let predicates = p.predicates()?;
+        let mut pref_dims = Vec::new();
+        if p.keyword("preference") {
+            p.expect_keyword("by")?;
+            loop {
+                pref_dims.push(p.ident()?);
+                if !matches!(p.peek(), Some(Token::Symbol(','))) {
+                    break;
+                }
+                p.pos += 1;
+            }
+        }
+        SqlQuery::Skyline { predicates, pref_dims }
+    } else if p.keyword("top") {
+        let k = p.number()? as usize;
+        if k == 0 {
+            return err("TOP k must be positive");
+        }
+        p.expect_keyword("from")?;
+        let _table = p.ident()?;
+        let predicates = p.predicates()?;
+        p.expect_keyword("order")?;
+        p.expect_keyword("by")?;
+        let ranking = p.ranking()?;
+        SqlQuery::TopK { k, predicates, ranking }
+    } else {
+        return err(format!("expected SKYLINE or TOP, found {:?}", p.peek()));
+    };
+    if p.peek().is_some() {
+        return err(format!("trailing input at {:?}", p.peek()));
+    }
+    Ok(query)
+}
+
+// ------------------------------------------------------------- executor --
+
+/// A compiled ranking expression (implements [`RankingFunction`]).
+#[derive(Debug, Clone)]
+pub struct CompiledRanking {
+    terms: Vec<(usize, RankTerm)>,
+}
+
+impl RankingFunction for CompiledRanking {
+    fn score(&self, point: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(d, t)| match t {
+                RankTerm::Linear { weight, .. } => weight * point[*d],
+                RankTerm::SquaredDistance { weight, target, .. } => {
+                    weight * (point[*d] - target) * (point[*d] - target)
+                }
+            })
+            .sum()
+    }
+
+    fn lower_bound(&self, mbr: &Mbr) -> f64 {
+        self.terms
+            .iter()
+            .map(|(d, t)| match t {
+                RankTerm::Linear { weight, .. } => {
+                    if *weight >= 0.0 {
+                        weight * mbr.min[*d]
+                    } else {
+                        weight * mbr.max[*d]
+                    }
+                }
+                RankTerm::SquaredDistance { weight, target, .. } => {
+                    let c = target.clamp(mbr.min[*d], mbr.max[*d]);
+                    weight * (c - target) * (c - target)
+                }
+            })
+            .sum()
+    }
+}
+
+/// One result row with decoded boolean values.
+#[derive(Debug, Clone)]
+pub struct ResultRow {
+    /// Tuple id.
+    pub tid: u64,
+    /// Boolean-dimension values, decoded via the dictionaries (raw codes
+    /// are rendered as `#<code>` when no string was interned).
+    pub bool_values: Vec<String>,
+    /// Preference coordinates.
+    pub coords: Vec<f64>,
+    /// Ranking score (`None` for skylines).
+    pub score: Option<f64>,
+}
+
+/// A completed SQL query.
+pub struct SqlOutcome {
+    /// The rows.
+    pub rows: Vec<ResultRow>,
+    /// Execution metrics.
+    pub stats: QueryStats,
+}
+
+fn bind_selection(db: &PCubeDb, predicates: &[(String, String)]) -> Result<Selection, SqlError> {
+    predicates
+        .iter()
+        .map(|(dim_name, value)| {
+            let dim = db
+                .relation()
+                .schema()
+                .bool_index(dim_name)
+                .ok_or_else(|| SqlError(format!("unknown boolean dimension {dim_name:?}")))?;
+            let dict = db.relation().dictionary(dim);
+            let value = match dict.code(value) {
+                Some(code) => code,
+                // Dictionary-less relations (rows appended with raw codes,
+                // e.g. the synthetic generators) accept numeric literals as
+                // the codes themselves. Otherwise an unknown value is legal:
+                // the query just matches nothing.
+                None if dict.is_empty() => value.parse::<u32>().unwrap_or(u32::MAX),
+                None => u32::MAX,
+            };
+            Ok(Predicate { dim, value })
+        })
+        .collect()
+}
+
+fn bind_pref_dim(db: &PCubeDb, name: &str) -> Result<usize, SqlError> {
+    db.relation()
+        .schema()
+        .pref_index(name)
+        .ok_or_else(|| SqlError(format!("unknown preference dimension {name:?}")))
+}
+
+fn decode_row(db: &PCubeDb, tid: u64, coords: &[f64], score: Option<f64>) -> ResultRow {
+    let n_bool = db.relation().schema().n_bool();
+    let bool_values = (0..n_bool)
+        .map(|d| {
+            let code = db.relation().bool_code(tid, d);
+            db.relation()
+                .dictionary(d)
+                .value(code)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("#{code}"))
+        })
+        .collect();
+    ResultRow { tid, bool_values, coords: coords.to_vec(), score }
+}
+
+/// Parses and runs one statement against a P-Cube database.
+pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
+    match parse(sql)? {
+        SqlQuery::Skyline { predicates, pref_dims } => {
+            let selection = bind_selection(db, &predicates)?;
+            let dims: Vec<usize> = if pref_dims.is_empty() {
+                (0..db.relation().schema().n_pref()).collect()
+            } else {
+                pref_dims
+                    .iter()
+                    .map(|n| bind_pref_dim(db, n))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            let out = skyline_query(db, &selection, &dims, false);
+            Ok(SqlOutcome {
+                rows: out
+                    .skyline
+                    .iter()
+                    .map(|(tid, coords)| decode_row(db, *tid, coords, None))
+                    .collect(),
+                stats: out.stats,
+            })
+        }
+        SqlQuery::TopK { k, predicates, ranking } => {
+            let selection = bind_selection(db, &predicates)?;
+            let terms = ranking
+                .into_iter()
+                .map(|t| {
+                    let name = match &t {
+                        RankTerm::Linear { dim, .. } | RankTerm::SquaredDistance { dim, .. } => dim,
+                    };
+                    Ok((bind_pref_dim(db, name)?, t))
+                })
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let f = CompiledRanking { terms };
+            let out = topk_query(db, &selection, k, &f, false);
+            Ok(SqlOutcome {
+                rows: out
+                    .topk
+                    .iter()
+                    .map(|(tid, coords, score)| decode_row(db, *tid, coords, Some(*score)))
+                    .collect(),
+                stats: out.stats,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example_1() {
+        let q = parse(
+            "select top 10 from r where type = 'sedan' and color = 'red' \
+             order by (price - 0.3)^2 + 0.5 * (mileage - 0.15)^2",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            SqlQuery::TopK {
+                k: 10,
+                predicates: vec![
+                    ("type".into(), "sedan".into()),
+                    ("color".into(), "red".into())
+                ],
+                ranking: vec![
+                    RankTerm::SquaredDistance { dim: "price".into(), weight: 1.0, target: 0.3 },
+                    RankTerm::SquaredDistance {
+                        dim: "mileage".into(),
+                        weight: 0.5,
+                        target: 0.15
+                    },
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_skyline_with_preference_by() {
+        let q = parse(
+            "SELECT SKYLINE FROM cameras WHERE brand = 'canon' PREFERENCE BY price, neg_zoom",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            SqlQuery::Skyline {
+                predicates: vec![("brand".into(), "canon".into())],
+                pref_dims: vec!["price".into(), "neg_zoom".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_minimal_forms() {
+        assert_eq!(
+            parse("select skyline from r").unwrap(),
+            SqlQuery::Skyline { predicates: vec![], pref_dims: vec![] }
+        );
+        let q = parse("select top 3 from r order by price").unwrap();
+        assert_eq!(
+            q,
+            SqlQuery::TopK {
+                k: 3,
+                predicates: vec![],
+                ranking: vec![RankTerm::Linear { dim: "price".into(), weight: 1.0 }],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_linear_combination() {
+        let q = parse("select top 5 from r order by 0.7 * x + y + 2 * z").unwrap();
+        let SqlQuery::TopK { ranking, .. } = q else { panic!() };
+        assert_eq!(
+            ranking,
+            vec![
+                RankTerm::Linear { dim: "x".into(), weight: 0.7 },
+                RankTerm::Linear { dim: "y".into(), weight: 1.0 },
+                RankTerm::Linear { dim: "z".into(), weight: 2.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "",
+            "select",
+            "select skyline",
+            "select top from r order by x",
+            "select top 0 from r order by x",
+            "select top 5 from r order by (x - 1)^3",
+            "select top 5 from r",
+            "select skyline from r where a =",
+            "select skyline from r where a = 'unclosed",
+            "select skyline from r trailing junk",
+            "select nothing from r",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("SeLeCt SkYlInE fRoM r").is_ok());
+    }
+}

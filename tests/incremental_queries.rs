@@ -1,0 +1,186 @@
+//! §V-C correctness: drill-down and roll-up must return exactly what a
+//! fresh query with the new predicate set returns (Lemma 2), while reusing
+//! the previous query's lists.
+
+use pcube::core::{
+    skyline_drill_down, skyline_query, skyline_roll_up, topk_drill_down, topk_query,
+    topk_roll_up, LinearFn, PCubeConfig, PCubeDb,
+};
+use pcube::cube::{Predicate, Selection};
+use pcube::data::{sample_selection, synthetic, Distribution, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_db(n: usize, seed: u64) -> PCubeDb {
+    let spec = SyntheticSpec {
+        n_tuples: n,
+        n_bool: 4,
+        n_pref: 2,
+        cardinality: 4,
+        distribution: Distribution::Uniform,
+        seed,
+    };
+    PCubeDb::build(synthetic(&spec), &PCubeConfig::default())
+}
+
+fn sorted_tids(pairs: &[(u64, Vec<f64>)]) -> Vec<u64> {
+    let mut v: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn skyline_drill_down_equals_fresh_query() {
+    let db = build_db(1000, 31);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..8 {
+        let base = sample_selection(db.relation(), 1, &mut rng);
+        let tid = rng.gen_range(0..db.relation().len() as u64);
+        let extra_dim = (base[0].dim + 1 + rng.gen_range(0..3)) % 4;
+        let extra = Predicate { dim: extra_dim, value: db.relation().bool_code(tid, extra_dim) };
+
+        let first = skyline_query(&db, &base, &[0, 1], false);
+        let drilled = skyline_drill_down(&db, first.state, extra);
+
+        let mut full: Selection = base.clone();
+        full.push(extra);
+        let fresh = skyline_query(&db, &full, &[0, 1], false);
+        assert_eq!(
+            sorted_tids(&drilled.skyline),
+            sorted_tids(&fresh.skyline),
+            "base {base:?} extra {extra:?}"
+        );
+    }
+}
+
+#[test]
+fn skyline_roll_up_equals_fresh_query() {
+    let db = build_db(1000, 32);
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..8 {
+        let sel = sample_selection(db.relation(), 2, &mut rng);
+        let drop_dim = sel[rng.gen_range(0..2)].dim;
+
+        let first = skyline_query(&db, &sel, &[0, 1], false);
+        let rolled = skyline_roll_up(&db, first.state, drop_dim);
+
+        let remaining: Selection = sel.iter().copied().filter(|p| p.dim != drop_dim).collect();
+        let fresh = skyline_query(&db, &remaining, &[0, 1], false);
+        assert_eq!(
+            sorted_tids(&rolled.skyline),
+            sorted_tids(&fresh.skyline),
+            "sel {sel:?} dropped {drop_dim}"
+        );
+    }
+}
+
+#[test]
+fn skyline_drill_then_roll_returns_to_start() {
+    let db = build_db(800, 33);
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = sample_selection(db.relation(), 1, &mut rng);
+    let tid = rng.gen_range(0..db.relation().len() as u64);
+    let extra_dim = (base[0].dim + 1) % 4;
+    let extra = Predicate { dim: extra_dim, value: db.relation().bool_code(tid, extra_dim) };
+
+    let first = skyline_query(&db, &base, &[0, 1], false);
+    let original = sorted_tids(&first.skyline);
+    let drilled = skyline_drill_down(&db, first.state, extra);
+    let back = skyline_roll_up(&db, drilled.state, extra_dim);
+    assert_eq!(sorted_tids(&back.skyline), original);
+}
+
+#[test]
+fn chained_drill_downs_stay_correct() {
+    let db = build_db(1200, 34);
+    let mut rng = StdRng::seed_from_u64(4);
+    let tid = rng.gen_range(0..db.relation().len() as u64);
+    // Drill from 0 to 3 predicates along a real row so every step matches
+    // at least one tuple.
+    let mut state = skyline_query(&db, &Vec::new(), &[0, 1], false).state;
+    let mut selection: Selection = Vec::new();
+    for dim in 0..3 {
+        let extra = Predicate { dim, value: db.relation().bool_code(tid, dim) };
+        selection.push(extra);
+        let drilled = skyline_drill_down(&db, state, extra);
+        let fresh = skyline_query(&db, &selection, &[0, 1], false);
+        assert_eq!(
+            sorted_tids(&drilled.skyline),
+            sorted_tids(&fresh.skyline),
+            "after drilling to {selection:?}"
+        );
+        state = drilled.state;
+    }
+}
+
+#[test]
+fn topk_drill_down_equals_fresh_query() {
+    let db = build_db(1000, 35);
+    let f = LinearFn::new(vec![0.6, 0.4]);
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..8 {
+        let base = sample_selection(db.relation(), 1, &mut rng);
+        let tid = rng.gen_range(0..db.relation().len() as u64);
+        let extra_dim = (base[0].dim + 1 + rng.gen_range(0..3)) % 4;
+        let extra = Predicate { dim: extra_dim, value: db.relation().bool_code(tid, extra_dim) };
+
+        let first = topk_query(&db, &base, 10, &f, false);
+        let drilled = topk_drill_down(&db, first.state, extra, &f);
+
+        let mut full: Selection = base.clone();
+        full.push(extra);
+        let fresh = topk_query(&db, &full, 10, &f, false);
+        assert_eq!(drilled.topk.len(), fresh.topk.len());
+        for (d, fr) in drilled.topk.iter().zip(&fresh.topk) {
+            assert!((d.2 - fr.2).abs() < 1e-9, "scores {} vs {}", d.2, fr.2);
+        }
+    }
+}
+
+#[test]
+fn topk_roll_up_equals_fresh_query() {
+    let db = build_db(1000, 36);
+    let f = LinearFn::new(vec![0.5, 0.5]);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..8 {
+        let sel = sample_selection(db.relation(), 2, &mut rng);
+        let drop_dim = sel[rng.gen_range(0..2)].dim;
+
+        let first = topk_query(&db, &sel, 10, &f, false);
+        let rolled = topk_roll_up(&db, first.state, drop_dim, &f);
+
+        let remaining: Selection = sel.iter().copied().filter(|p| p.dim != drop_dim).collect();
+        let fresh = topk_query(&db, &remaining, 10, &f, false);
+        assert_eq!(rolled.topk.len(), fresh.topk.len(), "sel {sel:?} drop {drop_dim}");
+        for (r, fr) in rolled.topk.iter().zip(&fresh.topk) {
+            assert!((r.2 - fr.2).abs() < 1e-9, "scores {} vs {}", r.2, fr.2);
+        }
+    }
+}
+
+#[test]
+fn drill_down_is_cheaper_than_fresh_query() {
+    // Fig 16's claim, qualitatively: continuing from cached lists reads
+    // fewer R-tree blocks than starting over.
+    let db = build_db(6000, 37);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut drill_reads = 0u64;
+    let mut fresh_reads = 0u64;
+    for _ in 0..5 {
+        let base = sample_selection(db.relation(), 1, &mut rng);
+        let tid = rng.gen_range(0..db.relation().len() as u64);
+        let extra_dim = (base[0].dim + 1) % 4;
+        let extra = Predicate { dim: extra_dim, value: db.relation().bool_code(tid, extra_dim) };
+        let first = skyline_query(&db, &base, &[0, 1], false);
+        let drilled = skyline_drill_down(&db, first.state, extra);
+        let mut full = base.clone();
+        full.push(extra);
+        let fresh = skyline_query(&db, &full, &[0, 1], false);
+        drill_reads += drilled.stats.io.reads(pcube::storage::IoCategory::RtreeBlock);
+        fresh_reads += fresh.stats.io.reads(pcube::storage::IoCategory::RtreeBlock);
+    }
+    assert!(
+        drill_reads < fresh_reads,
+        "drill-down should be cheaper: {drill_reads} vs {fresh_reads} block reads"
+    );
+}

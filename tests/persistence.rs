@@ -1,0 +1,98 @@
+//! Save/open roundtrips: a reloaded database must answer every query
+//! identically and accept further maintenance.
+
+use pcube::core::{skyline_query, topk_query, LinearFn, PCubeConfig, PCubeDb};
+use pcube::data::{sample_selection, synthetic, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build() -> PCubeDb {
+    let spec = SyntheticSpec {
+        n_tuples: 1500,
+        n_bool: 3,
+        n_pref: 2,
+        cardinality: 8,
+        ..Default::default()
+    };
+    PCubeDb::build(synthetic(&spec), &PCubeConfig::default())
+}
+
+#[test]
+fn bytes_roundtrip_preserves_every_answer() {
+    let db = build();
+    let bytes = db.save_to_bytes();
+    let reloaded = PCubeDb::load_from_bytes(&bytes).expect("loads");
+    assert_eq!(reloaded.relation().len(), db.relation().len());
+    assert_eq!(reloaded.rtree().height(), db.rtree().height());
+    assert_eq!(reloaded.pcube().registry().len(), db.pcube().registry().len());
+    reloaded.rtree().check_invariants();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let f = LinearFn::new(vec![0.6, 0.4]);
+    for n_preds in 0..=2 {
+        for _ in 0..3 {
+            let sel = sample_selection(db.relation(), n_preds, &mut rng);
+            let a = skyline_query(&db, &sel, &[0, 1], false);
+            let b = skyline_query(&reloaded, &sel, &[0, 1], false);
+            let mut ta: Vec<u64> = a.skyline.iter().map(|p| p.0).collect();
+            let mut tb: Vec<u64> = b.skyline.iter().map(|p| p.0).collect();
+            ta.sort_unstable();
+            tb.sort_unstable();
+            assert_eq!(ta, tb, "skyline mismatch for {sel:?}");
+
+            let x = topk_query(&db, &sel, 5, &f, false);
+            let y = topk_query(&reloaded, &sel, 5, &f, false);
+            assert_eq!(x.topk.len(), y.topk.len());
+            for (p, q) in x.topk.iter().zip(&y.topk) {
+                assert!((p.2 - q.2).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn reloaded_database_accepts_inserts() {
+    let db = build();
+    let mut reloaded = PCubeDb::load_from_bytes(&db.save_to_bytes()).unwrap();
+    for i in 0..40u64 {
+        let f = i as f64;
+        reloaded.insert_coded(&[i as u32 % 8, 0, 1], &[(f * 0.37) % 1.0, (f * 0.61) % 1.0]);
+    }
+    reloaded.rtree().check_invariants();
+    assert_eq!(reloaded.relation().len(), 1540);
+    // New rows are findable.
+    let sel = vec![pcube::cube::Predicate { dim: 2, value: 1 }];
+    let out = skyline_query(&reloaded, &sel, &[0, 1], false);
+    assert!(!out.skyline.is_empty());
+    // Second roundtrip after maintenance.
+    let again = PCubeDb::load_from_bytes(&reloaded.save_to_bytes()).unwrap();
+    let out2 = skyline_query(&again, &sel, &[0, 1], false);
+    assert_eq!(out.skyline.len(), out2.skyline.len());
+}
+
+#[test]
+fn file_roundtrip() {
+    let db = build();
+    let path = std::env::temp_dir().join(format!("pcube_test_{}.db", std::process::id()));
+    db.save(&path).expect("save");
+    let reloaded = PCubeDb::open(&path).expect("open");
+    assert_eq!(reloaded.relation().len(), db.relation().len());
+    // String dictionaries survive: selection by name still binds.
+    let out = skyline_query(&reloaded, &Vec::new(), &[0, 1], false);
+    assert!(!out.skyline.is_empty());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_images_are_rejected_not_panicking() {
+    let db = build();
+    let bytes = db.save_to_bytes();
+    assert!(PCubeDb::load_from_bytes(b"not a database").is_err());
+    assert!(PCubeDb::load_from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'X';
+    assert!(PCubeDb::load_from_bytes(&wrong_magic).is_err());
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(PCubeDb::load_from_bytes(&trailing).is_err());
+}

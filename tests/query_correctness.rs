@@ -1,0 +1,248 @@
+//! Cross-crate correctness: the signature-guided query processor must agree
+//! with brute-force oracles and with both baselines on every workload shape
+//! the paper's experiments use.
+
+use pcube::baselines::reference::{bnl_skyline, naive_topk};
+use pcube::baselines::{bbs_skyline, index_merge_topk, ranking_topk, BooleanIndexSet};
+use pcube::core::{skyline_query, topk_query, LinearFn, PCubeConfig, PCubeDb, WeightedDistanceFn};
+use pcube::cube::{MaterializationPlan, Predicate, Selection};
+use pcube::data::{covertype_surrogate, sample_selection, synthetic, Distribution, SyntheticSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn qualifying(db: &PCubeDb, sel: &Selection) -> Vec<(u64, Vec<f64>)> {
+    (0..db.relation().len() as u64)
+        .filter(|&t| db.relation().matches(t, sel))
+        .map(|t| (t, db.relation().pref_coords(t)))
+        .collect()
+}
+
+fn sorted_tids(pairs: &[(u64, Vec<f64>)]) -> Vec<u64> {
+    let mut v: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+    v.sort_unstable();
+    v
+}
+
+fn check_skylines(db: &PCubeDb, sel: &Selection, pref_dims: &[usize]) {
+    let oracle = sorted_tids(&bnl_skyline(&qualifying(db, sel), pref_dims));
+    for eager in [false, true] {
+        let sig = skyline_query(db, sel, pref_dims, eager);
+        assert_eq!(
+            sorted_tids(&sig.skyline),
+            oracle,
+            "signature skyline (eager={eager}) vs oracle, sel {sel:?}"
+        );
+    }
+    let (bbs, _) = bbs_skyline(db, sel, pref_dims);
+    assert_eq!(sorted_tids(&bbs), oracle, "BBS vs oracle, sel {sel:?}");
+}
+
+fn check_topk(db: &PCubeDb, indexes: &BooleanIndexSet, sel: &Selection, k: usize) {
+    let dims = db.relation().schema().n_pref();
+    let fns: Vec<Box<dyn pcube::core::RankingFunction>> = vec![
+        Box::new(LinearFn::new((0..dims).map(|i| 0.3 + 0.2 * i as f64).collect())),
+        Box::new(WeightedDistanceFn::new(vec![0.4; dims], vec![1.0; dims])),
+    ];
+    for f in &fns {
+        let oracle = naive_topk(&qualifying(db, sel), k, f.as_ref());
+        let oracle_scores: Vec<f64> = oracle.iter().map(|r| r.2).collect();
+        let assert_scores = |name: &str, got: &[(u64, Vec<f64>, f64)]| {
+            assert_eq!(got.len(), oracle.len(), "{name}: cardinality, sel {sel:?}");
+            for (g, e) in got.iter().map(|r| r.2).zip(&oracle_scores) {
+                assert!((g - e).abs() < 1e-9, "{name}: score {g} vs {e}, sel {sel:?}");
+            }
+        };
+        let sig = topk_query(db, sel, k, f.as_ref(), false);
+        assert_scores("signature", &sig.topk);
+        let (rank, _) = ranking_topk(db, sel, k, f.as_ref());
+        assert_scores("ranking", &rank);
+        let (merge, _) = index_merge_topk(db, indexes, sel, k, f.as_ref());
+        assert_scores("index-merge", &merge);
+    }
+}
+
+fn exercise(spec: &SyntheticSpec, seeds: u64) {
+    let db = PCubeDb::build(synthetic(spec), &PCubeConfig::default());
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    let pref_dims: Vec<usize> = (0..spec.n_pref).collect();
+    let mut rng = StdRng::seed_from_u64(seeds);
+    for n_preds in 0..=spec.n_bool.min(3) {
+        for _ in 0..3 {
+            let sel = sample_selection(db.relation(), n_preds, &mut rng);
+            check_skylines(&db, &sel, &pref_dims);
+            check_topk(&db, &indexes, &sel, 7);
+        }
+    }
+    // Subset preference dimensions (the paper allows N1..Nj ⊆ all).
+    if spec.n_pref >= 2 {
+        let sel = sample_selection(db.relation(), 1, &mut rng);
+        check_skylines(&db, &sel, &[0]);
+        check_skylines(&db, &sel, &[spec.n_pref - 1, 0]);
+    }
+}
+
+#[test]
+fn uniform_2d() {
+    exercise(
+        &SyntheticSpec {
+            n_tuples: 1200,
+            n_bool: 3,
+            n_pref: 2,
+            cardinality: 6,
+            distribution: Distribution::Uniform,
+            seed: 11,
+        },
+        1,
+    );
+}
+
+#[test]
+fn correlated_3d() {
+    exercise(
+        &SyntheticSpec {
+            n_tuples: 900,
+            n_bool: 2,
+            n_pref: 3,
+            cardinality: 4,
+            distribution: Distribution::Correlated,
+            seed: 12,
+        },
+        2,
+    );
+}
+
+#[test]
+fn anticorrelated_3d() {
+    exercise(
+        &SyntheticSpec {
+            n_tuples: 700,
+            n_bool: 3,
+            n_pref: 3,
+            cardinality: 5,
+            distribution: Distribution::AntiCorrelated,
+            seed: 13,
+        },
+        3,
+    );
+}
+
+#[test]
+fn four_pref_dimensions() {
+    exercise(
+        &SyntheticSpec {
+            n_tuples: 600,
+            n_bool: 2,
+            n_pref: 4,
+            cardinality: 3,
+            distribution: Distribution::Uniform,
+            seed: 14,
+        },
+        4,
+    );
+}
+
+#[test]
+fn high_cardinality_selective_predicates() {
+    exercise(
+        &SyntheticSpec {
+            n_tuples: 1500,
+            n_bool: 3,
+            n_pref: 2,
+            cardinality: 150,
+            distribution: Distribution::Uniform,
+            seed: 15,
+        },
+        5,
+    );
+}
+
+#[test]
+fn covertype_surrogate_slice() {
+    let db = PCubeDb::build(covertype_surrogate(2500, 21), &PCubeConfig::default());
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    let mut rng = StdRng::seed_from_u64(6);
+    for n_preds in 1..=4 {
+        let sel = sample_selection(db.relation(), n_preds, &mut rng);
+        check_skylines(&db, &sel, &[0, 1, 2]);
+        check_topk(&db, &indexes, &sel, 10);
+    }
+}
+
+#[test]
+fn empty_selection_queries_whole_table() {
+    let db = PCubeDb::build(
+        synthetic(&SyntheticSpec { n_tuples: 400, n_pref: 2, ..Default::default() }),
+        &PCubeConfig::default(),
+    );
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    check_skylines(&db, &Vec::new(), &[0, 1]);
+    check_topk(&db, &indexes, &Vec::new(), 5);
+}
+
+#[test]
+fn impossible_selection_returns_nothing() {
+    let db = PCubeDb::build(
+        synthetic(&SyntheticSpec { n_tuples: 300, cardinality: 5, ..Default::default() }),
+        &PCubeConfig::default(),
+    );
+    let sel = vec![Predicate { dim: 0, value: 999 }];
+    let out = skyline_query(&db, &sel, &[0, 1, 2], false);
+    assert!(out.skyline.is_empty());
+    let f = LinearFn::new(vec![1.0, 1.0, 1.0]);
+    let top = topk_query(&db, &sel, 5, &f, false);
+    assert!(top.topk.is_empty());
+}
+
+#[test]
+fn level2_materialization_gives_same_answers() {
+    let spec = SyntheticSpec {
+        n_tuples: 800,
+        n_bool: 3,
+        n_pref: 2,
+        cardinality: 4,
+        ..Default::default()
+    };
+    let relation = synthetic(&spec);
+    let atomic = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+    let level2 = PCubeDb::build(
+        relation,
+        &PCubeConfig { plan: MaterializationPlan::UpToLevel(2), ..PCubeConfig::default() },
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..5 {
+        let sel = sample_selection(atomic.relation(), 2, &mut rng);
+        let a = skyline_query(&atomic, &sel, &[0, 1], false);
+        let b = skyline_query(&level2, &sel, &[0, 1], false);
+        assert_eq!(sorted_tids(&a.skyline), sorted_tids(&b.skyline), "sel {sel:?}");
+    }
+}
+
+#[test]
+fn signature_prunes_more_rtree_blocks_than_domination() {
+    // The Fig 9 claim, qualitatively: on a selective query, Signature reads
+    // fewer R-tree blocks than Domination and does zero tuple probes.
+    let db = PCubeDb::build(
+        synthetic(&SyntheticSpec {
+            n_tuples: 5000,
+            n_bool: 3,
+            n_pref: 2,
+            cardinality: 50,
+            ..Default::default()
+        }),
+        &PCubeConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    let sel = sample_selection(db.relation(), 1, &mut rng);
+    let sig = skyline_query(&db, &sel, &[0, 1], false);
+    let (_, dom) = bbs_skyline(&db, &sel, &[0, 1]);
+    use pcube::storage::IoCategory as C;
+    assert!(
+        sig.stats.io.reads(C::RtreeBlock) <= dom.io.reads(C::RtreeBlock),
+        "signature {} vs domination {} blocks",
+        sig.stats.io.reads(C::RtreeBlock),
+        dom.io.reads(C::RtreeBlock)
+    );
+    assert_eq!(sig.stats.io.reads(C::TupleRandomAccess), 0);
+    assert!(dom.io.reads(C::TupleRandomAccess) > 0);
+    assert!(sig.stats.peak_heap <= dom.peak_heap, "Fig 10: smaller candidate heap");
+}

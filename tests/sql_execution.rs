@@ -1,0 +1,108 @@
+//! The SQL front end must produce exactly what the programmatic API does.
+
+use pcube::core::{skyline_query, topk_query, PCubeConfig, PCubeDb, WeightedDistanceFn};
+use pcube::cube::{Relation, Schema};
+use pcube::sql;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn car_db() -> PCubeDb {
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut cars = Relation::new(Schema::new(&["type", "color"], &["price", "mileage"]));
+    let types = ["sedan", "suv", "coupe"];
+    let colors = ["red", "blue", "white"];
+    for _ in 0..2000 {
+        let t = types[rng.gen_range(0..3)];
+        let c = colors[rng.gen_range(0..3)];
+        cars.push(&[t, c], &[rng.gen(), rng.gen()]);
+    }
+    PCubeDb::build(cars, &PCubeConfig::default())
+}
+
+#[test]
+fn sql_skyline_matches_api() {
+    let db = car_db();
+    let out = sql::execute(
+        &db,
+        "select skyline from cars where type = 'sedan' and color = 'red' \
+         preference by price, mileage",
+    )
+    .unwrap();
+    let sel = db.selection(&[("type", "sedan"), ("color", "red")]);
+    let api = skyline_query(&db, &sel, &[0, 1], false);
+    let mut a: Vec<u64> = out.rows.iter().map(|r| r.tid).collect();
+    let mut b: Vec<u64> = api.skyline.iter().map(|p| p.0).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    for row in &out.rows {
+        assert_eq!(row.bool_values[0], "sedan");
+        assert_eq!(row.bool_values[1], "red");
+        assert_eq!(row.score, None);
+        assert_eq!(row.coords.len(), 2);
+    }
+}
+
+#[test]
+fn sql_topk_matches_api() {
+    let db = car_db();
+    let out = sql::execute(
+        &db,
+        "select top 7 from cars where type = 'suv' \
+         order by (price - 0.25)^2 + 0.5 * (mileage - 0.4)^2",
+    )
+    .unwrap();
+    let sel = db.selection(&[("type", "suv")]);
+    let f = WeightedDistanceFn::new(vec![0.25, 0.4], vec![1.0, 0.5]);
+    let api = topk_query(&db, &sel, 7, &f, false);
+    assert_eq!(out.rows.len(), api.topk.len());
+    for (row, (tid, _, score)) in out.rows.iter().zip(&api.topk) {
+        assert_eq!(row.tid, *tid);
+        assert!((row.score.unwrap() - score).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sql_linear_ranking_subsets_dimensions() {
+    let db = car_db();
+    let out = sql::execute(&db, "select top 5 from cars order by mileage").unwrap();
+    // The best-5 by mileage only, regardless of price.
+    let mut best: Vec<(u64, f64)> =
+        (0..db.relation().len() as u64).map(|t| (t, db.relation().pref_value(t, 1))).collect();
+    best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let expect: Vec<f64> = best[..5].iter().map(|(_, m)| *m).collect();
+    let got: Vec<f64> = out.rows.iter().map(|r| r.score.unwrap()).collect();
+    for (g, e) in got.iter().zip(&expect) {
+        assert!((g - e).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sql_unknown_value_matches_nothing() {
+    let db = car_db();
+    let out = sql::execute(&db, "select skyline from cars where type = 'boat'").unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn sql_binding_errors_are_reported() {
+    let db = car_db();
+    assert!(sql::execute(&db, "select skyline from cars where horsepower = '9'").is_err());
+    assert!(sql::execute(&db, "select top 3 from cars order by horsepower").is_err());
+    assert!(sql::execute(&db, "select skyline from cars preference by horsepower").is_err());
+}
+
+#[test]
+fn sql_numeric_codes_work_on_dictionaryless_relations() {
+    use pcube::data::{synthetic, SyntheticSpec};
+    let spec = SyntheticSpec { n_tuples: 500, n_bool: 2, n_pref: 2, cardinality: 4, ..Default::default() };
+    let db = pcube::core::PCubeDb::build(synthetic(&spec), &pcube::core::PCubeConfig::default());
+    let out = sql::execute(&db, "select skyline from r where A0 = 2").unwrap();
+    assert!(!out.rows.is_empty());
+    for row in &out.rows {
+        assert_eq!(row.bool_values[0], "#2", "raw code rendered with # prefix");
+    }
+    // A non-numeric value on a dictionary-less relation matches nothing.
+    let out = sql::execute(&db, "select skyline from r where A0 = 'red'").unwrap();
+    assert!(out.rows.is_empty());
+}

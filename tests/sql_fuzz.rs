@@ -1,0 +1,43 @@
+//! The SQL parser must never panic, whatever the input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let _ = pcube::sql::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("select".to_string()),
+                Just("skyline".to_string()),
+                Just("top".to_string()),
+                Just("from".to_string()),
+                Just("where".to_string()),
+                Just("and".to_string()),
+                Just("order".to_string()),
+                Just("by".to_string()),
+                Just("preference".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("^".to_string()),
+                Just("2".to_string()),
+                Just("*".to_string()),
+                Just("+".to_string()),
+                Just("-".to_string()),
+                Just("=".to_string()),
+                Just("'v'".to_string()),
+                Just("x".to_string()),
+                Just("0.5".to_string()),
+            ],
+            0..30,
+        ),
+    ) {
+        let _ = pcube::sql::parse(&words.join(" "));
+    }
+}
