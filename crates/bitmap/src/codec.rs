@@ -69,8 +69,9 @@ pub fn decode(buf: &[u8]) -> Option<(BitArray, usize)> {
             let mut words = Vec::with_capacity(n_words);
             for _ in 0..n_words {
                 let end = pos.checked_add(8)?;
-                let chunk = buf.get(pos..end)?;
-                words.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(buf.get(pos..end)?);
+                words.push(u64::from_le_bytes(raw));
                 pos = end;
             }
             BitArray::from_words(len, words)
@@ -100,7 +101,9 @@ pub fn decode(buf: &[u8]) -> Option<(BitArray, usize)> {
             let mut i = 0usize; // next bit position to fill
             while i < len {
                 let end = pos.checked_add(4)?;
-                let word = u32::from_le_bytes(buf.get(pos..end)?.try_into().unwrap());
+                let mut raw = [0u8; 4];
+                raw.copy_from_slice(buf.get(pos..end)?);
+                let word = u32::from_le_bytes(raw);
                 pos = end;
                 if word & FILL_FLAG != 0 {
                     let fill_one = word & FILL_VALUE != 0;
@@ -248,7 +251,10 @@ impl Codec for AdaptiveCodec {
         let lit = LiteralCodec.encode(bits);
         let rle = RleCodec.encode(bits);
         let wah = WahCodec.encode(bits);
-        let best = [&lit, &rle, &wah].into_iter().min_by_key(|b| b.len()).unwrap();
+        let best = [&lit, &rle, &wah]
+            .into_iter()
+            .min_by_key(|b| b.len())
+            .expect("the candidate list is non-empty");
         out.extend_from_slice(best);
     }
 }

@@ -1,4 +1,8 @@
 //! Property tests for bit arrays, codecs and the Bloom filter.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use pcube_bitmap::{
     decode, read_varint, write_varint, AdaptiveCodec, BitArray, BloomFilter, Codec, LiteralCodec,

@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::{Bound, RangeBounds};
 
-use pcube_storage::{PageId, Pager};
+use pcube_storage::{PageId, Pager, StorageError};
 
 use crate::node::{self, TYPE_LEAF};
 
@@ -221,21 +221,125 @@ impl BPlusTree {
         &self.pager
     }
 
+    /// Mutable access to the backing pager — the hook chaos tests use to
+    /// install fault plans or corrupt pages underneath the tree.
+    pub fn pager_mut(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
+    /// Fallible [`BPlusTree::read_page`]: propagates pager errors and
+    /// rejects pages whose entry count is structurally impossible, so
+    /// corrupt bytes surface as [`StorageError`] instead of a slice panic.
+    fn try_read_page(&self, pid: PageId) -> Result<Vec<u8>, StorageError> {
+        if self.pin_internal {
+            if let Some(page) = self.internal_cache.borrow().get(&pid) {
+                return Ok(page.to_vec());
+            }
+        }
+        let page = self.pager.try_read(pid)?.to_vec();
+        let cap = if node::node_type(&page) == TYPE_LEAF { self.leaf_cap } else { self.internal_cap };
+        if node::count(&page) > cap {
+            return Err(StorageError::Malformed { pid, what: "node count exceeds page capacity" });
+        }
+        if self.pin_internal && node::node_type(&page) != TYPE_LEAF {
+            self.internal_cache.borrow_mut().insert(pid, page.clone().into_boxed_slice());
+        }
+        Ok(page)
+    }
+
     /// Looks up `key`, charging one counted read per level (pinned internal
     /// pages are free after first touch).
+    ///
+    /// Infallible [`BPlusTree::try_get`]; panics where that errors.
+    #[inline]
     pub fn get(&self, key: u64) -> Option<u64> {
+        self.try_get(key).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BPlusTree::get`]: corrupt or unreadable pages yield a
+    /// [`StorageError`] instead of panicking. The descent is bounded by the
+    /// tree height, so a corrupt child pointer cannot loop forever.
+    pub fn try_get(&self, key: u64) -> Result<Option<u64>, StorageError> {
         let mut pid = self.root;
-        loop {
+        for _ in 0..self.height {
             // Copy the page out so we can keep descending without holding
             // the borrow (pages are one node, this is a single memcpy).
-            let page = self.read_page(pid);
+            let page = self.try_read_page(pid)?;
             if node::node_type(&page) == TYPE_LEAF {
-                return match node::leaf_search(&page, key) {
+                return Ok(match node::leaf_search(&page, key) {
                     Ok(i) => Some(node::leaf_value(&page, i)),
                     Err(_) => None,
-                };
+                });
             }
             pid = node::internal_child(&page, node::internal_descend(&page, key));
+        }
+        Err(StorageError::Malformed { pid, what: "descent exceeded the tree height" })
+    }
+
+    /// Fallible bounded range scan: collects every `(key, value)` with key in
+    /// `range`, returning a [`StorageError`] on corrupt or unreadable pages.
+    /// The leaf walk is bounded by the pager's page count, so a corrupt
+    /// next-leaf pointer cannot cycle.
+    pub fn try_range_collect(
+        &self,
+        range: impl RangeBounds<u64>,
+    ) -> Result<Vec<(u64, u64)>, StorageError> {
+        let lo = match range.start_bound() {
+            Bound::Included(&k) => k,
+            Bound::Excluded(&k) => k.saturating_add(1),
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&k) => Some(k),
+            Bound::Excluded(&k) => {
+                if k == 0 {
+                    return Ok(Vec::new());
+                }
+                Some(k - 1)
+            }
+            Bound::Unbounded => None,
+        };
+        // Descend to the leaf containing lo, bounded by the tree height.
+        let mut pid = self.root;
+        let mut page = None;
+        for _ in 0..self.height {
+            let p = self.try_read_page(pid)?;
+            if node::node_type(&p) == TYPE_LEAF {
+                page = Some(p);
+                break;
+            }
+            pid = node::internal_child(&p, node::internal_descend(&p, lo));
+        }
+        let mut page =
+            page.ok_or(StorageError::Malformed { pid, what: "descent exceeded the tree height" })?;
+        let mut idx = match node::leaf_search(&page, lo) {
+            Ok(i) | Err(i) => i,
+        };
+        let mut out = Vec::new();
+        // A well-formed leaf chain visits each allocated page at most once.
+        let mut hops = self.pager.live_pages();
+        loop {
+            while idx < node::count(&page) {
+                let key = node::leaf_key(&page, idx);
+                if hi.is_some_and(|hi| key > hi) {
+                    return Ok(out);
+                }
+                out.push((key, node::leaf_value(&page, idx)));
+                idx += 1;
+            }
+            let next = node::next_leaf(&page);
+            if next.is_invalid() {
+                return Ok(out);
+            }
+            if hops == 0 {
+                return Err(StorageError::Malformed { pid: next, what: "leaf chain longer than the page count (cycle?)" });
+            }
+            hops -= 1;
+            page = self.try_read_page(next)?;
+            if node::node_type(&page) != TYPE_LEAF {
+                return Err(StorageError::Malformed { pid: next, what: "leaf chain points at a non-leaf page" });
+            }
+            idx = 0;
         }
     }
 
@@ -668,6 +772,42 @@ mod tests {
         assert_eq!(t.len(), 200);
         let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, (0..200u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_get_surfaces_injected_faults_and_corruption() {
+        let (mut t, _) = tree_with(64);
+        for k in 0..300u64 {
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.try_get(42), Ok(Some(43)));
+        assert_eq!(t.try_range_collect(10..13), Ok(vec![(10, 11), (11, 12), (12, 13)]));
+        // Injected read errors become typed errors, not panics.
+        t.pager_mut()
+            .set_fault_plan(pcube_storage::FaultPlan::seeded(9).with_read_errors(1.0));
+        assert!(matches!(t.try_get(42), Err(StorageError::Io { .. })));
+        assert!(t.try_range_collect(..).is_err());
+        t.pager_mut().take_fault_plan();
+        assert_eq!(t.try_get(42), Ok(Some(43)));
+        // A page whose count field is garbage is Malformed, not a panic.
+        let root = t.parts().0;
+        t.pager_mut().update(root, |p| node::set_count(p, 60_000));
+        assert!(matches!(
+            t.try_get(42),
+            Err(StorageError::Malformed { what: "node count exceeds page capacity", .. })
+        ));
+    }
+
+    #[test]
+    fn try_range_collect_matches_iter() {
+        let (mut t, _) = tree_with(64);
+        for k in 0..500u64 {
+            t.insert(k * 3, k);
+        }
+        let via_iter: Vec<(u64, u64)> = t.range(100..=1000).collect();
+        assert_eq!(t.try_range_collect(100..=1000), Ok(via_iter));
+        let all: Vec<(u64, u64)> = t.iter().collect();
+        assert_eq!(t.try_range_collect(..), Ok(all));
     }
 
     #[test]

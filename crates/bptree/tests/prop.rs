@@ -1,5 +1,9 @@
 //! Model-based property tests: the disk B+-tree must behave exactly like
 //! `std::collections::BTreeMap` under arbitrary operation sequences.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use pcube_bptree::BPlusTree;
 use pcube_storage::{IoCategory, IoStats, Pager};

@@ -149,6 +149,7 @@ pub fn reassemble(m_max: usize, partials: &[PartialSignature]) -> Signature {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

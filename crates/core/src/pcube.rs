@@ -87,6 +87,12 @@ impl PCube {
         &self.store
     }
 
+    /// Mutable access to the signature store (chaos-testing hook: reach the
+    /// pagers to install fault plans or corrupt pages).
+    pub fn store_mut(&mut self) -> &mut SignatureStore {
+        &mut self.store
+    }
+
     /// The cell registry (cell key ↔ dense code).
     pub fn registry(&self) -> &CellRegistry {
         &self.registry
@@ -126,15 +132,33 @@ impl PCube {
             return BooleanProbe::Assembled(Signature::empty(self.store.m_max()));
         }
         if eager_assembly {
-            let mut sigs = codes.iter().map(|c| self.store.load_full(c.unwrap()));
-            let first = sigs.next().expect("non-empty selection");
-            let assembled = sigs.fold(first, |acc, s| acc.intersect(&s, self.store.height()));
-            BooleanProbe::Assembled(assembled)
-        } else {
-            BooleanProbe::IntersectLazy(
-                codes.into_iter().map(|c| self.store.cursor(c.unwrap())).collect(),
-            )
+            match self.try_assemble(&codes) {
+                Some(assembled) => return BooleanProbe::Assembled(assembled),
+                // A cell's signature could not be fully loaded (corrupt or
+                // unreadable page). Degrade to lazy cursors, which survive
+                // per-partial failures conservatively instead of aborting.
+                None => self.store.stats().record_degraded_reads(1),
+            }
         }
+        BooleanProbe::IntersectLazy(
+            // invariant: the `any(Option::is_none)` guard above returned.
+            codes.into_iter().map(|c| self.store.cursor(c.expect("all codes resolved"))).collect(),
+        )
+    }
+
+    /// Eagerly loads and intersects the signatures of `codes`; `None` if any
+    /// full load fails.
+    fn try_assemble(&self, codes: &[Option<u32>]) -> Option<Signature> {
+        let mut acc: Option<Signature> = None;
+        for c in codes {
+            // invariant: the caller checked every code is `Some`.
+            let sig = self.store.try_load_full(c.expect("caller checked every code")).ok()?;
+            acc = Some(match acc {
+                None => sig,
+                Some(a) => a.intersect(&sig, self.store.height()),
+            });
+        }
+        acc
     }
 
     /// Builds a lossy Bloom-filter probe (§VII) for the selection at the
@@ -147,13 +171,27 @@ impl PCube {
         if selection.is_empty() {
             return BooleanProbe::All;
         }
-        let mut filters = Vec::with_capacity(selection.len());
+        let mut codes = Vec::with_capacity(selection.len());
         for p in &selection {
             match self.registry.code(&CellKey::atomic(p.dim, p.value)) {
                 None => return BooleanProbe::Assembled(Signature::empty(self.store.m_max())),
-                Some(code) => {
-                    let sig = self.store.load_full(code);
+                Some(code) => codes.push(code),
+            }
+        }
+        let mut filters = Vec::with_capacity(codes.len());
+        for &code in &codes {
+            match self.store.try_load_full(code) {
+                Ok(sig) => {
                     filters.push(crate::bloom::BloomSignature::from_signature(&sig, fp_rate));
+                }
+                // Filter construction needs the exact signature; if one
+                // cannot be read, degrade every predicate to a lazy cursor
+                // rather than (unsoundly) pruning with a partial filter set.
+                Err(_) => {
+                    self.store.stats().record_degraded_reads(1);
+                    return BooleanProbe::IntersectLazy(
+                        codes.into_iter().map(|c| self.store.cursor(c)).collect(),
+                    );
                 }
             }
         }
@@ -260,6 +298,12 @@ impl PCubeDb {
     /// The signature cube.
     pub fn pcube(&self) -> &PCube {
         &self.pcube
+    }
+
+    /// Mutable access to the signature store (chaos-testing hook: install
+    /// fault plans, enable checksums, or corrupt signature pages).
+    pub fn signature_store_mut(&mut self) -> &mut SignatureStore {
+        self.pcube.store_mut()
     }
 
     /// The shared I/O ledger.

@@ -10,7 +10,11 @@
 //!
 //! The format is a versioned, little-endian, length-prefixed layout —
 //! deliberately hand-rolled so the workspace keeps its tiny dependency
-//! footprint.
+//! footprint. Version 2 (this build) frames the image into four sections
+//! (`relation`, `rtree`, `cube`, `signatures`), each `[tag u8][len u64]
+//! [payload][crc32 u32]`. A corrupt, truncated or oversized image yields a
+//! [`PersistError`] naming the failing section and the absolute byte offset,
+//! never a panic; see `DESIGN.md` §6.
 //!
 //! # Example
 //!
@@ -30,37 +34,64 @@
 
 use pcube_cube::{CellKey, CuboidMask, Relation, Schema};
 use pcube_rtree::{RTree, RTreeConfig};
-use pcube_storage::{IoCategory, IoStats, PageId, Pager};
+use pcube_storage::{crc32, IoCategory, IoStats, PageId, Pager};
 
 use crate::pcube::{PCube, PCubeDb};
 use crate::store::SignatureStore;
 
-const MAGIC: &[u8; 8] = b"PCUBEDB1";
+/// 7-byte file magic; the following byte is the format version.
+const MAGIC_PREFIX: &[u8; 7] = b"PCUBEDB";
+/// The format version this build writes and reads.
+const VERSION: u8 = b'2';
 
-/// A serialization or deserialization failure.
+/// Section tags, in file order.
+const TAG_RELATION: u8 = 1;
+const TAG_RTREE: u8 = 2;
+const TAG_CUBE: u8 = 3;
+const TAG_SIGNATURES: u8 = 4;
+
+/// A serialization or deserialization failure, pinpointing the failing
+/// section and the absolute byte offset in the image.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PersistError(pub String);
+pub struct PersistError {
+    /// Which part of the image failed: `header`, `relation`, `rtree`,
+    /// `cube`, `signatures`, `image` (framing), or `file` (I/O wrappers).
+    pub section: &'static str,
+    /// Absolute byte offset in the image where the failure was detected.
+    pub offset: usize,
+    /// Human-readable description of what went wrong.
+    pub cause: String,
+}
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "persist error: {}", self.0)
+        write!(f, "persist error: {} section, byte {}: {}", self.section, self.offset, self.cause)
     }
 }
 
 impl std::error::Error for PersistError {}
 
-fn fail<T>(msg: impl Into<String>) -> Result<T, PersistError> {
-    Err(PersistError(msg.into()))
+fn fail<T>(section: &'static str, offset: usize, cause: impl Into<String>) -> Result<T, PersistError> {
+    Err(PersistError { section, offset, cause: cause.into() })
 }
 
 // ------------------------------------------------------------ wire format --
 
+/// Reads one section's payload, carrying the section name and the payload's
+/// absolute position so every error can name an exact image offset.
 struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
+    section: &'static str,
+    /// Absolute offset of `buf[0]` within the whole image.
+    base: usize,
 }
 
 impl<'a> Reader<'a> {
+    fn err<T>(&self, cause: impl Into<String>) -> Result<T, PersistError> {
+        fail(self.section, self.base + self.pos, cause)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         match end {
@@ -69,26 +100,81 @@ impl<'a> Reader<'a> {
                 self.pos = end;
                 Ok(out)
             }
-            None => fail("truncated input"),
+            None => self.err("truncated input"),
         }
     }
 
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(raw))
     }
 
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(raw))
     }
 
     fn f64(&mut self) -> Result<f64, PersistError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8)?);
+        Ok(f64::from_le_bytes(raw))
     }
 
     fn string(&mut self) -> Result<String, PersistError> {
-        let len = self.u64()? as usize;
+        let len = self.count(8, 1, "string length")?;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| PersistError("bad utf-8".into()))
+        match String::from_utf8(bytes.to_vec()) {
+            Ok(s) => Ok(s),
+            Err(_) => {
+                self.pos -= len; // point the error at the string, not past it
+                self.err("bad utf-8")
+            }
+        }
+    }
+
+    /// Reads a count (u32 when `width == 4`, u64 when `width == 8`) and
+    /// rejects it if `count * min_elem_size` exceeds the remaining payload —
+    /// the guard that keeps a bit-flipped length field from turning into a
+    /// multi-gigabyte `Vec::with_capacity`.
+    fn count(&mut self, width: usize, min_elem_size: usize, what: &str) -> Result<usize, PersistError> {
+        let start = self.pos;
+        let raw = match width {
+            4 => u64::from(self.u32()?),
+            _ => self.u64()?,
+        };
+        let remaining = self.buf.len() - self.pos;
+        let plausible = usize::try_from(raw)
+            .ok()
+            .and_then(|c| c.checked_mul(min_elem_size))
+            .is_some_and(|need| need <= remaining);
+        if !plausible {
+            self.pos = start;
+            return self.err(format!("{what} {raw} exceeds the remaining section bytes"));
+        }
+        Ok(raw as usize)
+    }
+
+    /// Deserializes an embedded pager image starting at the current
+    /// position, translating its [`pcube_storage::ImageError`] offset into
+    /// an absolute image offset.
+    fn pager(&mut self, category: IoCategory, stats: pcube_storage::SharedStats) -> Result<Pager, PersistError> {
+        match Pager::try_deserialize_from(&self.buf[self.pos..], category, stats) {
+            Ok((pager, used)) => {
+                self.pos += used;
+                Ok(pager)
+            }
+            Err(e) => fail(self.section, self.base + self.pos + e.offset, e.cause),
+        }
+    }
+
+    /// Fails unless the whole payload was consumed.
+    fn finish(self) -> Result<(), PersistError> {
+        if self.pos != self.buf.len() {
+            return self.err("trailing bytes inside the section");
+        }
+        Ok(())
     }
 }
 
@@ -109,99 +195,178 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
+/// Appends one framed section: `[tag][len][payload][crc32(payload)]`.
+fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u32(out, crc32(payload));
+}
+
+/// Validates the framing of the next section (`tag`, length, CRC) and hands
+/// back a [`Reader`] over its payload.
+fn open_section<'a>(
+    image: &'a [u8],
+    pos: &mut usize,
+    tag: u8,
+    name: &'static str,
+) -> Result<Reader<'a>, PersistError> {
+    let header = *pos;
+    if image.len() - header < 1 + 8 {
+        return fail(name, header, "image truncated before the section header");
+    }
+    if image[header] != tag {
+        return fail(name, header, format!("unexpected section tag {}", image[header]));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&image[header + 1..header + 9]);
+    let len = u64::from_le_bytes(raw);
+    let body = header + 9;
+    let fits = usize::try_from(len)
+        .ok()
+        .and_then(|l| l.checked_add(4))
+        .is_some_and(|need| need <= image.len() - body);
+    if !fits {
+        return fail(name, header + 1, format!("section length {len} exceeds the image"));
+    }
+    let len = len as usize;
+    let payload = &image[body..body + len];
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&image[body + len..body + len + 4]);
+    let stored = u32::from_le_bytes(raw);
+    let computed = crc32(payload);
+    if stored != computed {
+        return fail(
+            name,
+            body + len,
+            format!("section checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+        );
+    }
+    *pos = body + len + 4;
+    Ok(Reader { buf: payload, pos: 0, section: name, base: body })
+}
+
 impl PCubeDb {
     /// Serializes the whole database (relation, R-tree, signatures,
-    /// registry) into one buffer.
+    /// registry) into one buffer in format version 2.
     pub fn save_to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(MAGIC_PREFIX);
+        out.push(VERSION);
 
         // --- relation ---
+        let mut payload = Vec::new();
         let schema = self.relation.schema();
-        put_u32(&mut out, schema.n_bool() as u32);
+        put_u32(&mut payload, schema.n_bool() as u32);
         for d in 0..schema.n_bool() {
-            put_string(&mut out, schema.bool_name(d));
+            put_string(&mut payload, schema.bool_name(d));
         }
-        put_u32(&mut out, schema.n_pref() as u32);
+        put_u32(&mut payload, schema.n_pref() as u32);
         for d in 0..schema.n_pref() {
-            put_string(&mut out, schema.pref_name(d));
+            put_string(&mut payload, schema.pref_name(d));
         }
         for d in 0..schema.n_bool() {
             let values = self.relation.dictionary(d).values();
-            put_u64(&mut out, values.len() as u64);
+            put_u64(&mut payload, values.len() as u64);
             for v in values {
-                put_string(&mut out, v);
+                put_string(&mut payload, v);
             }
         }
-        put_u64(&mut out, self.relation.len() as u64);
+        put_u64(&mut payload, self.relation.len() as u64);
         for d in 0..schema.n_bool() {
             for &c in self.relation.bool_column(d) {
-                put_u32(&mut out, c);
+                put_u32(&mut payload, c);
             }
         }
         for d in 0..schema.n_pref() {
             for &x in self.relation.pref_column(d) {
-                put_f64(&mut out, x);
+                put_f64(&mut payload, x);
             }
         }
+        put_section(&mut out, TAG_RELATION, &payload);
 
         // --- R-tree ---
+        payload.clear();
         let (root, height, len) = self.rtree.parts();
-        put_u32(&mut out, self.rtree.dims() as u32);
-        put_u32(&mut out, self.rtree.m_max() as u32);
-        put_u32(&mut out, self.rtree.m_min() as u32);
-        put_u32(&mut out, root.0);
-        put_u64(&mut out, height as u64);
-        put_u64(&mut out, len);
-        self.rtree.pager().serialize_into(&mut out);
+        put_u32(&mut payload, self.rtree.dims() as u32);
+        put_u32(&mut payload, self.rtree.m_max() as u32);
+        put_u32(&mut payload, self.rtree.m_min() as u32);
+        put_u32(&mut payload, root.0);
+        put_u64(&mut payload, height as u64);
+        put_u64(&mut payload, len);
+        self.rtree.pager().serialize_into(&mut payload);
+        put_section(&mut out, TAG_RTREE, &payload);
 
         // --- cube: cuboids + registry (code order) ---
-        put_u64(&mut out, self.pcube.cuboids.len() as u64);
+        payload.clear();
+        put_u64(&mut payload, self.pcube.cuboids.len() as u64);
         for m in &self.pcube.cuboids {
-            put_u32(&mut out, m.0);
+            put_u32(&mut payload, m.0);
         }
-        put_u64(&mut out, self.pcube.registry.len() as u64);
+        put_u64(&mut payload, self.pcube.registry.len() as u64);
         for code in 0..self.pcube.registry.len() as u32 {
             let key = self.pcube.registry.key(code).expect("dense codes");
-            put_u32(&mut out, key.mask.0);
-            put_u64(&mut out, key.values.len() as u64);
+            put_u32(&mut payload, key.mask.0);
+            put_u64(&mut payload, key.values.len() as u64);
             for &v in &key.values {
-                put_u32(&mut out, v);
+                put_u32(&mut payload, v);
             }
         }
+        put_section(&mut out, TAG_CUBE, &payload);
 
         // --- signature store ---
+        payload.clear();
         let (sig_pager, directory, m_max, s_height) = self.pcube.store.parts_ref();
-        put_u64(&mut out, m_max as u64);
-        put_u64(&mut out, s_height as u64);
-        sig_pager.serialize_into(&mut out);
+        put_u64(&mut payload, m_max as u64);
+        put_u64(&mut payload, s_height as u64);
+        sig_pager.serialize_into(&mut payload);
         let (d_root, d_height, d_len) = directory.parts();
-        put_u32(&mut out, d_root.0);
-        put_u64(&mut out, d_height as u64);
-        put_u64(&mut out, d_len);
-        directory.pager().serialize_into(&mut out);
+        put_u32(&mut payload, d_root.0);
+        put_u64(&mut payload, d_height as u64);
+        put_u64(&mut payload, d_len);
+        directory.pager().serialize_into(&mut payload);
+        put_section(&mut out, TAG_SIGNATURES, &payload);
 
         out
     }
 
     /// Restores a database saved by [`PCubeDb::save_to_bytes`]. The restored
     /// instance has a fresh (zeroed) I/O ledger.
-    pub fn load_from_bytes(buf: &[u8]) -> Result<PCubeDb, PersistError> {
-        let mut r = Reader { buf, pos: 0 };
-        if r.take(8)? != MAGIC {
-            return fail("not a pcube database file");
+    ///
+    /// Never panics on hostile input: truncation, bit flips, a wrong magic,
+    /// or a future format version all surface as a [`PersistError`] naming
+    /// the failing section and byte offset.
+    pub fn load_from_bytes(image: &[u8]) -> Result<PCubeDb, PersistError> {
+        if image.len() < 8 {
+            return fail("header", 0, "image shorter than the magic header");
+        }
+        if &image[..7] != MAGIC_PREFIX {
+            return fail("header", 0, "not a pcube database file");
+        }
+        match image[7] {
+            VERSION => {}
+            b'1' => {
+                return fail(
+                    "header",
+                    7,
+                    "unsupported format version 1 (this build reads version 2)",
+                )
+            }
+            v => return fail("header", 7, format!("unknown future format version {:?}", v as char)),
         }
         let stats = IoStats::new_shared();
+        let mut pos = 8usize;
 
         // --- relation ---
-        let n_bool = r.u32()? as usize;
+        let mut r = open_section(image, &mut pos, TAG_RELATION, "relation")?;
+        let n_bool = r.count(4, 8, "boolean dimension count")?;
         let mut bool_names = Vec::with_capacity(n_bool);
         for _ in 0..n_bool {
             bool_names.push(r.string()?);
         }
-        let n_pref = r.u32()? as usize;
+        let n_pref = r.count(4, 8, "preference dimension count")?;
         if n_pref == 0 {
-            return fail("no preference dimensions");
+            return r.err("no preference dimensions");
         }
         let mut pref_names = Vec::with_capacity(n_pref);
         for _ in 0..n_pref {
@@ -213,14 +378,14 @@ impl PCubeDb {
         );
         let mut relation = Relation::new(schema);
         for d in 0..n_bool {
-            let n_values = r.u64()? as usize;
+            let n_values = r.count(8, 8, "dictionary size")?;
             let mut values = Vec::with_capacity(n_values);
             for _ in 0..n_values {
                 values.push(r.string()?);
             }
             relation.restore_dictionary(d, &values);
         }
-        let n_rows = r.u64()? as usize;
+        let n_rows = r.count(8, (n_bool * 4 + n_pref * 8).max(1), "row count")?;
         let mut bool_cols = vec![Vec::with_capacity(n_rows); n_bool];
         for col in bool_cols.iter_mut() {
             for _ in 0..n_rows {
@@ -245,61 +410,64 @@ impl PCubeDb {
             relation.push_coded(&codes, &coords);
         }
         relation.attach_stats(stats.clone());
+        r.finish()?;
 
         // --- R-tree ---
+        let mut r = open_section(image, &mut pos, TAG_RTREE, "rtree")?;
         let dims = r.u32()? as usize;
         let m_max = r.u32()? as usize;
         let m_min = r.u32()? as usize;
         let root = PageId(r.u32()?);
         let height = r.u64()? as usize;
         let len = r.u64()?;
-        let (pager, used) =
-            Pager::deserialize_from(&buf[r.pos..], IoCategory::RtreeBlock, stats.clone())
-                .ok_or_else(|| PersistError("corrupt R-tree pager".into()))?;
-        r.pos += used;
         if dims != n_pref {
-            return fail("R-tree dimensionality does not match the schema");
+            return r.err("R-tree dimensionality does not match the schema");
         }
+        // Mirror `RTreeConfig::explicit`'s invariant so garbage fanouts come
+        // back as an error instead of an assertion failure.
+        if m_max < 2 || m_min == 0 || 2 * m_min > m_max + 1 {
+            return r.err(format!("implausible R-tree fanout (m_min {m_min}, m_max {m_max})"));
+        }
+        let pager = r.pager(IoCategory::RtreeBlock, stats.clone())?;
+        r.finish()?;
         let config = RTreeConfig::explicit(dims, m_min, m_max);
         let rtree = RTree::from_parts(pager, config, root, height, len);
 
         // --- cube ---
-        let n_cuboids = r.u64()? as usize;
+        let mut r = open_section(image, &mut pos, TAG_CUBE, "cube")?;
+        let n_cuboids = r.count(8, 4, "cuboid count")?;
         let mut cuboids = Vec::with_capacity(n_cuboids);
         for _ in 0..n_cuboids {
             cuboids.push(CuboidMask(r.u32()?));
         }
-        let n_cells = r.u64()? as usize;
+        let n_cells = r.count(8, 4 + 8, "cell count")?;
         let mut registry = pcube_cube::CellRegistry::new();
         for expected in 0..n_cells as u32 {
             let mask = CuboidMask(r.u32()?);
-            let n_values = r.u64()? as usize;
+            let n_values = r.count(8, 4, "cell value count")?;
             let mut values = Vec::with_capacity(n_values);
             for _ in 0..n_values {
                 values.push(r.u32()?);
             }
             let code = registry.intern(CellKey { mask, values });
             if code != expected {
-                return fail("registry codes are not dense");
+                return r.err("registry codes are not dense");
             }
         }
+        r.finish()?;
 
         // --- signature store ---
+        let mut r = open_section(image, &mut pos, TAG_SIGNATURES, "signatures")?;
         let s_m_max = r.u64()? as usize;
         let s_height = r.u64()? as usize;
-        let (sig_pager, used) =
-            Pager::deserialize_from(&buf[r.pos..], IoCategory::SignaturePage, stats.clone())
-                .ok_or_else(|| PersistError("corrupt signature pager".into()))?;
-        r.pos += used;
+        let sig_pager = r.pager(IoCategory::SignaturePage, stats.clone())?;
         let d_root = PageId(r.u32()?);
         let d_height = r.u64()? as usize;
         let d_len = r.u64()?;
-        let (dir_pager, used) =
-            Pager::deserialize_from(&buf[r.pos..], IoCategory::BptreePage, stats.clone())
-                .ok_or_else(|| PersistError("corrupt directory pager".into()))?;
-        r.pos += used;
-        if r.pos != buf.len() {
-            return fail("trailing bytes after database image");
+        let dir_pager = r.pager(IoCategory::BptreePage, stats.clone())?;
+        r.finish()?;
+        if pos != image.len() {
+            return fail("image", pos, "trailing bytes after database image");
         }
         let directory = pcube_bptree::BPlusTree::from_parts(dir_pager, d_root, d_height, d_len);
         let store = SignatureStore::from_parts(sig_pager, directory, s_m_max, s_height);
@@ -314,12 +482,14 @@ impl PCubeDb {
 
     /// Saves the database to a file.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), PersistError> {
-        std::fs::write(path, self.save_to_bytes()).map_err(|e| PersistError(e.to_string()))
+        std::fs::write(path, self.save_to_bytes())
+            .map_err(|e| PersistError { section: "file", offset: 0, cause: e.to_string() })
     }
 
     /// Opens a database saved with [`PCubeDb::save`].
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<PCubeDb, PersistError> {
-        let bytes = std::fs::read(path).map_err(|e| PersistError(e.to_string()))?;
+        let bytes = std::fs::read(path)
+            .map_err(|e| PersistError { section: "file", offset: 0, cause: e.to_string() })?;
         Self::load_from_bytes(&bytes)
     }
 }

@@ -97,6 +97,16 @@ pub fn dynamic_skyline_query(
         }
         match entry.cand {
             Candidate::Tuple { tid, coords, .. } => {
+                // A lossy probe (Bloom §VII, or a cursor degraded by a
+                // storage failure) may pass non-qualifying tuples; verify
+                // against the base table before the tuple can join the
+                // result and prune others.
+                if probe.is_lossy() && !selection.is_empty() {
+                    let codes = db.relation().fetch(tid);
+                    if !selection.iter().all(|p| codes[p.dim] == p.value) {
+                        continue;
+                    }
+                }
                 let t = t_point(&coords);
                 result.push((tid, coords, t));
             }

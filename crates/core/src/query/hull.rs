@@ -64,6 +64,16 @@ pub fn convex_hull_query(
                     if !probe.contains(&child_path) {
                         continue;
                     }
+                    // A lossy probe (Bloom §VII, or a cursor degraded by a
+                    // storage failure) may pass non-qualifying tuples; verify
+                    // against the base table before the point can shape the
+                    // hull and prune others.
+                    if probe.is_lossy() && !selection.is_empty() {
+                        let codes = db.relation().fetch(tid);
+                        if !selection.iter().all(|p| codes[p.dim] == p.value) {
+                            continue;
+                        }
+                    }
                     points.push((tid, p));
                     // Rebuild the running hull occasionally to keep the
                     // inside-test sharp without paying O(n log n) per point.
@@ -115,11 +125,7 @@ fn strictly_inside_hull(hull: &[(u64, [f64; 2])], p: [f64; 2]) -> bool {
 pub(crate) fn monotone_chain(points: &[(u64, [f64; 2])]) -> Vec<(u64, [f64; 2])> {
     let mut pts: Vec<(u64, [f64; 2])> = points.to_vec();
     pts.sort_by(|a, b| {
-        a.1[0]
-            .partial_cmp(&b.1[0])
-            .unwrap()
-            .then(a.1[1].partial_cmp(&b.1[1]).unwrap())
-            .then(a.0.cmp(&b.0))
+        a.1[0].total_cmp(&b.1[0]).then(a.1[1].total_cmp(&b.1[1])).then(a.0.cmp(&b.0))
     });
     pts.dedup_by(|a, b| a.1 == b.1);
     let n = pts.len();

@@ -17,7 +17,7 @@ use std::collections::{HashMap, HashSet};
 use pcube_bitmap::BitArray;
 use pcube_bptree::{composite_key, split_key, BPlusTree};
 use pcube_rtree::{Path, Sid};
-use pcube_storage::{read_u32, write_u32, IoCategory, Pager};
+use pcube_storage::{read_u32, write_u32, IoCategory, Pager, StorageError};
 
 use crate::encode::{decode_partial, decompose, encode_partial, PartialSignature};
 use crate::signature::Signature;
@@ -108,6 +108,22 @@ impl SignatureStore {
         self.directory.len()
     }
 
+    /// The shared I/O ledger the signature pager charges to.
+    pub fn stats(&self) -> &pcube_storage::SharedStats {
+        self.pager.stats()
+    }
+
+    /// Mutable access to the signature pager (chaos-testing hook: install a
+    /// [`pcube_storage::FaultPlan`], enable checksums, or corrupt pages).
+    pub fn sig_pager_mut(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
+    /// Mutable access to the directory pager (chaos-testing hook).
+    pub fn dir_pager_mut(&mut self) -> &mut Pager {
+        self.directory.pager_mut()
+    }
+
     fn dir_key(cell: u32, sid: Sid) -> u64 {
         let sid32 = u32::try_from(sid.0)
             .expect("partial-root SID exceeds u32 — tree too deep for the directory key layout");
@@ -147,7 +163,7 @@ impl SignatureStore {
                 .copy_from_slice(&bytes);
             let old = self.directory.insert(
                 Self::dir_key(cell, partial.root_sid),
-                Self::locator(pid.unwrap(), used),
+                Self::locator(pid.expect("set by the `is_none()` branch above"), used),
             );
             assert!(old.is_none(), "duplicate partial reference for cell {cell}");
             used += RECORD_HEADER + bytes.len();
@@ -175,51 +191,90 @@ impl SignatureStore {
 
     /// Loads one partial by its reference SID, charging one signature-page
     /// read (plus the directory descent). `None` if no such partial.
+    ///
+    /// Infallible [`SignatureStore::try_load_partial`]; panics where that
+    /// errors.
+    #[inline]
     pub fn load_partial(&self, cell: u32, ref_sid: Sid) -> Option<PartialSignature> {
-        let loc = self.directory.get(Self::dir_key(cell, ref_sid))?;
-        Some(self.load_partial_at(loc))
+        self.try_load_partial(cell, ref_sid).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Loads a partial straight from its locator (one signature-page read).
-    fn load_partial_at(&self, loc: u64) -> PartialSignature {
+    /// Fallible [`SignatureStore::load_partial`]: surfaces directory-descent
+    /// failures, unreadable signature pages and undecodable records.
+    pub fn try_load_partial(
+        &self,
+        cell: u32,
+        ref_sid: Sid,
+    ) -> Result<Option<PartialSignature>, StorageError> {
+        match self.directory.try_get(Self::dir_key(cell, ref_sid))? {
+            Some(loc) => Ok(Some(self.try_load_partial_at(loc)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Loads a partial straight from its locator (one signature-page read),
+    /// validating the record bounds before decoding so a corrupt locator or
+    /// length field yields a typed error instead of a slice panic.
+    fn try_load_partial_at(&self, loc: u64) -> Result<PartialSignature, StorageError> {
         let (pid, offset) = Self::unpack_locator(loc);
-        let page = self.pager.read(pid);
+        let page = self.pager.try_read(pid)?;
+        if offset + RECORD_HEADER > page.len() {
+            return Err(StorageError::Malformed {
+                pid,
+                what: "partial-signature locator points outside the page",
+            });
+        }
         let len = read_u32(page, offset) as usize;
-        decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len])
-            .expect("stored partial must decode")
+        if len > page.len() - offset - RECORD_HEADER {
+            return Err(StorageError::Malformed {
+                pid,
+                what: "partial-signature length exceeds the page",
+            });
+        }
+        decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len]).ok_or(
+            StorageError::Malformed { pid, what: "undecodable partial signature" },
+        )
     }
 
     /// All `(reference SID, locator)` pairs of a cell, via one directory
     /// range scan (the refs are contiguous in key space, so this typically
     /// costs a descent plus one leaf page).
-    fn locators_of(&self, cell: u32) -> HashMap<Sid, u64> {
-        self.directory
-            .range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+    fn try_locators_of(&self, cell: u32) -> Result<HashMap<Sid, u64>, StorageError> {
+        Ok(self
+            .directory
+            .try_range_collect(composite_key(cell, 0)..=composite_key(cell, u32::MAX))?
+            .into_iter()
             .map(|(k, loc)| (Sid(u64::from(split_key(k).1)), loc))
-            .collect()
+            .collect())
     }
 
     /// Loads and reassembles the complete signature of `cell` (used by
     /// maintenance and eager multi-predicate assembly). Charges one read per
     /// partial plus the directory scan.
+    ///
+    /// Infallible [`SignatureStore::try_load_full`]; panics where that
+    /// errors.
+    #[inline]
     pub fn load_full(&self, cell: u32) -> Signature {
+        self.try_load_full(cell).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SignatureStore::load_full`]: any unreadable page or
+    /// undecodable record along the way aborts the assembly with the error.
+    pub fn try_load_full(&self, cell: u32) -> Result<Signature, StorageError> {
         let mut sig = Signature::empty(self.m_max);
-        for (_, loc) in
-            self.directory.range(composite_key(cell, 0)..=composite_key(cell, u32::MAX))
+        for (_, loc) in self
+            .directory
+            .try_range_collect(composite_key(cell, 0)..=composite_key(cell, u32::MAX))?
         {
-            let (pid, offset) = Self::unpack_locator(loc);
-            let page = self.pager.read(pid);
-            let len = read_u32(page, offset) as usize;
-            let partial =
-                decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len])
-                    .expect("stored partial must decode");
+            let partial = self.try_load_partial_at(loc)?;
             for (sid, bits) in partial.nodes {
                 let mut b = bits;
                 b.grow(self.m_max);
                 sig.insert_node(sid, b);
             }
         }
-        sig
+        Ok(sig)
     }
 
     /// The paper's in-place maintenance fast path for pure insertions
@@ -278,6 +333,8 @@ impl SignatureStore {
                         std::collections::hash_map::Entry::Vacant(v) => {
                             let p = self
                                 .load_partial(cell, r)
+                                // invariant: `r` came from `ref_set`, which
+                                // was just scanned out of the directory.
                                 .expect("directory entry must resolve");
                             v.insert(p)
                         }
@@ -289,9 +346,14 @@ impl SignatureStore {
                 }
                 match found {
                     Some(r) => {
-                        let partial = loaded.get_mut(&r).unwrap();
-                        let (_, bits) =
-                            partial.nodes.iter_mut().find(|(s, _)| *s == node_sid).unwrap();
+                        // invariant: `found = Some(r)` only after `loaded[r]`
+                        // was inserted and seen to contain `node_sid`.
+                        let partial = loaded.get_mut(&r).expect("loaded[r] inserted above");
+                        let (_, bits) = partial
+                            .nodes
+                            .iter_mut()
+                            .find(|(s, _)| *s == node_sid)
+                            .expect("found only set when the node is present");
                         bits.grow(self.m_max);
                         bits.set(pos, true);
                         modified.insert(r);
@@ -407,7 +469,7 @@ impl SignatureStore {
                     .copy_from_slice(&bytes);
                 let old = self.directory.insert(
                     Self::dir_key(cell, partial.root_sid),
-                    Self::locator(pid.unwrap(), used),
+                    Self::locator(pid.expect("set by the `is_none()` branch above"), used),
                 );
                 assert!(old.is_none(), "new partial must have a fresh reference");
                 used += RECORD_HEADER + bytes.len();
@@ -436,12 +498,21 @@ impl SignatureStore {
             tried_refs: HashSet::new(),
             locators: None,
             partials_loaded: 0,
+            degraded: false,
         }
     }
 }
 
 /// Lazily materializes one cell's signature during query processing,
 /// loading a partial only when a node it encodes is first requested.
+///
+/// A storage failure (unreadable page, checksum mismatch, undecodable
+/// record) does not abort the query: the cursor marks itself *degraded* and
+/// thereafter refuses to prune any node it has no loaded bits for. Queries
+/// stay correct — they just traverse more of the R-tree — and every result
+/// candidate must be re-verified against the base table (the probe reports
+/// itself lossy). Each failure is tallied on [`pcube_storage::IoStats`] as a
+/// degraded read.
 pub struct SignatureCursor<'a> {
     store: &'a SignatureStore,
     cell: u32,
@@ -451,6 +522,7 @@ pub struct SignatureCursor<'a> {
     /// first use (a cell's directory entries are contiguous).
     locators: Option<HashMap<Sid, u64>>,
     partials_loaded: u64,
+    degraded: bool,
 }
 
 impl SignatureCursor<'_> {
@@ -459,26 +531,60 @@ impl SignatureCursor<'_> {
         self.partials_loaded
     }
 
+    /// `true` if a partial failed to load and the cursor fell back to
+    /// conservative (prune-nothing-unknown) answers.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn mark_degraded(&mut self) {
+        self.degraded = true;
+        self.store.pager.stats().record_degraded_reads(1);
+    }
+
     /// `true` if the subtree/tuple at `path` contains data of this cell —
     /// the boolean-prune test of Algorithm 1. Loads partials on demand.
+    ///
+    /// On a degraded cursor the answer may be a false positive (a node whose
+    /// bits were lost is never pruned), but it is never a false negative:
+    /// an explicit 0 bit from a successfully loaded partial is still trusted.
     pub fn contains(&mut self, path: &Path) -> bool {
         for level in 0..path.depth() {
             let node_path = path.prefix(level);
             let pos = path.0[level] as usize - 1;
-            match self.node_bits(&node_path) {
-                Some(bits) if bits.get(pos) => {}
-                _ => return false,
+            // Bind the bit by value so the borrow of `self` ends before the
+            // `self.degraded` read below.
+            let bit = self.node_bits(&node_path).map(|bits| bits.get(pos));
+            match bit {
+                Some(true) => {}
+                Some(false) => return false,
+                // No bits for this node: normally that proves emptiness, but
+                // a degraded cursor may simply have failed to load them, so
+                // it must keep the path (pruning lost, correctness kept).
+                None if self.degraded => {}
+                None => return false,
             }
         }
         true
     }
 
     /// The bit array of the node at `node_path`, if the cell has data there.
+    ///
+    /// Load failures mark the cursor degraded instead of propagating; the
+    /// caller then treats "no bits" as "unknown" rather than "empty".
     fn node_bits(&mut self, node_path: &Path) -> Option<&BitArray> {
         let sid = node_path.sid(self.store.m_max);
         if !self.nodes.contains_key(&sid) {
             if self.locators.is_none() {
-                self.locators = Some(self.store.locators_of(self.cell));
+                self.locators = Some(match self.store.try_locators_of(self.cell) {
+                    Ok(map) => map,
+                    Err(_) => {
+                        // Directory unreadable: no locators at all, every
+                        // node is unknown from here on.
+                        self.mark_degraded();
+                        HashMap::new()
+                    }
+                });
             }
             // Paper's retrieval rule: try the partial referenced by the
             // root, then by deeper and deeper ancestors along the path.
@@ -487,13 +593,18 @@ impl SignatureCursor<'_> {
                 if !self.tried_refs.insert(ref_sid) {
                     continue;
                 }
-                if let Some(&loc) = self.locators.as_ref().unwrap().get(&ref_sid) {
-                    let partial = self.store.load_partial_at(loc);
-                    self.partials_loaded += 1;
-                    for (s, bits) in partial.nodes {
-                        let mut b = bits;
-                        b.grow(self.store.m_max);
-                        self.nodes.entry(s).or_insert(b);
+                let locators = self.locators.as_ref().expect("populated above");
+                if let Some(&loc) = locators.get(&ref_sid) {
+                    match self.store.try_load_partial_at(loc) {
+                        Ok(partial) => {
+                            self.partials_loaded += 1;
+                            for (s, bits) in partial.nodes {
+                                let mut b = bits;
+                                b.grow(self.store.m_max);
+                                self.nodes.entry(s).or_insert(b);
+                            }
+                        }
+                        Err(_) => self.mark_degraded(),
                     }
                 }
                 if self.nodes.contains_key(&sid) {
@@ -544,11 +655,17 @@ impl BooleanProbe<'_> {
         }
     }
 
-    /// `true` if the probe can report false positives (lossy Bloom
-    /// summaries). Query processors must then verify candidate result
-    /// tuples against the base table before emitting them.
+    /// `true` if the probe can report false positives — lossy Bloom
+    /// summaries, or a cursor that degraded after a storage failure. Query
+    /// processors must then verify candidate result tuples against the base
+    /// table before emitting them.
     pub fn is_lossy(&self) -> bool {
-        matches!(self, BooleanProbe::Bloom(_))
+        match self {
+            BooleanProbe::All | BooleanProbe::Assembled(_) => false,
+            BooleanProbe::Single(c) => c.is_degraded(),
+            BooleanProbe::IntersectLazy(cs) => cs.iter().any(SignatureCursor::is_degraded),
+            BooleanProbe::Bloom(_) => true,
+        }
     }
 
     /// Partial signatures loaded by the underlying cursors.
@@ -562,6 +679,7 @@ impl BooleanProbe<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use pcube_storage::{IoStats, SharedStats, PAGE_SIZE};
@@ -737,6 +855,51 @@ mod tests {
         assert!(cursor.contains(&fresh));
         assert!(cursor.contains(&Path(vec![1, 1, 1])), "old contents intact");
         assert!(!cursor.contains(&Path(vec![2, 1, 2])));
+    }
+
+    #[test]
+    fn corrupt_partial_degrades_instead_of_panicking() {
+        // Tiny pages force several partials; corrupt every signature page
+        // under checksums and the cursor must degrade (prune nothing it
+        // cannot prove empty) rather than panic or under-report.
+        let (mut store, stats) = store_with(20);
+        let sig = a1_signature();
+        store.write_signature(5, &sig);
+        store.sig_pager_mut().set_checksums(true);
+        let pids = store.sig_pager_mut().live_page_ids();
+        for pid in pids {
+            store.sig_pager_mut().corrupt_page(pid, 2, 0x40).unwrap();
+        }
+        let mut cursor = store.cursor(5);
+        for a in 1..=2u16 {
+            for b in 1..=2u16 {
+                for c in 1..=2u16 {
+                    let p = Path(vec![a, b, c]);
+                    if sig.contains(&p) {
+                        assert!(cursor.contains(&p), "no false negatives on {p}");
+                    }
+                }
+            }
+        }
+        assert!(cursor.is_degraded());
+        assert!(stats.degraded_reads() > 0, "failures must be tallied");
+        let probe = BooleanProbe::Single(cursor);
+        assert!(probe.is_lossy(), "degraded cursors make the probe lossy");
+    }
+
+    #[test]
+    fn try_load_full_surfaces_corruption_as_errors() {
+        let (mut store, _) = store_with(PAGE_SIZE);
+        store.write_signature(7, &a1_signature());
+        store.sig_pager_mut().set_checksums(true);
+        let pids = store.sig_pager_mut().live_page_ids();
+        for pid in pids {
+            store.sig_pager_mut().corrupt_page(pid, 9, 0x01).unwrap();
+        }
+        assert!(matches!(
+            store.try_load_full(7),
+            Err(pcube_storage::StorageError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Property tests for the signature life cycle: generation, boolean
 //! algebra, incremental set/clear, decomposition and the lazy cursor.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use pcube_core::encode::{decode_partial, decompose, encode_partial, reassemble};
 use pcube_core::{LinearFn, MinCoordSum, RankingFunction, Signature, SignatureStore, WeightedDistanceFn};

@@ -1,5 +1,9 @@
 //! Property tests for the cube model: group-by must partition the table,
 //! and cells/selections must agree with row-level matching.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use pcube_cube::{group_by, CellKey, CuboidMask, Predicate, Relation, Schema};
 use proptest::prelude::*;

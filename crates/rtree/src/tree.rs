@@ -146,6 +146,8 @@ impl RTree {
             }
             level = upper;
         }
+        // invariant: the while-loop above only exits with level.len() == 1,
+        // and the empty-input case returned earlier.
         let root = level[0].0;
         RTree { pager, layout, config, root, height, len }
     }
@@ -210,9 +212,24 @@ impl RTree {
         &self.pager
     }
 
+    /// Mutable access to the backing pager — the hook chaos tests use to
+    /// install fault plans or corrupt pages underneath the tree.
+    pub fn pager_mut(&mut self) -> &mut Pager {
+        &mut self.pager
+    }
+
     /// Reads and decodes a node, charging one R-tree block retrieval.
+    ///
+    /// Infallible [`RTree::try_read_node`]; panics where that errors.
+    #[inline]
     pub fn read_node(&self, pid: PageId) -> DecodedNode {
-        node::decode(self.pager.read(pid), &self.layout)
+        self.try_read_node(pid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`RTree::read_node`]: dead pages, injected faults and
+    /// checksum mismatches surface as [`pcube_storage::StorageError`].
+    pub fn try_read_node(&self, pid: PageId) -> Result<DecodedNode, pcube_storage::StorageError> {
+        Ok(node::decode(self.pager.try_read(pid)?, &self.layout))
     }
 
     /// Reads and decodes a node without charging I/O (for rebuild passes and
@@ -280,6 +297,8 @@ impl RTree {
     fn insert_inner(&mut self, tid: u64, coords: &[f64], tracked: bool) -> PathDelta {
         assert_eq!(coords.len(), self.config.dims, "point dimensionality mismatch");
         let steps = self.choose_path(coords);
+        // invariant: choose_path walks root→leaf over height ≥ 1 levels, so
+        // it always returns at least the root step.
         let leaf = steps.last().expect("descent reaches a leaf");
         let leaf_page = self.pager.read(leaf.pid).to_vec();
 
@@ -329,6 +348,9 @@ impl RTree {
             self.collect_paths(self.root, &Path::root(), &mut new_paths);
         } else {
             self.collect_paths(scope_pid, &scope_prefix, &mut new_paths);
+            // invariant: j > 0 means the split cascade stopped below the
+            // root, and every non-root cascade level produced a sibling that
+            // split_cascade recorded as top_new.
             let (y_pid, y_slot) = top_new.expect("non-root cascade yields a new sibling");
             let y_prefix = Self::steps_to_path(&steps[..j]).child(y_slot as u16 + 1);
             self.collect_paths(y_pid, &y_prefix, &mut new_paths);
@@ -389,6 +411,9 @@ impl RTree {
                 }
             }
             if let Some(ci) = stay.iter().find(|&&i| slots[i].is_none()) {
+                // invariant: the moving group is non-empty (m_min ≤ |move|),
+                // and its slots were just vacated above, so at least one
+                // free slot exists for the staying entry.
                 let free = node::first_free_slot(&page, &self.layout)
                     .expect("split must free at least one slot");
                 Self::write_entry(&mut page, &self.layout, free, &entries[*ci]);
@@ -464,8 +489,10 @@ impl RTree {
         let found = self.find_tuple(self.root, &Path::root(), tid, coords)?;
         let (leaf_steps, path) = found;
         // Clear the leaf slot.
-        let leaf_slot = *path.0.last().unwrap() as usize - 1;
-        let leaf_pid = *leaf_steps.last().unwrap();
+        // invariant: find_tuple returned Some, so the path has one component
+        // per level (≥ 1) and leaf_steps ends with the leaf's page id.
+        let leaf_slot = *path.0.last().expect("path has one component per level") as usize - 1;
+        let leaf_pid = *leaf_steps.last().expect("leaf_steps ends with the leaf's page id");
         self.pager.update(leaf_pid, |p| node::set_occupied(p, leaf_slot, false));
         // Unlink emptied nodes bottom-up (never the root).
         let mut freed = std::collections::HashSet::new();
@@ -558,6 +585,8 @@ impl RTree {
             let point = Mbr::point(coords);
             let mut best: Option<(usize, PageId, f64, f64, f64)> = None;
             for (slot, entry) in &decoded.entries {
+                // invariant: this loop only runs above the leaf level
+                // (steps.len() < height), where every entry is a child ref.
                 let DecodedEntry::Child { child, mbr } = entry else { unreachable!() };
                 // R*: minimize overlap enlargement at the leaf level, area
                 // enlargement above; ties by area enlargement then area.
@@ -587,6 +616,8 @@ impl RTree {
                     best = Some((*slot, *child, overlap_delta, enlargement, area));
                 }
             }
+            // invariant: tree invariants guarantee every internal node holds
+            // ≥ 1 entry (checked by check_invariants), so `best` was set.
             let (slot, child, ..) = best.expect("internal node has at least one child");
             pid = child;
             slot_in_parent = slot;
@@ -615,6 +646,8 @@ impl RTree {
     }
 
     fn steps_to_path(steps: &[Step]) -> Path {
+        // invariant: callers pass the full descent including the root step,
+        // so steps is non-empty and `steps[1..]` cannot be out of bounds.
         Path(steps[1..].iter().map(|s| s.slot_in_parent as u16 + 1).collect())
     }
 
@@ -689,9 +722,9 @@ impl RTree {
 /// `cap` indices form spatially coherent nodes.
 fn str_order(idx: &mut [usize], coord: &dyn Fn(usize, usize) -> f64, dims: usize, cap: usize) {
     fn rec(idx: &mut [usize], coord: &dyn Fn(usize, usize) -> f64, d: usize, dims: usize, cap: usize) {
-        idx.sort_by(|&a, &b| {
-            coord(a, d).partial_cmp(&coord(b, d)).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // total_cmp keeps the sort total even if NaN coordinates sneak in
+        // (they would previously collapse to Equal and scramble the order).
+        idx.sort_by(|&a, &b| coord(a, d).total_cmp(&coord(b, d)));
         if d + 1 == dims {
             return;
         }

@@ -1,6 +1,10 @@
 //! Property tests for the slotted R*-tree: structural invariants, content
 //! preservation, and — most importantly for P-Cube — exactness of the
 //! tracked path deltas under arbitrary insert/delete interleavings.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use pcube_rtree::{Path, RTree, RTreeConfig};
 use pcube_storage::{IoCategory, IoStats, Pager};

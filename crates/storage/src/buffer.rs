@@ -66,15 +66,29 @@ impl BufferPool {
     /// Reads `pid`, consulting the cache first. A miss charges one counted
     /// read on `pager` and installs the page, evicting the least recently
     /// used entry if the pool is full.
+    ///
+    /// Infallible [`BufferPool::try_read`]; panics where that errors.
+    #[inline]
     pub fn read<'a>(&'a mut self, pager: &Pager, pid: PageId) -> &'a [u8] {
+        self.try_read(pager, pid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`BufferPool::read`]: a failed pager read (dead page,
+    /// injected fault, checksum mismatch) is propagated and nothing is
+    /// cached, so a later retry re-reads the underlying page.
+    pub fn try_read<'a>(
+        &'a mut self,
+        pager: &Pager,
+        pid: PageId,
+    ) -> Result<&'a [u8], crate::StorageError> {
         self.clock += 1;
         if let Some(&slot) = self.map.get(&pid) {
             self.hits += 1;
             self.entries[slot].2 = self.clock;
-            return &self.entries[slot].1;
+            return Ok(&self.entries[slot].1);
         }
         self.misses += 1;
-        let data: Box<[u8]> = pager.read(pid).into();
+        let data: Box<[u8]> = pager.try_read(pid)?.into();
         let slot = if self.entries.len() < self.capacity {
             self.entries.push((pid, data, self.clock));
             self.entries.len() - 1
@@ -92,7 +106,7 @@ impl BufferPool {
             victim
         };
         self.map.insert(pid, slot);
-        &self.entries[slot].1
+        Ok(&self.entries[slot].1)
     }
 
     /// Writes through to the pager and invalidates any cached copy of `pid`.
@@ -170,6 +184,17 @@ mod tests {
         assert_eq!(page[0], 9);
         // The post-write read must be a cache hit (write refreshed the copy).
         assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn failed_reads_propagate_and_are_not_cached() {
+        let (mut pager, pids) = setup(1);
+        let mut pool = BufferPool::new(2);
+        pager.set_fault_plan(crate::FaultPlan::seeded(2).with_read_errors(1.0));
+        assert!(pool.try_read(&pager, pids[0]).is_err());
+        assert!(pool.is_empty(), "a failed read must not install a cache entry");
+        pager.take_fault_plan();
+        assert!(pool.try_read(&pager, pids[0]).is_ok());
     }
 
     #[test]

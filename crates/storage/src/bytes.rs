@@ -7,7 +7,9 @@
 /// Reads a `u16` at `offset`.
 #[inline]
 pub fn read_u16(buf: &[u8], offset: usize) -> u16 {
-    u16::from_le_bytes(buf[offset..offset + 2].try_into().unwrap())
+    let mut raw = [0u8; 2];
+    raw.copy_from_slice(&buf[offset..offset + 2]);
+    u16::from_le_bytes(raw)
 }
 
 /// Writes a `u16` at `offset`.
@@ -19,7 +21,9 @@ pub fn write_u16(buf: &mut [u8], offset: usize, value: u16) {
 /// Reads a `u32` at `offset`.
 #[inline]
 pub fn read_u32(buf: &[u8], offset: usize) -> u32 {
-    u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap())
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[offset..offset + 4]);
+    u32::from_le_bytes(raw)
 }
 
 /// Writes a `u32` at `offset`.
@@ -31,7 +35,9 @@ pub fn write_u32(buf: &mut [u8], offset: usize, value: u32) {
 /// Reads a `u64` at `offset`.
 #[inline]
 pub fn read_u64(buf: &[u8], offset: usize) -> u64 {
-    u64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[offset..offset + 8]);
+    u64::from_le_bytes(raw)
 }
 
 /// Writes a `u64` at `offset`.
@@ -43,7 +49,9 @@ pub fn write_u64(buf: &mut [u8], offset: usize, value: u64) {
 /// Reads an `f64` at `offset`.
 #[inline]
 pub fn read_f64(buf: &[u8], offset: usize) -> f64 {
-    f64::from_le_bytes(buf[offset..offset + 8].try_into().unwrap())
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[offset..offset + 8]);
+    f64::from_le_bytes(raw)
 }
 
 /// Writes an `f64` at `offset`.

@@ -1,0 +1,58 @@
+//! Hand-rolled CRC32 (IEEE 802.3 polynomial), kept in-tree so the checksum
+//! layer adds no dependency.
+
+/// Table of CRC32 remainders for every byte value, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    // Reflected polynomial of the IEEE CRC32 (0x04C11DB7).
+    const POLY: u32 = 0xEDB8_8320;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `data`, matching the common zlib/`crc32` convention.
+#[inline]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 512];
+        let clean = crc32(&data);
+        for byte in [0usize, 17, 511] {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Deterministic fault injection for the pager.
+//!
+//! A [`FaultPlan`] is a seeded random schedule of storage misbehavior: read
+//! and write I/O errors, torn (partial) page writes, single-bit corruption,
+//! and allocation exhaustion. Chaos tests install a plan on a [`crate::Pager`]
+//! and then assert that every index layered above either returns a typed
+//! error or a provably correct answer — never a panic, never a silent wrong
+//! result.
+//!
+//! Plans are driven by their own xorshift64* generator, so a given seed
+//! reproduces the exact same fault schedule on every run and platform. A
+//! pager with no plan installed pays a single well-predicted branch per
+//! operation (see `DESIGN.md` §6).
+
+/// Running tally of the faults a plan has actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Reads that failed with [`crate::StorageError::Io`].
+    pub read_errors: u64,
+    /// Writes that failed with [`crate::StorageError::Io`].
+    pub write_errors: u64,
+    /// Writes that only applied a prefix of the page.
+    pub torn_writes: u64,
+    /// Writes that flipped one stored bit.
+    pub bit_flips: u64,
+    /// Allocations denied by the budget.
+    pub denied_allocs: u64,
+}
+
+impl FaultCounts {
+    /// Total number of injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.read_errors + self.write_errors + self.torn_writes + self.bit_flips + self.denied_allocs
+    }
+}
+
+/// What a fault plan decided to do to one write. Crate-private: the pager is
+/// the only fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteEffect {
+    /// Write goes through untouched.
+    Clean,
+    /// Write fails with an I/O error; the page keeps its previous contents.
+    Fail,
+    /// Only the first `n` bytes reach the page (a torn write).
+    Torn(usize),
+    /// The write lands, then bit `mask` of byte `byte` flips silently.
+    BitFlip {
+        /// Byte index within the page.
+        byte: usize,
+        /// Single-bit mask to XOR into that byte.
+        mask: u8,
+    },
+}
+
+/// A seeded, deterministic schedule of injected storage faults.
+///
+/// Built with [`FaultPlan::seeded`] (which yields a *quiescent* plan — all
+/// fault rates zero, unlimited allocations) and configured with the `with_*`
+/// builders. Install on a pager with [`crate::Pager::set_fault_plan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    read_error: f64,
+    write_error: f64,
+    torn_write: f64,
+    bit_flip: f64,
+    alloc_budget: Option<u64>,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// A quiescent plan: deterministic, but injecting nothing until fault
+    /// rates or budgets are configured.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            // xorshift64* requires a nonzero state.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            read_error: 0.0,
+            write_error: 0.0,
+            torn_write: 0.0,
+            bit_flip: 0.0,
+            alloc_budget: None,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// Probability in `[0, 1]` that a counted read fails with an I/O error.
+    pub fn with_read_errors(mut self, p: f64) -> Self {
+        self.read_error = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a write fails outright (page left untouched).
+    pub fn with_write_errors(mut self, p: f64) -> Self {
+        self.write_error = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a write is torn: only a random prefix lands.
+    pub fn with_torn_writes(mut self, p: f64) -> Self {
+        self.torn_write = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a write silently flips one stored bit.
+    pub fn with_bit_flips(mut self, p: f64) -> Self {
+        self.bit_flip = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Allows only `n` further allocations; the rest fail with
+    /// [`crate::StorageError::OutOfPages`].
+    pub fn with_alloc_budget(mut self, n: u64) -> Self {
+        self.alloc_budget = Some(n);
+        self
+    }
+
+    /// The faults injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: tiny, full-period, and plenty for fault scheduling.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let sample = (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        sample < p
+    }
+
+    pub(crate) fn fail_read(&mut self) -> bool {
+        let fail = self.roll(self.read_error);
+        if fail {
+            self.counts.read_errors += 1;
+        }
+        fail
+    }
+
+    pub(crate) fn write_effect(&mut self, page_size: usize) -> WriteEffect {
+        if self.roll(self.write_error) {
+            self.counts.write_errors += 1;
+            return WriteEffect::Fail;
+        }
+        if page_size > 0 && self.roll(self.torn_write) {
+            self.counts.torn_writes += 1;
+            return WriteEffect::Torn((self.next() as usize) % page_size);
+        }
+        if page_size > 0 && self.roll(self.bit_flip) {
+            self.counts.bit_flips += 1;
+            let byte = (self.next() as usize) % page_size;
+            let mask = 1u8 << (self.next() % 8);
+            return WriteEffect::BitFlip { byte, mask };
+        }
+        WriteEffect::Clean
+    }
+
+    pub(crate) fn deny_alloc(&mut self) -> bool {
+        match self.alloc_budget {
+            None => false,
+            Some(0) => {
+                self.counts.denied_allocs += 1;
+                true
+            }
+            Some(ref mut n) => {
+                *n -= 1;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_means_same_schedule() {
+        let mut a = FaultPlan::seeded(99).with_read_errors(0.3).with_torn_writes(0.2);
+        let mut b = FaultPlan::seeded(99).with_read_errors(0.3).with_torn_writes(0.2);
+        for _ in 0..500 {
+            assert_eq!(a.fail_read(), b.fail_read());
+            assert_eq!(a.write_effect(4096), b.write_effect(4096));
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().total() > 0, "30%/20% rates over 500 ops must fire");
+    }
+
+    #[test]
+    fn quiescent_plan_injects_nothing() {
+        let mut p = FaultPlan::seeded(1);
+        for _ in 0..1000 {
+            assert!(!p.fail_read());
+            assert_eq!(p.write_effect(64), WriteEffect::Clean);
+            assert!(!p.deny_alloc());
+        }
+        assert_eq!(p.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn alloc_budget_runs_out() {
+        let mut p = FaultPlan::seeded(5).with_alloc_budget(3);
+        assert!(!p.deny_alloc());
+        assert!(!p.deny_alloc());
+        assert!(!p.deny_alloc());
+        assert!(p.deny_alloc());
+        assert!(p.deny_alloc());
+        assert_eq!(p.counts().denied_allocs, 2);
+    }
+}

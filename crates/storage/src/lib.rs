@@ -13,6 +13,9 @@
 //! * [`CostModel`] — converts an I/O ledger into modeled seconds so the
 //!   time-based figures of the paper can be reproduced independently of the
 //!   host machine's RAM speed.
+//! * [`FaultPlan`] + [`StorageError`] — deterministic fault injection and the
+//!   typed errors of the fallible (`try_*`) APIs, plus optional per-page
+//!   CRC32 verification ([`Pager::set_checksums`]). See `DESIGN.md` §6.
 //!
 //! All indexes in the workspace (`pcube-rtree`, `pcube-bptree`, the signature
 //! store in `pcube-core`) persist their nodes through a [`Pager`], so the
@@ -39,12 +42,18 @@
 
 mod buffer;
 mod bytes;
+mod crc;
+mod error;
+mod fault;
 mod page;
 mod pager;
 mod stats;
 
 pub use buffer::BufferPool;
 pub use bytes::{read_f64, read_u16, read_u32, read_u64, write_f64, write_u16, write_u32, write_u64};
+pub use crc::crc32;
+pub use error::{ImageError, PageOp, StorageError};
+pub use fault::{FaultCounts, FaultPlan};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Pager;
 pub use stats::{CostModel, IoCategory, IoSnapshot, IoStats, SharedStats};

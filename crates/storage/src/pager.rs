@@ -1,7 +1,12 @@
-//! The simulated disk: a pager of fixed-size pages with counted I/O.
+//! The simulated disk: a pager of fixed-size pages with counted I/O,
+//! optional per-page checksums, and deterministic fault injection.
 
+use crate::crc::crc32;
+use crate::error::{ImageError, PageOp, StorageError};
+use crate::fault::{FaultCounts, FaultPlan, WriteEffect};
 use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
+use std::cell::RefCell;
 
 /// An in-memory "disk" of fixed-size pages.
 ///
@@ -13,6 +18,21 @@ use crate::stats::{IoCategory, SharedStats};
 ///
 /// Reads and writes are counted; allocation alone is not (allocating a page
 /// without writing it performs no disk access on a real system either).
+///
+/// # Fallible and infallible APIs
+///
+/// Every operation has a `try_*` form returning [`StorageError`] and an
+/// `#[inline]` infallible wrapper that panics with the same diagnostic. Query
+/// and recovery paths use the `try_*` forms; build paths, which own their
+/// pages and cannot race, keep the terse wrappers.
+///
+/// # Checksums and fault injection
+///
+/// [`Pager::set_checksums`] maintains a CRC32 per live page, verified by the
+/// fallible read path; [`Pager::set_fault_plan`] installs a deterministic
+/// [`FaultPlan`] injecting read/write errors, torn writes, bit flips and
+/// allocation exhaustion. Both are off by default and cost one predictable
+/// branch per operation when disabled.
 #[derive(Debug)]
 pub struct Pager {
     page_size: usize,
@@ -20,6 +40,11 @@ pub struct Pager {
     free: Vec<PageId>,
     category: IoCategory,
     stats: SharedStats,
+    /// CRC32 per page slot, maintained only while `verify` is on.
+    sums: Vec<u32>,
+    verify: bool,
+    /// Injected-fault schedule. `RefCell` because reads take `&self`.
+    fault: Option<RefCell<FaultPlan>>,
 }
 
 impl Pager {
@@ -29,7 +54,16 @@ impl Pager {
     /// Panics if `page_size` is zero.
     pub fn new(page_size: usize, category: IoCategory, stats: SharedStats) -> Self {
         assert!(page_size > 0, "page size must be positive");
-        Pager { page_size, pages: Vec::new(), free: Vec::new(), category, stats }
+        Pager {
+            page_size,
+            pages: Vec::new(),
+            free: Vec::new(),
+            category,
+            stats,
+            sums: Vec::new(),
+            verify: false,
+            fault: None,
+        }
     }
 
     /// The fixed page size of this pager, in bytes.
@@ -55,152 +89,417 @@ impl Pager {
         self.pages.iter().filter(|p| p.is_some()).count()
     }
 
+    /// Ids of all live pages, in allocation order. Chaos tests use this to
+    /// pick corruption targets.
+    pub fn live_page_ids(&self) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| PageId(i as u32)))
+            .collect()
+    }
+
     /// Total bytes occupied by live pages.
     pub fn size_bytes(&self) -> u64 {
         self.live_pages() as u64 * self.page_size as u64
     }
 
-    /// Allocates a zeroed page and returns its id. Recycles freed pages.
-    pub fn allocate(&mut self) -> PageId {
-        if let Some(pid) = self.free.pop() {
-            self.pages[pid.index()] = Some(vec![0u8; self.page_size].into_boxed_slice());
-            return pid;
+    /// Enables or disables per-page CRC32 verification on the fallible read
+    /// path. Enabling checksums (re)computes them for every live page.
+    pub fn set_checksums(&mut self, on: bool) {
+        self.verify = on;
+        if on {
+            self.sums = self
+                .pages
+                .iter()
+                .map(|slot| slot.as_ref().map_or(0, |p| crc32(p)))
+                .collect();
+        } else {
+            self.sums = Vec::new();
         }
-        let pid = PageId(u32::try_from(self.pages.len()).expect("pager full"));
-        assert!(!pid.is_invalid(), "pager exhausted the PageId space");
-        self.pages.push(Some(vec![0u8; self.page_size].into_boxed_slice()));
-        pid
+    }
+
+    /// Whether per-page checksums are currently maintained.
+    #[inline]
+    pub fn checksums_enabled(&self) -> bool {
+        self.verify
+    }
+
+    /// Installs a deterministic fault-injection schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(RefCell::new(plan));
+    }
+
+    /// Removes the fault plan, returning it (with its injection counts).
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take().map(RefCell::into_inner)
+    }
+
+    /// Injection counts of the installed plan, if any.
+    pub fn fault_counts(&self) -> Option<FaultCounts> {
+        self.fault.as_ref().map(|f| f.borrow().counts())
+    }
+
+    /// Flips bits in a stored page *without* updating its checksum, modelling
+    /// at-rest corruption ("bit rot"). Test hook for chaos harnesses.
+    pub fn corrupt_page(&mut self, pid: PageId, offset: usize, xor_mask: u8) -> Result<(), StorageError> {
+        let page_size = self.page_size;
+        let slot = self
+            .pages
+            .get_mut(pid.index())
+            .and_then(Option::as_mut)
+            .ok_or(StorageError::DeadPage { pid, op: PageOp::Write })?;
+        slot[offset % page_size] ^= xor_mask;
+        Ok(())
+    }
+
+    /// Allocates a zeroed page and returns its id. Recycles freed pages.
+    ///
+    /// Fails with [`StorageError::OutOfPages`] when the 32-bit page-id space
+    /// is exhausted or an injected allocation budget runs out.
+    pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
+        if let Some(fault) = &self.fault {
+            if fault.borrow_mut().deny_alloc() {
+                return Err(StorageError::OutOfPages);
+            }
+        }
+        let zeroed = vec![0u8; self.page_size].into_boxed_slice();
+        let zero_sum = if self.verify { crc32(&zeroed) } else { 0 };
+        if let Some(pid) = self.free.pop() {
+            self.pages[pid.index()] = Some(zeroed);
+            if self.verify {
+                self.sums[pid.index()] = zero_sum;
+            }
+            return Ok(pid);
+        }
+        // PageId::INVALID (u32::MAX) is reserved, so the last usable id is
+        // u32::MAX - 1.
+        let idx = self.pages.len();
+        if idx >= u32::MAX as usize {
+            return Err(StorageError::OutOfPages);
+        }
+        self.pages.push(Some(zeroed));
+        if self.verify {
+            self.sums.push(zero_sum);
+        }
+        Ok(PageId(idx as u32))
+    }
+
+    /// Infallible [`Pager::try_allocate`]; panics on exhaustion.
+    #[inline]
+    pub fn allocate(&mut self) -> PageId {
+        self.try_allocate().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Releases a page back to the allocator.
     ///
+    /// Returns [`StorageError::DoubleFree`] for a page that is already free
+    /// and [`StorageError::DeadPage`] for one that never existed.
+    pub fn try_free(&mut self, pid: PageId) -> Result<(), StorageError> {
+        let slot = self
+            .pages
+            .get_mut(pid.index())
+            .ok_or(StorageError::DeadPage { pid, op: PageOp::Free })?;
+        if slot.take().is_none() {
+            return Err(StorageError::DoubleFree { pid });
+        }
+        self.free.push(pid);
+        Ok(())
+    }
+
+    /// Infallible [`Pager::try_free`].
+    ///
     /// # Panics
     /// Panics if `pid` is not a live page (double free or never allocated).
+    #[inline]
     pub fn free(&mut self, pid: PageId) {
-        let slot = self.pages.get_mut(pid.index()).expect("free of unallocated page");
-        assert!(slot.take().is_some(), "double free of {pid}");
-        self.free.push(pid);
+        self.try_free(pid).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Reads a page, charging one read to this pager's category.
     ///
-    /// # Panics
-    /// Panics if `pid` is not a live page.
-    pub fn read(&self, pid: PageId) -> &[u8] {
+    /// Fails on dead pages, injected I/O errors, and (when checksums are on)
+    /// pages whose contents no longer match their recorded CRC32.
+    pub fn try_read(&self, pid: PageId) -> Result<&[u8], StorageError> {
         self.stats.record_reads(self.category, 1);
-        self.page(pid)
+        if let Some(fault) = &self.fault {
+            if fault.borrow_mut().fail_read() {
+                return Err(StorageError::Io { pid, op: PageOp::Read });
+            }
+        }
+        let page = self
+            .pages
+            .get(pid.index())
+            .and_then(Option::as_ref)
+            .ok_or(StorageError::DeadPage { pid, op: PageOp::Read })?;
+        if self.verify {
+            let expected = self.sums.get(pid.index()).copied().unwrap_or(0);
+            let actual = crc32(page);
+            if expected != actual {
+                return Err(StorageError::Corrupt { pid, expected, actual });
+            }
+        }
+        Ok(page)
     }
 
-    /// Returns page contents *without* charging a disk access.
+    /// Infallible [`Pager::try_read`].
+    ///
+    /// # Panics
+    /// Panics if `pid` is not a live page (or an injected fault fires).
+    #[inline]
+    pub fn read(&self, pid: PageId) -> &[u8] {
+        self.try_read(pid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Returns page contents *without* charging a disk access, bypassing
+    /// fault injection and checksum verification (a pure memory view).
     ///
     /// Used by callers that have their own accounting policy, e.g. the
     /// [`crate::BufferPool`] (which charges only on cache miss) and in-memory
     /// rebuild passes that the paper does not count as query I/O.
     pub fn read_uncounted(&self, pid: PageId) -> &[u8] {
-        self.page(pid)
+        self.pages
+            .get(pid.index())
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("{}", StorageError::DeadPage { pid, op: PageOp::Read }))
     }
 
     /// Overwrites a page, charging one write. `data` must be exactly one page.
     ///
+    /// Injected write faults either fail the call (page untouched) or
+    /// *silently* persist corrupted bytes — a torn prefix or one flipped bit —
+    /// while the recorded checksum reflects the intended data, so the damage
+    /// surfaces on a later checked read, exactly like real storage.
+    pub fn try_write(&mut self, pid: PageId, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() != self.page_size {
+            return Err(StorageError::ShortWrite { pid, len: data.len(), page_size: self.page_size });
+        }
+        self.stats.record_writes(self.category, 1);
+        let effect = match &self.fault {
+            Some(fault) => fault.borrow_mut().write_effect(self.page_size),
+            None => WriteEffect::Clean,
+        };
+        if effect == WriteEffect::Fail {
+            return Err(StorageError::Io { pid, op: PageOp::Write });
+        }
+        let slot = self
+            .pages
+            .get_mut(pid.index())
+            .and_then(Option::as_mut)
+            .ok_or(StorageError::DeadPage { pid, op: PageOp::Write })?;
+        match effect {
+            WriteEffect::Clean | WriteEffect::Fail => slot.copy_from_slice(data),
+            WriteEffect::Torn(n) => slot[..n].copy_from_slice(&data[..n]),
+            WriteEffect::BitFlip { byte, mask } => {
+                slot.copy_from_slice(data);
+                slot[byte] ^= mask;
+            }
+        }
+        if self.verify {
+            // Checksum of the *intended* bytes: torn/bit-flipped writes are
+            // detected when the page is next read.
+            self.sums[pid.index()] = crc32(data);
+        }
+        Ok(())
+    }
+
+    /// Infallible [`Pager::try_write`].
+    ///
     /// # Panics
     /// Panics if `pid` is not live or `data.len() != page_size`.
+    #[inline]
     pub fn write(&mut self, pid: PageId, data: &[u8]) {
-        assert_eq!(data.len(), self.page_size, "page write must cover the whole page");
-        self.stats.record_writes(self.category, 1);
-        let slot = self.pages.get_mut(pid.index()).and_then(Option::as_mut).expect("write to dead page");
-        slot.copy_from_slice(data);
+        self.try_write(pid, data).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// In-place page update via a closure, charging one read and one write.
     ///
-    /// Convenient for node updates that only touch a few bytes.
-    pub fn update<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
+    /// Injected read/write errors fail the call before the closure runs; an
+    /// injected bit flip lands after the closure (torn writes do not apply to
+    /// in-place updates). Convenient for node updates touching a few bytes.
+    pub fn try_update<R>(
+        &mut self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, StorageError> {
         self.stats.record_reads(self.category, 1);
         self.stats.record_writes(self.category, 1);
-        let slot = self.pages.get_mut(pid.index()).and_then(Option::as_mut).expect("update of dead page");
-        f(slot)
+        let effect = match &self.fault {
+            Some(fault) => {
+                let mut fault = fault.borrow_mut();
+                if fault.fail_read() {
+                    return Err(StorageError::Io { pid, op: PageOp::Update });
+                }
+                fault.write_effect(self.page_size)
+            }
+            None => WriteEffect::Clean,
+        };
+        if effect == WriteEffect::Fail {
+            return Err(StorageError::Io { pid, op: PageOp::Update });
+        }
+        let verify = self.verify;
+        let slot = self
+            .pages
+            .get_mut(pid.index())
+            .and_then(Option::as_mut)
+            .ok_or(StorageError::DeadPage { pid, op: PageOp::Update })?;
+        let out = f(slot);
+        let sum = if verify { crc32(slot) } else { 0 };
+        if let WriteEffect::BitFlip { byte, mask } = effect {
+            slot[byte] ^= mask; // after the checksum: detected on next read
+        }
+        if verify {
+            self.sums[pid.index()] = sum;
+        }
+        Ok(out)
     }
 
-    fn page(&self, pid: PageId) -> &[u8] {
-        self.pages.get(pid.index()).and_then(Option::as_ref).expect("read of dead page")
+    /// Infallible [`Pager::try_update`].
+    ///
+    /// # Panics
+    /// Panics if `pid` is not a live page (or an injected fault fires).
+    #[inline]
+    pub fn update<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        self.try_update(pid, f).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Serializes the pager's pages and free list (not counted as I/O;
     /// checkpointing is outside the query cost model).
+    ///
+    /// Image format (v2): `page_size u64 | n_pages u64 | per slot: tag u8
+    /// (0 = dead, 1 = live) followed, when live, by the page bytes and their
+    /// CRC32 | n_free u64 | free pids u32... | CRC32 of everything above`.
     pub fn serialize_into(&self, out: &mut Vec<u8>) {
-        crate::write_u64(push_n(out, 8), 0, self.page_size as u64);
+        let start = out.len();
         let mut buf = [0u8; 8];
+        crate::write_u64(&mut buf, 0, self.page_size as u64);
+        out.extend_from_slice(&buf);
         crate::write_u64(&mut buf, 0, self.pages.len() as u64);
         out.extend_from_slice(&buf);
+        let mut b4 = [0u8; 4];
         for slot in &self.pages {
             match slot {
                 None => out.push(0),
                 Some(p) => {
                     out.push(1);
                     out.extend_from_slice(p);
+                    crate::write_u32(&mut b4, 0, crc32(p));
+                    out.extend_from_slice(&b4);
                 }
             }
         }
         crate::write_u64(&mut buf, 0, self.free.len() as u64);
         out.extend_from_slice(&buf);
         for pid in &self.free {
-            let mut b4 = [0u8; 4];
             crate::write_u32(&mut b4, 0, pid.0);
             out.extend_from_slice(&b4);
         }
+        crate::write_u32(&mut b4, 0, crc32(&out[start..]));
+        out.extend_from_slice(&b4);
     }
 
-    /// Rebuilds a pager from [`Pager::serialize_into`] output. Returns the
-    /// pager and the bytes consumed. `None` on malformed input.
+    /// Rebuilds a pager from [`Pager::serialize_into`] output, verifying the
+    /// per-page checksums and the trailing image checksum. Returns the pager
+    /// and the bytes consumed, or a precise [`ImageError`].
+    pub fn try_deserialize_from(
+        buf: &[u8],
+        category: IoCategory,
+        stats: SharedStats,
+    ) -> Result<(Pager, usize), ImageError> {
+        let err = |offset: usize, cause: &str| ImageError { offset, cause: cause.to_string() };
+        let mut pos = 0usize;
+        let page_size = read_u64_at(buf, &mut pos)
+            .ok_or_else(|| err(0, "image shorter than the page-size header"))?
+            as usize;
+        if page_size == 0 || page_size > buf.len() {
+            return Err(err(0, "implausible page size"));
+        }
+        let n_pages = read_u64_at(buf, &mut pos)
+            .ok_or_else(|| err(8, "image shorter than the page-count header"))?
+            as usize;
+        // Every page slot costs at least one tag byte, bounding n_pages.
+        if n_pages > buf.len() {
+            return Err(err(8, "page count exceeds image size"));
+        }
+        let mut pages = Vec::with_capacity(n_pages);
+        for i in 0..n_pages {
+            let tag_pos = pos;
+            let tag = *buf
+                .get(pos)
+                .ok_or_else(|| err(tag_pos, "image truncated inside the page table"))?;
+            pos += 1;
+            match tag {
+                0 => pages.push(None),
+                1 => {
+                    let end = pos + page_size;
+                    let page = buf
+                        .get(pos..end)
+                        .ok_or_else(|| err(tag_pos, "image truncated inside a page"))?;
+                    pos = end;
+                    let stored = read_u32_at(buf, &mut pos)
+                        .ok_or_else(|| err(end, "image truncated before a page checksum"))?;
+                    let actual = crc32(page);
+                    if stored != actual {
+                        return Err(ImageError {
+                            offset: tag_pos,
+                            cause: format!(
+                                "page {i} checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                            ),
+                        });
+                    }
+                    pages.push(Some(page.to_vec().into_boxed_slice()));
+                }
+                _ => return Err(err(tag_pos, "invalid page tag (not 0 or 1)")),
+            }
+        }
+        let free_pos = pos;
+        let n_free = read_u64_at(buf, &mut pos)
+            .ok_or_else(|| err(free_pos, "image truncated before the free list"))?
+            as usize;
+        if n_free > buf.len() {
+            return Err(err(free_pos, "free-list length exceeds image size"));
+        }
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let v = read_u32_at(buf, &mut pos)
+                .ok_or_else(|| err(pos, "image truncated inside the free list"))?;
+            free.push(PageId(v));
+        }
+        let body_end = pos;
+        let stored = read_u32_at(buf, &mut pos)
+            .ok_or_else(|| err(body_end, "image truncated before the trailing checksum"))?;
+        let actual = crc32(&buf[..body_end]);
+        if stored != actual {
+            return Err(ImageError {
+                offset: body_end,
+                cause: format!(
+                    "image checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ),
+            });
+        }
+        Ok((
+            Pager {
+                page_size,
+                pages,
+                free,
+                category,
+                stats,
+                sums: Vec::new(),
+                verify: false,
+                fault: None,
+            },
+            pos,
+        ))
+    }
+
+    /// [`Pager::try_deserialize_from`] with the error collapsed to `None`.
     pub fn deserialize_from(
         buf: &[u8],
         category: IoCategory,
         stats: SharedStats,
     ) -> Option<(Pager, usize)> {
-        let mut pos = 0usize;
-        let page_size = read_u64_at(buf, &mut pos)? as usize;
-        if page_size == 0 || page_size > buf.len() {
-            return None;
-        }
-        let n_pages = read_u64_at(buf, &mut pos)? as usize;
-        // Every page slot costs at least one tag byte, bounding n_pages.
-        if n_pages > buf.len() {
-            return None;
-        }
-        let mut pages = Vec::with_capacity(n_pages);
-        for _ in 0..n_pages {
-            let tag = *buf.get(pos)?;
-            pos += 1;
-            match tag {
-                0 => pages.push(None),
-                1 => {
-                    let end = pos.checked_add(page_size)?;
-                    pages.push(Some(buf.get(pos..end)?.to_vec().into_boxed_slice()));
-                    pos = end;
-                }
-                _ => return None,
-            }
-        }
-        let n_free = read_u64_at(buf, &mut pos)? as usize;
-        if n_free > buf.len() {
-            return None;
-        }
-        let mut free = Vec::with_capacity(n_free);
-        for _ in 0..n_free {
-            let end = pos.checked_add(4)?;
-            let v = u32::from_le_bytes(buf.get(pos..end)?.try_into().ok()?);
-            pos = end;
-            free.push(PageId(v));
-        }
-        Some((Pager { page_size, pages, free, category, stats }, pos))
+        Self::try_deserialize_from(buf, category, stats).ok()
     }
-}
-
-/// Appends `n` zero bytes and returns a mutable view of them.
-fn push_n(out: &mut Vec<u8>, n: usize) -> &mut [u8] {
-    let start = out.len();
-    out.resize(start + n, 0);
-    &mut out[start..]
 }
 
 fn read_u64_at(buf: &[u8], pos: &mut usize) -> Option<u64> {
@@ -210,7 +509,15 @@ fn read_u64_at(buf: &[u8], pos: &mut usize) -> Option<u64> {
     Some(v)
 }
 
+fn read_u32_at(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let end = pos.checked_add(4)?;
+    let v = u32::from_le_bytes(buf.get(*pos..end)?.try_into().ok()?);
+    *pos = end;
+    Some(v)
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::stats::IoStats;
@@ -229,6 +536,7 @@ mod tests {
         assert_eq!(b, PageId(1));
         assert!(p.read(a).iter().all(|&x| x == 0));
         assert_eq!(p.live_pages(), 2);
+        assert_eq!(p.live_page_ids(), vec![a, b]);
         assert_eq!(p.size_bytes(), 2 * PAGE_SIZE as u64);
     }
 
@@ -282,11 +590,96 @@ mod tests {
     }
 
     #[test]
+    fn double_free_is_a_typed_error() {
+        let mut p = pager();
+        let a = p.allocate();
+        p.free(a);
+        assert_eq!(p.try_free(a), Err(StorageError::DoubleFree { pid: a }));
+        assert_eq!(
+            p.try_free(PageId(99)),
+            Err(StorageError::DeadPage { pid: PageId(99), op: PageOp::Free })
+        );
+    }
+
+    #[test]
     #[should_panic]
     fn short_write_panics() {
         let mut p = pager();
         let a = p.allocate();
         p.write(a, &[0u8; 10]);
+    }
+
+    #[test]
+    fn short_write_is_a_typed_error() {
+        let mut p = pager();
+        let a = p.allocate();
+        assert_eq!(
+            p.try_write(a, &[0u8; 10]),
+            Err(StorageError::ShortWrite { pid: a, len: 10, page_size: PAGE_SIZE })
+        );
+    }
+
+    #[test]
+    fn dead_reads_are_typed_errors() {
+        let p = pager();
+        assert_eq!(
+            p.try_read(PageId(3)),
+            Err(StorageError::DeadPage { pid: PageId(3), op: PageOp::Read })
+        );
+    }
+
+    #[test]
+    fn alloc_budget_yields_out_of_pages() {
+        let mut p = pager();
+        p.set_fault_plan(FaultPlan::seeded(7).with_alloc_budget(2));
+        assert!(p.try_allocate().is_ok());
+        assert!(p.try_allocate().is_ok());
+        assert_eq!(p.try_allocate(), Err(StorageError::OutOfPages));
+        assert_eq!(p.fault_counts().unwrap().denied_allocs, 1);
+    }
+
+    #[test]
+    fn checksums_catch_silent_corruption() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        p.write(a, &[9u8; 64]);
+        p.set_checksums(true);
+        assert!(p.try_read(a).is_ok());
+        p.corrupt_page(a, 13, 0b100).unwrap();
+        match p.try_read(a) {
+            Err(StorageError::Corrupt { pid, expected, actual }) => {
+                assert_eq!(pid, a);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Overwriting heals the page.
+        p.write(a, &[1u8; 64]);
+        assert!(p.try_read(a).is_ok());
+    }
+
+    #[test]
+    fn torn_writes_are_detected_by_checksums() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        p.set_checksums(true);
+        p.set_fault_plan(FaultPlan::seeded(3).with_torn_writes(1.0));
+        p.try_write(a, &[0xAB; 64]).unwrap();
+        assert_eq!(p.fault_counts().unwrap().torn_writes, 1);
+        assert!(
+            matches!(p.try_read(a), Err(StorageError::Corrupt { .. })),
+            "a torn write of nonzero bytes over a zeroed page must break the checksum"
+        );
+    }
+
+    #[test]
+    fn injected_read_errors_fire_at_the_configured_rate() {
+        let mut p = Pager::new(64, IoCategory::HeapScan, IoStats::new_shared());
+        let a = p.allocate();
+        p.set_fault_plan(FaultPlan::seeded(11).with_read_errors(0.5));
+        let failures = (0..200).filter(|_| p.try_read(a).is_err()).count();
+        assert!((50..150).contains(&failures), "got {failures} failures out of 200");
+        assert_eq!(p.fault_counts().unwrap().read_errors as usize, failures);
     }
 
     #[test]
@@ -324,6 +717,27 @@ mod tests {
             )
             .is_none());
         }
+    }
+
+    #[test]
+    fn deserialize_pinpoints_corrupt_pages() {
+        let mut p = Pager::new(32, IoCategory::RtreeBlock, IoStats::new_shared());
+        let a = p.allocate();
+        p.write(a, &[5u8; 32]);
+        let mut bytes = Vec::new();
+        p.serialize_into(&mut bytes);
+        // Flip one bit inside the stored page (after the two u64 headers and
+        // the tag byte).
+        let mut corrupt = bytes.clone();
+        corrupt[16 + 1 + 4] ^= 0x10;
+        let e = Pager::try_deserialize_from(&corrupt, IoCategory::RtreeBlock, IoStats::new_shared())
+            .unwrap_err();
+        assert!(e.cause.contains("checksum mismatch"), "cause: {}", e.cause);
+        assert!(e.offset <= corrupt.len());
+        // Truncations are reported too.
+        let e = Pager::try_deserialize_from(&bytes[..bytes.len() - 2], IoCategory::RtreeBlock, IoStats::new_shared())
+            .unwrap_err();
+        assert!(e.cause.contains("truncated"), "cause: {}", e.cause);
     }
 
     #[test]

@@ -69,6 +69,8 @@ impl fmt::Display for IoCategory {
 pub struct IoStats {
     reads: [Cell<u64>; 5],
     writes: [Cell<u64>; 5],
+    /// Signature loads that failed and fell back to unfiltered traversal.
+    degraded_reads: Cell<u64>,
 }
 
 /// Reference-counted handle to an [`IoStats`] ledger.
@@ -116,6 +118,21 @@ impl IoStats {
         self.writes.iter().map(Cell::get).sum()
     }
 
+    /// Records `n` degraded reads: storage-level failures (corrupt or
+    /// unreadable signature data) that the query layer survived by falling
+    /// back to unfiltered traversal. Queries stay correct; only pruning is
+    /// lost.
+    #[inline]
+    pub fn record_degraded_reads(&self, n: u64) {
+        self.degraded_reads.set(self.degraded_reads.get() + n);
+    }
+
+    /// Number of degraded reads recorded so far.
+    #[inline]
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads.get()
+    }
+
     /// Copies the current counter values into an owned [`IoSnapshot`].
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -133,6 +150,7 @@ impl IoStats {
                 self.writes[3].get(),
                 self.writes[4].get(),
             ],
+            degraded_reads: self.degraded_reads.get(),
         }
     }
 
@@ -144,6 +162,7 @@ impl IoStats {
         for c in &self.writes {
             c.set(0);
         }
+        self.degraded_reads.set(0);
     }
 }
 
@@ -153,6 +172,7 @@ impl IoStats {
 pub struct IoSnapshot {
     reads: [u64; 5],
     writes: [u64; 5],
+    degraded_reads: u64,
 }
 
 impl IoSnapshot {
@@ -166,6 +186,11 @@ impl IoSnapshot {
         self.writes[category.slot()]
     }
 
+    /// Degraded reads recorded at snapshot time.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
     /// Counter-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         let mut out = IoSnapshot::default();
@@ -173,6 +198,7 @@ impl IoSnapshot {
             out.reads[i] = self.reads[i].saturating_sub(earlier.reads[i]);
             out.writes[i] = self.writes[i].saturating_sub(earlier.writes[i]);
         }
+        out.degraded_reads = self.degraded_reads.saturating_sub(earlier.degraded_reads);
         out
     }
 

@@ -1,0 +1,274 @@
+//! Chaos harness: deterministic fault-injection sweeps over the whole stack.
+//!
+//! Every scenario is seeded, so failures replay exactly. The contract under
+//! test, for both corrupt persisted images and injected query-time storage
+//! faults, is: **a clean typed error or a correct answer — never a panic,
+//! never a silently wrong result.** Correctness is judged against the
+//! in-memory reference oracles (`pcube::baselines::reference`) over the
+//! tuples that actually satisfy the selection, or against an identical
+//! fault-free twin database.
+
+use std::sync::OnceLock;
+
+use pcube::baselines::reference::{bnl_skyline, naive_topk};
+use pcube::core::{
+    convex_hull_query, dynamic_skyline_query, skyline_query, topk_query, LinearFn, PCubeConfig,
+    PCubeDb,
+};
+use pcube::cube::Selection;
+use pcube::data::{sample_selection, synthetic, SyntheticSpec};
+use pcube::storage::{FaultPlan, IoCategory, IoStats, Pager, StorageError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Small pages + a few hundred rows: many signature/R-tree/B+-tree pages,
+/// so random corruption has a rich surface, while sweeps stay fast.
+fn spec() -> SyntheticSpec {
+    SyntheticSpec {
+        n_tuples: 350,
+        n_bool: 3,
+        n_pref: 2,
+        cardinality: 6,
+        seed: 42,
+        ..Default::default()
+    }
+}
+
+fn build_db() -> PCubeDb {
+    let cfg = PCubeConfig { page_size: 512, ..PCubeConfig::default() };
+    PCubeDb::build(synthetic(&spec()), &cfg)
+}
+
+/// The clean persisted image, built once and shared by every sweep.
+fn clean_image() -> &'static [u8] {
+    static IMAGE: OnceLock<Vec<u8>> = OnceLock::new();
+    IMAGE.get_or_init(|| build_db().save_to_bytes())
+}
+
+/// Tuples satisfying `sel`, as `(tid, preference coords)` — the oracle's
+/// input, read straight from the base table.
+fn qualifying(db: &PCubeDb, sel: &Selection) -> Vec<(u64, Vec<f64>)> {
+    (0..db.relation().len() as u64)
+        .filter(|&t| db.relation().matches(t, sel))
+        .map(|t| (t, db.relation().pref_coords(t)))
+        .collect()
+}
+
+/// Asserts skyline and top-k answers over `db` equal the reference oracles.
+fn assert_matches_oracle(db: &PCubeDb, sel: &Selection, label: &str) {
+    let points = qualifying(db, sel);
+
+    let out = skyline_query(db, sel, &[0, 1], false);
+    let mut got: Vec<u64> = out.skyline.iter().map(|p| p.0).collect();
+    let mut want: Vec<u64> = bnl_skyline(&points, &[0, 1]).iter().map(|p| p.0).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "{label}: skyline mismatch for {sel:?}");
+
+    let f = LinearFn::new(vec![0.7, 0.3]);
+    let out = topk_query(db, sel, 8, &f, false);
+    let want = naive_topk(&points, 8, &f);
+    assert_eq!(out.topk.len(), want.len(), "{label}: top-k size mismatch for {sel:?}");
+    for (g, w) in out.topk.iter().zip(&want) {
+        assert!(
+            (g.2 - w.2).abs() < 1e-9,
+            "{label}: top-k score mismatch for {sel:?}: got {} want {}",
+            g.2,
+            w.2
+        );
+    }
+}
+
+/// Asserts the dynamic skyline around `q` equals a BNL oracle over the
+/// |x − q|-transformed qualifying tuples.
+fn assert_dynamic_matches_oracle(db: &PCubeDb, sel: &Selection, q: &[f64], label: &str) {
+    let t_points: Vec<(u64, Vec<f64>)> = qualifying(db, sel)
+        .into_iter()
+        .map(|(t, c)| (t, c.iter().zip(q).map(|(x, qd)| (x - qd).abs()).collect()))
+        .collect();
+    let out = dynamic_skyline_query(db, sel, q, &[0, 1]);
+    let mut got: Vec<u64> = out.skyline.iter().map(|p| p.0).collect();
+    let mut want: Vec<u64> = bnl_skyline(&t_points, &[0, 1]).iter().map(|p| p.0).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "{label}: dynamic skyline mismatch for {sel:?} around {q:?}");
+}
+
+// ------------------------------------------------------ corrupt-image sweep --
+
+/// 700 seeded corruption scenarios against the persisted image: truncation,
+/// bit flips, zeroed ranges and random overwrites. Every load must either
+/// return a [`pcube::core::PersistError`] naming a section, or — when the
+/// corruption happens to be a no-op — answer queries exactly.
+#[test]
+fn corrupt_image_sweep_errors_cleanly_or_answers_correctly() {
+    let image = clean_image();
+    for seed in 0..700u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut img = image.to_vec();
+        match seed % 4 {
+            0 => {
+                let cut = rng.gen_range(0..img.len());
+                img.truncate(cut);
+            }
+            1 => {
+                let at = rng.gen_range(0..img.len());
+                let bit = rng.gen_range(0..8u32);
+                img[at] ^= 1 << bit;
+            }
+            2 => {
+                let start = rng.gen_range(0..img.len());
+                let len = rng.gen_range(1..256usize).min(img.len() - start);
+                for b in &mut img[start..start + len] {
+                    *b = 0;
+                }
+            }
+            _ => {
+                let start = rng.gen_range(0..img.len());
+                let len = rng.gen_range(1..64usize).min(img.len() - start);
+                for b in &mut img[start..start + len] {
+                    *b = rng.gen::<u8>();
+                }
+            }
+        }
+        match PCubeDb::load_from_bytes(&img) {
+            Err(e) => {
+                assert!(!e.section.is_empty(), "seed {seed}: error must name a section");
+                assert!(!e.cause.is_empty(), "seed {seed}: error must carry a cause");
+            }
+            Ok(db) => {
+                // The mutation did not change any decoded byte (e.g. zeroed
+                // an already-zero range): answers must be exact.
+                assert_matches_oracle(&db, &Selection::new(), &format!("image seed {seed}"));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- query-time fault sweep --
+
+/// 120 seeded fault plans on the signature (and sometimes directory) pager,
+/// each answering skyline, top-k, dynamic-skyline and convex-hull queries
+/// under 0–2 predicates. Answers must match the oracles / the fault-free
+/// twin exactly; the degradation counter must have fired somewhere.
+#[test]
+fn query_time_fault_sweep_stays_correct() {
+    let image = clean_image();
+    let clean = PCubeDb::load_from_bytes(image).expect("clean image loads");
+    let mut degraded_total = 0u64;
+    for seed in 0..120u64 {
+        let mut db = PCubeDb::load_from_bytes(image).expect("clean image loads");
+        let mut rng = StdRng::seed_from_u64(1_000 + seed);
+        let p = 0.1 + 0.8 * rng.gen::<f64>();
+        db.signature_store_mut()
+            .sig_pager_mut()
+            .set_fault_plan(FaultPlan::seeded(seed).with_read_errors(p));
+        if seed % 3 == 0 {
+            // Every third scenario also makes the signature directory flaky.
+            db.signature_store_mut()
+                .dir_pager_mut()
+                .set_fault_plan(FaultPlan::seeded(seed ^ 0xABCD).with_read_errors(p));
+        }
+        for n_preds in 0..=2usize {
+            let sel = sample_selection(db.relation(), n_preds, &mut rng);
+            let label = format!("fault seed {seed}");
+            assert_matches_oracle(&db, &sel, &label);
+            let q = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            assert_dynamic_matches_oracle(&db, &sel, &q, &label);
+
+            let a = convex_hull_query(&db, &sel, (0, 1));
+            let b = convex_hull_query(&clean, &sel, (0, 1));
+            let mut ga: Vec<u64> = a.hull.iter().map(|p| p.0).collect();
+            let mut gb: Vec<u64> = b.hull.iter().map(|p| p.0).collect();
+            ga.sort_unstable();
+            gb.sort_unstable();
+            assert_eq!(ga, gb, "{label}: hull mismatch for {sel:?}");
+        }
+        degraded_total += db.stats().degraded_reads();
+    }
+    assert!(
+        degraded_total > 0,
+        "sweeping 120 fault plans should have triggered at least one degraded read"
+    );
+}
+
+// --------------------------------------------------------- targeted checks --
+
+/// Corrupt every live signature page (checksums on, so reads fail loudly):
+/// queries must fall back to unfiltered traversal, tally degraded reads, and
+/// still match the oracle bit-for-bit.
+#[test]
+fn corrupt_signature_pages_degrade_but_answers_stay_exact() {
+    let mut db = PCubeDb::load_from_bytes(clean_image()).expect("clean image loads");
+    {
+        let pager = db.signature_store_mut().sig_pager_mut();
+        pager.set_checksums(true);
+        for pid in pager.live_page_ids() {
+            pager.corrupt_page(pid, 7, 0x80).expect("live page accepts corruption");
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(11);
+    for n_preds in 1..=2usize {
+        for _ in 0..4 {
+            let sel = sample_selection(db.relation(), n_preds, &mut rng);
+            assert_matches_oracle(&db, &sel, "corrupt-sig");
+        }
+    }
+    assert!(
+        db.stats().degraded_reads() > 0,
+        "reading corrupt signature pages must be tallied as degraded"
+    );
+}
+
+/// Allocation exhaustion surfaces as a typed error, not a panic or a bad
+/// page id.
+#[test]
+fn alloc_budget_exhaustion_is_a_clean_error() {
+    let stats = IoStats::new_shared();
+    let mut pager = Pager::new(128, IoCategory::SignaturePage, stats);
+    pager.set_fault_plan(FaultPlan::seeded(5).with_alloc_budget(3));
+    for i in 0..3 {
+        pager.try_allocate().unwrap_or_else(|e| panic!("allocation {i} within budget: {e}"));
+    }
+    assert!(matches!(pager.try_allocate(), Err(StorageError::OutOfPages)));
+    assert!(matches!(pager.try_allocate(), Err(StorageError::OutOfPages)));
+    assert_eq!(pager.fault_counts().map_or(0, |c| c.denied_allocs), 2);
+}
+
+// ------------------------------------------------------------ proptest sweep --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 256 random single-byte XOR mutations of the persisted image (the
+    /// vendored proptest runs with a fixed, deterministic seed derived from
+    /// the test name, so the sweep is reproducible). Each mutated image must
+    /// fail to load with a section-named error, or answer exactly.
+    #[test]
+    fn prop_mutated_images_error_cleanly_or_answer_correctly(
+        at in any::<proptest::sample::Index>(),
+        mask in 1u8..=255u8,
+    ) {
+        let image = clean_image();
+        let mut img = image.to_vec();
+        let pos = at.index(img.len());
+        img[pos] ^= mask;
+        match PCubeDb::load_from_bytes(&img) {
+            Err(e) => {
+                prop_assert!(!e.section.is_empty());
+                prop_assert!(!e.cause.is_empty());
+            }
+            Ok(db) => {
+                let points = qualifying(&db, &Selection::new());
+                let out = skyline_query(&db, &Selection::new(), &[0, 1], false);
+                let mut got: Vec<u64> = out.skyline.iter().map(|p| p.0).collect();
+                let mut want: Vec<u64> =
+                    bnl_skyline(&points, &[0, 1]).iter().map(|p| p.0).collect();
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -96,3 +96,88 @@ fn corrupt_images_are_rejected_not_panicking() {
     trailing.push(0);
     assert!(PCubeDb::load_from_bytes(&trailing).is_err());
 }
+
+fn load_err(buf: &[u8]) -> pcube::core::PersistError {
+    match PCubeDb::load_from_bytes(buf) {
+        Err(e) => e,
+        Ok(_) => panic!("expected the load to fail"),
+    }
+}
+
+#[test]
+fn persist_errors_pinpoint_section_and_offset() {
+    let db = build();
+    let bytes = db.save_to_bytes();
+
+    // Zero-length buffer.
+    let e = load_err(&[]);
+    assert_eq!(e.section, "header");
+    assert!(e.cause.contains("shorter than the magic header"), "{e}");
+
+    // Wrong magic.
+    let e = load_err(b"NOTADB99");
+    assert_eq!((e.section, e.offset), ("header", 0));
+
+    // Future version byte.
+    let mut future = bytes.clone();
+    future[7] = b'9';
+    let e = load_err(&future);
+    assert_eq!((e.section, e.offset), ("header", 7));
+    assert!(e.cause.contains("future format version"), "{e}");
+
+    // Old version byte gets a precise "unsupported" message.
+    let mut old = bytes.clone();
+    old[7] = b'1';
+    let e = load_err(&old);
+    assert!(e.cause.contains("unsupported format version 1"), "{e}");
+
+    // Truncation inside a section.
+    let e = load_err(&bytes[..bytes.len() - 10]);
+    assert!(!e.section.is_empty());
+    assert!(e.offset <= bytes.len(), "{e}");
+
+    // A bit flip anywhere in a section payload trips that section's CRC.
+    for &at in &[20usize, bytes.len() / 3, bytes.len() / 2, bytes.len() - 20] {
+        let mut flipped = bytes.clone();
+        flipped[at] ^= 0x10;
+        let e = load_err(&flipped);
+        assert!(
+            e.cause.contains("checksum mismatch")
+                || e.cause.contains("section")
+                || e.cause.contains("truncated"),
+            "byte {at}: unexpected error {e}"
+        );
+        assert!(!e.section.is_empty(), "byte {at}: error must name a section");
+    }
+}
+
+#[test]
+fn quiescent_fault_plan_does_not_perturb_roundtrip() {
+    // An installed-but-zero-probability fault plan must be a no-op: the
+    // saved image and every reloaded answer stay identical.
+    let mut db = build();
+    let clean_bytes = db.save_to_bytes();
+    db.signature_store_mut()
+        .sig_pager_mut()
+        .set_fault_plan(pcube::storage::FaultPlan::seeded(99));
+    let with_plan = db.save_to_bytes();
+    assert_eq!(clean_bytes, with_plan, "quiescent plan changed the image");
+
+    let reloaded = PCubeDb::load_from_bytes(&with_plan).expect("loads");
+    let mut rng = StdRng::seed_from_u64(7);
+    for n_preds in 0..=2 {
+        let sel = sample_selection(db.relation(), n_preds, &mut rng);
+        let a = skyline_query(&db, &sel, &[0, 1], false);
+        let b = skyline_query(&reloaded, &sel, &[0, 1], false);
+        let mut ta: Vec<u64> = a.skyline.iter().map(|p| p.0).collect();
+        let mut tb: Vec<u64> = b.skyline.iter().map(|p| p.0).collect();
+        ta.sort_unstable();
+        tb.sort_unstable();
+        assert_eq!(ta, tb, "skyline mismatch for {sel:?}");
+    }
+    assert_eq!(
+        db.signature_store_mut().sig_pager_mut().fault_counts().map_or(0, |c| c.total()),
+        0,
+        "a quiescent plan must never fire"
+    );
+}

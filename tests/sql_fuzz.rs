@@ -1,4 +1,8 @@
 //! The SQL parser must never panic, whatever the input.
+//!
+//! Runs are fully reproducible: the vendored proptest derives its RNG seed
+//! deterministically from the test's module path and name (override with
+//! `PROPTEST_SEED`), so every CI run replays the identical case sequence.
 
 use proptest::prelude::*;
 

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This workspace builds in environments without a crates.io registry, so the
+//! subset of the criterion 0.5 API the benches use is vendored here as a
+//! minimal wall-clock harness: `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! It reports mean wall-clock time per iteration over `sample_size` samples —
+//! good enough for A/B comparisons in this repository, with none of
+//! criterion's statistics, plotting, or baseline management.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark closure under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labelled by `id` within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&label, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to smooth clock granularity.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up and calibration: aim for ~10ms of work per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let reps = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
+    }
+}
+
+fn run_bench(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("{label:<48} {:>12} /iter   ({} iters)", fmt_ns(per_iter), b.iters);
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group; only the `name/config/targets` form is
+/// supported (the form this workspace uses).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
