@@ -83,7 +83,7 @@ pub fn bbs_skyline(
             }
         }
     }
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     (result, stats)
@@ -140,7 +140,7 @@ pub fn ranking_topk(
             }
         }
     }
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     (result, stats)

@@ -75,7 +75,7 @@ pub fn index_merge_topk(
             }
         }
     }
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     (result, stats)

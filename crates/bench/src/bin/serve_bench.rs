@@ -1,0 +1,430 @@
+//! Concurrent-throughput harness: M client threads hammer one shared
+//! [`PCubeDb`] with a mixed preference-query workload (top-k, skyline,
+//! dynamic skyline, convex hull), verifying on the fly that
+//!
+//! * every answer is **bit-identical** to the single-threaded answer, and
+//! * the atomic I/O ledger's total delta equals the sum of per-query serial
+//!   deltas (counter consistency — no lost updates, no double charges).
+//!
+//! Any mismatch or counter drift makes the process exit non-zero, so CI can
+//! run this as a smoke gate.
+//!
+//! Two throughput numbers are reported per thread count:
+//!
+//! * `qps_wall` — raw wall-clock queries/second. Scales with physical
+//!   cores; on a single-core container it stays flat by construction.
+//! * `qps_modeled` — queries/second under the repository's disk cost model
+//!   (see `CostModel`): each query is charged its measured CPU time plus
+//!   modeled per-page latencies, and client threads overlap their modeled
+//!   I/O stalls independently (per-client disk assumption, consistent with
+//!   how every figure runner charges I/O). This is the number the
+//!   concurrency experiment records, because the evaluation — like the
+//!   paper's — is about overlapping disk time, which a RAM-resident
+//!   reproduction can only model.
+//!
+//! Usage: `serve_bench [--scale small|medium|full] [--threads 1,2,4,8]
+//! [--queries N] [--seed S] [--out PATH] [--min-speedup X]`
+//!
+//! Results land in `BENCH_concurrency.json` (override with `--out`).
+
+use pcube_core::{LinearFn, PCubeConfig, PCubeDb};
+use pcube_cube::Selection;
+use pcube_data::{sample_selection, synthetic, Distribution, SyntheticSpec};
+use pcube_storage::{CostModel, IoCategory, IoSnapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One query of the mixed workload.
+#[derive(Clone)]
+enum Query {
+    TopK { sel: Selection, k: usize, weights: Vec<f64> },
+    Skyline { sel: Selection },
+    Dynamic { sel: Selection, q: Vec<f64> },
+    Hull { sel: Selection },
+}
+
+impl Query {
+    fn kind(&self) -> &'static str {
+        match self {
+            Query::TopK { .. } => "topk",
+            Query::Skyline { .. } => "skyline",
+            Query::Dynamic { .. } => "dynamic",
+            Query::Hull { .. } => "hull",
+        }
+    }
+}
+
+/// A canonicalized answer, comparable with `==` across threads and runs.
+#[derive(Clone, PartialEq)]
+enum Answer {
+    TopK(Vec<(u64, Vec<f64>, f64)>),
+    Skyline(Vec<(u64, Vec<f64>)>),
+    Hull(Vec<(u64, [f64; 2])>),
+}
+
+fn run_query(db: &PCubeDb, q: &Query) -> Answer {
+    match q {
+        Query::TopK { sel, k, weights } => {
+            Answer::TopK(db.topk(sel, *k, &LinearFn::new(weights.clone())).topk)
+        }
+        Query::Skyline { sel } => Answer::Skyline(db.skyline(sel, &[0, 1]).skyline),
+        Query::Dynamic { sel, q } => Answer::Skyline(db.dynamic_skyline(sel, q, &[0, 1]).skyline),
+        Query::Hull { sel } => Answer::Hull(db.hull(sel, (0, 1)).hull),
+    }
+}
+
+struct Config {
+    scale: String,
+    threads: Vec<usize>,
+    queries: usize,
+    seed: u64,
+    out: String,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        scale: "medium".into(),
+        threads: vec![1, 2, 4, 8],
+        queries: 0, // 0 = pick per scale
+        seed: 42,
+        out: "BENCH_concurrency.json".into(),
+        min_speedup: 3.0,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |n: usize| {
+            args.get(n).unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[n - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = need(i + 1).clone();
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = need(i + 1)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads takes e.g. 1,2,4,8"))
+                    .collect();
+                i += 2;
+            }
+            "--queries" => {
+                cfg.queries = need(i + 1).parse().expect("--queries takes a count");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = need(i + 1).parse().expect("--seed takes a number");
+                i += 2;
+            }
+            "--out" => {
+                cfg.out = need(i + 1).clone();
+                i += 2;
+            }
+            "--min-speedup" => {
+                cfg.min_speedup = need(i + 1).parse().expect("--min-speedup takes a float");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+fn scale_params(scale: &str) -> (usize, usize) {
+    // (tuples, default total queries per thread-count config)
+    match scale {
+        "small" => (20_000, 256),
+        "medium" => (100_000, 512),
+        "full" => (1_000_000, 1024),
+        other => {
+            eprintln!("unknown scale {other:?}; use small, medium or full");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_workload(db: &PCubeDb, n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let sel = sample_selection(db.relation(), i % 3, &mut rng);
+            match i % 4 {
+                0 => Query::TopK {
+                    sel,
+                    k: 5 + i % 20,
+                    weights: vec![0.15 + 0.1 * (i % 8) as f64, 0.95 - 0.1 * (i % 6) as f64],
+                },
+                1 => Query::Skyline { sel },
+                2 => Query::Dynamic {
+                    sel,
+                    q: vec![0.1 * (i % 10) as f64, 1.0 - 0.1 * (i % 10) as f64],
+                },
+                _ => Query::Hull { sel },
+            }
+        })
+        .collect()
+}
+
+struct ConfigResult {
+    threads: usize,
+    wall_seconds: f64,
+    qps_wall: f64,
+    qps_modeled: f64,
+    p50_us: u64,
+    p99_us: u64,
+    mismatches: u64,
+    counter_consistent: bool,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    db: &PCubeDb,
+    workload: &[Query],
+    expected: &[Answer],
+    per_query_io: &[IoSnapshot],
+    cost: &CostModel,
+    threads: usize,
+    total_queries: usize,
+) -> ConfigResult {
+    let mismatches = AtomicU64::new(0);
+    let next = AtomicU64::new(0);
+    let before = db.stats().snapshot();
+    let started = Instant::now();
+    // Dynamic dispatch, like a real query router: each client thread grabs
+    // the next pending query index; workload entries repeat round-robin
+    // until `total_queries` are issued. Every index in 0..total_queries is
+    // executed exactly once regardless of the schedule.
+    let per_thread: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (mismatches, next) = (&mismatches, &next);
+                scope.spawn(move || {
+                    let mut done: Vec<(u64, u64)> = Vec::new(); // (index, µs)
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                        if i >= total_queries {
+                            break;
+                        }
+                        let w = i % workload.len();
+                        let q_started = Instant::now();
+                        let got = run_query(db, &workload[w]);
+                        done.push((i as u64, q_started.elapsed().as_micros() as u64));
+                        if got != expected[w] {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let delta = db.stats().snapshot().since(&before);
+
+    // Counter consistency: expected totals from the deterministic per-query
+    // serial deltas, times each workload entry's execution count.
+    let mut consistent = true;
+    for cat in IoCategory::ALL {
+        let mut expect_reads = 0u64;
+        let mut expect_writes = 0u64;
+        for (w, io) in per_query_io.iter().enumerate() {
+            let execs = (total_queries / workload.len()
+                + usize::from(w < total_queries % workload.len())) as u64;
+            expect_reads += io.reads(cat) * execs;
+            expect_writes += io.writes(cat) * execs;
+        }
+        if delta.reads(cat) != expect_reads || delta.writes(cat) != expect_writes {
+            eprintln!(
+                "counter drift in {cat}: reads {} (expected {expect_reads}), writes {} (expected {expect_writes})",
+                delta.reads(cat),
+                delta.writes(cat),
+            );
+            consistent = false;
+        }
+    }
+
+    // Modeled makespan: charge each executed query its measured CPU time
+    // plus the cost model's I/O time, then list-schedule the instances in
+    // issue order onto `threads` modeled clients (each query goes to the
+    // earliest-available client — exactly what the dynamic dispatcher above
+    // does in wall time, replayed in modeled time).
+    let mut instance_cost: Vec<f64> = vec![0.0; total_queries];
+    for &(i, us) in per_thread.iter().flatten() {
+        instance_cost[i as usize] =
+            us as f64 * 1e-6 + cost.seconds(&per_query_io[i as usize % workload.len()]);
+    }
+    let mut client_busy_until = vec![0.0f64; threads];
+    for c in instance_cost {
+        let earliest = client_busy_until
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite modeled times"))
+            .expect("at least one client");
+        *earliest += c;
+    }
+    let modeled_makespan = client_busy_until.into_iter().fold(0.0f64, f64::max);
+
+    let mut all_lat: Vec<u64> =
+        per_thread.into_iter().flatten().map(|(_, us)| us).collect();
+    all_lat.sort_unstable();
+    ConfigResult {
+        threads,
+        wall_seconds,
+        qps_wall: total_queries as f64 / wall_seconds,
+        qps_modeled: total_queries as f64 / modeled_makespan.max(1e-12),
+        p50_us: percentile(&all_lat, 0.50),
+        p99_us: percentile(&all_lat, 0.99),
+        mismatches: mismatches.load(Ordering::Relaxed),
+        counter_consistent: consistent,
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (tuples, default_queries) = scale_params(&cfg.scale);
+    let total_queries = if cfg.queries > 0 { cfg.queries } else { default_queries };
+
+    eprintln!("building PCubeDb: {tuples} tuples ({} scale)…", cfg.scale);
+    let spec = SyntheticSpec {
+        n_tuples: tuples,
+        n_bool: 3,
+        n_pref: 2,
+        cardinality: 8,
+        distribution: Distribution::Uniform,
+        seed: cfg.seed,
+    };
+    let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+    let workload = build_workload(&db, 64, cfg.seed);
+
+    // Warm pass (fills the pinned signature-directory cache), then a
+    // measured serial pass: expected answers + deterministic per-query I/O.
+    eprintln!("warming caches and computing reference answers…");
+    for q in &workload {
+        run_query(&db, q);
+    }
+    let mut expected = Vec::with_capacity(workload.len());
+    let mut per_query_io = Vec::with_capacity(workload.len());
+    for q in &workload {
+        let before = db.stats().snapshot();
+        expected.push(run_query(&db, q));
+        per_query_io.push(db.stats().snapshot().since(&before));
+    }
+
+    let cost = CostModel::default();
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for &threads in &cfg.threads {
+        eprintln!("running {total_queries} queries on {threads} client thread(s)…");
+        results.push(run_config(
+            &db,
+            &workload,
+            &expected,
+            &per_query_io,
+            &cost,
+            threads,
+            total_queries,
+        ));
+    }
+
+    // Headline: modeled speedup of the widest configuration over 1 thread.
+    let base = results
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.qps_modeled)
+        .unwrap_or_else(|| results[0].qps_modeled / results[0].threads as f64);
+    let widest = results
+        .iter()
+        .max_by_key(|r| r.threads)
+        .expect("at least one thread configuration");
+    let speedup = widest.qps_modeled / base;
+
+    let mut kinds = std::collections::BTreeMap::new();
+    for q in &workload {
+        *kinds.entry(q.kind()).or_insert(0usize) += 1;
+    }
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve_bench\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", cfg.scale);
+    let _ = writeln!(json, "  \"tuples\": {tuples},");
+    let _ = writeln!(json, "  \"queries_per_config\": {total_queries},");
+    let _ = writeln!(json, "  \"distinct_queries\": {},", workload.len());
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(
+        json,
+        "  \"workload_mix\": {{{}}},",
+        kinds
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"wall_seconds\": {:.4}, \"qps_wall\": {:.1}, \"qps_modeled\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \"result_mismatches\": {}, \"counter_consistent\": {}}}{}",
+            r.threads,
+            r.wall_seconds,
+            r.qps_wall,
+            r.qps_modeled,
+            r.p50_us,
+            r.p99_us,
+            r.mismatches,
+            r.counter_consistent,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"widest_threads\": {},", widest.threads);
+    let _ = writeln!(json, "  \"modeled_speedup_vs_1_thread\": {speedup:.3},");
+    let _ = writeln!(json, "  \"min_speedup_required\": {:.1}", cfg.min_speedup);
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).expect("write results json");
+
+    println!("{json}");
+    println!(
+        "speedup {speedup:.2}x at {} threads (modeled); wall QPS {:.0} -> {:.0}",
+        widest.threads,
+        results.first().map(|r| r.qps_wall).unwrap_or(0.0),
+        widest.qps_wall,
+    );
+
+    let mismatched: u64 = results.iter().map(|r| r.mismatches).sum();
+    let drifted = results.iter().any(|r| !r.counter_consistent);
+    if mismatched > 0 {
+        eprintln!("FAIL: {mismatched} result mismatches under concurrency");
+        std::process::exit(1);
+    }
+    if drifted {
+        eprintln!("FAIL: I/O counter drift under concurrency");
+        std::process::exit(1);
+    }
+    if speedup < cfg.min_speedup {
+        eprintln!(
+            "FAIL: modeled speedup {speedup:.2}x below required {:.1}x",
+            cfg.min_speedup
+        );
+        std::process::exit(1);
+    }
+    eprintln!("OK");
+}

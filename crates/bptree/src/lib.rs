@@ -40,6 +40,13 @@ mod tree;
 
 pub use tree::BPlusTree;
 
+// The signature directory is probed concurrently by query threads; the tree
+// (including its pinned-page cache) must stay `Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BPlusTree>();
+};
+
 /// Packs two 32-bit components into one ordered 64-bit composite key.
 ///
 /// Ordering of the packed keys is lexicographic in `(hi, lo)`, so a range

@@ -1,6 +1,6 @@
 //! The B+-tree proper: lookup, insert, delete, range scans and bulk loading.
 
-use std::cell::RefCell;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use std::ops::{Bound, RangeBounds};
 
@@ -26,7 +26,10 @@ pub struct BPlusTree {
     leaf_cap: usize,
     internal_cap: usize,
     pin_internal: bool,
-    internal_cache: RefCell<HashMap<PageId, Box<[u8]>>>,
+    /// `RwLock` so concurrent query threads can serve pinned internal
+    /// pages from the cache; writes happen only on first read of a page and
+    /// on invalidation.
+    internal_cache: RwLock<HashMap<PageId, Box<[u8]>>>,
 }
 
 impl BPlusTree {
@@ -46,7 +49,7 @@ impl BPlusTree {
             leaf_cap,
             internal_cap,
             pin_internal: false,
-            internal_cache: RefCell::new(HashMap::new()),
+            internal_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -69,7 +72,7 @@ impl BPlusTree {
             leaf_cap,
             internal_cap,
             pin_internal: false,
-            internal_cache: RefCell::new(HashMap::new()),
+            internal_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -78,27 +81,30 @@ impl BPlusTree {
     pub fn set_internal_pinning(&mut self, on: bool) {
         self.pin_internal = on;
         if !on {
-            self.internal_cache.borrow_mut().clear();
+            self.internal_cache.write().expect("cache lock poisoned").clear();
         }
     }
 
     /// Reads a node page, serving pinned internal pages from memory.
     fn read_page(&self, pid: PageId) -> Vec<u8> {
         if self.pin_internal {
-            if let Some(page) = self.internal_cache.borrow().get(&pid) {
+            if let Some(page) = self.internal_cache.read().expect("cache lock poisoned").get(&pid) {
                 return page.to_vec();
             }
         }
         let page = self.pager.read(pid).to_vec();
         if self.pin_internal && node::node_type(&page) != TYPE_LEAF {
-            self.internal_cache.borrow_mut().insert(pid, page.clone().into_boxed_slice());
+            self.internal_cache
+                .write()
+                .expect("cache lock poisoned")
+                .insert(pid, page.clone().into_boxed_slice());
         }
         page
     }
 
     fn invalidate_cache(&mut self) {
         if self.pin_internal {
-            self.internal_cache.borrow_mut().clear();
+            self.internal_cache.write().expect("cache lock poisoned").clear();
         }
     }
 
@@ -197,7 +203,7 @@ impl BPlusTree {
             leaf_cap,
             internal_cap,
             pin_internal: false,
-            internal_cache: RefCell::new(HashMap::new()),
+            internal_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -232,7 +238,7 @@ impl BPlusTree {
     /// corrupt bytes surface as [`StorageError`] instead of a slice panic.
     fn try_read_page(&self, pid: PageId) -> Result<Vec<u8>, StorageError> {
         if self.pin_internal {
-            if let Some(page) = self.internal_cache.borrow().get(&pid) {
+            if let Some(page) = self.internal_cache.read().expect("cache lock poisoned").get(&pid) {
                 return Ok(page.to_vec());
             }
         }
@@ -242,7 +248,10 @@ impl BPlusTree {
             return Err(StorageError::Malformed { pid, what: "node count exceeds page capacity" });
         }
         if self.pin_internal && node::node_type(&page) != TYPE_LEAF {
-            self.internal_cache.borrow_mut().insert(pid, page.clone().into_boxed_slice());
+            self.internal_cache
+                .write()
+                .expect("cache lock poisoned")
+                .insert(pid, page.clone().into_boxed_slice());
         }
         Ok(page)
     }

@@ -44,9 +44,11 @@ pub use bloom::BloomSignature;
 pub use pcube::{PCube, PCubeConfig, PCubeDb};
 pub use persist::PersistError;
 pub use query::{
-    convex_hull_query, dynamic_skyline_query, skyline_drill_down, skyline_query, skyline_query_probed, skyline_roll_up, topk_drill_down,
-    topk_query, topk_query_probed, topk_roll_up, QueryStats, SkylineOutcome, SkylineState,
-    TopKOutcome, TopKState,
+    convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
+    par_skyline_query, par_topk_query, skyline_drill_down, skyline_query, skyline_query_probed,
+    skyline_roll_up, topk_drill_down, topk_query, topk_query_probed, topk_roll_up,
+    ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome, ParallelOptions,
+    QueryStats, SkylineOutcome, SkylineState, TopKOutcome, TopKState,
 };
 pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
 pub use signature::Signature;

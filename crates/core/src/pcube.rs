@@ -10,6 +10,7 @@ use pcube_cube::{
 use pcube_rtree::{Path, PathDelta, RTree, RTreeConfig};
 use pcube_storage::{IoCategory, IoStats, Pager, SharedStats};
 
+use crate::rank::RankingFunction;
 use crate::signature::Signature;
 use crate::store::{BooleanProbe, SignatureStore};
 
@@ -355,6 +356,98 @@ impl PCubeDb {
             .collect()
     }
 }
+
+/// The thread-safe query facade: every method takes `&self`, so a single
+/// `PCubeDb` can serve many client threads at once (`PCubeDb: Send + Sync`
+/// is asserted below). With `ParallelOptions::workers > 1` each query also
+/// fans its own search out over root-level R-tree subtrees; results are
+/// identical to the serial engines either way (see [`crate::query::parallel`
+/// module docs](crate::query::par_topk_query)).
+impl PCubeDb {
+    /// Top-k under a boolean selection — serial engine, shared-ref entry
+    /// point (equivalent to [`topk_query`](crate::query::topk_query)).
+    pub fn topk(
+        &self,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> crate::query::TopKOutcome {
+        crate::query::topk_query(self, selection, k, f, false)
+    }
+
+    /// Top-k with a parallel subtree fan-out.
+    pub fn par_topk(
+        &self,
+        selection: &Selection,
+        k: usize,
+        f: &(dyn RankingFunction + Sync),
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ParTopKOutcome {
+        crate::query::par_topk_query(self, selection, k, f, opts)
+    }
+
+    /// Skyline under a boolean selection — serial engine.
+    pub fn skyline(
+        &self,
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> crate::query::SkylineOutcome {
+        crate::query::skyline_query(self, selection, pref_dims, false)
+    }
+
+    /// Skyline with a parallel subtree fan-out.
+    pub fn par_skyline(
+        &self,
+        selection: &Selection,
+        pref_dims: &[usize],
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ParSkylineOutcome {
+        crate::query::par_skyline_query(self, selection, pref_dims, opts)
+    }
+
+    /// Dynamic skyline around `q` — serial engine.
+    pub fn dynamic_skyline(
+        &self,
+        selection: &Selection,
+        q: &[f64],
+        pref_dims: &[usize],
+    ) -> crate::query::DynamicSkylineOutcome {
+        crate::query::dynamic_skyline_query(self, selection, q, pref_dims)
+    }
+
+    /// Dynamic skyline with a parallel subtree fan-out.
+    pub fn par_dynamic_skyline(
+        &self,
+        selection: &Selection,
+        q: &[f64],
+        pref_dims: &[usize],
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ParDynamicSkylineOutcome {
+        crate::query::par_dynamic_skyline_query(self, selection, q, pref_dims, opts)
+    }
+
+    /// Convex hull of the qualifying tuples on two dimensions — serial.
+    pub fn hull(&self, selection: &Selection, dims: (usize, usize)) -> crate::query::HullOutcome {
+        crate::query::convex_hull_query(self, selection, dims)
+    }
+
+    /// Convex hull with a parallel subtree fan-out.
+    pub fn par_hull(
+        &self,
+        selection: &Selection,
+        dims: (usize, usize),
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ParHullOutcome {
+        crate::query::par_convex_hull_query(self, selection, dims, opts)
+    }
+}
+
+// The whole read path must stay shareable across threads: the parallel
+// engines and any multi-client server lean on this.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PCubeDb>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -144,10 +144,13 @@ pub fn dynamic_skyline_query(
         }
     }
 
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    // Canonical result order: ascending `(transformed key, tid)` — the same
+    // key the parallel engine merges by.
+    result.sort_by(|a, b| key(&a.2).total_cmp(&key(&b.2)).then(a.0.cmp(&b.0)));
     DynamicSkylineOutcome {
         skyline: result.into_iter().map(|(tid, coords, _)| (tid, coords)).collect(),
         stats,

@@ -113,7 +113,7 @@ fn cross(o: [f64; 2], a: [f64; 2], b: [f64; 2]) -> f64 {
 
 /// `true` if `p` lies strictly inside the (counter-clockwise) hull — on the
 /// boundary counts as outside so boundary duplicates are still collected.
-fn strictly_inside_hull(hull: &[(u64, [f64; 2])], p: [f64; 2]) -> bool {
+pub(crate) fn strictly_inside_hull(hull: &[(u64, [f64; 2])], p: [f64; 2]) -> bool {
     if hull.len() < 3 {
         return false;
     }

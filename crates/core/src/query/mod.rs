@@ -4,10 +4,16 @@
 
 mod dynamic;
 mod hull;
+mod parallel;
 mod skyline;
 mod topk;
 
 pub use dynamic::{dynamic_skyline_query, DynamicSkylineOutcome};
+pub use parallel::{
+    par_convex_hull_query, par_dynamic_skyline_query, par_skyline_query, par_topk_query,
+    ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
+    ParallelOptions,
+};
 pub use hull::{convex_hull_query, HullOutcome};
 pub use skyline::{
     skyline_drill_down, skyline_query, skyline_query_probed, skyline_roll_up, SkylineOutcome,
@@ -68,21 +74,42 @@ impl Candidate {
     }
 }
 
-/// A scored heap entry. Lower scores pop first; ties break by insertion
-/// sequence for determinism.
+/// A scored heap entry. Lower scores pop first; ties break by a
+/// traversal-independent key so pop order — and therefore result order at
+/// score ties — is reproducible and identical between the serial and the
+/// parallel engines.
+///
+/// The tie-break is: **nodes before tuples** (a node whose lower bound
+/// equals a tuple's score may still contain an equal-scored tuple with a
+/// smaller tid, so it must be expanded first for the canonical choice),
+/// then ascending tid (tuples) / page id (nodes), then insertion sequence
+/// as a final fallback. Parallel workers merge their local results by the
+/// same `(score, tid)` key, which is why ties at the k-th top-k score
+/// resolve identically no matter how the search was partitioned.
 #[derive(Debug, Clone)]
 pub struct HeapEntry {
     /// The ordering key (`d(n)` for skylines, `f(n)` for top-k).
     pub score: f64,
-    /// Monotone tie-breaker.
+    /// Monotone fallback tie-breaker.
     pub seq: u64,
     /// The node or tuple itself.
     pub cand: Candidate,
 }
 
+impl HeapEntry {
+    /// The deterministic tie-break key: `(kind, id, seq)` with nodes (kind 0)
+    /// ahead of tuples (kind 1) and ids ascending.
+    fn tie_key(&self) -> (u8, u64, u64) {
+        match &self.cand {
+            Candidate::Node { pid, .. } => (0, u64::from(pid.0), self.seq),
+            Candidate::Tuple { tid, .. } => (1, *tid, self.seq),
+        }
+    }
+}
+
 impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.seq == other.seq
+        self.score == other.score && self.tie_key() == other.tie_key()
     }
 }
 impl Eq for HeapEntry {}
@@ -93,12 +120,13 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the min score on top.
+        // Reversed: BinaryHeap is a max-heap, we want the min score (then
+        // the min tie key) on top.
         other
             .score
             .partial_cmp(&self.score)
             .expect("scores must not be NaN")
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.tie_key().cmp(&self.tie_key()))
     }
 }
 
@@ -144,8 +172,12 @@ impl CandidateHeap {
         self.heap.is_empty()
     }
 
-    /// Largest size the heap ever reached.
-    pub fn peak(&self) -> usize {
+    /// Largest number of entries the heap ever held at once — the memory
+    /// metric of Fig 10 (`peak_heap` in [`QueryStats`]). This is a
+    /// high-water mark over the whole search, not the current [`len`].
+    ///
+    /// [`len`]: CandidateHeap::len
+    pub fn peak_size(&self) -> usize {
         self.peak
     }
 
@@ -223,7 +255,7 @@ mod tests {
         h.pop();
         h.pop();
         assert_eq!(h.len(), 3);
-        assert_eq!(h.peak(), 5);
+        assert_eq!(h.peak_size(), 5);
     }
 
     #[test]

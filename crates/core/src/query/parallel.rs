@@ -1,0 +1,854 @@
+//! Parallel branch-and-bound execution (§V at scale).
+//!
+//! The paper's Algorithm 1 explores one R-tree; once the read path is
+//! `Send + Sync` (atomic [`pcube_storage::IoStats`] counters, lock-guarded
+//! pager reads, per-worker signature cursors), the search parallelizes
+//! across root-level subtrees. Each engine here:
+//!
+//! 1. expands the root once on the calling thread,
+//! 2. deals the root's children round-robin to a fixed pool of **scoped**
+//!    worker threads (no runtime dependency),
+//! 3. runs the serial pruning logic per worker with a *shared pruning
+//!    bound* — an atomic f64-bit threshold for top-k, a mutex-guarded
+//!    window of accepted points for (dynamic) skylines,
+//! 4. merges local results by the canonical `(score, tid)` key.
+//!
+//! Results are **identical to the serial engines** — same tuples, same
+//! order — for any worker count, because shared bounds are only ever
+//! conservative (a stale bound admits extra work, never wrong answers) and
+//! the merge key matches the serial heap's deterministic tie-break plus the
+//! serial engines' canonical result sort. The oracle differential suite
+//! (`tests/differential_oracle.rs`) and the concurrency stress test
+//! (`tests/concurrent_queries.rs`) hold both engines to that contract.
+//!
+//! The parallel engines do not produce `b_list`/`d_list` state: incremental
+//! drill-down and roll-up (§V-C) remain a serial-engine feature.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pcube_cube::{normalize, Selection};
+use pcube_rtree::{DecodedEntry, Mbr, Path};
+use pcube_storage::PageId;
+
+use crate::pcube::PCubeDb;
+use crate::query::hull::{monotone_chain, strictly_inside_hull};
+use crate::query::{dominates, Candidate, CandidateHeap, QueryStats};
+use crate::rank::{MinCoordSum, RankingFunction};
+use crate::store::BooleanProbe;
+
+/// How a parallel query fans out.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelOptions {
+    /// Worker threads for the subtree fan-out. `0` or `1` runs the serial
+    /// engine on the calling thread; larger values are capped by the number
+    /// of root-level subtrees.
+    pub workers: usize,
+    /// Multi-predicate probes: eagerly assemble the intersected signature
+    /// (tightest pruning, higher up-front cost) instead of lazy per-cursor
+    /// intersection. Mirrors the serial `eager_assembly` flag.
+    pub eager_assembly: bool,
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions { workers: 1, eager_assembly: false }
+    }
+}
+
+impl ParallelOptions {
+    /// Options for `workers` threads with lazy probe assembly.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelOptions { workers, ..ParallelOptions::default() }
+    }
+}
+
+/// A completed parallel top-k query.
+pub struct ParTopKOutcome {
+    /// `(tid, coordinates, score)` ascending by `(score, tid)`, at most `k`.
+    pub topk: Vec<(u64, Vec<f64>, f64)>,
+    /// Execution metrics, aggregated across workers (see
+    /// [`merge_worker_stats`] for the conventions).
+    pub stats: QueryStats,
+}
+
+/// A completed parallel skyline query.
+pub struct ParSkylineOutcome {
+    /// Skyline tuples as `(tid, coordinates)` ascending by
+    /// `(coordinate sum, tid)`.
+    pub skyline: Vec<(u64, Vec<f64>)>,
+    /// Execution metrics, aggregated across workers.
+    pub stats: QueryStats,
+}
+
+/// A completed parallel dynamic skyline query.
+pub struct ParDynamicSkylineOutcome {
+    /// Dynamic skyline tuples as `(tid, original coordinates)` ascending by
+    /// `(transformed key, tid)`.
+    pub skyline: Vec<(u64, Vec<f64>)>,
+    /// Execution metrics, aggregated across workers.
+    pub stats: QueryStats,
+}
+
+/// A completed parallel convex hull query.
+pub struct ParHullOutcome {
+    /// Hull vertices in counter-clockwise order from the
+    /// lowest-then-leftmost point.
+    pub hull: Vec<(u64, [f64; 2])>,
+    /// Execution metrics, aggregated across workers.
+    pub stats: QueryStats,
+}
+
+/// Monotone f64 → u64 mapping: preserves `<` across the full range
+/// (including negatives), so an atomic `fetch_min` on the mapped bits is an
+/// atomic min on the floats.
+#[inline]
+fn f64_to_ordered(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+#[inline]
+fn ordered_to_f64(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// The shared top-k pruning bound: an upper bound on the global k-th best
+/// score, stored as order-preserving f64 bits so workers update it with a
+/// lock-free `fetch_min`. The bound only ever decreases and stays ≥ the
+/// true k-th score (each worker publishes its *local* k-th best, and any
+/// local k-th ≥ the global k-th), so pruning `score > bound` is sound;
+/// ties at the bound are kept and resolved by the deterministic merge.
+struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    fn unbounded() -> Self {
+        SharedBound(AtomicU64::new(f64_to_ordered(f64::INFINITY)))
+    }
+
+    #[inline]
+    fn get(&self) -> f64 {
+        ordered_to_f64(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    fn lower_to(&self, candidate: f64) {
+        self.0.fetch_min(f64_to_ordered(candidate), Ordering::Relaxed);
+    }
+}
+
+/// Per-worker execution tallies folded into one [`QueryStats`].
+#[derive(Default, Clone, Copy)]
+struct WorkerStats {
+    nodes_expanded: u64,
+    peak_heap: usize,
+    partials_loaded: u64,
+}
+
+/// Aggregation conventions: node expansions and partial-signature loads add
+/// up (every one is real work the shared I/O ledger also counted, and each
+/// worker loads its own probe's partials); `peak_heap` is the *maximum*
+/// over workers and the root fan-out — the per-thread memory high water a
+/// capacity planner would provision.
+fn merge_worker_stats(root_children: usize, locals: &[WorkerStats]) -> QueryStats {
+    QueryStats {
+        nodes_expanded: 1 + locals.iter().map(|l| l.nodes_expanded).sum::<u64>(),
+        peak_heap: root_children.max(locals.iter().map(|l| l.peak_heap).max().unwrap_or(0)),
+        partials_loaded: locals.iter().map(|l| l.partials_loaded).sum(),
+        io: Default::default(),
+        cpu_seconds: 0.0,
+    }
+}
+
+/// A root-level seed: `(score, candidate)` as the serial engine would have
+/// pushed it after expanding the root.
+type Seed = (f64, Candidate);
+
+/// Expands the root node into per-child seeds (one counted block read —
+/// the `1 +` in [`merge_worker_stats`]).
+fn root_seeds(
+    db: &PCubeDb,
+    score_tuple: &dyn Fn(&[f64]) -> f64,
+    score_node: &dyn Fn(&Mbr) -> f64,
+) -> Vec<Seed> {
+    let node = db.rtree().read_node(db.rtree().root_pid());
+    let mut seeds = Vec::with_capacity(node.entries.len());
+    for (slot, child) in node.entries {
+        let child_path = Path::root().child(slot as u16 + 1);
+        let seed = match child {
+            DecodedEntry::Tuple { tid, coords } => {
+                let s = score_tuple(&coords);
+                (s, Candidate::Tuple { tid, path: child_path, coords })
+            }
+            DecodedEntry::Child { child, mbr } => {
+                let s = score_node(&mbr);
+                (s, Candidate::Node { pid: child, path: child_path, mbr })
+            }
+        };
+        seeds.push(seed);
+    }
+    seeds
+}
+
+/// Deals seeds round-robin across at most `workers` groups (never more
+/// groups than seeds, always at least one group so `thread::scope` has a
+/// worker to join even on an empty root).
+fn deal(seeds: Vec<Seed>, workers: usize) -> Vec<Vec<Seed>> {
+    let n = workers.min(seeds.len()).max(1);
+    let mut groups: Vec<Vec<Seed>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, seed) in seeds.into_iter().enumerate() {
+        groups[i % n].push(seed);
+    }
+    groups
+}
+
+/// Verifies a candidate tuple against the base table when the probe is
+/// lossy (Bloom filters of §VII, or a cursor degraded by a storage
+/// failure) — the same rule every serial engine applies before a tuple may
+/// join a result.
+#[inline]
+fn passes_lossy_check(
+    db: &PCubeDb,
+    probe: &BooleanProbe<'_>,
+    selection: &Selection,
+    tid: u64,
+) -> bool {
+    if !probe.is_lossy() || selection.is_empty() {
+        return true;
+    }
+    let codes = db.relation().fetch(tid);
+    selection.iter().all(|p| codes[p.dim] == p.value)
+}
+
+// ---------------------------------------------------------------------------
+// Top-k
+// ---------------------------------------------------------------------------
+
+/// Parallel [`topk_query`](crate::query::topk_query): fans root subtrees out
+/// to `opts.workers` scoped threads sharing an atomic score threshold, and
+/// returns exactly the serial result (same tuples, same order).
+pub fn par_topk_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &(dyn RankingFunction + Sync),
+    opts: ParallelOptions,
+) -> ParTopKOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    if opts.workers <= 1 || k == 0 {
+        let out = crate::query::topk_query(db, &selection, k, f, opts.eager_assembly);
+        return ParTopKOutcome { topk: out.topk, stats: out.stats };
+    }
+    let seeds = root_seeds(db, &|c| f.score(c), &|m| f.lower_bound(m));
+    let root_children = seeds.len();
+    let groups = deal(seeds, opts.workers);
+
+    let bound = SharedBound::unbounded();
+    type Local = (Vec<(f64, u64, Vec<f64>)>, WorkerStats);
+    let locals: Vec<Local> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let (bound, selection) = (&bound, &selection);
+                scope.spawn(move || {
+                    topk_worker(db, selection, k, f, opts.eager_assembly, group, bound)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("top-k worker panicked")).collect()
+    });
+
+    // Merge by the canonical (score, tid) key — exactly the serial heap's
+    // tuple tie-break — and keep the k best.
+    let mut merged: Vec<(f64, u64, Vec<f64>)> =
+        locals.iter().flat_map(|(res, _)| res.iter().cloned()).collect();
+    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    merged.truncate(k);
+
+    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
+    let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    ParTopKOutcome {
+        topk: merged.into_iter().map(|(score, tid, coords)| (tid, coords, score)).collect(),
+        stats,
+    }
+}
+
+/// One top-k worker: best-first search over its seed subtrees, keeping the
+/// k best `(score, tid)` tuples seen and pruning against the shared bound.
+fn topk_worker(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &(dyn RankingFunction + Sync),
+    eager: bool,
+    seeds: Vec<Seed>,
+    bound: &SharedBound,
+) -> (Vec<(f64, u64, Vec<f64>)>, WorkerStats) {
+    let mut probe = db.pcube().probe(selection, eager);
+    let mut heap = CandidateHeap::new();
+    for (score, cand) in seeds {
+        heap.push(score, cand);
+    }
+    // Local k-best, ascending (score, tid).
+    let mut best: Vec<(f64, u64, Vec<f64>)> = Vec::with_capacity(k + 1);
+    let mut stats = WorkerStats::default();
+
+    while let Some(entry) = heap.pop() {
+        // The heap pops ascending scores: once the smallest outstanding
+        // lower bound exceeds the shared threshold, nothing left can enter
+        // the global top-k. Strictly greater — ties at the bound are kept.
+        if entry.score > bound.get() {
+            break;
+        }
+        if !probe.contains(entry.cand.path()) {
+            continue;
+        }
+        match entry.cand {
+            Candidate::Tuple { tid, path: _, coords } => {
+                if !passes_lossy_check(db, &probe, selection, tid) {
+                    continue;
+                }
+                let at = best
+                    .binary_search_by(|(s, t, _)| s.total_cmp(&entry.score).then(t.cmp(&tid)))
+                    .unwrap_or_else(|i| i);
+                if at < k {
+                    best.insert(at, (entry.score, tid, coords));
+                    best.truncate(k);
+                    if best.len() == k {
+                        bound.lower_to(best[k - 1].0);
+                    }
+                }
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                stats.nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    let (cand, score) = match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let s = f.score(&coords);
+                            (Candidate::Tuple { tid, path: child_path, coords }, s)
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let s = f.lower_bound(&mbr);
+                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
+                        }
+                    };
+                    if score > bound.get() || !probe.contains(cand.path()) {
+                        continue;
+                    }
+                    heap.push(score, cand);
+                }
+            }
+        }
+    }
+    stats.peak_heap = heap.peak_size();
+    stats.partials_loaded = probe.partials_loaded();
+    (best, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Skyline (static and dynamic share one worker)
+// ---------------------------------------------------------------------------
+
+/// The shared skyline window: points accepted so far by *any* worker, in
+/// domination space. Pruning with any entry is sound even if the entry is
+/// later found dominated itself (domination is transitive and every entry
+/// is a qualifying data point), so workers read snapshots without any
+/// coordination beyond the mutex.
+struct SharedWindow {
+    points: Mutex<Vec<Vec<f64>>>,
+}
+
+impl SharedWindow {
+    fn new() -> Self {
+        SharedWindow { points: Mutex::new(Vec::new()) }
+    }
+
+    fn push(&self, coords: Vec<f64>) {
+        self.points.lock().expect("skyline window lock poisoned").push(coords);
+    }
+
+    /// Appends entries `[from..]` to `into`; returns the new high-water
+    /// mark, making each periodic refresh an incremental copy rather than a
+    /// full clone.
+    fn refresh(&self, from: usize, into: &mut Vec<Vec<f64>>) -> usize {
+        let points = self.points.lock().expect("skyline window lock poisoned");
+        for p in &points[from.min(points.len())..] {
+            into.push(p.clone());
+        }
+        points.len()
+    }
+}
+
+/// Heap pops between shared-window refreshes. Purely a performance knob:
+/// staleness only costs extra traversal, never correctness (the merge
+/// cross-filters every local result against every other).
+const WINDOW_REFRESH_INTERVAL: u64 = 32;
+
+/// A skyline worker's accepted tuple:
+/// `(score, tid, domination coords, original coords)`.
+type SkyPoint = (f64, u64, Vec<f64>, Vec<f64>);
+
+/// One (dynamic) skyline worker: BBS over its seed subtrees with local +
+/// shared-window domination pruning.
+///
+/// `transform` maps original coordinates into domination space at full
+/// dimensionality (identity for static skylines, `x ↦ |x − q|` for dynamic
+/// ones); `corner` gives the attainable per-dimension lower corner of an
+/// MBR in that space (`mbr.min` resp. the clamped distance corner) — the
+/// exact functions the serial engines prune with.
+#[allow(clippy::too_many_arguments)]
+fn skyline_worker(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    eager: bool,
+    seeds: Vec<Seed>,
+    window: &SharedWindow,
+    transform: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
+    corner: &(dyn Fn(&Mbr) -> Vec<f64> + Sync),
+) -> (Vec<SkyPoint>, WorkerStats) {
+    let f = MinCoordSum::new(pref_dims.to_vec());
+    let mut probe = db.pcube().probe(selection, eager);
+    let mut heap = CandidateHeap::new();
+    for (score, cand) in seeds {
+        heap.push(score, cand);
+    }
+    let mut result: Vec<SkyPoint> = Vec::new();
+    // Local mirror of the shared window (other workers' accepted points).
+    let mut seen: Vec<Vec<f64>> = Vec::new();
+    let mut seen_mark = 0usize;
+    let mut pops = 0u64;
+    let mut stats = WorkerStats::default();
+
+    let dominated = |p: &[f64], result: &[SkyPoint], seen: &[Vec<f64>]| {
+        result.iter().any(|(_, _, r, _)| dominates(r, p, pref_dims))
+            || seen.iter().any(|r| dominates(r, p, pref_dims))
+    };
+
+    while let Some(entry) = heap.pop() {
+        pops += 1;
+        if pops.is_multiple_of(WINDOW_REFRESH_INTERVAL) {
+            seen_mark = window.refresh(seen_mark, &mut seen);
+        }
+        let dom_point: Vec<f64> = match &entry.cand {
+            Candidate::Tuple { coords, .. } => transform(coords),
+            Candidate::Node { mbr, .. } => corner(mbr),
+        };
+        if dominated(&dom_point, &result, &seen) {
+            continue;
+        }
+        if !probe.contains(entry.cand.path()) {
+            continue;
+        }
+        match entry.cand {
+            Candidate::Tuple { tid, path: _, coords } => {
+                if !passes_lossy_check(db, &probe, selection, tid) {
+                    continue;
+                }
+                window.push(dom_point.clone());
+                result.push((entry.score, tid, dom_point, coords));
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                stats.nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let t = transform(&coords);
+                            if dominated(&t, &result, &seen) || !probe.contains(&child_path) {
+                                continue;
+                            }
+                            let score = f.score(&t);
+                            heap.push(score, Candidate::Tuple { tid, path: child_path, coords });
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let c = corner(&mbr);
+                            if dominated(&c, &result, &seen) || !probe.contains(&child_path) {
+                                continue;
+                            }
+                            let score = f.score(&c);
+                            heap.push(
+                                score,
+                                Candidate::Node { pid: child, path: child_path, mbr },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats.peak_heap = heap.peak_size();
+    stats.partials_loaded = probe.partials_loaded();
+    (result, stats)
+}
+
+/// Cross-filters worker-local skylines against each other and sorts by the
+/// canonical `(score, tid)` key, yielding `(tid, original coords)`.
+///
+/// A local point survives iff no point from any worker dominates it — which
+/// is exactly global skyline membership, because each local list is a
+/// superset of its subtree's global skyline points (a worker only drops
+/// points dominated by qualifying data points, and a dominated point is
+/// never in the global skyline).
+fn finish_skylines(
+    locals: Vec<(Vec<SkyPoint>, WorkerStats)>,
+    pref_dims: &[usize],
+) -> (Vec<(u64, Vec<f64>)>, Vec<WorkerStats>) {
+    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
+    let all: Vec<SkyPoint> = locals.into_iter().flat_map(|(res, _)| res).collect();
+    let mut skyline: Vec<&SkyPoint> = all
+        .iter()
+        .filter(|(_, tid, dom, _)| {
+            !all.iter().any(|(_, o_tid, o_dom, _)| o_tid != tid && dominates(o_dom, dom, pref_dims))
+        })
+        .collect();
+    skyline.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    (skyline.into_iter().map(|(_, tid, _, orig)| (*tid, orig.clone())).collect(), worker_stats)
+}
+
+/// Parallel [`skyline_query`](crate::query::skyline_query): per-subtree BBS
+/// with a shared window of accepted points, then a cross-filter merge.
+/// Returns exactly the serial skyline in canonical order.
+pub fn par_skyline_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    opts: ParallelOptions,
+) -> ParSkylineOutcome {
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    if opts.workers <= 1 {
+        let out = crate::query::skyline_query(db, &selection, pref_dims, opts.eager_assembly);
+        return ParSkylineOutcome { skyline: out.skyline, stats: out.stats };
+    }
+    let f = MinCoordSum::new(pref_dims.to_vec());
+    let transform = |coords: &[f64]| coords.to_vec();
+    let corner = |mbr: &Mbr| mbr.min.clone();
+    let seeds = root_seeds(db, &|c| f.score(c), &|m| f.lower_bound(m));
+    let root_children = seeds.len();
+    let groups = deal(seeds, opts.workers);
+
+    let window = SharedWindow::new();
+    let locals: Vec<(Vec<SkyPoint>, WorkerStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let (window, selection) = (&window, &selection);
+                let (transform, corner) = (&transform, &corner);
+                scope.spawn(move || {
+                    skyline_worker(
+                        db,
+                        selection,
+                        pref_dims,
+                        opts.eager_assembly,
+                        group,
+                        window,
+                        transform,
+                        corner,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("skyline worker panicked")).collect()
+    });
+
+    let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
+    let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    ParSkylineOutcome { skyline, stats }
+}
+
+/// Parallel [`dynamic_skyline_query`](crate::query::dynamic_skyline_query):
+/// the skyline engine run in the `x ↦ |x − q|` transformed space.
+pub fn par_dynamic_skyline_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    q: &[f64],
+    pref_dims: &[usize],
+    opts: ParallelOptions,
+) -> ParDynamicSkylineOutcome {
+    assert!(!pref_dims.is_empty(), "need at least one preference dimension");
+    assert!(
+        pref_dims.iter().all(|&d| d < q.len()),
+        "query point must cover every preference dimension"
+    );
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    if opts.workers <= 1 {
+        let out = crate::query::dynamic_skyline_query(db, &selection, q, pref_dims);
+        return ParDynamicSkylineOutcome { skyline: out.skyline, stats: out.stats };
+    }
+
+    // The same transform/corner pair the serial engine uses: full
+    // dimensionality so `dominates(_, _, pref_dims)` indexes directly, and
+    // the per-dimension attainable minimum distance for boxes.
+    let transform = |coords: &[f64]| -> Vec<f64> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(d, &x)| (x - q.get(d).copied().unwrap_or(0.0)).abs())
+            .collect()
+    };
+    let corner = |mbr: &Mbr| -> Vec<f64> {
+        (0..mbr.dims())
+            .map(|d| {
+                let qd = q[d];
+                if qd < mbr.min[d] {
+                    mbr.min[d] - qd
+                } else if qd > mbr.max[d] {
+                    qd - mbr.max[d]
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let key = |t: &[f64]| -> f64 { pref_dims.iter().map(|&d| t[d]).sum() };
+
+    let seeds = root_seeds(db, &|c| key(&transform(c)), &|m| key(&corner(m)));
+    let root_children = seeds.len();
+    let groups = deal(seeds, opts.workers);
+
+    let window = SharedWindow::new();
+    let locals: Vec<(Vec<SkyPoint>, WorkerStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let (window, selection) = (&window, &selection);
+                let (transform, corner) = (&transform, &corner);
+                scope.spawn(move || {
+                    skyline_worker(
+                        db,
+                        selection,
+                        pref_dims,
+                        opts.eager_assembly,
+                        group,
+                        window,
+                        transform,
+                        corner,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dynamic worker panicked")).collect()
+    });
+
+    let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
+    let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    ParDynamicSkylineOutcome { skyline, stats }
+}
+
+// ---------------------------------------------------------------------------
+// Convex hull
+// ---------------------------------------------------------------------------
+
+/// Parallel [`convex_hull_query`](crate::query::convex_hull_query): each
+/// worker computes its subtrees' local hull (a point interior to a subset's
+/// hull is interior to the full hull, so local pruning never discards a
+/// global vertex), and the merge chains the union of local hull vertices.
+pub fn par_convex_hull_query(
+    db: &PCubeDb,
+    selection: &Selection,
+    dims: (usize, usize),
+    opts: ParallelOptions,
+) -> ParHullOutcome {
+    let n_pref = db.relation().schema().n_pref();
+    assert!(dims.0 < n_pref && dims.1 < n_pref, "hull dimensions out of range");
+    assert_ne!(dims.0, dims.1, "hull needs two distinct dimensions");
+    let started = std::time::Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    if opts.workers <= 1 {
+        let out = crate::query::convex_hull_query(db, &selection, dims);
+        return ParHullOutcome { hull: out.hull, stats: out.stats };
+    }
+
+    // A DFS engine: seed scores are unused, so zero them.
+    let seeds = root_seeds(db, &|_| 0.0, &|_| 0.0);
+    let root_children = seeds.len();
+    let groups = deal(seeds, opts.workers);
+
+    type Local = (Vec<(u64, [f64; 2])>, WorkerStats);
+    let locals: Vec<Local> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let selection = &selection;
+                scope.spawn(move || hull_worker(db, selection, dims, opts.eager_assembly, group))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("hull worker panicked")).collect()
+    });
+
+    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
+    let all_vertices: Vec<(u64, [f64; 2])> =
+        locals.into_iter().flat_map(|(res, _)| res).collect();
+    let hull = monotone_chain(&all_vertices);
+    let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    ParHullOutcome { hull, stats }
+}
+
+/// One hull worker: the serial signature-pruned DFS over its subtrees,
+/// returning the vertices of its local hull.
+fn hull_worker(
+    db: &PCubeDb,
+    selection: &Selection,
+    dims: (usize, usize),
+    eager: bool,
+    seeds: Vec<Seed>,
+) -> (Vec<(u64, [f64; 2])>, WorkerStats) {
+    let mut probe = db.pcube().probe(selection, eager);
+    let mut stats = WorkerStats::default();
+    let mut points: Vec<(u64, [f64; 2])> = Vec::new();
+    let mut hull: Vec<(u64, [f64; 2])> = Vec::new();
+    let mut stack: Vec<(PageId, Path)> = Vec::new();
+
+    // Seed candidates: qualifying tuples join the point set directly,
+    // qualifying nodes the DFS stack.
+    for (_, cand) in seeds {
+        match cand {
+            Candidate::Tuple { tid, path, coords } => {
+                if probe.contains(&path) && passes_lossy_check(db, &probe, selection, tid) {
+                    points.push((tid, [coords[dims.0], coords[dims.1]]));
+                }
+            }
+            Candidate::Node { pid, path, .. } => {
+                if probe.contains(&path) {
+                    stack.push((pid, path));
+                }
+            }
+        }
+    }
+
+    while let Some((pid, path)) = stack.pop() {
+        let node = db.rtree().read_node(pid);
+        stats.nodes_expanded += 1;
+        for (slot, entry) in node.entries {
+            let child_path = path.child(slot as u16 + 1);
+            match entry {
+                DecodedEntry::Tuple { tid, coords } => {
+                    let p = [coords[dims.0], coords[dims.1]];
+                    if strictly_inside_hull(&hull, p) {
+                        continue;
+                    }
+                    if !probe.contains(&child_path) {
+                        continue;
+                    }
+                    if !passes_lossy_check(db, &probe, selection, tid) {
+                        continue;
+                    }
+                    points.push((tid, p));
+                    // Rebuild the running hull occasionally to keep the
+                    // inside-test sharp without paying O(n log n) per point.
+                    if points.len().is_power_of_two() {
+                        hull = monotone_chain(&points);
+                    }
+                }
+                DecodedEntry::Child { child, mbr } => {
+                    let corners = [
+                        [mbr.min[dims.0], mbr.min[dims.1]],
+                        [mbr.min[dims.0], mbr.max[dims.1]],
+                        [mbr.max[dims.0], mbr.min[dims.1]],
+                        [mbr.max[dims.0], mbr.max[dims.1]],
+                    ];
+                    if corners.iter().all(|&c| strictly_inside_hull(&hull, c)) {
+                        continue; // geometric prune
+                    }
+                    if !probe.contains(&child_path) {
+                        continue;
+                    }
+                    stack.push((child, child_path));
+                }
+            }
+        }
+    }
+    stats.partials_loaded = probe.partials_loaded();
+    (monotone_chain(&points), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f64_mapping_is_monotone() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in samples.windows(2) {
+            assert!(f64_to_ordered(w[0]) <= f64_to_ordered(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &x in &samples {
+            assert_eq!(ordered_to_f64(f64_to_ordered(x)), x);
+        }
+    }
+
+    #[test]
+    fn shared_bound_is_a_running_min() {
+        let b = SharedBound::unbounded();
+        assert_eq!(b.get(), f64::INFINITY);
+        b.lower_to(3.5);
+        b.lower_to(7.0); // no effect: higher than the current bound
+        assert_eq!(b.get(), 3.5);
+        b.lower_to(-2.0);
+        assert_eq!(b.get(), -2.0);
+    }
+
+    #[test]
+    fn deal_round_robins_without_losing_seeds() {
+        let seeds: Vec<Seed> = (0..7)
+            .map(|i| (i as f64, Candidate::Tuple { tid: i, path: Path::root(), coords: vec![] }))
+            .collect();
+        let groups = deal(seeds, 3);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 7);
+        let groups = deal(Vec::new(), 3);
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn shared_window_refresh_is_incremental() {
+        let w = SharedWindow::new();
+        w.push(vec![1.0]);
+        w.push(vec![2.0]);
+        let mut local = Vec::new();
+        let mark = w.refresh(0, &mut local);
+        assert_eq!(mark, 2);
+        assert_eq!(local.len(), 2);
+        w.push(vec![3.0]);
+        let mark = w.refresh(mark, &mut local);
+        assert_eq!(mark, 3);
+        assert_eq!(local, vec![vec![1.0], vec![2.0], vec![3.0]]);
+    }
+}

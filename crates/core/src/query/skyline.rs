@@ -175,7 +175,11 @@ pub fn skyline_roll_up(db: &PCubeDb, prev: SkylineState, dim: usize) -> SkylineO
     finish(state, stats)
 }
 
-fn finish(state: SkylineState, stats: QueryStats) -> SkylineOutcome {
+fn finish(mut state: SkylineState, stats: QueryStats) -> SkylineOutcome {
+    // Canonical result order: ascending `(coordinate sum, tid)`, the same
+    // key the parallel engine merges by (BBS already emits ascending
+    // scores; the sort pins the order at ties).
+    state.result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     let skyline = state.result.iter().map(|r| (r.tid, r.coords.clone())).collect();
     SkylineOutcome { skyline, stats, state }
 }
@@ -251,7 +255,7 @@ fn run(
         }
     }
 
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();

@@ -178,7 +178,12 @@ pub fn topk_roll_up(
     finish(state, stats)
 }
 
-fn finish(state: TopKState, stats: QueryStats) -> TopKOutcome {
+fn finish(mut state: TopKState, stats: QueryStats) -> TopKOutcome {
+    // Canonical result order: ascending `(score, tid)`. The heap's
+    // deterministic tie-break already pops tuples this way, so the sort is
+    // a no-op guard — but it is the contract the parallel engine's merge
+    // relies on for byte-identical results.
+    state.result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     let topk = state.result.iter().map(|r| (r.tid, r.coords.clone(), r.score)).collect();
     TopKOutcome { topk, stats, state }
 }
@@ -250,7 +255,7 @@ fn run(
         }
     }
 
-    stats.peak_heap = heap.peak();
+    stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();

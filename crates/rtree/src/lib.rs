@@ -54,3 +54,9 @@ pub use geom::Mbr;
 pub use node::{DecodedEntry, DecodedNode};
 pub use path::{Path, Sid};
 pub use tree::{PathDelta, RTree, RTreeConfig};
+
+// Parallel branch-and-bound shares one tree across scoped worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RTree>();
+};

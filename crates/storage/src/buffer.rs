@@ -6,6 +6,8 @@
 //! from the pool are *not* charged to the ledger, only misses are.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::page::PageId;
 use crate::pager::Pager;
@@ -127,6 +129,193 @@ impl BufferPool {
     }
 }
 
+/// One lock-protected slice of a [`ShardedBufferPool`]: an independent LRU
+/// cache identical in policy to [`BufferPool`], but holding `Arc<[u8]>`
+/// pages so hits can hand out references without copying or pinning.
+#[derive(Debug)]
+struct BufferShard {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    entries: Vec<(PageId, Arc<[u8]>, u64)>,
+    clock: u64,
+}
+
+impl BufferShard {
+    fn new(capacity: usize) -> Self {
+        BufferShard {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+        }
+    }
+
+    /// Cache lookup only; `None` on miss.
+    fn get(&mut self, pid: PageId) -> Option<Arc<[u8]>> {
+        self.clock += 1;
+        let &slot = self.map.get(&pid)?;
+        self.entries[slot].2 = self.clock;
+        Some(self.entries[slot].1.clone())
+    }
+
+    /// Installs a page fetched by the caller, evicting the LRU entry when
+    /// full.
+    fn install(&mut self, pid: PageId, data: Arc<[u8]>) {
+        if self.map.contains_key(&pid) {
+            return; // already resident; keep the existing copy
+        }
+        let slot = if self.entries.len() < self.capacity {
+            self.entries.push((pid, data, self.clock));
+            self.entries.len() - 1
+        } else {
+            let (victim, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .expect("capacity > 0");
+            let old = self.entries[victim].0;
+            self.map.remove(&old);
+            self.entries[victim] = (pid, data, self.clock);
+            victim
+        };
+        self.map.insert(pid, slot);
+    }
+
+    fn invalidate(&mut self, pid: PageId) {
+        if let Some(slot) = self.map.remove(&pid) {
+            // Swap-remove keeps the vector dense; fix the moved entry's slot.
+            self.entries.swap_remove(slot);
+            if slot < self.entries.len() {
+                let moved = self.entries[slot].0;
+                self.map.insert(moved, slot);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.entries.clear();
+    }
+}
+
+/// A thread-safe LRU read cache: N independent shards, each behind its own
+/// mutex, with lock-free hit/miss accounting.
+///
+/// Pages hash to a shard by page id, so concurrent readers of different
+/// pages almost never contend on the same lock. Each shard runs the same
+/// LRU policy as the single-threaded [`BufferPool`]; capacity is divided
+/// evenly across shards (so the worst-case resident set is `capacity`
+/// pages, not `capacity × shards`).
+///
+/// Like [`BufferPool`], only misses charge a counted read on the pager;
+/// hits are free. The pager read on a miss happens while the target shard
+/// is locked, which also deduplicates concurrent misses of one hot page:
+/// the second reader finds the page installed and takes the hit path.
+#[derive(Debug)]
+pub struct ShardedBufferPool {
+    shards: Vec<Mutex<BufferShard>>,
+    /// Power-of-two mask over the mixed page id.
+    mask: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedBufferPool {
+    /// Creates a pool of `capacity` total pages split over `shards` locks
+    /// (`shards` is rounded up to a power of two so shard selection is a
+    /// mask, not a division).
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "buffer pool capacity must be positive");
+        assert!(shards > 0, "need at least one shard");
+        let n = shards.next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        ShardedBufferPool {
+            shards: (0..n).map(|_| Mutex::new(BufferShard::new(per_shard))).collect(),
+            mask: n as u64 - 1,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of read requests served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of read requests that had to touch the pager.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Pages currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard poisoned").entries.len()).sum()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, pid: PageId) -> &Mutex<BufferShard> {
+        // Fibonacci mixing spreads sequential page ids across shards.
+        let h = u64::from(pid.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Reads `pid`, consulting the owning shard first. A miss charges one
+    /// counted read on `pager` and installs the page.
+    ///
+    /// Infallible [`ShardedBufferPool::try_read`]; panics where that errors.
+    #[inline]
+    pub fn read(&self, pager: &Pager, pid: PageId) -> Arc<[u8]> {
+        self.try_read(pager, pid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ShardedBufferPool::read`]: a failed pager read propagates
+    /// and nothing is cached, so a later retry re-reads the page.
+    pub fn try_read(&self, pager: &Pager, pid: PageId) -> Result<Arc<[u8]>, crate::StorageError> {
+        let mut shard = self.shard(pid).lock().expect("shard poisoned");
+        if let Some(page) = shard.get(pid) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(page);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data: Arc<[u8]> = pager.try_read(pid)?.into();
+        shard.install(pid, data.clone());
+        Ok(data)
+    }
+
+    /// Drops any cached copy of `pid` (call after writing the page through
+    /// the pager).
+    pub fn invalidate(&self, pid: PageId) {
+        self.shard(pid).lock().expect("shard poisoned").invalidate(pid);
+    }
+
+    /// Writes through to the pager and invalidates the cached copy.
+    pub fn write(&self, pager: &mut Pager, pid: PageId, data: &[u8]) {
+        self.invalidate(pid);
+        pager.write(pid, data);
+    }
+
+    /// Drops every cached page in every shard (e.g. between experiment runs
+    /// to model a cold cache).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("shard poisoned").clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +394,84 @@ mod tests {
         pool.clear();
         pool.read(&pager, pids[0]);
         assert_eq!(pool.misses(), 2);
+    }
+
+    #[test]
+    fn sharded_pool_caches_and_counts_like_the_serial_pool() {
+        let (pager, pids) = setup(4);
+        let pool = ShardedBufferPool::new(8, 4);
+        for _ in 0..3 {
+            for &pid in &pids {
+                let page = pool.read(&pager, pid);
+                assert_eq!(page.len(), 64);
+            }
+        }
+        assert_eq!(pool.misses(), 4, "one miss per distinct page");
+        assert_eq!(pool.hits(), 8);
+        assert_eq!(pager.stats().reads(IoCategory::RtreeBlock), 4);
+        pool.clear();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn sharded_pool_capacity_bounds_resident_pages() {
+        let (pager, pids) = setup(32);
+        let pool = ShardedBufferPool::new(8, 2);
+        for &pid in &pids {
+            pool.read(&pager, pid);
+        }
+        // 2 shards × ceil(8/2) pages: never more than the per-shard caps.
+        assert!(pool.len() <= 8, "resident {} pages", pool.len());
+    }
+
+    #[test]
+    fn sharded_pool_write_invalidates() {
+        let (mut pager, pids) = setup(1);
+        let pool = ShardedBufferPool::new(4, 2);
+        assert_eq!(pool.read(&pager, pids[0])[0], 0);
+        pool.write(&mut pager, pids[0], &[7u8; 64]);
+        assert_eq!(pool.read(&pager, pids[0])[0], 7);
+        assert_eq!(pool.misses(), 2, "the write invalidated the cached copy");
+    }
+
+    #[test]
+    fn sharded_pool_failed_reads_are_not_cached() {
+        let (mut pager, pids) = setup(1);
+        let pool = ShardedBufferPool::new(4, 2);
+        pager.set_fault_plan(crate::FaultPlan::seeded(2).with_read_errors(1.0));
+        assert!(pool.try_read(&pager, pids[0]).is_err());
+        assert!(pool.is_empty(), "a failed read must not install a cache entry");
+        pager.take_fault_plan();
+        assert!(pool.try_read(&pager, pids[0]).is_ok());
+    }
+
+    #[test]
+    fn sharded_pool_concurrent_readers_agree_and_lose_no_counts() {
+        let (pager, pids) = setup(16);
+        // Per-shard capacity 16: even if every page hashed to one shard,
+        // nothing would be evicted, so each page misses exactly once.
+        let pool = ShardedBufferPool::new(64, 4);
+        let threads = 8usize;
+        let rounds = 200usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (pool, pager, pids) = (&pool, &pager, &pids);
+                s.spawn(move || {
+                    for i in 0..rounds {
+                        let pid = pids[(t + i) % pids.len()];
+                        let page = pool.read(pager, pid);
+                        assert_eq!(page[0] as usize, pid.0 as usize, "wrong page contents");
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            pool.hits() + pool.misses(),
+            (threads * rounds) as u64,
+            "every request is tallied exactly once"
+        );
+        // The pool fits every page: each page misses exactly once, because
+        // the shard lock is held across the fill (no duplicate misses).
+        assert_eq!(pool.misses(), pids.len() as u64);
     }
 }

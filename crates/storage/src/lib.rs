@@ -10,6 +10,8 @@
 //!   is charged to an [`IoCategory`] on a shared [`IoStats`] ledger.
 //! * [`BufferPool`] — an optional LRU read cache layered over a pager, used by
 //!   ablation experiments to study buffering effects.
+//! * [`ShardedBufferPool`] — the thread-safe variant: N independent LRU
+//!   shards, each behind its own lock, for the concurrent query engine.
 //! * [`CostModel`] — converts an I/O ledger into modeled seconds so the
 //!   time-based figures of the paper can be reproduced independently of the
 //!   host machine's RAM speed.
@@ -49,7 +51,7 @@ mod page;
 mod pager;
 mod stats;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, ShardedBufferPool};
 pub use bytes::{read_f64, read_u16, read_u32, read_u64, write_f64, write_u16, write_u32, write_u64};
 pub use crc::crc32;
 pub use error::{ImageError, PageOp, StorageError};
@@ -57,3 +59,13 @@ pub use fault::{FaultCounts, FaultPlan};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Pager;
 pub use stats::{CostModel, IoCategory, IoSnapshot, IoStats, SharedStats};
+
+// The concurrent query engine shares pagers, the ledger and the sharded
+// buffer pool across scoped threads; regressing any of them to `!Sync`
+// (e.g. reintroducing `Cell`/`RefCell`/`Rc`) must fail to compile here.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Pager>();
+    assert_send_sync::<IoStats>();
+    assert_send_sync::<ShardedBufferPool>();
+};

@@ -6,7 +6,7 @@ use crate::error::{ImageError, PageOp, StorageError};
 use crate::fault::{FaultCounts, FaultPlan, WriteEffect};
 use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// An in-memory "disk" of fixed-size pages.
 ///
@@ -43,8 +43,10 @@ pub struct Pager {
     /// CRC32 per page slot, maintained only while `verify` is on.
     sums: Vec<u32>,
     verify: bool,
-    /// Injected-fault schedule. `RefCell` because reads take `&self`.
-    fault: Option<RefCell<FaultPlan>>,
+    /// Injected-fault schedule. `Mutex` because reads take `&self` and may
+    /// run from many query threads; disabled (`None`) on the hot path this
+    /// costs one branch, enabled it serializes only fault bookkeeping.
+    fault: Option<Mutex<FaultPlan>>,
 }
 
 impl Pager {
@@ -127,17 +129,17 @@ impl Pager {
 
     /// Installs a deterministic fault-injection schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = Some(RefCell::new(plan));
+        self.fault = Some(Mutex::new(plan));
     }
 
     /// Removes the fault plan, returning it (with its injection counts).
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
-        self.fault.take().map(RefCell::into_inner)
+        self.fault.take().map(|m| m.into_inner().expect("fault plan lock poisoned"))
     }
 
     /// Injection counts of the installed plan, if any.
     pub fn fault_counts(&self) -> Option<FaultCounts> {
-        self.fault.as_ref().map(|f| f.borrow().counts())
+        self.fault.as_ref().map(|f| f.lock().expect("fault plan lock poisoned").counts())
     }
 
     /// Flips bits in a stored page *without* updating its checksum, modelling
@@ -159,7 +161,7 @@ impl Pager {
     /// is exhausted or an injected allocation budget runs out.
     pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
         if let Some(fault) = &self.fault {
-            if fault.borrow_mut().deny_alloc() {
+            if fault.lock().expect("fault plan lock poisoned").deny_alloc() {
                 return Err(StorageError::OutOfPages);
             }
         }
@@ -223,7 +225,7 @@ impl Pager {
     pub fn try_read(&self, pid: PageId) -> Result<&[u8], StorageError> {
         self.stats.record_reads(self.category, 1);
         if let Some(fault) = &self.fault {
-            if fault.borrow_mut().fail_read() {
+            if fault.lock().expect("fault plan lock poisoned").fail_read() {
                 return Err(StorageError::Io { pid, op: PageOp::Read });
             }
         }
@@ -276,7 +278,7 @@ impl Pager {
         }
         self.stats.record_writes(self.category, 1);
         let effect = match &self.fault {
-            Some(fault) => fault.borrow_mut().write_effect(self.page_size),
+            Some(fault) => fault.lock().expect("fault plan lock poisoned").write_effect(self.page_size),
             None => WriteEffect::Clean,
         };
         if effect == WriteEffect::Fail {
@@ -326,7 +328,7 @@ impl Pager {
         self.stats.record_writes(self.category, 1);
         let effect = match &self.fault {
             Some(fault) => {
-                let mut fault = fault.borrow_mut();
+                let mut fault = fault.lock().expect("fault plan lock poisoned");
                 if fault.fail_read() {
                     return Err(StorageError::Io { pid, op: PageOp::Update });
                 }

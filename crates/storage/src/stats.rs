@@ -1,8 +1,16 @@
 //! I/O accounting: categories, counters and the modeled cost function.
+//!
+//! The ledger is lock-free: every counter is an [`AtomicU64`] bumped with
+//! relaxed ordering, so many query threads can charge I/O to one shared
+//! [`IoStats`] concurrently without lost updates (the concurrency stress
+//! tests assert exact totals). Snapshots read each counter individually and
+//! are therefore not a single atomic cut across categories — per-query
+//! deltas taken while other threads run may interleave, which is why the
+//! throughput harness verifies *totals*, not per-thread cuts.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The kinds of disk access the paper's evaluation distinguishes.
 ///
@@ -61,61 +69,62 @@ impl fmt::Display for IoCategory {
     }
 }
 
-/// Shared, interior-mutable I/O ledger.
+/// Shared, thread-safe I/O ledger.
 ///
 /// One `IoStats` is typically shared (via [`SharedStats`]) by every pager in a
 /// database instance, so an experiment can snapshot, run a query, and diff.
+/// Counters are atomics; concurrent recording from many query threads never
+/// loses an update.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: [Cell<u64>; 5],
-    writes: [Cell<u64>; 5],
+    reads: [AtomicU64; 5],
+    writes: [AtomicU64; 5],
     /// Signature loads that failed and fell back to unfiltered traversal.
-    degraded_reads: Cell<u64>,
+    degraded_reads: AtomicU64,
 }
 
-/// Reference-counted handle to an [`IoStats`] ledger.
-pub type SharedStats = Rc<IoStats>;
+/// Reference-counted, thread-safe handle to an [`IoStats`] ledger.
+pub type SharedStats = Arc<IoStats>;
 
 impl IoStats {
-    /// Creates a fresh ledger behind an `Rc`, ready to share between pagers.
+    /// Creates a fresh ledger behind an `Arc`, ready to share between pagers
+    /// (and across query threads).
     pub fn new_shared() -> SharedStats {
-        Rc::new(IoStats::default())
+        Arc::new(IoStats::default())
     }
 
     /// Records `n` page reads in `category`.
     #[inline]
     pub fn record_reads(&self, category: IoCategory, n: u64) {
-        let c = &self.reads[category.slot()];
-        c.set(c.get() + n);
+        self.reads[category.slot()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` page writes in `category`.
     #[inline]
     pub fn record_writes(&self, category: IoCategory, n: u64) {
-        let c = &self.writes[category.slot()];
-        c.set(c.get() + n);
+        self.writes[category.slot()].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of reads recorded in `category`.
     #[inline]
     pub fn reads(&self, category: IoCategory) -> u64 {
-        self.reads[category.slot()].get()
+        self.reads[category.slot()].load(Ordering::Relaxed)
     }
 
     /// Number of writes recorded in `category`.
     #[inline]
     pub fn writes(&self, category: IoCategory) -> u64 {
-        self.writes[category.slot()].get()
+        self.writes[category.slot()].load(Ordering::Relaxed)
     }
 
     /// Total reads across all categories.
     pub fn total_reads(&self) -> u64 {
-        self.reads.iter().map(Cell::get).sum()
+        self.reads.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Total writes across all categories.
     pub fn total_writes(&self) -> u64 {
-        self.writes.iter().map(Cell::get).sum()
+        self.writes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Records `n` degraded reads: storage-level failures (corrupt or
@@ -124,45 +133,50 @@ impl IoStats {
     /// lost.
     #[inline]
     pub fn record_degraded_reads(&self, n: u64) {
-        self.degraded_reads.set(self.degraded_reads.get() + n);
+        self.degraded_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of degraded reads recorded so far.
     #[inline]
     pub fn degraded_reads(&self) -> u64 {
-        self.degraded_reads.get()
+        self.degraded_reads.load(Ordering::Relaxed)
     }
 
     /// Copies the current counter values into an owned [`IoSnapshot`].
+    ///
+    /// Each counter is read independently; while other threads are recording,
+    /// the snapshot is not a single atomic cut (totals are still exact once
+    /// the recording threads have quiesced).
     pub fn snapshot(&self) -> IoSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         IoSnapshot {
             reads: [
-                self.reads[0].get(),
-                self.reads[1].get(),
-                self.reads[2].get(),
-                self.reads[3].get(),
-                self.reads[4].get(),
+                load(&self.reads[0]),
+                load(&self.reads[1]),
+                load(&self.reads[2]),
+                load(&self.reads[3]),
+                load(&self.reads[4]),
             ],
             writes: [
-                self.writes[0].get(),
-                self.writes[1].get(),
-                self.writes[2].get(),
-                self.writes[3].get(),
-                self.writes[4].get(),
+                load(&self.writes[0]),
+                load(&self.writes[1]),
+                load(&self.writes[2]),
+                load(&self.writes[3]),
+                load(&self.writes[4]),
             ],
-            degraded_reads: self.degraded_reads.get(),
+            degraded_reads: load(&self.degraded_reads),
         }
     }
 
     /// Resets every counter to zero.
     pub fn reset(&self) {
         for c in &self.reads {
-            c.set(0);
+            c.store(0, Ordering::Relaxed);
         }
         for c in &self.writes {
-            c.set(0);
+            c.store(0, Ordering::Relaxed);
         }
-        self.degraded_reads.set(0);
+        self.degraded_reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -308,6 +322,28 @@ mod tests {
         stats.record_reads(IoCategory::TupleRandomAccess, 100);
         let rand = CostModel::default().seconds(&stats.snapshot());
         assert!(rand > 10.0 * seq, "random {rand} vs sequential {seq}");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_updates() {
+        let stats = IoStats::new_shared();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let stats = stats.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        stats.record_reads(IoCategory::RtreeBlock, 1);
+                        stats.record_writes(IoCategory::SignaturePage, 1);
+                        stats.record_degraded_reads(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(stats.reads(IoCategory::RtreeBlock), threads * per_thread);
+        assert_eq!(stats.writes(IoCategory::SignaturePage), threads * per_thread);
+        assert_eq!(stats.degraded_reads(), threads * per_thread);
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Differential testing against naive full-scan oracles: for every query
+//! class (top-k, skyline, dynamic skyline, convex hull) and for arbitrary
+//! proptest-generated datasets and selections, the serial engine, the
+//! parallel engine at several worker counts, and a brute-force oracle must
+//! produce **exactly** the same answer — same tuples, same order, same
+//! scores. Serial vs parallel is compared bit-for-bit; the engines'
+//! canonical `(score, tid)` result order is what makes that possible.
+
+use pcube::baselines::reference::{bnl_skyline, naive_topk};
+use pcube::core::{
+    convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
+    par_skyline_query, par_topk_query, skyline_query, topk_query, LinearFn, PCubeConfig, PCubeDb,
+    ParallelOptions, RankingFunction,
+};
+use pcube::cube::{Predicate, Relation, Schema, Selection};
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 3] = [2, 3, 8];
+
+#[derive(Debug, Clone)]
+struct Row {
+    codes: Vec<u32>,
+    coords: Vec<f64>,
+}
+
+fn arb_rows(n_bool: usize, n_pref: usize, max_rows: usize) -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u32..4, n_bool..=n_bool),
+            prop::collection::vec(0.0f64..1.0, n_pref..=n_pref),
+        )
+            .prop_map(|(codes, coords)| Row { codes, coords }),
+        1..max_rows,
+    )
+}
+
+fn db_from(rows: &[Row], n_bool: usize, n_pref: usize) -> PCubeDb {
+    let bool_names: Vec<String> = (0..n_bool).map(|i| format!("A{i}")).collect();
+    let pref_names: Vec<String> = (0..n_pref).map(|i| format!("N{i}")).collect();
+    let schema = Schema::new(
+        &bool_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &pref_names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut relation = Relation::new(schema);
+    for r in rows {
+        relation.push_coded(&r.codes, &r.coords);
+    }
+    PCubeDb::build(relation, &PCubeConfig::default())
+}
+
+fn qualifying(rows: &[Row], sel: &Selection) -> Vec<(u64, Vec<f64>)> {
+    rows.iter()
+        .enumerate()
+        .filter(|(_, r)| sel.iter().all(|p| r.codes[p.dim] == p.value))
+        .map(|(i, r)| (i as u64, r.coords.clone()))
+        .collect()
+}
+
+/// Oracle skyline in the engines' canonical order: BNL over a full scan,
+/// then sort by `(coordinate sum over pref_dims, tid)`.
+fn oracle_skyline(points: &[(u64, Vec<f64>)], pref_dims: &[usize]) -> Vec<(u64, Vec<f64>)> {
+    let mut sky = bnl_skyline(points, pref_dims);
+    let key = |c: &[f64]| -> f64 { pref_dims.iter().map(|&d| c[d]).sum() };
+    sky.sort_by(|a, b| key(&a.1).total_cmp(&key(&b.1)).then(a.0.cmp(&b.0)));
+    sky
+}
+
+/// Oracle dynamic skyline: BNL in `|x − q|` space, canonical order by
+/// `(transformed key, tid)`, reported with original coordinates.
+fn oracle_dynamic(
+    points: &[(u64, Vec<f64>)],
+    q: &[f64],
+    pref_dims: &[usize],
+) -> Vec<(u64, Vec<f64>)> {
+    let transformed: Vec<(u64, Vec<f64>)> = points
+        .iter()
+        .map(|(t, c)| (*t, c.iter().enumerate().map(|(d, &x)| (x - q[d]).abs()).collect()))
+        .collect();
+    let sky = oracle_skyline(&transformed, pref_dims);
+    sky.into_iter()
+        .map(|(tid, _)| {
+            let orig = points
+                .iter()
+                .find(|(t, _)| *t == tid)
+                .expect("skyline tid came from points")
+                .1
+                .clone();
+            (tid, orig)
+        })
+        .collect()
+}
+
+/// Oracle convex hull: Andrew's monotone chain over a full scan — the same
+/// tie conventions as the engine (sort by `(x, y, tid)`, coordinate dedup
+/// keeping the smallest tid, collinear boundary points dropped with the
+/// engine's epsilon).
+fn oracle_hull(points: &[(u64, Vec<f64>)], dims: (usize, usize)) -> Vec<(u64, [f64; 2])> {
+    fn cross(o: [f64; 2], a: [f64; 2], b: [f64; 2]) -> f64 {
+        (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+    }
+    let mut pts: Vec<(u64, [f64; 2])> =
+        points.iter().map(|(t, c)| (*t, [c[dims.0], c[dims.1]])).collect();
+    pts.sort_by(|a, b| {
+        a.1[0].total_cmp(&b.1[0]).then(a.1[1].total_cmp(&b.1[1])).then(a.0.cmp(&b.0))
+    });
+    pts.dedup_by(|a, b| a.1 == b.1);
+    if pts.len() < 3 {
+        return pts;
+    }
+    let chain = |iter: &mut dyn Iterator<Item = &(u64, [f64; 2])>| {
+        let mut half: Vec<(u64, [f64; 2])> = Vec::new();
+        for &p in iter {
+            while half.len() >= 2
+                && cross(half[half.len() - 2].1, half[half.len() - 1].1, p.1) <= 1e-12
+            {
+                half.pop();
+            }
+            half.push(p);
+        }
+        half
+    };
+    let mut lower = chain(&mut pts.iter());
+    let mut upper = chain(&mut pts.iter().rev());
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn topk_serial_and_parallel_match_oracle(
+        rows in arb_rows(2, 2, 150),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        k in 1usize..12,
+        w0 in 0.01f64..1.0,
+        w1 in 0.01f64..1.0,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let f = LinearFn::new(vec![w0, w1]);
+        let oracle = naive_topk(&qualifying(&rows, &sel), k, &f);
+        let serial = topk_query(&db, &sel, k, &f, false);
+        // Oracle check: same tids in the same order, scores within float
+        // noise of the oracle's recomputation.
+        prop_assert_eq!(
+            serial.topk.iter().map(|r| r.0).collect::<Vec<_>>(),
+            oracle.iter().map(|r| r.0).collect::<Vec<_>>()
+        );
+        for (g, e) in serial.topk.iter().zip(&oracle) {
+            prop_assert!((g.2 - e.2).abs() < 1e-9, "score {} vs {}", g.2, e.2);
+        }
+        // Parallel check: bit-identical to serial at every worker count.
+        for workers in WORKER_COUNTS {
+            let par = par_topk_query(&db, &sel, k, &f, ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.topk, &serial.topk, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn skyline_serial_and_parallel_match_oracle(
+        rows in arb_rows(2, 2, 150),
+        d0 in 0u32..4,
+        d1 in 0u32..4,
+        n_preds in 0usize..=2,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }, Predicate { dim: 1, value: d1 }]
+            [..n_preds]
+            .to_vec();
+        let oracle = oracle_skyline(&qualifying(&rows, &sel), &[0, 1]);
+        let serial = skyline_query(&db, &sel, &[0, 1], false);
+        prop_assert_eq!(&serial.skyline, &oracle);
+        for workers in WORKER_COUNTS {
+            let par = par_skyline_query(&db, &sel, &[0, 1], ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.skyline, &serial.skyline, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn dynamic_skyline_serial_and_parallel_match_oracle(
+        rows in arb_rows(2, 2, 120),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        q0 in 0.0f64..1.0,
+        q1 in 0.0f64..1.0,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let q = vec![q0, q1];
+        let oracle = oracle_dynamic(&qualifying(&rows, &sel), &q, &[0, 1]);
+        let serial = dynamic_skyline_query(&db, &sel, &q, &[0, 1]);
+        prop_assert_eq!(&serial.skyline, &oracle);
+        for workers in WORKER_COUNTS {
+            let par =
+                par_dynamic_skyline_query(&db, &sel, &q, &[0, 1], ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.skyline, &serial.skyline, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn hull_serial_and_parallel_match_oracle(
+        rows in arb_rows(2, 2, 150),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let oracle = oracle_hull(&qualifying(&rows, &sel), (0, 1));
+        let serial = convex_hull_query(&db, &sel, (0, 1));
+        prop_assert_eq!(&serial.hull, &oracle);
+        for workers in WORKER_COUNTS {
+            let par = par_convex_hull_query(&db, &sel, (0, 1), ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.hull, &serial.hull, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn three_pref_dims_and_subset_dims_agree(
+        rows in arb_rows(2, 3, 100),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+    ) {
+        let db = db_from(&rows, 2, 3);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        for dims in [vec![0usize, 1, 2], vec![2, 0], vec![1]] {
+            let oracle = oracle_skyline(&qualifying(&rows, &sel), &dims);
+            let serial = skyline_query(&db, &sel, &dims, false);
+            prop_assert_eq!(&serial.skyline, &oracle, "dims {:?}", &dims);
+            let par = par_skyline_query(&db, &sel, &dims, ParallelOptions::with_workers(4));
+            prop_assert_eq!(&par.skyline, &serial.skyline, "dims {:?}", &dims);
+        }
+    }
+}
+
+/// The ranking function used in the deterministic (non-proptest) checks
+/// exercises the `RankingFunction + Sync` bound with a trait object.
+#[test]
+fn parallel_topk_accepts_trait_objects_and_empty_selections() {
+    let rows: Vec<Row> = (0..500u64)
+        .map(|i| Row {
+            codes: vec![(i % 4) as u32, (i % 3) as u32],
+            coords: vec![(i as f64 * 0.617) % 1.0, (i as f64 * 0.387) % 1.0],
+        })
+        .collect();
+    let db = db_from(&rows, 2, 2);
+    let f: Box<dyn RankingFunction + Sync> = Box::new(LinearFn::new(vec![0.7, 0.3]));
+    let serial = topk_query(&db, &Vec::new(), 10, f.as_ref(), false);
+    let par = par_topk_query(&db, &Vec::new(), 10, f.as_ref(), ParallelOptions::with_workers(8));
+    assert_eq!(par.topk, serial.topk);
+    assert_eq!(par.topk.len(), 10);
+}
+
+/// Impossible selections must come back empty from both engines, and the
+/// worker-capped fan-out (more workers than root children) must degrade
+/// gracefully.
+#[test]
+fn parallel_engines_handle_empty_and_tiny_inputs() {
+    let rows: Vec<Row> = (0..40u64)
+        .map(|i| Row {
+            codes: vec![(i % 2) as u32, 0],
+            coords: vec![(i as f64 * 0.713) % 1.0, (i as f64 * 0.293) % 1.0],
+        })
+        .collect();
+    let db = db_from(&rows, 2, 2);
+    let impossible: Selection = vec![Predicate { dim: 0, value: 999 }];
+    let f = LinearFn::new(vec![1.0, 1.0]);
+    let opts = ParallelOptions::with_workers(64);
+    assert!(par_topk_query(&db, &impossible, 5, &f, opts).topk.is_empty());
+    assert!(par_skyline_query(&db, &impossible, &[0, 1], opts).skyline.is_empty());
+    assert!(par_dynamic_skyline_query(&db, &impossible, &[0.5, 0.5], &[0, 1], opts)
+        .skyline
+        .is_empty());
+    assert!(par_convex_hull_query(&db, &impossible, (0, 1), opts).hull.is_empty());
+}
