@@ -1,0 +1,157 @@
+//! [`Executor`] adapters exposing the baseline engines to the §VI planner.
+//!
+//! Each adapter wraps one comparison method behind the uniform
+//! [`Executor`] interface so that [`pcube_core::plan::Planner`] can
+//! dispatch to it and the differential test suites can iterate every
+//! engine with one loop. Results come back in the canonical orders the
+//! serial engines already emit — ascending `(score, tid)` for top-k and
+//! ascending `(coordinate sum, tid)` for skylines — so planner output is
+//! comparable across engines tuple-for-tuple.
+
+use pcube_core::{EngineKind, Executor, PCubeDb, QueryStats, RankingFunction};
+use pcube_cube::{normalize, Selection};
+
+use crate::boolean_first::{BooleanIndexSet, SelectRoute};
+use crate::domination_first::{bbs_skyline, ranking_topk};
+use crate::index_merge::index_merge_topk;
+
+/// Boolean-first behind [`Executor`]: B+-tree (or heap-scan) selection,
+/// then an in-memory preference step. Borrows a prebuilt
+/// [`BooleanIndexSet`] so planning many queries shares one set of indexes.
+///
+/// Routing: the planner's objective is **block accesses**, so this
+/// executor picks the index or scan route by predicted blocks — not by
+/// [`SelectRoute::Auto`]'s modeled seconds, whose heavy random-page weight
+/// would route nearly everything to a scan and hide the Fig 13 crossover.
+pub struct BooleanFirstExecutor<'a> {
+    indexes: &'a BooleanIndexSet,
+}
+
+impl<'a> BooleanFirstExecutor<'a> {
+    /// Wraps the given index set.
+    pub fn new(indexes: &'a BooleanIndexSet) -> Self {
+        BooleanFirstExecutor { indexes }
+    }
+
+    /// Chooses index vs scan by predicted block accesses, from the same
+    /// catalog counts `BooleanIndexSet::select` costs with: the index
+    /// route reads each predicate's leaf range plus one fetch per
+    /// estimated match, the scan route reads every heap page.
+    fn block_route(&self, db: &PCubeDb, selection: &Selection) -> SelectRoute {
+        let selection = normalize(selection);
+        if selection.is_empty() {
+            return SelectRoute::Scan;
+        }
+        let t = db.relation().len() as f64;
+        let leaf_cap = 255.0; // 4 KB leaf, 16 B entries
+        let mut index_pages = 0.0;
+        let mut match_frac = 1.0;
+        for p in &selection {
+            let c = self.indexes.value_count(p.dim, p.value) as f64;
+            index_pages += (c / leaf_cap).ceil() + 2.0;
+            match_frac *= c / t.max(1.0);
+        }
+        if index_pages + t * match_frac < db.relation().heap_pages() as f64 {
+            SelectRoute::Index
+        } else {
+            SelectRoute::Scan
+        }
+    }
+}
+
+impl Executor for BooleanFirstExecutor<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::BooleanFirst
+    }
+
+    fn topk(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        let route = self.block_route(db, selection);
+        let out = self.indexes.topk_via(db, selection, k, f, route);
+        Some((out.topk, out.stats))
+    }
+
+    fn skyline(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
+        let route = self.block_route(db, selection);
+        let out = self.indexes.skyline_via(db, selection, pref_dims, route);
+        Some((out.skyline, out.stats))
+    }
+}
+
+/// Domination-first behind [`Executor`]: BBS / Ranking without boolean
+/// pruning, verifying each candidate by a random tuple access.
+pub struct DominationFirstExecutor;
+
+impl Executor for DominationFirstExecutor {
+    fn kind(&self) -> EngineKind {
+        EngineKind::DominationFirst
+    }
+
+    fn topk(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        Some(ranking_topk(db, selection, k, f))
+    }
+
+    fn skyline(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
+        Some(bbs_skyline(db, selection, pref_dims))
+    }
+}
+
+/// Index-merge behind [`Executor`]: progressive R-tree expansion with
+/// per-candidate B+-tree membership probes. Top-k only — `skyline`
+/// returns `None`.
+pub struct IndexMergeExecutor<'a> {
+    indexes: &'a BooleanIndexSet,
+}
+
+impl<'a> IndexMergeExecutor<'a> {
+    /// Wraps the given index set.
+    pub fn new(indexes: &'a BooleanIndexSet) -> Self {
+        IndexMergeExecutor { indexes }
+    }
+}
+
+impl Executor for IndexMergeExecutor<'_> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::IndexMerge
+    }
+
+    fn topk(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        Some(index_merge_topk(db, self.indexes, selection, k, f))
+    }
+
+    fn skyline(
+        &self,
+        _db: &PCubeDb,
+        _selection: &Selection,
+        _pref_dims: &[usize],
+    ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
+        None
+    }
+}

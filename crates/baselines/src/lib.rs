@@ -19,9 +19,11 @@
 
 pub mod boolean_first;
 pub mod domination_first;
+pub mod executor;
 pub mod index_merge;
 pub mod reference;
 
 pub use boolean_first::{BooleanIndexSet, BooleanSkylineOutcome, BooleanTopKOutcome, SelectRoute};
 pub use domination_first::{bbs_skyline, ranking_topk};
+pub use executor::{BooleanFirstExecutor, DominationFirstExecutor, IndexMergeExecutor};
 pub use index_merge::index_merge_topk;

@@ -1,0 +1,305 @@
+//! Planner calibration sweep: estimated vs measured block accesses across
+//! boolean selectivities (the Fig 13-style crossover, §VI).
+//!
+//! Builds one synthetic relation whose first boolean dimension is skewed —
+//! value frequencies spanning ~60% down to ~0.1% — then, for each
+//! single-value workload (plus the empty selection), runs every engine the
+//! planner knows about, records its **measured** block accesses
+//! (`stats.io.total_reads()`), and compares them with the planner's
+//! estimates. The run fails (non-zero exit) when:
+//!
+//! * any planner-dispatched answer differs from the in-memory oracle, or
+//! * the planner's pick matches the measured-cheapest engine on fewer than
+//!   90% of workloads, or
+//! * the sweep shows no crossover (the planner must pick a baseline on at
+//!   least one high-selectivity workload and P-Cube on at least one
+//!   low-selectivity workload).
+//!
+//! Results land in `BENCH_planner.json` (override with `--out`).
+
+use std::fmt::Write as _;
+
+use pcube_baselines::reference::{bnl_skyline, naive_topk};
+use pcube_baselines::{
+    BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
+};
+use pcube_core::{
+    EngineKind, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, Planner, QuerySpec,
+};
+use pcube_cube::{Predicate, Relation, Schema, Selection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Skewed frequency table for boolean dimension 0: the sweep's selectivity
+/// axis. (Remainder of the mass goes to value 0.)
+const DIM0_FREQS: [(u32, f64); 10] = [
+    (0, 0.60),
+    (1, 0.20),
+    (2, 0.10),
+    (3, 0.05),
+    (4, 0.03),
+    (5, 0.015),
+    (6, 0.004),
+    (7, 0.001),
+    (8, 0.0002),
+    (9, 0.00004),
+];
+
+struct Config {
+    rows: usize,
+    k: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config { rows: 50_000, k: 10, seed: 42, out: "BENCH_planner.json".into() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--rows" => cfg.rows = value("--rows").parse().expect("--rows"),
+            "--k" => cfg.k = value("--k").parse().expect("--k"),
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed"),
+            "--out" => cfg.out = value("--out"),
+            other => panic!("unknown flag {other:?} (use --rows --k --seed --out)"),
+        }
+    }
+    cfg
+}
+
+fn build_relation(rows: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut relation = Relation::new(Schema::new(&["a", "b"], &["x", "y"]));
+    for _ in 0..rows {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut a = 0u32;
+        // Walk the table back-to-front so the rare values get exact slices
+        // of the unit interval and value 0 absorbs the remainder.
+        for &(v, freq) in DIM0_FREQS.iter().rev() {
+            acc += freq;
+            if u < acc {
+                a = v;
+                break;
+            }
+        }
+        let b: u32 = rng.gen_range(0..4);
+        let x: f64 = rng.gen();
+        let y: f64 = rng.gen();
+        relation.push_coded(&[a, b], &[x, y]);
+    }
+    relation
+}
+
+struct EngineRun {
+    engine: EngineKind,
+    estimated_blocks: f64,
+    measured_blocks: u64,
+}
+
+struct WorkloadRow {
+    label: String,
+    selectivity: f64,
+    qualifying: usize,
+    chosen: EngineKind,
+    measured_best: EngineKind,
+    hit: bool,
+    engines: Vec<EngineRun>,
+}
+
+fn main() {
+    let cfg = parse_args();
+    let relation = build_relation(cfg.rows, cfg.seed);
+    let qualifying_rows: Vec<(u64, Vec<f64>)> = (0..relation.len() as u64)
+        .map(|tid| (tid, relation.pref_coords(tid)))
+        .collect();
+    let bool_codes: Vec<Vec<u32>> = (0..relation.schema().n_bool())
+        .map(|d| relation.bool_column(d).to_vec())
+        .collect();
+    let db = PCubeDb::build(relation, &PCubeConfig::default());
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    let planner = Planner::new(&db);
+
+    let boolean = BooleanFirstExecutor::new(&indexes);
+    let merge = IndexMergeExecutor::new(&indexes);
+    let executors: Vec<&dyn Executor> =
+        vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
+
+    let f = LinearFn::new(vec![0.6, 0.4]);
+    let oracle_input = |sel: &Selection| -> Vec<(u64, Vec<f64>)> {
+        qualifying_rows
+            .iter()
+            .filter(|(tid, _)| sel.iter().all(|p| bool_codes[p.dim][*tid as usize] == p.value))
+            .cloned()
+            .collect()
+    };
+
+    // The sweep: one workload per dim-0 value (selectivity 60% … 0.1%),
+    // plus the unselective empty selection, for both query classes.
+    let mut selections: Vec<(String, Selection)> = vec![("none".into(), Vec::new())];
+    for &(v, freq) in &DIM0_FREQS {
+        selections.push((format!("a={v} (~{freq})"), vec![Predicate { dim: 0, value: v }]));
+    }
+
+    let mut rows: Vec<WorkloadRow> = Vec::new();
+    let mut mismatches = 0usize;
+    for (label, sel) in &selections {
+        for class in ["topk", "skyline"] {
+            let query = match class {
+                "topk" => QuerySpec::TopK { k: cfg.k },
+                _ => QuerySpec::Skyline { pref_dims: &[0, 1] },
+            };
+            let supported: Vec<&dyn Executor> =
+                executors.iter().copied().filter(|e| e.supports(&query)).collect();
+            let estimates = planner.estimate(sel, &query);
+
+            // Measure every supported engine on a cold ledger delta.
+            let mut engines: Vec<EngineRun> = Vec::new();
+            for exec in &supported {
+                let stats = match query {
+                    QuerySpec::TopK { k } => {
+                        exec.topk(&db, sel, k, &f).expect("supported engine").1
+                    }
+                    QuerySpec::Skyline { pref_dims } => {
+                        exec.skyline(&db, sel, pref_dims).expect("supported engine").1
+                    }
+                };
+                let est = estimates
+                    .iter()
+                    .find(|e| e.engine == exec.kind())
+                    .map(|e| e.blocks())
+                    .unwrap_or(f64::NAN);
+                engines.push(EngineRun {
+                    engine: exec.kind(),
+                    estimated_blocks: est,
+                    measured_blocks: stats.io.total_reads(),
+                });
+            }
+
+            // Planner pick + oracle check on the dispatched answer.
+            let kinds: Vec<EngineKind> = supported.iter().map(|e| e.kind()).collect();
+            let decision = planner.choose(sel, &query, &kinds);
+            let input = oracle_input(sel);
+            let ok = match query {
+                QuerySpec::TopK { k } => {
+                    let (got, _) = db
+                        .plan_and_run_topk(&planner, &executors, sel, k, &f)
+                        .expect("planner dispatch");
+                    let want = naive_topk(&input, k, &f);
+                    got.iter().map(|r| r.0).eq(want.iter().map(|r| r.0))
+                }
+                QuerySpec::Skyline { pref_dims } => {
+                    let (got, _) = db
+                        .plan_and_run_skyline(&planner, &executors, sel, pref_dims)
+                        .expect("planner dispatch");
+                    let mut want = bnl_skyline(&input, pref_dims);
+                    let key = |c: &[f64]| -> f64 { pref_dims.iter().map(|&d| c[d]).sum() };
+                    want.sort_by(|a, b| key(&a.1).total_cmp(&key(&b.1)).then(a.0.cmp(&b.0)));
+                    got == want
+                }
+            };
+            if !ok {
+                eprintln!("ORACLE MISMATCH: {label} / {class} via {}", decision.chosen.name());
+                mismatches += 1;
+            }
+
+            let measured_best = engines
+                .iter()
+                .min_by_key(|e| e.measured_blocks)
+                .expect("at least one engine")
+                .engine;
+            rows.push(WorkloadRow {
+                label: format!("{label} / {class}"),
+                selectivity: decision.selectivity,
+                qualifying: input.len(),
+                chosen: decision.chosen,
+                measured_best,
+                hit: decision.chosen == measured_best,
+                engines,
+            });
+        }
+    }
+
+    let hits = rows.iter().filter(|r| r.hit).count();
+    let hit_rate = hits as f64 / rows.len() as f64;
+    let baseline_on_selective = rows
+        .iter()
+        .any(|r| r.selectivity < 0.05 && r.chosen != EngineKind::PCube);
+    let pcube_on_unselective = rows
+        .iter()
+        .any(|r| r.selectivity > 0.5 && r.chosen == EngineKind::PCube);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"planner_bench\",");
+    let _ = writeln!(json, "  \"rows\": {},", cfg.rows);
+    let _ = writeln!(json, "  \"k\": {},", cfg.k);
+    let _ = writeln!(json, "  \"seed\": {},", cfg.seed);
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let engines: Vec<String> = r
+            .engines
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"engine\": \"{}\", \"estimated_blocks\": {:.1}, \"measured_blocks\": {}}}",
+                    e.engine.name(),
+                    e.estimated_blocks,
+                    e.measured_blocks
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"selectivity\": {:.6}, \"qualifying\": {}, \
+             \"chosen\": \"{}\", \"measured_best\": \"{}\", \"hit\": {}, \"engines\": [{}]}}{}",
+            r.label,
+            r.selectivity,
+            r.qualifying,
+            r.chosen.name(),
+            r.measured_best.name(),
+            r.hit,
+            engines.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"workload_count\": {},", rows.len());
+    let _ = writeln!(json, "  \"planner_hits\": {hits},");
+    let _ = writeln!(json, "  \"planner_hit_rate\": {hit_rate:.3},");
+    let _ = writeln!(json, "  \"baseline_chosen_on_selective\": {baseline_on_selective},");
+    let _ = writeln!(json, "  \"pcube_chosen_on_unselective\": {pcube_on_unselective},");
+    let _ = writeln!(json, "  \"oracle_mismatches\": {mismatches}");
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).expect("write results json");
+    println!("{json}");
+
+    for r in &rows {
+        println!(
+            "{:<28} σ={:<9.5} chosen={:<16} best={:<16} {}",
+            r.label,
+            r.selectivity,
+            r.chosen.name(),
+            r.measured_best.name(),
+            if r.hit { "hit" } else { "MISS" },
+        );
+    }
+    println!("hit rate: {hits}/{} = {hit_rate:.3}", rows.len());
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} planner/oracle mismatches");
+        std::process::exit(1);
+    }
+    if hit_rate < 0.9 {
+        eprintln!("FAIL: planner hit rate {hit_rate:.3} below 0.9");
+        std::process::exit(1);
+    }
+    if !baseline_on_selective || !pcube_on_unselective {
+        eprintln!(
+            "FAIL: no crossover (baseline on selective: {baseline_on_selective}, \
+             pcube on unselective: {pcube_on_unselective})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,7 @@
 //! | [`pcube`] | IV, IV-B.3 | [`PCube`] build + incremental maintenance, [`PCubeDb`] |
 //! | [`rank`] | III, V-B | ranking functions with MBR lower bounds |
 //! | [`query`] | V | Algorithm 1 for skylines and top-k, drill-down/roll-up |
+//! | [`plan`] | VI | cost-based planner choosing P-Cube vs baseline engines |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +36,7 @@ pub mod bloom;
 pub mod encode;
 pub mod pcube;
 pub mod persist;
+pub mod plan;
 pub mod query;
 pub mod rank;
 pub mod signature;
@@ -43,6 +45,10 @@ pub mod store;
 pub use bloom::BloomSignature;
 pub use pcube::{PCube, PCubeConfig, PCubeDb};
 pub use persist::PersistError;
+pub use plan::{
+    CostEstimate, EngineKind, Executor, PCubeExecutor, PlanDecision, PlanError, Planner, QuerySpec,
+    SkylineRows, TopKRows,
+};
 pub use query::{
     convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
     par_skyline_query, par_topk_query, skyline_drill_down, skyline_query, skyline_query_probed,

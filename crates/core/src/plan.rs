@@ -1,0 +1,616 @@
+//! Cost-based adaptive query planning (§VI).
+//!
+//! The paper's evaluation compares four execution strategies for the same
+//! preference query — signature-guided P-Cube (Algorithm 1), Boolean-first,
+//! Domination-first, and Index-merge — and shows their relative cost flips
+//! with the boolean selectivity of the query (the Fig. 13-style crossover):
+//! a highly selective predicate is answered cheapest by fetching the few
+//! matching tuples through a B+-tree, while an unselective one makes every
+//! baseline pay per-candidate random accesses that the signature-pruned
+//! branch-and-bound never issues.
+//!
+//! [`Planner`] implements that comparison as an optimizer: it estimates
+//! **block accesses** (the unit every engine's [`QueryStats::io`] ledger
+//! already measures) for each candidate engine from statistics the system
+//! keeps for free — exact per-value row counts (the same cardinalities the
+//! signature leaf bits encode), R-tree node counts / height / fanout, heap
+//! page counts, and B+-tree shape — picks the cheapest, and records the
+//! whole decision in [`PlanDecision`] so `EXPLAIN`-style output can show
+//! its work. Dispatch goes through the [`Executor`] trait, implemented by
+//! [`PCubeExecutor`] here and by the baseline engines in the `baselines`
+//! crate (the trait lives here, not there, because `baselines` already
+//! depends on this crate).
+//!
+//! The cost formulas (documented per engine on [`Planner::estimate`] and in
+//! DESIGN.md §8) use:
+//!
+//! * `n` — relation cardinality; `P` — heap pages,
+//! * `σ` — boolean selectivity, the product of per-predicate exact
+//!   frequencies under cross-dimension independence; `q = σ·n` qualifying,
+//! * `h`, `m`, `L` — R-tree height, fanout, and leaf count,
+//! * `s(q) ≈ ln(1+q)^(d-1)` — the expected skyline size of `q`
+//!   independently distributed points in `d` dimensions.
+
+use std::collections::HashMap;
+
+use pcube_cube::{normalize, Selection};
+use pcube_storage::CostModel;
+
+use crate::pcube::PCubeDb;
+use crate::query::QueryStats;
+use crate::rank::RankingFunction;
+
+/// The engine families the planner chooses among (§VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Signature-guided branch-and-bound (Algorithm 1).
+    PCube,
+    /// Boolean-first: B+-tree (or heap-scan) selection, then an in-memory
+    /// preference step.
+    BooleanFirst,
+    /// Domination-first: BBS / Ranking with minimal-probing verification.
+    DominationFirst,
+    /// Index-merge: progressive R-tree expansion with selective B+-tree
+    /// membership probes (top-k only).
+    IndexMerge,
+}
+
+impl EngineKind {
+    /// Stable display name (used by `EXPLAIN` output and benchmarks).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::PCube => "pcube",
+            EngineKind::BooleanFirst => "boolean-first",
+            EngineKind::DominationFirst => "domination-first",
+            EngineKind::IndexMerge => "index-merge",
+        }
+    }
+}
+
+/// The preference-query classes the planner costs.
+#[derive(Debug, Clone, Copy)]
+pub enum QuerySpec<'a> {
+    /// `ORDER BY f LIMIT k` over the preference dimensions.
+    TopK {
+        /// Result size.
+        k: usize,
+    },
+    /// Skyline over the given preference dimensions.
+    Skyline {
+        /// Compared dimensions.
+        pref_dims: &'a [usize],
+    },
+}
+
+/// One engine's predicted cost, in modeled block accesses.
+#[derive(Debug, Clone, Copy)]
+pub struct CostEstimate {
+    /// The engine this estimate is for.
+    pub engine: EngineKind,
+    /// Predicted random block accesses (R-tree nodes, signature pages,
+    /// B+-tree pages, tuple fetches).
+    pub random_blocks: f64,
+    /// Predicted sequential block accesses (heap-scan pages).
+    pub sequential_blocks: f64,
+    /// Modeled wall-clock seconds under the [`CostModel`] rates.
+    pub seconds: f64,
+}
+
+impl CostEstimate {
+    /// Total predicted block accesses — the planner's comparison key, and
+    /// the unit `QueryStats::io::total_reads()` measures after the fact.
+    pub fn blocks(&self) -> f64 {
+        self.random_blocks + self.sequential_blocks
+    }
+}
+
+/// The planner's recorded decision, attached to the winning engine's
+/// [`QueryStats`] for `EXPLAIN`-style reporting.
+#[derive(Debug, Clone)]
+pub struct PlanDecision {
+    /// The engine the planner dispatched to.
+    pub chosen: EngineKind,
+    /// Every candidate engine's estimate (including the winner's).
+    pub estimates: Vec<CostEstimate>,
+    /// Estimated boolean selectivity of the query's selection.
+    pub selectivity: f64,
+    /// Estimated number of qualifying tuples (`σ·n`).
+    pub qualifying_est: f64,
+}
+
+impl PlanDecision {
+    /// The winner's estimate.
+    pub fn chosen_estimate(&self) -> &CostEstimate {
+        self.estimates
+            .iter()
+            .find(|e| e.engine == self.chosen)
+            .expect("chosen engine always has an estimate")
+    }
+}
+
+/// Rows of a top-k answer: `(tid, coordinates, score)` in canonical
+/// ascending `(score, tid)` order.
+pub type TopKRows = Vec<(u64, Vec<f64>, f64)>;
+
+/// Rows of a skyline answer: `(tid, coordinates)` in canonical ascending
+/// `(coordinate sum, tid)` order.
+pub type SkylineRows = Vec<(u64, Vec<f64>)>;
+
+/// A uniform engine interface: selection and query in, canonical-order
+/// result with [`QueryStats`] out. The planner dispatches through it, and
+/// the differential oracle iterates executors with it. `None` means the
+/// engine does not support that query class (e.g. Index-merge has no
+/// skyline).
+pub trait Executor {
+    /// Which engine family this executor runs.
+    fn kind(&self) -> EngineKind;
+
+    /// Top-k in canonical ascending `(score, tid)` order.
+    fn topk(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Option<(TopKRows, QueryStats)>;
+
+    /// Skyline in canonical ascending `(coordinate sum, tid)` order.
+    fn skyline(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> Option<(SkylineRows, QueryStats)>;
+
+    /// `true` if this executor can answer `query`.
+    fn supports(&self, query: &QuerySpec<'_>) -> bool {
+        match query {
+            QuerySpec::TopK { .. } => true,
+            QuerySpec::Skyline { .. } => self.kind() != EngineKind::IndexMerge,
+        }
+    }
+}
+
+/// The P-Cube engine behind the [`Executor`] interface: serial Algorithm 1
+/// with lazy signature probes.
+pub struct PCubeExecutor;
+
+impl Executor for PCubeExecutor {
+    fn kind(&self) -> EngineKind {
+        EngineKind::PCube
+    }
+
+    fn topk(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Option<(TopKRows, QueryStats)> {
+        let out = crate::query::topk_query(db, selection, k, f, false);
+        Some((out.topk, out.stats))
+    }
+
+    fn skyline(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> Option<(SkylineRows, QueryStats)> {
+        let out = crate::query::skyline_query(db, selection, pref_dims, false);
+        Some((out.skyline, out.stats))
+    }
+}
+
+/// B+-tree leaf fanout assumed by the boolean-first route model (4 KB
+/// leaves of 16-byte entries) — the same constant
+/// `BooleanIndexSet::select` routes with.
+const BPTREE_LEAF_CAP: f64 = 255.0;
+
+/// The §VI cost-based planner. Build once per database (it scans the
+/// boolean columns in memory to collect the exact per-value counts the
+/// signature leaves encode); estimate/choose are then catalog-only.
+pub struct Planner {
+    n: f64,
+    heap_pages: f64,
+    rtree_height: f64,
+    fanout: f64,
+    leaves: f64,
+    n_pred_capable: usize,
+    value_counts: Vec<HashMap<u32, u64>>,
+    cost: CostModel,
+}
+
+impl Planner {
+    /// Collects planning statistics from `db` (no counted I/O: column
+    /// scans run on the in-memory relation, tree shapes are metadata).
+    pub fn new(db: &PCubeDb) -> Self {
+        let relation = db.relation();
+        let n_bool = relation.schema().n_bool();
+        let value_counts = (0..n_bool)
+            .map(|dim| {
+                let mut counts: HashMap<u32, u64> = HashMap::new();
+                for &v in relation.bool_column(dim) {
+                    *counts.entry(v).or_default() += 1;
+                }
+                counts
+            })
+            .collect();
+        let fanout = db.rtree().m_max().max(2) as f64;
+        let n = relation.len() as f64;
+        Planner {
+            n,
+            heap_pages: relation.heap_pages() as f64,
+            rtree_height: db.rtree().height().max(1) as f64,
+            fanout,
+            leaves: (n / fanout).ceil().max(1.0),
+            n_pred_capable: n_bool,
+            value_counts,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Exact number of rows with `A_dim = value` (the catalog statistic the
+    /// boolean-first optimizer also uses; free).
+    pub fn value_count(&self, dim: usize, value: u32) -> u64 {
+        self.value_counts
+            .get(dim)
+            .and_then(|c| c.get(&value).copied())
+            .unwrap_or(0)
+    }
+
+    /// Estimated fraction of tuples satisfying `selection`: exact
+    /// per-predicate frequencies multiplied under cross-dimension
+    /// independence. Empty selections (after normalization) have
+    /// selectivity 1.
+    pub fn selectivity(&self, selection: &Selection) -> f64 {
+        let selection = normalize(selection);
+        if self.n == 0.0 {
+            return 1.0;
+        }
+        selection
+            .iter()
+            .map(|p| {
+                if p.dim >= self.n_pred_capable {
+                    return 0.0;
+                }
+                self.value_count(p.dim, p.value) as f64 / self.n
+            })
+            .product()
+    }
+
+    /// Expected skyline size of `q` independently distributed points in
+    /// `dims` dimensions: `ln(1+q)^(dims-1)`, clamped to `[1, q]`.
+    fn skyline_size(q: f64, dims: usize) -> f64 {
+        if q < 1.0 {
+            return q.max(0.0);
+        }
+        (1.0_f64 + q).ln().powi(dims.saturating_sub(1) as i32).clamp(1.0, q)
+    }
+
+    /// R-tree nodes read to surface `tuples` tuples best-first: the root
+    /// path plus the touched leaves and their ancestors (geometric in the
+    /// fanout).
+    fn rtree_nodes(&self, tuples: f64) -> f64 {
+        let leaves = (tuples / self.fanout).ceil().clamp(1.0, self.leaves);
+        self.rtree_height + leaves * self.fanout / (self.fanout - 1.0)
+    }
+
+    /// Signature pages loaded by a P-Cube traversal that expands
+    /// `nodes` R-tree nodes under `preds` predicates: one partial per
+    /// predicate per level on the spine, plus one per predicate per
+    /// expanded-node batch (partials are page-sized, so consecutive nodes
+    /// share them).
+    fn signature_pages(&self, preds: usize, nodes: f64) -> f64 {
+        preds as f64 * (self.rtree_height + (nodes / 8.0).ceil())
+    }
+
+    /// Per-engine cost estimates for `query` under `selection`, in modeled
+    /// block accesses. Formulas per engine:
+    ///
+    /// * **Boolean-first** — the cheaper (in blocks) of the index route
+    ///   (`Σ_d (⌈c_d/255⌉ + 2)` B+-tree pages + `q` random tuple fetches)
+    ///   and the table-scan route (`P` sequential pages); the preference
+    ///   step is in-memory. The planner-dispatched executor routes by the
+    ///   same block comparison, so the estimate predicts the route taken.
+    /// * **Domination-first** — surfaces candidates without boolean
+    ///   pruning and random-fetches every one (minimal probing): expected
+    ///   candidates are `k/σ` for top-k and `s(q)/σ` for skylines, plus
+    ///   the R-tree nodes to surface them.
+    /// * **Index-merge** (top-k only) — same surfacing as
+    ///   domination-first, but each surfaced tuple pays one pinned-descent
+    ///   B+-tree leaf probe per predicate instead of a tuple fetch.
+    /// * **P-Cube** — signature pruning restricts the traversal to
+    ///   subtrees with qualifying tuples: `min(k, q)/σ'` tuple pops where
+    ///   `σ' = max(σ, 1/m)` per leaf for top-k, `s(q)` accepted plus a
+    ///   spine for skylines; plus signature pages, no tuple fetches.
+    pub fn estimate(&self, selection: &Selection, query: &QuerySpec<'_>) -> Vec<CostEstimate> {
+        let selection = normalize(selection);
+        let preds = selection.len();
+        let sigma = self.selectivity(&selection).clamp(0.0, 1.0);
+        let q = (sigma * self.n).min(self.n);
+        // Candidates an engine *without* boolean pruning surfaces before
+        // it has seen the whole qualifying answer (geometric waiting).
+        let surfaced = |wanted: f64| -> f64 {
+            if sigma <= 0.0 {
+                self.n
+            } else {
+                (wanted / sigma).clamp(wanted, self.n)
+            }
+        };
+
+        let mut estimates = Vec::new();
+
+        // Boolean-first. The route mirror: the planner-dispatched executor
+        // routes index-vs-scan by predicted blocks from the same catalog
+        // counts, so the cheaper route here is the route it will take.
+        {
+            let (random, sequential) = if preds == 0 {
+                (0.0, self.heap_pages)
+            } else {
+                let index_pages: f64 = selection
+                    .iter()
+                    .map(|p| (self.value_count(p.dim, p.value) as f64 / BPTREE_LEAF_CAP).ceil() + 2.0)
+                    .sum();
+                if index_pages + q < self.heap_pages {
+                    (index_pages + q, 0.0)
+                } else {
+                    (0.0, self.heap_pages)
+                }
+            };
+            estimates.push(self.finish(EngineKind::BooleanFirst, random, sequential));
+        }
+
+        let wanted = match query {
+            QuerySpec::TopK { k } => (*k as f64).min(q.max(1.0)),
+            QuerySpec::Skyline { pref_dims } => Self::skyline_size(q, pref_dims.len()),
+        };
+
+        // Domination-first: every surfaced candidate is a random fetch.
+        {
+            let cand = surfaced(wanted.max(1.0));
+            let random = self.rtree_nodes(cand) + cand;
+            estimates.push(self.finish(EngineKind::DominationFirst, random, 0.0));
+        }
+
+        // Index-merge (top-k only): per-candidate B+-tree leaf probes.
+        if let QuerySpec::TopK { .. } = query {
+            let cand = surfaced(wanted.max(1.0));
+            let random = self.rtree_nodes(cand) + cand * preds as f64;
+            estimates.push(self.finish(EngineKind::IndexMerge, random, 0.0));
+        }
+
+        // P-Cube: signature pruning never pops a non-qualifying tuple, so
+        // the pop count is bounded by the answer, not by 1/σ — but sparse
+        // qualifying leaves (less than one qualifying tuple per leaf)
+        // still cost a node each.
+        {
+            // Qualifying tuples per touched leaf: σ·m, at least one (a
+            // sparse cell still costs a whole leaf per qualifying tuple).
+            let per_leaf = (sigma * self.fanout).max(1.0);
+            let leaves =
+                (wanted.max(1.0) / per_leaf).ceil().clamp(1.0, self.leaves.min(q.max(1.0)));
+            let nodes = self.rtree_height + leaves * self.fanout / (self.fanout - 1.0);
+            let random = nodes + self.signature_pages(preds, nodes);
+            estimates.push(self.finish(EngineKind::PCube, random, 0.0));
+        }
+
+        estimates
+    }
+
+    fn finish(&self, engine: EngineKind, random: f64, sequential: f64) -> CostEstimate {
+        CostEstimate {
+            engine,
+            random_blocks: random,
+            sequential_blocks: sequential,
+            seconds: random * self.cost.random_page_seconds
+                + sequential * self.cost.sequential_page_seconds,
+        }
+    }
+
+    /// Estimates every available engine and picks the cheapest by total
+    /// predicted block accesses (ties go to P-Cube, then the earlier
+    /// estimate).
+    pub fn choose(
+        &self,
+        selection: &Selection,
+        query: &QuerySpec<'_>,
+        available: &[EngineKind],
+    ) -> PlanDecision {
+        let selection = normalize(selection);
+        let estimates: Vec<CostEstimate> = self
+            .estimate(&selection, query)
+            .into_iter()
+            .filter(|e| available.contains(&e.engine))
+            .collect();
+        let chosen = estimates
+            .iter()
+            .min_by(|a, b| {
+                a.blocks()
+                    .total_cmp(&b.blocks())
+                    .then_with(|| (b.engine == EngineKind::PCube).cmp(&(a.engine == EngineKind::PCube)))
+            })
+            .map(|e| e.engine)
+            .unwrap_or(EngineKind::PCube);
+        let sigma = self.selectivity(&selection);
+        PlanDecision {
+            chosen,
+            estimates,
+            selectivity: sigma,
+            qualifying_est: sigma * self.n,
+        }
+    }
+}
+
+/// Errors from [`PCubeDb::plan_and_run_topk`] /
+/// [`PCubeDb::plan_and_run_skyline`].
+#[derive(Debug)]
+pub enum PlanError {
+    /// No registered executor supports the query class.
+    NoExecutor,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoExecutor => write!(f, "no registered executor supports this query"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn usable<'a>(
+    executors: &'a [&'a dyn Executor],
+    query: &QuerySpec<'_>,
+) -> (Vec<EngineKind>, &'a [&'a dyn Executor]) {
+    let kinds = executors.iter().filter(|e| e.supports(query)).map(|e| e.kind()).collect();
+    (kinds, executors)
+}
+
+impl PCubeDb {
+    /// Plans and runs a top-k query: estimates each registered executor's
+    /// block accesses, dispatches to the cheapest, and records the
+    /// decision in the returned stats (`stats.plan`).
+    pub fn plan_and_run_topk(
+        &self,
+        planner: &Planner,
+        executors: &[&dyn Executor],
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+    ) -> Result<(TopKRows, QueryStats), PlanError> {
+        let query = QuerySpec::TopK { k };
+        let (kinds, executors) = usable(executors, &query);
+        if kinds.is_empty() {
+            return Err(PlanError::NoExecutor);
+        }
+        let decision = planner.choose(selection, &query, &kinds);
+        let exec = executors
+            .iter()
+            .find(|e| e.kind() == decision.chosen)
+            .expect("chosen engine comes from the available set");
+        let (result, mut stats) =
+            exec.topk(self, selection, k, f).ok_or(PlanError::NoExecutor)?;
+        stats.plan = Some(decision);
+        Ok((result, stats))
+    }
+
+    /// Plans and runs a skyline query (see [`Self::plan_and_run_topk`]).
+    pub fn plan_and_run_skyline(
+        &self,
+        planner: &Planner,
+        executors: &[&dyn Executor],
+        selection: &Selection,
+        pref_dims: &[usize],
+    ) -> Result<(SkylineRows, QueryStats), PlanError> {
+        let query = QuerySpec::Skyline { pref_dims };
+        let (kinds, executors) = usable(executors, &query);
+        if kinds.is_empty() {
+            return Err(PlanError::NoExecutor);
+        }
+        let decision = planner.choose(selection, &query, &kinds);
+        let exec = executors
+            .iter()
+            .find(|e| e.kind() == decision.chosen)
+            .expect("chosen engine comes from the available set");
+        let (result, mut stats) =
+            exec.skyline(self, selection, pref_dims).ok_or(PlanError::NoExecutor)?;
+        stats.plan = Some(decision);
+        Ok((result, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcube::PCubeConfig;
+    use pcube_cube::{Predicate, Relation, Schema};
+
+    fn db(n: usize) -> PCubeDb {
+        let mut rel = Relation::new(Schema::new(&["a", "b"], &["x", "y"]));
+        for i in 0..n {
+            // Dimension a: skewed — value 0 covers 90%, values 1.. are rare.
+            let a = if i % 10 == 0 { 1 + ((i / 10) % 5) as u32 } else { 0 };
+            let b = (i % 3) as u32;
+            let x = (i as f64 * 0.37) % 1.0;
+            let y = (i as f64 * 0.61) % 1.0;
+            rel.push_coded(&[a, b], &[x, y]);
+        }
+        PCubeDb::build(rel, &PCubeConfig::default())
+    }
+
+    #[test]
+    fn selectivity_uses_exact_counts() {
+        let db = db(1000);
+        let planner = Planner::new(&db);
+        let sel = vec![Predicate { dim: 0, value: 0 }];
+        let sigma = planner.selectivity(&sel);
+        assert!((sigma - 0.9).abs() < 1e-9, "σ = {sigma}");
+        assert_eq!(planner.selectivity(&Vec::new()), 1.0);
+        // Unknown value → zero selectivity.
+        assert_eq!(planner.selectivity(&vec![Predicate { dim: 0, value: 99 }]), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        let db = db(500);
+        let planner = Planner::new(&db);
+        for sel in [Vec::new(), vec![Predicate { dim: 0, value: 1 }]] {
+            for query in [QuerySpec::TopK { k: 5 }, QuerySpec::Skyline { pref_dims: &[0, 1] }] {
+                for e in planner.estimate(&sel, &query) {
+                    assert!(e.blocks().is_finite() && e.blocks() > 0.0, "{:?}", e);
+                    assert!(e.seconds.is_finite() && e.seconds > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_selective_to_baseline_unselective_to_pcube() {
+        let db = db(2000);
+        let planner = Planner::new(&db);
+        let all = [
+            EngineKind::PCube,
+            EngineKind::BooleanFirst,
+            EngineKind::DominationFirst,
+            EngineKind::IndexMerge,
+        ];
+        // Rare value: a handful of matches — a B+-tree fetch of the few
+        // qualifying rows should beat a signature-guided traversal.
+        let selective = vec![Predicate { dim: 0, value: 1 }, Predicate { dim: 1, value: 0 }];
+        let d = planner.choose(&selective, &QuerySpec::TopK { k: 10 }, &all);
+        assert_eq!(d.chosen, EngineKind::BooleanFirst, "{:?}", d);
+        // Dominant value: most rows qualify — baselines pay per-candidate
+        // random accesses, P-Cube doesn't.
+        let unselective = vec![Predicate { dim: 0, value: 0 }];
+        let d = planner.choose(&unselective, &QuerySpec::TopK { k: 10 }, &all);
+        assert_eq!(d.chosen, EngineKind::PCube, "{:?}", d);
+    }
+
+    #[test]
+    fn plan_and_run_matches_direct_engines() {
+        let db = db(800);
+        let planner = Planner::new(&db);
+        let pcube = PCubeExecutor;
+        let execs: Vec<&dyn Executor> = vec![&pcube];
+        let f = crate::rank::LinearFn::new(vec![0.5, 0.5]);
+        let sel = vec![Predicate { dim: 1, value: 2 }];
+        let (top, stats) =
+            db.plan_and_run_topk(&planner, &execs, &sel, 5, &f).expect("planned");
+        let direct = crate::query::topk_query(&db, &sel, 5, &f, false);
+        assert_eq!(
+            top.iter().map(|t| t.0).collect::<Vec<_>>(),
+            direct.topk.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        let plan = stats.plan.expect("decision recorded");
+        assert_eq!(plan.chosen, EngineKind::PCube);
+        assert!(plan.chosen_estimate().blocks() > 0.0);
+
+        let (sky, stats) =
+            db.plan_and_run_skyline(&planner, &execs, &sel, &[0, 1]).expect("planned");
+        let direct = crate::query::skyline_query(&db, &sel, &[0, 1], false);
+        assert_eq!(sky, direct.skyline);
+        assert!(stats.plan.is_some());
+    }
+}

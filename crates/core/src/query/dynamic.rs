@@ -8,13 +8,16 @@
 //! `x ↦ |x − q|`. The same branch-and-bound framework applies because the
 //! transform of a box has an attainable per-dimension lower corner
 //! (`min_{x∈[lo,hi]} |x − q_d|` is reached independently per dimension), so
-//! both the BBS ordering key and the dominance prune carry over.
+//! both the BBS ordering key and the dominance prune carry over — the query
+//! is the [`kernel`](crate::query::kernel) skyline logic with the transform
+//! and corner functions plugged in.
 
 use pcube_cube::{normalize, Selection};
-use pcube_rtree::{DecodedEntry, Mbr};
+use pcube_rtree::Mbr;
 
 use crate::pcube::PCubeDb;
-use crate::query::{dominates, seed_root, Candidate, CandidateHeap, QueryStats};
+use crate::query::kernel::{run_kernel, SkylineLogic};
+use crate::query::{seed_root, CandidateHeap, QueryStats};
 
 /// A completed dynamic skyline query.
 pub struct DynamicSkylineOutcome {
@@ -68,81 +71,14 @@ pub fn dynamic_skyline_query(
             })
             .collect()
     };
-    let key = |t: &[f64]| -> f64 { pref_dims.iter().map(|&d| t[d]).sum() };
 
     let mut heap = CandidateHeap::new();
-    let dims = db.rtree().dims();
     seed_root(db, &mut heap);
 
-    // result holds (tid, original coords, transformed coords).
-    let mut result: Vec<(u64, Vec<f64>, Vec<f64>)> = Vec::new();
     let mut stats = QueryStats::default();
-
-    while let Some(entry) = heap.pop() {
-        let t_probe: Vec<f64> = match &entry.cand {
-            Candidate::Tuple { coords, .. } => t_point(coords),
-            Candidate::Node { mbr, .. } => {
-                if mbr.min[0].is_infinite() {
-                    vec![0.0; dims] // the seeded root: never dominated
-                } else {
-                    t_corner(mbr)
-                }
-            }
-        };
-        if result.iter().any(|(_, _, s)| dominates(s, &t_probe, pref_dims)) {
-            continue;
-        }
-        if !probe.contains(entry.cand.path()) {
-            continue;
-        }
-        match entry.cand {
-            Candidate::Tuple { tid, coords, .. } => {
-                // A lossy probe (Bloom §VII, or a cursor degraded by a
-                // storage failure) may pass non-qualifying tuples; verify
-                // against the base table before the tuple can join the
-                // result and prune others.
-                if probe.is_lossy() && !selection.is_empty() {
-                    let codes = db.relation().fetch(tid);
-                    if !selection.iter().all(|p| codes[p.dim] == p.value) {
-                        continue;
-                    }
-                }
-                let t = t_point(&coords);
-                result.push((tid, coords, t));
-            }
-            Candidate::Node { pid, path, .. } => {
-                let node = db.rtree().read_node(pid);
-                stats.nodes_expanded += 1;
-                for (slot, child) in node.entries {
-                    let child_path = path.child(slot as u16 + 1);
-                    match child {
-                        DecodedEntry::Tuple { tid, coords } => {
-                            let t = t_point(&coords);
-                            if result.iter().any(|(_, _, s)| dominates(s, &t, pref_dims)) {
-                                continue;
-                            }
-                            if !probe.contains(&child_path) {
-                                continue;
-                            }
-                            let score = key(&t);
-                            heap.push(score, Candidate::Tuple { tid, path: child_path, coords });
-                        }
-                        DecodedEntry::Child { child, mbr } => {
-                            let corner = t_corner(&mbr);
-                            if result.iter().any(|(_, _, s)| dominates(s, &corner, pref_dims)) {
-                                continue;
-                            }
-                            if !probe.contains(&child_path) {
-                                continue;
-                            }
-                            let score = key(&corner);
-                            heap.push(score, Candidate::Node { pid: child, path: child_path, mbr });
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let mut logic = SkylineLogic::new(pref_dims, Some(&t_point), Some(&t_corner), None);
+    stats.nodes_expanded = run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None);
+    let mut result = logic.into_result();
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
@@ -150,9 +86,9 @@ pub fn dynamic_skyline_query(
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     // Canonical result order: ascending `(transformed key, tid)` — the same
     // key the parallel engine merges by.
-    result.sort_by(|a, b| key(&a.2).total_cmp(&key(&b.2)).then(a.0.cmp(&b.0)));
+    result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     DynamicSkylineOutcome {
-        skyline: result.into_iter().map(|(tid, coords, _)| (tid, coords)).collect(),
+        skyline: result.into_iter().map(|r| (r.tid, r.coords)).collect(),
         stats,
     }
 }

@@ -5,16 +5,19 @@
 //! tuples in two chosen preference dimensions. The search walks the R-tree
 //! with signature-based boolean pruning plus a geometric prune: a node whose
 //! MBR lies strictly inside the convex hull of the points found so far can
-//! contribute no hull vertex and is skipped. Candidates are visited in
-//! best-first order of distance from the running hull's centroid proxy
-//! (farthest first), which grows the hull quickly and makes the inside-test
-//! prune effective early.
+//! contribute no hull vertex and is skipped. The traversal runs on the
+//! shared [`kernel`](crate::query::kernel) with scores that surface tuples
+//! immediately and expand nodes deepest-first, which grows the running hull
+//! quickly and makes the inside-test prune effective early. The final hull
+//! is traversal-order independent: a vertex of the final hull is never
+//! strictly inside any running hull (running hulls only grow toward the
+//! final one), so every vertex is collected no matter the visit order.
 
 use pcube_cube::{normalize, Selection};
-use pcube_rtree::{DecodedEntry, Path};
 
 use crate::pcube::PCubeDb;
-use crate::query::QueryStats;
+use crate::query::kernel::{run_kernel, HullLogic};
+use crate::query::{seed_root, CandidateHeap, QueryStats};
 
 /// A completed convex hull query.
 pub struct HullOutcome {
@@ -44,63 +47,16 @@ pub fn convex_hull_query(
     let mut probe = db.pcube().probe(&selection, false);
     let mut stats = QueryStats::default();
 
-    // Collect qualifying points by a signature-pruned DFS, skipping any
-    // subtree whose MBR projection is already strictly inside the running
-    // hull (it cannot contain a vertex of the final hull).
-    let mut points: Vec<(u64, [f64; 2])> = Vec::new();
-    let mut hull: Vec<(u64, [f64; 2])> = Vec::new();
-    let mut stack = vec![(db.rtree().root_pid(), Path::root())];
-    while let Some((pid, path)) = stack.pop() {
-        let node = db.rtree().read_node(pid);
-        stats.nodes_expanded += 1;
-        for (slot, entry) in node.entries {
-            let child_path = path.child(slot as u16 + 1);
-            match entry {
-                DecodedEntry::Tuple { tid, coords } => {
-                    let p = [coords[dims.0], coords[dims.1]];
-                    if strictly_inside_hull(&hull, p) {
-                        continue;
-                    }
-                    if !probe.contains(&child_path) {
-                        continue;
-                    }
-                    // A lossy probe (Bloom §VII, or a cursor degraded by a
-                    // storage failure) may pass non-qualifying tuples; verify
-                    // against the base table before the point can shape the
-                    // hull and prune others.
-                    if probe.is_lossy() && !selection.is_empty() {
-                        let codes = db.relation().fetch(tid);
-                        if !selection.iter().all(|p| codes[p.dim] == p.value) {
-                            continue;
-                        }
-                    }
-                    points.push((tid, p));
-                    // Rebuild the running hull occasionally to keep the
-                    // inside-test sharp without paying O(n log n) per point.
-                    if points.len().is_power_of_two() {
-                        hull = monotone_chain(&points);
-                    }
-                }
-                DecodedEntry::Child { child, mbr } => {
-                    let corners = [
-                        [mbr.min[dims.0], mbr.min[dims.1]],
-                        [mbr.min[dims.0], mbr.max[dims.1]],
-                        [mbr.max[dims.0], mbr.min[dims.1]],
-                        [mbr.max[dims.0], mbr.max[dims.1]],
-                    ];
-                    if corners.iter().all(|&c| strictly_inside_hull(&hull, c)) {
-                        continue; // geometric prune
-                    }
-                    if !probe.contains(&child_path) {
-                        continue;
-                    }
-                    stack.push((child, child_path));
-                }
-            }
-        }
-    }
-    let hull = monotone_chain(&points);
+    // Collect qualifying points by the signature-pruned kernel search,
+    // skipping any subtree whose MBR projection is already strictly inside
+    // the running hull (it cannot contain a vertex of the final hull).
+    let mut heap = CandidateHeap::new();
+    seed_root(db, &mut heap);
+    let mut logic = HullLogic::new(dims);
+    stats.nodes_expanded = run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None);
+    let hull = monotone_chain(&logic.into_points());
 
+    stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();

@@ -1,0 +1,602 @@
+//! The generic Algorithm 1 execution kernel (§V).
+//!
+//! Every preference engine in this crate — serial and parallel; top-k,
+//! skyline, dynamic skyline and convex hull — is the same loop: pop the
+//! best candidate from the [`CandidateHeap`], apply *preference* pruning,
+//! apply *boolean* pruning, then either accept a tuple (after lossy-probe
+//! verification against the base table) or expand an R-tree node and
+//! classify its children the same way. [`run_kernel`] implements that loop
+//! exactly once; the engines differ only in the two trait objects they pass
+//! in:
+//!
+//! * a [`BooleanPruner`] — the signature probe, a Bloom probe, or
+//!   [`NoPruner`] (Algorithm 1 with boolean pruning switched off), and
+//! * a [`PreferenceLogic`] — scoring, preference pruning, halting, and
+//!   result accumulation: top-k bound-and-cut ([`TopKLogic`]), the skyline
+//!   dominance window with an optional coordinate transform for dynamic
+//!   skylines ([`SkylineLogic`]), or convex-hull geometry ([`HullLogic`]).
+//!
+//! The kernel preserves the decision sequence of the original per-engine
+//! loops — pop order, prune order (preference before boolean, Algorithm 1
+//! lines 10–19), the `seq = 0` convention for children saved to
+//! `b_list`/`d_list`, and the frontier drain on early termination — so
+//! results are bit-identical to the pre-kernel implementations. The
+//! parallel workers are the very same kernel instantiated with shared
+//! pruning state ([`SharedBound`], [`SharedWindow`]) injected through the
+//! logic, which is why serial and parallel answers match bit-for-bit at
+//! any worker count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pcube_cube::Selection;
+use pcube_rtree::{DecodedEntry, Mbr, Path};
+
+use crate::pcube::PCubeDb;
+use crate::query::hull::{monotone_chain, strictly_inside_hull};
+use crate::query::{dominates, Candidate, CandidateHeap, HeapEntry, ResultEntry};
+use crate::rank::{MinCoordSum, RankingFunction};
+use crate::store::BooleanProbe;
+
+/// Boolean pruning as Algorithm 1 sees it: a yes/no membership test per
+/// candidate path, plus enough metadata to drive lossy-probe verification
+/// and the `SSig` statistics.
+pub trait BooleanPruner {
+    /// `true` if the subtree/tuple at `path` may contain qualifying tuples.
+    fn contains(&mut self, path: &Path) -> bool;
+    /// `true` if a positive answer may be wrong (Bloom probes, degraded
+    /// cursors) — accepted tuples then require base-table verification.
+    fn is_lossy(&self) -> bool;
+    /// Partial signatures loaded so far (the `SSig` series of Fig 9).
+    fn partials_loaded(&self) -> u64;
+}
+
+impl BooleanPruner for BooleanProbe<'_> {
+    fn contains(&mut self, path: &Path) -> bool {
+        BooleanProbe::contains(self, path)
+    }
+    fn is_lossy(&self) -> bool {
+        BooleanProbe::is_lossy(self)
+    }
+    fn partials_loaded(&self) -> u64 {
+        BooleanProbe::partials_loaded(self)
+    }
+}
+
+/// A pruner that admits every candidate — Algorithm 1 with boolean pruning
+/// switched off (the preference-only traversal of the domination-first
+/// baseline family).
+pub struct NoPruner;
+
+impl BooleanPruner for NoPruner {
+    fn contains(&mut self, _path: &Path) -> bool {
+        true
+    }
+    fn is_lossy(&self) -> bool {
+        false
+    }
+    fn partials_loaded(&self) -> u64 {
+        0
+    }
+}
+
+/// What the [`PreferenceLogic`] decided about a popped candidate, *before*
+/// boolean pruning runs.
+pub enum PopVerdict {
+    /// Process the candidate: probe it, then accept (tuple) or expand
+    /// (node).
+    Continue,
+    /// Preference-pruned (dominated / inside the hull): route the entry to
+    /// the `d_list` and move on.
+    Prune,
+    /// Terminate the search; the entry and the drained frontier go to the
+    /// `d_list` (the top-k early exit of §V-B).
+    Halt,
+}
+
+/// The preference side of Algorithm 1: candidate scoring, preference
+/// pruning, halting, and result accumulation. One implementation per query
+/// class; the same implementation serves the serial engine and each
+/// parallel worker (with shared pruning state injected at construction).
+pub trait PreferenceLogic {
+    /// Preference decision for a popped entry (Algorithm 1 lines 14–16 for
+    /// skylines, the k-th-result cut of §V-B for top-k).
+    fn on_pop(&mut self, entry: &HeapEntry) -> PopVerdict;
+    /// Ordering key of a tuple (`f(t)` for top-k, `d(t)` for skylines).
+    fn score_tuple(&self, coords: &[f64]) -> f64;
+    /// Ordering key (lower bound) of a node's MBR.
+    fn score_node(&self, mbr: &Mbr, path: &Path) -> f64;
+    /// Preference check before a freshly scored child is inserted
+    /// (Algorithm 1 lines 10–12); `true` prunes it to the `d_list`.
+    fn prune_child(&self, score: f64, cand: &Candidate) -> bool;
+    /// A verified qualifying tuple joins the result.
+    fn accept(&mut self, score: f64, tid: u64, path: Path, coords: Vec<f64>);
+}
+
+/// The `b_list`/`d_list` pair Algorithm 1 maintains for incremental
+/// drill-down and roll-up (§V-C). Serial engines pass one in (possibly
+/// pre-seeded by a previous query's state); parallel workers and the
+/// stateless engines pass `None` and pruned entries are dropped.
+#[derive(Default)]
+pub struct SavedLists {
+    /// Entries pruned by boolean predicates (kept for roll-up).
+    pub b_list: Vec<HeapEntry>,
+    /// Entries pruned by preference (kept for drill-down), including the
+    /// drained frontier after an early halt.
+    pub d_list: Vec<HeapEntry>,
+}
+
+/// Runs Algorithm 1 over an already-seeded candidate heap until the heap is
+/// empty or the logic halts. Returns the number of R-tree nodes expanded;
+/// every other statistic (peak heap, partials, I/O, wall clock) is read by
+/// the caller from the heap/probe/ledger it owns.
+pub fn run_kernel(
+    db: &PCubeDb,
+    selection: &Selection,
+    probe: &mut dyn BooleanPruner,
+    heap: &mut CandidateHeap,
+    logic: &mut dyn PreferenceLogic,
+    mut lists: Option<&mut SavedLists>,
+) -> u64 {
+    let mut nodes_expanded = 0u64;
+    while let Some(entry) = heap.pop() {
+        match logic.on_pop(&entry) {
+            PopVerdict::Halt => {
+                if let Some(lists) = lists.as_deref_mut() {
+                    lists.d_list.push(entry);
+                    lists.d_list.extend(heap.drain());
+                }
+                break;
+            }
+            PopVerdict::Prune => {
+                if let Some(lists) = lists.as_deref_mut() {
+                    lists.d_list.push(entry);
+                }
+                continue;
+            }
+            PopVerdict::Continue => {}
+        }
+        if !probe.contains(entry.cand.path()) {
+            if let Some(lists) = lists.as_deref_mut() {
+                lists.b_list.push(entry);
+            }
+            continue;
+        }
+        let (e_score, e_seq) = (entry.score, entry.seq);
+        match entry.cand {
+            Candidate::Tuple { tid, path, coords } => {
+                // Lossy probes (Bloom, §VII, or a degraded cursor) may pass
+                // non-qualifying tuples; verify against the base table (one
+                // counted random access, as in minimal probing) before the
+                // tuple may join the result and prune others.
+                if probe.is_lossy() && !selection.is_empty() {
+                    let codes = db.relation().fetch(tid);
+                    if !selection.iter().all(|p| codes[p.dim] == p.value) {
+                        if let Some(lists) = lists.as_deref_mut() {
+                            lists.b_list.push(HeapEntry {
+                                score: e_score,
+                                seq: e_seq,
+                                cand: Candidate::Tuple { tid, path, coords },
+                            });
+                        }
+                        continue;
+                    }
+                }
+                logic.accept(e_score, tid, path, coords);
+            }
+            Candidate::Node { pid, path, .. } => {
+                let node = db.rtree().read_node(pid);
+                nodes_expanded += 1;
+                for (slot, child) in node.entries {
+                    let child_path = path.child(slot as u16 + 1);
+                    let (score, cand) = match child {
+                        DecodedEntry::Tuple { tid, coords } => {
+                            let s = logic.score_tuple(&coords);
+                            (s, Candidate::Tuple { tid, path: child_path, coords })
+                        }
+                        DecodedEntry::Child { child, mbr } => {
+                            let s = logic.score_node(&mbr, &child_path);
+                            (s, Candidate::Node { pid: child, path: child_path, mbr })
+                        }
+                    };
+                    if logic.prune_child(score, &cand) {
+                        if let Some(lists) = lists.as_deref_mut() {
+                            lists.d_list.push(HeapEntry { score, seq: 0, cand });
+                        }
+                        continue;
+                    }
+                    if !probe.contains(cand.path()) {
+                        if let Some(lists) = lists.as_deref_mut() {
+                            lists.b_list.push(HeapEntry { score, seq: 0, cand });
+                        }
+                        continue;
+                    }
+                    heap.push(score, cand);
+                }
+            }
+        }
+    }
+    nodes_expanded
+}
+
+// ---------------------------------------------------------------------------
+// Shared pruning state (used by the parallel workers' logic instances)
+// ---------------------------------------------------------------------------
+
+/// Monotone f64 → u64 mapping: preserves `<` across the full range
+/// (including negatives), so an atomic `fetch_min` on the mapped bits is an
+/// atomic min on the floats.
+#[inline]
+pub(crate) fn f64_to_ordered(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+#[inline]
+pub(crate) fn ordered_to_f64(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// The shared top-k pruning bound: an upper bound on the global k-th best
+/// score, stored as order-preserving f64 bits so workers update it with a
+/// lock-free `fetch_min`. The bound only ever decreases and stays ≥ the
+/// true k-th score (each worker publishes its *local* k-th best, and any
+/// local k-th ≥ the global k-th), so pruning `score > bound` is sound;
+/// ties at the bound are kept and resolved by the deterministic merge.
+pub(crate) struct SharedBound(AtomicU64);
+
+impl SharedBound {
+    pub(crate) fn unbounded() -> Self {
+        SharedBound(AtomicU64::new(f64_to_ordered(f64::INFINITY)))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self) -> f64 {
+        ordered_to_f64(self.0.load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub(crate) fn lower_to(&self, candidate: f64) {
+        self.0.fetch_min(f64_to_ordered(candidate), Ordering::Relaxed);
+    }
+}
+
+/// The shared skyline window: points accepted so far by *any* worker, in
+/// domination space. Pruning with any entry is sound even if the entry is
+/// later found dominated itself (domination is transitive and every entry
+/// is a qualifying data point), so workers read snapshots without any
+/// coordination beyond the mutex.
+pub(crate) struct SharedWindow {
+    points: Mutex<Vec<Vec<f64>>>,
+}
+
+impl SharedWindow {
+    pub(crate) fn new() -> Self {
+        SharedWindow { points: Mutex::new(Vec::new()) }
+    }
+
+    pub(crate) fn push(&self, coords: Vec<f64>) {
+        self.points.lock().expect("skyline window lock poisoned").push(coords);
+    }
+
+    /// Appends entries `[from..]` to `into`; returns the new high-water
+    /// mark, making each periodic refresh an incremental copy rather than a
+    /// full clone.
+    pub(crate) fn refresh(&self, from: usize, into: &mut Vec<Vec<f64>>) -> usize {
+        let points = self.points.lock().expect("skyline window lock poisoned");
+        for p in &points[from.min(points.len())..] {
+            into.push(p.clone());
+        }
+        points.len()
+    }
+}
+
+/// Heap pops between shared-window refreshes. Purely a performance knob:
+/// staleness only costs extra traversal, never correctness (the merge
+/// cross-filters every local result against every other).
+pub(crate) const WINDOW_REFRESH_INTERVAL: u64 = 32;
+
+// ---------------------------------------------------------------------------
+// Top-k logic (§V-B): bound-and-cut
+// ---------------------------------------------------------------------------
+
+/// Top-k accumulation. Serial mode halts once `k` results exist (the
+/// frontier is then saved as `d_list` by the kernel); shared mode keeps a
+/// local k-best and halts once the smallest outstanding lower bound exceeds
+/// the shared global bound.
+pub(crate) struct TopKLogic<'a> {
+    k: usize,
+    f: &'a dyn RankingFunction,
+    bound: Option<&'a SharedBound>,
+    result: Vec<ResultEntry>,
+}
+
+impl<'a> TopKLogic<'a> {
+    /// The serial engine's logic: exhaustive until `k` results.
+    pub(crate) fn serial(k: usize, f: &'a dyn RankingFunction) -> Self {
+        TopKLogic { k, f, bound: None, result: Vec::new() }
+    }
+
+    /// A parallel worker's logic: prune and halt against the shared bound.
+    pub(crate) fn shared(k: usize, f: &'a dyn RankingFunction, bound: &'a SharedBound) -> Self {
+        TopKLogic { k, f, bound: Some(bound), result: Vec::with_capacity(k + 1) }
+    }
+
+    pub(crate) fn into_result(self) -> Vec<ResultEntry> {
+        self.result
+    }
+}
+
+impl PreferenceLogic for TopKLogic<'_> {
+    fn on_pop(&mut self, entry: &HeapEntry) -> PopVerdict {
+        match self.bound {
+            // Serial: everything still queued has a lower bound no better
+            // than the k-th result — stop and save the frontier.
+            None if self.result.len() >= self.k => PopVerdict::Halt,
+            // Shared: the heap pops ascending scores, so once the smallest
+            // outstanding lower bound exceeds the shared threshold nothing
+            // left can enter the global top-k. Strictly greater — ties at
+            // the bound are kept for the deterministic merge.
+            Some(b) if entry.score > b.get() => PopVerdict::Halt,
+            _ => PopVerdict::Continue,
+        }
+    }
+
+    fn score_tuple(&self, coords: &[f64]) -> f64 {
+        self.f.score(coords)
+    }
+
+    fn score_node(&self, mbr: &Mbr, _path: &Path) -> f64 {
+        self.f.lower_bound(mbr)
+    }
+
+    fn prune_child(&self, score: f64, _cand: &Candidate) -> bool {
+        self.bound.is_some_and(|b| score > b.get())
+    }
+
+    fn accept(&mut self, score: f64, tid: u64, path: Path, coords: Vec<f64>) {
+        match self.bound {
+            None => self.result.push(ResultEntry { tid, coords, path, score }),
+            Some(b) => {
+                let at = self
+                    .result
+                    .binary_search_by(|r| r.score.total_cmp(&score).then(r.tid.cmp(&tid)))
+                    .unwrap_or_else(|i| i);
+                if at < self.k {
+                    self.result.insert(at, ResultEntry { tid, coords, path, score });
+                    self.result.truncate(self.k);
+                    if self.result.len() == self.k {
+                        b.lower_to(self.result[self.k - 1].score);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Skyline logic (§V-A, §VII dynamic): dominance window
+// ---------------------------------------------------------------------------
+
+/// A coordinate transform into domination space at full dimensionality
+/// (`x ↦ |x − q|` for dynamic skylines); `None` means identity (static).
+pub(crate) type TransformFn<'a> = &'a (dyn Fn(&[f64]) -> Vec<f64> + Sync);
+/// The attainable per-dimension lower corner of an MBR in domination space;
+/// `None` means `mbr.min` (static).
+pub(crate) type CornerFn<'a> = &'a (dyn Fn(&Mbr) -> Vec<f64> + Sync);
+
+/// (Dynamic) skyline accumulation: BBS dominance pruning against the
+/// accepted result, plus — in parallel workers — a periodically refreshed
+/// mirror of the shared window.
+pub(crate) struct SkylineLogic<'a> {
+    f: MinCoordSum,
+    pref_dims: &'a [usize],
+    transform: Option<TransformFn<'a>>,
+    corner: Option<CornerFn<'a>>,
+    window: Option<&'a SharedWindow>,
+    result: Vec<ResultEntry>,
+    /// Domination-space coordinates, aligned with `result`.
+    dom: Vec<Vec<f64>>,
+    /// Local mirror of the shared window (other workers' accepted points).
+    seen: Vec<Vec<f64>>,
+    seen_mark: usize,
+    pops: u64,
+    /// Domination point computed by `on_pop`, reused by the following
+    /// `accept` (bitwise the same value the serial engines recompute).
+    pending_dom: Vec<f64>,
+}
+
+impl<'a> SkylineLogic<'a> {
+    pub(crate) fn new(
+        pref_dims: &'a [usize],
+        transform: Option<TransformFn<'a>>,
+        corner: Option<CornerFn<'a>>,
+        window: Option<&'a SharedWindow>,
+    ) -> Self {
+        SkylineLogic {
+            f: MinCoordSum::new(pref_dims.to_vec()),
+            pref_dims,
+            transform,
+            corner,
+            window,
+            result: Vec::new(),
+            dom: Vec::new(),
+            seen: Vec::new(),
+            seen_mark: 0,
+            pops: 0,
+            pending_dom: Vec::new(),
+        }
+    }
+
+    fn dom_point(&self, cand: &Candidate) -> Vec<f64> {
+        match cand {
+            Candidate::Tuple { coords, .. } => match self.transform {
+                Some(t) => t(coords),
+                None => coords.clone(),
+            },
+            Candidate::Node { mbr, .. } => match self.corner {
+                Some(c) => {
+                    if mbr.min.first().is_some_and(|v| v.is_infinite()) {
+                        // The seeded root: its corner transform may index a
+                        // short query point, and it is never dominated.
+                        vec![0.0; mbr.dims()]
+                    } else {
+                        c(mbr)
+                    }
+                }
+                None => mbr.min.clone(),
+            },
+        }
+    }
+
+    /// Domination pruning: a candidate is pruned if some accepted point
+    /// dominates its domination-space point — a tuple's transform, or a
+    /// node's attainable lower corner (then the point dominates everything
+    /// inside, the BBS rule).
+    fn dominated(&self, p: &[f64]) -> bool {
+        self.dom.iter().any(|r| dominates(r, p, self.pref_dims))
+            || self.seen.iter().any(|r| dominates(r, p, self.pref_dims))
+    }
+
+    pub(crate) fn into_result(self) -> Vec<ResultEntry> {
+        self.result
+    }
+
+    /// `(score, tid, domination coords, original coords)` — the parallel
+    /// merge's working representation.
+    pub(crate) fn into_points(self) -> Vec<(f64, u64, Vec<f64>, Vec<f64>)> {
+        self.result
+            .into_iter()
+            .zip(self.dom)
+            .map(|(r, dom)| (r.score, r.tid, dom, r.coords))
+            .collect()
+    }
+}
+
+impl PreferenceLogic for SkylineLogic<'_> {
+    fn on_pop(&mut self, entry: &HeapEntry) -> PopVerdict {
+        self.pops += 1;
+        if let Some(w) = self.window {
+            if self.pops.is_multiple_of(WINDOW_REFRESH_INTERVAL) {
+                self.seen_mark = w.refresh(self.seen_mark, &mut self.seen);
+            }
+        }
+        let dom = self.dom_point(&entry.cand);
+        if self.dominated(&dom) {
+            return PopVerdict::Prune;
+        }
+        self.pending_dom = dom;
+        PopVerdict::Continue
+    }
+
+    fn score_tuple(&self, coords: &[f64]) -> f64 {
+        match self.transform {
+            Some(t) => self.f.score(&t(coords)),
+            None => self.f.score(coords),
+        }
+    }
+
+    fn score_node(&self, mbr: &Mbr, _path: &Path) -> f64 {
+        match self.corner {
+            Some(c) => self.f.score(&c(mbr)),
+            None => self.f.lower_bound(mbr),
+        }
+    }
+
+    fn prune_child(&self, _score: f64, cand: &Candidate) -> bool {
+        self.dominated(&self.dom_point(cand))
+    }
+
+    fn accept(&mut self, score: f64, tid: u64, path: Path, coords: Vec<f64>) {
+        let dom = std::mem::take(&mut self.pending_dom);
+        if let Some(w) = self.window {
+            w.push(dom.clone());
+        }
+        self.dom.push(dom);
+        self.result.push(ResultEntry { tid, coords, path, score });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convex hull logic (§VII): geometric pruning
+// ---------------------------------------------------------------------------
+
+/// Convex-hull accumulation: collects qualifying points and prunes any
+/// candidate strictly inside the running hull (it cannot contribute a
+/// vertex of the final hull, because the running hull only ever grows).
+/// Scores send tuples first (`-∞`) and nodes deepest-first, so points
+/// surface early and keep the inside-test sharp — the heap-driven analogue
+/// of the original DFS.
+pub(crate) struct HullLogic {
+    dims: (usize, usize),
+    points: Vec<(u64, [f64; 2])>,
+    hull: Vec<(u64, [f64; 2])>,
+}
+
+impl HullLogic {
+    pub(crate) fn new(dims: (usize, usize)) -> Self {
+        HullLogic { dims, points: Vec::new(), hull: Vec::new() }
+    }
+
+    fn inside(&self, cand: &Candidate) -> bool {
+        match cand {
+            Candidate::Tuple { coords, .. } => {
+                strictly_inside_hull(&self.hull, [coords[self.dims.0], coords[self.dims.1]])
+            }
+            Candidate::Node { mbr, .. } => {
+                let corners = [
+                    [mbr.min[self.dims.0], mbr.min[self.dims.1]],
+                    [mbr.min[self.dims.0], mbr.max[self.dims.1]],
+                    [mbr.max[self.dims.0], mbr.min[self.dims.1]],
+                    [mbr.max[self.dims.0], mbr.max[self.dims.1]],
+                ];
+                corners.iter().all(|&c| strictly_inside_hull(&self.hull, c))
+            }
+        }
+    }
+
+    /// The collected qualifying points; the caller chains them into the
+    /// final hull.
+    pub(crate) fn into_points(self) -> Vec<(u64, [f64; 2])> {
+        self.points
+    }
+}
+
+impl PreferenceLogic for HullLogic {
+    fn on_pop(&mut self, entry: &HeapEntry) -> PopVerdict {
+        if self.inside(&entry.cand) {
+            PopVerdict::Prune
+        } else {
+            PopVerdict::Continue
+        }
+    }
+
+    fn score_tuple(&self, _coords: &[f64]) -> f64 {
+        f64::NEG_INFINITY
+    }
+
+    fn score_node(&self, _mbr: &Mbr, path: &Path) -> f64 {
+        -(path.depth() as f64)
+    }
+
+    fn prune_child(&self, _score: f64, cand: &Candidate) -> bool {
+        self.inside(cand)
+    }
+
+    fn accept(&mut self, _score: f64, tid: u64, _path: Path, coords: Vec<f64>) {
+        self.points.push((tid, [coords[self.dims.0], coords[self.dims.1]]));
+        // Rebuild the running hull occasionally to keep the inside-test
+        // sharp without paying O(n log n) per point.
+        if self.points.len().is_power_of_two() {
+            self.hull = monotone_chain(&self.points);
+        }
+    }
+}

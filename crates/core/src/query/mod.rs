@@ -4,11 +4,13 @@
 
 mod dynamic;
 mod hull;
+pub mod kernel;
 mod parallel;
 mod skyline;
 mod topk;
 
 pub use dynamic::{dynamic_skyline_query, DynamicSkylineOutcome};
+pub use kernel::{run_kernel, BooleanPruner, NoPruner, PopVerdict, PreferenceLogic, SavedLists};
 pub use parallel::{
     par_convex_hull_query, par_dynamic_skyline_query, par_skyline_query, par_topk_query,
     ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
@@ -40,6 +42,20 @@ pub struct QueryStats {
     pub io: IoSnapshot,
     /// Wall-clock seconds of CPU work (the in-memory part).
     pub cpu_seconds: f64,
+    /// The planner's decision and per-engine cost estimates, when the query
+    /// was dispatched through [`crate::plan::Planner`] (`None` for direct
+    /// engine calls).
+    pub plan: Option<crate::plan::PlanDecision>,
+}
+
+/// One accepted result of a branch-and-bound search — shared by every
+/// engine's accumulation logic ([`kernel::PreferenceLogic`] implementors).
+#[derive(Debug, Clone)]
+pub(crate) struct ResultEntry {
+    pub(crate) tid: u64,
+    pub(crate) coords: Vec<f64>,
+    pub(crate) path: Path,
+    pub(crate) score: f64,
 }
 
 /// A candidate in the branch-and-bound search: an R-tree node or a tuple.

@@ -8,9 +8,11 @@
 //! 1. expands the root once on the calling thread,
 //! 2. deals the root's children round-robin to a fixed pool of **scoped**
 //!    worker threads (no runtime dependency),
-//! 3. runs the serial pruning logic per worker with a *shared pruning
-//!    bound* — an atomic f64-bit threshold for top-k, a mutex-guarded
-//!    window of accepted points for (dynamic) skylines,
+//! 3. runs the *same* [`kernel`](crate::query::kernel) loop the serial
+//!    engines use per worker, with a *shared pruning bound* injected
+//!    through the worker's [`kernel::PreferenceLogic`] — an atomic f64-bit
+//!    threshold for top-k, a mutex-guarded window of accepted points for
+//!    (dynamic) skylines,
 //! 4. merges local results by the canonical `(score, tid)` key.
 //!
 //! Results are **identical to the serial engines** — same tuples, same
@@ -24,18 +26,16 @@
 //! The parallel engines do not produce `b_list`/`d_list` state: incremental
 //! drill-down and roll-up (§V-C) remain a serial-engine feature.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
 use pcube_cube::{normalize, Selection};
 use pcube_rtree::{DecodedEntry, Mbr, Path};
-use pcube_storage::PageId;
 
 use crate::pcube::PCubeDb;
-use crate::query::hull::{monotone_chain, strictly_inside_hull};
-use crate::query::{dominates, Candidate, CandidateHeap, QueryStats};
+use crate::query::hull::monotone_chain;
+use crate::query::kernel::{
+    run_kernel, HullLogic, SharedBound, SharedWindow, SkylineLogic, TopKLogic,
+};
+use crate::query::{dominates, Candidate, CandidateHeap, QueryStats, ResultEntry};
 use crate::rank::{MinCoordSum, RankingFunction};
-use crate::store::BooleanProbe;
 
 /// How a parallel query fans out.
 #[derive(Debug, Clone, Copy)]
@@ -99,52 +99,6 @@ pub struct ParHullOutcome {
     pub stats: QueryStats,
 }
 
-/// Monotone f64 → u64 mapping: preserves `<` across the full range
-/// (including negatives), so an atomic `fetch_min` on the mapped bits is an
-/// atomic min on the floats.
-#[inline]
-fn f64_to_ordered(x: f64) -> u64 {
-    let b = x.to_bits();
-    if b >> 63 == 1 {
-        !b
-    } else {
-        b | (1 << 63)
-    }
-}
-
-#[inline]
-fn ordered_to_f64(k: u64) -> f64 {
-    if k >> 63 == 1 {
-        f64::from_bits(k & !(1 << 63))
-    } else {
-        f64::from_bits(!k)
-    }
-}
-
-/// The shared top-k pruning bound: an upper bound on the global k-th best
-/// score, stored as order-preserving f64 bits so workers update it with a
-/// lock-free `fetch_min`. The bound only ever decreases and stays ≥ the
-/// true k-th score (each worker publishes its *local* k-th best, and any
-/// local k-th ≥ the global k-th), so pruning `score > bound` is sound;
-/// ties at the bound are kept and resolved by the deterministic merge.
-struct SharedBound(AtomicU64);
-
-impl SharedBound {
-    fn unbounded() -> Self {
-        SharedBound(AtomicU64::new(f64_to_ordered(f64::INFINITY)))
-    }
-
-    #[inline]
-    fn get(&self) -> f64 {
-        ordered_to_f64(self.0.load(Ordering::Relaxed))
-    }
-
-    #[inline]
-    fn lower_to(&self, candidate: f64) {
-        self.0.fetch_min(f64_to_ordered(candidate), Ordering::Relaxed);
-    }
-}
-
 /// Per-worker execution tallies folded into one [`QueryStats`].
 #[derive(Default, Clone, Copy)]
 struct WorkerStats {
@@ -165,6 +119,7 @@ fn merge_worker_stats(root_children: usize, locals: &[WorkerStats]) -> QueryStat
         partials_loaded: locals.iter().map(|l| l.partials_loaded).sum(),
         io: Default::default(),
         cpu_seconds: 0.0,
+        plan: None,
     }
 }
 
@@ -210,24 +165,6 @@ fn deal(seeds: Vec<Seed>, workers: usize) -> Vec<Vec<Seed>> {
     groups
 }
 
-/// Verifies a candidate tuple against the base table when the probe is
-/// lossy (Bloom filters of §VII, or a cursor degraded by a storage
-/// failure) — the same rule every serial engine applies before a tuple may
-/// join a result.
-#[inline]
-fn passes_lossy_check(
-    db: &PCubeDb,
-    probe: &BooleanProbe<'_>,
-    selection: &Selection,
-    tid: u64,
-) -> bool {
-    if !probe.is_lossy() || selection.is_empty() {
-        return true;
-    }
-    let codes = db.relation().fetch(tid);
-    selection.iter().all(|p| codes[p.dim] == p.value)
-}
-
 // ---------------------------------------------------------------------------
 // Top-k
 // ---------------------------------------------------------------------------
@@ -254,7 +191,7 @@ pub fn par_topk_query(
     let groups = deal(seeds, opts.workers);
 
     let bound = SharedBound::unbounded();
-    type Local = (Vec<(f64, u64, Vec<f64>)>, WorkerStats);
+    type Local = (Vec<ResultEntry>, WorkerStats);
     let locals: Vec<Local> = std::thread::scope(|scope| {
         let handles: Vec<_> = groups
             .into_iter()
@@ -270,9 +207,8 @@ pub fn par_topk_query(
 
     // Merge by the canonical (score, tid) key — exactly the serial heap's
     // tuple tie-break — and keep the k best.
-    let mut merged: Vec<(f64, u64, Vec<f64>)> =
-        locals.iter().flat_map(|(res, _)| res.iter().cloned()).collect();
-    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut merged: Vec<ResultEntry> = locals.iter().flat_map(|(res, _)| res.to_vec()).collect();
+    merged.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     merged.truncate(k);
 
     let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
@@ -280,12 +216,12 @@ pub fn par_topk_query(
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     ParTopKOutcome {
-        topk: merged.into_iter().map(|(score, tid, coords)| (tid, coords, score)).collect(),
+        topk: merged.into_iter().map(|r| (r.tid, r.coords, r.score)).collect(),
         stats,
     }
 }
 
-/// One top-k worker: best-first search over its seed subtrees, keeping the
+/// One top-k worker: the shared kernel over its seed subtrees, keeping the
 /// k best `(score, tid)` tuples seen and pruning against the shared bound.
 fn topk_worker(
     db: &PCubeDb,
@@ -295,122 +231,43 @@ fn topk_worker(
     eager: bool,
     seeds: Vec<Seed>,
     bound: &SharedBound,
-) -> (Vec<(f64, u64, Vec<f64>)>, WorkerStats) {
+) -> (Vec<ResultEntry>, WorkerStats) {
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
     for (score, cand) in seeds {
         heap.push(score, cand);
     }
-    // Local k-best, ascending (score, tid).
-    let mut best: Vec<(f64, u64, Vec<f64>)> = Vec::with_capacity(k + 1);
-    let mut stats = WorkerStats::default();
-
-    while let Some(entry) = heap.pop() {
-        // The heap pops ascending scores: once the smallest outstanding
-        // lower bound exceeds the shared threshold, nothing left can enter
-        // the global top-k. Strictly greater — ties at the bound are kept.
-        if entry.score > bound.get() {
-            break;
-        }
-        if !probe.contains(entry.cand.path()) {
-            continue;
-        }
-        match entry.cand {
-            Candidate::Tuple { tid, path: _, coords } => {
-                if !passes_lossy_check(db, &probe, selection, tid) {
-                    continue;
-                }
-                let at = best
-                    .binary_search_by(|(s, t, _)| s.total_cmp(&entry.score).then(t.cmp(&tid)))
-                    .unwrap_or_else(|i| i);
-                if at < k {
-                    best.insert(at, (entry.score, tid, coords));
-                    best.truncate(k);
-                    if best.len() == k {
-                        bound.lower_to(best[k - 1].0);
-                    }
-                }
-            }
-            Candidate::Node { pid, path, .. } => {
-                let node = db.rtree().read_node(pid);
-                stats.nodes_expanded += 1;
-                for (slot, child) in node.entries {
-                    let child_path = path.child(slot as u16 + 1);
-                    let (cand, score) = match child {
-                        DecodedEntry::Tuple { tid, coords } => {
-                            let s = f.score(&coords);
-                            (Candidate::Tuple { tid, path: child_path, coords }, s)
-                        }
-                        DecodedEntry::Child { child, mbr } => {
-                            let s = f.lower_bound(&mbr);
-                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
-                        }
-                    };
-                    if score > bound.get() || !probe.contains(cand.path()) {
-                        continue;
-                    }
-                    heap.push(score, cand);
-                }
-            }
-        }
-    }
-    stats.peak_heap = heap.peak_size();
-    stats.partials_loaded = probe.partials_loaded();
-    (best, stats)
+    let mut logic = TopKLogic::shared(k, f, bound);
+    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let stats = WorkerStats {
+        nodes_expanded,
+        peak_heap: heap.peak_size(),
+        partials_loaded: probe.partials_loaded(),
+    };
+    (logic.into_result(), stats)
 }
 
 // ---------------------------------------------------------------------------
 // Skyline (static and dynamic share one worker)
 // ---------------------------------------------------------------------------
 
-/// The shared skyline window: points accepted so far by *any* worker, in
-/// domination space. Pruning with any entry is sound even if the entry is
-/// later found dominated itself (domination is transitive and every entry
-/// is a qualifying data point), so workers read snapshots without any
-/// coordination beyond the mutex.
-struct SharedWindow {
-    points: Mutex<Vec<Vec<f64>>>,
-}
-
-impl SharedWindow {
-    fn new() -> Self {
-        SharedWindow { points: Mutex::new(Vec::new()) }
-    }
-
-    fn push(&self, coords: Vec<f64>) {
-        self.points.lock().expect("skyline window lock poisoned").push(coords);
-    }
-
-    /// Appends entries `[from..]` to `into`; returns the new high-water
-    /// mark, making each periodic refresh an incremental copy rather than a
-    /// full clone.
-    fn refresh(&self, from: usize, into: &mut Vec<Vec<f64>>) -> usize {
-        let points = self.points.lock().expect("skyline window lock poisoned");
-        for p in &points[from.min(points.len())..] {
-            into.push(p.clone());
-        }
-        points.len()
-    }
-}
-
-/// Heap pops between shared-window refreshes. Purely a performance knob:
-/// staleness only costs extra traversal, never correctness (the merge
-/// cross-filters every local result against every other).
-const WINDOW_REFRESH_INTERVAL: u64 = 32;
-
 /// A skyline worker's accepted tuple:
 /// `(score, tid, domination coords, original coords)`.
 type SkyPoint = (f64, u64, Vec<f64>, Vec<f64>);
 
-/// One (dynamic) skyline worker: BBS over its seed subtrees with local +
-/// shared-window domination pruning.
-///
-/// `transform` maps original coordinates into domination space at full
-/// dimensionality (identity for static skylines, `x ↦ |x − q|` for dynamic
-/// ones); `corner` gives the attainable per-dimension lower corner of an
-/// MBR in that space (`mbr.min` resp. the clamped distance corner) — the
-/// exact functions the serial engines prune with.
-#[allow(clippy::too_many_arguments)]
+/// The domination space a skyline worker prunes in: `transform` maps
+/// original coordinates into it at full dimensionality (identity for
+/// static skylines, `x ↦ |x − q|` for dynamic ones); `corner` gives the
+/// attainable per-dimension lower corner of an MBR there (`mbr.min` resp.
+/// the clamped distance corner) — the exact functions the serial engines
+/// prune with.
+struct DomSpace<'a> {
+    transform: &'a (dyn Fn(&[f64]) -> Vec<f64> + Sync),
+    corner: &'a (dyn Fn(&Mbr) -> Vec<f64> + Sync),
+}
+
+/// One (dynamic) skyline worker: the shared kernel over its seed subtrees
+/// with local + shared-window domination pruning in `space`.
 fn skyline_worker(
     db: &PCubeDb,
     selection: &Selection,
@@ -418,83 +275,22 @@ fn skyline_worker(
     eager: bool,
     seeds: Vec<Seed>,
     window: &SharedWindow,
-    transform: &(dyn Fn(&[f64]) -> Vec<f64> + Sync),
-    corner: &(dyn Fn(&Mbr) -> Vec<f64> + Sync),
+    space: DomSpace<'_>,
 ) -> (Vec<SkyPoint>, WorkerStats) {
-    let f = MinCoordSum::new(pref_dims.to_vec());
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
     for (score, cand) in seeds {
         heap.push(score, cand);
     }
-    let mut result: Vec<SkyPoint> = Vec::new();
-    // Local mirror of the shared window (other workers' accepted points).
-    let mut seen: Vec<Vec<f64>> = Vec::new();
-    let mut seen_mark = 0usize;
-    let mut pops = 0u64;
-    let mut stats = WorkerStats::default();
-
-    let dominated = |p: &[f64], result: &[SkyPoint], seen: &[Vec<f64>]| {
-        result.iter().any(|(_, _, r, _)| dominates(r, p, pref_dims))
-            || seen.iter().any(|r| dominates(r, p, pref_dims))
+    let mut logic =
+        SkylineLogic::new(pref_dims, Some(space.transform), Some(space.corner), Some(window));
+    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let stats = WorkerStats {
+        nodes_expanded,
+        peak_heap: heap.peak_size(),
+        partials_loaded: probe.partials_loaded(),
     };
-
-    while let Some(entry) = heap.pop() {
-        pops += 1;
-        if pops.is_multiple_of(WINDOW_REFRESH_INTERVAL) {
-            seen_mark = window.refresh(seen_mark, &mut seen);
-        }
-        let dom_point: Vec<f64> = match &entry.cand {
-            Candidate::Tuple { coords, .. } => transform(coords),
-            Candidate::Node { mbr, .. } => corner(mbr),
-        };
-        if dominated(&dom_point, &result, &seen) {
-            continue;
-        }
-        if !probe.contains(entry.cand.path()) {
-            continue;
-        }
-        match entry.cand {
-            Candidate::Tuple { tid, path: _, coords } => {
-                if !passes_lossy_check(db, &probe, selection, tid) {
-                    continue;
-                }
-                window.push(dom_point.clone());
-                result.push((entry.score, tid, dom_point, coords));
-            }
-            Candidate::Node { pid, path, .. } => {
-                let node = db.rtree().read_node(pid);
-                stats.nodes_expanded += 1;
-                for (slot, child) in node.entries {
-                    let child_path = path.child(slot as u16 + 1);
-                    match child {
-                        DecodedEntry::Tuple { tid, coords } => {
-                            let t = transform(&coords);
-                            if dominated(&t, &result, &seen) || !probe.contains(&child_path) {
-                                continue;
-                            }
-                            let score = f.score(&t);
-                            heap.push(score, Candidate::Tuple { tid, path: child_path, coords });
-                        }
-                        DecodedEntry::Child { child, mbr } => {
-                            let c = corner(&mbr);
-                            if dominated(&c, &result, &seen) || !probe.contains(&child_path) {
-                                continue;
-                            }
-                            let score = f.score(&c);
-                            heap.push(
-                                score,
-                                Candidate::Node { pid: child, path: child_path, mbr },
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-    stats.peak_heap = heap.peak_size();
-    stats.partials_loaded = probe.partials_loaded();
-    (result, stats)
+    (logic.into_points(), stats)
 }
 
 /// Cross-filters worker-local skylines against each other and sorts by the
@@ -550,7 +346,7 @@ pub fn par_skyline_query(
             .into_iter()
             .map(|group| {
                 let (window, selection) = (&window, &selection);
-                let (transform, corner) = (&transform, &corner);
+                let space = DomSpace { transform: &transform, corner: &corner };
                 scope.spawn(move || {
                     skyline_worker(
                         db,
@@ -559,8 +355,7 @@ pub fn par_skyline_query(
                         opts.eager_assembly,
                         group,
                         window,
-                        transform,
-                        corner,
+                        space,
                     )
                 })
             })
@@ -633,7 +428,7 @@ pub fn par_dynamic_skyline_query(
             .into_iter()
             .map(|group| {
                 let (window, selection) = (&window, &selection);
-                let (transform, corner) = (&transform, &corner);
+                let space = DomSpace { transform: &transform, corner: &corner };
                 scope.spawn(move || {
                     skyline_worker(
                         db,
@@ -642,8 +437,7 @@ pub fn par_dynamic_skyline_query(
                         opts.eager_assembly,
                         group,
                         window,
-                        transform,
-                        corner,
+                        space,
                     )
                 })
             })
@@ -683,8 +477,9 @@ pub fn par_convex_hull_query(
         return ParHullOutcome { hull: out.hull, stats: out.stats };
     }
 
-    // A DFS engine: seed scores are unused, so zero them.
-    let seeds = root_seeds(db, &|_| 0.0, &|_| 0.0);
+    // The hull kernel's ordering: tuples surface immediately, nodes expand
+    // deepest-first (every root child is at depth 1).
+    let seeds = root_seeds(db, &|_| f64::NEG_INFINITY, &|_| -1.0);
     let root_children = seeds.len();
     let groups = deal(seeds, opts.workers);
 
@@ -710,8 +505,8 @@ pub fn par_convex_hull_query(
     ParHullOutcome { hull, stats }
 }
 
-/// One hull worker: the serial signature-pruned DFS over its subtrees,
-/// returning the vertices of its local hull.
+/// One hull worker: the shared kernel with hull geometry over its
+/// subtrees, returning the vertices of its local hull.
 fn hull_worker(
     db: &PCubeDb,
     selection: &Selection,
@@ -720,77 +515,24 @@ fn hull_worker(
     seeds: Vec<Seed>,
 ) -> (Vec<(u64, [f64; 2])>, WorkerStats) {
     let mut probe = db.pcube().probe(selection, eager);
-    let mut stats = WorkerStats::default();
-    let mut points: Vec<(u64, [f64; 2])> = Vec::new();
-    let mut hull: Vec<(u64, [f64; 2])> = Vec::new();
-    let mut stack: Vec<(PageId, Path)> = Vec::new();
-
-    // Seed candidates: qualifying tuples join the point set directly,
-    // qualifying nodes the DFS stack.
-    for (_, cand) in seeds {
-        match cand {
-            Candidate::Tuple { tid, path, coords } => {
-                if probe.contains(&path) && passes_lossy_check(db, &probe, selection, tid) {
-                    points.push((tid, [coords[dims.0], coords[dims.1]]));
-                }
-            }
-            Candidate::Node { pid, path, .. } => {
-                if probe.contains(&path) {
-                    stack.push((pid, path));
-                }
-            }
-        }
+    let mut heap = CandidateHeap::new();
+    for (score, cand) in seeds {
+        heap.push(score, cand);
     }
-
-    while let Some((pid, path)) = stack.pop() {
-        let node = db.rtree().read_node(pid);
-        stats.nodes_expanded += 1;
-        for (slot, entry) in node.entries {
-            let child_path = path.child(slot as u16 + 1);
-            match entry {
-                DecodedEntry::Tuple { tid, coords } => {
-                    let p = [coords[dims.0], coords[dims.1]];
-                    if strictly_inside_hull(&hull, p) {
-                        continue;
-                    }
-                    if !probe.contains(&child_path) {
-                        continue;
-                    }
-                    if !passes_lossy_check(db, &probe, selection, tid) {
-                        continue;
-                    }
-                    points.push((tid, p));
-                    // Rebuild the running hull occasionally to keep the
-                    // inside-test sharp without paying O(n log n) per point.
-                    if points.len().is_power_of_two() {
-                        hull = monotone_chain(&points);
-                    }
-                }
-                DecodedEntry::Child { child, mbr } => {
-                    let corners = [
-                        [mbr.min[dims.0], mbr.min[dims.1]],
-                        [mbr.min[dims.0], mbr.max[dims.1]],
-                        [mbr.max[dims.0], mbr.min[dims.1]],
-                        [mbr.max[dims.0], mbr.max[dims.1]],
-                    ];
-                    if corners.iter().all(|&c| strictly_inside_hull(&hull, c)) {
-                        continue; // geometric prune
-                    }
-                    if !probe.contains(&child_path) {
-                        continue;
-                    }
-                    stack.push((child, child_path));
-                }
-            }
-        }
-    }
-    stats.partials_loaded = probe.partials_loaded();
-    (monotone_chain(&points), stats)
+    let mut logic = HullLogic::new(dims);
+    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let stats = WorkerStats {
+        nodes_expanded,
+        peak_heap: heap.peak_size(),
+        partials_loaded: probe.partials_loaded(),
+    };
+    (monotone_chain(&logic.into_points()), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::kernel::{f64_to_ordered, ordered_to_f64};
 
     #[test]
     fn ordered_f64_mapping_is_monotone() {

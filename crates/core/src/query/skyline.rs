@@ -2,21 +2,11 @@
 //! roll-up (§V-C).
 
 use pcube_cube::{normalize, Predicate, Selection};
-use pcube_rtree::{DecodedEntry, Path};
 
 use crate::pcube::PCubeDb;
-use crate::query::{dominates, seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats};
-use crate::rank::{MinCoordSum, RankingFunction};
+use crate::query::kernel::{run_kernel, SavedLists, SkylineLogic};
+use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats, ResultEntry};
 use crate::store::BooleanProbe;
-
-/// One discovered skyline object.
-#[derive(Debug, Clone)]
-struct ResultEntry {
-    tid: u64,
-    coords: Vec<f64>,
-    path: Path,
-    score: f64,
-}
 
 /// The three lists Algorithm 1 maintains, kept after the query so that
 /// drill-down and roll-up can rebuild the candidate heap without starting
@@ -193,85 +183,21 @@ fn run(
     started: std::time::Instant,
     before: pcube_storage::IoSnapshot,
 ) -> QueryStats {
-    let f = MinCoordSum::new(state.pref_dims.clone());
     let mut stats = QueryStats::default();
-
-    while let Some(entry) = heap.pop() {
-        // prune(): domination first (lines 14–16), then boolean (17–19).
-        if dominated_entry(&entry, state) {
-            state.d_list.push(entry);
-            continue;
-        }
-        if !probe.contains(entry.cand.path()) {
-            state.b_list.push(entry);
-            continue;
-        }
-        match entry.cand {
-            Candidate::Tuple { tid, path, coords } => {
-                // A lossy probe (Bloom, §VII) may pass non-qualifying
-                // tuples; verify against the base table (one counted random
-                // access, like minimal probing) before emitting.
-                if probe.is_lossy() && !state.selection.is_empty() {
-                    let codes = db.relation().fetch(tid);
-                    if !state.selection.iter().all(|p| codes[p.dim] == p.value) {
-                        state.b_list.push(HeapEntry {
-                            score: entry.score,
-                            seq: entry.seq,
-                            cand: Candidate::Tuple { tid, path, coords },
-                        });
-                        continue;
-                    }
-                }
-                let score = entry.score;
-                state.result.push(ResultEntry { tid, coords, path, score });
-            }
-            Candidate::Node { pid, path, .. } => {
-                let node = db.rtree().read_node(pid);
-                stats.nodes_expanded += 1;
-                for (slot, child) in node.entries {
-                    let child_path = path.child(slot as u16 + 1);
-                    let (cand, score) = match child {
-                        DecodedEntry::Tuple { tid, coords } => {
-                            let s = f.score(&coords);
-                            (Candidate::Tuple { tid, path: child_path, coords }, s)
-                        }
-                        DecodedEntry::Child { child, mbr } => {
-                            let s = f.lower_bound(&mbr);
-                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
-                        }
-                    };
-                    // Lines 10–12: prune before inserting to keep the heap
-                    // (and memory) small.
-                    let e = HeapEntry { score, seq: 0, cand };
-                    if dominated_entry(&e, state) {
-                        state.d_list.push(e);
-                    } else if !probe.contains(e.cand.path()) {
-                        state.b_list.push(e);
-                    } else {
-                        heap.push(e.score, e.cand);
-                    }
-                }
-            }
-        }
-    }
+    let mut lists = SavedLists {
+        b_list: std::mem::take(&mut state.b_list),
+        d_list: std::mem::take(&mut state.d_list),
+    };
+    let mut logic = SkylineLogic::new(&state.pref_dims, None, None, None);
+    stats.nodes_expanded =
+        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists));
+    state.result = logic.into_result();
+    state.b_list = lists.b_list;
+    state.d_list = lists.d_list;
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     stats
-}
-
-/// Domination pruning: a tuple is pruned if some discovered skyline point
-/// dominates it; a node is pruned if some skyline point dominates its lower
-/// corner (then it dominates everything inside — the BBS rule).
-fn dominated_entry(entry: &HeapEntry, state: &SkylineState) -> bool {
-    let probe_point: &[f64] = match &entry.cand {
-        Candidate::Tuple { coords, .. } => coords,
-        Candidate::Node { mbr, .. } => &mbr.min,
-    };
-    state
-        .result
-        .iter()
-        .any(|r| dominates(&r.coords, probe_point, &state.pref_dims))
 }

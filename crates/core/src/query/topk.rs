@@ -2,21 +2,12 @@
 //! ranking function's lower bound, with signature-based boolean pruning.
 
 use pcube_cube::{normalize, Predicate, Selection};
-use pcube_rtree::{DecodedEntry, Path};
 
 use crate::pcube::PCubeDb;
-use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats};
+use crate::query::kernel::{run_kernel, SavedLists, TopKLogic};
+use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats, ResultEntry};
 use crate::rank::RankingFunction;
 use crate::store::BooleanProbe;
-
-/// One top-k result.
-#[derive(Debug, Clone)]
-struct ResultEntry {
-    tid: u64,
-    coords: Vec<f64>,
-    path: Path,
-    score: f64,
-}
 
 /// Saved lists for incremental drill-down/roll-up of a top-k query. The
 /// `d_list` holds the remaining search frontier at the moment the k-th
@@ -198,62 +189,16 @@ fn run(
     before: pcube_storage::IoSnapshot,
 ) -> QueryStats {
     let mut stats = QueryStats::default();
-
-    while let Some(entry) = heap.pop() {
-        if state.result.len() >= state.k {
-            // Preference pruning: everything still queued has a lower bound
-            // no better than the k-th result. Save the frontier for
-            // drill-down continuation and stop.
-            state.d_list.push(entry);
-            state.d_list.extend(heap.drain());
-            break;
-        }
-        if !probe.contains(entry.cand.path()) {
-            state.b_list.push(entry);
-            continue;
-        }
-        match entry.cand {
-            Candidate::Tuple { tid, path, coords } => {
-                // Lossy probes (Bloom, §VII) require base-table verification
-                // of candidate results, as in minimal probing.
-                if probe.is_lossy() && !state.selection.is_empty() {
-                    let codes = db.relation().fetch(tid);
-                    if !state.selection.iter().all(|p| codes[p.dim] == p.value) {
-                        state.b_list.push(HeapEntry {
-                            score: entry.score,
-                            seq: entry.seq,
-                            cand: Candidate::Tuple { tid, path, coords },
-                        });
-                        continue;
-                    }
-                }
-                let score = entry.score;
-                state.result.push(ResultEntry { tid, coords, path, score });
-            }
-            Candidate::Node { pid, path, .. } => {
-                let node = db.rtree().read_node(pid);
-                stats.nodes_expanded += 1;
-                for (slot, child) in node.entries {
-                    let child_path = path.child(slot as u16 + 1);
-                    let (cand, score) = match child {
-                        DecodedEntry::Tuple { tid, coords } => {
-                            let s = f.score(&coords);
-                            (Candidate::Tuple { tid, path: child_path, coords }, s)
-                        }
-                        DecodedEntry::Child { child, mbr } => {
-                            let s = f.lower_bound(&mbr);
-                            (Candidate::Node { pid: child, path: child_path, mbr }, s)
-                        }
-                    };
-                    if !probe.contains(cand.path()) {
-                        state.b_list.push(HeapEntry { score, seq: 0, cand });
-                    } else {
-                        heap.push(score, cand);
-                    }
-                }
-            }
-        }
-    }
+    let mut lists = SavedLists {
+        b_list: std::mem::take(&mut state.b_list),
+        d_list: std::mem::take(&mut state.d_list),
+    };
+    let mut logic = TopKLogic::serial(state.k, f);
+    stats.nodes_expanded =
+        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists));
+    state.result = logic.into_result();
+    state.b_list = lists.b_list;
+    state.d_list = lists.d_list;
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();

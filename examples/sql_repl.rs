@@ -76,6 +76,11 @@ fn main() {
                     out.stats.io.reads(IoCategory::SignaturePage),
                     out.stats.peak_heap
                 );
+                if let Some(plan) = sql::explain_plan(&out.stats) {
+                    for line in plan.lines() {
+                        println!("  {line}");
+                    }
+                }
             }
         }
     }

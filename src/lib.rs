@@ -65,12 +65,16 @@ pub use pcube_storage as storage;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use pcube_baselines::{
+        BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
+    };
     pub use pcube_core::{
         convex_hull_query, dynamic_skyline_query, par_convex_hull_query,
         par_dynamic_skyline_query, par_skyline_query, par_topk_query, skyline_drill_down,
-        skyline_query, skyline_roll_up, topk_drill_down, topk_query, topk_roll_up, LinearFn,
-        MinCoordSum, PCube, PCubeConfig, PCubeDb, ParallelOptions, QueryStats, RankingFunction,
-        Signature, SkylineOutcome, TopKOutcome, WeightedDistanceFn,
+        skyline_query, skyline_roll_up, topk_drill_down, topk_query, topk_roll_up, CostEstimate,
+        EngineKind, Executor, LinearFn, MinCoordSum, PCube, PCubeConfig, PCubeDb, PCubeExecutor,
+        ParallelOptions, PlanDecision, Planner, QuerySpec, QueryStats, RankingFunction, Signature,
+        SkylineOutcome, TopKOutcome, WeightedDistanceFn,
     };
     pub use pcube_cube::{
         CellKey, CuboidMask, MaterializationPlan, Predicate, Relation, Schema, Selection,

@@ -6,7 +6,14 @@
 //!
 //! SELECT TOP 10 FROM r WHERE type = 'sedan'
 //!     ORDER BY (price - 0.3)^2 + 0.5 * (mileage - 0.15)^2
+//!
+//! EXPLAIN SELECT TOP 10 FROM r WHERE type = 'sedan' ORDER BY price
 //! ```
+//!
+//! An `EXPLAIN` prefix routes the statement through the §VI cost-based
+//! planner: the cheapest engine (P-Cube or a baseline) answers the query,
+//! and the decision is recorded in the outcome's `stats.plan` (render it
+//! with [`explain_plan`]).
 //!
 //! Ranking expressions are sums of terms, each either linear
 //! (`[w *] dim`) or squared-distance (`[w *] (dim - target)^2` with
@@ -14,7 +21,13 @@
 //! evaluation's linear functions while guaranteeing a derivable lower bound
 //! (§III's requirement).
 
-use pcube_core::{skyline_query, topk_query, PCubeDb, QueryStats, RankingFunction};
+use pcube_baselines::{
+    BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
+};
+use pcube_core::{
+    skyline_query, topk_query, Executor, PCubeDb, PCubeExecutor, Planner, QueryStats,
+    RankingFunction, SkylineRows, TopKRows,
+};
 use pcube_cube::{Predicate, Selection};
 use pcube_rtree::Mbr;
 use std::fmt;
@@ -264,9 +277,31 @@ impl Parser {
     }
 }
 
+/// A parsed statement: the query plus whether it was prefixed with
+/// `EXPLAIN` (run through the §VI cost-based planner, with the decision
+/// reported in the outcome's stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlStatement {
+    /// `true` when the statement began with `EXPLAIN`.
+    pub explain: bool,
+    /// The query itself.
+    pub query: SqlQuery,
+}
+
 /// Parses one statement of the paper's query notation.
 pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
+    Ok(parse_statement(sql)?.query)
+}
+
+/// Parses one statement, honoring an optional leading `EXPLAIN`.
+pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
     let mut p = Parser { tokens: lex(sql)?, pos: 0 };
+    let explain = p.keyword("explain");
+    let query = parse_query(&mut p)?;
+    Ok(SqlStatement { explain, query })
+}
+
+fn parse_query(p: &mut Parser) -> Result<SqlQuery, SqlError> {
     p.expect_keyword("select")?;
     let query = if p.keyword("skyline") || p.keyword("skylines") {
         p.expect_keyword("from")?;
@@ -415,8 +450,15 @@ fn decode_row(db: &PCubeDb, tid: u64, coords: &[f64], score: Option<f64>) -> Res
 }
 
 /// Parses and runs one statement against a P-Cube database.
+///
+/// A statement prefixed with `EXPLAIN` is dispatched through the §VI
+/// cost-based planner over every engine (P-Cube and the three baselines):
+/// the rows come back from whichever engine the planner picked, and the
+/// decision — chosen engine, selectivity, per-engine block estimates — is
+/// recorded in `stats.plan` (render it with [`explain_plan`]).
 pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
-    match parse(sql)? {
+    let stmt = parse_statement(sql)?;
+    match stmt.query {
         SqlQuery::Skyline { predicates, pref_dims } => {
             let selection = bind_selection(db, &predicates)?;
             let dims: Vec<usize> = if pref_dims.is_empty() {
@@ -427,14 +469,18 @@ pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
                     .map(|n| bind_pref_dim(db, n))
                     .collect::<Result<Vec<_>, _>>()?
             };
-            let out = skyline_query(db, &selection, &dims, false);
+            let (skyline, stats) = if stmt.explain {
+                planned_skyline(db, &selection, &dims)?
+            } else {
+                let out = skyline_query(db, &selection, &dims, false);
+                (out.skyline, out.stats)
+            };
             Ok(SqlOutcome {
-                rows: out
-                    .skyline
+                rows: skyline
                     .iter()
                     .map(|(tid, coords)| decode_row(db, *tid, coords, None))
                     .collect(),
-                stats: out.stats,
+                stats,
             })
         }
         SqlQuery::TopK { k, predicates, ranking } => {
@@ -449,17 +495,80 @@ pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
                 })
                 .collect::<Result<Vec<_>, SqlError>>()?;
             let f = CompiledRanking { terms };
-            let out = topk_query(db, &selection, k, &f, false);
+            let (topk, stats) = if stmt.explain {
+                planned_topk(db, &selection, k, &f)?
+            } else {
+                let out = topk_query(db, &selection, k, &f, false);
+                (out.topk, out.stats)
+            };
             Ok(SqlOutcome {
-                rows: out
-                    .topk
+                rows: topk
                     .iter()
                     .map(|(tid, coords, score)| decode_row(db, *tid, coords, Some(*score)))
                     .collect(),
-                stats: out.stats,
+                stats,
             })
         }
     }
+}
+
+/// Runs a top-k statement through the planner over all four engines.
+fn planned_topk(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+) -> Result<(TopKRows, QueryStats), SqlError> {
+    let planner = Planner::new(db);
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    let boolean = BooleanFirstExecutor::new(&indexes);
+    let merge = IndexMergeExecutor::new(&indexes);
+    let executors: Vec<&dyn Executor> =
+        vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
+    db.plan_and_run_topk(&planner, &executors, selection, k, f)
+        .map_err(|e| SqlError(e.to_string()))
+}
+
+/// Runs a skyline statement through the planner over the engines that
+/// support skylines (index-merge is top-k only and excluded by the trait).
+fn planned_skyline(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+) -> Result<(SkylineRows, QueryStats), SqlError> {
+    let planner = Planner::new(db);
+    let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+    let boolean = BooleanFirstExecutor::new(&indexes);
+    let merge = IndexMergeExecutor::new(&indexes);
+    let executors: Vec<&dyn Executor> =
+        vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
+    db.plan_and_run_skyline(&planner, &executors, selection, pref_dims)
+        .map_err(|e| SqlError(e.to_string()))
+}
+
+/// Renders the planner decision recorded in `stats` as an `EXPLAIN`-style
+/// report, one line per candidate engine; `None` when the statement ran
+/// without the planner.
+pub fn explain_plan(stats: &QueryStats) -> Option<String> {
+    let plan = stats.plan.as_ref()?;
+    let mut out = format!(
+        "plan: {} (selectivity {:.4}, ~{:.0} qualifying)\n",
+        plan.chosen.name(),
+        plan.selectivity,
+        plan.qualifying_est,
+    );
+    for e in &plan.estimates {
+        out.push_str(&format!(
+            "  {} {:<16} est {:>9.1} blocks ({:>9.1} random + {:>7.1} sequential, ~{:.4}s)\n",
+            if e.engine == plan.chosen { "->" } else { "  " },
+            e.engine.name(),
+            e.random_blocks + e.sequential_blocks,
+            e.random_blocks,
+            e.sequential_blocks,
+            e.seconds,
+        ));
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -561,5 +670,16 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive() {
         assert!(parse("SeLeCt SkYlInE fRoM r").is_ok());
+    }
+
+    #[test]
+    fn parses_explain_prefix() {
+        let stmt = parse_statement("explain select top 3 from r order by price").unwrap();
+        assert!(stmt.explain);
+        assert!(matches!(stmt.query, SqlQuery::TopK { k: 3, .. }));
+        let stmt = parse_statement("select skyline from r").unwrap();
+        assert!(!stmt.explain);
+        // `EXPLAIN` alone is not a statement.
+        assert!(parse_statement("explain").is_err());
     }
 }

@@ -7,10 +7,13 @@
 //! canonical `(score, tid)` result order is what makes that possible.
 
 use pcube::baselines::reference::{bnl_skyline, naive_topk};
+use pcube::baselines::{
+    BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
+};
 use pcube::core::{
     convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
-    par_skyline_query, par_topk_query, skyline_query, topk_query, LinearFn, PCubeConfig, PCubeDb,
-    ParallelOptions, RankingFunction,
+    par_skyline_query, par_topk_query, skyline_query, topk_query, Executor, LinearFn, PCubeConfig,
+    PCubeDb, PCubeExecutor, ParallelOptions, Planner, RankingFunction,
 };
 use pcube::cube::{Predicate, Relation, Schema, Selection};
 use proptest::prelude::*;
@@ -215,6 +218,62 @@ proptest! {
         for workers in WORKER_COUNTS {
             let par = par_convex_hull_query(&db, &sel, (0, 1), ParallelOptions::with_workers(workers));
             prop_assert_eq!(&par.hull, &serial.hull, "workers={}", workers);
+        }
+    }
+
+    /// Whichever engine the §VI planner picks, the answer must be exactly
+    /// the oracle's — the planner changes cost, never correctness — and
+    /// every recorded cost estimate must be finite and positive.
+    #[test]
+    fn planner_chosen_engine_matches_oracle(
+        rows in arb_rows(2, 2, 120),
+        d0 in 0u32..4,
+        d1 in 0u32..4,
+        n_preds in 0usize..=2,
+        k in 1usize..10,
+        w0 in 0.01f64..1.0,
+        w1 in 0.01f64..1.0,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let planner = Planner::new(&db);
+        let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
+        let boolean = BooleanFirstExecutor::new(&indexes);
+        let merge = IndexMergeExecutor::new(&indexes);
+        let executors: Vec<&dyn Executor> =
+            vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
+        let sel: Selection = [Predicate { dim: 0, value: d0 }, Predicate { dim: 1, value: d1 }]
+            [..n_preds]
+            .to_vec();
+
+        let f = LinearFn::new(vec![w0, w1]);
+        let oracle = naive_topk(&qualifying(&rows, &sel), k, &f);
+        let (topk, stats) = db.plan_and_run_topk(&planner, &executors, &sel, k, &f).unwrap();
+        prop_assert_eq!(
+            topk.iter().map(|r| r.0).collect::<Vec<_>>(),
+            oracle.iter().map(|r| r.0).collect::<Vec<_>>(),
+            "planner chose {:?}", stats.plan.as_ref().map(|p| p.chosen)
+        );
+        for (g, e) in topk.iter().zip(&oracle) {
+            prop_assert!((g.2 - e.2).abs() < 1e-9, "score {} vs {}", g.2, e.2);
+        }
+        let plan = stats.plan.expect("planner decision recorded");
+        prop_assert!(!plan.estimates.is_empty());
+        for e in &plan.estimates {
+            prop_assert!(e.blocks().is_finite() && e.blocks() > 0.0, "{:?}", e);
+            prop_assert!(e.seconds.is_finite() && e.seconds > 0.0, "{:?}", e);
+        }
+        prop_assert!((0.0..=1.0).contains(&plan.selectivity));
+
+        let oracle = oracle_skyline(&qualifying(&rows, &sel), &[0, 1]);
+        let (sky, stats) =
+            db.plan_and_run_skyline(&planner, &executors, &sel, &[0, 1]).unwrap();
+        prop_assert_eq!(
+            &sky, &oracle,
+            "planner chose {:?}", stats.plan.as_ref().map(|p| p.chosen)
+        );
+        let plan = stats.plan.expect("planner decision recorded");
+        for e in &plan.estimates {
+            prop_assert!(e.blocks().is_finite() && e.blocks() > 0.0, "{:?}", e);
         }
     }
 
