@@ -8,10 +8,11 @@
 //! pruning against the indexes.
 
 use pcube_bptree::{composite_key, BPlusTree};
-use pcube_core::{PCubeDb, QueryStats, RankingFunction};
+use pcube_core::{CancelToken, PCubeDb, QueryBudget, QueryStats, RankingFunction};
 use pcube_cube::{normalize, Relation, Selection};
 use pcube_storage::{CostModel, IoCategory, Pager};
 
+use crate::domination_first::{apply_trip, make_governor};
 use crate::reference::{naive_topk, sfs_skyline};
 
 /// How the Boolean-first baseline retrieves the qualifying tuples.
@@ -180,20 +181,51 @@ impl BooleanIndexSet {
         pref_dims: &[usize],
         route: SelectRoute,
     ) -> BooleanSkylineOutcome {
+        self.skyline_via_governed(db, selection, pref_dims, route, &QueryBudget::unlimited(), None)
+    }
+
+    /// [`Self::skyline_via`] under a [`QueryBudget`] and optional
+    /// [`CancelToken`]. The selection step is monolithic, so governance is
+    /// phase-granular: one check before the selection and one after. A trip
+    /// yields an empty partial answer (this engine cannot report a sound
+    /// sub-skyline before the preference step ran).
+    pub fn skyline_via_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+        route: SelectRoute,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> BooleanSkylineOutcome {
         let started = std::time::Instant::now();
         let before = db.stats().snapshot();
-        let candidates = self.select(db, selection, &CostModel::default(), route);
-        let peak = candidates.len();
-        let skyline = sfs_skyline(&candidates, pref_dims);
-        BooleanSkylineOutcome {
-            skyline,
-            stats: QueryStats {
-                peak_heap: peak,
+        let mut gov = make_governor(db, budget, cancel);
+        if let Some(reason) = gov.as_mut().and_then(|g| g.check(0)) {
+            let mut stats = QueryStats {
                 io: db.stats().snapshot().since(&before),
                 cpu_seconds: started.elapsed().as_secs_f64(),
                 ..Default::default()
-            },
+            };
+            // invariant: the check above came from this governor.
+            apply_trip(&mut stats, gov.as_ref().expect("governor tripped"), reason, 0, 0, 0);
+            return BooleanSkylineOutcome { skyline: Vec::new(), stats };
         }
+        let candidates = self.select(db, selection, &CostModel::default(), route);
+        let peak = candidates.len();
+        let tripped = gov.as_mut().and_then(|g| g.check(peak));
+        let skyline =
+            if tripped.is_some() { Vec::new() } else { sfs_skyline(&candidates, pref_dims) };
+        let mut stats = QueryStats {
+            peak_heap: peak,
+            io: db.stats().snapshot().since(&before),
+            cpu_seconds: started.elapsed().as_secs_f64(),
+            ..Default::default()
+        };
+        if let (Some(reason), Some(g)) = (tripped, gov.as_ref()) {
+            apply_trip(&mut stats, g, reason, 1, 0, peak as u64);
+        }
+        BooleanSkylineOutcome { skyline, stats }
     }
 
     /// Boolean-first top-k: select then sort (auto route).
@@ -216,20 +248,51 @@ impl BooleanIndexSet {
         f: &dyn RankingFunction,
         route: SelectRoute,
     ) -> BooleanTopKOutcome {
+        self.topk_via_governed(db, selection, k, f, route, &QueryBudget::unlimited(), None)
+    }
+
+    /// [`Self::topk_via`] under a [`QueryBudget`] and optional
+    /// [`CancelToken`] — phase-granular governance like
+    /// [`Self::skyline_via_governed`]; a trip yields an empty partial
+    /// answer (trivially a prefix of the true top-k).
+    #[allow(clippy::too_many_arguments)]
+    pub fn topk_via_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        route: SelectRoute,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> BooleanTopKOutcome {
         let started = std::time::Instant::now();
         let before = db.stats().snapshot();
-        let candidates = self.select(db, selection, &CostModel::default(), route);
-        let peak = candidates.len();
-        let topk = naive_topk(&candidates, k, f);
-        BooleanTopKOutcome {
-            topk,
-            stats: QueryStats {
-                peak_heap: peak,
+        let mut gov = make_governor(db, budget, cancel);
+        if let Some(reason) = gov.as_mut().and_then(|g| g.check(0)) {
+            let mut stats = QueryStats {
                 io: db.stats().snapshot().since(&before),
                 cpu_seconds: started.elapsed().as_secs_f64(),
                 ..Default::default()
-            },
+            };
+            // invariant: the check above came from this governor.
+            apply_trip(&mut stats, gov.as_ref().expect("governor tripped"), reason, 0, 0, 0);
+            return BooleanTopKOutcome { topk: Vec::new(), stats };
         }
+        let candidates = self.select(db, selection, &CostModel::default(), route);
+        let peak = candidates.len();
+        let tripped = gov.as_mut().and_then(|g| g.check(peak));
+        let topk = if tripped.is_some() { Vec::new() } else { naive_topk(&candidates, k, f) };
+        let mut stats = QueryStats {
+            peak_heap: peak,
+            io: db.stats().snapshot().since(&before),
+            cpu_seconds: started.elapsed().as_secs_f64(),
+            ..Default::default()
+        };
+        if let (Some(reason), Some(g)) = (tripped, gov.as_ref()) {
+            apply_trip(&mut stats, g, reason, 1, 0, peak as u64);
+        }
+        BooleanTopKOutcome { topk, stats }
     }
 }
 

@@ -7,12 +7,59 @@
 //! random tuple access by tid (the `DBool` counter of Fig 9). For top-k
 //! queries the same scheme is called **Ranking**.
 
-use pcube_core::query::{Candidate, CandidateHeap};
-use pcube_core::{MinCoordSum, PCubeDb, QueryStats, RankingFunction};
+use pcube_core::query::{Candidate, CandidateHeap, Governor};
+use pcube_core::{
+    CancelToken, MinCoordSum, PCubeDb, Progress, QueryBudget, QueryOutcome, QueryStats,
+    RankingFunction, StopReason,
+};
 use pcube_cube::{normalize, Selection};
 use pcube_rtree::{DecodedEntry, Mbr, Path};
 
 use crate::reference::dominates;
+
+/// Builds the baseline engines' per-query governor, or `None` when the
+/// budget is unlimited and no cancel token is attached (zero per-pop
+/// checks — the ungoverned path is untouched). Mirrors the core engines'
+/// construction: the ledger baseline is the shared counter *now*, so every
+/// block the query touches counts against the budget.
+pub(crate) fn make_governor(
+    db: &PCubeDb,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Option<Governor> {
+    if budget.is_unlimited() && cancel.is_none() {
+        return None;
+    }
+    let mut gov = Governor::new(budget);
+    if let Some(c) = cancel {
+        gov = gov.with_cancel(c.clone());
+    }
+    Some(gov.with_ledger(db.stats().clone(), db.stats().total_reads()))
+}
+
+/// Folds a governor trip into a baseline engine's stats. Call after
+/// `stats.io` is final so `blocks_used` matches the reported I/O.
+pub(crate) fn apply_trip(
+    stats: &mut QueryStats,
+    gov: &Governor,
+    reason: StopReason,
+    pops: u64,
+    results_so_far: usize,
+    frontier: u64,
+) {
+    stats.outcome = QueryOutcome::Partial {
+        reason,
+        progress: Progress {
+            pops,
+            nodes_expanded: stats.nodes_expanded,
+            results_so_far,
+            blocks_used: stats.io.total_reads(),
+            frontier,
+            overshoot_seconds: gov.overshoot_seconds(),
+            max_pop_seconds: gov.max_pop_seconds(),
+        },
+    };
+}
 
 /// BBS skyline with lazy (minimal-probing) boolean verification.
 pub fn bbs_skyline(
@@ -20,16 +67,40 @@ pub fn bbs_skyline(
     selection: &Selection,
     pref_dims: &[usize],
 ) -> (Vec<(u64, Vec<f64>)>, QueryStats) {
+    bbs_skyline_governed(db, selection, pref_dims, &QueryBudget::unlimited(), None)
+}
+
+/// [`bbs_skyline`] under a [`QueryBudget`] and optional [`CancelToken`],
+/// checked cooperatively at pop granularity exactly like the core kernel.
+/// BBS accepts only never-dominated points, so a partial answer is a sound
+/// subset of the full skyline.
+pub fn bbs_skyline_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> (Vec<(u64, Vec<f64>)>, QueryStats) {
     let selection = normalize(selection);
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let f = MinCoordSum::new(pref_dims.to_vec());
     let mut heap = CandidateHeap::new();
     seed_root(db, &mut heap);
     let mut result: Vec<(u64, Vec<f64>)> = Vec::new();
     let mut stats = QueryStats::default();
+    let mut pops = 0u64;
+    let mut trip: Option<(StopReason, u64)> = None;
 
     while let Some(entry) = heap.pop() {
+        pops += 1;
+        if let Some(g) = gov.as_mut() {
+            if let Some(reason) = g.check(heap.len()) {
+                trip = Some((reason, 1 + heap.len() as u64));
+                break;
+            }
+        }
         let corner: &[f64] = match &entry.cand {
             Candidate::Tuple { coords, .. } => coords,
             Candidate::Node { mbr, .. } => &mbr.min,
@@ -86,6 +157,9 @@ pub fn bbs_skyline(
     stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    if let (Some((reason, frontier)), Some(g)) = (trip, gov.as_ref()) {
+        apply_trip(&mut stats, g, reason, pops, result.len(), frontier);
+    }
     (result, stats)
 }
 
@@ -96,17 +170,42 @@ pub fn ranking_topk(
     k: usize,
     f: &dyn RankingFunction,
 ) -> (Vec<(u64, Vec<f64>, f64)>, QueryStats) {
+    ranking_topk_governed(db, selection, k, f, &QueryBudget::unlimited(), None)
+}
+
+/// [`ranking_topk`] under a [`QueryBudget`] and optional [`CancelToken`].
+/// Candidates surface in ascending score order and verified results are
+/// accepted in that order, so a partial top-k is a prefix of the true
+/// top-k.
+pub fn ranking_topk_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> (Vec<(u64, Vec<f64>, f64)>, QueryStats) {
     let selection = normalize(selection);
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let mut heap = CandidateHeap::new();
     seed_root(db, &mut heap);
     let mut result: Vec<(u64, Vec<f64>, f64)> = Vec::new();
     let mut stats = QueryStats::default();
+    let mut pops = 0u64;
+    let mut trip: Option<(StopReason, u64)> = None;
 
     while let Some(entry) = heap.pop() {
         if result.len() >= k {
             break;
+        }
+        pops += 1;
+        if let Some(g) = gov.as_mut() {
+            if let Some(reason) = g.check(heap.len()) {
+                trip = Some((reason, 1 + heap.len() as u64));
+                break;
+            }
         }
         match entry.cand {
             Candidate::Tuple { tid, coords, .. } => {
@@ -143,6 +242,9 @@ pub fn ranking_topk(
     stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    if let (Some((reason, frontier)), Some(g)) = (trip, gov.as_ref()) {
+        apply_trip(&mut stats, g, reason, pops, result.len(), frontier);
+    }
     (result, stats)
 }
 

@@ -8,12 +8,14 @@
 //! ascending `(coordinate sum, tid)` for skylines — so planner output is
 //! comparable across engines tuple-for-tuple.
 
-use pcube_core::{EngineKind, Executor, PCubeDb, QueryStats, RankingFunction};
+use pcube_core::{
+    CancelToken, EngineKind, Executor, PCubeDb, QueryBudget, QueryStats, RankingFunction,
+};
 use pcube_cube::{normalize, Selection};
 
 use crate::boolean_first::{BooleanIndexSet, SelectRoute};
-use crate::domination_first::{bbs_skyline, ranking_topk};
-use crate::index_merge::index_merge_topk;
+use crate::domination_first::{bbs_skyline, bbs_skyline_governed, ranking_topk, ranking_topk_governed};
+use crate::index_merge::{index_merge_topk, index_merge_topk_governed};
 
 /// Boolean-first behind [`Executor`]: B+-tree (or heap-scan) selection,
 /// then an in-memory preference step. Borrows a prebuilt
@@ -86,6 +88,34 @@ impl Executor for BooleanFirstExecutor<'_> {
         let out = self.indexes.skyline_via(db, selection, pref_dims, route);
         Some((out.skyline, out.stats))
     }
+
+    fn topk_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        let route = self.block_route(db, selection);
+        let out = self.indexes.topk_via_governed(db, selection, k, f, route, budget, cancel);
+        Some((out.topk, out.stats))
+    }
+
+    fn skyline_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
+        let route = self.block_route(db, selection);
+        let out =
+            self.indexes.skyline_via_governed(db, selection, pref_dims, route, budget, cancel);
+        Some((out.skyline, out.stats))
+    }
 }
 
 /// Domination-first behind [`Executor`]: BBS / Ranking without boolean
@@ -114,6 +144,29 @@ impl Executor for DominationFirstExecutor {
         pref_dims: &[usize],
     ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
         Some(bbs_skyline(db, selection, pref_dims))
+    }
+
+    fn topk_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        Some(ranking_topk_governed(db, selection, k, f, budget, cancel))
+    }
+
+    fn skyline_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
+        Some(bbs_skyline_governed(db, selection, pref_dims, budget, cancel))
     }
 }
 
@@ -153,5 +206,17 @@ impl Executor for IndexMergeExecutor<'_> {
         _pref_dims: &[usize],
     ) -> Option<(Vec<(u64, Vec<f64>)>, QueryStats)> {
         None
+    }
+
+    fn topk_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<(u64, Vec<f64>, f64)>, QueryStats)> {
+        Some(index_merge_topk_governed(db, self.indexes, selection, k, f, budget, cancel))
     }
 }

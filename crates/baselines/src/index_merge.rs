@@ -16,11 +16,12 @@
 //! this simplification in DESIGN.md §3.
 
 use pcube_core::query::{Candidate, CandidateHeap};
-use pcube_core::{PCubeDb, QueryStats, RankingFunction};
+use pcube_core::{CancelToken, PCubeDb, QueryBudget, QueryStats, RankingFunction, StopReason};
 use pcube_cube::{normalize, Selection};
 use pcube_rtree::{DecodedEntry, Mbr, Path};
 
 use crate::boolean_first::BooleanIndexSet;
+use crate::domination_first::{apply_trip, make_governor};
 
 /// Top-k by progressive & selective index merging.
 pub fn index_merge_topk(
@@ -30,9 +31,26 @@ pub fn index_merge_topk(
     k: usize,
     f: &dyn RankingFunction,
 ) -> (Vec<(u64, Vec<f64>, f64)>, QueryStats) {
+    index_merge_topk_governed(db, indexes, selection, k, f, &QueryBudget::unlimited(), None)
+}
+
+/// [`index_merge_topk`] under a [`QueryBudget`] and optional
+/// [`CancelToken`], checked cooperatively at pop granularity. Results are
+/// accepted in ascending score order, so a partial answer is a prefix of
+/// the true top-k.
+pub fn index_merge_topk_governed(
+    db: &PCubeDb,
+    indexes: &BooleanIndexSet,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> (Vec<(u64, Vec<f64>, f64)>, QueryStats) {
     let selection = normalize(selection);
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let mut heap = CandidateHeap::new();
     let dims = db.rtree().dims();
     let mbr = Mbr { min: vec![f64::NEG_INFINITY; dims], max: vec![f64::INFINITY; dims] };
@@ -42,10 +60,19 @@ pub fn index_merge_topk(
     );
     let mut result: Vec<(u64, Vec<f64>, f64)> = Vec::new();
     let mut stats = QueryStats::default();
+    let mut pops = 0u64;
+    let mut trip: Option<(StopReason, u64)> = None;
 
     while let Some(entry) = heap.pop() {
         if result.len() >= k {
             break;
+        }
+        pops += 1;
+        if let Some(g) = gov.as_mut() {
+            if let Some(reason) = g.check(heap.len()) {
+                trip = Some((reason, 1 + heap.len() as u64));
+                break;
+            }
         }
         match entry.cand {
             Candidate::Tuple { tid, coords, .. } => {
@@ -78,6 +105,9 @@ pub fn index_merge_topk(
     stats.peak_heap = heap.peak_size();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    if let (Some((reason, frontier)), Some(g)) = (trip, gov.as_ref()) {
+        apply_trip(&mut stats, g, reason, pops, result.len(), frontier);
+    }
     (result, stats)
 }
 

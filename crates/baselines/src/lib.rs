@@ -24,6 +24,6 @@ pub mod index_merge;
 pub mod reference;
 
 pub use boolean_first::{BooleanIndexSet, BooleanSkylineOutcome, BooleanTopKOutcome, SelectRoute};
-pub use domination_first::{bbs_skyline, ranking_topk};
+pub use domination_first::{bbs_skyline, bbs_skyline_governed, ranking_topk, ranking_topk_governed};
 pub use executor::{BooleanFirstExecutor, DominationFirstExecutor, IndexMergeExecutor};
-pub use index_merge::index_merge_topk;
+pub use index_merge::{index_merge_topk, index_merge_topk_governed};

@@ -27,7 +27,7 @@
 //!
 //! Results land in `BENCH_concurrency.json` (override with `--out`).
 
-use pcube_core::{LinearFn, PCubeConfig, PCubeDb};
+use pcube_core::{AdmissionGate, LinearFn, PCubeConfig, PCubeDb};
 use pcube_cube::Selection;
 use pcube_data::{sample_selection, synthetic, Distribution, SyntheticSpec};
 use pcube_storage::{CostModel, IoCategory, IoSnapshot};
@@ -35,7 +35,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One query of the mixed workload.
 #[derive(Clone)]
@@ -225,7 +225,13 @@ fn run_config(
                         }
                         let w = i % workload.len();
                         let q_started = Instant::now();
+                        // The gate is sized to the widest thread count, so
+                        // measured configs are admitted without shedding —
+                        // but every query still pays the admission path.
+                        let permit =
+                            db.admit().expect("gate sized to the widest config never sheds");
                         let got = run_query(db, &workload[w]);
+                        drop(permit);
                         done.push((i as u64, q_started.elapsed().as_micros() as u64));
                         if got != expected[w] {
                             mismatches.fetch_add(1, Ordering::Relaxed);
@@ -311,8 +317,14 @@ fn main() {
         distribution: Distribution::Uniform,
         seed: cfg.seed,
     };
-    let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+    let mut db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
     let workload = build_workload(&db, 64, cfg.seed);
+
+    // Admission control: enough slots for the widest measured config (so
+    // throughput numbers are not distorted by shedding), with a generous
+    // wait. A narrow-gate burst afterwards exercises the shed path.
+    let max_threads = cfg.threads.iter().copied().max().unwrap_or(1);
+    db.set_admission_gate(AdmissionGate::new(max_threads, Duration::from_secs(30)));
 
     // Warm pass (fills the pinned signature-directory cache), then a
     // measured serial pass: expected answers + deterministic per-query I/O.
@@ -342,6 +354,42 @@ fn main() {
             total_queries,
         ));
     }
+
+    // Shed-pressure burst: narrow the gate to 2 slots with a near-zero wait
+    // and hammer it from the widest thread count. Overload must be turned
+    // away as typed shed errors — never a hang, never a panic.
+    let measured_admitted = db.admission_gate().map_or(0, AdmissionGate::admitted_total);
+    db.set_admission_gate(AdmissionGate::new(2, Duration::from_micros(100)));
+    let burst_threads = max_threads.max(4);
+    let burst_queries = 256usize;
+    eprintln!("shed burst: {burst_queries} queries on {burst_threads} threads, 2 slots…");
+    let burst_next = AtomicU64::new(0);
+    let burst_shed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..burst_threads {
+            let (db, workload, burst_next, burst_shed) =
+                (&db, &workload, &burst_next, &burst_shed);
+            scope.spawn(move || loop {
+                let i = burst_next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= burst_queries {
+                    break;
+                }
+                match db.admit() {
+                    Err(_) => {
+                        burst_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(permit) => {
+                        run_query(db, &workload[i % workload.len()]);
+                        drop(permit);
+                    }
+                }
+            });
+        }
+    });
+    let burst_gate = db.admission_gate().expect("burst gate installed");
+    let burst_shed = burst_shed.load(Ordering::Relaxed);
+    let burst_admitted = burst_gate.admitted_total();
+    eprintln!("shed burst: {burst_admitted} admitted, {burst_shed} shed");
 
     // Headline: modeled speedup of the widest configuration over 1 thread.
     let base = results
@@ -395,6 +443,11 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"admission_measured_queries\": {measured_admitted},");
+    let _ = writeln!(
+        json,
+        "  \"admission_burst\": {{\"queries\": {burst_queries}, \"threads\": {burst_threads}, \"slots\": 2, \"admitted\": {burst_admitted}, \"shed\": {burst_shed}}},"
+    );
     let _ = writeln!(json, "  \"widest_threads\": {},", widest.threads);
     let _ = writeln!(json, "  \"modeled_speedup_vs_1_thread\": {speedup:.3},");
     let _ = writeln!(json, "  \"min_speedup_required\": {:.1}", cfg.min_speedup);
@@ -411,6 +464,12 @@ fn main() {
 
     let mismatched: u64 = results.iter().map(|r| r.mismatches).sum();
     let drifted = results.iter().any(|r| !r.counter_consistent);
+    if burst_admitted + burst_shed != burst_queries as u64 {
+        eprintln!(
+            "FAIL: admission burst lost queries ({burst_admitted} admitted + {burst_shed} shed != {burst_queries})"
+        );
+        std::process::exit(1);
+    }
     if mismatched > 0 {
         eprintln!("FAIL: {mismatched} result mismatches under concurrency");
         std::process::exit(1);

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bloom;
 pub mod encode;
 pub mod pcube;
@@ -42,6 +43,7 @@ pub mod rank;
 pub mod signature;
 pub mod store;
 
+pub use admission::{AdmissionError, AdmissionGate, AdmissionPermit};
 pub use bloom::BloomSignature;
 pub use pcube::{PCube, PCubeConfig, PCubeDb};
 pub use persist::PersistError;
@@ -50,11 +52,15 @@ pub use plan::{
     SkylineRows, TopKRows,
 };
 pub use query::{
-    convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
-    par_skyline_query, par_topk_query, skyline_drill_down, skyline_query, skyline_query_probed,
-    skyline_roll_up, topk_drill_down, topk_query, topk_query_probed, topk_roll_up,
-    ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome, ParallelOptions,
-    QueryStats, SkylineOutcome, SkylineState, TopKOutcome, TopKState,
+    convex_hull_query, convex_hull_query_governed, dynamic_skyline_query,
+    dynamic_skyline_query_governed, par_convex_hull_query, par_convex_hull_query_governed,
+    par_dynamic_skyline_query, par_dynamic_skyline_query_governed, par_skyline_query,
+    par_skyline_query_governed, par_topk_query, par_topk_query_governed, skyline_drill_down,
+    skyline_query, skyline_query_governed, skyline_query_probed, skyline_roll_up,
+    topk_drill_down, topk_query, topk_query_governed, topk_query_probed, topk_roll_up,
+    CancelToken, ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
+    ParallelOptions, Progress, QueryBudget, QueryOutcome, QueryStats, SkylineOutcome,
+    SkylineState, StopReason, TopKOutcome, TopKState,
 };
 pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
 pub use signature::Signature;

@@ -270,6 +270,7 @@ pub struct PCubeDb {
     pub(crate) rtree: RTree,
     pub(crate) pcube: PCube,
     pub(crate) stats: SharedStats,
+    pub(crate) admission: Option<crate::admission::AdmissionGate>,
 }
 
 impl PCubeDb {
@@ -283,7 +284,7 @@ impl PCubeDb {
             (0..relation.len() as u64).map(|t| (t, relation.pref_coords(t))).collect();
         let rtree = RTree::bulk_load(rtree_pager, rtree_cfg, items, config.rtree_fill);
         let pcube = PCube::build(&relation, &rtree, &config.plan, config.page_size, stats.clone());
-        PCubeDb { relation, rtree, pcube, stats }
+        PCubeDb { relation, rtree, pcube, stats, admission: None }
     }
 
     /// The base relation.
@@ -310,6 +311,36 @@ impl PCubeDb {
     /// The shared I/O ledger.
     pub fn stats(&self) -> &SharedStats {
         &self.stats
+    }
+
+    /// Installs an admission gate: subsequent [`Self::admit`] calls bound
+    /// concurrent in-flight queries to the gate's capacity and shed after
+    /// its bounded wait.
+    pub fn set_admission_gate(&mut self, gate: crate::admission::AdmissionGate) {
+        self.admission = Some(gate);
+    }
+
+    /// Removes the admission gate; [`Self::admit`] becomes a free pass.
+    pub fn clear_admission_gate(&mut self) {
+        self.admission = None;
+    }
+
+    /// The installed admission gate, if any (for its admit/shed tallies).
+    pub fn admission_gate(&self) -> Option<&crate::admission::AdmissionGate> {
+        self.admission.as_ref()
+    }
+
+    /// Acquires an admission slot before running a query. `Ok(None)` when
+    /// no gate is installed (nothing to hold); `Ok(Some(permit))` holds a
+    /// slot until dropped; `Err` means the query was shed and must not run.
+    pub fn admit(
+        &self,
+    ) -> Result<Option<crate::admission::AdmissionPermit<'_>>, crate::admission::AdmissionError>
+    {
+        match &self.admission {
+            None => Ok(None),
+            Some(gate) => gate.admit().map(Some),
+        }
     }
 
     /// Inserts a row (string boolean values) and incrementally maintains the

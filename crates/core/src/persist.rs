@@ -477,6 +477,9 @@ impl PCubeDb {
             rtree,
             pcube: PCube { registry, store, cuboids },
             stats,
+            // Admission control is runtime configuration, not data: a
+            // reopened database starts ungated.
+            admission: None,
         })
     }
 

@@ -37,7 +37,7 @@ use pcube_cube::{normalize, Selection};
 use pcube_storage::CostModel;
 
 use crate::pcube::PCubeDb;
-use crate::query::QueryStats;
+use crate::query::{CancelToken, QueryBudget, QueryStats};
 use crate::rank::RankingFunction;
 
 /// The engine families the planner chooses among (§VI-A).
@@ -116,6 +116,13 @@ pub struct PlanDecision {
     pub selectivity: f64,
     /// Estimated number of qualifying tuples (`σ·n`).
     pub qualifying_est: f64,
+    /// `true` when a [`QueryBudget`](crate::query::QueryBudget) constrained
+    /// the choice — either the cheapest engine was predicted to overrun
+    /// and a fitting engine was substituted, or no engine fit at all.
+    pub budget_limited: bool,
+    /// When the budget forced a substitution, the engine that would have
+    /// won on raw cost.
+    pub fallback_from: Option<EngineKind>,
 }
 
 impl PlanDecision {
@@ -162,6 +169,40 @@ pub trait Executor {
         pref_dims: &[usize],
     ) -> Option<(SkylineRows, QueryStats)>;
 
+    /// [`Self::topk`] under a [`QueryBudget`] and optional [`CancelToken`]:
+    /// engines that stop cooperatively report a
+    /// [`QueryOutcome::Partial`](crate::query::QueryOutcome) in the stats.
+    /// The default ignores governance (an ungoverned engine simply runs to
+    /// completion — never wrong, just not cut short); every shipped
+    /// executor overrides it.
+    fn topk_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(TopKRows, QueryStats)> {
+        let _ = (budget, cancel);
+        self.topk(db, selection, k, f)
+    }
+
+    /// [`Self::skyline`] under a [`QueryBudget`] and optional
+    /// [`CancelToken`] (see [`Self::topk_governed`] for the default's
+    /// semantics).
+    fn skyline_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(SkylineRows, QueryStats)> {
+        let _ = (budget, cancel);
+        self.skyline(db, selection, pref_dims)
+    }
+
     /// `true` if this executor can answer `query`.
     fn supports(&self, query: &QuerySpec<'_>) -> bool {
         match query {
@@ -198,6 +239,32 @@ impl Executor for PCubeExecutor {
         pref_dims: &[usize],
     ) -> Option<(SkylineRows, QueryStats)> {
         let out = crate::query::skyline_query(db, selection, pref_dims, false);
+        Some((out.skyline, out.stats))
+    }
+
+    fn topk_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(TopKRows, QueryStats)> {
+        let out = crate::query::topk_query_governed(db, selection, k, f, false, budget, cancel);
+        Some((out.topk, out.stats))
+    }
+
+    fn skyline_governed(
+        &self,
+        db: &PCubeDb,
+        selection: &Selection,
+        pref_dims: &[usize],
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(SkylineRows, QueryStats)> {
+        let out =
+            crate::query::skyline_query_governed(db, selection, pref_dims, false, budget, cancel);
         Some((out.skyline, out.stats))
     }
 }
@@ -438,7 +505,51 @@ impl Planner {
             estimates,
             selectivity: sigma,
             qualifying_est: sigma * self.n,
+            budget_limited: false,
+            fallback_from: None,
         }
+    }
+
+    /// [`Self::choose`] under a [`QueryBudget`]: when the cheapest engine's
+    /// estimate is predicted to overrun the budget (blocks over the block
+    /// budget, or modeled seconds over the deadline), falls back to the
+    /// cheapest engine whose estimate *fits*, recording the substitution in
+    /// [`PlanDecision::fallback_from`]. When no engine fits, keeps the raw
+    /// winner (the executor's governor will cut it short) and only sets
+    /// [`PlanDecision::budget_limited`].
+    pub fn choose_governed(
+        &self,
+        selection: &Selection,
+        query: &QuerySpec<'_>,
+        available: &[EngineKind],
+        budget: &QueryBudget,
+    ) -> PlanDecision {
+        let mut decision = self.choose(selection, query, available);
+        let fits = |e: &CostEstimate| -> bool {
+            budget.max_blocks().is_none_or(|b| e.blocks() <= b as f64)
+                && budget.deadline().is_none_or(|d| e.seconds <= d.as_secs_f64())
+        };
+        let chosen_fits =
+            decision.estimates.iter().any(|e| e.engine == decision.chosen && fits(e));
+        if chosen_fits {
+            return decision;
+        }
+        decision.budget_limited = true;
+        let fallback = decision
+            .estimates
+            .iter()
+            .filter(|e| fits(e))
+            .min_by(|a, b| {
+                a.blocks()
+                    .total_cmp(&b.blocks())
+                    .then_with(|| (b.engine == EngineKind::PCube).cmp(&(a.engine == EngineKind::PCube)))
+            })
+            .map(|e| e.engine);
+        if let Some(engine) = fallback {
+            decision.fallback_from = Some(decision.chosen);
+            decision.chosen = engine;
+        }
+        decision
     }
 }
 
@@ -519,6 +630,67 @@ impl PCubeDb {
         stats.plan = Some(decision);
         Ok((result, stats))
     }
+
+    /// [`Self::plan_and_run_topk`] under a [`QueryBudget`] and optional
+    /// [`CancelToken`]: plans with [`Planner::choose_governed`] (falling
+    /// back to the cheapest engine predicted to fit the budget) and
+    /// dispatches through [`Executor::topk_governed`] so the winner stops
+    /// cooperatively when the budget trips anyway.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_and_run_topk_governed(
+        &self,
+        planner: &Planner,
+        executors: &[&dyn Executor],
+        selection: &Selection,
+        k: usize,
+        f: &dyn RankingFunction,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(TopKRows, QueryStats), PlanError> {
+        let query = QuerySpec::TopK { k };
+        let (kinds, executors) = usable(executors, &query);
+        if kinds.is_empty() {
+            return Err(PlanError::NoExecutor);
+        }
+        let decision = planner.choose_governed(selection, &query, &kinds, budget);
+        let exec = executors
+            .iter()
+            .find(|e| e.kind() == decision.chosen)
+            .expect("chosen engine comes from the available set");
+        let (result, mut stats) = exec
+            .topk_governed(self, selection, k, f, budget, cancel)
+            .ok_or(PlanError::NoExecutor)?;
+        stats.plan = Some(decision);
+        Ok((result, stats))
+    }
+
+    /// [`Self::plan_and_run_skyline`] under a [`QueryBudget`] and optional
+    /// [`CancelToken`] (see [`Self::plan_and_run_topk_governed`]).
+    pub fn plan_and_run_skyline_governed(
+        &self,
+        planner: &Planner,
+        executors: &[&dyn Executor],
+        selection: &Selection,
+        pref_dims: &[usize],
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(SkylineRows, QueryStats), PlanError> {
+        let query = QuerySpec::Skyline { pref_dims };
+        let (kinds, executors) = usable(executors, &query);
+        if kinds.is_empty() {
+            return Err(PlanError::NoExecutor);
+        }
+        let decision = planner.choose_governed(selection, &query, &kinds, budget);
+        let exec = executors
+            .iter()
+            .find(|e| e.kind() == decision.chosen)
+            .expect("chosen engine comes from the available set");
+        let (result, mut stats) = exec
+            .skyline_governed(self, selection, pref_dims, budget, cancel)
+            .ok_or(PlanError::NoExecutor)?;
+        stats.plan = Some(decision);
+        Ok((result, stats))
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +758,55 @@ mod tests {
         let unselective = vec![Predicate { dim: 0, value: 0 }];
         let d = planner.choose(&unselective, &QuerySpec::TopK { k: 10 }, &all);
         assert_eq!(d.chosen, EngineKind::PCube, "{:?}", d);
+    }
+
+    #[test]
+    fn budget_fallback_substitutes_the_cheapest_fitting_engine() {
+        let db = db(2000);
+        let planner = Planner::new(&db);
+        let all = [
+            EngineKind::PCube,
+            EngineKind::BooleanFirst,
+            EngineKind::DominationFirst,
+            EngineKind::IndexMerge,
+        ];
+        let unselective = vec![Predicate { dim: 0, value: 0 }];
+        let query = QuerySpec::TopK { k: 10 };
+        let raw = planner.choose(&unselective, &query, &all);
+        assert!(!raw.budget_limited);
+        assert!(raw.fallback_from.is_none());
+
+        // A budget below the winner's estimate but above some rival's
+        // forces a recorded substitution.
+        let winner_blocks = raw.chosen_estimate().blocks();
+        let cheapest_rival = raw
+            .estimates
+            .iter()
+            .filter(|e| e.engine != raw.chosen)
+            .map(|e| e.blocks())
+            .fold(f64::INFINITY, f64::min);
+        if cheapest_rival < winner_blocks {
+            let cap = cheapest_rival.ceil() as u64;
+            let budget = QueryBudget::unlimited().with_block_budget(cap);
+            let governed = planner.choose_governed(&unselective, &query, &all, &budget);
+            assert!(governed.budget_limited, "{governed:?}");
+            assert_eq!(governed.fallback_from, Some(raw.chosen));
+            assert_ne!(governed.chosen, raw.chosen);
+            assert!(governed.chosen_estimate().blocks() <= cap as f64);
+        }
+
+        // A budget nothing fits: keep the raw winner, flag the limit.
+        let budget = QueryBudget::unlimited().with_block_budget(0);
+        let governed = planner.choose_governed(&unselective, &query, &all, &budget);
+        assert!(governed.budget_limited);
+        assert_eq!(governed.chosen, raw.chosen);
+        assert!(governed.fallback_from.is_none());
+
+        // A roomy budget changes nothing.
+        let budget = QueryBudget::unlimited().with_block_budget(u64::MAX);
+        let governed = planner.choose_governed(&unselective, &query, &all, &budget);
+        assert!(!governed.budget_limited);
+        assert_eq!(governed.chosen, raw.chosen);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use pcube_cube::{normalize, Selection};
 use pcube_rtree::Mbr;
 
 use crate::pcube::PCubeDb;
+use crate::query::budget::{CancelToken, QueryBudget};
 use crate::query::kernel::{run_kernel, SkylineLogic};
+use crate::query::topk::{apply_kernel_outcome, make_governor};
 use crate::query::{seed_root, CandidateHeap, QueryStats};
 
 /// A completed dynamic skyline query.
@@ -42,6 +44,24 @@ pub fn dynamic_skyline_query(
     q: &[f64],
     pref_dims: &[usize],
 ) -> DynamicSkylineOutcome {
+    dynamic_skyline_query_governed(db, selection, q, pref_dims, &QueryBudget::unlimited(), None)
+}
+
+/// [`dynamic_skyline_query`] under a [`QueryBudget`] and optional
+/// [`CancelToken`]: accepted points are true dynamic-skyline members, so a
+/// partial answer is a sound subset.
+///
+/// # Panics
+/// Panics if `pref_dims` is empty or `q` is shorter than the coordinate
+/// space.
+pub fn dynamic_skyline_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    q: &[f64],
+    pref_dims: &[usize],
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> DynamicSkylineOutcome {
     assert!(!pref_dims.is_empty(), "need at least one preference dimension");
     assert!(
         pref_dims.iter().all(|&d| d < q.len()),
@@ -49,6 +69,7 @@ pub fn dynamic_skyline_query(
     );
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let selection = normalize(selection);
     let mut probe = db.pcube().probe(&selection, false);
 
@@ -77,13 +98,16 @@ pub fn dynamic_skyline_query(
 
     let mut stats = QueryStats::default();
     let mut logic = SkylineLogic::new(pref_dims, Some(&t_point), Some(&t_corner), None);
-    stats.nodes_expanded = run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None);
+    let kernel_run =
+        run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    stats.nodes_expanded = kernel_run.nodes_expanded;
     let mut result = logic.into_result();
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    apply_kernel_outcome(&mut stats, &kernel_run, result.len());
     // Canonical result order: ascending `(transformed key, tid)` — the same
     // key the parallel engine merges by.
     result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));

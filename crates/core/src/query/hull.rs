@@ -16,7 +16,9 @@
 use pcube_cube::{normalize, Selection};
 
 use crate::pcube::PCubeDb;
+use crate::query::budget::{CancelToken, QueryBudget};
 use crate::query::kernel::{run_kernel, HullLogic};
+use crate::query::topk::{apply_kernel_outcome, make_governor};
 use crate::query::{seed_root, CandidateHeap, QueryStats};
 
 /// A completed convex hull query.
@@ -38,11 +40,29 @@ pub fn convex_hull_query(
     selection: &Selection,
     dims: (usize, usize),
 ) -> HullOutcome {
+    convex_hull_query_governed(db, selection, dims, &QueryBudget::unlimited(), None)
+}
+
+/// [`convex_hull_query`] under a [`QueryBudget`] and optional
+/// [`CancelToken`]. A partial hull is the hull of the points *visited* so
+/// far — unlike top-k/skyline partials it carries no membership guarantee
+/// about the full answer, only the progress accounting.
+///
+/// # Panics
+/// Panics if the two dimensions coincide or exceed the schema.
+pub fn convex_hull_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    dims: (usize, usize),
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> HullOutcome {
     let n_pref = db.relation().schema().n_pref();
     assert!(dims.0 < n_pref && dims.1 < n_pref, "hull dimensions out of range");
     assert_ne!(dims.0, dims.1, "hull needs two distinct dimensions");
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let selection = normalize(selection);
     let mut probe = db.pcube().probe(&selection, false);
     let mut stats = QueryStats::default();
@@ -53,13 +73,17 @@ pub fn convex_hull_query(
     let mut heap = CandidateHeap::new();
     seed_root(db, &mut heap);
     let mut logic = HullLogic::new(dims);
-    stats.nodes_expanded = run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None);
-    let hull = monotone_chain(&logic.into_points());
+    let kernel_run =
+        run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    stats.nodes_expanded = kernel_run.nodes_expanded;
+    let points = logic.into_points();
+    let hull = monotone_chain(&points);
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    apply_kernel_outcome(&mut stats, &kernel_run, points.len());
     HullOutcome { hull, stats }
 }
 

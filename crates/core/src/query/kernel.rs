@@ -33,6 +33,7 @@ use pcube_cube::Selection;
 use pcube_rtree::{DecodedEntry, Mbr, Path};
 
 use crate::pcube::PCubeDb;
+use crate::query::budget::{Governor, StopReason};
 use crate::query::hull::{monotone_chain, strictly_inside_hull};
 use crate::query::{dominates, Candidate, CandidateHeap, HeapEntry, ResultEntry};
 use crate::rank::{MinCoordSum, RankingFunction};
@@ -126,10 +127,37 @@ pub struct SavedLists {
     pub d_list: Vec<HeapEntry>,
 }
 
+/// What one [`run_kernel`] call did: work counters plus, for governed
+/// runs, whether (and why) the governor cut the search short.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelRun {
+    /// R-tree nodes expanded.
+    pub nodes_expanded: u64,
+    /// Heap entries popped (including the pop on which a governor tripped).
+    pub pops: u64,
+    /// `Some(reason)` when the governor stopped the loop before the heap
+    /// emptied or the logic halted; `None` for a complete run.
+    pub stop: Option<StopReason>,
+    /// Heap entries abandoned on a governed stop (the popped entry plus
+    /// the drained frontier); 0 for a complete run.
+    pub frontier: u64,
+    /// Seconds past the deadline when a deadline trip was observed.
+    pub overshoot_seconds: f64,
+    /// Longest observed gap between two governance checks.
+    pub max_pop_seconds: f64,
+}
+
 /// Runs Algorithm 1 over an already-seeded candidate heap until the heap is
-/// empty or the logic halts. Returns the number of R-tree nodes expanded;
-/// every other statistic (peak heap, partials, I/O, wall clock) is read by
-/// the caller from the heap/probe/ledger it owns.
+/// empty, the logic halts, or the governor (if any) trips. Returns the work
+/// counters; every other statistic (peak heap, partials, I/O, wall clock)
+/// is read by the caller from the heap/probe/ledger it owns.
+///
+/// The top of the pop loop is the cancellation point: the governor is
+/// consulted once per pop, before any preference or boolean work, so a
+/// deadline can overshoot by at most one pop's worth of work. On a trip the
+/// popped entry and the drained frontier are routed to the `d_list`
+/// exactly like a logic-initiated halt — a later drill-down can resume the
+/// abandoned search.
 pub fn run_kernel(
     db: &PCubeDb,
     selection: &Selection,
@@ -137,9 +165,22 @@ pub fn run_kernel(
     heap: &mut CandidateHeap,
     logic: &mut dyn PreferenceLogic,
     mut lists: Option<&mut SavedLists>,
-) -> u64 {
-    let mut nodes_expanded = 0u64;
+    mut gov: Option<&mut Governor>,
+) -> KernelRun {
+    let mut run = KernelRun::default();
     while let Some(entry) = heap.pop() {
+        run.pops += 1;
+        if let Some(g) = gov.as_deref_mut() {
+            if let Some(reason) = g.check(heap.len()) {
+                run.stop = Some(reason);
+                run.frontier = 1 + heap.len() as u64;
+                if let Some(lists) = lists.as_deref_mut() {
+                    lists.d_list.push(entry);
+                    lists.d_list.extend(heap.drain());
+                }
+                break;
+            }
+        }
         match logic.on_pop(&entry) {
             PopVerdict::Halt => {
                 if let Some(lists) = lists.as_deref_mut() {
@@ -186,7 +227,7 @@ pub fn run_kernel(
             }
             Candidate::Node { pid, path, .. } => {
                 let node = db.rtree().read_node(pid);
-                nodes_expanded += 1;
+                run.nodes_expanded += 1;
                 for (slot, child) in node.entries {
                     let child_path = path.child(slot as u16 + 1);
                     let (score, cand) = match child {
@@ -216,7 +257,11 @@ pub fn run_kernel(
             }
         }
     }
-    nodes_expanded
+    if let Some(g) = gov {
+        run.overshoot_seconds = g.overshoot_seconds();
+        run.max_pop_seconds = g.max_pop_seconds();
+    }
+    run
 }
 
 // ---------------------------------------------------------------------------

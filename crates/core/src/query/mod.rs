@@ -2,6 +2,7 @@
 //! branch-and-bound framework of Algorithm 1, instantiated for skyline and
 //! top-k queries, plus the incremental drill-down/roll-up execution of §V-C.
 
+pub mod budget;
 mod dynamic;
 mod hull;
 pub mod kernel;
@@ -9,19 +10,28 @@ mod parallel;
 mod skyline;
 mod topk;
 
-pub use dynamic::{dynamic_skyline_query, DynamicSkylineOutcome};
-pub use kernel::{run_kernel, BooleanPruner, NoPruner, PopVerdict, PreferenceLogic, SavedLists};
+pub use budget::{CancelToken, Governor, Progress, QueryBudget, QueryOutcome, StopReason};
+pub use dynamic::{
+    dynamic_skyline_query, dynamic_skyline_query_governed, DynamicSkylineOutcome,
+};
+pub use kernel::{
+    run_kernel, BooleanPruner, KernelRun, NoPruner, PopVerdict, PreferenceLogic, SavedLists,
+};
 pub use parallel::{
-    par_convex_hull_query, par_dynamic_skyline_query, par_skyline_query, par_topk_query,
-    ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
-    ParallelOptions,
+    par_convex_hull_query, par_convex_hull_query_governed, par_dynamic_skyline_query,
+    par_dynamic_skyline_query_governed, par_skyline_query, par_skyline_query_governed,
+    par_topk_query, par_topk_query_governed, ParDynamicSkylineOutcome, ParHullOutcome,
+    ParSkylineOutcome, ParTopKOutcome, ParallelOptions,
 };
-pub use hull::{convex_hull_query, HullOutcome};
+pub use hull::{convex_hull_query, convex_hull_query_governed, HullOutcome};
 pub use skyline::{
-    skyline_drill_down, skyline_query, skyline_query_probed, skyline_roll_up, SkylineOutcome,
-    SkylineState,
+    skyline_drill_down, skyline_query, skyline_query_governed, skyline_query_probed,
+    skyline_roll_up, SkylineOutcome, SkylineState,
 };
-pub use topk::{topk_drill_down, topk_query, topk_query_probed, topk_roll_up, TopKOutcome, TopKState};
+pub use topk::{
+    topk_drill_down, topk_query, topk_query_governed, topk_query_probed, topk_roll_up,
+    TopKOutcome, TopKState,
+};
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -46,6 +56,10 @@ pub struct QueryStats {
     /// was dispatched through [`crate::plan::Planner`] (`None` for direct
     /// engine calls).
     pub plan: Option<crate::plan::PlanDecision>,
+    /// Whether the query ran to completion or was cut short by its
+    /// [`QueryBudget`] / a [`CancelToken`] (always
+    /// [`QueryOutcome::Complete`] for ungoverned queries).
+    pub outcome: QueryOutcome,
 }
 
 /// One accepted result of a branch-and-bound search — shared by every

@@ -26,10 +26,15 @@
 //! The parallel engines do not produce `b_list`/`d_list` state: incremental
 //! drill-down and roll-up (§V-C) remain a serial-engine feature.
 
+use std::time::Instant;
+
 use pcube_cube::{normalize, Selection};
 use pcube_rtree::{DecodedEntry, Mbr, Path};
 
 use crate::pcube::PCubeDb;
+use crate::query::budget::{
+    CancelToken, Governor, Progress, QueryBudget, QueryOutcome, StopReason,
+};
 use crate::query::hull::monotone_chain;
 use crate::query::kernel::{
     run_kernel, HullLogic, SharedBound, SharedWindow, SkylineLogic, TopKLogic,
@@ -105,6 +110,11 @@ struct WorkerStats {
     nodes_expanded: u64,
     peak_heap: usize,
     partials_loaded: u64,
+    pops: u64,
+    frontier: u64,
+    stop: Option<StopReason>,
+    overshoot_seconds: f64,
+    max_pop_seconds: f64,
 }
 
 /// Aggregation conventions: node expansions and partial-signature loads add
@@ -120,7 +130,82 @@ fn merge_worker_stats(root_children: usize, locals: &[WorkerStats]) -> QueryStat
         io: Default::default(),
         cpu_seconds: 0.0,
         plan: None,
+        outcome: QueryOutcome::Complete,
     }
+}
+
+/// Folds the workers' stop states into the merged outcome. The reported
+/// reason is the first *originating* trip in worker order (fleet-drained
+/// workers report `Cancelled`, which only wins when the whole fleet was
+/// externally cancelled). Pops and frontier add up across workers;
+/// overshoot and max-pop take the worst worker. Call after `stats.io` and
+/// `stats.nodes_expanded` are final.
+fn merge_fleet_outcome(stats: &mut QueryStats, locals: &[WorkerStats], results_so_far: usize) {
+    let originating =
+        locals.iter().filter_map(|l| l.stop).find(|r| *r != StopReason::Cancelled);
+    let Some(reason) = originating.or_else(|| locals.iter().find_map(|l| l.stop)) else {
+        return;
+    };
+    stats.outcome = QueryOutcome::Partial {
+        reason,
+        progress: Progress {
+            pops: locals.iter().map(|l| l.pops).sum(),
+            nodes_expanded: stats.nodes_expanded,
+            results_so_far,
+            blocks_used: stats.io.total_reads(),
+            frontier: locals.iter().map(|l| l.frontier).sum(),
+            overshoot_seconds: locals.iter().map(|l| l.overshoot_seconds).fold(0.0, f64::max),
+            max_pop_seconds: locals.iter().map(|l| l.max_pop_seconds).fold(0.0, f64::max),
+        },
+    };
+}
+
+/// The governance context one parallel query shares across its fleet: the
+/// budget, one absolute deadline every worker races, the caller's cancel
+/// token, the fleet-internal drain token, and the ledger baseline (the
+/// block budget is fleet-wide — all workers charge one pool).
+struct FleetGovernance {
+    budget: QueryBudget,
+    deadline_at: Option<Instant>,
+    cancel: Option<CancelToken>,
+    fleet: CancelToken,
+    base: u64,
+}
+
+/// `None` when governance would be a no-op — the ungoverned fast path runs
+/// zero per-pop checks and stays bit-identical to the pre-governance
+/// engine by construction.
+fn fleet_governance(
+    db: &PCubeDb,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Option<FleetGovernance> {
+    if budget.is_unlimited() && cancel.is_none() {
+        return None;
+    }
+    Some(FleetGovernance {
+        budget: *budget,
+        deadline_at: budget.deadline().map(|d| Instant::now() + d),
+        cancel: cancel.cloned(),
+        fleet: CancelToken::new(),
+        base: db.stats().total_reads(),
+    })
+}
+
+/// Builds one worker's governor from the fleet context.
+fn worker_governor(db: &PCubeDb, fg: Option<&FleetGovernance>) -> Option<Governor> {
+    fg.map(|g| {
+        let mut gov = Governor::new(&g.budget)
+            .with_fleet(g.fleet.clone())
+            .with_ledger(db.stats().clone(), g.base);
+        if let Some(c) = &g.cancel {
+            gov = gov.with_cancel(c.clone());
+        }
+        if let Some(d) = g.deadline_at {
+            gov = gov.with_deadline_at(d);
+        }
+        gov
+    })
 }
 
 /// A root-level seed: `(score, candidate)` as the serial engine would have
@@ -179,13 +264,40 @@ pub fn par_topk_query(
     f: &(dyn RankingFunction + Sync),
     opts: ParallelOptions,
 ) -> ParTopKOutcome {
+    par_topk_query_governed(db, selection, k, f, opts, &QueryBudget::unlimited(), None)
+}
+
+/// [`par_topk_query`] under a [`QueryBudget`] and optional [`CancelToken`].
+/// One worker's trip (or an external cancel) raises the fleet token and
+/// drains every other worker at its next pop. A parallel partial top-k is
+/// a set of qualifying tuples but — unlike the serial engine's partials —
+/// not necessarily a prefix of the true top-k, because workers stop at
+/// different points of their subtree searches.
+pub fn par_topk_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &(dyn RankingFunction + Sync),
+    opts: ParallelOptions,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> ParTopKOutcome {
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
     let selection = normalize(selection);
     if opts.workers <= 1 || k == 0 {
-        let out = crate::query::topk_query(db, &selection, k, f, opts.eager_assembly);
+        let out = crate::query::topk_query_governed(
+            db,
+            &selection,
+            k,
+            f,
+            opts.eager_assembly,
+            budget,
+            cancel,
+        );
         return ParTopKOutcome { topk: out.topk, stats: out.stats };
     }
+    let fleet = fleet_governance(db, budget, cancel);
     let seeds = root_seeds(db, &|c| f.score(c), &|m| f.lower_bound(m));
     let root_children = seeds.len();
     let groups = deal(seeds, opts.workers);
@@ -196,9 +308,9 @@ pub fn par_topk_query(
         let handles: Vec<_> = groups
             .into_iter()
             .map(|group| {
-                let (bound, selection) = (&bound, &selection);
+                let (bound, selection, fleet) = (&bound, &selection, fleet.as_ref());
                 scope.spawn(move || {
-                    topk_worker(db, selection, k, f, opts.eager_assembly, group, bound)
+                    topk_worker(db, selection, k, f, opts.eager_assembly, group, bound, fleet)
                 })
             })
             .collect();
@@ -215,6 +327,7 @@ pub fn par_topk_query(
     let mut stats = merge_worker_stats(root_children, &worker_stats);
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    merge_fleet_outcome(&mut stats, &worker_stats, merged.len());
     ParTopKOutcome {
         topk: merged.into_iter().map(|r| (r.tid, r.coords, r.score)).collect(),
         stats,
@@ -223,6 +336,7 @@ pub fn par_topk_query(
 
 /// One top-k worker: the shared kernel over its seed subtrees, keeping the
 /// k best `(score, tid)` tuples seen and pruning against the shared bound.
+#[allow(clippy::too_many_arguments)]
 fn topk_worker(
     db: &PCubeDb,
     selection: &Selection,
@@ -231,6 +345,7 @@ fn topk_worker(
     eager: bool,
     seeds: Vec<Seed>,
     bound: &SharedBound,
+    fg: Option<&FleetGovernance>,
 ) -> (Vec<ResultEntry>, WorkerStats) {
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
@@ -238,11 +353,22 @@ fn topk_worker(
         heap.push(score, cand);
     }
     let mut logic = TopKLogic::shared(k, f, bound);
-    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let mut gov = worker_governor(db, fg);
+    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    if run.stop.is_some() {
+        if let Some(g) = fg {
+            g.fleet.cancel();
+        }
+    }
     let stats = WorkerStats {
-        nodes_expanded,
+        nodes_expanded: run.nodes_expanded,
         peak_heap: heap.peak_size(),
         partials_loaded: probe.partials_loaded(),
+        pops: run.pops,
+        frontier: run.frontier,
+        stop: run.stop,
+        overshoot_seconds: run.overshoot_seconds,
+        max_pop_seconds: run.max_pop_seconds,
     };
     (logic.into_result(), stats)
 }
@@ -268,6 +394,7 @@ struct DomSpace<'a> {
 
 /// One (dynamic) skyline worker: the shared kernel over its seed subtrees
 /// with local + shared-window domination pruning in `space`.
+#[allow(clippy::too_many_arguments)]
 fn skyline_worker(
     db: &PCubeDb,
     selection: &Selection,
@@ -276,6 +403,7 @@ fn skyline_worker(
     seeds: Vec<Seed>,
     window: &SharedWindow,
     space: DomSpace<'_>,
+    fg: Option<&FleetGovernance>,
 ) -> (Vec<SkyPoint>, WorkerStats) {
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
@@ -284,11 +412,22 @@ fn skyline_worker(
     }
     let mut logic =
         SkylineLogic::new(pref_dims, Some(space.transform), Some(space.corner), Some(window));
-    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let mut gov = worker_governor(db, fg);
+    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    if run.stop.is_some() {
+        if let Some(g) = fg {
+            g.fleet.cancel();
+        }
+    }
     let stats = WorkerStats {
-        nodes_expanded,
+        nodes_expanded: run.nodes_expanded,
         peak_heap: heap.peak_size(),
         partials_loaded: probe.partials_loaded(),
+        pops: run.pops,
+        frontier: run.frontier,
+        stop: run.stop,
+        overshoot_seconds: run.overshoot_seconds,
+        max_pop_seconds: run.max_pop_seconds,
     };
     (logic.into_points(), stats)
 }
@@ -326,13 +465,37 @@ pub fn par_skyline_query(
     pref_dims: &[usize],
     opts: ParallelOptions,
 ) -> ParSkylineOutcome {
+    par_skyline_query_governed(db, selection, pref_dims, opts, &QueryBudget::unlimited(), None)
+}
+
+/// [`par_skyline_query`] under a [`QueryBudget`] and optional
+/// [`CancelToken`]. A parallel partial skyline is a set of qualifying
+/// tuples mutually undominated among *visited* points; unlike the serial
+/// engine's partials it is not guaranteed to be a subset of the full
+/// skyline, because an unvisited subtree may hold a dominator.
+pub fn par_skyline_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    opts: ParallelOptions,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> ParSkylineOutcome {
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
     let selection = normalize(selection);
     if opts.workers <= 1 {
-        let out = crate::query::skyline_query(db, &selection, pref_dims, opts.eager_assembly);
+        let out = crate::query::skyline_query_governed(
+            db,
+            &selection,
+            pref_dims,
+            opts.eager_assembly,
+            budget,
+            cancel,
+        );
         return ParSkylineOutcome { skyline: out.skyline, stats: out.stats };
     }
+    let fleet = fleet_governance(db, budget, cancel);
     let f = MinCoordSum::new(pref_dims.to_vec());
     let transform = |coords: &[f64]| coords.to_vec();
     let corner = |mbr: &Mbr| mbr.min.clone();
@@ -345,7 +508,7 @@ pub fn par_skyline_query(
         let handles: Vec<_> = groups
             .into_iter()
             .map(|group| {
-                let (window, selection) = (&window, &selection);
+                let (window, selection, fleet) = (&window, &selection, fleet.as_ref());
                 let space = DomSpace { transform: &transform, corner: &corner };
                 scope.spawn(move || {
                     skyline_worker(
@@ -356,6 +519,7 @@ pub fn par_skyline_query(
                         group,
                         window,
                         space,
+                        fleet,
                     )
                 })
             })
@@ -367,6 +531,7 @@ pub fn par_skyline_query(
     let mut stats = merge_worker_stats(root_children, &worker_stats);
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
     ParSkylineOutcome { skyline, stats }
 }
 
@@ -379,6 +544,33 @@ pub fn par_dynamic_skyline_query(
     pref_dims: &[usize],
     opts: ParallelOptions,
 ) -> ParDynamicSkylineOutcome {
+    par_dynamic_skyline_query_governed(
+        db,
+        selection,
+        q,
+        pref_dims,
+        opts,
+        &QueryBudget::unlimited(),
+        None,
+    )
+}
+
+/// [`par_dynamic_skyline_query`] under a [`QueryBudget`] and optional
+/// [`CancelToken`]; partial-result semantics match
+/// [`par_skyline_query_governed`].
+///
+/// # Panics
+/// Panics if `pref_dims` is empty or `q` is shorter than the coordinate
+/// space.
+pub fn par_dynamic_skyline_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    q: &[f64],
+    pref_dims: &[usize],
+    opts: ParallelOptions,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> ParDynamicSkylineOutcome {
     assert!(!pref_dims.is_empty(), "need at least one preference dimension");
     assert!(
         pref_dims.iter().all(|&d| d < q.len()),
@@ -388,9 +580,17 @@ pub fn par_dynamic_skyline_query(
     let before = db.stats().snapshot();
     let selection = normalize(selection);
     if opts.workers <= 1 {
-        let out = crate::query::dynamic_skyline_query(db, &selection, q, pref_dims);
+        let out = crate::query::dynamic_skyline_query_governed(
+            db,
+            &selection,
+            q,
+            pref_dims,
+            budget,
+            cancel,
+        );
         return ParDynamicSkylineOutcome { skyline: out.skyline, stats: out.stats };
     }
+    let fleet = fleet_governance(db, budget, cancel);
 
     // The same transform/corner pair the serial engine uses: full
     // dimensionality so `dominates(_, _, pref_dims)` indexes directly, and
@@ -427,7 +627,7 @@ pub fn par_dynamic_skyline_query(
         let handles: Vec<_> = groups
             .into_iter()
             .map(|group| {
-                let (window, selection) = (&window, &selection);
+                let (window, selection, fleet) = (&window, &selection, fleet.as_ref());
                 let space = DomSpace { transform: &transform, corner: &corner };
                 scope.spawn(move || {
                     skyline_worker(
@@ -438,6 +638,7 @@ pub fn par_dynamic_skyline_query(
                         group,
                         window,
                         space,
+                        fleet,
                     )
                 })
             })
@@ -449,6 +650,7 @@ pub fn par_dynamic_skyline_query(
     let mut stats = merge_worker_stats(root_children, &worker_stats);
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
     ParDynamicSkylineOutcome { skyline, stats }
 }
 
@@ -466,6 +668,23 @@ pub fn par_convex_hull_query(
     dims: (usize, usize),
     opts: ParallelOptions,
 ) -> ParHullOutcome {
+    par_convex_hull_query_governed(db, selection, dims, opts, &QueryBudget::unlimited(), None)
+}
+
+/// [`par_convex_hull_query`] under a [`QueryBudget`] and optional
+/// [`CancelToken`]. A partial hull is the hull of the points visited before
+/// the trip — progress accounting only, no membership guarantee.
+///
+/// # Panics
+/// Panics if the two dimensions coincide or exceed the schema.
+pub fn par_convex_hull_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    dims: (usize, usize),
+    opts: ParallelOptions,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> ParHullOutcome {
     let n_pref = db.relation().schema().n_pref();
     assert!(dims.0 < n_pref && dims.1 < n_pref, "hull dimensions out of range");
     assert_ne!(dims.0, dims.1, "hull needs two distinct dimensions");
@@ -473,9 +692,10 @@ pub fn par_convex_hull_query(
     let before = db.stats().snapshot();
     let selection = normalize(selection);
     if opts.workers <= 1 {
-        let out = crate::query::convex_hull_query(db, &selection, dims);
+        let out = crate::query::convex_hull_query_governed(db, &selection, dims, budget, cancel);
         return ParHullOutcome { hull: out.hull, stats: out.stats };
     }
+    let fleet = fleet_governance(db, budget, cancel);
 
     // The hull kernel's ordering: tuples surface immediately, nodes expand
     // deepest-first (every root child is at depth 1).
@@ -488,8 +708,10 @@ pub fn par_convex_hull_query(
         let handles: Vec<_> = groups
             .into_iter()
             .map(|group| {
-                let selection = &selection;
-                scope.spawn(move || hull_worker(db, selection, dims, opts.eager_assembly, group))
+                let (selection, fleet) = (&selection, fleet.as_ref());
+                scope.spawn(move || {
+                    hull_worker(db, selection, dims, opts.eager_assembly, group, fleet)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("hull worker panicked")).collect()
@@ -502,6 +724,7 @@ pub fn par_convex_hull_query(
     let mut stats = merge_worker_stats(root_children, &worker_stats);
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    merge_fleet_outcome(&mut stats, &worker_stats, hull.len());
     ParHullOutcome { hull, stats }
 }
 
@@ -513,6 +736,7 @@ fn hull_worker(
     dims: (usize, usize),
     eager: bool,
     seeds: Vec<Seed>,
+    fg: Option<&FleetGovernance>,
 ) -> (Vec<(u64, [f64; 2])>, WorkerStats) {
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
@@ -520,11 +744,22 @@ fn hull_worker(
         heap.push(score, cand);
     }
     let mut logic = HullLogic::new(dims);
-    let nodes_expanded = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None);
+    let mut gov = worker_governor(db, fg);
+    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    if run.stop.is_some() {
+        if let Some(g) = fg {
+            g.fleet.cancel();
+        }
+    }
     let stats = WorkerStats {
-        nodes_expanded,
+        nodes_expanded: run.nodes_expanded,
         peak_heap: heap.peak_size(),
         partials_loaded: probe.partials_loaded(),
+        pops: run.pops,
+        frontier: run.frontier,
+        stop: run.stop,
+        overshoot_seconds: run.overshoot_seconds,
+        max_pop_seconds: run.max_pop_seconds,
     };
     (monotone_chain(&logic.into_points()), stats)
 }

@@ -4,7 +4,9 @@
 use pcube_cube::{normalize, Predicate, Selection};
 
 use crate::pcube::PCubeDb;
+use crate::query::budget::{CancelToken, Governor, QueryBudget};
 use crate::query::kernel::{run_kernel, SavedLists, SkylineLogic};
+use crate::query::topk::{apply_kernel_outcome, make_governor};
 use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats, ResultEntry};
 use crate::store::BooleanProbe;
 
@@ -59,12 +61,29 @@ pub fn skyline_query(
     pref_dims: &[usize],
     eager_assembly: bool,
 ) -> SkylineOutcome {
+    skyline_query_governed(db, selection, pref_dims, eager_assembly, &QueryBudget::unlimited(), None)
+}
+
+/// [`skyline_query`] under a [`QueryBudget`] and optional [`CancelToken`].
+/// When cut short, every accepted point is a true skyline member (BBS
+/// accepts only never-dominated points), so a partial skyline is a sound
+/// subset of the full answer.
+pub fn skyline_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    pref_dims: &[usize],
+    eager_assembly: bool,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> SkylineOutcome {
     // Capture the clock and ledger before probe construction so that eager
-    // assembly's signature loads are part of the measured query cost.
+    // assembly's signature loads are part of the measured query cost (and
+    // of the block budget).
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let probe = db.pcube().probe(&normalize(selection), eager_assembly);
-    skyline_query_inner(db, selection, pref_dims, probe, started, before)
+    skyline_query_inner(db, selection, pref_dims, probe, started, before, gov.as_mut())
 }
 
 /// Like [`skyline_query`] but with a caller-supplied boolean probe —
@@ -78,7 +97,7 @@ pub fn skyline_query_probed(
 ) -> SkylineOutcome {
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
-    skyline_query_inner(db, selection, pref_dims, probe, started, before)
+    skyline_query_inner(db, selection, pref_dims, probe, started, before, None)
 }
 
 fn skyline_query_inner(
@@ -88,6 +107,7 @@ fn skyline_query_inner(
     mut probe: BooleanProbe<'_>,
     started: std::time::Instant,
     before: pcube_storage::IoSnapshot,
+    gov: Option<&mut Governor>,
 ) -> SkylineOutcome {
     let selection = normalize(selection);
     let mut heap = CandidateHeap::new();
@@ -99,7 +119,7 @@ fn skyline_query_inner(
         b_list: Vec::new(),
         d_list: Vec::new(),
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before, gov);
     finish(state, stats)
 }
 
@@ -130,7 +150,7 @@ pub fn skyline_drill_down(db: &PCubeDb, prev: SkylineState, extra: Predicate) ->
         b_list: prev.b_list,
         d_list: Vec::new(),
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before, None);
     finish(state, stats)
 }
 
@@ -161,7 +181,7 @@ pub fn skyline_roll_up(db: &PCubeDb, prev: SkylineState, dim: usize) -> SkylineO
         // the stricter old predicates, hence also the relaxed ones.
         d_list: prev.d_list,
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, started, before, None);
     finish(state, stats)
 }
 
@@ -182,6 +202,7 @@ fn run(
     state: &mut SkylineState,
     started: std::time::Instant,
     before: pcube_storage::IoSnapshot,
+    gov: Option<&mut Governor>,
 ) -> QueryStats {
     let mut stats = QueryStats::default();
     let mut lists = SavedLists {
@@ -189,8 +210,9 @@ fn run(
         d_list: std::mem::take(&mut state.d_list),
     };
     let mut logic = SkylineLogic::new(&state.pref_dims, None, None, None);
-    stats.nodes_expanded =
-        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists));
+    let kernel_run =
+        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists), gov);
+    stats.nodes_expanded = kernel_run.nodes_expanded;
     state.result = logic.into_result();
     state.b_list = lists.b_list;
     state.d_list = lists.d_list;
@@ -199,5 +221,6 @@ fn run(
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    apply_kernel_outcome(&mut stats, &kernel_run, state.result.len());
     stats
 }

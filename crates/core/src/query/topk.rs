@@ -4,10 +4,53 @@
 use pcube_cube::{normalize, Predicate, Selection};
 
 use crate::pcube::PCubeDb;
-use crate::query::kernel::{run_kernel, SavedLists, TopKLogic};
+use crate::query::budget::{CancelToken, Governor, Progress, QueryBudget, QueryOutcome};
+use crate::query::kernel::{run_kernel, KernelRun, SavedLists, TopKLogic};
 use crate::query::{seed_root, Candidate, CandidateHeap, HeapEntry, QueryStats, ResultEntry};
 use crate::rank::RankingFunction;
 use crate::store::BooleanProbe;
+
+/// Builds the per-query governor, or `None` when the budget is unlimited
+/// and no cancel token is attached (the ungoverned fast path: zero checks
+/// per pop). The ledger baseline is `before` — taken ahead of probe
+/// construction, so eager assembly's loads are charged to the budget too.
+pub(crate) fn make_governor(
+    db: &PCubeDb,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Option<Governor> {
+    if budget.is_unlimited() && cancel.is_none() {
+        return None;
+    }
+    let mut gov = Governor::new(budget);
+    if let Some(c) = cancel {
+        gov = gov.with_cancel(c.clone());
+    }
+    Some(gov.with_ledger(db.stats().clone(), db.stats().total_reads()))
+}
+
+/// Folds a kernel run's stop (if any) into the stats' outcome. Call after
+/// `stats.io` is final so `blocks_used` matches the reported I/O.
+pub(crate) fn apply_kernel_outcome(
+    stats: &mut QueryStats,
+    run: &KernelRun,
+    results_so_far: usize,
+) {
+    if let Some(reason) = run.stop {
+        stats.outcome = QueryOutcome::Partial {
+            reason,
+            progress: Progress {
+                pops: run.pops,
+                nodes_expanded: run.nodes_expanded,
+                results_so_far,
+                blocks_used: stats.io.total_reads(),
+                frontier: run.frontier,
+                overshoot_seconds: run.overshoot_seconds,
+                max_pop_seconds: run.max_pop_seconds,
+            },
+        };
+    }
+}
 
 /// Saved lists for incremental drill-down/roll-up of a top-k query. The
 /// `d_list` holds the remaining search frontier at the moment the k-th
@@ -51,12 +94,30 @@ pub fn topk_query(
     f: &dyn RankingFunction,
     eager_assembly: bool,
 ) -> TopKOutcome {
+    topk_query_governed(db, selection, k, f, eager_assembly, &QueryBudget::unlimited(), None)
+}
+
+/// [`topk_query`] under a [`QueryBudget`] and optional [`CancelToken`]:
+/// stops cooperatively at pop granularity and reports a
+/// [`QueryOutcome::Partial`] when cut short. Because the serial engine
+/// accepts tuples in ascending score order, a partial top-k is always a
+/// prefix of the true top-k.
+pub fn topk_query_governed(
+    db: &PCubeDb,
+    selection: &Selection,
+    k: usize,
+    f: &dyn RankingFunction,
+    eager_assembly: bool,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> TopKOutcome {
     // Ledger captured before probe construction: eager assembly's loads
-    // count toward the query.
+    // count toward the query (and toward the block budget).
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
+    let mut gov = make_governor(db, budget, cancel);
     let probe = db.pcube().probe(&normalize(selection), eager_assembly);
-    topk_query_inner(db, selection, k, f, probe, started, before)
+    topk_query_inner(db, selection, k, f, probe, started, before, gov.as_mut())
 }
 
 /// Like [`topk_query`] but with a caller-supplied boolean probe (see
@@ -70,9 +131,10 @@ pub fn topk_query_probed(
 ) -> TopKOutcome {
     let started = std::time::Instant::now();
     let before = db.stats().snapshot();
-    topk_query_inner(db, selection, k, f, probe, started, before)
+    topk_query_inner(db, selection, k, f, probe, started, before, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn topk_query_inner(
     db: &PCubeDb,
     selection: &Selection,
@@ -81,6 +143,7 @@ fn topk_query_inner(
     mut probe: BooleanProbe<'_>,
     started: std::time::Instant,
     before: pcube_storage::IoSnapshot,
+    gov: Option<&mut Governor>,
 ) -> TopKOutcome {
     let selection = normalize(selection);
     let mut heap = CandidateHeap::new();
@@ -92,7 +155,7 @@ fn topk_query_inner(
         b_list: Vec::new(),
         d_list: Vec::new(),
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before, gov);
     finish(state, stats)
 }
 
@@ -127,7 +190,7 @@ pub fn topk_drill_down(
         b_list: prev.b_list,
         d_list: Vec::new(),
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before, None);
     finish(state, stats)
 }
 
@@ -165,7 +228,7 @@ pub fn topk_roll_up(
         // kept so later drill-downs retain full coverage.
         d_list: prev.d_list,
     };
-    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before);
+    let stats = run(db, &mut probe, &mut heap, &mut state, f, started, before, None);
     finish(state, stats)
 }
 
@@ -179,6 +242,7 @@ fn finish(mut state: TopKState, stats: QueryStats) -> TopKOutcome {
     TopKOutcome { topk, stats, state }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     db: &PCubeDb,
     probe: &mut BooleanProbe<'_>,
@@ -187,6 +251,7 @@ fn run(
     f: &dyn RankingFunction,
     started: std::time::Instant,
     before: pcube_storage::IoSnapshot,
+    gov: Option<&mut Governor>,
 ) -> QueryStats {
     let mut stats = QueryStats::default();
     let mut lists = SavedLists {
@@ -194,8 +259,9 @@ fn run(
         d_list: std::mem::take(&mut state.d_list),
     };
     let mut logic = TopKLogic::serial(state.k, f);
-    stats.nodes_expanded =
-        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists));
+    let kernel_run =
+        run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists), gov);
+    stats.nodes_expanded = kernel_run.nodes_expanded;
     state.result = logic.into_result();
     state.b_list = lists.b_list;
     state.d_list = lists.d_list;
@@ -204,5 +270,6 @@ fn run(
     stats.partials_loaded = probe.partials_loaded();
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
+    apply_kernel_outcome(&mut stats, &kernel_run, state.result.len());
     stats
 }

@@ -217,8 +217,12 @@ pub struct ShardedBufferPool {
     shards: Vec<Mutex<BufferShard>>,
     /// Power-of-two mask over the mixed page id.
     mask: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Per-shard hit/miss tallies (indexed like `shards`); totals are their
+    /// sums. Per-shard resolution lets fault-injection suites assert that
+    /// seeded faults and traffic actually spread across every shard instead
+    /// of piling onto one lock.
+    hits: Vec<AtomicU64>,
+    misses: Vec<AtomicU64>,
 }
 
 impl ShardedBufferPool {
@@ -236,8 +240,8 @@ impl ShardedBufferPool {
         ShardedBufferPool {
             shards: (0..n).map(|_| Mutex::new(BufferShard::new(per_shard))).collect(),
             mask: n as u64 - 1,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            misses: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -246,14 +250,39 @@ impl ShardedBufferPool {
         self.shards.len()
     }
 
+    /// The shard `pid` hashes to — the same index
+    /// [`Self::shard_hits`]/[`Self::shard_misses`] tally under, so tests
+    /// can predict which shard a page's traffic lands on.
+    pub fn shard_index(&self, pid: PageId) -> usize {
+        // Fibonacci mixing spreads sequential page ids across shards.
+        let h = u64::from(pid.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        (h & self.mask) as usize
+    }
+
     /// Number of read requests served from the pool.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.iter().map(|h| h.load(Ordering::Relaxed)).sum()
     }
 
     /// Number of read requests that had to touch the pager.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.iter().map(|m| m.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Read requests served from shard `shard`'s cache.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_hits(&self, shard: usize) -> u64 {
+        self.hits[shard].load(Ordering::Relaxed)
+    }
+
+    /// Read requests shard `shard` had to forward to the pager.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_misses(&self, shard: usize) -> u64 {
+        self.misses[shard].load(Ordering::Relaxed)
     }
 
     /// Pages currently cached across all shards.
@@ -267,9 +296,7 @@ impl ShardedBufferPool {
     }
 
     fn shard(&self, pid: PageId) -> &Mutex<BufferShard> {
-        // Fibonacci mixing spreads sequential page ids across shards.
-        let h = u64::from(pid.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(h & self.mask) as usize]
+        &self.shards[self.shard_index(pid)]
     }
 
     /// Reads `pid`, consulting the owning shard first. A miss charges one
@@ -284,12 +311,13 @@ impl ShardedBufferPool {
     /// Fallible [`ShardedBufferPool::read`]: a failed pager read propagates
     /// and nothing is cached, so a later retry re-reads the page.
     pub fn try_read(&self, pager: &Pager, pid: PageId) -> Result<Arc<[u8]>, crate::StorageError> {
-        let mut shard = self.shard(pid).lock().expect("shard poisoned");
+        let idx = self.shard_index(pid);
+        let mut shard = self.shards[idx].lock().expect("shard poisoned");
         if let Some(page) = shard.get(pid) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits[idx].fetch_add(1, Ordering::Relaxed);
             return Ok(page);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses[idx].fetch_add(1, Ordering::Relaxed);
         let data: Arc<[u8]> = pager.try_read(pid)?.into();
         shard.install(pid, data.clone());
         Ok(data)

@@ -127,6 +127,17 @@ impl IoStats {
         self.writes.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
+    /// Reads recorded since a `total_reads()` baseline, saturating at
+    /// zero. This is the budget-enforcement hook: a query captures
+    /// `total_reads()` when it starts and the governor charges it
+    /// `reads_since(base)` blocks — on a ledger shared between threads
+    /// the delta may include neighbours' reads, so block budgets trip
+    /// conservatively early, never late.
+    #[inline]
+    pub fn reads_since(&self, base: u64) -> u64 {
+        self.total_reads().saturating_sub(base)
+    }
+
     /// Records `n` degraded reads: storage-level failures (corrupt or
     /// unreadable signature data) that the query layer survived by falling
     /// back to unfiltered traversal. Queries stay correct; only pruning is
@@ -288,6 +299,18 @@ mod tests {
         assert_eq!(stats.writes(IoCategory::BptreePage), 2);
         assert_eq!(stats.total_reads(), 4);
         assert_eq!(stats.total_writes(), 2);
+    }
+
+    #[test]
+    fn reads_since_is_a_saturating_delta_on_totals() {
+        let stats = IoStats::default();
+        stats.record_reads(IoCategory::RtreeBlock, 10);
+        let base = stats.total_reads();
+        assert_eq!(stats.reads_since(base), 0);
+        stats.record_reads(IoCategory::SignaturePage, 4);
+        stats.record_reads(IoCategory::HeapScan, 2);
+        assert_eq!(stats.reads_since(base), 6);
+        assert_eq!(stats.reads_since(base + 100), 0, "stale base saturates");
     }
 
     #[test]

@@ -1,13 +1,20 @@
 //! A tiny interactive shell over the SQL front end: builds the used-car
-//! database and answers `SELECT SKYLINE …` / `SELECT TOP k …` statements.
+//! database (or opens a saved image) and answers `SELECT SKYLINE …` /
+//! `SELECT TOP k …` statements plus the session directives
+//! `SET DEADLINE_MS n`, `SET MAX_BLOCKS n`, `CANCEL` and `RESET`.
 //!
-//! Run with: `cargo run --release --example sql_repl`
+//! Run with: `cargo run --release --example sql_repl [path/to/image.pcube]`
 //! Pipe statements in, or type interactively (empty line or `quit` exits):
 //!
 //! ```text
 //! echo "select top 5 from cars where type = 'sedan' order by price" \
 //!     | cargo run --release --example sql_repl
 //! ```
+//!
+//! With a path argument the shell opens a database saved with
+//! `PCubeDb::save`. A missing, truncated or corrupt image is reported as
+//! a rendered persist error naming the failing section and byte offset —
+//! never a panic.
 
 use pcube::prelude::*;
 use pcube::sql;
@@ -15,7 +22,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, Write};
 
-fn main() {
+/// The demo dataset: 20k used cars with three boolean and two preference
+/// dimensions, as in the paper's running example.
+fn build_cars() -> PCubeDb {
     let mut rng = StdRng::seed_from_u64(2008);
     let mut cars = Relation::new(Schema::new(&["type", "maker", "color"], &["price", "mileage"]));
     let types = ["sedan", "suv", "coupe", "truck"];
@@ -30,14 +39,40 @@ fn main() {
         let mileage = (age * 0.8 + rng.gen::<f64>() * 0.2).clamp(0.0, 0.999);
         cars.push(&[t, m, c], &[price, mileage]);
     }
-    let db = PCubeDb::build(cars, &PCubeConfig::default());
-    println!(
-        "pcube sql shell — table `cars` ({} rows; boolean: type, maker, color; \
-         preference: price, mileage)",
-        db.relation().len()
-    );
-    println!("example: select top 5 from cars where color = 'red' order by price + 0.5 * mileage");
+    PCubeDb::build(cars, &PCubeConfig::default())
+}
 
+fn main() {
+    let db = match std::env::args().nth(1) {
+        // A malformed or corrupt image must surface as the typed persist
+        // error — section, byte offset, cause — not a panic.
+        Some(path) => match PCubeDb::open(&path) {
+            Ok(db) => {
+                println!("opened {path}");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => build_cars(),
+    };
+    let schema = db.relation().schema();
+    let bools: Vec<&str> = (0..schema.n_bool()).map(|d| schema.bool_name(d)).collect();
+    let prefs: Vec<&str> = (0..schema.n_pref()).map(|d| schema.pref_name(d)).collect();
+    println!(
+        "pcube sql shell — {} rows; boolean: {}; preference: {}",
+        db.relation().len(),
+        bools.join(", "),
+        prefs.join(", "),
+    );
+    println!("example: select top 5 from r where {} = '…' order by {}",
+        bools.first().copied().unwrap_or("dim"),
+        prefs.first().copied().unwrap_or("dim"));
+    println!("session: SET DEADLINE_MS n | SET MAX_BLOCKS n | CANCEL | RESET");
+
+    let mut session = sql::SqlSession::new();
     let stdin = std::io::stdin();
     loop {
         print!("pcube> ");
@@ -50,19 +85,19 @@ fn main() {
         if line.is_empty() || line.eq_ignore_ascii_case("quit") {
             break;
         }
-        match sql::execute(&db, line) {
+        match session.run(&db, line) {
             Err(e) => println!("{e}"),
-            Ok(out) => {
+            Ok(sql::SessionReply::Ack(msg)) => println!("  {msg}"),
+            Ok(sql::SessionReply::Rows(out)) => {
                 for row in out.rows.iter().take(20) {
                     let score = row.score.map(|s| format!("  score {s:.5}")).unwrap_or_default();
+                    let coords: Vec<String> =
+                        row.coords.iter().map(|c| format!("{c:.3}")).collect();
                     println!(
-                        "  tid {:<6} {:<7} {:<7} {:<6} price {:.3} mileage {:.3}{}",
+                        "  tid {:<6} {}  [{}]{}",
                         row.tid,
-                        row.bool_values[0],
-                        row.bool_values[1],
-                        row.bool_values[2],
-                        row.coords[0],
-                        row.coords[1],
+                        row.bool_values.join(" "),
+                        coords.join(", "),
                         score
                     );
                 }
@@ -76,6 +111,9 @@ fn main() {
                     out.stats.io.reads(IoCategory::SignaturePage),
                     out.stats.peak_heap
                 );
+                if let Some(notice) = sql::render_outcome(&out.stats) {
+                    println!("  {notice}");
+                }
                 if let Some(plan) = sql::explain_plan(&out.stats) {
                     for line in plan.lines() {
                         println!("  {line}");

@@ -25,12 +25,13 @@ use pcube_baselines::{
     BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
 };
 use pcube_core::{
-    skyline_query, topk_query, Executor, PCubeDb, PCubeExecutor, Planner, QueryStats,
-    RankingFunction, SkylineRows, TopKRows,
+    skyline_query_governed, topk_query_governed, CancelToken, Executor, PCubeDb, PCubeExecutor,
+    Planner, QueryBudget, QueryOutcome, QueryStats, RankingFunction, SkylineRows, TopKRows,
 };
 use pcube_cube::{Predicate, Selection};
 use pcube_rtree::Mbr;
 use std::fmt;
+use std::time::Duration;
 
 /// A parse or binding failure, with a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -288,6 +289,65 @@ pub struct SqlStatement {
     pub query: SqlQuery,
 }
 
+/// A session directive or a query statement — what one REPL line parses
+/// to under [`parse_command`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlCommand {
+    /// A `SELECT …` (optionally `EXPLAIN`-prefixed) statement.
+    Statement(SqlStatement),
+    /// `SET DEADLINE_MS <n>` — apply an `n`-millisecond wall-clock
+    /// deadline to every following statement (`0` clears it).
+    SetDeadlineMs(u64),
+    /// `SET MAX_BLOCKS <n>` — cap the block reads each following
+    /// statement may charge (`0` clears it).
+    SetMaxBlocks(u64),
+    /// `CANCEL` — trip the session's [`CancelToken`]. Meant to be issued
+    /// from another thread holding a clone of the token; at the prompt it
+    /// demonstrates the path (every query returns `Partial(Cancelled)`
+    /// until `RESET`).
+    Cancel,
+    /// `RESET` — re-arm a cancelled session.
+    Reset,
+}
+
+/// Parses one REPL line: a session directive (`SET …`, `CANCEL`, `RESET`)
+/// or a query statement.
+pub fn parse_command(sql: &str) -> Result<SqlCommand, SqlError> {
+    let mut p = Parser { tokens: lex(sql)?, pos: 0 };
+    if p.keyword("set") {
+        let knob = p.ident()?;
+        let n = p.number()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return err(format!("SET {} takes a non-negative integer", knob.to_uppercase()));
+        }
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return if knob.eq_ignore_ascii_case("deadline_ms") {
+            Ok(SqlCommand::SetDeadlineMs(n as u64))
+        } else if knob.eq_ignore_ascii_case("max_blocks") {
+            Ok(SqlCommand::SetMaxBlocks(n as u64))
+        } else {
+            err(format!("unknown session knob {knob:?} (try DEADLINE_MS or MAX_BLOCKS)"))
+        };
+    }
+    if p.keyword("cancel") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Cancel);
+    }
+    if p.keyword("reset") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Reset);
+    }
+    let explain = p.keyword("explain");
+    let query = parse_query(&mut p)?;
+    Ok(SqlCommand::Statement(SqlStatement { explain, query }))
+}
+
 /// Parses one statement of the paper's query notation.
 pub fn parse(sql: &str) -> Result<SqlQuery, SqlError> {
     Ok(parse_statement(sql)?.query)
@@ -457,7 +517,32 @@ fn decode_row(db: &PCubeDb, tid: u64, coords: &[f64], score: Option<f64>) -> Res
 /// decision — chosen engine, selectivity, per-engine block estimates — is
 /// recorded in `stats.plan` (render it with [`explain_plan`]).
 pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
+    execute_with(db, sql, &QueryBudget::unlimited(), None)
+}
+
+/// [`execute`] under a [`QueryBudget`] and optional [`CancelToken`]. When
+/// the budget trips, the rows are a best-effort partial answer and
+/// `stats.outcome` carries the [`QueryOutcome::Partial`] reason and
+/// progress counters (render them with [`render_outcome`]). `EXPLAIN`
+/// statements additionally plan with the budget: the planner substitutes
+/// the cheapest engine whose §VI estimate fits, and the swap is reported
+/// by [`explain_plan`].
+pub fn execute_with(
+    db: &PCubeDb,
+    sql: &str,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Result<SqlOutcome, SqlError> {
     let stmt = parse_statement(sql)?;
+    execute_statement(db, stmt, budget, cancel)
+}
+
+fn execute_statement(
+    db: &PCubeDb,
+    stmt: SqlStatement,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Result<SqlOutcome, SqlError> {
     match stmt.query {
         SqlQuery::Skyline { predicates, pref_dims } => {
             let selection = bind_selection(db, &predicates)?;
@@ -470,9 +555,9 @@ pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
                     .collect::<Result<Vec<_>, _>>()?
             };
             let (skyline, stats) = if stmt.explain {
-                planned_skyline(db, &selection, &dims)?
+                planned_skyline(db, &selection, &dims, budget, cancel)?
             } else {
-                let out = skyline_query(db, &selection, &dims, false);
+                let out = skyline_query_governed(db, &selection, &dims, false, budget, cancel);
                 (out.skyline, out.stats)
             };
             Ok(SqlOutcome {
@@ -496,9 +581,9 @@ pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
                 .collect::<Result<Vec<_>, SqlError>>()?;
             let f = CompiledRanking { terms };
             let (topk, stats) = if stmt.explain {
-                planned_topk(db, &selection, k, &f)?
+                planned_topk(db, &selection, k, &f, budget, cancel)?
             } else {
-                let out = topk_query(db, &selection, k, &f, false);
+                let out = topk_query_governed(db, &selection, k, &f, false, budget, cancel);
                 (out.topk, out.stats)
             };
             Ok(SqlOutcome {
@@ -512,12 +597,94 @@ pub fn execute(db: &PCubeDb, sql: &str) -> Result<SqlOutcome, SqlError> {
     }
 }
 
+/// Per-connection execution state: a deadline and block cap applied to
+/// every statement, plus a [`CancelToken`] that a concurrent thread (or a
+/// `CANCEL` directive) can trip to stop the in-flight query. Drive it
+/// with [`SqlSession::run`], which also interprets the session
+/// directives of [`SqlCommand`].
+#[derive(Debug, Clone, Default)]
+pub struct SqlSession {
+    deadline_ms: Option<u64>,
+    max_blocks: Option<u64>,
+    cancel: CancelToken,
+}
+
+/// What one [`SqlSession::run`] call produced.
+pub enum SessionReply {
+    /// A query ran; rows and stats.
+    Rows(Box<SqlOutcome>),
+    /// A session directive was applied; a one-line acknowledgement.
+    Ack(String),
+}
+
+impl SqlSession {
+    /// A fresh session: no deadline, no block cap, not cancelled.
+    pub fn new() -> Self {
+        SqlSession::default()
+    }
+
+    /// The session's cancel token. Clone it into another thread to cancel
+    /// the statement currently running on this session.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The per-statement budget implied by the session knobs.
+    pub fn budget(&self) -> QueryBudget {
+        let mut b = QueryBudget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(blocks) = self.max_blocks {
+            b = b.with_block_budget(blocks);
+        }
+        b
+    }
+
+    /// Parses and runs one line — a directive or a statement — against
+    /// `db` under the session's budget and cancel token.
+    pub fn run(&mut self, db: &PCubeDb, line: &str) -> Result<SessionReply, SqlError> {
+        match parse_command(line)? {
+            SqlCommand::SetDeadlineMs(ms) => {
+                self.deadline_ms = (ms > 0).then_some(ms);
+                Ok(SessionReply::Ack(match self.deadline_ms {
+                    Some(ms) => format!("deadline set to {ms} ms per statement"),
+                    None => "deadline cleared".to_owned(),
+                }))
+            }
+            SqlCommand::SetMaxBlocks(blocks) => {
+                self.max_blocks = (blocks > 0).then_some(blocks);
+                Ok(SessionReply::Ack(match self.max_blocks {
+                    Some(b) => format!("block budget set to {b} reads per statement"),
+                    None => "block budget cleared".to_owned(),
+                }))
+            }
+            SqlCommand::Cancel => {
+                self.cancel.cancel();
+                Ok(SessionReply::Ack(
+                    "session cancelled — statements stop immediately until RESET".to_owned(),
+                ))
+            }
+            SqlCommand::Reset => {
+                self.cancel.reset();
+                Ok(SessionReply::Ack("session re-armed".to_owned()))
+            }
+            SqlCommand::Statement(stmt) => {
+                execute_statement(db, stmt, &self.budget(), Some(&self.cancel))
+                    .map(|out| SessionReply::Rows(Box::new(out)))
+            }
+        }
+    }
+}
+
 /// Runs a top-k statement through the planner over all four engines.
 fn planned_topk(
     db: &PCubeDb,
     selection: &Selection,
     k: usize,
     f: &dyn RankingFunction,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
 ) -> Result<(TopKRows, QueryStats), SqlError> {
     let planner = Planner::new(db);
     let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
@@ -525,7 +692,7 @@ fn planned_topk(
     let merge = IndexMergeExecutor::new(&indexes);
     let executors: Vec<&dyn Executor> =
         vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
-    db.plan_and_run_topk(&planner, &executors, selection, k, f)
+    db.plan_and_run_topk_governed(&planner, &executors, selection, k, f, budget, cancel)
         .map_err(|e| SqlError(e.to_string()))
 }
 
@@ -535,6 +702,8 @@ fn planned_skyline(
     db: &PCubeDb,
     selection: &Selection,
     pref_dims: &[usize],
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
 ) -> Result<(SkylineRows, QueryStats), SqlError> {
     let planner = Planner::new(db);
     let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());
@@ -542,8 +711,20 @@ fn planned_skyline(
     let merge = IndexMergeExecutor::new(&indexes);
     let executors: Vec<&dyn Executor> =
         vec![&PCubeExecutor, &boolean, &DominationFirstExecutor, &merge];
-    db.plan_and_run_skyline(&planner, &executors, selection, pref_dims)
+    db.plan_and_run_skyline_governed(&planner, &executors, selection, pref_dims, budget, cancel)
         .map_err(|e| SqlError(e.to_string()))
+}
+
+/// Renders a [`QueryOutcome::Partial`] as a one-line notice (`None` for
+/// complete queries): the stop reason plus how far the query got.
+pub fn render_outcome(stats: &QueryStats) -> Option<String> {
+    let QueryOutcome::Partial { reason, progress } = &stats.outcome else {
+        return None;
+    };
+    Some(format!(
+        "partial result: {reason} after {} pops, {} rows, {} blocks ({} heap entries unexplored)",
+        progress.pops, progress.results_so_far, progress.blocks_used, progress.frontier,
+    ))
 }
 
 /// Renders the planner decision recorded in `stats` as an `EXPLAIN`-style
@@ -567,6 +748,19 @@ pub fn explain_plan(stats: &QueryStats) -> Option<String> {
             e.sequential_blocks,
             e.seconds,
         ));
+    }
+    if plan.budget_limited {
+        match plan.fallback_from {
+            Some(from) => out.push_str(&format!(
+                "  budget: {} exceeds the query budget; fell back to {}\n",
+                from.name(),
+                plan.chosen.name(),
+            )),
+            None => out.push_str(
+                "  budget: no engine's estimate fits the query budget; \
+                 running the cost winner under governance\n",
+            ),
+        }
     }
     Some(out)
 }
@@ -670,6 +864,91 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive() {
         assert!(parse("SeLeCt SkYlInE fRoM r").is_ok());
+    }
+
+    #[test]
+    fn parses_session_directives() {
+        assert_eq!(parse_command("SET DEADLINE_MS 250").unwrap(), SqlCommand::SetDeadlineMs(250));
+        assert_eq!(parse_command("set max_blocks 1000").unwrap(), SqlCommand::SetMaxBlocks(1000));
+        assert_eq!(parse_command("CANCEL").unwrap(), SqlCommand::Cancel);
+        assert_eq!(parse_command("reset").unwrap(), SqlCommand::Reset);
+        assert!(matches!(
+            parse_command("select skyline from r").unwrap(),
+            SqlCommand::Statement(_)
+        ));
+        for bad in ["set", "set deadline_ms", "set deadline_ms -1", "set deadline_ms 1.5",
+            "set warp_factor 9", "cancel now", "reset please"]
+        {
+            assert!(parse_command(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn session_budget_and_cancel_govern_statements() {
+        use pcube_core::{PCubeConfig, StopReason};
+        use pcube_data::{synthetic, SyntheticSpec};
+
+        let spec = SyntheticSpec { n_tuples: 400, n_bool: 2, n_pref: 2, ..Default::default() };
+        let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+        let mut session = SqlSession::new();
+
+        // Ungoverned session: complete answer.
+        let SessionReply::Rows(full) = session.run(&db, "select skyline from r").unwrap() else {
+            panic!("query lines return rows");
+        };
+        assert!(full.stats.outcome.is_complete());
+        assert!(render_outcome(&full.stats).is_none());
+
+        // A one-block budget trips almost immediately; the partial result
+        // is rendered, and a sound subset of the full skyline.
+        let SessionReply::Ack(_) = session.run(&db, "set max_blocks 1").unwrap() else {
+            panic!("directives return acks");
+        };
+        assert_eq!(session.budget().max_blocks(), Some(1));
+        let SessionReply::Rows(cut) = session.run(&db, "select skyline from r").unwrap() else {
+            panic!("query lines return rows");
+        };
+        assert_eq!(cut.stats.outcome.partial_reason(), Some(StopReason::BlockBudgetExceeded));
+        assert!(render_outcome(&cut.stats).unwrap().contains("block budget exceeded"));
+        let full_tids: std::collections::HashSet<u64> =
+            full.rows.iter().map(|r| r.tid).collect();
+        assert!(cut.rows.iter().all(|r| full_tids.contains(&r.tid)), "partial ⊆ full");
+
+        // CANCEL stops statements instantly until RESET re-arms.
+        session.run(&db, "set max_blocks 0").unwrap();
+        session.run(&db, "cancel").unwrap();
+        let SessionReply::Rows(out) = session.run(&db, "select skyline from r").unwrap() else {
+            panic!("query lines return rows");
+        };
+        assert_eq!(out.stats.outcome.partial_reason(), Some(StopReason::Cancelled));
+        session.run(&db, "reset").unwrap();
+        let SessionReply::Rows(out) = session.run(&db, "select skyline from r").unwrap() else {
+            panic!("query lines return rows");
+        };
+        assert!(out.stats.outcome.is_complete());
+        assert_eq!(out.rows.len(), full.rows.len());
+    }
+
+    #[test]
+    fn explain_renders_budget_fallback() {
+        use pcube_core::{PCubeConfig, StopReason};
+        use pcube_data::{synthetic, SyntheticSpec};
+
+        let spec = SyntheticSpec { n_tuples: 400, n_bool: 2, n_pref: 2, ..Default::default() };
+        let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+
+        // An unsatisfiably small block budget: no engine fits, the raw cost
+        // winner runs governed, and EXPLAIN says so.
+        let budget = QueryBudget::unlimited().with_block_budget(1);
+        let out = execute_with(&db, "explain select skyline from r", &budget, None).unwrap();
+        let plan = out.stats.plan.as_ref().expect("EXPLAIN records a plan");
+        assert!(plan.budget_limited);
+        assert!(explain_plan(&out.stats).unwrap().contains("budget:"));
+        assert_eq!(
+            out.stats.outcome.partial_reason(),
+            Some(StopReason::BlockBudgetExceeded),
+            "the chosen engine still stops when the budget trips"
+        );
     }
 
     #[test]

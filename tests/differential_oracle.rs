@@ -12,8 +12,9 @@ use pcube::baselines::{
 };
 use pcube::core::{
     convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
-    par_skyline_query, par_topk_query, skyline_query, topk_query, Executor, LinearFn, PCubeConfig,
-    PCubeDb, PCubeExecutor, ParallelOptions, Planner, RankingFunction,
+    par_skyline_query, par_topk_query, skyline_query, skyline_query_governed, topk_query,
+    topk_query_governed, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, ParallelOptions,
+    Planner, QueryBudget, RankingFunction, StopReason,
 };
 use pcube::cube::{Predicate, Relation, Schema, Selection};
 use proptest::prelude::*;
@@ -274,6 +275,66 @@ proptest! {
         let plan = stats.plan.expect("planner decision recorded");
         for e in &plan.estimates {
             prop_assert!(e.blocks().is_finite() && e.blocks() > 0.0, "{:?}", e);
+        }
+    }
+
+    /// Early termination must not corrupt the books: for any block budget,
+    /// the `IoSnapshot` in the returned stats equals the delta actually
+    /// charged on the database's shared ledger, and a `Partial` outcome's
+    /// progress counters agree with the stats and the rows returned. A
+    /// budget generous enough never to trip must leave the answer
+    /// bit-identical to the ungoverned run.
+    #[test]
+    fn early_termination_counters_equal_blocks_actually_touched(
+        rows in arb_rows(2, 2, 150),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        k in 1usize..12,
+        max_blocks in 1u64..40,
+    ) {
+        let db = db_from(&rows, 2, 2);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let f = LinearFn::new(vec![0.6, 0.4]);
+        let full_topk = topk_query(&db, &sel, k, &f, false);
+        let full_sky = skyline_query(&db, &sel, &[0, 1], false);
+        let budget = QueryBudget::unlimited().with_block_budget(max_blocks);
+
+        // Top-k: the ledger delta measured outside the query must equal
+        // the stats the query reports about itself.
+        let base = db.stats().total_reads();
+        let cut = topk_query_governed(&db, &sel, k, &f, false, &budget, None);
+        let delta = db.stats().total_reads() - base;
+        prop_assert_eq!(cut.stats.io.total_reads(), delta, "top-k stats vs ledger");
+        match &cut.stats.outcome {
+            pcube::core::QueryOutcome::Complete => {
+                prop_assert_eq!(&cut.topk, &full_topk.topk, "untripped run is identical");
+            }
+            pcube::core::QueryOutcome::Partial { reason, progress } => {
+                prop_assert_eq!(*reason, StopReason::BlockBudgetExceeded);
+                prop_assert_eq!(progress.blocks_used, delta, "progress vs ledger");
+                prop_assert!(progress.blocks_used > max_blocks, "trips only past the budget");
+                prop_assert_eq!(progress.nodes_expanded, cut.stats.nodes_expanded);
+                prop_assert_eq!(progress.results_so_far, cut.topk.len());
+                prop_assert!(progress.pops >= cut.stats.nodes_expanded,
+                    "every expansion was popped first");
+                // Serial partial top-k is a prefix of the true top-k.
+                prop_assert_eq!(&cut.topk[..], &full_topk.topk[..cut.topk.len()]);
+            }
+        }
+
+        // Skyline: same bookkeeping contract; a partial is a sound subset.
+        let base = db.stats().total_reads();
+        let cut = skyline_query_governed(&db, &sel, &[0, 1], false, &budget, None);
+        let delta = db.stats().total_reads() - base;
+        prop_assert_eq!(cut.stats.io.total_reads(), delta, "skyline stats vs ledger");
+        if let pcube::core::QueryOutcome::Partial { progress, .. } = &cut.stats.outcome {
+            prop_assert_eq!(progress.blocks_used, delta);
+            prop_assert_eq!(progress.results_so_far, cut.skyline.len());
+            for p in &cut.skyline {
+                prop_assert!(full_sky.skyline.contains(p), "partial skyline ⊆ full");
+            }
+        } else {
+            prop_assert_eq!(&cut.skyline, &full_sky.skyline);
         }
     }
 

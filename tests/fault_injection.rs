@@ -221,6 +221,79 @@ fn corrupt_signature_pages_degrade_but_answers_stay_exact() {
     );
 }
 
+/// Seeded faults must exercise every shard of the concurrent buffer pool,
+/// not just the pages that happen to hash to shard 0. Allocate until each
+/// of the 8 shards owns several pages, then run a faulted read workload
+/// over all of them (retrying failed reads, which cache nothing) and check
+/// the per-shard ledgers: every shard tallies exactly one miss per owned
+/// page plus one per fault it absorbed, and serves the two re-read rounds
+/// entirely from its own cache.
+#[test]
+fn seeded_faults_spread_across_every_buffer_pool_shard() {
+    use pcube::storage::{PageId, ShardedBufferPool};
+
+    let page_size = 256usize;
+    let mut pager = Pager::new(page_size, IoCategory::SignaturePage, IoStats::new_shared());
+    let pool = ShardedBufferPool::new(256, 8);
+    let shards = pool.shard_count();
+    assert_eq!(shards, 8, "8-way pool requested");
+
+    // Bucket freshly allocated pages by the shard they hash to until every
+    // shard owns at least four.
+    let mut per_shard: Vec<Vec<PageId>> = vec![Vec::new(); shards];
+    while per_shard.iter().any(|v| v.len() < 4) {
+        let pid = pager.allocate();
+        assert!(pid.index() < 200, "Fibonacci mixing should cover 8 shards quickly");
+        pager.write(pid, &vec![pid.0 as u8; page_size]);
+        per_shard[pool.shard_index(pid)].push(pid);
+    }
+
+    pager.set_fault_plan(FaultPlan::seeded(77).with_read_errors(0.4));
+    let mut shard_faults = vec![0u64; shards];
+    for _round in 0..3 {
+        for (s, pids) in per_shard.iter().enumerate() {
+            for &pid in pids {
+                // A failed read installs nothing, so each retry goes back to
+                // the (faulted) pager until the seeded plan lets it through.
+                let mut attempts = 0;
+                loop {
+                    match pool.try_read(&pager, pid) {
+                        Ok(page) => {
+                            assert_eq!(page[0], pid.0 as u8, "page {pid:?} content survives");
+                            break;
+                        }
+                        Err(_) => {
+                            shard_faults[s] += 1;
+                            attempts += 1;
+                            assert!(attempts < 1_000, "seeded plan at p=0.4 must let reads through");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(shard_faults.iter().sum::<u64>() > 0, "plan at p=0.4 must fire at least once");
+    let mut hit_sum = 0;
+    let mut miss_sum = 0;
+    for s in 0..shards {
+        let owned = per_shard[s].len() as u64;
+        // Round 1: one successful miss per page plus one miss per absorbed
+        // fault. Rounds 2–3 are pure cache hits (faults never evict).
+        assert_eq!(
+            pool.shard_misses(s),
+            owned + shard_faults[s],
+            "shard {s}: one miss per page plus one per injected fault"
+        );
+        assert_eq!(pool.shard_hits(s), 2 * owned, "shard {s}: re-read rounds hit its cache");
+        assert!(shard_faults[s] > 0, "shard {s}: seeded faults must reach every shard");
+        hit_sum += pool.shard_hits(s);
+        miss_sum += pool.shard_misses(s);
+    }
+    assert_eq!(pool.hits(), hit_sum, "global hit count is the per-shard sum");
+    assert_eq!(pool.misses(), miss_sum, "global miss count is the per-shard sum");
+}
+
 /// Allocation exhaustion surfaces as a typed error, not a panic or a bad
 /// page id.
 #[test]
