@@ -1,0 +1,282 @@
+//! Durability benchmark: recovery time as a function of WAL length, and the
+//! write-throughput overhead of WAL + checkpointing.
+//!
+//! Two sweeps:
+//!
+//! * **recovery vs WAL depth** — apply `N` maintenance transactions with
+//!   checkpoints disabled, snapshot the durable bytes at several depths, and
+//!   time `open_or_recover_from_state` at each. Replay work should scale
+//!   with the WAL suffix, so recovery time grows roughly linearly and a
+//!   checkpoint resets it to near the clean-open floor.
+//! * **checkpoint overhead** — the same write workload at several
+//!   `checkpoint_every` cadences (plus the WAL-only and bare in-memory
+//!   baselines), reporting transactions/second.
+//!
+//! Also a correctness gate: every recovered database must answer the probe
+//! skyline exactly like the live master it was recovered from, or the
+//! binary exits non-zero.
+//!
+//! Usage: `recovery_bench [--txns N] [--tuples N] [--ops-per-txn K]
+//! [--out PATH]` — results land in `BENCH_recovery.json`.
+
+use pcube_core::{
+    skyline_query, DurabilityOptions, DurableDb, MaintenanceOp, PCubeConfig, PCubeDb,
+};
+use pcube_cube::Relation;
+use pcube_data::{synthetic, SyntheticSpec};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Config {
+    txns: usize,
+    tuples: usize,
+    ops_per_txn: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        txns: 400,
+        tuples: 10_000,
+        ops_per_txn: 4,
+        out: "BENCH_recovery.json".into(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |n: usize| {
+            args.get(n).unwrap_or_else(|| {
+                eprintln!("{} needs a value", args[n - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--txns" => {
+                cfg.txns = need(i + 1).parse().expect("--txns N");
+                i += 2;
+            }
+            "--tuples" => {
+                cfg.tuples = need(i + 1).parse().expect("--tuples N");
+                i += 2;
+            }
+            "--ops-per-txn" => {
+                cfg.ops_per_txn = need(i + 1).parse().expect("--ops-per-txn K");
+                i += 2;
+            }
+            "--out" => {
+                cfg.out = need(i + 1).clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+fn seed_relation(tuples: usize) -> Relation {
+    let spec = SyntheticSpec {
+        n_tuples: tuples,
+        n_bool: 3,
+        n_pref: 2,
+        cardinality: 8,
+        ..Default::default()
+    };
+    synthetic(&spec)
+}
+
+/// The deterministic write workload: transaction `t` as a pure function of
+/// `t` and a live-set model, so every run (and every recovery oracle) sees
+/// identical operations.
+struct Workload {
+    live: BTreeSet<u64>,
+    next_tid: u64,
+    ops_per_txn: usize,
+}
+
+impl Workload {
+    fn new(seed_rows: usize, ops_per_txn: usize) -> Self {
+        Workload {
+            live: (0..seed_rows as u64).collect(),
+            next_tid: seed_rows as u64,
+            ops_per_txn,
+        }
+    }
+
+    fn txn(&mut self, t: usize) -> Vec<MaintenanceOp> {
+        let base = self.next_tid;
+        let mut ops = Vec::with_capacity(self.ops_per_txn);
+        for j in 0..self.ops_per_txn.saturating_sub(1).max(1) {
+            let i = (t * self.ops_per_txn + j) as u64;
+            ops.push(MaintenanceOp::Insert {
+                codes: vec![(i % 8) as u32, (i % 8) as u32, (i % 8) as u32],
+                coords: vec![
+                    (i as f64 * 0.2711 + 0.03).fract(),
+                    (i as f64 * 0.4131 + 0.17).fract(),
+                ],
+            });
+            self.live.insert(self.next_tid);
+            self.next_tid += 1;
+        }
+        if self.ops_per_txn > 1 && !t.is_multiple_of(2) {
+            let candidates: Vec<u64> =
+                self.live.iter().copied().filter(|&x| x < base).collect();
+            let victim = candidates[(t * 13) % candidates.len()];
+            ops.push(MaintenanceOp::Delete { tid: victim });
+            self.live.remove(&victim);
+        }
+        ops
+    }
+}
+
+fn probe_skyline(db: &PCubeDb) -> Vec<u64> {
+    let mut tids: Vec<u64> =
+        skyline_query(db, &Vec::new(), &[0, 1], false).skyline.iter().map(|p| p.0).collect();
+    tids.sort_unstable();
+    tids
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut mismatches = 0u64;
+
+    // --- sweep 1: recovery time vs WAL length -----------------------------
+    eprintln!(
+        "recovery sweep: {} txns x {} ops over {} tuples",
+        cfg.txns, cfg.ops_per_txn, cfg.tuples
+    );
+    let mut db = DurableDb::create(
+        seed_relation(cfg.tuples),
+        &PCubeConfig::default(),
+        DurabilityOptions { fsync_every: 1, checkpoint_every: 0 },
+    );
+    let mut workload = Workload::new(cfg.tuples, cfg.ops_per_txn);
+    let depths = [0, cfg.txns / 8, cfg.txns / 4, cfg.txns / 2, cfg.txns];
+    let mut recovery_rows = Vec::new();
+    let mut applied = 0usize;
+    for &depth in &depths {
+        while applied < depth {
+            db.apply(&workload.txn(applied)).expect("apply");
+            applied += 1;
+        }
+        let state = db.durable_state();
+        let start = Instant::now();
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+                .expect("recovery");
+        let micros = start.elapsed().as_micros();
+        if probe_skyline(recovered.db()) != probe_skyline(db.db()) {
+            eprintln!("FAIL: recovered answers diverge at depth {depth}");
+            mismatches += 1;
+        }
+        eprintln!(
+            "  wal {:>9} bytes, {:>4} txns -> recovered in {:>8} us ({} records)",
+            state.wal.len(),
+            report.txns_replayed,
+            micros,
+            report.records_replayed
+        );
+        recovery_rows.push((depth, state.wal.len(), report.records_replayed, micros));
+    }
+
+    // A checkpoint resets recovery to the clean-open floor.
+    db.checkpoint().expect("checkpoint");
+    let state = db.durable_state();
+    let start = Instant::now();
+    let (recovered, report) =
+        DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+            .expect("post-checkpoint recovery");
+    let post_ckpt_micros = start.elapsed().as_micros();
+    if !report.clean {
+        eprintln!("FAIL: post-checkpoint open was not clean: {report}");
+        mismatches += 1;
+    }
+    if probe_skyline(recovered.db()) != probe_skyline(db.db()) {
+        eprintln!("FAIL: post-checkpoint recovered answers diverge");
+        mismatches += 1;
+    }
+    eprintln!("  post-checkpoint clean open: {post_ckpt_micros} us");
+
+    // --- sweep 2: checkpoint overhead on write throughput -----------------
+    let cadences: [(&str, Option<u64>); 4] =
+        [("bare", None), ("wal_only", Some(0)), ("ckpt_every_64", Some(64)), ("ckpt_every_16", Some(16))];
+    let mut throughput_rows = Vec::new();
+    for (label, cadence) in cadences {
+        let start = Instant::now();
+        match cadence {
+            None => {
+                // Baseline: the same maintenance with no durability at all.
+                let mut bare = PCubeDb::build(seed_relation(cfg.tuples), &PCubeConfig::default());
+                let mut w = Workload::new(cfg.tuples, cfg.ops_per_txn);
+                for t in 0..cfg.txns {
+                    for op in w.txn(t) {
+                        match op {
+                            MaintenanceOp::Insert { codes, coords } => {
+                                bare.insert_coded(&codes, &coords);
+                            }
+                            MaintenanceOp::Delete { tid } => {
+                                bare.delete(tid);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(every) => {
+                let mut d = DurableDb::create(
+                    seed_relation(cfg.tuples),
+                    &PCubeConfig::default(),
+                    DurabilityOptions { fsync_every: 1, checkpoint_every: every },
+                );
+                let mut w = Workload::new(cfg.tuples, cfg.ops_per_txn);
+                for t in 0..cfg.txns {
+                    d.apply(&w.txn(t)).expect("apply");
+                }
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let tps = cfg.txns as f64 / secs;
+        eprintln!("  {label:>14}: {tps:>9.1} txns/s ({secs:.3} s)");
+        throughput_rows.push((label, secs, tps));
+    }
+
+    // --- emit ------------------------------------------------------------
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"recovery_bench\",");
+    let _ = writeln!(json, "  \"tuples\": {},", cfg.tuples);
+    let _ = writeln!(json, "  \"txns\": {},", cfg.txns);
+    let _ = writeln!(json, "  \"ops_per_txn\": {},", cfg.ops_per_txn);
+    json.push_str("  \"recovery_vs_wal\": [\n");
+    for (i, (depth, wal_bytes, records, micros)) in recovery_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"txns\": {depth}, \"wal_bytes\": {wal_bytes}, \"records_replayed\": {records}, \"recovery_us\": {micros}}}"
+        );
+        json.push_str(if i + 1 < recovery_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"post_checkpoint_open_us\": {post_ckpt_micros},");
+    json.push_str("  \"write_throughput\": [\n");
+    for (i, (label, secs, tps)) in throughput_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{label}\", \"seconds\": {secs:.4}, \"txns_per_sec\": {tps:.1}}}"
+        );
+        json.push_str(if i + 1 < throughput_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"result_mismatches\": {mismatches}");
+    json.push_str("}\n");
+    std::fs::write(&cfg.out, &json).expect("write results json");
+    println!("{json}");
+
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} recovered databases diverged from their masters");
+        std::process::exit(1);
+    }
+    eprintln!("OK: recovery scales with WAL depth; checkpoint resets it");
+}

@@ -32,6 +32,23 @@ pub struct BPlusTree {
     internal_cache: RwLock<HashMap<PageId, Box<[u8]>>>,
 }
 
+impl Clone for BPlusTree {
+    /// Deep copy over a cloned pager. The clone keeps the pinning flag but
+    /// starts with a cold internal cache (it refills lazily on first reads).
+    fn clone(&self) -> Self {
+        BPlusTree {
+            pager: self.pager.clone(),
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            leaf_cap: self.leaf_cap,
+            internal_cap: self.internal_cap,
+            pin_internal: self.pin_internal,
+            internal_cache: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
 impl BPlusTree {
     /// Creates an empty tree that stores its nodes in `pager`.
     pub fn new(mut pager: Pager) -> Self {

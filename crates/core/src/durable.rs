@@ -1,0 +1,1606 @@
+//! Durable concurrent maintenance: WAL, incremental checkpoints, crash
+//! recovery, and epoch-based snapshot isolation.
+//!
+//! [`DurableDb`] wraps a mutable *master* [`PCubeDb`] with the classic
+//! ARIES-shaped discipline, scaled to this workspace's simulated storage
+//! (see `DESIGN.md` §10):
+//!
+//! 1. **Log first.** Every maintenance transaction appends typed,
+//!    CRC32-framed [`WalRecord`]s *before* mutating any page: a logical redo
+//!    record per operation (`TreeSplit`), a per-cell signature summary
+//!    (`SigUpdate`), a physical CRC witness per dirtied page (`PageWrite`),
+//!    and finally `Commit`. Fsyncs batch across commits
+//!    ([`DurabilityOptions::fsync_every`]).
+//! 2. **Checkpoint incrementally.** The pagers track dirty pages; a
+//!    checkpoint flushes only those into a shadow [`CheckpointImage`]
+//!    (staged, then installed atomically), logs a `Checkpoint` record, and
+//!    truncates the WAL prefix it covers — replacing the monolithic
+//!    persist-v2 save on the write path.
+//! 3. **Recover by replay.** [`DurableDb::open_or_recover`] restores the
+//!    last checkpoint image (verifying every page CRC), re-executes the
+//!    committed WAL suffix, verifies each transaction's page witnesses and
+//!    signature summaries against the replay, drops the torn tail and any
+//!    uncommitted transaction, and reports it all in a typed
+//!    [`RecoveryReport`] — never a panic, never an approximately-right
+//!    database.
+//! 4. **Publish epochs.** Every commit publishes a new immutable
+//!    [`EpochSnapshot`] (a deep copy sharing only the I/O ledger) through an
+//!    atomic pointer swap. Readers obtained via [`DurableDb::reader`] pin
+//!    whatever epoch they started with: the writer never blocks them, and a
+//!    query never observes a half-applied transaction.
+//!
+//! Crash testing: install a [`CrashPlan`] with [`DurableDb::set_crash_plan`]
+//! and the engine deterministically "dies" (poisons itself) at any chosen
+//! WAL-append / fsync / page-flush / checkpoint boundary; the harness then
+//! recovers from [`DurableDb::durable_state`] and differential-tests the
+//! result (`tests/crash_recovery.rs`).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::ops::Deref;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use pcube_bptree::BPlusTree;
+use pcube_cube::Relation;
+use pcube_rtree::{RTree, RTreeConfig};
+use pcube_storage::{
+    crc32, CrashPlan, CrashPoint, IoCategory, IoStats, Lsn, PageId, Pager, SharedStats, StoreKind,
+    TreeOp, Wal, WalRecord, WalStats,
+};
+
+use crate::pcube::{PCube, PCubeConfig, PCubeDb};
+use crate::persist::{
+    self, open_section, put_section, put_u32, put_u64, PersistError, Reader,
+};
+use crate::store::SignatureStore;
+
+/// 8-byte magic of a serialized checkpoint image; the version is the last
+/// byte.
+const CKPT_MAGIC: &[u8; 8] = b"PCUBECK1";
+/// Section tags inside a checkpoint image, in order.
+const TAG_META: u8 = 1;
+const TAG_RTREE_PAGES: u8 = 2;
+const TAG_SIG_PAGES: u8 = 3;
+const TAG_DIR_PAGES: u8 = 4;
+
+/// Tuning knobs of the durability pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Fsync the WAL after every `n`-th commit (group commit). `1` syncs
+    /// each commit before acknowledging it as durable; larger values trade
+    /// a bounded window of acknowledged-but-volatile transactions for fewer
+    /// syncs. Commits inside the window report `durable: false` on their
+    /// [`CommitReceipt`].
+    pub fsync_every: u64,
+    /// Automatically checkpoint after this many commits (`0` = manual
+    /// checkpoints only, via [`DurableDb::checkpoint`] or the SQL
+    /// `CHECKPOINT` directive).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions { fsync_every: 1, checkpoint_every: 0 }
+    }
+}
+
+/// One logical maintenance operation inside a transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceOp {
+    /// Insert a row with pre-encoded boolean codes and preference coords.
+    Insert {
+        /// Dictionary codes, one per boolean dimension.
+        codes: Vec<u32>,
+        /// Preference coordinates, one per preference dimension.
+        coords: Vec<f64>,
+    },
+    /// Delete the tuple with this id (tombstone: the relation row remains,
+    /// the tuple vanishes from every index and query result).
+    Delete {
+        /// The tuple to delete.
+        tid: u64,
+    },
+}
+
+/// What [`DurableDb::apply`] hands back for a committed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitReceipt {
+    /// The transaction id (dense, starting at 1).
+    pub txn: u64,
+    /// The catalog epoch this commit published.
+    pub epoch: u64,
+    /// Whether the commit record was fsynced before returning. `false`
+    /// under group commit until the batch syncs — a crash may drop it.
+    pub durable: bool,
+    /// LSN of the transaction's `Commit` record.
+    pub lsn: Lsn,
+}
+
+/// What a checkpoint did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// The epoch the image now covers.
+    pub epoch: u64,
+    /// Committed transactions contained in the image.
+    pub txns: u64,
+    /// Dirty pages flushed into the image (across all three stores).
+    pub pages_flushed: u64,
+    /// WAL bytes reclaimed by truncation.
+    pub wal_bytes_reclaimed: u64,
+}
+
+/// A typed account of what recovery found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` when the WAL held nothing beyond the checkpoint: no replay,
+    /// no torn tail, no dropped transactions.
+    pub clean: bool,
+    /// Epoch of the checkpoint image recovery started from.
+    pub checkpoint_epoch: u64,
+    /// Committed transactions already contained in that image.
+    pub checkpoint_txns: u64,
+    /// Total durable WAL bytes scanned.
+    pub wal_bytes: u64,
+    /// Intact records decoded from the WAL.
+    pub records_scanned: u64,
+    /// Records belonging to transactions that were replayed.
+    pub records_replayed: u64,
+    /// Committed transactions re-executed on top of the image.
+    pub txns_replayed: u64,
+    /// Transactions with records but no `Commit` — dropped.
+    pub txns_dropped: u64,
+    /// Bytes discarded at the log tail (torn fsync or corruption).
+    pub torn_tail_bytes: u64,
+    /// Distinct pages whose `PageWrite` CRC witnesses were re-verified
+    /// against the replayed state ("repaired" by redo).
+    pub pages_repaired: u64,
+    /// Live checkpoint pages whose stored CRC32 was verified on restore.
+    pub pages_verified: u64,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.clean {
+            write!(
+                f,
+                "clean open: checkpoint epoch {} ({} txns), {} pages verified",
+                self.checkpoint_epoch, self.checkpoint_txns, self.pages_verified
+            )
+        } else {
+            write!(
+                f,
+                "recovered: checkpoint epoch {} ({} txns) + {} txns replayed \
+                 ({} of {} records, {} pages repaired, {} pages verified), \
+                 {} uncommitted txns dropped, {} torn tail bytes dropped",
+                self.checkpoint_epoch,
+                self.checkpoint_txns,
+                self.txns_replayed,
+                self.records_replayed,
+                self.records_scanned,
+                self.pages_repaired,
+                self.pages_verified,
+                self.txns_dropped,
+                self.torn_tail_bytes
+            )
+        }
+    }
+}
+
+/// Everything a crash preserves: the last installed checkpoint image and
+/// the durable WAL prefix. The in-memory crash harness shuttles this between
+/// a "killed" instance and [`DurableDb::open_or_recover_from_state`]; the
+/// file mode persists the same two byte strings as two files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurableState {
+    /// Serialized [`CheckpointImage`].
+    pub checkpoint: Vec<u8>,
+    /// Durable WAL bytes (framed records; may end in a torn frame).
+    pub wal: Vec<u8>,
+}
+
+/// A durability failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurabilityError {
+    /// An injected crash fired at this boundary; the instance is poisoned.
+    Crashed {
+        /// Where the simulated kill struck.
+        point: CrashPoint,
+    },
+    /// The instance crashed earlier and refuses further work.
+    Poisoned {
+        /// The boundary the earlier crash struck at.
+        point: CrashPoint,
+    },
+    /// A submitted operation is malformed (wrong arity, dead tuple, …). The
+    /// transaction was rejected before any log or page mutation.
+    InvalidOp {
+        /// What was wrong with it.
+        cause: String,
+    },
+    /// A checkpoint image failed validation (bad magic, page CRC, framing).
+    Corrupt {
+        /// Which store or image part failed.
+        store: String,
+        /// What failed.
+        cause: String,
+    },
+    /// WAL replay diverged from the logged evidence — the recovered state
+    /// would not be bit-identical to the pre-crash state, so recovery fails
+    /// loudly instead of serving wrong answers.
+    Replay {
+        /// The transaction whose replay diverged.
+        txn: u64,
+        /// How it diverged.
+        cause: String,
+    },
+    /// A persist-format error inside the checkpoint metadata.
+    Persist(PersistError),
+    /// A filesystem error (file mode only).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error.
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityError::Crashed { point } => {
+                write!(f, "simulated crash at {}", point.name())
+            }
+            DurabilityError::Poisoned { point } => {
+                write!(f, "instance poisoned by an earlier crash at {}", point.name())
+            }
+            DurabilityError::InvalidOp { cause } => write!(f, "invalid operation: {cause}"),
+            DurabilityError::Corrupt { store, cause } => {
+                write!(f, "corrupt checkpoint ({store}): {cause}")
+            }
+            DurabilityError::Replay { txn, cause } => {
+                write!(f, "replay diverged at txn {txn}: {cause}")
+            }
+            DurabilityError::Persist(e) => write!(f, "{e}"),
+            DurabilityError::Io { path, cause } => write!(f, "io error on {path}: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<PersistError> for DurabilityError {
+    fn from(e: PersistError) -> Self {
+        DurabilityError::Persist(e)
+    }
+}
+
+// ---------------------------------------------------------------- epochs --
+
+/// An immutable database snapshot published at one catalog epoch. Derefs to
+/// [`PCubeDb`], so every query entry point (including the `par_*` engines)
+/// works on it directly.
+pub struct EpochSnapshot {
+    epoch: u64,
+    db: PCubeDb,
+}
+
+impl EpochSnapshot {
+    /// The catalog epoch this snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen database.
+    pub fn db(&self) -> &PCubeDb {
+        &self.db
+    }
+}
+
+impl Deref for EpochSnapshot {
+    type Target = PCubeDb;
+
+    fn deref(&self) -> &PCubeDb {
+        &self.db
+    }
+}
+
+/// A cloneable, `Send + Sync` handle reader threads use to pin epochs
+/// without borrowing the [`DurableDb`] (so a writer holding `&mut` never
+/// blocks them). [`EpochReader::snapshot`] is one `Arc` clone under a
+/// momentary read lock; the returned snapshot stays valid — and bit-stable —
+/// for as long as the caller holds it, across any number of concurrent
+/// commits and checkpoints.
+#[derive(Clone)]
+pub struct EpochReader {
+    current: Arc<RwLock<Arc<EpochSnapshot>>>,
+}
+
+impl EpochReader {
+    /// Pins and returns the latest published snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.current.read().expect("epoch lock poisoned").clone()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+}
+
+// ------------------------------------------------------- checkpoint image --
+
+/// The durable mirror of one pager: page bytes + CRC32 per live slot, plus
+/// the free list. Patched incrementally from dirty-page flushes.
+/// A staged checkpoint patch: one entry per flushed dirty page (`None`
+/// drops a freed slot), each carrying the page bytes and their CRC32.
+type PagePatch = Vec<(u32, Option<(Box<[u8]>, u32)>)>;
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Mirror {
+    page_size: usize,
+    pages: Vec<Option<(Box<[u8]>, u32)>>,
+    free: Vec<PageId>,
+}
+
+impl Mirror {
+    /// Full capture of a pager (initial checkpoint).
+    fn capture(pager: &Pager) -> Mirror {
+        let pages = (0..pager.n_slots())
+            .map(|i| {
+                pager
+                    .page_bytes(PageId(i as u32))
+                    .map(|b| (b.to_vec().into_boxed_slice(), crc32(b)))
+            })
+            .collect();
+        Mirror { page_size: pager.page_size(), pages, free: pager.free_list() }
+    }
+
+    /// Applies a staged patch (one entry per flushed dirty page; `None`
+    /// drops a freed page) and replaces the free list.
+    fn apply(&mut self, patch: PagePatch, free: Vec<PageId>) {
+        for (pid, entry) in patch {
+            let idx = pid as usize;
+            if self.pages.len() <= idx {
+                self.pages.resize(idx + 1, None);
+            }
+            self.pages[idx] = entry;
+        }
+        self.free = free;
+    }
+
+    /// Rebuilds a live pager, verifying every stored page CRC. Returns the
+    /// pager and the number of pages verified.
+    fn to_pager(
+        &self,
+        kind: StoreKind,
+        category: IoCategory,
+        stats: SharedStats,
+    ) -> Result<(Pager, u64), DurabilityError> {
+        let mut pages: Vec<Option<Box<[u8]>>> = Vec::with_capacity(self.pages.len());
+        let mut verified = 0u64;
+        for (i, slot) in self.pages.iter().enumerate() {
+            match slot {
+                None => pages.push(None),
+                Some((bytes, stored)) => {
+                    if bytes.len() != self.page_size {
+                        return Err(DurabilityError::Corrupt {
+                            store: kind.name().to_string(),
+                            cause: format!(
+                                "page {i} has {} bytes, expected {}",
+                                bytes.len(),
+                                self.page_size
+                            ),
+                        });
+                    }
+                    let actual = crc32(bytes);
+                    if actual != *stored {
+                        return Err(DurabilityError::Corrupt {
+                            store: kind.name().to_string(),
+                            cause: format!(
+                                "page {i} checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                            ),
+                        });
+                    }
+                    verified += 1;
+                    pages.push(Some(bytes.clone()));
+                }
+            }
+        }
+        Ok((Pager::from_pages(self.page_size, pages, self.free.clone(), category, stats), verified))
+    }
+
+    fn serialize_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.page_size as u64);
+        put_u64(out, self.pages.len() as u64);
+        for slot in &self.pages {
+            match slot {
+                None => out.push(0),
+                Some((bytes, crc)) => {
+                    out.push(1);
+                    out.extend_from_slice(bytes);
+                    put_u32(out, *crc);
+                }
+            }
+        }
+        put_u64(out, self.free.len() as u64);
+        for pid in &self.free {
+            put_u32(out, pid.0);
+        }
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Mirror, PersistError> {
+        let page_size = r.u64()? as usize;
+        if page_size == 0 || page_size > (1 << 24) {
+            return r.err(format!("implausible page size {page_size}"));
+        }
+        let n_slots = r.count(8, 1, "page slot count")?;
+        let mut pages = Vec::with_capacity(n_slots);
+        for i in 0..n_slots {
+            match r.u8()? {
+                0 => pages.push(None),
+                1 => {
+                    let bytes = r.bytes(page_size)?;
+                    let crc = r.u32()?;
+                    pages.push(Some((bytes.to_vec().into_boxed_slice(), crc)));
+                }
+                t => return r.err(format!("invalid page tag {t} at slot {i}")),
+            }
+        }
+        let n_free = r.count(8, 4, "free-list length")?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            free.push(PageId(r.u32()?));
+        }
+        Ok(Mirror { page_size, pages, free })
+    }
+}
+
+/// The durable checkpoint: metadata (relation, registry, cuboids, tree
+/// scalars — reusing the persist-v2 payload formats) plus one [`Mirror`]
+/// per paged store. Installed atomically; serializable for the file mode
+/// and the crash harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointImage {
+    epoch: u64,
+    /// Committed transactions whose effects the image contains — the replay
+    /// cutoff: recovery re-executes only transactions beyond this.
+    txns: u64,
+    next_txn: u64,
+    next_lsn: Lsn,
+    meta: Vec<u8>,
+    rtree: Mirror,
+    sigs: Mirror,
+    dir: Mirror,
+}
+
+impl CheckpointImage {
+    /// Full capture of a master database (initial checkpoint).
+    fn capture(master: &PCubeDb, epoch: u64, txns: u64, next_txn: u64, next_lsn: Lsn) -> Self {
+        let (sig_pager, directory, _, _) = master.pcube.store.parts_ref();
+        CheckpointImage {
+            epoch,
+            txns,
+            next_txn,
+            next_lsn,
+            meta: meta_payload(master),
+            rtree: Mirror::capture(master.rtree.pager()),
+            sigs: Mirror::capture(sig_pager),
+            dir: Mirror::capture(directory.pager()),
+        }
+    }
+
+    /// The committed-transaction watermark (the replay cutoff).
+    pub fn txns(&self) -> u64 {
+        self.txns
+    }
+
+    /// The epoch the image was installed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Serializes the image (magic, watermarks, framed sections).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CKPT_MAGIC);
+        let mut head = Vec::new();
+        put_u64(&mut head, self.epoch);
+        put_u64(&mut head, self.txns);
+        put_u64(&mut head, self.next_txn);
+        put_u64(&mut head, self.next_lsn);
+        out.extend_from_slice(&head);
+        put_section(&mut out, TAG_META, &self.meta);
+        let mut payload = Vec::new();
+        self.rtree.serialize_into(&mut payload);
+        put_section(&mut out, TAG_RTREE_PAGES, &payload);
+        payload.clear();
+        self.sigs.serialize_into(&mut payload);
+        put_section(&mut out, TAG_SIG_PAGES, &payload);
+        payload.clear();
+        self.dir.serialize_into(&mut payload);
+        put_section(&mut out, TAG_DIR_PAGES, &payload);
+        out
+    }
+
+    /// Parses an image serialized by [`CheckpointImage::to_bytes`]. Section
+    /// framing and CRCs are verified here; per-page CRCs are verified when
+    /// the image is restored into pagers.
+    pub fn from_bytes(image: &[u8]) -> Result<CheckpointImage, DurabilityError> {
+        if image.len() < CKPT_MAGIC.len() + 32 {
+            return persist::fail("checkpoint-header", 0, "image shorter than the header").map_err(Into::into);
+        }
+        if &image[..8] != CKPT_MAGIC {
+            return persist::fail("checkpoint-header", 0, "not a checkpoint image").map_err(Into::into);
+        }
+        let word = |i: usize| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&image[8 + i * 8..16 + i * 8]);
+            u64::from_le_bytes(raw)
+        };
+        let (epoch, txns, next_txn, next_lsn) = (word(0), word(1), word(2), word(3));
+        let mut pos = 8 + 32;
+        let mut r = open_section(image, &mut pos, TAG_META, "checkpoint-meta")?;
+        let meta = r.remaining_bytes().to_vec();
+        let mut r = open_section(image, &mut pos, TAG_RTREE_PAGES, "checkpoint-rtree")?;
+        let rtree = Mirror::read(&mut r)?;
+        r.finish()?;
+        let mut r = open_section(image, &mut pos, TAG_SIG_PAGES, "checkpoint-signatures")?;
+        let sigs = Mirror::read(&mut r)?;
+        r.finish()?;
+        let mut r = open_section(image, &mut pos, TAG_DIR_PAGES, "checkpoint-directory")?;
+        let dir = Mirror::read(&mut r)?;
+        r.finish()?;
+        if pos != image.len() {
+            return persist::fail("checkpoint-image", pos, "trailing bytes after the image").map_err(Into::into);
+        }
+        Ok(CheckpointImage { epoch, txns, next_txn, next_lsn, meta, rtree, sigs, dir })
+    }
+
+    /// Restores the image into a fresh, queryable master database,
+    /// verifying every live page's CRC32. Returns the database and the
+    /// number of pages verified.
+    fn restore(&self) -> Result<(PCubeDb, u64), DurabilityError> {
+        let stats = IoStats::new_shared();
+        let mut r = Reader::over(&self.meta, "checkpoint-meta");
+        let mut relation = persist::read_relation_payload(&mut r)?;
+        relation.attach_stats(stats.clone());
+        let (cuboids, registry) = persist::read_cube_payload(&mut r)?;
+        let dims = r.u32()? as usize;
+        let m_max = r.u32()? as usize;
+        let m_min = r.u32()? as usize;
+        let root = PageId(r.u32()?);
+        let height = r.u64()? as usize;
+        let len = r.u64()?;
+        let s_m_max = r.u64()? as usize;
+        let s_height = r.u64()? as usize;
+        let d_root = PageId(r.u32()?);
+        let d_height = r.u64()? as usize;
+        let d_len = r.u64()?;
+        if dims != relation.schema().n_pref() {
+            return r.err("R-tree dimensionality does not match the schema").map_err(Into::into);
+        }
+        if m_max < 2 || m_min == 0 || 2 * m_min > m_max + 1 {
+            return r
+                .err(format!("implausible R-tree fanout (m_min {m_min}, m_max {m_max})"))
+                .map_err(Into::into);
+        }
+        r.finish()?;
+        let (rtree_pager, v1) = self.rtree.to_pager(StoreKind::Rtree, IoCategory::RtreeBlock, stats.clone())?;
+        let (sig_pager, v2) =
+            self.sigs.to_pager(StoreKind::Signature, IoCategory::SignaturePage, stats.clone())?;
+        let (dir_pager, v3) =
+            self.dir.to_pager(StoreKind::Directory, IoCategory::BptreePage, stats.clone())?;
+        let config = RTreeConfig::explicit(dims, m_min, m_max);
+        let rtree = RTree::from_parts(rtree_pager, config, root, height, len);
+        let directory = BPlusTree::from_parts(dir_pager, d_root, d_height, d_len);
+        let store = SignatureStore::from_parts(sig_pager, directory, s_m_max, s_height);
+        Ok((
+            PCubeDb {
+                relation,
+                rtree,
+                pcube: PCube { registry, store, cuboids },
+                stats,
+                admission: None,
+            },
+            v1 + v2 + v3,
+        ))
+    }
+}
+
+/// Serializes the non-paged state of a master database: relation + cube
+/// payloads (persist-v2 formats) followed by the tree scalars.
+fn meta_payload(master: &PCubeDb) -> Vec<u8> {
+    let mut meta = Vec::new();
+    persist::write_relation_payload(&master.relation, &mut meta);
+    persist::write_cube_payload(&master.pcube, &mut meta);
+    let (root, height, len) = master.rtree.parts();
+    put_u32(&mut meta, master.rtree.dims() as u32);
+    put_u32(&mut meta, master.rtree.m_max() as u32);
+    put_u32(&mut meta, master.rtree.m_min() as u32);
+    put_u32(&mut meta, root.0);
+    put_u64(&mut meta, height as u64);
+    put_u64(&mut meta, len);
+    let (_, directory, s_m_max, s_height) = master.pcube.store.parts_ref();
+    put_u64(&mut meta, s_m_max as u64);
+    put_u64(&mut meta, s_height as u64);
+    let (d_root, d_height, d_len) = directory.parts();
+    put_u32(&mut meta, d_root.0);
+    put_u64(&mut meta, d_height as u64);
+    put_u64(&mut meta, d_len);
+    meta
+}
+
+// -------------------------------------------------------------- DurableDb --
+
+const STORE_KINDS: [StoreKind; 3] = [StoreKind::Rtree, StoreKind::Signature, StoreKind::Directory];
+
+fn kind_idx(kind: StoreKind) -> usize {
+    match kind {
+        StoreKind::Rtree => 0,
+        StoreKind::Signature => 1,
+        StoreKind::Directory => 2,
+    }
+}
+
+/// A [`PCubeDb`] under durable, snapshot-isolated maintenance. See the
+/// module docs for the protocol.
+pub struct DurableDb {
+    master: PCubeDb,
+    published: Arc<RwLock<Arc<EpochSnapshot>>>,
+    wal: Wal,
+    image: CheckpointImage,
+    opts: DurabilityOptions,
+    crash: Option<CrashPlan>,
+    poisoned: Option<CrashPoint>,
+    epoch: u64,
+    next_txn: u64,
+    /// Highest transaction applied to the master (all of them, since apply
+    /// mutates in-memory state immediately).
+    applied_txns: u64,
+    /// Highest transaction whose `Commit` record has been fsynced.
+    synced_txns: u64,
+    commits_since_sync: u64,
+    commits_since_checkpoint: u64,
+    /// Pages dirtied since the last checkpoint, per store.
+    ckpt_dirty: [BTreeSet<u32>; 3],
+    /// Live (not deleted) tuple ids — upfront validation so a malformed
+    /// batch is rejected *before* any WAL append or page mutation.
+    live: HashSet<u64>,
+    /// File mode: the directory holding `checkpoint.pcube` + `wal.pcube`.
+    dir: Option<PathBuf>,
+    /// File mode: durable WAL bytes already appended to the log file.
+    file_synced: usize,
+}
+
+impl DurableDb {
+    /// Builds a database over `relation` and captures its initial (full)
+    /// checkpoint. The WAL starts empty; epoch 1 is published.
+    pub fn create(relation: Relation, config: &PCubeConfig, opts: DurabilityOptions) -> Self {
+        let mut master = PCubeDb::build(relation, config);
+        // The build dirtied every page; the full capture below covers them.
+        master.rtree.pager_mut().clear_dirty();
+        master.pcube.store.sig_pager_mut().clear_dirty();
+        master.pcube.store.dir_pager_mut().clear_dirty();
+        let image = CheckpointImage::capture(&master, 1, 0, 1, 1);
+        let live = (0..master.relation.len() as u64).collect();
+        let snapshot = Arc::new(EpochSnapshot { epoch: 1, db: master.clone_snapshot() });
+        DurableDb {
+            master,
+            published: Arc::new(RwLock::new(snapshot)),
+            wal: Wal::new(),
+            image,
+            opts,
+            crash: None,
+            poisoned: None,
+            epoch: 1,
+            next_txn: 1,
+            applied_txns: 0,
+            synced_txns: 0,
+            commits_since_sync: 0,
+            commits_since_checkpoint: 0,
+            ckpt_dirty: [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()],
+            live,
+            dir: None,
+            file_synced: 0,
+        }
+    }
+
+    /// [`DurableDb::create`] persisted at `dir` (two files:
+    /// `checkpoint.pcube` and `wal.pcube`).
+    pub fn create_at(
+        dir: impl AsRef<Path>,
+        relation: Relation,
+        config: &PCubeConfig,
+        opts: DurabilityOptions,
+    ) -> Result<Self, DurabilityError> {
+        let mut db = Self::create(relation, config, opts);
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        db.dir = Some(dir);
+        db.persist_checkpoint_file()?;
+        db.persist_wal_file_full()?;
+        Ok(db)
+    }
+
+    /// Re-opens a durable database from its two files, replaying the WAL
+    /// past the last checkpoint. A missing WAL file is treated as empty
+    /// (clean shutdown right after a checkpoint).
+    pub fn open_or_recover(
+        dir: impl AsRef<Path>,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let dir = dir.as_ref().to_path_buf();
+        let ckpt_path = dir.join("checkpoint.pcube");
+        let checkpoint = std::fs::read(&ckpt_path).map_err(|e| io_err(&ckpt_path, e))?;
+        let wal_path = dir.join("wal.pcube");
+        let wal = match std::fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err(&wal_path, e)),
+        };
+        let state = DurableState { checkpoint, wal };
+        let (mut db, report) = Self::open_or_recover_from_state(&state, opts)?;
+        db.dir = Some(dir);
+        db.file_synced = db.wal.durable_len();
+        Ok((db, report))
+    }
+
+    /// The in-memory recovery path: restore the checkpoint image (verifying
+    /// every page CRC), replay the committed WAL suffix (verifying page
+    /// witnesses and signature summaries against the re-execution), drop
+    /// the torn tail and uncommitted transactions.
+    pub fn open_or_recover_from_state(
+        state: &DurableState,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), DurabilityError> {
+        let image = CheckpointImage::from_bytes(&state.checkpoint)?;
+        let (mut master, pages_verified) = image.restore()?;
+
+        let replay = Wal::replay(&state.wal);
+        let records_scanned = replay.records.len() as u64;
+        let max_lsn = replay.records.last().map_or(0, |(lsn, _)| *lsn);
+
+        // Group records per transaction, preserving log order within each.
+        let mut groups: BTreeMap<u64, Vec<&WalRecord>> = BTreeMap::new();
+        let mut committed: BTreeSet<u64> = BTreeSet::new();
+        for (_, rec) in &replay.records {
+            if let Some(txn) = rec.txn() {
+                groups.entry(txn).or_default().push(rec);
+                if matches!(rec, WalRecord::Commit { .. }) {
+                    committed.insert(txn);
+                }
+            }
+        }
+
+        let mut records_replayed = 0u64;
+        let mut txns_replayed = 0u64;
+        let mut repaired: HashSet<(StoreKind, u32)> = HashSet::new();
+        let mut expect_txn = image.txns;
+        for (&txn, recs) in &groups {
+            if txn <= image.txns || !committed.contains(&txn) {
+                continue;
+            }
+            // Commits are WAL-ordered, so committed transactions beyond the
+            // image watermark must form a gapless run.
+            if txn != expect_txn + 1 {
+                return Err(DurabilityError::Replay {
+                    txn,
+                    cause: format!("commit gap: expected txn {}", expect_txn + 1),
+                });
+            }
+            expect_txn = txn;
+            txns_replayed += 1;
+            records_replayed += recs.len() as u64;
+            replay_txn(&mut master, txn, recs, &mut repaired)?;
+        }
+        let txns_dropped = groups
+            .keys()
+            .filter(|&&t| t > image.txns && !committed.contains(&t))
+            .count() as u64;
+
+        // Everything the replay dirtied belongs to the next checkpoint.
+        let mut ckpt_dirty = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+        for (set, pager) in ckpt_dirty.iter_mut().zip([
+            master.rtree.pager_mut(),
+            master.pcube.store.sig_pager_mut(),
+        ]) {
+            set.extend(pager.take_dirty().into_iter().map(|p| p.0));
+        }
+        ckpt_dirty[2]
+            .extend(master.pcube.store.dir_pager_mut().take_dirty().into_iter().map(|p| p.0));
+
+        let mut live: HashSet<u64> = HashSet::new();
+        master.rtree.for_each_tuple(|tid, _, _| {
+            live.insert(tid);
+        });
+
+        let report = RecoveryReport {
+            clean: txns_replayed == 0 && txns_dropped == 0 && replay.torn_tail_bytes == 0,
+            checkpoint_epoch: image.epoch,
+            checkpoint_txns: image.txns,
+            wal_bytes: state.wal.len() as u64,
+            records_scanned,
+            records_replayed,
+            txns_replayed,
+            txns_dropped,
+            torn_tail_bytes: replay.torn_tail_bytes,
+            pages_repaired: repaired.len() as u64,
+            pages_verified,
+        };
+
+        let epoch = image.epoch + txns_replayed;
+        let next_txn = image.next_txn.max(expect_txn + 1);
+        let applied = image.txns + txns_replayed;
+        let snapshot = Arc::new(EpochSnapshot { epoch, db: master.clone_snapshot() });
+        let db = DurableDb {
+            master,
+            published: Arc::new(RwLock::new(snapshot)),
+            wal: Wal::from_durable(state.wal.clone(), max_lsn.max(image.next_lsn - 1) + 1),
+            image,
+            opts,
+            crash: None,
+            poisoned: None,
+            epoch,
+            next_txn,
+            applied_txns: applied,
+            synced_txns: applied,
+            commits_since_sync: 0,
+            commits_since_checkpoint: 0,
+            ckpt_dirty,
+            live,
+            dir: None,
+            file_synced: 0,
+        };
+        Ok((db, report))
+    }
+
+    // ------------------------------------------------------------ reading --
+
+    /// The live master (reflects every applied transaction immediately).
+    pub fn db(&self) -> &PCubeDb {
+        &self.master
+    }
+
+    /// A handle for reader threads: cloneable, `Send + Sync`, never blocked
+    /// by the writer.
+    pub fn reader(&self) -> EpochReader {
+        EpochReader { current: self.published.clone() }
+    }
+
+    /// Pins the latest published snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.published.read().expect("epoch lock poisoned").clone()
+    }
+
+    /// The latest published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Transactions applied to the master so far.
+    pub fn applied_txns(&self) -> u64 {
+        self.applied_txns
+    }
+
+    /// Highest transaction whose commit record is fsynced.
+    pub fn durable_txns(&self) -> u64 {
+        self.synced_txns
+    }
+
+    /// Live (not deleted) tuple count.
+    pub fn live_tuples(&self) -> usize {
+        self.live.len()
+    }
+
+    /// WAL activity counters.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Durable WAL bytes right now.
+    pub fn wal_len(&self) -> usize {
+        self.wal.durable_len()
+    }
+
+    /// The boundary a simulated crash struck, if the instance is dead.
+    pub fn poisoned(&self) -> Option<CrashPoint> {
+        self.poisoned
+    }
+
+    /// Everything a crash would preserve at this instant. Callable on a
+    /// poisoned instance — this is exactly what the crash harness recovers
+    /// from.
+    pub fn durable_state(&self) -> DurableState {
+        DurableState {
+            checkpoint: self.image.to_bytes(),
+            wal: self.wal.durable_bytes().to_vec(),
+        }
+    }
+
+    // ---------------------------------------------------- crash injection --
+
+    /// Installs a deterministic crash schedule (see [`CrashPlan`]).
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        self.crash = Some(plan);
+    }
+
+    /// Removes the crash plan, returning it with its event counter.
+    pub fn take_crash_plan(&mut self) -> Option<CrashPlan> {
+        self.crash.take()
+    }
+
+    /// Durability events observed by the installed plan so far.
+    pub fn crash_events_seen(&self) -> u64 {
+        self.crash.as_ref().map_or(0, |p| p.events_seen())
+    }
+
+    // ------------------------------------------------------------ writing --
+
+    /// Applies one transaction of maintenance operations: validate, log
+    /// (redo records + witnesses + commit), mutate the master, publish a
+    /// new epoch, sync per policy, auto-checkpoint per policy.
+    pub fn apply(&mut self, ops: &[MaintenanceOp]) -> Result<CommitReceipt, DurabilityError> {
+        self.ensure_alive()?;
+        if ops.is_empty() {
+            return Err(DurabilityError::InvalidOp { cause: "empty transaction".to_string() });
+        }
+        self.validate(ops)?;
+        let txn = self.next_txn;
+
+        // 1. Redo records — appended before any page mutation.
+        let base = self.master.relation.len() as u64;
+        let mut inserts = 0u64;
+        for op in ops {
+            let rec = match op {
+                MaintenanceOp::Insert { codes, coords } => {
+                    let tid = base + inserts;
+                    inserts += 1;
+                    WalRecord::TreeSplit {
+                        txn,
+                        op: TreeOp::Insert,
+                        tid,
+                        codes: codes.clone(),
+                        coords: coords.clone(),
+                    }
+                }
+                MaintenanceOp::Delete { tid } => WalRecord::TreeSplit {
+                    txn,
+                    op: TreeOp::Delete,
+                    tid: *tid,
+                    codes: Vec::new(),
+                    coords: self.master.relation.pref_coords(*tid),
+                },
+            };
+            self.wal_append(rec)?;
+        }
+
+        // 2. Mutate the master; log the per-cell signature summaries.
+        for op in ops {
+            let touches = match op {
+                MaintenanceOp::Insert { codes, coords } => {
+                    let (tid, touches) = self.master.insert_coded_tracked(codes, coords);
+                    self.live.insert(tid);
+                    touches
+                }
+                MaintenanceOp::Delete { tid } => {
+                    self.live.remove(tid);
+                    self.master.delete_tracked(*tid).ok_or_else(|| DurabilityError::InvalidOp {
+                        cause: format!("tuple {tid} vanished mid-transaction"),
+                    })?
+                }
+            };
+            for t in touches {
+                self.wal_append(WalRecord::SigUpdate {
+                    txn,
+                    cell: t.cell,
+                    sets: t.sets,
+                    clears: t.clears,
+                })?;
+            }
+        }
+
+        // 3. Physical witnesses of every page the transaction dirtied.
+        self.append_witnesses(txn)?;
+
+        // 4. Seal and account.
+        let lsn = self.wal_append(WalRecord::Commit { txn })?;
+        self.next_txn += 1;
+        self.applied_txns = txn;
+        self.commits_since_sync += 1;
+        self.commits_since_checkpoint += 1;
+
+        // 5. Publish the new epoch (readers switch; pinned snapshots live on).
+        self.publish();
+
+        // 6. Group commit.
+        let mut durable = false;
+        if self.opts.fsync_every <= 1 || self.commits_since_sync >= self.opts.fsync_every {
+            self.sync_internal()?;
+            durable = true;
+        }
+
+        // 7. Auto checkpoint.
+        if self.opts.checkpoint_every > 0
+            && self.commits_since_checkpoint >= self.opts.checkpoint_every
+        {
+            self.checkpoint()?;
+        }
+
+        Ok(CommitReceipt { txn, epoch: self.epoch, durable, lsn })
+    }
+
+    /// Single-insert convenience: one transaction, one row.
+    pub fn insert(
+        &mut self,
+        codes: &[u32],
+        coords: &[f64],
+    ) -> Result<(u64, CommitReceipt), DurabilityError> {
+        let tid = self.master.relation.len() as u64;
+        let receipt = self.apply(&[MaintenanceOp::Insert {
+            codes: codes.to_vec(),
+            coords: coords.to_vec(),
+        }])?;
+        Ok((tid, receipt))
+    }
+
+    /// Single-delete convenience: one transaction, one tombstone.
+    pub fn delete(&mut self, tid: u64) -> Result<CommitReceipt, DurabilityError> {
+        self.apply(&[MaintenanceOp::Delete { tid }])
+    }
+
+    /// Fsyncs any pending WAL tail (flushes the group-commit window).
+    pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        self.ensure_alive()?;
+        self.sync_internal()
+    }
+
+    /// Incremental checkpoint: flush the pages dirtied since the last
+    /// checkpoint into the shadow image (staged, then installed
+    /// atomically), log + fsync a `Checkpoint` record, truncate the WAL
+    /// prefix the image now covers, and (in file mode) persist both files.
+    pub fn checkpoint(&mut self) -> Result<CheckpointOutcome, DurabilityError> {
+        self.ensure_alive()?;
+        self.drain_dirty();
+
+        // Stage: copy each dirty page (or its death) out of the pagers.
+        // Every staged page is one PageFlush crash point.
+        let mut staged: [PagePatch; 3] = Default::default();
+        let mut pages_flushed = 0u64;
+        for kind in STORE_KINDS {
+            let idx = kind_idx(kind);
+            let dirty: Vec<u32> = self.ckpt_dirty[idx].iter().copied().collect();
+            for pid in dirty {
+                self.observe(CrashPoint::PageFlush)?;
+                let entry = self
+                    .pager_of(kind)
+                    .page_bytes(PageId(pid))
+                    .map(|b| (b.to_vec().into_boxed_slice(), crc32(b)));
+                staged[idx].push((pid, entry));
+                pages_flushed += 1;
+            }
+        }
+
+        // Install atomically (modeled as a rename-over swap).
+        self.observe(CrashPoint::CheckpointInstall)?;
+        let txns = self.applied_txns;
+        let epoch = self.epoch;
+        let [st_rtree, st_sigs, st_dir] = staged;
+        self.image.rtree.apply(st_rtree, self.master.rtree.pager().free_list());
+        {
+            let (sig_pager, directory, _, _) = self.master.pcube.store.parts_ref();
+            self.image.sigs.apply(st_sigs, sig_pager.free_list());
+            self.image.dir.apply(st_dir, directory.pager().free_list());
+        }
+        self.image.meta = meta_payload(&self.master);
+        self.image.epoch = epoch;
+        self.image.txns = txns;
+        self.image.next_txn = self.next_txn;
+        for set in &mut self.ckpt_dirty {
+            set.clear();
+        }
+
+        // Log the checkpoint and make it durable.
+        let lsn = self.wal_append(WalRecord::Checkpoint { epoch, txns })?;
+        self.image.next_lsn = lsn + 1;
+        self.sync_internal()?;
+
+        // Truncate the covered prefix (the Checkpoint record itself stays
+        // as a harmless marker).
+        self.observe(CrashPoint::CheckpointTruncate)?;
+        let reclaimed = self.wal.truncate_durable_before(lsn) as u64;
+        self.commits_since_checkpoint = 0;
+        if self.dir.is_some() {
+            self.persist_checkpoint_file()?;
+            self.persist_wal_file_full()?;
+        }
+        Ok(CheckpointOutcome { epoch, txns, pages_flushed, wal_bytes_reclaimed: reclaimed })
+    }
+
+    // ----------------------------------------------------------- internals --
+
+    fn ensure_alive(&self) -> Result<(), DurabilityError> {
+        match self.poisoned {
+            Some(point) => Err(DurabilityError::Poisoned { point }),
+            None => Ok(()),
+        }
+    }
+
+    /// Crash check at a durability boundary; poisons the instance when the
+    /// plan fires.
+    fn observe(&mut self, point: CrashPoint) -> Result<(), DurabilityError> {
+        if let Some(plan) = &mut self.crash {
+            if plan.observe(point) {
+                self.poisoned = Some(point);
+                return Err(DurabilityError::Crashed { point });
+            }
+        }
+        Ok(())
+    }
+
+    fn wal_append(&mut self, rec: WalRecord) -> Result<Lsn, DurabilityError> {
+        self.observe(CrashPoint::WalAppend)?;
+        Ok(self.wal.append(&rec))
+    }
+
+    fn sync_internal(&mut self) -> Result<(), DurabilityError> {
+        if let Some(plan) = &mut self.crash {
+            if plan.observe(CrashPoint::WalSync) {
+                // A crash mid-fsync: a prefix of the tail lands, the rest is
+                // lost, and the durable log likely ends in a torn frame.
+                let keep = plan.torn_len(self.wal.pending_bytes());
+                self.wal.sync_torn(keep);
+                self.poisoned = Some(CrashPoint::WalSync);
+                return Err(DurabilityError::Crashed { point: CrashPoint::WalSync });
+            }
+        }
+        self.wal.sync();
+        self.commits_since_sync = 0;
+        self.synced_txns = self.applied_txns;
+        if self.dir.is_some() {
+            self.persist_wal_file_append()?;
+        }
+        Ok(())
+    }
+
+    fn publish(&mut self) {
+        self.epoch += 1;
+        let snapshot = Arc::new(EpochSnapshot { epoch: self.epoch, db: self.master.clone_snapshot() });
+        *self.published.write().expect("epoch lock poisoned") = snapshot;
+    }
+
+    fn pager_of(&self, kind: StoreKind) -> &Pager {
+        match kind {
+            StoreKind::Rtree => self.master.rtree.pager(),
+            StoreKind::Signature => self.master.pcube.store.parts_ref().0,
+            StoreKind::Directory => self.master.pcube.store.parts_ref().1.pager(),
+        }
+    }
+
+    /// Drains the pagers' dirty sets into the per-checkpoint accumulator.
+    fn drain_dirty(&mut self) {
+        let drained = [
+            self.master.rtree.pager_mut().take_dirty(),
+            self.master.pcube.store.sig_pager_mut().take_dirty(),
+            self.master.pcube.store.dir_pager_mut().take_dirty(),
+        ];
+        for (set, pids) in self.ckpt_dirty.iter_mut().zip(drained) {
+            set.extend(pids.into_iter().map(|p| p.0));
+        }
+    }
+
+    /// Logs one `PageWrite` CRC witness per page the transaction dirtied
+    /// (live pages only; freed pages have no contents to witness), and
+    /// feeds the same pages to the checkpoint accumulator.
+    fn append_witnesses(&mut self, txn: u64) -> Result<(), DurabilityError> {
+        for kind in STORE_KINDS {
+            let dirty = match kind {
+                StoreKind::Rtree => self.master.rtree.pager_mut().take_dirty(),
+                StoreKind::Signature => self.master.pcube.store.sig_pager_mut().take_dirty(),
+                StoreKind::Directory => self.master.pcube.store.dir_pager_mut().take_dirty(),
+            };
+            let witnesses: Vec<(u32, Option<u32>)> = dirty
+                .iter()
+                .map(|&pid| (pid.0, self.pager_of(kind).page_bytes(pid).map(crc32)))
+                .collect();
+            let idx = kind_idx(kind);
+            for (pid, crc) in witnesses {
+                self.ckpt_dirty[idx].insert(pid);
+                if let Some(crc) = crc {
+                    self.wal_append(WalRecord::PageWrite { txn, store: kind, pid, crc })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects a malformed batch before anything is logged or mutated.
+    fn validate(&self, ops: &[MaintenanceOp]) -> Result<(), DurabilityError> {
+        let n_bool = self.master.relation.schema().n_bool();
+        let n_pref = self.master.relation.schema().n_pref();
+        let base = self.master.relation.len() as u64;
+        let mut inserts = 0u64;
+        let mut deleted: HashSet<u64> = HashSet::new();
+        for op in ops {
+            match op {
+                MaintenanceOp::Insert { codes, coords } => {
+                    if codes.len() != n_bool {
+                        return Err(DurabilityError::InvalidOp {
+                            cause: format!("insert has {} codes, schema has {n_bool}", codes.len()),
+                        });
+                    }
+                    if coords.len() != n_pref {
+                        return Err(DurabilityError::InvalidOp {
+                            cause: format!(
+                                "insert has {} coords, schema has {n_pref}",
+                                coords.len()
+                            ),
+                        });
+                    }
+                    if coords.iter().any(|x| !x.is_finite()) {
+                        return Err(DurabilityError::InvalidOp {
+                            cause: "non-finite preference coordinate".to_string(),
+                        });
+                    }
+                    inserts += 1;
+                }
+                MaintenanceOp::Delete { tid } => {
+                    if *tid >= base + inserts {
+                        return Err(DurabilityError::InvalidOp {
+                            cause: format!("delete of unknown tuple {tid}"),
+                        });
+                    }
+                    if *tid >= base {
+                        // Same-batch insert+delete would make the redo
+                        // record's coordinates unresolvable; split the batch.
+                        return Err(DurabilityError::InvalidOp {
+                            cause: format!(
+                                "tuple {tid} is inserted in this same transaction; delete it in a later one"
+                            ),
+                        });
+                    }
+                    if !self.live.contains(tid) || !deleted.insert(*tid) {
+                        return Err(DurabilityError::InvalidOp {
+                            cause: format!("delete of dead tuple {tid}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- file mode --
+
+    fn persist_checkpoint_file(&self) -> Result<(), DurabilityError> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        let tmp = dir.join("checkpoint.pcube.tmp");
+        let dst = dir.join("checkpoint.pcube");
+        std::fs::write(&tmp, self.image.to_bytes()).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &dst).map_err(|e| io_err(&dst, e))?;
+        Ok(())
+    }
+
+    fn persist_wal_file_full(&mut self) -> Result<(), DurabilityError> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        let path = dir.join("wal.pcube");
+        std::fs::write(&path, self.wal.durable_bytes()).map_err(|e| io_err(&path, e))?;
+        self.file_synced = self.wal.durable_len();
+        Ok(())
+    }
+
+    fn persist_wal_file_append(&mut self) -> Result<(), DurabilityError> {
+        let Some(dir) = &self.dir else { return Ok(()) };
+        let durable = self.wal.durable_bytes();
+        if self.file_synced > durable.len() {
+            // Truncation shrank the log; rewrite.
+            return self.persist_wal_file_full();
+        }
+        let path = dir.join("wal.pcube");
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        f.write_all(&durable[self.file_synced..]).map_err(|e| io_err(&path, e))?;
+        f.sync_all().map_err(|e| io_err(&path, e))?;
+        self.file_synced = durable.len();
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> DurabilityError {
+    DurabilityError::Io { path: path.display().to_string(), cause: e.to_string() }
+}
+
+/// Re-executes one committed transaction and verifies it against the logged
+/// evidence: re-derived tuple ids must match the redo records, re-derived
+/// signature summaries must match the `SigUpdate` records, and every
+/// `PageWrite` witness CRC must match the replayed page bytes.
+fn replay_txn(
+    master: &mut PCubeDb,
+    txn: u64,
+    recs: &[&WalRecord],
+    repaired: &mut HashSet<(StoreKind, u32)>,
+) -> Result<(), DurabilityError> {
+    let diverged = |cause: String| DurabilityError::Replay { txn, cause };
+    let mut logged_sigs: Vec<(u32, u32, u32)> = Vec::new();
+    let mut replayed_sigs: Vec<(u32, u32, u32)> = Vec::new();
+    for rec in recs {
+        match rec {
+            WalRecord::TreeSplit { op, tid, codes, coords, .. } => match op {
+                TreeOp::Insert => {
+                    let (got, touches) = master.insert_coded_tracked(codes, coords);
+                    if got != *tid {
+                        return Err(diverged(format!(
+                            "re-executed insert produced tid {got}, log says {tid}"
+                        )));
+                    }
+                    replayed_sigs
+                        .extend(touches.iter().map(|t| (t.cell, t.sets, t.clears)));
+                }
+                TreeOp::Delete => {
+                    let touches = master
+                        .delete_tracked(*tid)
+                        .ok_or_else(|| diverged(format!("re-executed delete of {tid} found no tuple")))?;
+                    replayed_sigs
+                        .extend(touches.iter().map(|t| (t.cell, t.sets, t.clears)));
+                }
+            },
+            WalRecord::SigUpdate { cell, sets, clears, .. } => {
+                logged_sigs.push((*cell, *sets, *clears));
+            }
+            WalRecord::PageWrite { store, pid, crc, .. } => {
+                let pager = match store {
+                    StoreKind::Rtree => master.rtree.pager(),
+                    StoreKind::Signature => master.pcube.store.parts_ref().0,
+                    StoreKind::Directory => master.pcube.store.parts_ref().1.pager(),
+                };
+                let actual = pager.page_bytes(PageId(*pid)).map(crc32);
+                if actual != Some(*crc) {
+                    return Err(diverged(format!(
+                        "page witness mismatch on {} page {pid}: log says {crc:#010x}, replay has {}",
+                        store.name(),
+                        actual.map_or("a dead page".to_string(), |a| format!("{a:#010x}")),
+                    )));
+                }
+                repaired.insert((*store, *pid));
+            }
+            WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
+        }
+    }
+    if logged_sigs != replayed_sigs {
+        return Err(diverged(format!(
+            "signature summary mismatch: log has {} cell updates, replay produced {}",
+            logged_sigs.len(),
+            replayed_sigs.len()
+        )));
+    }
+    Ok(())
+}
+
+// The maintenance writer publishes epochs while reader threads hold
+// EpochReader handles; both sides cross thread boundaries.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EpochReader>();
+    assert_send_sync::<EpochSnapshot>();
+    assert_send_sync::<DurableDb>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::skyline_query;
+    use pcube_cube::Schema;
+
+    fn seed_relation(n: usize) -> Relation {
+        let mut r = Relation::new(Schema::new(&["A", "B"], &["X", "Y"]));
+        let vals_a = ["a1", "a2", "a3"];
+        let vals_b = ["b1", "b2"];
+        for i in 0..n {
+            let x = (i as f64 * 0.377).fract();
+            let y = (i as f64 * 0.611 + 0.13).fract();
+            r.push(&[vals_a[i % 3], vals_b[i % 2]], &[x, y]);
+        }
+        r
+    }
+
+    fn skyline_tids(db: &PCubeDb) -> Vec<u64> {
+        let out = skyline_query(db, &Vec::new(), &[0, 1], false);
+        let mut tids: Vec<u64> = out.skyline.iter().map(|(t, _)| *t).collect();
+        tids.sort_unstable();
+        tids
+    }
+
+    fn some_ops(db: &DurableDb, round: u64) -> Vec<MaintenanceOp> {
+        let mut ops = Vec::new();
+        for j in 0..3u64 {
+            let i = round * 3 + j;
+            ops.push(MaintenanceOp::Insert {
+                codes: vec![(i % 3) as u32, (i % 2) as u32],
+                coords: vec![(i as f64 * 0.271).fract(), (i as f64 * 0.413).fract()],
+            });
+        }
+        // Delete an old live tuple deterministically.
+        let victim = db
+            .live
+            .iter()
+            .copied()
+            .filter(|&t| t < db.master.relation.len() as u64)
+            .min();
+        if let Some(tid) = victim {
+            ops.push(MaintenanceOp::Delete { tid });
+        }
+        ops
+    }
+
+    #[test]
+    fn recovery_replays_committed_suffix() {
+        let mut db = DurableDb::create(seed_relation(64), &PCubeConfig::default(), DurabilityOptions::default());
+        for round in 0..5 {
+            let ops = some_ops(&db, round);
+            let receipt = db.apply(&ops).expect("apply");
+            assert!(receipt.durable);
+        }
+        assert_eq!(db.applied_txns(), 5);
+
+        let state = db.durable_state();
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+                .expect("recover");
+        assert!(!report.clean);
+        assert_eq!(report.txns_replayed, 5);
+        assert_eq!(report.txns_dropped, 0);
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert!(report.pages_repaired > 0);
+        assert_eq!(skyline_tids(recovered.db()), skyline_tids(db.db()));
+        assert_eq!(recovered.live_tuples(), db.live_tuples());
+        assert_eq!(recovered.applied_txns(), 5);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_recovers_clean() {
+        let mut db = DurableDb::create(seed_relation(64), &PCubeConfig::default(), DurabilityOptions::default());
+        for round in 0..4 {
+            let ops = some_ops(&db, round);
+            db.apply(&ops).expect("apply");
+        }
+        let before = db.wal_len();
+        let outcome = db.checkpoint().expect("checkpoint");
+        assert!(outcome.pages_flushed > 0);
+        assert!(outcome.wal_bytes_reclaimed > 0);
+        assert!(db.wal_len() < before);
+        assert_eq!(outcome.txns, 4);
+
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .expect("recover");
+        assert!(report.clean, "post-checkpoint open should be clean: {report}");
+        assert_eq!(report.checkpoint_txns, 4);
+        assert!(report.pages_verified > 0);
+        assert_eq!(skyline_tids(recovered.db()), skyline_tids(db.db()));
+    }
+
+    #[test]
+    fn unsynced_commits_are_dropped_on_recovery() {
+        let opts = DurabilityOptions { fsync_every: 10, checkpoint_every: 0 };
+        let mut db = DurableDb::create(seed_relation(48), &PCubeConfig::default(), opts);
+        let r1 = db.apply(&some_ops(&db, 0)).expect("apply");
+        assert!(!r1.durable);
+        db.sync().expect("sync");
+        let r2 = db.apply(&some_ops(&db, 1)).expect("apply");
+        assert!(!r2.durable, "second txn sits in the unsynced window");
+
+        // Crash now: txn 2 never reached the durable log.
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .expect("recover");
+        assert_eq!(report.txns_replayed, 1);
+        assert_eq!(recovered.applied_txns(), 1);
+        assert!(recovered.durable_txns() == 1);
+    }
+
+    #[test]
+    fn crash_plan_kills_and_poisons() {
+        let mut db = DurableDb::create(seed_relation(32), &PCubeConfig::default(), DurabilityOptions::default());
+        db.apply(&some_ops(&db, 0)).expect("apply");
+        db.set_crash_plan(CrashPlan::at_event(0));
+        let err = db.apply(&some_ops(&db, 1)).expect_err("must crash");
+        assert!(matches!(err, DurabilityError::Crashed { point: CrashPoint::WalAppend }));
+        assert_eq!(db.poisoned(), Some(CrashPoint::WalAppend));
+        let err = db.apply(&some_ops(&db, 1)).expect_err("poisoned");
+        assert!(matches!(err, DurabilityError::Poisoned { .. }));
+        // The durable state is still recoverable and contains only txn 1.
+        let (_, report) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .expect("recover");
+        assert_eq!(report.txns_replayed, 1);
+    }
+
+    #[test]
+    fn epoch_snapshots_are_immutable() {
+        let mut db = DurableDb::create(seed_relation(64), &PCubeConfig::default(), DurabilityOptions::default());
+        let reader = db.reader();
+        let pinned = reader.snapshot();
+        let before = skyline_tids(pinned.db());
+        let epoch_before = pinned.epoch();
+
+        for round in 0..3 {
+            db.apply(&some_ops(&db, round)).expect("apply");
+        }
+        db.checkpoint().expect("checkpoint");
+
+        // The pinned snapshot still answers identically.
+        assert_eq!(skyline_tids(pinned.db()), before);
+        assert_eq!(pinned.epoch(), epoch_before);
+        // A fresh snapshot sees the new epoch and the new data.
+        let fresh = reader.snapshot();
+        assert!(fresh.epoch() > epoch_before);
+        assert_eq!(skyline_tids(fresh.db()), skyline_tids(db.db()));
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_upfront() {
+        let mut db = DurableDb::create(seed_relation(16), &PCubeConfig::default(), DurabilityOptions::default());
+        let wal_before = db.wal_stats().appends;
+        let bad = [
+            vec![],
+            vec![MaintenanceOp::Insert { codes: vec![0], coords: vec![0.1, 0.2] }],
+            vec![MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![0.1] }],
+            vec![MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![f64::NAN, 0.2] }],
+            vec![MaintenanceOp::Delete { tid: 999 }],
+            vec![MaintenanceOp::Delete { tid: 3 }, MaintenanceOp::Delete { tid: 3 }],
+        ];
+        for ops in bad {
+            let err = db.apply(&ops).expect_err("must reject");
+            assert!(matches!(err, DurabilityError::InvalidOp { .. }), "{err}");
+        }
+        assert_eq!(db.wal_stats().appends, wal_before, "rejected batches must not log");
+        assert_eq!(db.applied_txns(), 0);
+    }
+
+    #[test]
+    fn file_mode_round_trips() {
+        let dir = std::env::temp_dir().join(format!("pcube-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = DurableDb::create_at(
+            &dir,
+            seed_relation(48),
+            &PCubeConfig::default(),
+            DurabilityOptions::default(),
+        )
+        .expect("create_at");
+        for round in 0..3 {
+            db.apply(&some_ops(&db, round)).expect("apply");
+        }
+        let want = skyline_tids(db.db());
+        drop(db);
+
+        let (recovered, report) =
+            DurableDb::open_or_recover(&dir, DurabilityOptions::default()).expect("open");
+        assert_eq!(report.txns_replayed, 3);
+        assert_eq!(skyline_tids(recovered.db()), want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_page_is_detected() {
+        let mut db = DurableDb::create(seed_relation(32), &PCubeConfig::default(), DurabilityOptions::default());
+        db.apply(&some_ops(&db, 0)).expect("apply");
+        db.checkpoint().expect("checkpoint");
+        let mut state = db.durable_state();
+        // Flip a byte deep inside the image body (past the header/meta).
+        let mid = state.checkpoint.len() / 2;
+        state.checkpoint[mid] ^= 0xFF;
+        let err = match DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+        {
+            Ok(_) => panic!("must detect corruption"),
+            Err(e) => e,
+        };
+        match err {
+            DurabilityError::Corrupt { .. } | DurabilityError::Persist(_) => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}

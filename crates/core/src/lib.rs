@@ -34,6 +34,7 @@
 
 pub mod admission;
 pub mod bloom;
+pub mod durable;
 pub mod encode;
 pub mod pcube;
 pub mod persist;
@@ -45,7 +46,11 @@ pub mod store;
 
 pub use admission::{AdmissionError, AdmissionGate, AdmissionPermit};
 pub use bloom::BloomSignature;
-pub use pcube::{PCube, PCubeConfig, PCubeDb};
+pub use durable::{
+    CheckpointImage, CheckpointOutcome, CommitReceipt, DurabilityError, DurabilityOptions,
+    DurableDb, DurableState, EpochReader, EpochSnapshot, MaintenanceOp, RecoveryReport,
+};
+pub use pcube::{PCube, PCubeConfig, PCubeDb, SigTouch};
 pub use persist::PersistError;
 pub use plan::{
     CostEstimate, EngineKind, Executor, PCubeExecutor, PlanDecision, PlanError, Planner, QuerySpec,

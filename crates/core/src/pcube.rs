@@ -11,6 +11,9 @@ use pcube_rtree::{Path, PathDelta, RTree, RTreeConfig};
 use pcube_storage::{IoCategory, IoStats, Pager, SharedStats};
 
 use crate::rank::RankingFunction;
+
+/// Per-cell pending signature maintenance: `(cleared paths, set paths)`.
+type CellChanges = (Vec<Path>, Vec<Path>);
 use crate::signature::Signature;
 use crate::store::{BooleanProbe, SignatureStore};
 
@@ -39,8 +42,25 @@ impl Default for PCubeConfig {
     }
 }
 
+/// One cell signature touched by a maintenance operation: how many path
+/// bits were set and cleared. [`PCube::apply_delta`] reports these (in
+/// ascending cell-code order) so the durable engine can log per-cell
+/// `SigUpdate` WAL records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigTouch {
+    /// The affected cell's registry code.
+    pub cell: u32,
+    /// Signature bits set (paths added).
+    pub sets: u32,
+    /// Signature bits cleared (paths removed).
+    pub clears: u32,
+}
+
 /// The signature cube: one signature per materialized cell, stored
 /// compressed and decomposed on counted pages.
+///
+/// `Clone` is a deep copy over cloned pagers (see [`SignatureStore`]).
+#[derive(Clone)]
 pub struct PCube {
     pub(crate) registry: CellRegistry,
     pub(crate) store: SignatureStore,
@@ -209,10 +229,18 @@ impl PCube {
     ///
     /// `rtree_height` must be the tree's height *after* the mutation (a root
     /// split deepens every path).
-    pub fn apply_delta(&mut self, relation: &Relation, delta: &PathDelta, rtree_height: usize) {
+    ///
+    /// Returns one [`SigTouch`] per affected cell, in ascending cell-code
+    /// order (deterministic, so WAL records built from it are reproducible).
+    pub fn apply_delta(
+        &mut self,
+        relation: &Relation,
+        delta: &PathDelta,
+        rtree_height: usize,
+    ) -> Vec<SigTouch> {
         self.store.set_height(rtree_height);
         // (cell code, clears, sets)
-        let mut changes: HashMap<u32, (Vec<Path>, Vec<Path>)> = HashMap::new();
+        let mut changes: HashMap<u32, CellChanges> = HashMap::new();
         let mut add = |registry: &mut CellRegistry,
                        cuboids: &[CuboidMask],
                        tid: u64,
@@ -240,7 +268,15 @@ impl PCube {
         if let Some((tid, path)) = &delta.removed {
             add(&mut self.registry, &self.cuboids, *tid, Some(path), None);
         }
-        for (code, (clears, sets)) in changes {
+        let mut ordered: Vec<(u32, CellChanges)> = changes.into_iter().collect();
+        ordered.sort_unstable_by_key(|(code, _)| *code);
+        let mut touched = Vec::with_capacity(ordered.len());
+        for (code, (clears, sets)) in ordered {
+            touched.push(SigTouch {
+                cell: code,
+                sets: sets.len() as u32,
+                clears: clears.len() as u32,
+            });
             // Pure insertions take the paper's fast path: flip bits inside
             // the partials already on disk. Anything involving clears (or a
             // page overflow) falls back to a full per-cell rewrite.
@@ -256,6 +292,7 @@ impl PCube {
             }
             self.store.write_signature(code, &sig);
         }
+        touched
     }
 }
 
@@ -347,19 +384,65 @@ impl PCubeDb {
     /// R-tree and every affected signature. Returns the new tid.
     pub fn insert(&mut self, bool_values: &[&str], coords: &[f64]) -> u64 {
         let tid = self.relation.push(bool_values, coords);
-        self.finish_insert(tid, coords)
+        self.finish_insert(tid, coords);
+        tid
     }
 
     /// Inserts a row given pre-encoded boolean codes.
     pub fn insert_coded(&mut self, bool_codes: &[u32], coords: &[f64]) -> u64 {
-        let tid = self.relation.push_coded(bool_codes, coords);
-        self.finish_insert(tid, coords)
+        self.insert_coded_tracked(bool_codes, coords).0
     }
 
-    fn finish_insert(&mut self, tid: u64, coords: &[f64]) -> u64 {
+    /// [`PCubeDb::insert_coded`], also reporting which cell signatures the
+    /// maintenance touched (the durable engine logs these as WAL records).
+    pub fn insert_coded_tracked(
+        &mut self,
+        bool_codes: &[u32],
+        coords: &[f64],
+    ) -> (u64, Vec<SigTouch>) {
+        let tid = self.relation.push_coded(bool_codes, coords);
+        (tid, self.finish_insert(tid, coords))
+    }
+
+    fn finish_insert(&mut self, tid: u64, coords: &[f64]) -> Vec<SigTouch> {
         let delta = self.rtree.insert_tracked(tid, coords);
-        self.pcube.apply_delta(&self.relation, &delta, self.rtree.height());
-        tid
+        self.pcube.apply_delta(&self.relation, &delta, self.rtree.height())
+    }
+
+    /// Deletes tuple `tid`: removes it from the R-tree partition and clears
+    /// its path bit from every affected cell signature (§VIII, the deletion
+    /// half of incremental maintenance). The relation row is retained as a
+    /// tombstone — tids stay stable — but the tuple vanishes from every
+    /// query result. Returns `false` if `tid` is out of range or already
+    /// deleted.
+    pub fn delete(&mut self, tid: u64) -> bool {
+        self.delete_tracked(tid).is_some()
+    }
+
+    /// [`PCubeDb::delete`], reporting the touched cell signatures.
+    pub fn delete_tracked(&mut self, tid: u64) -> Option<Vec<SigTouch>> {
+        if tid >= self.relation.len() as u64 {
+            return None;
+        }
+        let coords = self.relation.pref_coords(tid);
+        let path = self.rtree.delete_tracked(tid, &coords)?;
+        let delta = PathDelta { removed: Some((tid, path)), ..PathDelta::default() };
+        Some(self.pcube.apply_delta(&self.relation, &delta, self.rtree.height()))
+    }
+
+    /// A deep, independently-queryable copy for epoch snapshots: every pager
+    /// is cloned, only the I/O ledger is shared (snapshot reads keep being
+    /// charged to the database's cost accounting). The admission gate is
+    /// *not* carried over — snapshot readers are admitted by the live
+    /// database, not by its frozen copies.
+    pub fn clone_snapshot(&self) -> PCubeDb {
+        PCubeDb {
+            relation: self.relation.clone(),
+            rtree: self.rtree.clone(),
+            pcube: self.pcube.clone(),
+            stats: self.stats.clone(),
+            admission: None,
+        }
     }
 
     /// Builds a [`Selection`] from `(dimension name, value)` pairs.

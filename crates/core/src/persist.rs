@@ -71,7 +71,7 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-fn fail<T>(section: &'static str, offset: usize, cause: impl Into<String>) -> Result<T, PersistError> {
+pub(crate) fn fail<T>(section: &'static str, offset: usize, cause: impl Into<String>) -> Result<T, PersistError> {
     Err(PersistError { section, offset, cause: cause.into() })
 }
 
@@ -79,7 +79,10 @@ fn fail<T>(section: &'static str, offset: usize, cause: impl Into<String>) -> Re
 
 /// Reads one section's payload, carrying the section name and the payload's
 /// absolute position so every error can name an exact image offset.
-struct Reader<'a> {
+///
+/// Crate-visible: the durable checkpoint image (`crate::durable`) reuses it
+/// to parse the metadata payloads it shares with this format.
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
     section: &'static str,
@@ -88,7 +91,12 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn err<T>(&self, cause: impl Into<String>) -> Result<T, PersistError> {
+    /// A reader over a standalone payload (no surrounding image).
+    pub(crate) fn over(buf: &'a [u8], section: &'static str) -> Self {
+        Reader { buf, pos: 0, section, base: 0 }
+    }
+
+    pub(crate) fn err<T>(&self, cause: impl Into<String>) -> Result<T, PersistError> {
         fail(self.section, self.base + self.pos, cause)
     }
 
@@ -104,25 +112,42 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u32(&mut self) -> Result<u32, PersistError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        self.take(n)
+    }
+
+    /// Everything from the current position to the end of the payload,
+    /// consuming it.
+    pub(crate) fn remaining_bytes(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
         let mut raw = [0u8; 4];
         raw.copy_from_slice(self.take(4)?);
         Ok(u32::from_le_bytes(raw))
     }
 
-    fn u64(&mut self) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(self.take(8)?);
         Ok(u64::from_le_bytes(raw))
     }
 
-    fn f64(&mut self) -> Result<f64, PersistError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, PersistError> {
         let mut raw = [0u8; 8];
         raw.copy_from_slice(self.take(8)?);
         Ok(f64::from_le_bytes(raw))
     }
 
-    fn string(&mut self) -> Result<String, PersistError> {
+    pub(crate) fn string(&mut self) -> Result<String, PersistError> {
         let len = self.count(8, 1, "string length")?;
         let bytes = self.take(len)?;
         match String::from_utf8(bytes.to_vec()) {
@@ -138,7 +163,7 @@ impl<'a> Reader<'a> {
     /// rejects it if `count * min_elem_size` exceeds the remaining payload —
     /// the guard that keeps a bit-flipped length field from turning into a
     /// multi-gigabyte `Vec::with_capacity`.
-    fn count(&mut self, width: usize, min_elem_size: usize, what: &str) -> Result<usize, PersistError> {
+    pub(crate) fn count(&mut self, width: usize, min_elem_size: usize, what: &str) -> Result<usize, PersistError> {
         let start = self.pos;
         let raw = match width {
             4 => u64::from(self.u32()?),
@@ -159,7 +184,7 @@ impl<'a> Reader<'a> {
     /// Deserializes an embedded pager image starting at the current
     /// position, translating its [`pcube_storage::ImageError`] offset into
     /// an absolute image offset.
-    fn pager(&mut self, category: IoCategory, stats: pcube_storage::SharedStats) -> Result<Pager, PersistError> {
+    pub(crate) fn pager(&mut self, category: IoCategory, stats: pcube_storage::SharedStats) -> Result<Pager, PersistError> {
         match Pager::try_deserialize_from(&self.buf[self.pos..], category, stats) {
             Ok((pager, used)) => {
                 self.pos += used;
@@ -170,7 +195,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Fails unless the whole payload was consumed.
-    fn finish(self) -> Result<(), PersistError> {
+    pub(crate) fn finish(self) -> Result<(), PersistError> {
         if self.pos != self.buf.len() {
             return self.err("trailing bytes inside the section");
         }
@@ -178,25 +203,25 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     put_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
 /// Appends one framed section: `[tag][len][payload][crc32(payload)]`.
-fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+pub(crate) fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.push(tag);
     put_u64(out, payload.len() as u64);
     out.extend_from_slice(payload);
@@ -205,7 +230,7 @@ fn put_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
 
 /// Validates the framing of the next section (`tag`, length, CRC) and hands
 /// back a [`Reader`] over its payload.
-fn open_section<'a>(
+pub(crate) fn open_section<'a>(
     image: &'a [u8],
     pos: &mut usize,
     tag: u8,
@@ -222,12 +247,26 @@ fn open_section<'a>(
     raw.copy_from_slice(&image[header + 1..header + 9]);
     let len = u64::from_le_bytes(raw);
     let body = header + 9;
-    let fits = usize::try_from(len)
-        .ok()
-        .and_then(|l| l.checked_add(4))
-        .is_some_and(|need| need <= image.len() - body);
-    if !fits {
-        return fail(name, header + 1, format!("section length {len} exceeds the image"));
+    let avail = image.len() - body;
+    // Distinguish a *truncated* section (a partial write cut the payload or
+    // trailing checksum short — the length field itself is fine) from an
+    // *implausible* length (corruption of the length field): recovery
+    // tooling treats the two very differently.
+    match usize::try_from(len).ok().and_then(|l| l.checked_add(4)) {
+        None => {
+            return fail(name, header + 1, format!("implausible section length {len}"));
+        }
+        Some(need) if need > avail => {
+            return fail(
+                name,
+                header + 1,
+                format!(
+                    "section truncated: {len}-byte payload plus checksum needs {need} bytes, \
+                     only {avail} remain in the image"
+                ),
+            );
+        }
+        Some(_) => {}
     }
     let len = len as usize;
     let payload = &image[body..body + len];
@@ -246,6 +285,140 @@ fn open_section<'a>(
     Ok(Reader { buf: payload, pos: 0, section: name, base: body })
 }
 
+/// Serializes a relation (schema, dictionaries, columns) into `payload` —
+/// the body of the `relation` section, shared with the durable checkpoint
+/// image.
+pub(crate) fn write_relation_payload(relation: &Relation, payload: &mut Vec<u8>) {
+    let schema = relation.schema();
+    put_u32(payload, schema.n_bool() as u32);
+    for d in 0..schema.n_bool() {
+        put_string(payload, schema.bool_name(d));
+    }
+    put_u32(payload, schema.n_pref() as u32);
+    for d in 0..schema.n_pref() {
+        put_string(payload, schema.pref_name(d));
+    }
+    for d in 0..schema.n_bool() {
+        let values = relation.dictionary(d).values();
+        put_u64(payload, values.len() as u64);
+        for v in values {
+            put_string(payload, v);
+        }
+    }
+    put_u64(payload, relation.len() as u64);
+    for d in 0..schema.n_bool() {
+        for &c in relation.bool_column(d) {
+            put_u32(payload, c);
+        }
+    }
+    for d in 0..schema.n_pref() {
+        for &x in relation.pref_column(d) {
+            put_f64(payload, x);
+        }
+    }
+}
+
+/// Restores a relation written by [`write_relation_payload`]. The returned
+/// relation has no I/O ledger attached yet.
+pub(crate) fn read_relation_payload(r: &mut Reader<'_>) -> Result<Relation, PersistError> {
+    let n_bool = r.count(4, 8, "boolean dimension count")?;
+    let mut bool_names = Vec::with_capacity(n_bool);
+    for _ in 0..n_bool {
+        bool_names.push(r.string()?);
+    }
+    let n_pref = r.count(4, 8, "preference dimension count")?;
+    if n_pref == 0 {
+        return r.err("no preference dimensions");
+    }
+    let mut pref_names = Vec::with_capacity(n_pref);
+    for _ in 0..n_pref {
+        pref_names.push(r.string()?);
+    }
+    let schema = Schema::new(
+        &bool_names.iter().map(String::as_str).collect::<Vec<_>>(),
+        &pref_names.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut relation = Relation::new(schema);
+    for d in 0..n_bool {
+        let n_values = r.count(8, 8, "dictionary size")?;
+        let mut values = Vec::with_capacity(n_values);
+        for _ in 0..n_values {
+            values.push(r.string()?);
+        }
+        relation.restore_dictionary(d, &values);
+    }
+    let n_rows = r.count(8, (n_bool * 4 + n_pref * 8).max(1), "row count")?;
+    let mut bool_cols = vec![Vec::with_capacity(n_rows); n_bool];
+    for col in bool_cols.iter_mut() {
+        for _ in 0..n_rows {
+            col.push(r.u32()?);
+        }
+    }
+    let mut pref_cols = vec![Vec::with_capacity(n_rows); n_pref];
+    for col in pref_cols.iter_mut() {
+        for _ in 0..n_rows {
+            col.push(r.f64()?);
+        }
+    }
+    let mut codes = vec![0u32; n_bool];
+    let mut coords = vec![0f64; n_pref];
+    for row in 0..n_rows {
+        for (d, c) in codes.iter_mut().enumerate() {
+            *c = bool_cols[d][row];
+        }
+        for (d, x) in coords.iter_mut().enumerate() {
+            *x = pref_cols[d][row];
+        }
+        relation.push_coded(&codes, &coords);
+    }
+    Ok(relation)
+}
+
+/// Serializes the cube metadata (cuboid list + cell registry in code order)
+/// into `payload` — the body of the `cube` section, shared with the durable
+/// checkpoint image.
+pub(crate) fn write_cube_payload(pcube: &PCube, payload: &mut Vec<u8>) {
+    put_u64(payload, pcube.cuboids.len() as u64);
+    for m in &pcube.cuboids {
+        put_u32(payload, m.0);
+    }
+    put_u64(payload, pcube.registry.len() as u64);
+    for code in 0..pcube.registry.len() as u32 {
+        let key = pcube.registry.key(code).expect("dense codes");
+        put_u32(payload, key.mask.0);
+        put_u64(payload, key.values.len() as u64);
+        for &v in &key.values {
+            put_u32(payload, v);
+        }
+    }
+}
+
+/// Restores the cuboid list and registry written by [`write_cube_payload`].
+pub(crate) fn read_cube_payload(
+    r: &mut Reader<'_>,
+) -> Result<(Vec<CuboidMask>, pcube_cube::CellRegistry), PersistError> {
+    let n_cuboids = r.count(8, 4, "cuboid count")?;
+    let mut cuboids = Vec::with_capacity(n_cuboids);
+    for _ in 0..n_cuboids {
+        cuboids.push(CuboidMask(r.u32()?));
+    }
+    let n_cells = r.count(8, 4 + 8, "cell count")?;
+    let mut registry = pcube_cube::CellRegistry::new();
+    for expected in 0..n_cells as u32 {
+        let mask = CuboidMask(r.u32()?);
+        let n_values = r.count(8, 4, "cell value count")?;
+        let mut values = Vec::with_capacity(n_values);
+        for _ in 0..n_values {
+            values.push(r.u32()?);
+        }
+        let code = registry.intern(CellKey { mask, values });
+        if code != expected {
+            return r.err("registry codes are not dense");
+        }
+    }
+    Ok((cuboids, registry))
+}
+
 impl PCubeDb {
     /// Serializes the whole database (relation, R-tree, signatures,
     /// registry) into one buffer in format version 2.
@@ -256,33 +429,7 @@ impl PCubeDb {
 
         // --- relation ---
         let mut payload = Vec::new();
-        let schema = self.relation.schema();
-        put_u32(&mut payload, schema.n_bool() as u32);
-        for d in 0..schema.n_bool() {
-            put_string(&mut payload, schema.bool_name(d));
-        }
-        put_u32(&mut payload, schema.n_pref() as u32);
-        for d in 0..schema.n_pref() {
-            put_string(&mut payload, schema.pref_name(d));
-        }
-        for d in 0..schema.n_bool() {
-            let values = self.relation.dictionary(d).values();
-            put_u64(&mut payload, values.len() as u64);
-            for v in values {
-                put_string(&mut payload, v);
-            }
-        }
-        put_u64(&mut payload, self.relation.len() as u64);
-        for d in 0..schema.n_bool() {
-            for &c in self.relation.bool_column(d) {
-                put_u32(&mut payload, c);
-            }
-        }
-        for d in 0..schema.n_pref() {
-            for &x in self.relation.pref_column(d) {
-                put_f64(&mut payload, x);
-            }
-        }
+        write_relation_payload(&self.relation, &mut payload);
         put_section(&mut out, TAG_RELATION, &payload);
 
         // --- R-tree ---
@@ -299,19 +446,7 @@ impl PCubeDb {
 
         // --- cube: cuboids + registry (code order) ---
         payload.clear();
-        put_u64(&mut payload, self.pcube.cuboids.len() as u64);
-        for m in &self.pcube.cuboids {
-            put_u32(&mut payload, m.0);
-        }
-        put_u64(&mut payload, self.pcube.registry.len() as u64);
-        for code in 0..self.pcube.registry.len() as u32 {
-            let key = self.pcube.registry.key(code).expect("dense codes");
-            put_u32(&mut payload, key.mask.0);
-            put_u64(&mut payload, key.values.len() as u64);
-            for &v in &key.values {
-                put_u32(&mut payload, v);
-            }
-        }
+        write_cube_payload(&self.pcube, &mut payload);
         put_section(&mut out, TAG_CUBE, &payload);
 
         // --- signature store ---
@@ -359,56 +494,8 @@ impl PCubeDb {
 
         // --- relation ---
         let mut r = open_section(image, &mut pos, TAG_RELATION, "relation")?;
-        let n_bool = r.count(4, 8, "boolean dimension count")?;
-        let mut bool_names = Vec::with_capacity(n_bool);
-        for _ in 0..n_bool {
-            bool_names.push(r.string()?);
-        }
-        let n_pref = r.count(4, 8, "preference dimension count")?;
-        if n_pref == 0 {
-            return r.err("no preference dimensions");
-        }
-        let mut pref_names = Vec::with_capacity(n_pref);
-        for _ in 0..n_pref {
-            pref_names.push(r.string()?);
-        }
-        let schema = Schema::new(
-            &bool_names.iter().map(String::as_str).collect::<Vec<_>>(),
-            &pref_names.iter().map(String::as_str).collect::<Vec<_>>(),
-        );
-        let mut relation = Relation::new(schema);
-        for d in 0..n_bool {
-            let n_values = r.count(8, 8, "dictionary size")?;
-            let mut values = Vec::with_capacity(n_values);
-            for _ in 0..n_values {
-                values.push(r.string()?);
-            }
-            relation.restore_dictionary(d, &values);
-        }
-        let n_rows = r.count(8, (n_bool * 4 + n_pref * 8).max(1), "row count")?;
-        let mut bool_cols = vec![Vec::with_capacity(n_rows); n_bool];
-        for col in bool_cols.iter_mut() {
-            for _ in 0..n_rows {
-                col.push(r.u32()?);
-            }
-        }
-        let mut pref_cols = vec![Vec::with_capacity(n_rows); n_pref];
-        for col in pref_cols.iter_mut() {
-            for _ in 0..n_rows {
-                col.push(r.f64()?);
-            }
-        }
-        let mut codes = vec![0u32; n_bool];
-        let mut coords = vec![0f64; n_pref];
-        for row in 0..n_rows {
-            for (d, c) in codes.iter_mut().enumerate() {
-                *c = bool_cols[d][row];
-            }
-            for (d, x) in coords.iter_mut().enumerate() {
-                *x = pref_cols[d][row];
-            }
-            relation.push_coded(&codes, &coords);
-        }
+        let mut relation = read_relation_payload(&mut r)?;
+        let n_pref = relation.schema().n_pref();
         relation.attach_stats(stats.clone());
         r.finish()?;
 
@@ -435,25 +522,7 @@ impl PCubeDb {
 
         // --- cube ---
         let mut r = open_section(image, &mut pos, TAG_CUBE, "cube")?;
-        let n_cuboids = r.count(8, 4, "cuboid count")?;
-        let mut cuboids = Vec::with_capacity(n_cuboids);
-        for _ in 0..n_cuboids {
-            cuboids.push(CuboidMask(r.u32()?));
-        }
-        let n_cells = r.count(8, 4 + 8, "cell count")?;
-        let mut registry = pcube_cube::CellRegistry::new();
-        for expected in 0..n_cells as u32 {
-            let mask = CuboidMask(r.u32()?);
-            let n_values = r.count(8, 4, "cell value count")?;
-            let mut values = Vec::with_capacity(n_values);
-            for _ in 0..n_values {
-                values.push(r.u32()?);
-            }
-            let code = registry.intern(CellKey { mask, values });
-            if code != expected {
-                return r.err("registry codes are not dense");
-            }
-        }
+        let (cuboids, registry) = read_cube_payload(&mut r)?;
         r.finish()?;
 
         // --- signature store ---

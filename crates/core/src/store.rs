@@ -30,6 +30,10 @@ const RECORD_HEADER: usize = 4; // per-partial payload length u32
 /// partials may share a page (each is still no larger than a page, as the
 /// decomposition guarantees). The directory value encodes `(page, offset)`
 /// so a partial load is exactly one signature-page read.
+///
+/// `Clone` is a deep copy (cloned pagers sharing the I/O ledger, directory
+/// clone with a cold pin cache) — the building block of epoch snapshots.
+#[derive(Clone)]
 pub struct SignatureStore {
     pager: Pager,
     directory: BPlusTree,

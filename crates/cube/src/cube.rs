@@ -94,7 +94,7 @@ impl CellKey {
 }
 
 /// Assigns dense `u32` codes to cells so they can key B+-tree composites.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CellRegistry {
     codes: HashMap<CellKey, u32>,
     keys: Vec<CellKey>,

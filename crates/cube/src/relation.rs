@@ -17,6 +17,7 @@ use crate::schema::{Dictionary, Schema};
 /// * [`Relation::scan`] — a full table scan charging one
 ///   [`IoCategory::HeapScan`] per heap page (the table-scan alternative of
 ///   the boolean-first baseline).
+#[derive(Clone)]
 pub struct Relation {
     schema: Schema,
     dictionaries: Vec<Dictionary>,

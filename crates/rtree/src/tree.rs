@@ -61,6 +61,10 @@ struct Step {
 
 /// A paged R-tree over points in `dims` dimensions. See the crate docs for
 /// why slots are stable and how paths work.
+///
+/// `Clone` is a deep copy over a cloned pager (sharing the I/O ledger);
+/// epoch snapshots in `pcube-core` use it to publish immutable copies.
+#[derive(Clone)]
 pub struct RTree {
     pager: Pager,
     layout: Layout,

@@ -180,9 +180,147 @@ impl FaultPlan {
     }
 }
 
+/// A durability boundary where a simulated crash can strike.
+///
+/// The durable engine (`pcube-core::durable`) calls
+/// [`CrashPlan::observe`] immediately before performing each of these
+/// actions; when the plan says "crash", the action does not happen (or, for
+/// [`CrashPoint::WalSync`], happens *partially* — a torn fsync) and the
+/// engine poisons itself, exactly as if the process had been killed there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Before appending a record to the WAL tail.
+    WalAppend,
+    /// During an fsync of the WAL tail: a random byte prefix lands, the rest
+    /// is lost, and the durable log likely ends in a torn frame.
+    WalSync,
+    /// Before flushing one dirty page into the checkpoint image.
+    PageFlush,
+    /// Before atomically installing the staged checkpoint image.
+    CheckpointInstall,
+    /// After the checkpoint is installed and logged, but before the WAL
+    /// prefix it covers is truncated.
+    CheckpointTruncate,
+}
+
+impl CrashPoint {
+    /// Human-readable name (for reports and matrix labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::WalAppend => "wal-append",
+            CrashPoint::WalSync => "wal-sync",
+            CrashPoint::PageFlush => "page-flush",
+            CrashPoint::CheckpointInstall => "checkpoint-install",
+            CrashPoint::CheckpointTruncate => "checkpoint-truncate",
+        }
+    }
+}
+
+/// A deterministic crash schedule over the durability event stream.
+///
+/// Every durability boundary the engine crosses is one *event*, numbered
+/// from zero in execution order. A counting plan ([`CrashPlan::count_only`])
+/// never crashes — it just tallies events, so a harness can first measure
+/// how many boundaries a workload crosses and then rerun the identical
+/// workload once per boundary with [`CrashPlan::at_event`], killing the
+/// engine at each one in turn. Same seed + same workload = same schedule.
+#[derive(Debug, Clone)]
+pub struct CrashPlan {
+    state: u64,
+    kill_at: Option<u64>,
+    events: u64,
+    tripped: Option<CrashPoint>,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes but counts every durability event.
+    pub fn count_only() -> Self {
+        CrashPlan { state: 0x9E37_79B9 | 1, kill_at: None, events: 0, tripped: None }
+    }
+
+    /// A plan that crashes at the `n`-th durability event (0-based).
+    pub fn at_event(n: u64) -> Self {
+        CrashPlan { kill_at: Some(n), ..CrashPlan::count_only() }
+    }
+
+    /// Reseeds the generator used for torn-fsync prefix lengths.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        self
+    }
+
+    /// Records that the engine is about to cross `point`. Returns `true` if
+    /// the plan kills the process here; the caller must then poison itself.
+    pub fn observe(&mut self, point: CrashPoint) -> bool {
+        let n = self.events;
+        self.events += 1;
+        if self.tripped.is_none() && self.kill_at == Some(n) {
+            self.tripped = Some(point);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Durability events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events
+    }
+
+    /// The boundary this plan crashed at, if it has fired.
+    pub fn tripped(&self) -> Option<CrashPoint> {
+        self.tripped
+    }
+
+    /// A deterministic torn-fsync length in `[0, max]`.
+    pub fn torn_len(&mut self, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) as usize) % (max + 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crash_plan_fires_exactly_once_at_the_chosen_event() {
+        let mut p = CrashPlan::at_event(2);
+        assert!(!p.observe(CrashPoint::WalAppend));
+        assert!(!p.observe(CrashPoint::WalSync));
+        assert!(p.observe(CrashPoint::PageFlush));
+        assert!(!p.observe(CrashPoint::PageFlush), "a plan trips at most once");
+        assert_eq!(p.tripped(), Some(CrashPoint::PageFlush));
+        assert_eq!(p.events_seen(), 4);
+    }
+
+    #[test]
+    fn count_only_plan_never_crashes() {
+        let mut p = CrashPlan::count_only();
+        for _ in 0..100 {
+            assert!(!p.observe(CrashPoint::WalAppend));
+        }
+        assert_eq!(p.events_seen(), 100);
+        assert_eq!(p.tripped(), None);
+    }
+
+    #[test]
+    fn torn_len_is_deterministic_and_bounded() {
+        let mut a = CrashPlan::count_only().with_seed(7);
+        let mut b = CrashPlan::count_only().with_seed(7);
+        for max in [0usize, 1, 64, 4096] {
+            let la = a.torn_len(max);
+            assert_eq!(la, b.torn_len(max));
+            assert!(la <= max);
+        }
+    }
 
     #[test]
     fn same_seed_means_same_schedule() {

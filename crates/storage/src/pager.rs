@@ -6,6 +6,7 @@ use crate::error::{ImageError, PageOp, StorageError};
 use crate::fault::{FaultCounts, FaultPlan, WriteEffect};
 use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 
 /// An in-memory "disk" of fixed-size pages.
@@ -47,6 +48,33 @@ pub struct Pager {
     /// run from many query threads; disabled (`None`) on the hot path this
     /// costs one branch, enabled it serializes only fault bookkeeping.
     fault: Option<Mutex<FaultPlan>>,
+    /// Pages mutated (written, updated, allocated, or freed) since the last
+    /// [`Pager::take_dirty`]. `BTreeSet` so drains are in deterministic page
+    /// order — the WAL witnesses and checkpoint flushes built from this set
+    /// must be byte-identical across runs.
+    dirty: BTreeSet<u32>,
+}
+
+impl Clone for Pager {
+    /// Deep copy sharing the same [`SharedStats`] ledger. The fault plan (and
+    /// its schedule position) and the dirty set are cloned too; epoch
+    /// snapshots rely on this being a faithful, independently-mutable copy.
+    fn clone(&self) -> Self {
+        Pager {
+            page_size: self.page_size,
+            pages: self.pages.clone(),
+            free: self.free.clone(),
+            category: self.category,
+            stats: self.stats.clone(),
+            sums: self.sums.clone(),
+            verify: self.verify,
+            fault: self
+                .fault
+                .as_ref()
+                .map(|m| Mutex::new(m.lock().expect("fault plan lock poisoned").clone())),
+            dirty: self.dirty.clone(),
+        }
+    }
 }
 
 impl Pager {
@@ -65,6 +93,40 @@ impl Pager {
             sums: Vec::new(),
             verify: false,
             fault: None,
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Rebuilds a pager from raw parts: the page table (dense slot vector,
+    /// `None` = dead) and free list of a recovered checkpoint image. The
+    /// dirty set starts empty — the caller asserts these pages are exactly
+    /// what durable storage holds.
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero or any live page has the wrong length.
+    pub fn from_pages(
+        page_size: usize,
+        pages: Vec<Option<Box<[u8]>>>,
+        free: Vec<PageId>,
+        category: IoCategory,
+        stats: SharedStats,
+    ) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        for (i, slot) in pages.iter().enumerate() {
+            if let Some(p) = slot {
+                assert_eq!(p.len(), page_size, "page {i} has the wrong length");
+            }
+        }
+        Pager {
+            page_size,
+            pages,
+            free,
+            category,
+            stats,
+            sums: Vec::new(),
+            verify: false,
+            fault: None,
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -104,6 +166,43 @@ impl Pager {
     /// Total bytes occupied by live pages.
     pub fn size_bytes(&self) -> u64 {
         self.live_pages() as u64 * self.page_size as u64
+    }
+
+    /// Number of page slots (live + dead); ids are dense in `0..n_slots`.
+    pub fn n_slots(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The current free list, in pop order (last entry is allocated next).
+    pub fn free_list(&self) -> Vec<PageId> {
+        self.free.clone()
+    }
+
+    /// The raw contents of a page, `None` if the slot is dead. Uncounted and
+    /// unfaulted: this is the checkpointer's view of what memory holds.
+    pub fn page_bytes(&self, pid: PageId) -> Option<&[u8]> {
+        self.pages.get(pid.index()).and_then(Option::as_ref).map(|p| &p[..])
+    }
+
+    /// Drains and returns the ids of pages mutated since the last drain, in
+    /// ascending order. Allocations, writes, updates and frees all dirty a
+    /// page; a freed page stays in the set so checkpoints learn about
+    /// deallocation too.
+    pub fn take_dirty(&mut self) -> Vec<PageId> {
+        let drained: Vec<PageId> = self.dirty.iter().map(|&i| PageId(i)).collect();
+        self.dirty.clear();
+        drained
+    }
+
+    /// Number of pages currently marked dirty.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Forgets all dirty marks without reporting them (used right after a
+    /// full image capture, which by construction covers every page).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 
     /// Enables or disables per-page CRC32 verification on the fallible read
@@ -172,6 +271,7 @@ impl Pager {
             if self.verify {
                 self.sums[pid.index()] = zero_sum;
             }
+            self.dirty.insert(pid.0);
             return Ok(pid);
         }
         // PageId::INVALID (u32::MAX) is reserved, so the last usable id is
@@ -184,6 +284,7 @@ impl Pager {
         if self.verify {
             self.sums.push(zero_sum);
         }
+        self.dirty.insert(idx as u32);
         Ok(PageId(idx as u32))
     }
 
@@ -206,6 +307,7 @@ impl Pager {
             return Err(StorageError::DoubleFree { pid });
         }
         self.free.push(pid);
+        self.dirty.insert(pid.0);
         Ok(())
     }
 
@@ -302,6 +404,7 @@ impl Pager {
             // detected when the page is next read.
             self.sums[pid.index()] = crc32(data);
         }
+        self.dirty.insert(pid.0);
         Ok(())
     }
 
@@ -353,6 +456,7 @@ impl Pager {
         if verify {
             self.sums[pid.index()] = sum;
         }
+        self.dirty.insert(pid.0);
         Ok(out)
     }
 
@@ -489,6 +593,7 @@ impl Pager {
                 sums: Vec::new(),
                 verify: false,
                 fault: None,
+                dirty: BTreeSet::new(),
             },
             pos,
         ))
@@ -740,6 +845,52 @@ mod tests {
         let e = Pager::try_deserialize_from(&bytes[..bytes.len() - 2], IoCategory::RtreeBlock, IoStats::new_shared())
             .unwrap_err();
         assert!(e.cause.contains("truncated"), "cause: {}", e.cause);
+    }
+
+    #[test]
+    fn dirty_tracking_covers_every_mutation_kind() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        let b = p.allocate();
+        assert_eq!(p.take_dirty(), vec![a, b], "allocation dirties");
+        assert_eq!(p.dirty_len(), 0);
+
+        p.write(b, &[7u8; 64]);
+        p.update(a, |buf| buf[0] = 1);
+        assert_eq!(p.take_dirty(), vec![a, b], "drain is in ascending page order");
+
+        let _ = p.read(a);
+        let _ = p.read_uncounted(b);
+        assert_eq!(p.dirty_len(), 0, "reads never dirty");
+
+        p.free(a);
+        assert_eq!(p.take_dirty(), vec![a], "frees dirty (checkpoint must drop the page)");
+        assert_eq!(p.free_list(), vec![a]);
+        assert_eq!(p.page_bytes(a), None);
+        assert_eq!(p.page_bytes(b).map(|s| s[0]), Some(7));
+
+        // Clone carries the dirty set; clear_dirty forgets it.
+        p.write(b, &[8u8; 64]);
+        let mut q = p.clone();
+        assert_eq!(q.take_dirty(), vec![b]);
+        p.clear_dirty();
+        assert_eq!(p.dirty_len(), 0);
+    }
+
+    #[test]
+    fn from_pages_rebuilds_an_equivalent_pager() {
+        let mut p = Pager::new(32, IoCategory::RtreeBlock, IoStats::new_shared());
+        let a = p.allocate();
+        let b = p.allocate();
+        p.write(a, &[3u8; 32]);
+        p.free(b);
+        let pages: Vec<Option<Box<[u8]>>> =
+            (0..p.n_slots()).map(|i| p.page_bytes(PageId(i as u32)).map(|s| s.to_vec().into_boxed_slice())).collect();
+        let mut q = Pager::from_pages(32, pages, p.free_list(), IoCategory::RtreeBlock, IoStats::new_shared());
+        assert_eq!(q.live_pages(), 1);
+        assert_eq!(q.read_uncounted(a)[0], 3);
+        assert_eq!(q.allocate(), b, "free list survives");
+        assert_eq!(q.take_dirty(), vec![b], "rebuild starts clean; only the new alloc is dirty");
     }
 
     #[test]

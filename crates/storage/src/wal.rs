@@ -1,0 +1,640 @@
+//! Write-ahead log: typed, CRC32-framed records with fsync batching.
+//!
+//! Durability in this workspace follows the classic WAL discipline: every
+//! maintenance mutation appends a typed redo record *before* the in-memory
+//! pages change, and a transaction is acknowledged as durable only once its
+//! [`WalRecord::Commit`] frame has been fsynced. The log is the sole
+//! authority on what survived a crash — recovery replays committed
+//! transactions on top of the last checkpoint image and drops everything
+//! else (see `pcube-core`'s `durable` module and `DESIGN.md` §10).
+//!
+//! The [`Wal`] models a real log file faithfully enough for crash testing:
+//!
+//! * appends land in an **unsynced tail** that a crash wipes out entirely;
+//! * [`Wal::sync`] moves the tail to the durable prefix (one "fsync");
+//!   [`Wal::sync_torn`] models a crash *mid-fsync*, persisting only a byte
+//!   prefix of the tail — the torn frame is detected and dropped on replay;
+//! * [`Wal::replay`] scans durable bytes frame by frame, verifying each
+//!   frame's CRC32, and stops at the first torn or corrupt frame, reporting
+//!   how many trailing bytes it discarded.
+//!
+//! Frame layout (little-endian): `[len u32][crc32 u32][payload]` where the
+//! payload is `[lsn u64][kind u8][body]` and the CRC covers the payload.
+
+use crate::crc::crc32;
+use crate::bytes::{read_u32, read_u64, write_u32, write_u64};
+
+/// Log sequence number: the position of a record in the WAL, monotonically
+/// increasing from 1 and never reused (truncation keeps the counter).
+pub type Lsn = u64;
+
+/// Which paged store a [`WalRecord::PageWrite`] witness refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// The shared R-tree partition's node pages.
+    Rtree,
+    /// Partial-signature pages.
+    Signature,
+    /// The signature directory B+-tree's pages.
+    Directory,
+}
+
+impl StoreKind {
+    /// Wire tag.
+    fn code(self) -> u8 {
+        match self {
+            StoreKind::Rtree => 0,
+            StoreKind::Signature => 1,
+            StoreKind::Directory => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(StoreKind::Rtree),
+            1 => Some(StoreKind::Signature),
+            2 => Some(StoreKind::Directory),
+            _ => None,
+        }
+    }
+
+    /// Human-readable store name (for reports and errors).
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Rtree => "rtree",
+            StoreKind::Signature => "signature",
+            StoreKind::Directory => "directory",
+        }
+    }
+}
+
+/// The direction of a logged R-tree structural mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeOp {
+    /// A tuple insertion (splits re-derived deterministically on replay).
+    Insert,
+    /// A tuple deletion.
+    Delete,
+}
+
+/// One typed WAL record.
+///
+/// Redo is *logical*: a committed transaction's [`WalRecord::TreeSplit`]
+/// records are re-executed against the recovered checkpoint state, which
+/// deterministically reproduces every page. The remaining record kinds are
+/// witnesses and markers that recovery verifies or uses as cut points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// The logical redo record of one R-tree structural mutation: transaction
+    /// `txn` inserted (or deleted) tuple `tid`. Appended **before** any page
+    /// of the mutation is touched. Replay re-executes the operation; node
+    /// splits and signature maintenance are re-derived deterministically.
+    TreeSplit {
+        /// Owning transaction.
+        txn: u64,
+        /// Insert or delete.
+        op: TreeOp,
+        /// The tuple id (for inserts: the id the replay must reproduce).
+        tid: u64,
+        /// Dictionary-coded boolean values (empty for deletes).
+        codes: Vec<u32>,
+        /// Preference coordinates of the tuple.
+        coords: Vec<f64>,
+    },
+    /// Per-cell signature maintenance summary: transaction `txn` set
+    /// `sets` bits and cleared `clears` bits of cell `cell`'s signature.
+    /// Recovery uses these to cross-check replay coverage.
+    SigUpdate {
+        /// Owning transaction.
+        txn: u64,
+        /// The affected cell code.
+        cell: u32,
+        /// Signature bits set (paths added).
+        sets: u32,
+        /// Signature bits cleared (paths removed).
+        clears: u32,
+    },
+    /// Physical witness of one page the transaction dirtied: after replaying
+    /// `txn`, the page `pid` of `store` must hash to exactly `crc`. Divergence
+    /// means replay did not reproduce the pre-crash state bit-for-bit and
+    /// recovery fails loudly instead of serving approximately-right answers.
+    PageWrite {
+        /// Owning transaction.
+        txn: u64,
+        /// Which paged store the page belongs to.
+        store: StoreKind,
+        /// The page id within that store.
+        pid: u32,
+        /// CRC32 of the full page contents after the transaction.
+        crc: u32,
+    },
+    /// Seals transaction `txn`. Recovery replays only sealed transactions;
+    /// records of an unsealed transaction at the log tail are dropped.
+    Commit {
+        /// The sealed transaction.
+        txn: u64,
+    },
+    /// Checkpoint marker: the checkpoint image now covers the first `txns`
+    /// transactions, published as catalog epoch `epoch`. Replay starts after
+    /// the image's transaction watermark, so this record is informational
+    /// (and survives a crash between image install and log truncation).
+    Checkpoint {
+        /// The catalog epoch the checkpoint captured.
+        epoch: u64,
+        /// Committed transactions contained in the image.
+        txns: u64,
+    },
+}
+
+const KIND_TREE_SPLIT: u8 = 1;
+const KIND_SIG_UPDATE: u8 = 2;
+const KIND_PAGE_WRITE: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+const KIND_CHECKPOINT: u8 = 5;
+
+/// Upper bound on one frame's payload; a length field beyond this is treated
+/// as corruption rather than an allocation request.
+const MAX_PAYLOAD: usize = 1 << 24;
+
+impl WalRecord {
+    /// The transaction this record belongs to (`None` for checkpoints).
+    pub fn txn(&self) -> Option<u64> {
+        match self {
+            WalRecord::TreeSplit { txn, .. }
+            | WalRecord::SigUpdate { txn, .. }
+            | WalRecord::PageWrite { txn, .. }
+            | WalRecord::Commit { txn } => Some(*txn),
+            WalRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let mut b4 = [0u8; 4];
+        let mut b8 = [0u8; 8];
+        let mut put_u32 = |out: &mut Vec<u8>, v: u32| {
+            write_u32(&mut b4, 0, v);
+            out.extend_from_slice(&b4);
+        };
+        let mut put_u64 = |out: &mut Vec<u8>, v: u64| {
+            write_u64(&mut b8, 0, v);
+            out.extend_from_slice(&b8);
+        };
+        match self {
+            WalRecord::TreeSplit { txn, op, tid, codes, coords } => {
+                put_u64(out, *txn);
+                out.push(match op {
+                    TreeOp::Insert => 0,
+                    TreeOp::Delete => 1,
+                });
+                put_u64(out, *tid);
+                put_u32(out, codes.len() as u32);
+                for &c in codes {
+                    put_u32(out, c);
+                }
+                put_u32(out, coords.len() as u32);
+                for &x in coords {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            WalRecord::SigUpdate { txn, cell, sets, clears } => {
+                put_u64(out, *txn);
+                put_u32(out, *cell);
+                put_u32(out, *sets);
+                put_u32(out, *clears);
+            }
+            WalRecord::PageWrite { txn, store, pid, crc } => {
+                put_u64(out, *txn);
+                out.push(store.code());
+                put_u32(out, *pid);
+                put_u32(out, *crc);
+            }
+            WalRecord::Commit { txn } => put_u64(out, *txn),
+            WalRecord::Checkpoint { epoch, txns } => {
+                put_u64(out, *epoch);
+                put_u64(out, *txns);
+            }
+        }
+    }
+
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::TreeSplit { .. } => KIND_TREE_SPLIT,
+            WalRecord::SigUpdate { .. } => KIND_SIG_UPDATE,
+            WalRecord::PageWrite { .. } => KIND_PAGE_WRITE,
+            WalRecord::Commit { .. } => KIND_COMMIT,
+            WalRecord::Checkpoint { .. } => KIND_CHECKPOINT,
+        }
+    }
+
+    fn decode(kind: u8, body: &[u8]) -> Option<WalRecord> {
+        let mut pos = 0usize;
+        let u32_at = |pos: &mut usize| -> Option<u32> {
+            let end = pos.checked_add(4)?;
+            if end > body.len() {
+                return None;
+            }
+            let v = read_u32(body, *pos);
+            *pos = end;
+            Some(v)
+        };
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            let end = pos.checked_add(8)?;
+            if end > body.len() {
+                return None;
+            }
+            let v = read_u64(body, *pos);
+            *pos = end;
+            Some(v)
+        };
+        let u8_at = |pos: &mut usize| -> Option<u8> {
+            let v = *body.get(*pos)?;
+            *pos += 1;
+            Some(v)
+        };
+        let rec = match kind {
+            KIND_TREE_SPLIT => {
+                let txn = u64_at(&mut pos)?;
+                let op = match u8_at(&mut pos)? {
+                    0 => TreeOp::Insert,
+                    1 => TreeOp::Delete,
+                    _ => return None,
+                };
+                let tid = u64_at(&mut pos)?;
+                let n_codes = u32_at(&mut pos)? as usize;
+                if n_codes.checked_mul(4)? > body.len() - pos {
+                    return None;
+                }
+                let mut codes = Vec::with_capacity(n_codes);
+                for _ in 0..n_codes {
+                    codes.push(u32_at(&mut pos)?);
+                }
+                let n_coords = u32_at(&mut pos)? as usize;
+                if n_coords.checked_mul(8)? > body.len() - pos {
+                    return None;
+                }
+                let mut coords = Vec::with_capacity(n_coords);
+                for _ in 0..n_coords {
+                    let end = pos + 8;
+                    let raw: [u8; 8] = body.get(pos..end)?.try_into().ok()?;
+                    coords.push(f64::from_le_bytes(raw));
+                    pos = end;
+                }
+                WalRecord::TreeSplit { txn, op, tid, codes, coords }
+            }
+            KIND_SIG_UPDATE => WalRecord::SigUpdate {
+                txn: u64_at(&mut pos)?,
+                cell: u32_at(&mut pos)?,
+                sets: u32_at(&mut pos)?,
+                clears: u32_at(&mut pos)?,
+            },
+            KIND_PAGE_WRITE => WalRecord::PageWrite {
+                txn: u64_at(&mut pos)?,
+                store: StoreKind::from_code(u8_at(&mut pos)?)?,
+                pid: u32_at(&mut pos)?,
+                crc: u32_at(&mut pos)?,
+            },
+            KIND_COMMIT => WalRecord::Commit { txn: u64_at(&mut pos)? },
+            KIND_CHECKPOINT => WalRecord::Checkpoint {
+                epoch: u64_at(&mut pos)?,
+                txns: u64_at(&mut pos)?,
+            },
+            _ => return None,
+        };
+        if pos != body.len() {
+            return None; // trailing garbage inside the frame
+        }
+        Some(rec)
+    }
+}
+
+/// Running counters of WAL activity (group-commit effectiveness metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (durable or not).
+    pub appends: u64,
+    /// Completed syncs ("fsyncs").
+    pub syncs: u64,
+    /// Records made durable by completed syncs.
+    pub records_synced: u64,
+    /// Bytes made durable by completed syncs.
+    pub bytes_synced: u64,
+}
+
+/// What a replay scan of durable WAL bytes produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalReplay {
+    /// Every intact record, in log order, with its LSN.
+    pub records: Vec<(Lsn, WalRecord)>,
+    /// Bytes discarded at the tail: a frame cut short by a torn fsync or a
+    /// frame whose CRC32 no longer matches. Everything after the first bad
+    /// frame is untrusted and dropped.
+    pub torn_tail_bytes: u64,
+    /// Total bytes scanned (intact prefix + dropped tail).
+    pub scanned_bytes: u64,
+}
+
+/// An append-only write-ahead log with an explicit durability boundary.
+///
+/// See the module docs for the crash model. The in-memory representation is
+/// two buffers: `durable` (what a crash preserves) and `tail` (appended but
+/// not yet synced — a crash loses it).
+#[derive(Debug, Clone, Default)]
+pub struct Wal {
+    durable: Vec<u8>,
+    tail: Vec<u8>,
+    tail_records: u64,
+    next_lsn: Lsn,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// An empty log; the first record gets LSN 1.
+    pub fn new() -> Self {
+        Wal { durable: Vec::new(), tail: Vec::new(), tail_records: 0, next_lsn: 1, stats: WalStats::default() }
+    }
+
+    /// Re-opens a log over bytes recovered from durable storage. `next_lsn`
+    /// must exceed every LSN in `durable` (recovery computes it from the
+    /// replay scan).
+    pub fn from_durable(durable: Vec<u8>, next_lsn: Lsn) -> Self {
+        Wal { durable, tail: Vec::new(), tail_records: 0, next_lsn, stats: WalStats::default() }
+    }
+
+    /// Appends one framed record to the unsynced tail, returning its LSN.
+    /// The record is **not durable** until the next [`Wal::sync`].
+    pub fn append(&mut self, rec: &WalRecord) -> Lsn {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let mut payload = Vec::with_capacity(32);
+        let mut b8 = [0u8; 8];
+        write_u64(&mut b8, 0, lsn);
+        payload.extend_from_slice(&b8);
+        payload.push(rec.kind());
+        rec.encode_body(&mut payload);
+        let mut b4 = [0u8; 4];
+        write_u32(&mut b4, 0, payload.len() as u32);
+        self.tail.extend_from_slice(&b4);
+        write_u32(&mut b4, 0, crc32(&payload));
+        self.tail.extend_from_slice(&b4);
+        self.tail.extend_from_slice(&payload);
+        self.tail_records += 1;
+        self.stats.appends += 1;
+        lsn
+    }
+
+    /// Records appended since the last sync.
+    pub fn pending_records(&self) -> u64 {
+        self.tail_records
+    }
+
+    /// Bytes appended since the last sync.
+    pub fn pending_bytes(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Makes the tail durable (models one fsync). Returns the bytes synced.
+    pub fn sync(&mut self) -> usize {
+        let n = self.tail.len();
+        self.durable.append(&mut self.tail);
+        self.stats.syncs += 1;
+        self.stats.records_synced += self.tail_records;
+        self.stats.bytes_synced += n as u64;
+        self.tail_records = 0;
+        n
+    }
+
+    /// Models a crash **mid-fsync**: only the first `keep` bytes of the tail
+    /// reach durable storage; the rest of the tail is lost. The durable log
+    /// now likely ends in a torn frame, which [`Wal::replay`] detects and
+    /// drops. The instance should be considered dead after this call.
+    pub fn sync_torn(&mut self, keep: usize) {
+        let keep = keep.min(self.tail.len());
+        self.durable.extend_from_slice(&self.tail[..keep]);
+        self.tail.clear();
+        self.tail_records = 0;
+    }
+
+    /// The durable prefix — exactly what survives a crash right now.
+    pub fn durable_bytes(&self) -> &[u8] {
+        &self.durable
+    }
+
+    /// Length of the durable prefix in bytes.
+    pub fn durable_len(&self) -> usize {
+        self.durable.len()
+    }
+
+    /// The LSN the next append will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Drops every durable frame with `lsn < cutoff` (checkpoint
+    /// truncation). The tail is untouched. Returns the bytes reclaimed.
+    ///
+    /// Truncation is modeled as atomic, the way a rename-over swap of a
+    /// segment file is: a crash during checkpointing either sees the whole
+    /// old log or the truncated one, never a half-truncated hybrid.
+    pub fn truncate_durable_before(&mut self, cutoff: Lsn) -> usize {
+        let mut pos = 0usize;
+        while pos < self.durable.len() {
+            let Some((lsn, _, frame_len)) = peek_frame(&self.durable, pos) else {
+                break; // torn tail: keep it for replay to report
+            };
+            if lsn >= cutoff {
+                break;
+            }
+            pos += frame_len;
+        }
+        self.durable.drain(..pos);
+        pos
+    }
+
+    /// Scans durable WAL bytes, yielding every intact record in order and
+    /// reporting the torn/corrupt tail it dropped. Never panics on hostile
+    /// input.
+    pub fn replay(bytes: &[u8]) -> WalReplay {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            match peek_frame(bytes, pos) {
+                Some((lsn, rec, frame_len)) => {
+                    records.push((lsn, rec));
+                    pos += frame_len;
+                }
+                None => break,
+            }
+        }
+        WalReplay {
+            records,
+            torn_tail_bytes: (bytes.len() - pos) as u64,
+            scanned_bytes: bytes.len() as u64,
+        }
+    }
+}
+
+/// Decodes the frame at `pos`: `(lsn, record, total frame length)`. `None`
+/// for a truncated, corrupt, or undecodable frame.
+fn peek_frame(bytes: &[u8], pos: usize) -> Option<(Lsn, WalRecord, usize)> {
+    let header_end = pos.checked_add(8)?;
+    if header_end > bytes.len() {
+        return None;
+    }
+    let len = read_u32(bytes, pos) as usize;
+    if !(9..=MAX_PAYLOAD).contains(&len) {
+        return None;
+    }
+    let stored_crc = read_u32(bytes, pos + 4);
+    let payload_end = header_end.checked_add(len)?;
+    if payload_end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[header_end..payload_end];
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+    let lsn = read_u64(payload, 0);
+    let rec = WalRecord::decode(payload[8], &payload[9..])?;
+    Some((lsn, rec, 8 + len))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::TreeSplit {
+                txn: 1,
+                op: TreeOp::Insert,
+                tid: 42,
+                codes: vec![3, 0, 7],
+                coords: vec![0.25, 0.5],
+            },
+            WalRecord::SigUpdate { txn: 1, cell: 9, sets: 4, clears: 0 },
+            WalRecord::PageWrite { txn: 1, store: StoreKind::Signature, pid: 5, crc: 0xDEAD_BEEF },
+            WalRecord::Commit { txn: 1 },
+            WalRecord::TreeSplit {
+                txn: 2,
+                op: TreeOp::Delete,
+                tid: 17,
+                codes: vec![],
+                coords: vec![0.1, 0.9],
+            },
+            WalRecord::Commit { txn: 2 },
+            WalRecord::Checkpoint { epoch: 3, txns: 2 },
+        ]
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrips_every_kind() {
+        let mut wal = Wal::new();
+        let recs = sample_records();
+        for r in &recs {
+            wal.append(r);
+        }
+        assert_eq!(wal.durable_len(), 0, "nothing durable before sync");
+        assert_eq!(wal.pending_records(), recs.len() as u64);
+        wal.sync();
+        assert_eq!(wal.pending_records(), 0);
+        let replay = Wal::replay(wal.durable_bytes());
+        assert_eq!(replay.torn_tail_bytes, 0);
+        let got: Vec<WalRecord> = replay.records.iter().map(|(_, r)| r.clone()).collect();
+        assert_eq!(got, recs);
+        let lsns: Vec<Lsn> = replay.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, (1..=recs.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost() {
+        let mut wal = Wal::new();
+        wal.append(&WalRecord::Commit { txn: 1 });
+        wal.sync();
+        wal.append(&WalRecord::Commit { txn: 2 });
+        // No sync: a crash preserves only txn 1.
+        let replay = Wal::replay(wal.durable_bytes());
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].1, WalRecord::Commit { txn: 1 });
+    }
+
+    #[test]
+    fn torn_sync_drops_the_partial_frame() {
+        let mut wal = Wal::new();
+        wal.append(&WalRecord::Commit { txn: 1 });
+        wal.sync();
+        let durable_before = wal.durable_len();
+        wal.append(&WalRecord::SigUpdate { txn: 2, cell: 1, sets: 1, clears: 0 });
+        let torn_at = wal.pending_bytes() / 2;
+        wal.sync_torn(torn_at);
+        let replay = Wal::replay(wal.durable_bytes());
+        assert_eq!(replay.records.len(), 1, "the torn frame must not replay");
+        assert_eq!(replay.torn_tail_bytes as usize, wal.durable_len() - durable_before);
+    }
+
+    #[test]
+    fn a_flipped_bit_stops_replay_at_that_frame() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.sync();
+        let mut bytes = wal.durable_bytes().to_vec();
+        // Flip a bit somewhere in the middle of the log.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        let replay = Wal::replay(&bytes);
+        assert!(replay.records.len() < sample_records().len());
+        assert!(replay.torn_tail_bytes > 0);
+        // The intact prefix still decodes to a prefix of the originals.
+        for ((_, got), want) in replay.records.iter().zip(sample_records()) {
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn truncate_drops_only_frames_before_the_cutoff() {
+        let mut wal = Wal::new();
+        for txn in 1..=5u64 {
+            wal.append(&WalRecord::Commit { txn });
+        }
+        wal.sync();
+        let reclaimed = wal.truncate_durable_before(4);
+        assert!(reclaimed > 0);
+        let replay = Wal::replay(wal.durable_bytes());
+        let txns: Vec<u64> = replay.records.iter().filter_map(|(_, r)| r.txn()).collect();
+        assert_eq!(txns, vec![4, 5]);
+        // LSNs keep counting across truncation.
+        assert_eq!(wal.next_lsn(), 6);
+    }
+
+    #[test]
+    fn replay_survives_garbage() {
+        for bytes in [&[][..], &[0xFF; 7][..], &[0u8; 64][..], &[0xAB; 129][..]] {
+            let replay = Wal::replay(bytes);
+            assert!(replay.records.is_empty());
+            assert_eq!(replay.torn_tail_bytes as usize, bytes.len());
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_syncs() {
+        let mut wal = Wal::new();
+        for txn in 1..=8u64 {
+            wal.append(&WalRecord::Commit { txn });
+            if txn % 4 == 0 {
+                wal.sync();
+            }
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 8);
+        assert_eq!(stats.syncs, 2);
+        assert_eq!(stats.records_synced, 8);
+        assert_eq!(Wal::replay(wal.durable_bytes()).records.len(), 8);
+    }
+}

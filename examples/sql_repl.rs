@@ -15,6 +15,12 @@
 //! `PCubeDb::save`. A missing, truncated or corrupt image is reported as
 //! a rendered persist error naming the failing section and byte offset —
 //! never a panic.
+//!
+//! With `--durable <dir>` the shell opens (or creates) a crash-safe
+//! database under `<dir>`: a dirty shutdown is recovered by WAL replay and
+//! the `RecoveryReport` is printed — records replayed, pages repaired,
+//! torn tail dropped — instead of panicking. The extra `CHECKPOINT`
+//! directive flushes dirty pages and truncates the log.
 
 use pcube::prelude::*;
 use pcube::sql;
@@ -24,7 +30,7 @@ use std::io::{BufRead, Write};
 
 /// The demo dataset: 20k used cars with three boolean and two preference
 /// dimensions, as in the paper's running example.
-fn build_cars() -> PCubeDb {
+fn cars_relation() -> Relation {
     let mut rng = StdRng::seed_from_u64(2008);
     let mut cars = Relation::new(Schema::new(&["type", "maker", "color"], &["price", "mileage"]));
     let types = ["sedan", "suv", "coupe", "truck"];
@@ -39,38 +45,101 @@ fn build_cars() -> PCubeDb {
         let mileage = (age * 0.8 + rng.gen::<f64>() * 0.2).clamp(0.0, 0.999);
         cars.push(&[t, m, c], &[price, mileage]);
     }
-    PCubeDb::build(cars, &PCubeConfig::default())
+    cars
+}
+
+fn build_cars() -> PCubeDb {
+    PCubeDb::build(cars_relation(), &PCubeConfig::default())
+}
+
+/// How the shell holds its database: read-only, or under the durable
+/// engine (WAL + checkpoints + `CHECKPOINT` directive).
+enum Shell {
+    ReadOnly(Box<PCubeDb>),
+    Durable(Box<DurableDb>),
+}
+
+impl Shell {
+    fn db(&self) -> &PCubeDb {
+        match self {
+            Shell::ReadOnly(db) => db,
+            Shell::Durable(db) => db.db(),
+        }
+    }
 }
 
 fn main() {
-    let db = match std::env::args().nth(1) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut shell = match args.first().map(String::as_str) {
+        // Crash-safe mode: recover (or create) a durable database. A dirty
+        // shutdown surfaces as a typed RecoveryReport, not a panic.
+        Some("--durable") => {
+            let Some(dir) = args.get(1) else {
+                eprintln!("usage: sql_repl --durable <dir>");
+                std::process::exit(2);
+            };
+            let opts = DurabilityOptions::default();
+            if std::path::Path::new(dir).join("checkpoint.pcube").exists() {
+                match DurableDb::open_or_recover(dir, opts) {
+                    Ok((db, report)) => {
+                        println!("opened {dir} — {report}");
+                        Shell::Durable(Box::new(db))
+                    }
+                    Err(e) => {
+                        eprintln!("cannot recover {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                match DurableDb::create_at(dir, cars_relation(), &PCubeConfig::default(), opts) {
+                    Ok(db) => {
+                        println!("created durable database at {dir}");
+                        Shell::Durable(Box::new(db))
+                    }
+                    Err(e) => {
+                        eprintln!("cannot create {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         // A malformed or corrupt image must surface as the typed persist
         // error — section, byte offset, cause — not a panic.
-        Some(path) => match PCubeDb::open(&path) {
+        Some(path) => match PCubeDb::open(path) {
             Ok(db) => {
                 println!("opened {path}");
-                db
+                Shell::ReadOnly(Box::new(db))
             }
             Err(e) => {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(1);
             }
         },
-        None => build_cars(),
+        None => Shell::ReadOnly(Box::new(build_cars())),
     };
-    let schema = db.relation().schema();
-    let bools: Vec<&str> = (0..schema.n_bool()).map(|d| schema.bool_name(d)).collect();
-    let prefs: Vec<&str> = (0..schema.n_pref()).map(|d| schema.pref_name(d)).collect();
+    let (n_rows, bools, prefs) = {
+        let db = shell.db();
+        let schema = db.relation().schema();
+        let bools: Vec<String> =
+            (0..schema.n_bool()).map(|d| schema.bool_name(d).to_owned()).collect();
+        let prefs: Vec<String> =
+            (0..schema.n_pref()).map(|d| schema.pref_name(d).to_owned()).collect();
+        (db.relation().len(), bools, prefs)
+    };
     println!(
         "pcube sql shell — {} rows; boolean: {}; preference: {}",
-        db.relation().len(),
+        n_rows,
         bools.join(", "),
         prefs.join(", "),
     );
     println!("example: select top 5 from r where {} = '…' order by {}",
-        bools.first().copied().unwrap_or("dim"),
-        prefs.first().copied().unwrap_or("dim"));
-    println!("session: SET DEADLINE_MS n | SET MAX_BLOCKS n | CANCEL | RESET");
+        bools.first().map(String::as_str).unwrap_or("dim"),
+        prefs.first().map(String::as_str).unwrap_or("dim"));
+    print!("session: SET DEADLINE_MS n | SET MAX_BLOCKS n | CANCEL | RESET");
+    if matches!(shell, Shell::Durable(_)) {
+        print!(" | CHECKPOINT");
+    }
+    println!();
 
     let mut session = sql::SqlSession::new();
     let stdin = std::io::stdin();
@@ -85,7 +154,11 @@ fn main() {
         if line.is_empty() || line.eq_ignore_ascii_case("quit") {
             break;
         }
-        match session.run(&db, line) {
+        let reply = match &mut shell {
+            Shell::ReadOnly(db) => session.run(db, line),
+            Shell::Durable(db) => session.run_durable(db, line),
+        };
+        match reply {
             Err(e) => println!("{e}"),
             Ok(sql::SessionReply::Ack(msg)) => println!("  {msg}"),
             Ok(sql::SessionReply::Rows(out)) => {

@@ -71,13 +71,15 @@ pub mod prelude {
     pub use pcube_core::{
         convex_hull_query, dynamic_skyline_query, par_convex_hull_query,
         par_dynamic_skyline_query, par_skyline_query, par_topk_query, skyline_drill_down,
-        skyline_query, skyline_roll_up, topk_drill_down, topk_query, topk_roll_up, CostEstimate,
-        EngineKind, Executor, LinearFn, MinCoordSum, PCube, PCubeConfig, PCubeDb, PCubeExecutor,
-        ParallelOptions, PlanDecision, Planner, QuerySpec, QueryStats, RankingFunction, Signature,
-        SkylineOutcome, TopKOutcome, WeightedDistanceFn,
+        skyline_query, skyline_roll_up, topk_drill_down, topk_query, topk_roll_up, CommitReceipt,
+        CostEstimate, DurabilityError, DurabilityOptions, DurableDb, DurableState, EngineKind,
+        EpochReader, EpochSnapshot, Executor, LinearFn, MaintenanceOp, MinCoordSum, PCube,
+        PCubeConfig, PCubeDb, PCubeExecutor, ParallelOptions, PlanDecision, Planner, QuerySpec,
+        QueryStats, RankingFunction, RecoveryReport, Signature, SkylineOutcome, TopKOutcome,
+        WeightedDistanceFn,
     };
     pub use pcube_cube::{
         CellKey, CuboidMask, MaterializationPlan, Predicate, Relation, Schema, Selection,
     };
-    pub use pcube_storage::{CostModel, IoCategory};
+    pub use pcube_storage::{CostModel, CrashPlan, CrashPoint, IoCategory};
 }

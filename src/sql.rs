@@ -25,8 +25,9 @@ use pcube_baselines::{
     BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
 };
 use pcube_core::{
-    skyline_query_governed, topk_query_governed, CancelToken, Executor, PCubeDb, PCubeExecutor,
-    Planner, QueryBudget, QueryOutcome, QueryStats, RankingFunction, SkylineRows, TopKRows,
+    skyline_query_governed, topk_query_governed, CancelToken, DurableDb, Executor, PCubeDb,
+    PCubeExecutor, Planner, QueryBudget, QueryOutcome, QueryStats, RankingFunction, SkylineRows,
+    TopKRows,
 };
 use pcube_cube::{Predicate, Selection};
 use pcube_rtree::Mbr;
@@ -308,6 +309,11 @@ pub enum SqlCommand {
     Cancel,
     /// `RESET` — re-arm a cancelled session.
     Reset,
+    /// `CHECKPOINT` — flush dirty pages into the durable checkpoint image
+    /// and truncate the WAL prefix it covers. Requires a durable session
+    /// ([`SqlSession::run_durable`]); against a read-only database it is
+    /// an error.
+    Checkpoint,
 }
 
 /// Parses one REPL line: a session directive (`SET …`, `CANCEL`, `RESET`)
@@ -342,6 +348,12 @@ pub fn parse_command(sql: &str) -> Result<SqlCommand, SqlError> {
             return err(format!("trailing input at {:?}", p.peek()));
         }
         return Ok(SqlCommand::Reset);
+    }
+    if p.keyword("checkpoint") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Checkpoint);
     }
     let explain = p.keyword("explain");
     let query = parse_query(&mut p)?;
@@ -669,10 +681,37 @@ impl SqlSession {
                 self.cancel.reset();
                 Ok(SessionReply::Ack("session re-armed".to_owned()))
             }
+            SqlCommand::Checkpoint => err(
+                "CHECKPOINT requires a durable session — open the database with \
+                 DurableDb and drive it through SqlSession::run_durable",
+            ),
             SqlCommand::Statement(stmt) => {
                 execute_statement(db, stmt, &self.budget(), Some(&self.cancel))
                     .map(|out| SessionReply::Rows(Box::new(out)))
             }
+        }
+    }
+
+    /// [`SqlSession::run`] against a durable database: additionally
+    /// interprets `CHECKPOINT`, and runs queries against the live master.
+    pub fn run_durable(
+        &mut self,
+        db: &mut DurableDb,
+        line: &str,
+    ) -> Result<SessionReply, SqlError> {
+        match parse_command(line)? {
+            SqlCommand::Checkpoint => {
+                let outcome = db.checkpoint().map_err(|e| SqlError(e.to_string()))?;
+                Ok(SessionReply::Ack(format!(
+                    "checkpoint installed: epoch {}, {} txns covered, {} pages flushed, \
+                     {} WAL bytes reclaimed",
+                    outcome.epoch,
+                    outcome.txns,
+                    outcome.pages_flushed,
+                    outcome.wal_bytes_reclaimed
+                )))
+            }
+            _ => self.run(db.db(), line),
         }
     }
 }

@@ -1,0 +1,324 @@
+//! The crash matrix: deterministically kill the durable engine at **every**
+//! WAL-append / fsync / page-flush / checkpoint boundary of a scripted
+//! maintenance workload, recover from exactly the bytes a real crash would
+//! leave behind, and differential-test the recovered database against a
+//! clean re-execution oracle.
+//!
+//! The durability contract checked at every kill point `k`:
+//!
+//! 1. acked-durable transactions ⊆ recovered transactions ⊆ applied
+//!    transactions (commits are WAL-ordered, so the recovered committed set
+//!    is a prefix);
+//! 2. the recovered database answers skyline, top-k, dynamic skyline and
+//!    convex-hull queries **exactly** like a fresh database built from the
+//!    seed plus the recovered transaction prefix;
+//! 3. recovery never panics and never fabricates a transaction.
+
+use pcube::prelude::*;
+use std::collections::BTreeSet;
+
+// ------------------------------------------------------ scripted workload --
+
+#[derive(Debug, Clone)]
+enum Step {
+    Txn(Vec<MaintenanceOp>),
+    Checkpoint,
+}
+
+const SEED_ROWS: usize = 96;
+const N_TXNS: usize = 8;
+const CKPT_EVERY: usize = 3;
+
+fn seed_relation() -> Relation {
+    let mut r = Relation::new(Schema::new(&["A", "B"], &["x", "y"]));
+    let vals_a = ["a1", "a2", "a3"];
+    let vals_b = ["b1", "b2"];
+    for i in 0..SEED_ROWS {
+        let x = (i as f64 * 0.3771).fract();
+        let y = (i as f64 * 0.6113 + 0.131).fract();
+        r.push(&[vals_a[i % 3], vals_b[i % 2]], &[x, y]);
+    }
+    r
+}
+
+/// The deterministic maintenance script: `N_TXNS` transactions of two
+/// inserts (+ one delete on odd rounds), a checkpoint after every
+/// `CKPT_EVERY`-th. The generator tracks its own live-set model so the
+/// script is a pure function — replaying a prefix on a fresh database is
+/// the oracle.
+fn script() -> Vec<Step> {
+    let mut live: BTreeSet<u64> = (0..SEED_ROWS as u64).collect();
+    let mut next_tid = SEED_ROWS as u64;
+    let mut steps = Vec::new();
+    for t in 0..N_TXNS {
+        let base = next_tid;
+        let mut ops = Vec::new();
+        for j in 0..2 {
+            let i = t * 2 + j;
+            ops.push(MaintenanceOp::Insert {
+                codes: vec![(i % 3) as u32, (i % 2) as u32],
+                coords: vec![(i as f64 * 0.271 + 0.05).fract(), (i as f64 * 0.413 + 0.11).fract()],
+            });
+            live.insert(next_tid);
+            next_tid += 1;
+        }
+        if !t.is_multiple_of(2) {
+            let candidates: Vec<u64> = live.iter().copied().filter(|&x| x < base).collect();
+            let victim = candidates[(t * 17) % candidates.len()];
+            ops.push(MaintenanceOp::Delete { tid: victim });
+            live.remove(&victim);
+        }
+        steps.push(Step::Txn(ops));
+        if (t + 1).is_multiple_of(CKPT_EVERY) {
+            steps.push(Step::Checkpoint);
+        }
+    }
+    steps
+}
+
+/// Drives the script until completion or the injected crash. Returns the
+/// highest transaction acknowledged as durable before the crash.
+fn drive(db: &mut DurableDb, steps: &[Step]) -> Result<u64, DurabilityError> {
+    for step in steps {
+        match step {
+            Step::Txn(ops) => {
+                db.apply(ops)?;
+            }
+            Step::Checkpoint => {
+                db.checkpoint()?;
+            }
+        }
+    }
+    Ok(db.durable_txns())
+}
+
+// ------------------------------------------------------------- the oracle --
+
+/// A clean re-execution: seed + the first `n` transactions, no durability
+/// machinery anywhere near it.
+fn oracle(n: u64) -> PCubeDb {
+    let mut db = PCubeDb::build(seed_relation(), &PCubeConfig::default());
+    let mut applied = 0u64;
+    for step in script() {
+        if applied == n {
+            break;
+        }
+        if let Step::Txn(ops) = step {
+            for op in &ops {
+                match op {
+                    MaintenanceOp::Insert { codes, coords } => {
+                        db.insert_coded(codes, coords);
+                    }
+                    MaintenanceOp::Delete { tid } => {
+                        assert!(db.delete(*tid), "oracle delete of {tid} failed");
+                    }
+                }
+            }
+            applied += 1;
+        }
+    }
+    assert_eq!(applied, n, "script has no {n}-transaction prefix");
+    db
+}
+
+/// Every acceptance query family, answered exactly: static skyline, top-k,
+/// dynamic skyline, convex hull — each under the empty selection and one
+/// single-predicate selection.
+fn answers(db: &PCubeDb) -> Vec<Vec<(u64, Vec<f64>)>> {
+    let selections: [Selection; 2] =
+        [Vec::new(), vec![Predicate { dim: 0, value: 1 }]];
+    let f = MinCoordSum::new(vec![0, 1]);
+    let mut out = Vec::new();
+    for sel in &selections {
+        out.push(skyline_query(db, sel, &[0, 1], false).skyline);
+        out.push(
+            topk_query(db, sel, 5, &f, false)
+                .topk
+                .into_iter()
+                .map(|(tid, coords, score)| {
+                    let mut c = coords;
+                    c.push(score);
+                    (tid, c)
+                })
+                .collect(),
+        );
+        out.push(dynamic_skyline_query(db, sel, &[0.45, 0.55], &[0, 1]).skyline);
+        out.push(
+            convex_hull_query(db, sel, (0, 1))
+                .hull
+                .into_iter()
+                .map(|(tid, xy)| (tid, xy.to_vec()))
+                .collect(),
+        );
+    }
+    out
+}
+
+fn assert_oracle_exact(recovered: &PCubeDb, n_txns: u64, context: &str) {
+    let want = answers(&oracle(n_txns));
+    let got = answers(recovered);
+    assert_eq!(got, want, "{context}: answers diverge from the {n_txns}-txn oracle");
+}
+
+// -------------------------------------------------------------- the matrix --
+
+/// One crash at event `k`: drive until the plan fires, recover from the
+/// durable bytes, check the contract. Returns the recovered transaction
+/// count for bookkeeping.
+fn crash_at(k: u64, steps: &[Step]) -> u64 {
+    let mut db = DurableDb::create(
+        seed_relation(),
+        &PCubeConfig::default(),
+        DurabilityOptions::default(),
+    );
+    db.set_crash_plan(CrashPlan::at_event(k));
+    let res = drive(&mut db, steps);
+    let crashed = res.is_err();
+    if let Err(e) = &res {
+        assert!(
+            matches!(e, DurabilityError::Crashed { .. }),
+            "event {k}: unexpected failure {e}"
+        );
+    }
+    let acked = db.durable_txns();
+    let applied = db.applied_txns();
+    let state = db.durable_state();
+
+    let (recovered, report) =
+        DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+            .unwrap_or_else(|e| panic!("event {k}: recovery failed: {e}"));
+    let n = recovered.applied_txns();
+    assert!(
+        acked <= n && n <= applied,
+        "event {k}: durability contract violated (acked {acked}, recovered {n}, applied {applied})"
+    );
+    if !crashed {
+        assert_eq!(n, applied, "event {k}: no crash, yet transactions went missing");
+    }
+    assert_eq!(
+        recovered.durable_txns(),
+        n,
+        "event {k}: recovery must leave nothing unsynced"
+    );
+    assert!(
+        report.txns_replayed + report.checkpoint_txns == n,
+        "event {k}: report inconsistent with recovered state: {report}"
+    );
+    assert_oracle_exact(recovered.db(), n, &format!("event {k}"));
+    n
+}
+
+#[test]
+fn crash_matrix_every_kill_point_recovers_oracle_exact() {
+    let steps = script();
+
+    // Count the durability events of a clean run with a counting plan.
+    let mut counter = DurableDb::create(
+        seed_relation(),
+        &PCubeConfig::default(),
+        DurabilityOptions::default(),
+    );
+    counter.set_crash_plan(CrashPlan::count_only());
+    let acked = drive(&mut counter, &steps).expect("counting run must not crash");
+    assert_eq!(acked, N_TXNS as u64);
+    let events = counter.crash_events_seen();
+    assert!(events > 50, "workload too small to exercise the matrix ({events} events)");
+
+    // Kill at every boundary, plus one past the end (no crash at all).
+    let mut recovered_counts = BTreeSet::new();
+    for k in 0..=events {
+        recovered_counts.insert(crash_at(k, &steps));
+    }
+    // Sanity: the matrix actually exercised a range of recovery depths.
+    assert!(recovered_counts.contains(&(N_TXNS as u64)));
+    assert!(
+        recovered_counts.len() >= N_TXNS / 2,
+        "matrix never varied: {recovered_counts:?}"
+    );
+}
+
+#[test]
+fn recovery_is_idempotent_and_resumable() {
+    let steps = script();
+
+    // Crash somewhere in the middle of the workload.
+    let mut db = DurableDb::create(
+        seed_relation(),
+        &PCubeConfig::default(),
+        DurabilityOptions::default(),
+    );
+    counter_crash(&mut db, &steps);
+    let state = db.durable_state();
+
+    // Recovering twice from the same bytes yields identical states.
+    let (r1, rep1) = DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+        .expect("first recovery");
+    let (r2, rep2) = DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+        .expect("second recovery");
+    assert_eq!(rep1, rep2);
+    assert_eq!(answers(r1.db()), answers(r2.db()));
+
+    // The recovered instance accepts the rest of the workload and ends up
+    // oracle-exact for the full script.
+    let mut resumed = r1;
+    let done = resumed.applied_txns();
+    let mut seen = 0u64;
+    for step in &steps {
+        match step {
+            Step::Txn(ops) => {
+                seen += 1;
+                if seen > done {
+                    resumed.apply(ops).expect("resumed apply");
+                }
+            }
+            Step::Checkpoint => {
+                if seen >= done {
+                    resumed.checkpoint().expect("resumed checkpoint");
+                }
+            }
+        }
+    }
+    assert_oracle_exact(resumed.db(), N_TXNS as u64, "resumed run");
+}
+
+/// Drives with a mid-workload crash installed; asserts it actually fired.
+fn counter_crash(db: &mut DurableDb, steps: &[Step]) {
+    db.set_crash_plan(CrashPlan::at_event(120));
+    let err = drive(db, steps).expect_err("plan must fire mid-workload");
+    assert!(matches!(err, DurabilityError::Crashed { .. }));
+}
+
+#[test]
+fn torn_fsync_tail_is_dropped_not_misread() {
+    // Seeded torn-length plans land the crash mid-frame: recovery must
+    // report a torn tail and still satisfy the contract.
+    let steps = script();
+    let opts = DurabilityOptions { fsync_every: 2, checkpoint_every: 0 };
+
+    let mut counter = DurableDb::create(seed_relation(), &PCubeConfig::default(), opts);
+    counter.set_crash_plan(CrashPlan::count_only());
+    drive(&mut counter, &steps).expect("counting run must not crash");
+    let events = counter.crash_events_seen();
+
+    let mut torn_runs = 0u64;
+    for k in 0..events {
+        let mut db = DurableDb::create(seed_relation(), &PCubeConfig::default(), opts);
+        db.set_crash_plan(CrashPlan::at_event(k).with_seed(k.wrapping_mul(31) + 7));
+        let _ = drive(&mut db, &steps);
+        let acked = db.durable_txns();
+        let applied = db.applied_txns();
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .unwrap_or_else(|e| panic!("event {k}: recovery failed: {e}"));
+        if report.torn_tail_bytes > 0 {
+            torn_runs += 1;
+        }
+        let n = recovered.applied_txns();
+        assert!(
+            acked <= n && n <= applied,
+            "event {k}: contract violated (acked {acked}, recovered {n}, applied {applied})"
+        );
+        assert_oracle_exact(recovered.db(), n, &format!("torn sweep event {k}"));
+    }
+    assert!(torn_runs > 0, "no run produced a torn tail — the sweep never cut a frame");
+}

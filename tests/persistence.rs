@@ -152,6 +152,54 @@ fn persist_errors_pinpoint_section_and_offset() {
 }
 
 #[test]
+fn truncated_trailing_section_names_the_section_not_a_length_error() {
+    // A partial write that cuts the *last* section short — the classic
+    // torn-file shape — must be reported as a truncation of that section
+    // by name ("signatures", the trailing section of the v2 layout), not
+    // as a generic length complaint against the whole image.
+    let db = build();
+    let bytes = db.save_to_bytes();
+
+    // Find where the trailing signatures section begins: its 9-byte header
+    // (tag 4 + u64 length) is the last section header in the image.
+    // Walk the framing from the front to locate it robustly.
+    let mut pos = 8; // magic
+    let mut last_body = 0usize;
+    while pos + 9 <= bytes.len() {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bytes[pos + 1..pos + 9]);
+        let len = u64::from_le_bytes(raw) as usize;
+        last_body = pos + 9;
+        pos = pos + 9 + len + 4;
+    }
+    assert_eq!(pos, bytes.len(), "walked framing must land on the image end");
+    assert_eq!(bytes[last_body - 9], 4, "trailing section must be the signatures tag");
+
+    // Cut at several depths inside the trailing section: just after the
+    // header, mid-payload, and one byte short of complete.
+    for cut in [last_body, last_body + (bytes.len() - last_body) / 2, bytes.len() - 1] {
+        let e = load_err(&bytes[..cut]);
+        assert_eq!(
+            e.section, "signatures",
+            "cut at {cut}: wrong section named: {e}"
+        );
+        assert!(
+            e.cause.contains("truncated"),
+            "cut at {cut}: cause must say the section is truncated, got: {e}"
+        );
+        assert!(
+            !e.cause.contains("implausible"),
+            "cut at {cut}: a clean truncation must not be reported as corruption: {e}"
+        );
+    }
+
+    // Cutting *inside the header itself* is still attributed to the
+    // signatures section at the header's offset.
+    let e = load_err(&bytes[..last_body - 5]);
+    assert_eq!(e.section, "signatures", "header cut: {e}");
+}
+
+#[test]
 fn quiescent_fault_plan_does_not_perturb_roundtrip() {
     // An installed-but-zero-probability fault plan must be a no-op: the
     // saved image and every reloaded answer stay identical.
