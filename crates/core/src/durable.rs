@@ -56,7 +56,10 @@ use crate::store::SignatureStore;
 
 /// 8-byte magic of a serialized checkpoint image; the version is the last
 /// byte.
-const CKPT_MAGIC: &[u8; 8] = b"PCUBECK1";
+const CKPT_MAGIC: &[u8; 8] = b"PCUBECK2";
+/// Byte length of the watermark header after the magic: four u64 watermarks
+/// (epoch, txns, next_txn, next_lsn) followed by their CRC32.
+const CKPT_HEAD_LEN: usize = 36;
 /// Section tags inside a checkpoint image, in order.
 const TAG_META: u8 = 1;
 const TAG_RTREE_PAGES: u8 = 2;
@@ -310,6 +313,14 @@ impl Deref for EpochSnapshot {
 /// momentary read lock; the returned snapshot stays valid — and bit-stable —
 /// for as long as the caller holds it, across any number of concurrent
 /// commits and checkpoints.
+///
+/// Durability of what a snapshot shows: with the default
+/// [`DurabilityOptions::fsync_every`] of 1, a transaction is published only
+/// *after* its commit record is fsynced, so snapshots never contain state a
+/// crash could roll back. Under group commit (`fsync_every > 1`), commits
+/// inside the unsynced window are published immediately — the same
+/// acknowledged-but-volatile window their [`CommitReceipt::durable`] flag
+/// reports — so a snapshot may briefly show transactions a crash would drop.
 #[derive(Clone)]
 pub struct EpochReader {
     current: Arc<RwLock<Arc<EpochSnapshot>>>,
@@ -508,6 +519,10 @@ impl CheckpointImage {
         put_u64(&mut head, self.txns);
         put_u64(&mut head, self.next_txn);
         put_u64(&mut head, self.next_lsn);
+        // The sections below are CRC-framed; the watermarks need their own
+        // checksum or a flipped bit silently skews the replay cutoff.
+        let head_crc = crc32(&head);
+        put_u32(&mut head, head_crc);
         out.extend_from_slice(&head);
         put_section(&mut out, TAG_META, &self.meta);
         let mut payload = Vec::new();
@@ -526,11 +541,25 @@ impl CheckpointImage {
     /// framing and CRCs are verified here; per-page CRCs are verified when
     /// the image is restored into pagers.
     pub fn from_bytes(image: &[u8]) -> Result<CheckpointImage, DurabilityError> {
-        if image.len() < CKPT_MAGIC.len() + 32 {
+        if image.len() < CKPT_MAGIC.len() + CKPT_HEAD_LEN {
             return persist::fail("checkpoint-header", 0, "image shorter than the header").map_err(Into::into);
         }
         if &image[..8] != CKPT_MAGIC {
             return persist::fail("checkpoint-header", 0, "not a checkpoint image").map_err(Into::into);
+        }
+        let stored = {
+            let mut raw = [0u8; 4];
+            raw.copy_from_slice(&image[40..44]);
+            u32::from_le_bytes(raw)
+        };
+        let actual = crc32(&image[8..40]);
+        if actual != stored {
+            return Err(DurabilityError::Corrupt {
+                store: "checkpoint-header".to_string(),
+                cause: format!(
+                    "watermark checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                ),
+            });
         }
         let word = |i: usize| {
             let mut raw = [0u8; 8];
@@ -538,7 +567,15 @@ impl CheckpointImage {
             u64::from_le_bytes(raw)
         };
         let (epoch, txns, next_txn, next_lsn) = (word(0), word(1), word(2), word(3));
-        let mut pos = 8 + 32;
+        if next_lsn == 0 || next_txn == 0 || txns >= next_txn {
+            return Err(DurabilityError::Corrupt {
+                store: "checkpoint-header".to_string(),
+                cause: format!(
+                    "implausible watermarks (txns {txns}, next_txn {next_txn}, next_lsn {next_lsn})"
+                ),
+            });
+        }
+        let mut pos = 8 + CKPT_HEAD_LEN;
         let mut r = open_section(image, &mut pos, TAG_META, "checkpoint-meta")?;
         let meta = r.remaining_bytes().to_vec();
         let mut r = open_section(image, &mut pos, TAG_RTREE_PAGES, "checkpoint-rtree")?;
@@ -741,7 +778,15 @@ impl DurableDb {
         let state = DurableState { checkpoint, wal };
         let (mut db, report) = Self::open_or_recover_from_state(&state, opts)?;
         db.dir = Some(dir);
-        db.file_synced = db.wal.durable_len();
+        if report.torn_tail_bytes > 0 || report.txns_dropped > 0 {
+            // The on-disk log still ends in the debris recovery discarded
+            // (a torn frame and/or an uncommitted suffix); rewrite it to the
+            // surviving prefix so post-recovery appends don't land after
+            // bytes the next replay would reject or mis-group.
+            db.persist_wal_file_full()?;
+        } else {
+            db.file_synced = db.wal.durable_len();
+        }
         Ok((db, report))
     }
 
@@ -759,6 +804,12 @@ impl DurableDb {
         let replay = Wal::replay(&state.wal);
         let records_scanned = replay.records.len() as u64;
         let max_lsn = replay.records.last().map_or(0, |(lsn, _)| *lsn);
+        // The log the recovered instance writes to must end at the intact
+        // prefix: re-appending after the torn/corrupt tail bytes that replay
+        // just rejected would leave every later commit behind a bad frame,
+        // and the *next* recovery (which stops at the first bad frame) would
+        // silently drop all of them.
+        let intact = (replay.scanned_bytes - replay.torn_tail_bytes) as usize;
 
         // Group records per transaction, preserving log order within each.
         let mut groups: BTreeMap<u64, Vec<&WalRecord>> = BTreeMap::new();
@@ -797,6 +848,18 @@ impl DurableDb {
             .keys()
             .filter(|&&t| t > image.txns && !committed.contains(&t))
             .count() as u64;
+        // Records of dropped (uncommitted) transactions trail the log —
+        // appends are serial — and must not survive into the re-opened WAL:
+        // recovery reuses the dropped transaction id, so a later commit's
+        // records would merge with the stale ones and the next replay would
+        // diverge on the combined group.
+        let drop_from: Option<Lsn> = replay
+            .records
+            .iter()
+            .find(|(_, rec)| {
+                rec.txn().is_some_and(|t| t > image.txns && !committed.contains(&t))
+            })
+            .map(|(lsn, _)| *lsn);
 
         // Everything the replay dirtied belongs to the next checkpoint.
         let mut ckpt_dirty = [BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
@@ -835,7 +898,16 @@ impl DurableDb {
         let db = DurableDb {
             master,
             published: Arc::new(RwLock::new(snapshot)),
-            wal: Wal::from_durable(state.wal.clone(), max_lsn.max(image.next_lsn - 1) + 1),
+            wal: {
+                let mut wal = Wal::from_durable(
+                    state.wal[..intact].to_vec(),
+                    max_lsn.max(image.next_lsn.saturating_sub(1)) + 1,
+                );
+                if let Some(lsn) = drop_from {
+                    wal.truncate_durable_from(lsn);
+                }
+                wal
+            },
             image,
             opts,
             crash: None,
@@ -984,9 +1056,18 @@ impl DurableDb {
                 }
                 MaintenanceOp::Delete { tid } => {
                     self.live.remove(tid);
-                    self.master.delete_tracked(*tid).ok_or_else(|| DurabilityError::InvalidOp {
-                        cause: format!("tuple {tid} vanished mid-transaction"),
-                    })?
+                    // `validate` checked liveness upfront and the master is
+                    // single-writer, so a miss here means the master already
+                    // diverged from the redo records in the WAL tail — state
+                    // no recoverable error can repair. Returning would keep
+                    // accepting transactions on a master the log no longer
+                    // describes; dying loudly is the only honest option.
+                    self.master.delete_tracked(*tid).unwrap_or_else(|| {
+                        panic!(
+                            "invariant violated: tuple {tid} vanished mid-transaction \
+                             with its redo record already logged"
+                        )
+                    })
                 }
             };
             for t in touches {
@@ -1009,15 +1090,20 @@ impl DurableDb {
         self.commits_since_sync += 1;
         self.commits_since_checkpoint += 1;
 
-        // 5. Publish the new epoch (readers switch; pinned snapshots live on).
-        self.publish();
-
-        // 6. Group commit.
+        // 5. Group commit — *before* publish, so when this commit syncs
+        //    (always, under the default `fsync_every: 1`) readers can never
+        //    observe a transaction whose commit record is still volatile: a
+        //    crash mid-fsync poisons the instance here, the epoch is never
+        //    published, and recovery dropping the torn commit agrees with
+        //    everything any reader ever saw.
         let mut durable = false;
         if self.opts.fsync_every <= 1 || self.commits_since_sync >= self.opts.fsync_every {
             self.sync_internal()?;
             durable = true;
         }
+
+        // 6. Publish the new epoch (readers switch; pinned snapshots live on).
+        self.publish();
 
         // 7. Auto checkpoint.
         if self.opts.checkpoint_every > 0
@@ -1582,6 +1668,59 @@ mod tests {
         assert_eq!(report.txns_replayed, 3);
         assert_eq!(skyline_tids(recovered.db()), want);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_header_watermark_is_detected() {
+        let mut db = DurableDb::create(seed_relation(32), &PCubeConfig::default(), DurabilityOptions::default());
+        db.apply(&some_ops(&db, 0)).expect("apply");
+        db.checkpoint().expect("checkpoint");
+        let clean = db.durable_state();
+        // Flip a bit in each watermark word (epoch, txns, next_txn,
+        // next_lsn): the header CRC must catch all of them — a skewed txns
+        // watermark silently skips replay, a zeroed next_lsn underflows.
+        for byte in [8usize, 16, 24, 32] {
+            let mut state = clean.clone();
+            state.checkpoint[byte] ^= 0xFF;
+            let err = match DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default()) {
+                Ok(_) => panic!("must detect header corruption"),
+                Err(e) => e,
+            };
+            assert!(
+                matches!(err, DurabilityError::Corrupt { ref store, .. } if store == "checkpoint-header"),
+                "byte {byte}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_wal_drops_torn_tail_so_later_commits_survive() {
+        let mut db = DurableDb::create(seed_relation(48), &PCubeConfig::default(), DurabilityOptions::default());
+        db.apply(&some_ops(&db, 0)).expect("apply");
+        db.apply(&some_ops(&db, 1)).expect("apply");
+
+        // A torn fsync left half a frame at the durable tail.
+        let mut state = db.durable_state();
+        state.wal.extend_from_slice(&[0xEE; 11]);
+        let (mut recovered, report) =
+            DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+                .expect("recover");
+        assert!(report.torn_tail_bytes > 0);
+        assert_eq!(recovered.applied_txns(), 2);
+
+        // A commit acked durable after recovery must survive the next crash:
+        // the re-opened log may not still carry the rejected tail, or replay
+        // would stop at it and drop everything after.
+        let receipt = recovered
+            .apply(&[MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![0.3, 0.7] }])
+            .expect("post-recovery apply");
+        assert!(receipt.durable);
+        let (second, report2) =
+            DurableDb::open_or_recover_from_state(&recovered.durable_state(), DurabilityOptions::default())
+                .expect("second recovery");
+        assert_eq!(report2.torn_tail_bytes, 0, "recovered WAL still carries the torn tail");
+        assert_eq!(second.applied_txns(), 3, "acked-durable txn lost behind the torn tail");
+        assert_eq!(skyline_tids(second.db()), skyline_tids(recovered.db()));
     }
 
     #[test]

@@ -455,6 +455,26 @@ impl Wal {
         pos
     }
 
+    /// Drops every durable frame with `lsn >= cutoff` and everything after
+    /// it (recovery discarding an uncommitted suffix: appends are serial, so
+    /// the records of unsealed transactions always trail the log). The tail
+    /// is untouched. Returns the bytes dropped.
+    pub fn truncate_durable_from(&mut self, cutoff: Lsn) -> usize {
+        let mut pos = 0usize;
+        while pos < self.durable.len() {
+            let Some((lsn, _, frame_len)) = peek_frame(&self.durable, pos) else {
+                break; // undecodable from here on: untrusted, drop it too
+            };
+            if lsn >= cutoff {
+                break;
+            }
+            pos += frame_len;
+        }
+        let dropped = self.durable.len() - pos;
+        self.durable.truncate(pos);
+        dropped
+    }
+
     /// Scans durable WAL bytes, yielding every intact record in order and
     /// reporting the torn/corrupt tail it dropped. Never panics on hostile
     /// input.
@@ -611,6 +631,24 @@ mod tests {
         assert_eq!(txns, vec![4, 5]);
         // LSNs keep counting across truncation.
         assert_eq!(wal.next_lsn(), 6);
+    }
+
+    #[test]
+    fn truncate_from_drops_the_suffix_at_the_cutoff() {
+        let mut wal = Wal::new();
+        for txn in 1..=5u64 {
+            wal.append(&WalRecord::Commit { txn });
+        }
+        wal.sync();
+        let dropped = wal.truncate_durable_from(4);
+        assert!(dropped > 0);
+        let replay = Wal::replay(wal.durable_bytes());
+        let txns: Vec<u64> = replay.records.iter().filter_map(|(_, r)| r.txn()).collect();
+        assert_eq!(txns, vec![1, 2, 3]);
+        assert_eq!(replay.torn_tail_bytes, 0);
+        // A cutoff beyond the log is a no-op.
+        assert_eq!(wal.truncate_durable_from(100), 0);
+        assert_eq!(wal.next_lsn(), 6, "LSNs keep counting across truncation");
     }
 
     #[test]

@@ -205,7 +205,40 @@ fn crash_at(k: u64, steps: &[Step]) -> u64 {
         "event {k}: report inconsistent with recovered state: {report}"
     );
     assert_oracle_exact(recovered.db(), n, &format!("event {k}"));
+    assert_recovered_is_reusable(recovered, &format!("event {k}"));
     n
+}
+
+/// Second generation: commits one more durable transaction on a recovered
+/// instance, re-crashes it, and recovers again — nothing may be lost.
+/// Regression: recovery used to re-open the WAL with the rejected torn tail
+/// still in place, so every commit acked durable *after* a torn-tail
+/// recovery sat behind a bad frame and the next replay silently dropped it.
+fn assert_recovered_is_reusable(mut recovered: DurableDb, context: &str) {
+    let n = recovered.applied_txns();
+    let receipt = recovered
+        .apply(&[MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![0.123, 0.877] }])
+        .unwrap_or_else(|e| panic!("{context}: post-recovery apply failed: {e}"));
+    assert!(receipt.durable, "{context}: post-recovery commit not acked durable");
+    let (second, report) = DurableDb::open_or_recover_from_state(
+        &recovered.durable_state(),
+        DurabilityOptions::default(),
+    )
+    .unwrap_or_else(|e| panic!("{context}: second recovery failed: {e}"));
+    assert_eq!(
+        report.torn_tail_bytes, 0,
+        "{context}: recovered WAL still carries a torn tail"
+    );
+    assert_eq!(
+        second.applied_txns(),
+        n + 1,
+        "{context}: acked-durable post-recovery txn lost by the second recovery"
+    );
+    assert_eq!(
+        answers(second.db()),
+        answers(recovered.db()),
+        "{context}: second recovery diverges from the live post-recovery state"
+    );
 }
 
 #[test]
@@ -319,6 +352,50 @@ fn torn_fsync_tail_is_dropped_not_misread() {
             "event {k}: contract violated (acked {acked}, recovered {n}, applied {applied})"
         );
         assert_oracle_exact(recovered.db(), n, &format!("torn sweep event {k}"));
+        if report.torn_tail_bytes > 0 {
+            assert_recovered_is_reusable(recovered, &format!("torn sweep event {k}"));
+        }
     }
     assert!(torn_runs > 0, "no run produced a torn tail — the sweep never cut a frame");
+}
+
+#[test]
+fn file_mode_recovery_rewrites_torn_wal_tail() {
+    let dir = std::env::temp_dir().join(format!("pcube-crash-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = DurableDb::create_at(
+        &dir,
+        seed_relation(),
+        &PCubeConfig::default(),
+        DurabilityOptions::default(),
+    )
+    .expect("create_at");
+    db.apply(&[MaintenanceOp::Insert { codes: vec![1, 1], coords: vec![0.4, 0.6] }])
+        .expect("apply");
+    let n = db.applied_txns();
+    drop(db);
+
+    // The OS tore the last write: garbage bytes at the on-disk log tail.
+    let wal_path = dir.join("wal.pcube");
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    bytes.extend_from_slice(&[0xAB; 13]);
+    std::fs::write(&wal_path, &bytes).expect("write wal");
+
+    let (mut db, report) =
+        DurableDb::open_or_recover(&dir, DurabilityOptions::default()).expect("recover");
+    assert!(report.torn_tail_bytes > 0, "the torn tail went unreported");
+    assert_eq!(db.applied_txns(), n);
+    let receipt = db
+        .apply(&[MaintenanceOp::Insert { codes: vec![2, 0], coords: vec![0.2, 0.9] }])
+        .expect("post-recovery apply");
+    assert!(receipt.durable);
+    drop(db);
+
+    // Recovery must have rewritten wal.pcube to the intact prefix: the
+    // second open sees no torn tail and the post-recovery commit survived.
+    let (db2, report2) =
+        DurableDb::open_or_recover(&dir, DurabilityOptions::default()).expect("second recover");
+    assert_eq!(report2.torn_tail_bytes, 0, "recovery left the torn tail on disk");
+    assert_eq!(db2.applied_txns(), n + 1, "durable commit lost behind the on-disk torn tail");
+    let _ = std::fs::remove_dir_all(&dir);
 }
