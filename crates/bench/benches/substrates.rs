@@ -93,7 +93,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
             } else {
                 rng.gen_range(0..1000)
             };
-            pool.read(&pager, pids[i])[0]
+            pool.try_read(&pager, pids[i]).expect("unfaulted pager read")[0]
         })
     });
 }

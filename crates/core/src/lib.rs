@@ -65,7 +65,7 @@ pub use query::{
     topk_drill_down, topk_query, topk_query_governed, topk_query_probed, topk_roll_up,
     CancelToken, ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
     ParallelOptions, Progress, QueryBudget, QueryOutcome, QueryStats, SkylineOutcome,
-    SkylineState, StopReason, TopKOutcome, TopKState,
+    SkylineState, StageTimes, StopReason, TopKOutcome, TopKState,
 };
 pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
 pub use signature::Signature;

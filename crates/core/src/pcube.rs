@@ -350,6 +350,25 @@ impl PCubeDb {
         &self.stats
     }
 
+    /// Installs (or clears) a wall-clock latency charged per counted read
+    /// on every pager-backed structure a query touches: R-tree blocks,
+    /// signature pages, and directory pages. This pays the paper's block
+    /// cost model in real time — `serve_bench --wall-io-us` uses it so
+    /// wall-clock throughput measures read-path *concurrency* (sleeps
+    /// overlap across threads only if no lock is held across a page read),
+    /// not memory bandwidth.
+    ///
+    /// Note [`crate::pcube::PCubeDb::relation`] tuple fetches charge the
+    /// `TupleRandomAccess` category straight to the ledger without a pager,
+    /// so they are not delayed; the traversal structures dominate the block
+    /// counts (Fig 9) and are what concurrency contends on.
+    pub fn set_wall_read_latency(&mut self, delay: Option<std::time::Duration>) {
+        self.rtree.pager_mut().set_read_delay(delay);
+        let store = self.pcube.store_mut();
+        store.sig_pager_mut().set_read_delay(delay);
+        store.dir_pager_mut().set_read_delay(delay);
+    }
+
     /// Installs an admission gate: subsequent [`Self::admit`] calls bound
     /// concurrent in-flight queries to the gate's capacity and shed after
     /// its bounded wait.

@@ -98,8 +98,11 @@ pub fn dynamic_skyline_query_governed(
 
     let mut stats = QueryStats::default();
     let mut logic = SkylineLogic::new(pref_dims, Some(&t_point), Some(&t_corner), None);
+    let pin_seconds = started.elapsed().as_secs_f64();
     let kernel_run =
         run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    stats.stages = kernel_run.stages;
+    stats.stages.pin_seconds += pin_seconds;
     stats.nodes_expanded = kernel_run.nodes_expanded;
     let mut result = logic.into_result();
 
@@ -110,7 +113,9 @@ pub fn dynamic_skyline_query_governed(
     apply_kernel_outcome(&mut stats, &kernel_run, result.len());
     // Canonical result order: ascending `(transformed key, tid)` — the same
     // key the parallel engine merges by.
+    let t_merge = std::time::Instant::now();
     result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
+    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
     DynamicSkylineOutcome {
         skyline: result.into_iter().map(|r| (r.tid, r.coords)).collect(),
         stats,

@@ -73,11 +73,16 @@ pub fn convex_hull_query_governed(
     let mut heap = CandidateHeap::new();
     seed_root(db, &mut heap);
     let mut logic = HullLogic::new(dims);
+    let pin_seconds = started.elapsed().as_secs_f64();
     let kernel_run =
         run_kernel(db, &selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    stats.stages = kernel_run.stages;
+    stats.stages.pin_seconds += pin_seconds;
     stats.nodes_expanded = kernel_run.nodes_expanded;
     let points = logic.into_points();
+    let t_merge = std::time::Instant::now();
     let hull = monotone_chain(&points);
+    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
 
     stats.peak_heap = heap.peak_size();
     stats.partials_loaded = probe.partials_loaded();

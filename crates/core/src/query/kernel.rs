@@ -26,8 +26,9 @@
 //! logic, which is why serial and parallel answers match bit-for-bit at
 //! any worker count.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use pcube_cube::Selection;
 use pcube_rtree::{DecodedEntry, Mbr, Path};
@@ -145,6 +146,9 @@ pub struct KernelRun {
     pub overshoot_seconds: f64,
     /// Longest observed gap between two governance checks.
     pub max_pop_seconds: f64,
+    /// Wall time split by pipeline stage (page reads vs preference work);
+    /// the engines fill in the pin and merge stages they own.
+    pub stages: crate::query::StageTimes,
 }
 
 /// Runs Algorithm 1 over an already-seeded candidate heap until the heap is
@@ -181,7 +185,16 @@ pub fn run_kernel(
                 break;
             }
         }
-        match logic.on_pop(&entry) {
+        // Stage attribution: preference work (on_pop, scoring, pruning)
+        // counts as `score`; anything that can touch a page — boolean
+        // probes, node reads, verify fetches — counts as `page_read`. The
+        // clock is read once per transition, so instrumentation costs two
+        // `Instant::now` calls per pop plus one per probed child.
+        let t_pop = Instant::now();
+        let verdict = logic.on_pop(&entry);
+        let t_probed = Instant::now();
+        run.stages.score_seconds += (t_probed - t_pop).as_secs_f64();
+        match verdict {
             PopVerdict::Halt => {
                 if let Some(lists) = lists.as_deref_mut() {
                     lists.d_list.push(entry);
@@ -197,7 +210,9 @@ pub fn run_kernel(
             }
             PopVerdict::Continue => {}
         }
-        if !probe.contains(entry.cand.path()) {
+        let keep = probe.contains(entry.cand.path());
+        run.stages.page_read_seconds += t_probed.elapsed().as_secs_f64();
+        if !keep {
             if let Some(lists) = lists.as_deref_mut() {
                 lists.b_list.push(entry);
             }
@@ -211,7 +226,9 @@ pub fn run_kernel(
                 // counted random access, as in minimal probing) before the
                 // tuple may join the result and prune others.
                 if probe.is_lossy() && !selection.is_empty() {
+                    let t_fetch = Instant::now();
                     let codes = db.relation().fetch(tid);
+                    run.stages.page_read_seconds += t_fetch.elapsed().as_secs_f64();
                     if !selection.iter().all(|p| codes[p.dim] == p.value) {
                         if let Some(lists) = lists.as_deref_mut() {
                             lists.b_list.push(HeapEntry {
@@ -226,7 +243,10 @@ pub fn run_kernel(
                 logic.accept(e_score, tid, path, coords);
             }
             Candidate::Node { pid, path, .. } => {
+                let t_read = Instant::now();
                 let node = db.rtree().read_node(pid);
+                let mut t_mark = Instant::now();
+                run.stages.page_read_seconds += (t_mark - t_read).as_secs_f64();
                 run.nodes_expanded += 1;
                 for (slot, child) in node.entries {
                     let child_path = path.child(slot as u16 + 1);
@@ -246,7 +266,12 @@ pub fn run_kernel(
                         }
                         continue;
                     }
-                    if !probe.contains(cand.path()) {
+                    let t_child_probe = Instant::now();
+                    run.stages.score_seconds += (t_child_probe - t_mark).as_secs_f64();
+                    let keep = probe.contains(cand.path());
+                    t_mark = Instant::now();
+                    run.stages.page_read_seconds += (t_mark - t_child_probe).as_secs_f64();
+                    if !keep {
                         if let Some(lists) = lists.as_deref_mut() {
                             lists.b_list.push(HeapEntry { score, seq: 0, cand });
                         }
@@ -254,6 +279,7 @@ pub fn run_kernel(
                     }
                     heap.push(score, cand);
                 }
+                run.stages.score_seconds += t_mark.elapsed().as_secs_f64();
             }
         }
     }
@@ -296,51 +322,150 @@ pub(crate) fn ordered_to_f64(k: u64) -> f64 {
 /// true k-th score (each worker publishes its *local* k-th best, and any
 /// local k-th ≥ the global k-th), so pruning `score > bound` is sound;
 /// ties at the bound are kept and resolved by the deterministic merge.
-pub(crate) struct SharedBound(AtomicU64);
+///
+/// `pub` so the interleaving model checks in `tests/interleave_model.rs`
+/// can drive it step by step.
+pub struct SharedBound(AtomicU64);
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
 
 impl SharedBound {
-    pub(crate) fn unbounded() -> Self {
+    /// A bound that prunes nothing yet (`+∞`).
+    pub fn unbounded() -> Self {
         SharedBound(AtomicU64::new(f64_to_ordered(f64::INFINITY)))
     }
 
+    /// The current bound. Monotone non-increasing over the life of a query.
     #[inline]
-    pub(crate) fn get(&self) -> f64 {
+    pub fn get(&self) -> f64 {
         ordered_to_f64(self.0.load(Ordering::Relaxed))
     }
 
+    /// Lowers the bound to `candidate` if it improves it — an atomic
+    /// `fetch_min` on the order-preserving bits, so concurrent updates can
+    /// never lose the smallest value.
     #[inline]
-    pub(crate) fn lower_to(&self, candidate: f64) {
+    pub fn lower_to(&self, candidate: f64) {
         self.0.fetch_min(f64_to_ordered(candidate), Ordering::Relaxed);
     }
 }
 
+/// Number of spine segments in a [`SharedWindow`]; segment `k` holds
+/// `WINDOW_SEG0 << k` slots, so 32 segments cover ~2^37 points.
+const WINDOW_SEGMENTS: usize = 32;
+/// Capacity of the first spine segment.
+const WINDOW_SEG0: usize = 32;
+/// One lazily-allocated spine segment: a fixed run of once-writable slots.
+type WindowSegment = Box<[OnceLock<Vec<f64>>]>;
+
 /// The shared skyline window: points accepted so far by *any* worker, in
 /// domination space. Pruning with any entry is sound even if the entry is
 /// later found dominated itself (domination is transitive and every entry
-/// is a qualifying data point), so workers read snapshots without any
-/// coordination beyond the mutex.
-pub(crate) struct SharedWindow {
-    points: Mutex<Vec<Vec<f64>>>,
+/// is a qualifying data point), so workers may read arbitrary consistent
+/// snapshots.
+///
+/// Lock-free: a grow-only list over a segmented spine. [`Self::reserve`]
+/// claims a slot with one `fetch_add`; [`Self::publish`] fills it through a
+/// [`OnceLock`] (the release store other readers synchronize with).
+/// Segments never move once allocated, so readers hold no lock and copy no
+/// tail: [`Self::refresh`] walks slots from its last high-water mark and
+/// stops at the first slot not yet published, which keeps the visible
+/// prefix gap-free (a reader never sees point `i+1` without point `i`).
+/// The old implementation was a `Mutex<Vec<…>>` — the one lock left on the
+/// parallel kernel's pop path.
+///
+/// `pub` (with the reserve/publish steps exposed) so the interleaving model
+/// checks in `tests/interleave_model.rs` can enumerate schedules around the
+/// two linearization points.
+pub struct SharedWindow {
+    /// Spine of lazily-allocated slot segments; segment `k` holds
+    /// `WINDOW_SEG0 << k` slots starting at flat index
+    /// `WINDOW_SEG0·(2^k − 1)`.
+    segments: [OnceLock<WindowSegment>; WINDOW_SEGMENTS],
+    /// Next flat slot index to hand out.
+    next: AtomicUsize,
+}
+
+impl Default for SharedWindow {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SharedWindow {
-    pub(crate) fn new() -> Self {
-        SharedWindow { points: Mutex::new(Vec::new()) }
+    /// An empty window.
+    pub fn new() -> Self {
+        SharedWindow { segments: [const { OnceLock::new() }; WINDOW_SEGMENTS], next: AtomicUsize::new(0) }
     }
 
-    pub(crate) fn push(&self, coords: Vec<f64>) {
-        self.points.lock().expect("skyline window lock poisoned").push(coords);
+    /// Flat slot index → `(segment, offset)`.
+    #[inline]
+    fn locate(index: usize) -> (usize, usize) {
+        let n = index / WINDOW_SEG0 + 1;
+        let seg = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        (seg, index - WINDOW_SEG0 * ((1 << seg) - 1))
     }
 
-    /// Appends entries `[from..]` to `into`; returns the new high-water
-    /// mark, making each periodic refresh an incremental copy rather than a
-    /// full clone.
-    pub(crate) fn refresh(&self, from: usize, into: &mut Vec<Vec<f64>>) -> usize {
-        let points = self.points.lock().expect("skyline window lock poisoned");
-        for p in &points[from.min(points.len())..] {
-            into.push(p.clone());
+    /// The slot at flat `index`, allocating its segment on first touch.
+    fn slot(&self, index: usize) -> &OnceLock<Vec<f64>> {
+        let (seg, off) = Self::locate(index);
+        assert!(seg < WINDOW_SEGMENTS, "shared window exhausted");
+        let segment = self.segments[seg].get_or_init(|| {
+            (0..WINDOW_SEG0 << seg).map(|_| OnceLock::new()).collect()
+        });
+        &segment[off]
+    }
+
+    /// The slot at flat `index` if its segment exists, without allocating.
+    fn peek(&self, index: usize) -> Option<&OnceLock<Vec<f64>>> {
+        let (seg, off) = Self::locate(index);
+        self.segments.get(seg)?.get().map(|s| &s[off])
+    }
+
+    /// Step 1 of a push: claims a slot index. Exposed (doc-hidden) for the
+    /// interleaving model checks; engines use [`Self::push`].
+    #[doc(hidden)]
+    pub fn reserve(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Step 2 of a push: publishes `coords` into a reserved slot. The
+    /// `OnceLock` set is the release store readers synchronize with; a slot
+    /// is never written twice.
+    ///
+    /// # Panics
+    /// Panics if `index` was never reserved-and-unpublished (double
+    /// publish).
+    #[doc(hidden)]
+    pub fn publish(&self, index: usize, coords: Vec<f64>) {
+        self.slot(index)
+            .set(coords)
+            .unwrap_or_else(|_| panic!("window slot {index} published twice"));
+    }
+
+    /// Appends a point: reserve a slot, publish into it. Lock-free on both
+    /// steps.
+    pub fn push(&self, coords: Vec<f64>) {
+        let index = self.reserve();
+        self.publish(index, coords);
+    }
+
+    /// Appends entries `[from..]` to `into`, stopping at the first slot not
+    /// yet published; returns the new high-water mark, making each periodic
+    /// refresh an incremental copy rather than a full clone. A reserved but
+    /// unpublished slot pauses the mark (never skips), so the mark is
+    /// monotone and no point is lost or duplicated across refreshes.
+    pub fn refresh(&self, from: usize, into: &mut Vec<Vec<f64>>) -> usize {
+        let mut mark = from;
+        while let Some(point) = self.peek(mark).and_then(OnceLock::get) {
+            into.push(point.clone());
+            mark += 1;
         }
-        points.len()
+        mark
     }
 }
 

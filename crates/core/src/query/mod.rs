@@ -16,6 +16,7 @@ pub use dynamic::{
 };
 pub use kernel::{
     run_kernel, BooleanPruner, KernelRun, NoPruner, PopVerdict, PreferenceLogic, SavedLists,
+    SharedBound, SharedWindow,
 };
 pub use parallel::{
     par_convex_hull_query, par_convex_hull_query_governed, par_dynamic_skyline_query,
@@ -39,6 +40,41 @@ use std::collections::BinaryHeap;
 use pcube_rtree::{Mbr, Path};
 use pcube_storage::{IoSnapshot, PageId};
 
+/// Wall-clock seconds of one query split by pipeline stage. Sums across
+/// parallel workers, so under concurrency the stage totals may exceed the
+/// query's elapsed wall time — they measure *where the work went*, not the
+/// critical path. `serve_bench` aggregates these per thread count to show
+/// which stage stops scaling first.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Probe construction and snapshot pinning before the kernel loop runs.
+    pub pin_seconds: f64,
+    /// Page-touching work: boolean probes, R-tree node reads, base-table
+    /// verify fetches — everything that pays counted (and, under
+    /// `Pager::set_read_delay`, wall-clock) I/O.
+    pub page_read_seconds: f64,
+    /// Preference work: scoring, dominance/bound pruning, accumulation.
+    pub score_seconds: f64,
+    /// Result canonicalization and (for parallel engines) the cross-worker
+    /// merge.
+    pub merge_seconds: f64,
+}
+
+impl StageTimes {
+    /// Accumulates `other` into `self` (used to sum worker stages).
+    pub fn add(&mut self, other: &StageTimes) {
+        self.pin_seconds += other.pin_seconds;
+        self.page_read_seconds += other.page_read_seconds;
+        self.score_seconds += other.score_seconds;
+        self.merge_seconds += other.merge_seconds;
+    }
+
+    /// Total seconds across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.pin_seconds + self.page_read_seconds + self.score_seconds + self.merge_seconds
+    }
+}
+
 /// Per-query execution metrics, matching the measurements in §VI.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
@@ -52,6 +88,9 @@ pub struct QueryStats {
     pub io: IoSnapshot,
     /// Wall-clock seconds of CPU work (the in-memory part).
     pub cpu_seconds: f64,
+    /// Wall time split by stage (pin / page-read / score / merge); worker
+    /// stages are summed for parallel queries.
+    pub stages: StageTimes,
     /// The planner's decision and per-engine cost estimates, when the query
     /// was dispatched through [`crate::plan::Planner`] (`None` for direct
     /// engine calls).

@@ -115,6 +115,7 @@ struct WorkerStats {
     stop: Option<StopReason>,
     overshoot_seconds: f64,
     max_pop_seconds: f64,
+    stages: crate::query::StageTimes,
 }
 
 /// Aggregation conventions: node expansions and partial-signature loads add
@@ -123,12 +124,19 @@ struct WorkerStats {
 /// over workers and the root fan-out — the per-thread memory high water a
 /// capacity planner would provision.
 fn merge_worker_stats(root_children: usize, locals: &[WorkerStats]) -> QueryStats {
+    // Stage times add up across workers: they measure where the work went,
+    // not the critical path (the caller's `cpu_seconds` is the wall clock).
+    let mut stages = crate::query::StageTimes::default();
+    for l in locals {
+        stages.add(&l.stages);
+    }
     QueryStats {
         nodes_expanded: 1 + locals.iter().map(|l| l.nodes_expanded).sum::<u64>(),
         peak_heap: root_children.max(locals.iter().map(|l| l.peak_heap).max().unwrap_or(0)),
         partials_loaded: locals.iter().map(|l| l.partials_loaded).sum(),
         io: Default::default(),
         cpu_seconds: 0.0,
+        stages,
         plan: None,
         outcome: QueryOutcome::Complete,
     }
@@ -319,12 +327,15 @@ pub fn par_topk_query_governed(
 
     // Merge by the canonical (score, tid) key — exactly the serial heap's
     // tuple tie-break — and keep the k best.
+    let t_merge = std::time::Instant::now();
     let mut merged: Vec<ResultEntry> = locals.iter().flat_map(|(res, _)| res.to_vec()).collect();
     merged.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     merged.truncate(k);
+    let merge_seconds = t_merge.elapsed().as_secs_f64();
 
     let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
     let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.stages.merge_seconds += merge_seconds;
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     merge_fleet_outcome(&mut stats, &worker_stats, merged.len());
@@ -347,6 +358,7 @@ fn topk_worker(
     bound: &SharedBound,
     fg: Option<&FleetGovernance>,
 ) -> (Vec<ResultEntry>, WorkerStats) {
+    let t_pin = std::time::Instant::now();
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
     for (score, cand) in seeds {
@@ -354,7 +366,10 @@ fn topk_worker(
     }
     let mut logic = TopKLogic::shared(k, f, bound);
     let mut gov = worker_governor(db, fg);
-    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    let pin_seconds = t_pin.elapsed().as_secs_f64();
+    let mut run =
+        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    run.stages.pin_seconds += pin_seconds;
     if run.stop.is_some() {
         if let Some(g) = fg {
             g.fleet.cancel();
@@ -369,6 +384,7 @@ fn topk_worker(
         stop: run.stop,
         overshoot_seconds: run.overshoot_seconds,
         max_pop_seconds: run.max_pop_seconds,
+        stages: run.stages,
     };
     (logic.into_result(), stats)
 }
@@ -405,6 +421,7 @@ fn skyline_worker(
     space: DomSpace<'_>,
     fg: Option<&FleetGovernance>,
 ) -> (Vec<SkyPoint>, WorkerStats) {
+    let t_pin = std::time::Instant::now();
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
     for (score, cand) in seeds {
@@ -413,7 +430,10 @@ fn skyline_worker(
     let mut logic =
         SkylineLogic::new(pref_dims, Some(space.transform), Some(space.corner), Some(window));
     let mut gov = worker_governor(db, fg);
-    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    let pin_seconds = t_pin.elapsed().as_secs_f64();
+    let mut run =
+        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    run.stages.pin_seconds += pin_seconds;
     if run.stop.is_some() {
         if let Some(g) = fg {
             g.fleet.cancel();
@@ -428,6 +448,7 @@ fn skyline_worker(
         stop: run.stop,
         overshoot_seconds: run.overshoot_seconds,
         max_pop_seconds: run.max_pop_seconds,
+        stages: run.stages,
     };
     (logic.into_points(), stats)
 }
@@ -527,8 +548,11 @@ pub fn par_skyline_query_governed(
         handles.into_iter().map(|h| h.join().expect("skyline worker panicked")).collect()
     });
 
+    let t_merge = std::time::Instant::now();
     let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
+    let merge_seconds = t_merge.elapsed().as_secs_f64();
     let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.stages.merge_seconds += merge_seconds;
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
@@ -646,8 +670,11 @@ pub fn par_dynamic_skyline_query_governed(
         handles.into_iter().map(|h| h.join().expect("dynamic worker panicked")).collect()
     });
 
+    let t_merge = std::time::Instant::now();
     let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
+    let merge_seconds = t_merge.elapsed().as_secs_f64();
     let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.stages.merge_seconds += merge_seconds;
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
@@ -718,10 +745,13 @@ pub fn par_convex_hull_query_governed(
     });
 
     let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
+    let t_merge = std::time::Instant::now();
     let all_vertices: Vec<(u64, [f64; 2])> =
         locals.into_iter().flat_map(|(res, _)| res).collect();
     let hull = monotone_chain(&all_vertices);
+    let merge_seconds = t_merge.elapsed().as_secs_f64();
     let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.stages.merge_seconds += merge_seconds;
     stats.io = db.stats().snapshot().since(&before);
     stats.cpu_seconds = started.elapsed().as_secs_f64();
     merge_fleet_outcome(&mut stats, &worker_stats, hull.len());
@@ -738,6 +768,7 @@ fn hull_worker(
     seeds: Vec<Seed>,
     fg: Option<&FleetGovernance>,
 ) -> (Vec<(u64, [f64; 2])>, WorkerStats) {
+    let t_pin = std::time::Instant::now();
     let mut probe = db.pcube().probe(selection, eager);
     let mut heap = CandidateHeap::new();
     for (score, cand) in seeds {
@@ -745,7 +776,10 @@ fn hull_worker(
     }
     let mut logic = HullLogic::new(dims);
     let mut gov = worker_governor(db, fg);
-    let run = run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    let pin_seconds = t_pin.elapsed().as_secs_f64();
+    let mut run =
+        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    run.stages.pin_seconds += pin_seconds;
     if run.stop.is_some() {
         if let Some(g) = fg {
             g.fleet.cancel();
@@ -760,8 +794,13 @@ fn hull_worker(
         stop: run.stop,
         overshoot_seconds: run.overshoot_seconds,
         max_pop_seconds: run.max_pop_seconds,
+        stages: run.stages,
     };
-    (monotone_chain(&logic.into_points()), stats)
+    let t_merge = std::time::Instant::now();
+    let local_hull = monotone_chain(&logic.into_points());
+    let mut stats = stats;
+    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
+    (local_hull, stats)
 }
 
 #[cfg(test)]

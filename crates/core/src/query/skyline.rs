@@ -185,12 +185,14 @@ pub fn skyline_roll_up(db: &PCubeDb, prev: SkylineState, dim: usize) -> SkylineO
     finish(state, stats)
 }
 
-fn finish(mut state: SkylineState, stats: QueryStats) -> SkylineOutcome {
+fn finish(mut state: SkylineState, mut stats: QueryStats) -> SkylineOutcome {
     // Canonical result order: ascending `(coordinate sum, tid)`, the same
     // key the parallel engine merges by (BBS already emits ascending
     // scores; the sort pins the order at ties).
+    let t_merge = std::time::Instant::now();
     state.result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     let skyline = state.result.iter().map(|r| (r.tid, r.coords.clone())).collect();
+    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
     SkylineOutcome { skyline, stats, state }
 }
 
@@ -210,8 +212,13 @@ fn run(
         d_list: std::mem::take(&mut state.d_list),
     };
     let mut logic = SkylineLogic::new(&state.pref_dims, None, None, None);
+    // Everything since `started` was setup (probe construction, heap
+    // seeding, governor arming) — the pin stage.
+    let pin_seconds = started.elapsed().as_secs_f64();
     let kernel_run =
         run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists), gov);
+    stats.stages = kernel_run.stages;
+    stats.stages.pin_seconds += pin_seconds;
     stats.nodes_expanded = kernel_run.nodes_expanded;
     state.result = logic.into_result();
     state.b_list = lists.b_list;

@@ -232,13 +232,15 @@ pub fn topk_roll_up(
     finish(state, stats)
 }
 
-fn finish(mut state: TopKState, stats: QueryStats) -> TopKOutcome {
+fn finish(mut state: TopKState, mut stats: QueryStats) -> TopKOutcome {
     // Canonical result order: ascending `(score, tid)`. The heap's
     // deterministic tie-break already pops tuples this way, so the sort is
     // a no-op guard — but it is the contract the parallel engine's merge
     // relies on for byte-identical results.
+    let t_merge = std::time::Instant::now();
     state.result.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
     let topk = state.result.iter().map(|r| (r.tid, r.coords.clone(), r.score)).collect();
+    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
     TopKOutcome { topk, stats, state }
 }
 
@@ -259,8 +261,13 @@ fn run(
         d_list: std::mem::take(&mut state.d_list),
     };
     let mut logic = TopKLogic::serial(state.k, f);
+    // Everything since `started` was setup: probe construction (+ eager
+    // assembly), heap seeding, governor arming — the pin stage.
+    let pin_seconds = started.elapsed().as_secs_f64();
     let kernel_run =
         run_kernel(db, &state.selection, probe, heap, &mut logic, Some(&mut lists), gov);
+    stats.stages = kernel_run.stages;
+    stats.stages.pin_seconds += pin_seconds;
     stats.nodes_expanded = kernel_run.nodes_expanded;
     state.result = logic.into_result();
     state.b_list = lists.b_list;

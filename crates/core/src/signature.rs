@@ -100,7 +100,7 @@ impl Signature {
     /// Sets the bits for every prefix of `path` (marks the tuple present).
     pub fn set_path(&mut self, path: &Path) {
         for level in 0..path.depth() {
-            let node_sid = path.prefix(level).sid(self.m_max);
+            let node_sid = path.prefix_sid(level, self.m_max);
             let pos = path.0[level] as usize - 1;
             assert!(pos < self.m_max, "path position exceeds fanout");
             self.nodes
@@ -116,11 +116,11 @@ impl Signature {
     /// (paths are unique per tuple, so this holds by construction).
     pub fn clear_path(&mut self, path: &Path) {
         for level in (0..path.depth()).rev() {
-            let node_sid = path.prefix(level).sid(self.m_max);
+            let node_sid = path.prefix_sid(level, self.m_max);
             let pos = path.0[level] as usize - 1;
             // Only clear the parent bit if the child subtree became empty.
             if level + 1 < path.depth() {
-                let child_sid = path.prefix(level + 1).sid(self.m_max);
+                let child_sid = path.prefix_sid(level + 1, self.m_max);
                 if self.nodes.contains_key(&child_sid) {
                     break;
                 }
@@ -137,14 +137,25 @@ impl Signature {
 
     /// `true` if every prefix bit along `path` is set — i.e. the subtree or
     /// tuple at `path` contains data of this cell.
+    ///
+    /// This runs once per kernel pop, so the ancestor SIDs are accumulated
+    /// incrementally (`sid(l+1) = sid(l)·(M+1) + pos`) instead of re-encoding
+    /// (and allocating) each prefix — no allocation, O(depth) arithmetic.
     pub fn contains(&self, path: &Path) -> bool {
+        let base = self.m_max as u64 + 1;
+        let mut sid = Sid::ROOT;
         for level in 0..path.depth() {
-            let node_sid = path.prefix(level).sid(self.m_max);
             let pos = path.0[level] as usize - 1;
-            match self.nodes.get(&node_sid) {
+            match self.nodes.get(&sid) {
                 Some(bits) if bits.get(pos) => {}
                 _ => return false,
             }
+            sid = Sid(
+                sid.0
+                    .checked_mul(base)
+                    .and_then(|s| s.checked_add(u64::from(path.0[level])))
+                    .expect("SID overflow: tree too deep for u64 signature IDs"),
+            );
         }
         true
     }

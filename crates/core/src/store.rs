@@ -318,8 +318,7 @@ impl SignatureStore {
 
         for path in sets {
             for level in 0..path.depth() {
-                let node_path = path.prefix(level);
-                let node_sid = node_path.sid(self.m_max);
+                let node_sid = path.prefix_sid(level, self.m_max);
                 let pos = path.0[level] as usize - 1;
                 if let Some(bits) = added.get_mut(&node_sid) {
                     bits.set(pos, true);
@@ -327,8 +326,8 @@ impl SignatureStore {
                 }
                 // Find the partial encoding this node by the retrieval rule.
                 let mut found: Option<Sid> = None;
-                for l in 0..=node_path.depth() {
-                    let r = node_path.prefix(l).sid(self.m_max);
+                for l in 0..=level {
+                    let r = path.prefix_sid(l, self.m_max);
                     if !ref_set.contains_key(&r) {
                         continue;
                     }
@@ -553,12 +552,16 @@ impl SignatureCursor<'_> {
     /// bits were lost is never pruned), but it is never a false negative:
     /// an explicit 0 bit from a successfully loaded partial is still trusted.
     pub fn contains(&mut self, path: &Path) -> bool {
+        // Ancestor SIDs accumulate incrementally (`sid(l+1) = sid(l)·(M+1) +
+        // pos`): this runs once per kernel pop, and re-encoding each prefix
+        // would allocate a Vec per level under concurrency.
+        let base = self.store.m_max as u64 + 1;
+        let mut sid = Sid::ROOT;
         for level in 0..path.depth() {
-            let node_path = path.prefix(level);
             let pos = path.0[level] as usize - 1;
             // Bind the bit by value so the borrow of `self` ends before the
             // `self.degraded` read below.
-            let bit = self.node_bits(&node_path).map(|bits| bits.get(pos));
+            let bit = self.node_bits(path, level, sid).map(|bits| bits.get(pos));
             match bit {
                 Some(true) => {}
                 Some(false) => return false,
@@ -568,16 +571,24 @@ impl SignatureCursor<'_> {
                 None if self.degraded => {}
                 None => return false,
             }
+            sid = Sid(
+                sid.0
+                    .checked_mul(base)
+                    .and_then(|s| s.checked_add(u64::from(path.0[level])))
+                    .expect("SID overflow: tree too deep for u64 signature IDs"),
+            );
         }
         true
     }
 
-    /// The bit array of the node at `node_path`, if the cell has data there.
+    /// The bit array of the node at `path.prefix(len)`, if the cell has data
+    /// there. `sid` must be that prefix's SID (the caller accumulates it
+    /// incrementally, so no prefix `Path` is ever materialized).
     ///
     /// Load failures mark the cursor degraded instead of propagating; the
     /// caller then treats "no bits" as "unknown" rather than "empty".
-    fn node_bits(&mut self, node_path: &Path) -> Option<&BitArray> {
-        let sid = node_path.sid(self.store.m_max);
+    fn node_bits(&mut self, path: &Path, len: usize, sid: Sid) -> Option<&BitArray> {
+        debug_assert_eq!(sid, path.prefix_sid(len, self.store.m_max));
         if !self.nodes.contains_key(&sid) {
             if self.locators.is_none() {
                 self.locators = Some(match self.store.try_locators_of(self.cell) {
@@ -591,9 +602,21 @@ impl SignatureCursor<'_> {
                 });
             }
             // Paper's retrieval rule: try the partial referenced by the
-            // root, then by deeper and deeper ancestors along the path.
-            for level in 0..=node_path.depth() {
-                let ref_sid = node_path.prefix(level).sid(self.store.m_max);
+            // root, then by deeper and deeper ancestors along the path
+            // (reference SIDs accumulated incrementally, like the caller's).
+            let base = self.store.m_max as u64 + 1;
+            let mut ref_sid = Sid::ROOT;
+            for level in 0..=len {
+                let this_ref = ref_sid;
+                if level < len {
+                    ref_sid = Sid(
+                        ref_sid.0
+                            .checked_mul(base)
+                            .and_then(|s| s.checked_add(u64::from(path.0[level])))
+                            .expect("SID overflow: tree too deep for u64 signature IDs"),
+                    );
+                }
+                let ref_sid = this_ref;
                 if !self.tried_refs.insert(ref_sid) {
                     continue;
                 }

@@ -97,6 +97,27 @@ impl Path {
         Sid(sid)
     }
 
+    /// SID of the prefix of length `len`, computed without allocating the
+    /// intermediate [`Path`]. Equivalent to `self.prefix(len).sid(m_max)` —
+    /// signature probes call this once per ancestor level on every kernel
+    /// pop, so the allocation matters under concurrency.
+    ///
+    /// # Panics
+    /// Panics if `len > depth()`, a position exceeds `m_max`, or the SID
+    /// overflows `u64`.
+    pub fn prefix_sid(&self, len: usize, m_max: usize) -> Sid {
+        let base = m_max as u64 + 1;
+        let mut sid: u64 = 0;
+        for &p in &self.0[..len] {
+            assert!(p >= 1 && (p as usize) <= m_max, "position {p} out of 1..={m_max}");
+            sid = sid
+                .checked_mul(base)
+                .and_then(|s| s.checked_add(u64::from(p)))
+                .expect("SID overflow: tree too deep for u64 signature IDs");
+        }
+        Sid(sid)
+    }
+
     /// Inverse of [`Path::sid`]: reconstructs the path with fanout `m_max`.
     pub fn from_sid(sid: Sid, m_max: usize) -> Path {
         let base = m_max as u64 + 1;
@@ -190,6 +211,16 @@ mod tests {
         assert!(!Path(vec![2]).is_prefix_of(&p));
         assert!(p.is_prefix_of(&p));
         assert_eq!(p.prefix(2), Path(vec![1, 2]));
+    }
+
+    #[test]
+    fn prefix_sid_matches_allocating_form() {
+        for m in [2usize, 3, 10, 204] {
+            let p = Path(vec![1, 2, 1, (m as u16).min(2)]);
+            for len in 0..=p.depth() {
+                assert_eq!(p.prefix_sid(len, m), p.prefix(len).sid(m), "m={m} len={len}");
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! experiments that ask how much a warm cache changes the picture: reads served
 //! from the pool are *not* charged to the ledger, only misses are.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::page::PageId;
 use crate::pager::Pager;
@@ -69,15 +69,11 @@ impl BufferPool {
     /// read on `pager` and installs the page, evicting the least recently
     /// used entry if the pool is full.
     ///
-    /// Infallible [`BufferPool::try_read`]; panics where that errors.
-    #[inline]
-    pub fn read<'a>(&'a mut self, pager: &Pager, pid: PageId) -> &'a [u8] {
-        self.try_read(pager, pid).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`BufferPool::read`]: a failed pager read (dead page,
-    /// injected fault, checksum mismatch) is propagated and nothing is
-    /// cached, so a later retry re-reads the underlying page.
+    /// A failed pager read (dead page, injected fault, checksum mismatch)
+    /// is propagated as a typed [`crate::StorageError`] and nothing is
+    /// cached, so a later retry re-reads the underlying page. There is
+    /// deliberately no infallible wrapper: pool reads sit on query paths,
+    /// which must surface storage errors, never panic on them.
     pub fn try_read<'a>(
         &'a mut self,
         pager: &Pager,
@@ -138,6 +134,11 @@ struct BufferShard {
     map: HashMap<PageId, usize>,
     entries: Vec<(PageId, Arc<[u8]>, u64)>,
     clock: u64,
+    /// Pages some reader is currently fetching from the pager *outside* this
+    /// shard's lock. A concurrent reader of the same page waits on the
+    /// shard's condvar instead of issuing a duplicate pager read
+    /// (single-flight misses).
+    in_flight: HashSet<PageId>,
 }
 
 impl BufferShard {
@@ -147,6 +148,7 @@ impl BufferShard {
             map: HashMap::with_capacity(capacity),
             entries: Vec::with_capacity(capacity),
             clock: 0,
+            in_flight: HashSet::new(),
         }
     }
 
@@ -199,6 +201,15 @@ impl BufferShard {
     }
 }
 
+/// One shard of a [`ShardedBufferPool`]: the cache state behind a mutex plus
+/// a condvar that single-flight waiters park on while another reader fetches
+/// the page they want.
+#[derive(Debug)]
+struct Shard {
+    state: Mutex<BufferShard>,
+    fetch_done: Condvar,
+}
+
 /// A thread-safe LRU read cache: N independent shards, each behind its own
 /// mutex, with lock-free hit/miss accounting.
 ///
@@ -209,12 +220,22 @@ impl BufferShard {
 /// pages, not `capacity × shards`).
 ///
 /// Like [`BufferPool`], only misses charge a counted read on the pager;
-/// hits are free. The pager read on a miss happens while the target shard
-/// is locked, which also deduplicates concurrent misses of one hot page:
-/// the second reader finds the page installed and takes the hit path.
+/// hits are free.
+///
+/// # Lock hierarchy
+///
+/// **The shard lock is never held across a pager read.** A miss releases
+/// the lock, fetches, then re-locks to install — so N threads missing on N
+/// different pages perform their (wall-clock-expensive) pager reads fully
+/// in parallel, even when the pages share a shard. Concurrent misses of
+/// *one* page stay deduplicated by single-flight: the first reader marks
+/// the page in flight and fetches; the rest wait on the shard condvar and
+/// take the hit path once the page is installed. Every shard-lock
+/// acquisition on the read path is tallied per shard, so tests can bound
+/// lock traffic and prove requests spread across shards.
 #[derive(Debug)]
 pub struct ShardedBufferPool {
-    shards: Vec<Mutex<BufferShard>>,
+    shards: Vec<Shard>,
     /// Power-of-two mask over the mixed page id.
     mask: u64,
     /// Per-shard hit/miss tallies (indexed like `shards`); totals are their
@@ -223,6 +244,12 @@ pub struct ShardedBufferPool {
     /// of piling onto one lock.
     hits: Vec<AtomicU64>,
     misses: Vec<AtomicU64>,
+    /// Shard-lock acquisitions on the read path (initial lock, post-fetch
+    /// re-lock, and condvar re-acquisitions all count). The contention test
+    /// asserts an upper bound per request — a change that funnels reads
+    /// back through one lock, or holds a lock across a fetch and forces
+    /// waiters into extra wakeups, fails that bound.
+    lock_acquisitions: Vec<AtomicU64>,
 }
 
 impl ShardedBufferPool {
@@ -238,10 +265,16 @@ impl ShardedBufferPool {
         let n = shards.next_power_of_two();
         let per_shard = capacity.div_ceil(n).max(1);
         ShardedBufferPool {
-            shards: (0..n).map(|_| Mutex::new(BufferShard::new(per_shard))).collect(),
+            shards: (0..n)
+                .map(|_| Shard {
+                    state: Mutex::new(BufferShard::new(per_shard)),
+                    fetch_done: Condvar::new(),
+                })
+                .collect(),
             mask: n as u64 - 1,
             hits: (0..n).map(|_| AtomicU64::new(0)).collect(),
             misses: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            lock_acquisitions: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -285,9 +318,25 @@ impl ShardedBufferPool {
         self.misses[shard].load(Ordering::Relaxed)
     }
 
+    /// Total shard-lock acquisitions on the read path, across all shards.
+    /// A cache hit costs exactly one; a single-flight miss costs two (lock,
+    /// fetch unlocked, re-lock to install); a waiter adds one per condvar
+    /// wakeup. Contention tests assert an upper bound per request.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Read-path lock acquisitions charged to shard `shard`.
+    ///
+    /// # Panics
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_lock_acquisitions(&self, shard: usize) -> u64 {
+        self.lock_acquisitions[shard].load(Ordering::Relaxed)
+    }
+
     /// Pages currently cached across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("shard poisoned").entries.len()).sum()
+        self.shards.iter().map(|s| s.state.lock().expect("shard poisoned").entries.len()).sum()
     }
 
     /// `true` if nothing is cached.
@@ -295,38 +344,65 @@ impl ShardedBufferPool {
         self.len() == 0
     }
 
-    fn shard(&self, pid: PageId) -> &Mutex<BufferShard> {
+    fn shard(&self, pid: PageId) -> &Shard {
         &self.shards[self.shard_index(pid)]
     }
 
     /// Reads `pid`, consulting the owning shard first. A miss charges one
-    /// counted read on `pager` and installs the page.
+    /// counted read on `pager` and installs the page; a failed pager read
+    /// propagates and nothing is cached, so a later retry re-reads the
+    /// page. (No infallible wrapper — pool reads sit on query paths, which
+    /// surface [`crate::StorageError`] rather than panic.)
     ///
-    /// Infallible [`ShardedBufferPool::try_read`]; panics where that errors.
-    #[inline]
-    pub fn read(&self, pager: &Pager, pid: PageId) -> Arc<[u8]> {
-        self.try_read(pager, pid).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible [`ShardedBufferPool::read`]: a failed pager read propagates
-    /// and nothing is cached, so a later retry re-reads the page.
+    /// The pager read happens with the shard lock *released*: misses on
+    /// different pages proceed fully in parallel, and concurrent misses on
+    /// the same page are deduplicated by single-flight (the extra readers
+    /// wait on the shard condvar, then serve the installed copy as a hit).
+    /// If the flight fails, one waiter retries as the new fetcher, so an
+    /// injected fault never strands the waiters or caches a bad page.
     pub fn try_read(&self, pager: &Pager, pid: PageId) -> Result<Arc<[u8]>, crate::StorageError> {
         let idx = self.shard_index(pid);
-        let mut shard = self.shards[idx].lock().expect("shard poisoned");
-        if let Some(page) = shard.get(pid) {
-            self.hits[idx].fetch_add(1, Ordering::Relaxed);
-            return Ok(page);
+        let shard = &self.shards[idx];
+        let mut state = shard.state.lock().expect("shard poisoned");
+        self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
+        loop {
+            if let Some(page) = state.get(pid) {
+                self.hits[idx].fetch_add(1, Ordering::Relaxed);
+                return Ok(page);
+            }
+            if state.in_flight.insert(pid) {
+                // This reader owns the flight: count the miss, fetch with
+                // the lock released, then re-lock to install and wake any
+                // waiters.
+                self.misses[idx].fetch_add(1, Ordering::Relaxed);
+                drop(state);
+                let fetched: Result<Arc<[u8]>, crate::StorageError> =
+                    pager.try_read(pid).map(Arc::from);
+                let mut state = shard.state.lock().expect("shard poisoned");
+                self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
+                state.in_flight.remove(&pid);
+                if let Ok(data) = &fetched {
+                    state.install(pid, data.clone());
+                }
+                drop(state);
+                // Wake waiters on failure too — one of them retries as the
+                // new fetcher instead of sleeping forever.
+                shard.fetch_done.notify_all();
+                return fetched;
+            }
+            // Another reader is fetching this page: wait for the flight to
+            // land, then re-check. On success the page is cached (hit); on
+            // failure it is neither cached nor in flight, so this reader
+            // becomes the next fetcher.
+            state = shard.fetch_done.wait(state).expect("shard poisoned");
+            self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
         }
-        self.misses[idx].fetch_add(1, Ordering::Relaxed);
-        let data: Arc<[u8]> = pager.try_read(pid)?.into();
-        shard.install(pid, data.clone());
-        Ok(data)
     }
 
     /// Drops any cached copy of `pid` (call after writing the page through
     /// the pager).
     pub fn invalidate(&self, pid: PageId) {
-        self.shard(pid).lock().expect("shard poisoned").invalidate(pid);
+        self.shard(pid).state.lock().expect("shard poisoned").invalidate(pid);
     }
 
     /// Writes through to the pager and invalidates the cached copy.
@@ -339,7 +415,7 @@ impl ShardedBufferPool {
     /// to model a cold cache).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("shard poisoned").clear();
+            shard.state.lock().expect("shard poisoned").clear();
         }
     }
 }
@@ -369,7 +445,7 @@ mod tests {
         let (pager, pids) = setup(1);
         let mut pool = BufferPool::new(4);
         for _ in 0..5 {
-            let page = pool.read(&pager, pids[0]);
+            let page = pool.try_read(&pager, pids[0]).expect("read");
             assert_eq!(page[0], 0);
         }
         assert_eq!(pool.misses(), 1);
@@ -381,12 +457,12 @@ mod tests {
     fn lru_evicts_least_recently_used() {
         let (pager, pids) = setup(3);
         let mut pool = BufferPool::new(2);
-        pool.read(&pager, pids[0]); // miss
-        pool.read(&pager, pids[1]); // miss
-        pool.read(&pager, pids[0]); // hit, makes 1 the LRU
-        pool.read(&pager, pids[2]); // miss, evicts 1
-        pool.read(&pager, pids[0]); // hit
-        pool.read(&pager, pids[1]); // miss again
+        pool.try_read(&pager, pids[0]).expect("read"); // miss
+        pool.try_read(&pager, pids[1]).expect("read"); // miss
+        pool.try_read(&pager, pids[0]).expect("read"); // hit, makes 1 the LRU
+        pool.try_read(&pager, pids[2]).expect("read"); // miss, evicts 1
+        pool.try_read(&pager, pids[0]).expect("read"); // hit
+        pool.try_read(&pager, pids[1]).expect("read"); // miss again
         assert_eq!(pool.misses(), 4);
         assert_eq!(pool.hits(), 2);
     }
@@ -395,9 +471,9 @@ mod tests {
     fn write_through_updates_cached_copy() {
         let (mut pager, pids) = setup(1);
         let mut pool = BufferPool::new(2);
-        pool.read(&pager, pids[0]);
+        pool.try_read(&pager, pids[0]).expect("read");
         pool.write(&mut pager, pids[0], &[9u8; 64]);
-        let page = pool.read(&pager, pids[0]);
+        let page = pool.try_read(&pager, pids[0]).expect("read");
         assert_eq!(page[0], 9);
         // The post-write read must be a cache hit (write refreshed the copy).
         assert_eq!(pool.misses(), 1);
@@ -418,9 +494,9 @@ mod tests {
     fn clear_models_a_cold_cache() {
         let (pager, pids) = setup(1);
         let mut pool = BufferPool::new(2);
-        pool.read(&pager, pids[0]);
+        pool.try_read(&pager, pids[0]).expect("read");
         pool.clear();
-        pool.read(&pager, pids[0]);
+        pool.try_read(&pager, pids[0]).expect("read");
         assert_eq!(pool.misses(), 2);
     }
 
@@ -430,7 +506,7 @@ mod tests {
         let pool = ShardedBufferPool::new(8, 4);
         for _ in 0..3 {
             for &pid in &pids {
-                let page = pool.read(&pager, pid);
+                let page = pool.try_read(&pager, pid).expect("read");
                 assert_eq!(page.len(), 64);
             }
         }
@@ -446,7 +522,7 @@ mod tests {
         let (pager, pids) = setup(32);
         let pool = ShardedBufferPool::new(8, 2);
         for &pid in &pids {
-            pool.read(&pager, pid);
+            pool.try_read(&pager, pid).expect("read");
         }
         // 2 shards × ceil(8/2) pages: never more than the per-shard caps.
         assert!(pool.len() <= 8, "resident {} pages", pool.len());
@@ -456,9 +532,9 @@ mod tests {
     fn sharded_pool_write_invalidates() {
         let (mut pager, pids) = setup(1);
         let pool = ShardedBufferPool::new(4, 2);
-        assert_eq!(pool.read(&pager, pids[0])[0], 0);
+        assert_eq!(pool.try_read(&pager, pids[0]).expect("read")[0], 0);
         pool.write(&mut pager, pids[0], &[7u8; 64]);
-        assert_eq!(pool.read(&pager, pids[0])[0], 7);
+        assert_eq!(pool.try_read(&pager, pids[0]).expect("read")[0], 7);
         assert_eq!(pool.misses(), 2, "the write invalidated the cached copy");
     }
 
@@ -487,7 +563,7 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..rounds {
                         let pid = pids[(t + i) % pids.len()];
-                        let page = pool.read(pager, pid);
+                        let page = pool.try_read(pager, pid).expect("read");
                         assert_eq!(page[0] as usize, pid.0 as usize, "wrong page contents");
                     }
                 });
@@ -499,7 +575,54 @@ mod tests {
             "every request is tallied exactly once"
         );
         // The pool fits every page: each page misses exactly once, because
-        // the shard lock is held across the fill (no duplicate misses).
+        // single-flight dedups concurrent misses of the same page (waiters
+        // park on the shard condvar instead of issuing duplicate reads).
         assert_eq!(pool.misses(), pids.len() as u64);
+        assert_eq!(pager.stats().reads(IoCategory::RtreeBlock), pids.len() as u64);
+    }
+
+    #[test]
+    fn sharded_pool_read_path_lock_cost_is_bounded() {
+        let (pager, pids) = setup(8);
+        let pool = ShardedBufferPool::new(64, 4);
+        for _ in 0..3 {
+            for &pid in &pids {
+                pool.try_read(&pager, pid).expect("read");
+            }
+        }
+        let requests = 3 * pids.len() as u64;
+        // Serial traffic: hits take exactly 1 acquisition, misses exactly 2
+        // (lock, fetch unlocked, re-lock to install) — no waiter wakeups.
+        assert_eq!(
+            pool.lock_acquisitions(),
+            requests + pids.len() as u64,
+            "hits=1 lock, misses=2 locks"
+        );
+        let per_shard: Vec<u64> =
+            (0..pool.shard_count()).map(|i| pool.shard_lock_acquisitions(i)).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), pool.lock_acquisitions());
+    }
+
+    #[test]
+    fn sharded_pool_failed_flight_wakes_waiters_and_retries() {
+        let (mut pager, pids) = setup(1);
+        let pool = ShardedBufferPool::new(4, 2);
+        // First read of the page fails; every subsequent read succeeds. The
+        // failure must not strand concurrent readers of the same page or
+        // cache the failed fetch.
+        pager.set_fault_plan(crate::FaultPlan::seeded(9).with_read_errors(1.0));
+        assert!(pool.try_read(&pager, pids[0]).is_err());
+        assert!(pool.is_empty(), "a failed flight must not install a cache entry");
+        pager.take_fault_plan();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (pool, pager, pid) = (&pool, &pager, pids[0]);
+                s.spawn(move || {
+                    let page = pool.try_read(pager, pid).expect("retry succeeds");
+                    assert_eq!(page[0], 0);
+                });
+            }
+        });
+        assert_eq!(pool.len(), 1);
     }
 }

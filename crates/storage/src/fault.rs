@@ -121,6 +121,14 @@ impl FaultPlan {
         self.counts
     }
 
+    /// `true` if this plan can ever fail a read. The pager caches the answer
+    /// in an atomic flag when the plan is installed, so the concurrent read
+    /// path only takes the plan's mutex when read faults are actually armed
+    /// (write/alloc-only plans leave reads lock-free).
+    pub fn arms_reads(&self) -> bool {
+        self.read_error > 0.0
+    }
+
     fn next(&mut self) -> u64 {
         // xorshift64*: tiny, full-period, and plenty for fault scheduling.
         let mut x = self.state;

@@ -7,7 +7,29 @@ use crate::fault::{FaultCounts, FaultPlan, WriteEffect};
 use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// An installed fault plan plus an atomic mirror of whether it can fail
+/// reads. `try_read` consults only the flag on the hot path, so a plan that
+/// injects no read faults (alloc budgets, write corruption) leaves the
+/// concurrent read path entirely lock-free.
+#[derive(Debug)]
+struct FaultCell {
+    arms_reads: AtomicBool,
+    plan: Mutex<FaultPlan>,
+}
+
+impl FaultCell {
+    fn new(plan: FaultPlan) -> Self {
+        FaultCell { arms_reads: AtomicBool::new(plan.arms_reads()), plan: Mutex::new(plan) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
+        self.plan.lock().expect("fault plan lock poisoned")
+    }
+}
 
 /// An in-memory "disk" of fixed-size pages.
 ///
@@ -44,10 +66,19 @@ pub struct Pager {
     /// CRC32 per page slot, maintained only while `verify` is on.
     sums: Vec<u32>,
     verify: bool,
-    /// Injected-fault schedule. `Mutex` because reads take `&self` and may
-    /// run from many query threads; disabled (`None`) on the hot path this
-    /// costs one branch, enabled it serializes only fault bookkeeping.
-    fault: Option<Mutex<FaultPlan>>,
+    /// Injected-fault schedule. Reads take `&self` from many query threads,
+    /// so the plan sits behind a mutex — but `try_read` checks the cell's
+    /// atomic `arms_reads` flag first and only locks when read faults are
+    /// actually armed. Disabled (`None`), or installed without read faults,
+    /// the read path performs no locking at all.
+    fault: Option<FaultCell>,
+    /// Wall-clock latency charged per counted read (`None` = off). This is
+    /// the cost model's block-retrieval time paid for real: `try_read`
+    /// sleeps *without holding any lock*, so concurrent readers overlap
+    /// their stalls exactly as independent disks would — which is what lets
+    /// a wall-clock benchmark observe read-path serialization. See
+    /// `serve_bench --wall-io-us` and DESIGN.md §7.
+    read_delay: Option<Duration>,
     /// Pages mutated (written, updated, allocated, or freed) since the last
     /// [`Pager::take_dirty`]. `BTreeSet` so drains are in deterministic page
     /// order — the WAL witnesses and checkpoint flushes built from this set
@@ -68,10 +99,8 @@ impl Clone for Pager {
             stats: self.stats.clone(),
             sums: self.sums.clone(),
             verify: self.verify,
-            fault: self
-                .fault
-                .as_ref()
-                .map(|m| Mutex::new(m.lock().expect("fault plan lock poisoned").clone())),
+            fault: self.fault.as_ref().map(|c| FaultCell::new(c.lock().clone())),
+            read_delay: self.read_delay,
             dirty: self.dirty.clone(),
         }
     }
@@ -93,6 +122,7 @@ impl Pager {
             sums: Vec::new(),
             verify: false,
             fault: None,
+            read_delay: None,
             dirty: BTreeSet::new(),
         }
     }
@@ -126,6 +156,7 @@ impl Pager {
             sums: Vec::new(),
             verify: false,
             fault: None,
+            read_delay: None,
             dirty: BTreeSet::new(),
         }
     }
@@ -228,17 +259,37 @@ impl Pager {
 
     /// Installs a deterministic fault-injection schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = Some(Mutex::new(plan));
+        self.fault = Some(FaultCell::new(plan));
     }
 
     /// Removes the fault plan, returning it (with its injection counts).
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
-        self.fault.take().map(|m| m.into_inner().expect("fault plan lock poisoned"))
+        self.fault.take().map(|c| c.plan.into_inner().expect("fault plan lock poisoned"))
     }
 
     /// Injection counts of the installed plan, if any.
     pub fn fault_counts(&self) -> Option<FaultCounts> {
-        self.fault.as_ref().map(|f| f.lock().expect("fault plan lock poisoned").counts())
+        self.fault.as_ref().map(|c| c.lock().counts())
+    }
+
+    /// `true` if an installed fault plan arms read faults — i.e. `try_read`
+    /// will take the plan mutex. Exposed so tests can assert the unfaulted
+    /// read path stays lock-free.
+    pub fn fault_arms_reads(&self) -> bool {
+        self.fault.as_ref().is_some_and(|c| c.arms_reads.load(Ordering::Relaxed))
+    }
+
+    /// Sets (or clears) the wall-clock latency charged per counted read.
+    /// See the field docs on [`Pager`] — the sleep is taken with no lock
+    /// held, so concurrent readers overlap stalls.
+    pub fn set_read_delay(&mut self, delay: Option<Duration>) {
+        self.read_delay = delay.filter(|d| !d.is_zero());
+    }
+
+    /// The wall-clock latency charged per counted read, if any.
+    #[inline]
+    pub fn read_delay(&self) -> Option<Duration> {
+        self.read_delay
     }
 
     /// Flips bits in a stored page *without* updating its checksum, modelling
@@ -259,8 +310,8 @@ impl Pager {
     /// Fails with [`StorageError::OutOfPages`] when the 32-bit page-id space
     /// is exhausted or an injected allocation budget runs out.
     pub fn try_allocate(&mut self) -> Result<PageId, StorageError> {
-        if let Some(fault) = &self.fault {
-            if fault.lock().expect("fault plan lock poisoned").deny_alloc() {
+        if let Some(cell) = &self.fault {
+            if cell.lock().deny_alloc() {
                 return Err(StorageError::OutOfPages);
             }
         }
@@ -326,8 +377,17 @@ impl Pager {
     /// pages whose contents no longer match their recorded CRC32.
     pub fn try_read(&self, pid: PageId) -> Result<&[u8], StorageError> {
         self.stats.record_reads(self.category, 1);
-        if let Some(fault) = &self.fault {
-            if fault.lock().expect("fault plan lock poisoned").fail_read() {
+        if let Some(delay) = self.read_delay {
+            // Charged with no lock held: concurrent readers must be able to
+            // overlap these stalls, or serve_bench's wall-speedup gate fails.
+            std::thread::sleep(delay);
+        }
+        // Lock-free unless read faults are armed. A plan whose read-error
+        // probability is zero never consumes RNG state in `fail_read` (the
+        // roll short-circuits), so skipping the lock entirely preserves the
+        // plan's deterministic schedule for writes and allocations.
+        if let Some(cell) = &self.fault {
+            if cell.arms_reads.load(Ordering::Relaxed) && cell.lock().fail_read() {
                 return Err(StorageError::Io { pid, op: PageOp::Read });
             }
         }
@@ -380,7 +440,7 @@ impl Pager {
         }
         self.stats.record_writes(self.category, 1);
         let effect = match &self.fault {
-            Some(fault) => fault.lock().expect("fault plan lock poisoned").write_effect(self.page_size),
+            Some(cell) => cell.lock().write_effect(self.page_size),
             None => WriteEffect::Clean,
         };
         if effect == WriteEffect::Fail {
@@ -430,12 +490,12 @@ impl Pager {
         self.stats.record_reads(self.category, 1);
         self.stats.record_writes(self.category, 1);
         let effect = match &self.fault {
-            Some(fault) => {
-                let mut fault = fault.lock().expect("fault plan lock poisoned");
-                if fault.fail_read() {
+            Some(cell) => {
+                let mut plan = cell.lock();
+                if plan.fail_read() {
                     return Err(StorageError::Io { pid, op: PageOp::Update });
                 }
-                fault.write_effect(self.page_size)
+                plan.write_effect(self.page_size)
             }
             None => WriteEffect::Clean,
         };
@@ -593,6 +653,7 @@ impl Pager {
                 sums: Vec::new(),
                 verify: false,
                 fault: None,
+                read_delay: None,
                 dirty: BTreeSet::new(),
             },
             pos,
@@ -787,6 +848,55 @@ mod tests {
         let failures = (0..200).filter(|_| p.try_read(a).is_err()).count();
         assert!((50..150).contains(&failures), "got {failures} failures out of 200");
         assert_eq!(p.fault_counts().unwrap().read_errors as usize, failures);
+    }
+
+    #[test]
+    fn plans_without_read_faults_leave_the_read_path_lock_free() {
+        let stats = IoStats::new_shared();
+        let mut p = Pager::new(64, IoCategory::HeapScan, stats.clone());
+        let a = p.allocate();
+        p.write(a, &[9u8; 64]);
+        // Write/alloc-only plan: reads must not take the plan mutex, and the
+        // plan's RNG schedule must be untouched by reads (fail_read with
+        // p = 0 consumes no RNG state).
+        p.set_fault_plan(FaultPlan::seeded(42).with_write_errors(1.0).with_alloc_budget(0));
+        assert!(!p.fault_arms_reads());
+        let before = stats.snapshot().reads(IoCategory::HeapScan);
+        for _ in 0..100 {
+            assert!(p.try_read(a).is_ok(), "reads are unfaulted");
+        }
+        let after = stats.snapshot().reads(IoCategory::HeapScan);
+        assert_eq!(after - before, 100, "every read is still counted");
+        let counts = p.fault_counts().unwrap();
+        assert_eq!(counts.read_errors, 0);
+        // The write schedule is unaffected by the 100 lock-free reads: the
+        // very first write still fails deterministically.
+        assert!(p.try_write(a, &[1u8; 64]).is_err());
+        // A plan that does arm reads flips the flag.
+        p.set_fault_plan(FaultPlan::seeded(42).with_read_errors(0.1));
+        assert!(p.fault_arms_reads());
+    }
+
+    #[test]
+    fn read_delay_is_off_by_default_and_does_not_change_counts() {
+        let stats = IoStats::new_shared();
+        let mut p = Pager::new(64, IoCategory::RtreeBlock, stats.clone());
+        let a = p.allocate();
+        assert!(p.read_delay().is_none());
+        p.set_read_delay(Some(Duration::from_micros(50)));
+        assert_eq!(p.read_delay(), Some(Duration::from_micros(50)));
+        let before = stats.snapshot().reads(IoCategory::RtreeBlock);
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            p.try_read(a).unwrap();
+        }
+        assert!(t0.elapsed() >= Duration::from_micros(500), "delay is actually paid");
+        assert_eq!(stats.snapshot().reads(IoCategory::RtreeBlock) - before, 10);
+        // Zero disables rather than sleeping for 0ns per read.
+        p.set_read_delay(Some(Duration::ZERO));
+        assert!(p.read_delay().is_none());
+        p.set_read_delay(None);
+        assert!(p.read_delay().is_none());
     }
 
     #[test]
