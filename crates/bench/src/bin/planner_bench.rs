@@ -115,7 +115,7 @@ fn main() {
         .map(|tid| (tid, relation.pref_coords(tid)))
         .collect();
     let bool_codes: Vec<Vec<u32>> = (0..relation.schema().n_bool())
-        .map(|d| relation.bool_column(d).to_vec())
+        .map(|d| relation.bool_column(d).collect())
         .collect();
     let db = PCubeDb::build(relation, &PCubeConfig::default());
     let indexes = BooleanIndexSet::build(db.relation(), 4096, db.stats().clone());

@@ -12,26 +12,39 @@
 //!   `checkpoint_every` cadences (plus the WAL-only and bare in-memory
 //!   baselines), reporting transactions/second.
 //!
+//! Two more sweeps gate the group-commit work:
+//!
+//! * **epoch publish cost vs database size** — copy-on-write snapshots must
+//!   make publishing a new epoch O(dirty), not O(database): the mean
+//!   publish cost from 10^4 to 10^6 tuples must stay within 1.5x.
+//! * **group commit vs per-commit fsync** — 8 submitter threads through a
+//!   [`CommitQueue`] against a simulated fsync latency must beat the
+//!   one-fsync-per-commit baseline by at least 3x.
+//!
 //! Also a correctness gate: every recovered database must answer the probe
 //! skyline exactly like the live master it was recovered from, or the
 //! binary exits non-zero.
 //!
 //! Usage: `recovery_bench [--txns N] [--tuples N] [--ops-per-txn K]
-//! [--out PATH]` — results land in `BENCH_recovery.json`.
+//! [--publish-max N] [--fsync-delay-us U] [--out PATH]` — results land in
+//! `BENCH_recovery.json`.
 
 use pcube_core::{
-    skyline_query, DurabilityOptions, DurableDb, MaintenanceOp, PCubeConfig, PCubeDb,
+    skyline_query, CommitQueue, CommitQueuePolicy, DurabilityOptions, DurableDb, MaintenanceOp,
+    PCubeConfig, PCubeDb,
 };
 use pcube_cube::Relation;
 use pcube_data::{synthetic, SyntheticSpec};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Config {
     txns: usize,
     tuples: usize,
     ops_per_txn: usize,
+    publish_max: usize,
+    fsync_delay_us: u64,
     out: String,
 }
 
@@ -40,6 +53,10 @@ fn parse_args() -> Config {
         txns: 400,
         tuples: 10_000,
         ops_per_txn: 4,
+        publish_max: 1_000_000,
+        // A rotational-class fsync: write barriers are why group commit
+        // exists; NVMe-class latencies hide the effect behind apply cost.
+        fsync_delay_us: 5_000,
         out: "BENCH_recovery.json".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +79,14 @@ fn parse_args() -> Config {
             }
             "--ops-per-txn" => {
                 cfg.ops_per_txn = need(i + 1).parse().expect("--ops-per-txn K");
+                i += 2;
+            }
+            "--publish-max" => {
+                cfg.publish_max = need(i + 1).parse().expect("--publish-max N");
+                i += 2;
+            }
+            "--fsync-delay-us" => {
+                cfg.fsync_delay_us = need(i + 1).parse().expect("--fsync-delay-us U");
                 i += 2;
             }
             "--out" => {
@@ -151,7 +176,7 @@ fn main() {
     let mut db = DurableDb::create(
         seed_relation(cfg.tuples),
         &PCubeConfig::default(),
-        DurabilityOptions { fsync_every: 1, checkpoint_every: 0 },
+        DurabilityOptions { fsync_every: 1, checkpoint_every: 0, ..DurabilityOptions::default() },
     );
     let mut workload = Workload::new(cfg.tuples, cfg.ops_per_txn);
     let depths = [0, cfg.txns / 8, cfg.txns / 4, cfg.txns / 2, cfg.txns];
@@ -228,7 +253,11 @@ fn main() {
                 let mut d = DurableDb::create(
                     seed_relation(cfg.tuples),
                     &PCubeConfig::default(),
-                    DurabilityOptions { fsync_every: 1, checkpoint_every: every },
+                    DurabilityOptions {
+                        fsync_every: 1,
+                        checkpoint_every: every,
+                        ..DurabilityOptions::default()
+                    },
                 );
                 let mut w = Workload::new(cfg.tuples, cfg.ops_per_txn);
                 for t in 0..cfg.txns {
@@ -240,6 +269,110 @@ fn main() {
         let tps = cfg.txns as f64 / secs;
         eprintln!("  {label:>14}: {tps:>9.1} txns/s ({secs:.3} s)");
         throughput_rows.push((label, secs, tps));
+    }
+
+    // --- sweep 3: epoch publish cost vs database size ---------------------
+    // Copy-on-write snapshots make publishing an epoch a handful of
+    // refcount bumps, so the mean cost must not grow with the database.
+    let publish_sizes: Vec<usize> =
+        [10_000usize, 100_000, 1_000_000].into_iter().filter(|&s| s <= cfg.publish_max).collect();
+    const PUBLISH_TXNS: usize = 64;
+    let mut publish_rows = Vec::new();
+    for &size in &publish_sizes {
+        let mut d = DurableDb::create(
+            seed_relation(size),
+            &PCubeConfig::default(),
+            DurabilityOptions {
+                fsync_every: 1,
+                checkpoint_every: 0,
+                ..DurabilityOptions::default()
+            },
+        );
+        let mut w = Workload::new(size, cfg.ops_per_txn);
+        for t in 0..PUBLISH_TXNS {
+            d.apply(&w.txn(t)).expect("apply");
+        }
+        let (publishes, ns) = d.publish_stats();
+        let avg_ns = ns as f64 / publishes.max(1) as f64;
+        eprintln!("  {size:>9} tuples: {publishes} publishes, {avg_ns:>9.0} ns each");
+        publish_rows.push((size, publishes, avg_ns));
+    }
+    // Sub-microsecond publishes hit timer granularity; a 1 us floor keeps
+    // the ratio about scaling, not clock jitter.
+    let publish_floor = |ns: f64| ns.max(1_000.0);
+    let publish_ratio = match (publish_rows.first(), publish_rows.last()) {
+        (Some(&(_, _, small)), Some(&(_, _, large))) if publish_rows.len() > 1 => {
+            publish_floor(large) / publish_floor(small)
+        }
+        _ => 1.0,
+    };
+    if publish_ratio > 1.5 {
+        eprintln!(
+            "FAIL: epoch publish cost grew {publish_ratio:.2}x from {} to {} tuples",
+            publish_rows.first().map_or(0, |r| r.0),
+            publish_rows.last().map_or(0, |r| r.0),
+        );
+        mismatches += 1;
+    }
+
+    // --- sweep 4: group commit vs one fsync per commit --------------------
+    let group_txns = 256usize;
+    let insert_txn = |k: usize| {
+        vec![MaintenanceOp::Insert {
+            codes: vec![(k % 8) as u32, (k % 8) as u32, (k % 8) as u32],
+            coords: vec![(k as f64 * 0.2711 + 0.03).fract(), (k as f64 * 0.4131 + 0.17).fract()],
+        }]
+    };
+    let durability = DurabilityOptions {
+        fsync_every: 1,
+        checkpoint_every: 0,
+        fsync_delay_us: cfg.fsync_delay_us,
+    };
+    let mut base = DurableDb::create(seed_relation(cfg.tuples), &PCubeConfig::default(), durability);
+    let start = Instant::now();
+    for t in 0..group_txns {
+        base.apply(&insert_txn(t)).expect("baseline apply");
+    }
+    let base_secs = start.elapsed().as_secs_f64();
+    let base_tps = group_txns as f64 / base_secs;
+
+    let queue = CommitQueue::start(
+        DurableDb::create(seed_relation(cfg.tuples), &PCubeConfig::default(), durability),
+        CommitQueuePolicy {
+            max_batch: 32,
+            max_queue: 64,
+            max_wait: Duration::from_micros(100),
+        },
+    );
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..8usize {
+            let queue = &queue;
+            scope.spawn(move || {
+                for i in 0..group_txns / 8 {
+                    queue.submit(insert_txn(thread * (group_txns / 8) + i)).expect("submit");
+                }
+            });
+        }
+    });
+    let group_secs = start.elapsed().as_secs_f64();
+    let group_tps = group_txns as f64 / group_secs;
+    let group_stats = queue.stats();
+    let grouped = queue.shutdown();
+    if grouped.durable_txns() != group_txns as u64 {
+        eprintln!("FAIL: group commit lost work ({} of {group_txns})", grouped.durable_txns());
+        mismatches += 1;
+    }
+    let speedup = group_tps / base_tps;
+    eprintln!(
+        "  group commit: {group_tps:>9.1} txns/s vs {base_tps:>9.1} baseline ({speedup:.2}x, \
+         {} batches, {:.2} commits/fsync)",
+        group_stats.batches,
+        group_stats.fsync_amortization()
+    );
+    if speedup < 3.0 {
+        eprintln!("FAIL: group commit speedup {speedup:.2}x under the 3x gate");
+        mismatches += 1;
     }
 
     // --- emit ------------------------------------------------------------
@@ -269,6 +402,31 @@ fn main() {
         json.push_str(if i + 1 < throughput_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    json.push_str("  \"epoch_publish\": [\n");
+    for (i, (size, publishes, avg_ns)) in publish_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"tuples\": {size}, \"publishes\": {publishes}, \"avg_publish_ns\": {avg_ns:.0}}}"
+        );
+        json.push_str(if i + 1 < publish_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"publish_flat_ratio\": {publish_ratio:.3},");
+    json.push_str("  \"group_commit\": {\n");
+    let _ = writeln!(json, "    \"fsync_delay_us\": {},", cfg.fsync_delay_us);
+    let _ = writeln!(json, "    \"submitters\": 8,");
+    let _ = writeln!(json, "    \"txns\": {group_txns},");
+    let _ = writeln!(json, "    \"baseline_txns_per_sec\": {base_tps:.1},");
+    let _ = writeln!(json, "    \"group_txns_per_sec\": {group_tps:.1},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.2},");
+    let _ = writeln!(json, "    \"batches\": {},", group_stats.batches);
+    let _ = writeln!(json, "    \"max_batch\": {},", group_stats.max_batch);
+    let _ = writeln!(
+        json,
+        "    \"fsync_amortization\": {:.2}",
+        group_stats.fsync_amortization()
+    );
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"result_mismatches\": {mismatches}");
     json.push_str("}\n");
     std::fs::write(&cfg.out, &json).expect("write results json");

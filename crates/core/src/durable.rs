@@ -35,10 +35,11 @@
 //! recovers from [`DurableDb::durable_state`] and differential-tests the
 //! result (`tests/crash_recovery.rs`).
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 use pcube_bptree::BPlusTree;
 use pcube_cube::Relation;
@@ -79,11 +80,17 @@ pub struct DurabilityOptions {
     /// checkpoints only, via [`DurableDb::checkpoint`] or the SQL
     /// `CHECKPOINT` directive).
     pub checkpoint_every: u64,
+    /// Simulated wall-clock cost of one WAL fsync, in microseconds (`0` =
+    /// free). The in-memory "disk" syncs in nanoseconds, which would make
+    /// every batching policy look equally good; benchmarks set this to a
+    /// realistic device latency so group commit's fsync amortization shows
+    /// up in wall time, the same way `--wall-io-us` scales page reads.
+    pub fsync_delay_us: u64,
 }
 
 impl Default for DurabilityOptions {
     fn default() -> Self {
-        DurabilityOptions { fsync_every: 1, checkpoint_every: 0 }
+        DurabilityOptions { fsync_every: 1, checkpoint_every: 0, fsync_delay_us: 0 }
     }
 }
 
@@ -236,6 +243,17 @@ pub enum DurabilityError {
         /// How it diverged.
         cause: String,
     },
+    /// The WAL fsync kept failing after bounded retries with exponential
+    /// backoff (see `pcube_storage::WalSyncError`). The unsynced tail is
+    /// still pending — not lost, not durable — and a later
+    /// [`DurableDb::sync`] may yet land it; affected commits stay
+    /// acknowledged-but-volatile exactly like the group-commit window.
+    WalSync {
+        /// Fsync attempts made before giving up.
+        attempts: u32,
+        /// Total microseconds of backoff spent across the retries.
+        backoff_us: u64,
+    },
     /// A persist-format error inside the checkpoint metadata.
     Persist(PersistError),
     /// A filesystem error (file mode only).
@@ -263,6 +281,10 @@ impl std::fmt::Display for DurabilityError {
             DurabilityError::Replay { txn, cause } => {
                 write!(f, "replay diverged at txn {txn}: {cause}")
             }
+            DurabilityError::WalSync { attempts, backoff_us } => write!(
+                f,
+                "wal fsync failed after {attempts} attempts ({backoff_us} us of backoff); tail still pending"
+            ),
             DurabilityError::Persist(e) => write!(f, "{e}"),
             DurabilityError::Io { path, cause } => write!(f, "io error on {path}: {cause}"),
         }
@@ -284,7 +306,9 @@ impl From<PersistError> for DurabilityError {
 /// works on it directly.
 pub struct EpochSnapshot {
     epoch: u64,
-    db: PCubeDb,
+    /// Shared with the writer's master until the writer's next mutation
+    /// re-owns it — publishing costs one refcount bump, not a struct walk.
+    db: Arc<PCubeDb>,
 }
 
 impl EpochSnapshot {
@@ -328,8 +352,14 @@ pub struct EpochReader {
 
 impl EpochReader {
     /// Pins and returns the latest published snapshot.
+    ///
+    /// Poison-proof: the published pointer is only ever *replaced* (an `Arc`
+    /// store that cannot unwind mid-swap), so a writer thread that panicked
+    /// while holding the lock left a fully consistent snapshot behind.
+    /// Readers take the inner value rather than wedging every future query
+    /// on a crashed writer's poison flag.
     pub fn snapshot(&self) -> Arc<EpochSnapshot> {
-        self.current.read().expect("epoch lock poisoned").clone()
+        self.current.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The latest published epoch.
@@ -635,7 +665,7 @@ impl CheckpointImage {
             PCubeDb {
                 relation,
                 rtree,
-                pcube: PCube { registry, store, cuboids },
+                pcube: PCube { registry: Arc::new(registry), store, cuboids },
                 stats,
                 admission: None,
             },
@@ -682,7 +712,11 @@ fn kind_idx(kind: StoreKind) -> usize {
 /// A [`PCubeDb`] under durable, snapshot-isolated maintenance. See the
 /// module docs for the protocol.
 pub struct DurableDb {
-    master: PCubeDb,
+    /// The live database, shared with the current [`EpochSnapshot`]:
+    /// publishing an epoch is one `Arc` clone and a pointer swap, and the
+    /// write path re-owns the top-level structs (pages stay copy-on-write
+    /// below them) via `Arc::make_mut` on its first mutation afterwards.
+    master: Arc<PCubeDb>,
     published: Arc<RwLock<Arc<EpochSnapshot>>>,
     wal: Wal,
     image: CheckpointImage,
@@ -707,6 +741,12 @@ pub struct DurableDb {
     dir: Option<PathBuf>,
     /// File mode: durable WAL bytes already appended to the log file.
     file_synced: usize,
+    /// Epochs published so far (one per commit/batch).
+    publishes: u64,
+    /// Total wall time spent inside [`DurableDb::publish`], in nanoseconds.
+    /// With copy-on-write snapshots this must stay flat as the database
+    /// grows; `recovery_bench` gates on it.
+    publish_ns: u64,
 }
 
 impl DurableDb {
@@ -720,11 +760,14 @@ impl DurableDb {
         master.pcube.store.dir_pager_mut().clear_dirty();
         let image = CheckpointImage::capture(&master, 1, 0, 1, 1);
         let live = (0..master.relation.len() as u64).collect();
-        let snapshot = Arc::new(EpochSnapshot { epoch: 1, db: master.clone_snapshot() });
+        let master = Arc::new(master);
+        let snapshot = Arc::new(EpochSnapshot { epoch: 1, db: Arc::clone(&master) });
+        let mut wal = Wal::new();
+        wal.attach_stats(master.stats.clone());
         DurableDb {
             master,
             published: Arc::new(RwLock::new(snapshot)),
-            wal: Wal::new(),
+            wal,
             image,
             opts,
             crash: None,
@@ -739,6 +782,8 @@ impl DurableDb {
             live,
             dir: None,
             file_synced: 0,
+            publishes: 0,
+            publish_ns: 0,
         }
     }
 
@@ -894,7 +939,9 @@ impl DurableDb {
         let epoch = image.epoch + txns_replayed;
         let next_txn = image.next_txn.max(expect_txn + 1);
         let applied = image.txns + txns_replayed;
-        let snapshot = Arc::new(EpochSnapshot { epoch, db: master.clone_snapshot() });
+        let master = Arc::new(master);
+        let snapshot = Arc::new(EpochSnapshot { epoch, db: Arc::clone(&master) });
+        let stats_handle = master.stats.clone();
         let db = DurableDb {
             master,
             published: Arc::new(RwLock::new(snapshot)),
@@ -906,6 +953,7 @@ impl DurableDb {
                 if let Some(lsn) = drop_from {
                     wal.truncate_durable_from(lsn);
                 }
+                wal.attach_stats(stats_handle);
                 wal
             },
             image,
@@ -922,6 +970,8 @@ impl DurableDb {
             live,
             dir: None,
             file_synced: 0,
+            publishes: 0,
+            publish_ns: 0,
         };
         Ok((db, report))
     }
@@ -939,9 +989,11 @@ impl DurableDb {
         EpochReader { current: self.published.clone() }
     }
 
-    /// Pins the latest published snapshot.
+    /// Pins the latest published snapshot. Poison-proof for the same reason
+    /// as [`EpochReader::snapshot`]: the lock only ever guards a pointer
+    /// swap, so the pointee is consistent even after a writer panic.
     pub fn snapshot(&self) -> Arc<EpochSnapshot> {
-        self.published.read().expect("epoch lock poisoned").clone()
+        self.published.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The latest published epoch.
@@ -1006,6 +1058,25 @@ impl DurableDb {
         self.crash.as_ref().map_or(0, |p| p.events_seen())
     }
 
+    /// Installs a runtime fault plan on the WAL (transient fsync failures;
+    /// see `FaultPlan::with_fsync_failures`). Retries and their backoff are
+    /// recorded on the shared I/O ledger as `wal_retries`/`wal_backoff_us`.
+    pub fn set_wal_fault_plan(&mut self, plan: pcube_storage::FaultPlan) {
+        self.wal.set_fault_plan(plan);
+    }
+
+    /// Removes the WAL fault plan, returning it with its counters.
+    pub fn take_wal_fault_plan(&mut self) -> Option<pcube_storage::FaultPlan> {
+        self.wal.take_fault_plan()
+    }
+
+    /// `(epochs published, total nanoseconds spent publishing)`. With
+    /// copy-on-write snapshots the per-publish cost is size-independent;
+    /// `recovery_bench` divides these to gate on exactly that.
+    pub fn publish_stats(&self) -> (u64, u64) {
+        (self.publishes, self.publish_ns)
+    }
+
     // ------------------------------------------------------------ writing --
 
     /// Applies one transaction of maintenance operations: validate, log
@@ -1013,6 +1084,99 @@ impl DurableDb {
     /// new epoch, sync per policy, auto-checkpoint per policy.
     pub fn apply(&mut self, ops: &[MaintenanceOp]) -> Result<CommitReceipt, DurabilityError> {
         self.ensure_alive()?;
+        let (txn, lsn) = self.apply_unsynced(ops)?;
+
+        // 5. Group commit — *before* publish, so when this commit syncs
+        //    (always, under the default `fsync_every: 1`) readers can never
+        //    observe a transaction whose commit record is still volatile: a
+        //    crash mid-fsync poisons the instance here, the epoch is never
+        //    published, and recovery dropping the torn commit agrees with
+        //    everything any reader ever saw.
+        let mut durable = false;
+        if self.opts.fsync_every <= 1 || self.commits_since_sync >= self.opts.fsync_every {
+            self.sync_internal()?;
+            durable = true;
+        }
+
+        // 6. Publish the new epoch (readers switch; pinned snapshots live on).
+        self.publish();
+
+        // 7. Auto checkpoint.
+        if self.should_auto_checkpoint() {
+            self.checkpoint()?;
+        }
+
+        Ok(CommitReceipt { txn, epoch: self.epoch, durable, lsn })
+    }
+
+    /// Applies a whole batch of transactions with **one** fsync and **one**
+    /// epoch publish for all of them — the group-commit core. Each
+    /// transaction is validated, logged and applied independently (a
+    /// malformed one is rejected with [`DurabilityError::InvalidOp`] without
+    /// disturbing its neighbours); then the batch syncs and publishes once.
+    ///
+    /// Durability is prefix-closed by construction: WAL appends are serial
+    /// and the batch shares a single fsync, so whatever prefix of commit
+    /// records a crash preserves is exactly the set recovery replays.
+    ///
+    /// Failure semantics per slot: a terminal [`DurabilityError::WalSync`]
+    /// leaves every applied transaction acknowledged-but-volatile
+    /// ([`CommitReceipt::durable`] is `false`; the tail stays pending); an
+    /// injected crash poisons the instance and every applied-but-unsynced
+    /// slot reports the crash instead of a receipt. Auto-checkpointing is
+    /// the caller's job (see [`DurableDb::should_auto_checkpoint`]).
+    pub fn apply_batch(
+        &mut self,
+        batch: &[Vec<MaintenanceOp>],
+    ) -> Vec<Result<CommitReceipt, DurabilityError>> {
+        let mut applied: Vec<Result<(u64, Lsn), DurabilityError>> = Vec::with_capacity(batch.len());
+        for ops in batch {
+            let slot = self.ensure_alive().and_then(|()| self.apply_unsynced(ops));
+            applied.push(slot);
+        }
+
+        let mut durable = false;
+        let mut batch_err: Option<DurabilityError> = None;
+        if self.poisoned.is_none() {
+            match self.sync_internal() {
+                Ok(()) => durable = true,
+                // Terminal fsync failure: the tail (and every commit record
+                // in it) is pending, not lost — receipts stay volatile.
+                Err(DurabilityError::WalSync { .. }) => {}
+                Err(e) => batch_err = Some(e),
+            }
+            if self.poisoned.is_none() && applied.iter().any(Result::is_ok) {
+                self.publish();
+            }
+        }
+
+        applied
+            .into_iter()
+            .map(|slot| match slot {
+                Ok((txn, lsn)) => match &batch_err {
+                    // The batch's sync crashed: whether this commit record
+                    // survived is for recovery to decide; report the crash.
+                    Some(e) => Err(e.clone()),
+                    None => Ok(CommitReceipt { txn, epoch: self.epoch, durable, lsn }),
+                },
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// `true` when the auto-checkpoint policy is due (callers of
+    /// [`DurableDb::apply_batch`] checkpoint between batches, never inside
+    /// one).
+    pub fn should_auto_checkpoint(&self) -> bool {
+        self.opts.checkpoint_every > 0
+            && self.commits_since_checkpoint >= self.opts.checkpoint_every
+    }
+
+    /// Steps 1–4 of the commit protocol: validate, append redo records,
+    /// mutate the master (logging signature summaries), witness dirtied
+    /// pages, seal with `Commit`. No fsync, no publish — the caller decides
+    /// how many transactions share those.
+    fn apply_unsynced(&mut self, ops: &[MaintenanceOp]) -> Result<(u64, Lsn), DurabilityError> {
         if ops.is_empty() {
             return Err(DurabilityError::InvalidOp { cause: "empty transaction".to_string() });
         }
@@ -1050,7 +1214,7 @@ impl DurableDb {
         for op in ops {
             let touches = match op {
                 MaintenanceOp::Insert { codes, coords } => {
-                    let (tid, touches) = self.master.insert_coded_tracked(codes, coords);
+                    let (tid, touches) = self.master_mut().insert_coded_tracked(codes, coords);
                     self.live.insert(tid);
                     touches
                 }
@@ -1062,7 +1226,7 @@ impl DurableDb {
                     // no recoverable error can repair. Returning would keep
                     // accepting transactions on a master the log no longer
                     // describes; dying loudly is the only honest option.
-                    self.master.delete_tracked(*tid).unwrap_or_else(|| {
+                    self.master_mut().delete_tracked(*tid).unwrap_or_else(|| {
                         panic!(
                             "invariant violated: tuple {tid} vanished mid-transaction \
                              with its redo record already logged"
@@ -1089,30 +1253,7 @@ impl DurableDb {
         self.applied_txns = txn;
         self.commits_since_sync += 1;
         self.commits_since_checkpoint += 1;
-
-        // 5. Group commit — *before* publish, so when this commit syncs
-        //    (always, under the default `fsync_every: 1`) readers can never
-        //    observe a transaction whose commit record is still volatile: a
-        //    crash mid-fsync poisons the instance here, the epoch is never
-        //    published, and recovery dropping the torn commit agrees with
-        //    everything any reader ever saw.
-        let mut durable = false;
-        if self.opts.fsync_every <= 1 || self.commits_since_sync >= self.opts.fsync_every {
-            self.sync_internal()?;
-            durable = true;
-        }
-
-        // 6. Publish the new epoch (readers switch; pinned snapshots live on).
-        self.publish();
-
-        // 7. Auto checkpoint.
-        if self.opts.checkpoint_every > 0
-            && self.commits_since_checkpoint >= self.opts.checkpoint_every
-        {
-            self.checkpoint()?;
-        }
-
-        Ok(CommitReceipt { txn, epoch: self.epoch, durable, lsn })
+        Ok((txn, lsn))
     }
 
     /// Single-insert convenience: one transaction, one row.
@@ -1239,7 +1380,13 @@ impl DurableDb {
                 return Err(DurabilityError::Crashed { point: CrashPoint::WalSync });
             }
         }
-        self.wal.sync();
+        self.wal.sync().map_err(|e| DurabilityError::WalSync {
+            attempts: e.attempts,
+            backoff_us: e.backoff_us,
+        })?;
+        if self.opts.fsync_delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.opts.fsync_delay_us));
+        }
         self.commits_since_sync = 0;
         self.synced_txns = self.applied_txns;
         if self.dir.is_some() {
@@ -1248,10 +1395,30 @@ impl DurableDb {
         Ok(())
     }
 
+    /// Re-owns the master for mutation. The first call after a publish
+    /// clones the top-level structs (the epoch snapshot holds the old ones);
+    /// pages, column chunks, and metadata below them stay shared until
+    /// individually dirtied.
+    fn master_mut(&mut self) -> &mut PCubeDb {
+        Arc::make_mut(&mut self.master)
+    }
+
     fn publish(&mut self) {
+        let start = std::time::Instant::now();
         self.epoch += 1;
-        let snapshot = Arc::new(EpochSnapshot { epoch: self.epoch, db: self.master.clone_snapshot() });
-        *self.published.write().expect("epoch lock poisoned") = snapshot;
+        let snapshot = Arc::new(EpochSnapshot { epoch: self.epoch, db: Arc::clone(&self.master) });
+        let previous = {
+            let mut slot = self.published.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *slot, snapshot)
+        };
+        self.publishes += 1;
+        self.publish_ns += start.elapsed().as_nanos() as u64;
+        // Reclaiming the previous epoch walks the page-table refcounts it no
+        // longer shares with the master — O(pages/GROUP_PAGES), not O(1) —
+        // and lands on whichever thread drops the last pin (a lagging reader,
+        // not us, if one still holds it). Keep it off the visibility metric
+        // and, more importantly, outside the epoch lock.
+        drop(previous);
     }
 
     fn pager_of(&self, kind: StoreKind) -> &Pager {
@@ -1264,10 +1431,11 @@ impl DurableDb {
 
     /// Drains the pagers' dirty sets into the per-checkpoint accumulator.
     fn drain_dirty(&mut self) {
+        let master = self.master_mut();
         let drained = [
-            self.master.rtree.pager_mut().take_dirty(),
-            self.master.pcube.store.sig_pager_mut().take_dirty(),
-            self.master.pcube.store.dir_pager_mut().take_dirty(),
+            master.rtree.pager_mut().take_dirty(),
+            master.pcube.store.sig_pager_mut().take_dirty(),
+            master.pcube.store.dir_pager_mut().take_dirty(),
         ];
         for (set, pids) in self.ckpt_dirty.iter_mut().zip(drained) {
             set.extend(pids.into_iter().map(|p| p.0));
@@ -1279,10 +1447,11 @@ impl DurableDb {
     /// feeds the same pages to the checkpoint accumulator.
     fn append_witnesses(&mut self, txn: u64) -> Result<(), DurabilityError> {
         for kind in STORE_KINDS {
+            let master = self.master_mut();
             let dirty = match kind {
-                StoreKind::Rtree => self.master.rtree.pager_mut().take_dirty(),
-                StoreKind::Signature => self.master.pcube.store.sig_pager_mut().take_dirty(),
-                StoreKind::Directory => self.master.pcube.store.dir_pager_mut().take_dirty(),
+                StoreKind::Rtree => master.rtree.pager_mut().take_dirty(),
+                StoreKind::Signature => master.pcube.store.sig_pager_mut().take_dirty(),
+                StoreKind::Directory => master.pcube.store.dir_pager_mut().take_dirty(),
             };
             let witnesses: Vec<(u32, Option<u32>)> = dirty
                 .iter()
@@ -1392,6 +1561,436 @@ impl DurableDb {
         f.sync_all().map_err(|e| io_err(&path, e))?;
         self.file_synced = durable.len();
         Ok(())
+    }
+}
+
+// ------------------------------------------------------------ commit queue --
+
+/// Batching and backpressure policy of a [`CommitQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitQueuePolicy {
+    /// Most transactions one fsync batch may carry (≥ 1).
+    pub max_batch: usize,
+    /// Bounded queue depth (≥ 1): submissions beyond this many waiting
+    /// transactions block ([`CommitQueue::submit`]) or fail typed
+    /// ([`CommitQueue::try_submit`]) — never grow the queue unboundedly.
+    pub max_queue: usize,
+    /// After the first transaction of a batch arrives, how long the log
+    /// writer lingers for the batch to fill before syncing what it has.
+    /// Zero drains greedily (batching still emerges under load).
+    pub max_wait: Duration,
+}
+
+impl Default for CommitQueuePolicy {
+    fn default() -> Self {
+        CommitQueuePolicy { max_batch: 32, max_queue: 128, max_wait: Duration::ZERO }
+    }
+}
+
+/// Aggregate group-commit counters, kept on the queue's ledger and snapshot
+/// via [`CommitQueue::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Batches the log writer drained.
+    pub batches: u64,
+    /// Transactions committed (receipt delivered).
+    pub commits: u64,
+    /// Batches whose single fsync landed.
+    pub syncs: u64,
+    /// Batches whose fsync kept failing after bounded retries — their
+    /// commits were acknowledged volatile and the tail retried later.
+    pub sync_failures: u64,
+    /// Largest batch a single fsync covered.
+    pub max_batch: u64,
+    /// Deepest the queue ever got.
+    pub max_queue_depth: u64,
+    /// Submitters that had to block on a full queue.
+    pub backpressure_waits: u64,
+    /// Transactions rejected with a typed error (validation, crash, …).
+    pub rejected: u64,
+}
+
+impl GroupCommitStats {
+    /// Committed transactions per successful fsync — the amortization group
+    /// commit exists for (1.0 means no batching happened).
+    pub fn fsync_amortization(&self) -> f64 {
+        if self.syncs == 0 {
+            0.0
+        } else {
+            self.commits as f64 / self.syncs as f64
+        }
+    }
+}
+
+/// Why a submission did not come back with a [`CommitReceipt`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitError {
+    /// The queue is at [`CommitQueuePolicy::max_queue`] and the caller asked
+    /// not to wait ([`CommitQueue::try_submit`]).
+    Backpressure {
+        /// Queue depth observed at rejection.
+        depth: usize,
+    },
+    /// The caller's deadline expired. If it expired *after* the transaction
+    /// was enqueued, the transaction may still commit — the receipt is lost,
+    /// not the write (ordinary lost-ack semantics).
+    Timeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// The queue has shut down (or its writer died); nothing was enqueued.
+    Closed,
+    /// The log writer rejected or failed the transaction itself.
+    Rejected(DurabilityError),
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::Backpressure { depth } => {
+                write!(f, "commit queue full ({depth} transactions waiting)")
+            }
+            CommitError::Timeout { waited } => {
+                write!(f, "commit timed out after {waited:?}")
+            }
+            CommitError::Closed => write!(f, "commit queue is closed"),
+            CommitError::Rejected(e) => write!(f, "transaction rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+enum SlotState {
+    Waiting,
+    Done(Result<CommitReceipt, CommitError>),
+}
+
+/// One submission's receipt slot: the submitter parks on `cv` until the log
+/// writer fills `state`.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot { state: Mutex::new(SlotState::Waiting), cv: Condvar::new() }
+    }
+
+    fn fill(&self, result: Result<CommitReceipt, CommitError>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = SlotState::Done(result);
+        self.cv.notify_all();
+    }
+}
+
+struct QueueInner {
+    queue: VecDeque<(Vec<MaintenanceOp>, Arc<Slot>)>,
+    closed: bool,
+    stats: GroupCommitStats,
+}
+
+struct QueueShared {
+    inner: Mutex<QueueInner>,
+    /// Signaled when the queue gains work or closes (log writer waits here).
+    work: Condvar,
+    /// Signaled when the queue drains below capacity (submitters wait here).
+    space: Condvar,
+}
+
+impl QueueShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner> {
+        // Poison-proof: queue state is only mutated under short, non-panicking
+        // critical sections; taking the inner value keeps submitters alive if
+        // the writer thread dies mid-batch elsewhere.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Multi-producer group commit over a [`DurableDb`]: any number of client
+/// threads [`CommitQueue::submit`] transactions, one dedicated log writer
+/// drains them in bounded batches, appends and applies each, then spends
+/// **one** fsync and **one** epoch publish on the whole batch
+/// ([`DurableDb::apply_batch`]). The queue is bounded: beyond
+/// [`CommitQueuePolicy::max_queue`] waiting transactions, submitters block
+/// (with optional deadline) or get [`CommitError::Backpressure`] — typed
+/// errors, never a panic, never an unbounded queue.
+///
+/// Durability remains prefix-closed across crashes: appends are serial in
+/// submission order and each batch shares a single fsync, so the set of
+/// transactions recovery replays is always a prefix of the acknowledged
+/// order (`tests/group_commit.rs` drives this property through every batch
+/// boundary and torn-fsync cut).
+pub struct CommitQueue {
+    shared: Arc<QueueShared>,
+    policy: CommitQueuePolicy,
+    reader: EpochReader,
+    writer: Option<std::thread::JoinHandle<DurableDb>>,
+}
+
+impl CommitQueue {
+    /// Takes ownership of `db` and starts the dedicated log-writer thread.
+    ///
+    /// # Panics
+    /// Panics if `policy.max_batch` or `policy.max_queue` is zero.
+    pub fn start(db: DurableDb, policy: CommitQueuePolicy) -> CommitQueue {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(policy.max_queue >= 1, "max_queue must be at least 1");
+        let reader = db.reader();
+        let shared = Arc::new(QueueShared {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                closed: false,
+                stats: GroupCommitStats::default(),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        });
+        let writer_shared = shared.clone();
+        let writer = std::thread::Builder::new()
+            .name("pcube-group-commit".to_string())
+            .spawn(move || writer_loop(db, writer_shared, policy))
+            .expect("spawning the group-commit writer thread failed");
+        CommitQueue { shared, policy, reader, writer: Some(writer) }
+    }
+
+    /// A snapshot-isolation handle: readers pin epochs published by the log
+    /// writer without ever blocking on the queue.
+    pub fn reader(&self) -> EpochReader {
+        self.reader.clone()
+    }
+
+    /// Submits one transaction and blocks — through backpressure if the
+    /// queue is full — until the log writer delivers its receipt.
+    pub fn submit(&self, ops: Vec<MaintenanceOp>) -> Result<CommitReceipt, CommitError> {
+        self.enqueue(ops, None, true)
+    }
+
+    /// [`CommitQueue::submit`] with a deadline covering both the
+    /// backpressure wait and the receipt wait.
+    pub fn submit_timeout(
+        &self,
+        ops: Vec<MaintenanceOp>,
+        timeout: Duration,
+    ) -> Result<CommitReceipt, CommitError> {
+        self.enqueue(ops, Some(Instant::now() + timeout), true)
+    }
+
+    /// Non-blocking admission: fails fast with [`CommitError::Backpressure`]
+    /// when the queue is full (the receipt wait, after admission, still
+    /// blocks — the writer always delivers).
+    pub fn try_submit(&self, ops: Vec<MaintenanceOp>) -> Result<CommitReceipt, CommitError> {
+        self.enqueue(ops, None, false)
+    }
+
+    /// Current group-commit counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        self.shared.lock().stats
+    }
+
+    /// Closes the queue, drains what was already admitted, joins the log
+    /// writer and hands the database back.
+    ///
+    /// # Panics
+    /// Panics if the log-writer thread itself panicked (a bug, not an
+    /// injected fault — every injected fault surfaces as a typed error).
+    pub fn shutdown(mut self) -> DurableDb {
+        self.close();
+        let writer = self.writer.take().expect("shutdown on a queue already shut down");
+        writer.join().expect("group-commit writer panicked")
+    }
+
+    fn close(&self) {
+        let mut inner = self.shared.lock();
+        inner.closed = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+
+    fn enqueue(
+        &self,
+        ops: Vec<MaintenanceOp>,
+        deadline: Option<Instant>,
+        block: bool,
+    ) -> Result<CommitReceipt, CommitError> {
+        let slot = Arc::new(Slot::new());
+        let start = Instant::now();
+        {
+            let mut inner = self.shared.lock();
+            if inner.closed {
+                return Err(CommitError::Closed);
+            }
+            let max_queue = self.policy.max_queue;
+            if inner.queue.len() >= max_queue {
+                if !block {
+                    return Err(CommitError::Backpressure { depth: inner.queue.len() });
+                }
+                inner.stats.backpressure_waits += 1;
+                while inner.queue.len() >= max_queue && !inner.closed {
+                    match deadline {
+                        None => {
+                            inner = self
+                                .shared
+                                .space
+                                .wait(inner)
+                                .unwrap_or_else(|e| e.into_inner());
+                        }
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                return Err(CommitError::Timeout { waited: start.elapsed() });
+                            }
+                            inner = self
+                                .shared
+                                .space
+                                .wait_timeout(inner, d - now)
+                                .unwrap_or_else(|e| e.into_inner())
+                                .0;
+                        }
+                    }
+                }
+                if inner.closed {
+                    return Err(CommitError::Closed);
+                }
+            }
+            inner.queue.push_back((ops, slot.clone()));
+            let depth = inner.queue.len() as u64;
+            inner.stats.max_queue_depth = inner.stats.max_queue_depth.max(depth);
+            self.shared.work.notify_one();
+        }
+
+        // Park until the log writer fills the receipt slot.
+        let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let SlotState::Done(result) = &*state {
+                return result.clone();
+            }
+            match deadline {
+                None => {
+                    state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Enqueued but unacked: the writer may still commit
+                        // it — a lost ack, not a lost write.
+                        return Err(CommitError::Timeout { waited: start.elapsed() });
+                    }
+                    state = slot
+                        .cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+}
+
+impl Drop for CommitQueue {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            self.close();
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The dedicated log-writer loop: wait for work, linger up to
+/// `policy.max_wait` for the batch to fill, drain at most
+/// `policy.max_batch`, apply the batch with one fsync + one publish, fill
+/// the receipt slots, then handle between-batch policy work (checkpoints,
+/// poison shutdown).
+fn writer_loop(
+    mut db: DurableDb,
+    shared: Arc<QueueShared>,
+    policy: CommitQueuePolicy,
+) -> DurableDb {
+    loop {
+        let batch: Vec<(Vec<MaintenanceOp>, Arc<Slot>)> = {
+            let mut inner = shared.lock();
+            loop {
+                if !inner.queue.is_empty() {
+                    break;
+                }
+                if inner.closed {
+                    return db;
+                }
+                inner = shared.work.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+            if policy.max_wait > Duration::ZERO {
+                let fill_deadline = Instant::now() + policy.max_wait;
+                while inner.queue.len() < policy.max_batch && !inner.closed {
+                    let now = Instant::now();
+                    if now >= fill_deadline {
+                        break;
+                    }
+                    let (guard, timed_out) = shared
+                        .work
+                        .wait_timeout(inner, fill_deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    inner = guard;
+                    if timed_out.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let n = inner.queue.len().min(policy.max_batch);
+            let batch: Vec<_> = inner.queue.drain(..n).collect();
+            inner.stats.batches += 1;
+            inner.stats.max_batch = inner.stats.max_batch.max(n as u64);
+            batch
+        };
+        shared.space.notify_all();
+
+        let txns: Vec<Vec<MaintenanceOp>> = batch.iter().map(|(ops, _)| ops.clone()).collect();
+        let results = db.apply_batch(&txns);
+
+        {
+            let mut inner = shared.lock();
+            let committed = results.iter().filter(|r| r.is_ok()).count() as u64;
+            let durable = results
+                .iter()
+                .any(|r| matches!(r, Ok(receipt) if receipt.durable));
+            inner.stats.commits += committed;
+            inner.stats.rejected += results.len() as u64 - committed;
+            if durable {
+                inner.stats.syncs += 1;
+            } else if committed > 0 {
+                inner.stats.sync_failures += 1;
+            }
+        }
+
+        for ((_, slot), result) in batch.into_iter().zip(results) {
+            slot.fill(result.map_err(CommitError::Rejected));
+        }
+
+        if db.poisoned().is_some() {
+            // The simulated crash killed the instance: fail everything still
+            // queued, close, and let shutdown() hand the corpse back for the
+            // harness to recover from.
+            let mut inner = shared.lock();
+            inner.closed = true;
+            for (_, slot) in inner.queue.drain(..) {
+                slot.fill(Err(CommitError::Closed));
+            }
+            shared.space.notify_all();
+        } else if db.should_auto_checkpoint() {
+            if let Err(e) = db.checkpoint() {
+                // A WalSync failure leaves the tail pending for the next
+                // batch's fsync; a crash is caught by the poison check above
+                // on the next iteration. Either way: typed, never a panic.
+                debug_assert!(
+                    matches!(
+                        e,
+                        DurabilityError::WalSync { .. } | DurabilityError::Crashed { .. }
+                    ),
+                    "unexpected checkpoint failure: {e}"
+                );
+            }
+        }
     }
 }
 
@@ -1570,7 +2169,7 @@ mod tests {
 
     #[test]
     fn unsynced_commits_are_dropped_on_recovery() {
-        let opts = DurabilityOptions { fsync_every: 10, checkpoint_every: 0 };
+        let opts = DurabilityOptions { fsync_every: 10, ..DurabilityOptions::default() };
         let mut db = DurableDb::create(seed_relation(48), &PCubeConfig::default(), opts);
         let r1 = db.apply(&some_ops(&db, 0)).expect("apply");
         assert!(!r1.durable);
@@ -1624,6 +2223,212 @@ mod tests {
         let fresh = reader.snapshot();
         assert!(fresh.epoch() > epoch_before);
         assert_eq!(skyline_tids(fresh.db()), skyline_tids(db.db()));
+    }
+
+    #[test]
+    fn apply_batch_spends_one_sync_and_one_publish_on_the_whole_batch() {
+        let mut db = DurableDb::create(seed_relation(64), &PCubeConfig::default(), DurabilityOptions::default());
+        let epoch_before = db.epoch();
+        let syncs_before = db.wal_stats().syncs;
+        let (publishes_before, _) = db.publish_stats();
+
+        // Insert-only transactions: batches are validated against the state
+        // their predecessors in the same batch produce, so precomputed
+        // deletes of one victim would collide.
+        let insert_txn = |k: u64| {
+            vec![MaintenanceOp::Insert {
+                codes: vec![(k % 3) as u32, (k % 2) as u32],
+                coords: vec![(k as f64 * 0.137).fract(), (k as f64 * 0.291).fract()],
+            }]
+        };
+        let batch: Vec<Vec<MaintenanceOp>> = (0..6).map(insert_txn).collect();
+        let results = db.apply_batch(&batch);
+        assert_eq!(results.len(), 6);
+        for (i, r) in results.iter().enumerate() {
+            let receipt = r.as_ref().unwrap_or_else(|e| panic!("txn {i} failed: {e}"));
+            assert!(receipt.durable, "batch sync must cover txn {i}");
+            assert_eq!(receipt.txn, i as u64 + 1, "dense submission-order txn ids");
+            assert_eq!(receipt.epoch, epoch_before + 1, "one shared epoch per batch");
+        }
+        assert_eq!(db.wal_stats().syncs, syncs_before + 1, "one fsync for six txns");
+        assert_eq!(db.publish_stats().0, publishes_before + 1, "one publish for six txns");
+
+        // A malformed transaction mid-batch is rejected alone.
+        let mixed = vec![
+            insert_txn(10),
+            vec![MaintenanceOp::Delete { tid: 9999 }],
+            insert_txn(11),
+        ];
+        let results = db.apply_batch(&mixed);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(DurabilityError::InvalidOp { .. })));
+        assert!(results[2].is_ok(), "a bad neighbour must not poison the batch");
+
+        // Everything acknowledged durable survives recovery.
+        let (recovered, _) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .expect("recover");
+        assert_eq!(skyline_tids(recovered.db()), skyline_tids(db.db()));
+        assert_eq!(recovered.applied_txns(), 8);
+    }
+
+    #[test]
+    fn terminal_fsync_failure_is_typed_and_the_tail_lands_later() {
+        use pcube_storage::FaultPlan;
+        let mut db = DurableDb::create(seed_relation(48), &PCubeConfig::default(), DurabilityOptions::default());
+        db.set_wal_fault_plan(FaultPlan::seeded(7).with_fsync_failures(1.0));
+        let err = db.apply(&some_ops(&db, 0)).expect_err("fsync must exhaust its retries");
+        assert!(
+            matches!(err, DurabilityError::WalSync { attempts, .. } if attempts > 1),
+            "unexpected error: {err}"
+        );
+        assert!(db.poisoned().is_none(), "a failed fsync is not a crash");
+        // Retries and backoff were accounted on the shared ledger.
+        assert!(db.db().stats.wal_retries() > 0);
+        assert!(db.db().stats.wal_backoff_us() > 0);
+
+        // The tail is pending, not lost: heal the fault and sync again.
+        db.take_wal_fault_plan();
+        db.sync().expect("healed sync");
+        assert_eq!(db.durable_txns(), 1);
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .expect("recover");
+        assert_eq!(report.txns_replayed, 1);
+        assert_eq!(recovered.applied_txns(), 1);
+    }
+
+    #[test]
+    fn commit_queue_batches_submissions_from_many_threads() {
+        let db = DurableDb::create(seed_relation(64), &PCubeConfig::default(), DurabilityOptions::default());
+        let queue = CommitQueue::start(
+            db,
+            CommitQueuePolicy { max_batch: 8, max_queue: 16, max_wait: Duration::from_millis(2) },
+        );
+        let reader = queue.reader();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let queue = &queue;
+                scope.spawn(move || {
+                    for i in 0..8u64 {
+                        let k = t * 8 + i;
+                        let receipt = queue
+                            .submit(vec![MaintenanceOp::Insert {
+                                codes: vec![(k % 3) as u32, (k % 2) as u32],
+                                coords: vec![
+                                    (k as f64 * 0.137).fract(),
+                                    (k as f64 * 0.291).fract(),
+                                ],
+                            }])
+                            .expect("submit");
+                        assert!(receipt.durable);
+                    }
+                });
+            }
+        });
+        let stats = queue.stats();
+        assert_eq!(stats.commits, 32);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.batches <= 32);
+        let epoch_seen = reader.epoch();
+        let db = queue.shutdown();
+        assert_eq!(db.applied_txns(), 32);
+        assert_eq!(db.durable_txns(), 32);
+        assert!(epoch_seen <= db.epoch());
+        assert_eq!(db.live_tuples(), 64 + 32);
+    }
+
+    #[test]
+    fn commit_queue_backpressure_is_typed_never_a_panic() {
+        // A writer throttled by a 200µs-per-fsync device, a queue of depth 1:
+        // try_submit from a second thread while the queue is busy must see
+        // Backpressure, and a zero-deadline submit must see Timeout.
+        let opts = DurabilityOptions { fsync_delay_us: 200, ..DurabilityOptions::default() };
+        let db = DurableDb::create(seed_relation(48), &PCubeConfig::default(), opts);
+        let queue = CommitQueue::start(
+            db,
+            CommitQueuePolicy { max_batch: 1, max_queue: 1, max_wait: Duration::ZERO },
+        );
+        let insert = |k: u64| {
+            vec![MaintenanceOp::Insert {
+                codes: vec![(k % 3) as u32, (k % 2) as u32],
+                coords: vec![(k as f64 * 0.137).fract(), (k as f64 * 0.291).fract()],
+            }]
+        };
+        let mut backpressured = 0u64;
+        let mut timed_out = 0u64;
+        std::thread::scope(|scope| {
+            let queue = &queue;
+            let flood = scope.spawn(move || {
+                for k in 0..32 {
+                    queue.submit(insert(k)).expect("flood submit");
+                }
+            });
+            for k in 100..200 {
+                match queue.try_submit(insert(k)) {
+                    Ok(_) => {}
+                    Err(CommitError::Backpressure { .. }) => backpressured += 1,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+                match queue.submit_timeout(insert(1000 + k), Duration::ZERO) {
+                    Ok(_) => {}
+                    Err(CommitError::Timeout { .. }) => timed_out += 1,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            flood.join().expect("flood thread");
+        });
+        assert!(backpressured > 0, "depth-1 queue under flood must push back");
+        assert!(timed_out > 0, "zero deadline must time out under flood");
+        let stats = queue.stats();
+        assert!(stats.max_queue_depth <= 1);
+        let db = queue.shutdown();
+        assert!(db.poisoned().is_none());
+        // Closed-queue submissions are typed too.
+    }
+
+    #[test]
+    fn commit_queue_rejects_after_shutdown_and_drains_admitted_work() {
+        let db = DurableDb::create(seed_relation(32), &PCubeConfig::default(), DurabilityOptions::default());
+        let queue = CommitQueue::start(db, CommitQueuePolicy::default());
+        let receipt = queue
+            .submit(vec![MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![0.5, 0.5] }])
+            .expect("submit");
+        assert!(receipt.durable);
+        let db = queue.shutdown();
+        assert_eq!(db.applied_txns(), 1);
+
+        let queue = CommitQueue::start(db, CommitQueuePolicy::default());
+        queue.close();
+        let err = queue
+            .submit(vec![MaintenanceOp::Insert { codes: vec![0, 0], coords: vec![0.1, 0.1] }])
+            .expect_err("closed queue");
+        assert!(matches!(err, CommitError::Closed));
+        let db = queue.shutdown();
+        assert_eq!(db.applied_txns(), 1);
+    }
+
+    #[test]
+    fn epoch_publish_shares_clean_state_with_the_master() {
+        // The COW pillar end-to-end: consecutive snapshots of a database
+        // share untouched pages/chunks instead of deep-copying them. Needs
+        // more than one 4096-row column chunk so a frozen chunk exists to
+        // share; the appends below only re-own the partial tail chunk.
+        let mut db = DurableDb::create(seed_relation(5000), &PCubeConfig::default(), DurabilityOptions::default());
+        let reader = db.reader();
+        let before = reader.snapshot();
+        db.apply(&some_ops(&db, 0)).expect("apply");
+        let after = reader.snapshot();
+        let shared = after
+            .db()
+            .rtree
+            .pager()
+            .pages_shared_with(before.db().rtree.pager());
+        assert!(
+            shared > 0,
+            "consecutive epochs must share clean R-tree pages (got {shared})"
+        );
+        assert!(after.db().relation.chunks_shared_with(&before.db().relation) > 0);
     }
 
     #[test]

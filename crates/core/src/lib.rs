@@ -47,8 +47,9 @@ pub mod store;
 pub use admission::{AdmissionError, AdmissionGate, AdmissionPermit};
 pub use bloom::BloomSignature;
 pub use durable::{
-    CheckpointImage, CheckpointOutcome, CommitReceipt, DurabilityError, DurabilityOptions,
-    DurableDb, DurableState, EpochReader, EpochSnapshot, MaintenanceOp, RecoveryReport,
+    CheckpointImage, CheckpointOutcome, CommitError, CommitQueue, CommitQueuePolicy,
+    CommitReceipt, DurabilityError, DurabilityOptions, DurableDb, DurableState, EpochReader,
+    EpochSnapshot, GroupCommitStats, MaintenanceOp, RecoveryReport,
 };
 pub use pcube::{PCube, PCubeConfig, PCubeDb, SigTouch};
 pub use persist::PersistError;

@@ -2,6 +2,7 @@
 //! maintenance (§IV, §IV-B.3).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pcube_cube::{
     group_by, normalize, CellKey, CellRegistry, CuboidMask, MaterializationPlan, Relation,
@@ -62,9 +63,22 @@ pub struct SigTouch {
 /// `Clone` is a deep copy over cloned pagers (see [`SignatureStore`]).
 #[derive(Clone)]
 pub struct PCube {
-    pub(crate) registry: CellRegistry,
+    /// `Arc` so epoch snapshots share the cell registry instead of
+    /// reallocating every key: maintenance of an existing cell only reads
+    /// it, and the rare first-seen cell re-owns it once.
+    pub(crate) registry: Arc<CellRegistry>,
     pub(crate) store: SignatureStore,
     pub(crate) cuboids: Vec<CuboidMask>,
+}
+
+/// Registry intern that preserves sharing: a hit (the overwhelmingly common
+/// case during maintenance) never clones; only a genuinely new cell re-owns
+/// the shared registry.
+fn intern_cow(registry: &mut Arc<CellRegistry>, key: CellKey) -> u32 {
+    if let Some(code) = registry.code(&key) {
+        return code;
+    }
+    Arc::make_mut(registry).intern(key)
 }
 
 impl PCube {
@@ -100,7 +114,7 @@ impl PCube {
                 store.write_signature(code, &sig);
             }
         }
-        PCube { registry, store, cuboids }
+        PCube { registry: Arc::new(registry), store, cuboids }
     }
 
     /// The signature store (sizes, partial counts, raw loads).
@@ -241,7 +255,7 @@ impl PCube {
         self.store.set_height(rtree_height);
         // (cell code, clears, sets)
         let mut changes: HashMap<u32, CellChanges> = HashMap::new();
-        let mut add = |registry: &mut CellRegistry,
+        let mut add = |registry: &mut Arc<CellRegistry>,
                        cuboids: &[CuboidMask],
                        tid: u64,
                        old: Option<&Path>,
@@ -249,7 +263,7 @@ impl PCube {
             for &cuboid in cuboids {
                 let values: Vec<u32> =
                     cuboid.dims().iter().map(|&d| relation.bool_code(tid, d)).collect();
-                let code = registry.intern(CellKey { mask: cuboid, values });
+                let code = intern_cow(registry, CellKey { mask: cuboid, values });
                 let entry = changes.entry(code).or_default();
                 if let Some(p) = old {
                     entry.0.push(p.clone());
@@ -449,11 +463,14 @@ impl PCubeDb {
         Some(self.pcube.apply_delta(&self.relation, &delta, self.rtree.height()))
     }
 
-    /// A deep, independently-queryable copy for epoch snapshots: every pager
-    /// is cloned, only the I/O ledger is shared (snapshot reads keep being
-    /// charged to the database's cost accounting). The admission gate is
-    /// *not* carried over — snapshot readers are admitted by the live
-    /// database, not by its frozen copies.
+    /// An independently-queryable copy for epoch snapshots. Pagers and
+    /// relation columns are copy-on-write (`O(1)` refcount bumps; see
+    /// `pcube_storage::Pager` and `pcube_cube::Relation`), so this is cheap
+    /// regardless of database size — the writer re-owns only the pages and
+    /// column chunks it actually dirties afterwards. Only the I/O ledger is
+    /// shared (snapshot reads keep being charged to the database's cost
+    /// accounting). The admission gate is *not* carried over — snapshot
+    /// readers are admitted by the live database, not by its frozen copies.
     pub fn clone_snapshot(&self) -> PCubeDb {
         PCubeDb {
             relation: self.relation.clone(),
@@ -463,7 +480,17 @@ impl PCubeDb {
             admission: None,
         }
     }
+}
 
+/// Same as [`PCubeDb::clone_snapshot`] — exists so `Arc::make_mut` can
+/// re-own a shared database on the copy-on-write write path.
+impl Clone for PCubeDb {
+    fn clone(&self) -> Self {
+        self.clone_snapshot()
+    }
+}
+
+impl PCubeDb {
     /// Builds a [`Selection`] from `(dimension name, value)` pairs.
     ///
     /// # Panics

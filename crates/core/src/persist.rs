@@ -32,6 +32,8 @@
 //! assert_eq!(again.relation().len(), 2);
 //! ```
 
+use std::sync::Arc;
+
 use pcube_cube::{CellKey, CuboidMask, Relation, Schema};
 use pcube_rtree::{RTree, RTreeConfig};
 use pcube_storage::{crc32, IoCategory, IoStats, PageId, Pager};
@@ -307,12 +309,12 @@ pub(crate) fn write_relation_payload(relation: &Relation, payload: &mut Vec<u8>)
     }
     put_u64(payload, relation.len() as u64);
     for d in 0..schema.n_bool() {
-        for &c in relation.bool_column(d) {
+        for c in relation.bool_column(d) {
             put_u32(payload, c);
         }
     }
     for d in 0..schema.n_pref() {
-        for &x in relation.pref_column(d) {
+        for x in relation.pref_column(d) {
             put_f64(payload, x);
         }
     }
@@ -544,7 +546,7 @@ impl PCubeDb {
         Ok(PCubeDb {
             relation,
             rtree,
-            pcube: PCube { registry, store, cuboids },
+            pcube: PCube { registry: Arc::new(registry), store, cuboids },
             stats,
             // Admission control is runtime configuration, not data: a
             // reopened database starts ungated.

@@ -297,7 +297,7 @@ impl Planner {
         let value_counts = (0..n_bool)
             .map(|dim| {
                 let mut counts: HashMap<u32, u64> = HashMap::new();
-                for &v in relation.bool_column(dim) {
+                for v in relation.bool_column(dim) {
                     *counts.entry(v).or_default() += 1;
                 }
                 counts

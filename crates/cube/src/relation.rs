@@ -1,11 +1,67 @@
 //! The columnar base table with a simulated heap file.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use pcube_storage::{IoCategory, SharedStats};
 
 use crate::predicate::Selection;
 use crate::schema::{Dictionary, Schema};
+
+/// Rows per column chunk (power of two). Columns are append-only, so all
+/// chunks but the last are frozen; sharing them via `Arc` makes cloning a
+/// relation for an epoch snapshot `O(1)` and an append after a snapshot
+/// re-own at most one partial chunk — never the whole column.
+const CHUNK_ROWS: usize = 4096;
+
+/// An append-only columnar vector chunked for copy-on-write sharing.
+///
+/// Two levels of `Arc`: the chunk spine is shared wholesale on clone (one
+/// refcount bump), and each chunk is shared until a push must re-own the
+/// last, partial one. Frozen (full) chunks are never copied again.
+#[derive(Clone)]
+struct ChunkedCol<T> {
+    chunks: Arc<Vec<Arc<Vec<T>>>>,
+    len: usize,
+}
+
+impl<T: Copy> ChunkedCol<T> {
+    fn new() -> Self {
+        ChunkedCol { chunks: Arc::new(Vec::new()), len: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> T {
+        self.chunks[i / CHUNK_ROWS][i % CHUNK_ROWS]
+    }
+
+    fn push(&mut self, v: T) {
+        let chunks = Arc::make_mut(&mut self.chunks);
+        if self.len.is_multiple_of(CHUNK_ROWS) {
+            chunks.push(Arc::new(Vec::with_capacity(CHUNK_ROWS)));
+        }
+        let last = chunks.last_mut().expect("invariant: chunk was just ensured");
+        Arc::make_mut(last).push(v);
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.chunks.iter().flat_map(|c| c.iter().copied())
+    }
+
+    /// Number of frozen chunks physically shared (same `Arc`) with `other`.
+    fn chunks_shared_with(&self, other: &Self) -> usize {
+        self.chunks
+            .iter()
+            .zip(other.chunks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+}
 
 /// The base relation `R`: boolean columns (dictionary-encoded `u32`) and
 /// preference columns (`f64`), stored column-wise, plus a *simulated heap
@@ -19,10 +75,14 @@ use crate::schema::{Dictionary, Schema};
 ///   the boolean-first baseline).
 #[derive(Clone)]
 pub struct Relation {
-    schema: Schema,
-    dictionaries: Vec<Dictionary>,
-    bool_cols: Vec<Vec<u32>>,
-    pref_cols: Vec<Vec<f64>>,
+    /// Shared, not deep-cloned: the schema is immutable after construction
+    /// and the dictionaries mutate only on string-valued appends (never on
+    /// the coded maintenance path), so epoch snapshots share them via `Arc`
+    /// instead of reallocating every name and value string per clone.
+    schema: Arc<Schema>,
+    dictionaries: Arc<Vec<Dictionary>>,
+    bool_cols: Vec<ChunkedCol<u32>>,
+    pref_cols: Vec<ChunkedCol<f64>>,
     page_size: usize,
     stats: Option<SharedStats>,
 }
@@ -33,10 +93,10 @@ impl Relation {
         let nb = schema.n_bool();
         let np = schema.n_pref();
         Relation {
-            schema,
-            dictionaries: vec![Dictionary::new(); nb],
-            bool_cols: vec![Vec::new(); nb],
-            pref_cols: vec![Vec::new(); np],
+            schema: Arc::new(schema),
+            dictionaries: Arc::new(vec![Dictionary::new(); nb]),
+            bool_cols: vec![ChunkedCol::new(); nb],
+            pref_cols: vec![ChunkedCol::new(); np],
             page_size: pcube_storage::PAGE_SIZE,
             stats: None,
         }
@@ -63,19 +123,38 @@ impl Relation {
     /// Panics if the dimension's dictionary is not empty.
     pub fn restore_dictionary(&mut self, dim: usize, values: &[String]) {
         assert!(self.dictionaries[dim].is_empty(), "dictionary already populated");
+        let dicts = Arc::make_mut(&mut self.dictionaries);
         for v in values {
-            self.dictionaries[dim].intern(v);
+            dicts[dim].intern(v);
         }
     }
 
-    /// The raw code column of boolean dimension `dim`.
-    pub fn bool_column(&self, dim: usize) -> &[u32] {
-        &self.bool_cols[dim]
+    /// Iterates the code column of boolean dimension `dim` in tid order.
+    pub fn bool_column(&self, dim: usize) -> impl Iterator<Item = u32> + '_ {
+        self.bool_cols[dim].iter()
     }
 
-    /// The raw coordinate column of preference dimension `dim`.
-    pub fn pref_column(&self, dim: usize) -> &[f64] {
-        &self.pref_cols[dim]
+    /// Iterates the coordinate column of preference dimension `dim` in tid
+    /// order.
+    pub fn pref_column(&self, dim: usize) -> impl Iterator<Item = f64> + '_ {
+        self.pref_cols[dim].iter()
+    }
+
+    /// Number of column chunks physically shared (same allocation) with a
+    /// clone of this relation, summed over all columns. Epoch-snapshot tests
+    /// use this to assert that cloning is copy-on-write, not a deep copy.
+    pub fn chunks_shared_with(&self, other: &Relation) -> usize {
+        self.bool_cols
+            .iter()
+            .zip(&other.bool_cols)
+            .map(|(a, b)| a.chunks_shared_with(b))
+            .sum::<usize>()
+            + self
+                .pref_cols
+                .iter()
+                .zip(&other.pref_cols)
+                .map(|(a, b)| a.chunks_shared_with(b))
+                .sum::<usize>()
     }
 
     /// Number of rows; row ids (tids) are `0..len`.
@@ -107,25 +186,28 @@ impl Relation {
     /// Appends a row with string boolean values (interned on the fly).
     pub fn push(&mut self, bool_values: &[&str], pref_coords: &[f64]) -> u64 {
         assert_eq!(bool_values.len(), self.schema.n_bool(), "boolean arity");
-        let codes: Vec<u32> =
-            bool_values.iter().zip(&mut self.dictionaries).map(|(v, d)| d.intern(v)).collect();
+        let codes: Vec<u32> = bool_values
+            .iter()
+            .zip(Arc::make_mut(&mut self.dictionaries).iter_mut())
+            .map(|(v, d)| d.intern(v))
+            .collect();
         self.push_coded(&codes, pref_coords)
     }
 
     /// Code of boolean dimension `dim` in row `tid` (no I/O charge; use
     /// [`Relation::fetch`] when the access models a disk read).
     pub fn bool_code(&self, tid: u64, dim: usize) -> u32 {
-        self.bool_cols[dim][tid as usize]
+        self.bool_cols[dim].get(tid as usize)
     }
 
     /// Coordinates of row `tid` on all preference dimensions.
     pub fn pref_coords(&self, tid: u64) -> Vec<f64> {
-        self.pref_cols.iter().map(|c| c[tid as usize]).collect()
+        self.pref_cols.iter().map(|c| c.get(tid as usize)).collect()
     }
 
     /// Value of preference dimension `dim` in row `tid`.
     pub fn pref_value(&self, tid: u64, dim: usize) -> f64 {
-        self.pref_cols[dim][tid as usize]
+        self.pref_cols[dim].get(tid as usize)
     }
 
     /// Bytes one tuple occupies in the simulated heap file.
@@ -150,7 +232,7 @@ impl Relation {
         if let Some(stats) = &self.stats {
             stats.record_reads(IoCategory::TupleRandomAccess, 1);
         }
-        self.bool_cols.iter().map(|c| c[tid as usize]).collect()
+        self.bool_cols.iter().map(|c| c.get(tid as usize)).collect()
     }
 
     /// `true` if row `tid` satisfies the conjunctive selection (no I/O
@@ -253,6 +335,32 @@ mod tests {
         assert_eq!(hits, 500);
         assert_eq!(stats.reads(IoCategory::HeapScan), r.heap_pages());
         assert!(r.heap_pages() < 5000 / 100, "pages should batch many tuples");
+    }
+
+    #[test]
+    fn clone_shares_chunks_and_append_reowns_only_the_tail() {
+        let mut r = Relation::new(Schema::new(&["A"], &["X"]));
+        // 2.5 chunks worth of rows: two frozen chunks + one partial.
+        let n = CHUNK_ROWS * 2 + CHUNK_ROWS / 2;
+        for i in 0..n {
+            r.push_coded(&[i as u32 % 7], &[i as f64]);
+        }
+        let snap = r.clone();
+        // 1 bool + 1 pref column, 3 chunks each, all shared right after clone.
+        assert_eq!(r.chunks_shared_with(&snap), 6);
+        r.push_coded(&[1], &[1.0]);
+        // Only the partial tail chunk of each column was re-owned.
+        assert_eq!(r.chunks_shared_with(&snap), 4);
+        // The snapshot is unaffected by the append.
+        assert_eq!(snap.len(), n);
+        assert_eq!(r.len(), n + 1);
+        assert_eq!(snap.pref_value((n - 1) as u64, 0), (n - 1) as f64);
+        assert_eq!(r.pref_value(n as u64, 0), 1.0);
+        // Reads across chunk boundaries agree with the iterator view.
+        let from_iter: Vec<f64> = r.pref_column(0).collect();
+        assert_eq!(from_iter.len(), n + 1);
+        assert_eq!(from_iter[CHUNK_ROWS], CHUNK_ROWS as f64);
+        assert_eq!(r.pref_value(CHUNK_ROWS as u64, 0), CHUNK_ROWS as f64);
     }
 
     #[test]

@@ -25,13 +25,50 @@ pub struct FaultCounts {
     pub bit_flips: u64,
     /// Allocations denied by the budget.
     pub denied_allocs: u64,
+    /// WAL fsync attempts that failed transiently (each is retried with
+    /// exponential backoff by the log writer).
+    pub fsync_failures: u64,
+    /// WAL images torn at an arbitrary byte offset.
+    pub wal_torn: u64,
+    /// WAL images with one flipped bit (at-rest rot, caught by frame CRCs).
+    pub wal_bit_rot: u64,
 }
 
 impl FaultCounts {
     /// Total number of injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.read_errors + self.write_errors + self.torn_writes + self.bit_flips + self.denied_allocs
+        self.read_errors
+            + self.write_errors
+            + self.torn_writes
+            + self.bit_flips
+            + self.denied_allocs
+            + self.fsync_failures
+            + self.wal_torn
+            + self.wal_bit_rot
     }
+}
+
+/// Damage a fault plan inflicted on a durable WAL byte image.
+///
+/// Produced by [`FaultPlan::damage_wal_image`]: crash-recovery harnesses
+/// mangle the surviving log bytes with this before reopening the database,
+/// and assert recovery degrades gracefully (truncate-and-report, no panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalDamage {
+    /// The image was cut to `at` bytes — a write torn mid-frame at an
+    /// arbitrary byte offset (possibly inside a length header or CRC).
+    Torn {
+        /// Surviving prefix length in bytes.
+        at: usize,
+    },
+    /// Bit `mask` of byte `byte` flipped at rest; the frame it lands in no
+    /// longer matches its CRC32.
+    BitRot {
+        /// Byte offset of the flip within the image.
+        byte: usize,
+        /// Single-bit XOR mask.
+        mask: u8,
+    },
 }
 
 /// What a fault plan decided to do to one write. Crate-private: the pager is
@@ -65,6 +102,9 @@ pub struct FaultPlan {
     write_error: f64,
     torn_write: f64,
     bit_flip: f64,
+    fsync_failure: f64,
+    wal_torn: f64,
+    wal_bit_rot: f64,
     alloc_budget: Option<u64>,
     counts: FaultCounts,
 }
@@ -80,6 +120,9 @@ impl FaultPlan {
             write_error: 0.0,
             torn_write: 0.0,
             bit_flip: 0.0,
+            fsync_failure: 0.0,
+            wal_torn: 0.0,
+            wal_bit_rot: 0.0,
             alloc_budget: None,
             counts: FaultCounts::default(),
         }
@@ -106,6 +149,29 @@ impl FaultPlan {
     /// Probability that a write silently flips one stored bit.
     pub fn with_bit_flips(mut self, p: f64) -> Self {
         self.bit_flip = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that one WAL fsync *attempt* fails transiently. The log
+    /// writer retries with exponential backoff (recording
+    /// `wal_retries`/`wal_backoff_us` in [`crate::IoStats`]) and surfaces a
+    /// typed error only once the retry budget is exhausted.
+    pub fn with_fsync_failures(mut self, p: f64) -> Self {
+        self.fsync_failure = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that [`FaultPlan::damage_wal_image`] tears the durable WAL
+    /// image at an arbitrary byte offset.
+    pub fn with_wal_torn(mut self, p: f64) -> Self {
+        self.wal_torn = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that [`FaultPlan::damage_wal_image`] flips one stored bit
+    /// of the durable WAL image (at-rest rot).
+    pub fn with_wal_bit_rot(mut self, p: f64) -> Self {
+        self.wal_bit_rot = p.clamp(0.0, 1.0);
         self
     }
 
@@ -171,6 +237,46 @@ impl FaultPlan {
             return WriteEffect::BitFlip { byte, mask };
         }
         WriteEffect::Clean
+    }
+
+    pub(crate) fn fsync_attempt_fails(&mut self) -> bool {
+        let fail = self.roll(self.fsync_failure);
+        if fail {
+            self.counts.fsync_failures += 1;
+        }
+        fail
+    }
+
+    /// Rolls for at-rest damage to a durable WAL image of `len` bytes:
+    /// `Torn` cuts it at an arbitrary byte offset, `BitRot` flips one bit.
+    /// Returns `None` (image intact) when neither rate fires or `len` is 0.
+    pub fn next_wal_damage(&mut self, len: usize) -> Option<WalDamage> {
+        if len == 0 {
+            return None;
+        }
+        if self.roll(self.wal_torn) {
+            self.counts.wal_torn += 1;
+            return Some(WalDamage::Torn { at: (self.next() as usize) % len });
+        }
+        if self.roll(self.wal_bit_rot) {
+            self.counts.wal_bit_rot += 1;
+            let byte = (self.next() as usize) % len;
+            let mask = 1u8 << (self.next() % 8);
+            return Some(WalDamage::BitRot { byte, mask });
+        }
+        None
+    }
+
+    /// Rolls [`FaultPlan::next_wal_damage`] and applies the result to
+    /// `bytes` in place, returning what was done. Crash harnesses call this
+    /// on the surviving WAL image between "crash" and "reopen".
+    pub fn damage_wal_image(&mut self, bytes: &mut Vec<u8>) -> Option<WalDamage> {
+        let damage = self.next_wal_damage(bytes.len())?;
+        match damage {
+            WalDamage::Torn { at } => bytes.truncate(at),
+            WalDamage::BitRot { byte, mask } => bytes[byte] ^= mask,
+        }
+        Some(damage)
     }
 
     pub(crate) fn deny_alloc(&mut self) -> bool {

@@ -56,11 +56,11 @@ pub use buffer::{BufferPool, ShardedBufferPool};
 pub use bytes::{read_f64, read_u16, read_u32, read_u64, write_f64, write_u16, write_u32, write_u64};
 pub use crc::crc32;
 pub use error::{ImageError, PageOp, StorageError};
-pub use fault::{CrashPlan, CrashPoint, FaultCounts, FaultPlan};
+pub use fault::{CrashPlan, CrashPoint, FaultCounts, FaultPlan, WalDamage};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Pager;
 pub use stats::{CostModel, IoCategory, IoSnapshot, IoStats, SharedStats};
-pub use wal::{Lsn, StoreKind, TreeOp, Wal, WalRecord, WalReplay, WalStats};
+pub use wal::{Lsn, StoreKind, TreeOp, Wal, WalRecord, WalReplay, WalStats, WalSyncError};
 
 // The concurrent query engine shares pagers, the ledger and the sharded
 // buffer pool across scoped threads; regressing any of them to `!Sync`

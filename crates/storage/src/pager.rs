@@ -8,8 +8,42 @@ use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Pages per copy-on-write group. Cloning a pager shares the whole page
+/// table (one `Arc` bump); the first mutation after a clone re-owns the
+/// group spine and then only the touched groups, so the per-commit
+/// copy-on-write cost is `O(dirty pages + n_pages / GROUP_PAGES)` pointer
+/// copies instead of a deep copy of every page byte.
+const GROUP_PAGES: usize = 64;
+const GROUP_SHIFT: usize = 6;
+const GROUP_MASK: usize = GROUP_PAGES - 1;
+
+/// A fixed-size run of page slots sharing one `Arc`: the unit of
+/// copy-on-write between epoch snapshots. `sums` mirrors `Pager::verify`
+/// checksums slot-for-slot (zero when checksums are off).
+#[derive(Debug, Clone)]
+struct PageGroup {
+    slots: [Option<Arc<[u8]>>; GROUP_PAGES],
+    sums: [u32; GROUP_PAGES],
+}
+
+impl PageGroup {
+    fn empty() -> Self {
+        PageGroup { slots: std::array::from_fn(|_| None), sums: [0; GROUP_PAGES] }
+    }
+}
+
+/// Re-owns `slot`'s bytes if they are shared with another pager (an epoch
+/// snapshot) and returns exclusive access: the copy-on-write fault-in.
+fn page_mut(slot: &mut Arc<[u8]>) -> &mut [u8] {
+    if Arc::get_mut(slot).is_none() {
+        let owned: Arc<[u8]> = Arc::from(&slot[..]);
+        *slot = owned;
+    }
+    Arc::get_mut(slot).expect("invariant: page Arc was just made unique")
+}
 
 /// An installed fault plan plus an atomic mirror of whether it can fail
 /// reads. `try_read` consults only the flag on the hot path, so a plan that
@@ -59,12 +93,19 @@ impl FaultCell {
 #[derive(Debug)]
 pub struct Pager {
     page_size: usize,
-    pages: Vec<Option<Box<[u8]>>>,
+    /// Two-level copy-on-write page table: an `Arc` spine of `Arc` groups of
+    /// [`GROUP_PAGES`] slots each. Clones share the spine; mutations re-own
+    /// the spine once and then only the touched groups ([`page_mut`]), so an
+    /// epoch snapshot costs `O(1)` at publish time and `O(dirty)` at the
+    /// writer's next commit — never a deep copy of the clean pages.
+    table: Arc<Vec<Arc<PageGroup>>>,
+    /// Number of page slots handed out (live + dead); ids are dense in
+    /// `0..n_slots` and trailing group slots beyond it are always `None`.
+    n_slots: usize,
     free: Vec<PageId>,
     category: IoCategory,
     stats: SharedStats,
-    /// CRC32 per page slot, maintained only while `verify` is on.
-    sums: Vec<u32>,
+    /// Whether per-page CRC32s (stored per group) are maintained.
     verify: bool,
     /// Injected-fault schedule. Reads take `&self` from many query threads,
     /// so the plan sits behind a mutex — but `try_read` checks the cell's
@@ -87,17 +128,20 @@ pub struct Pager {
 }
 
 impl Clone for Pager {
-    /// Deep copy sharing the same [`SharedStats`] ledger. The fault plan (and
-    /// its schedule position) and the dirty set are cloned too; epoch
-    /// snapshots rely on this being a faithful, independently-mutable copy.
+    /// Copy-on-write copy sharing the same [`SharedStats`] ledger: the page
+    /// table is shared via `Arc` (an `O(1)` bump, no page bytes move) and
+    /// either side re-owns only the groups it subsequently mutates. The fault
+    /// plan (and its schedule position) and the dirty set are cloned too;
+    /// epoch snapshots rely on this being a faithful, independently-mutable
+    /// copy.
     fn clone(&self) -> Self {
         Pager {
             page_size: self.page_size,
-            pages: self.pages.clone(),
+            table: Arc::clone(&self.table),
+            n_slots: self.n_slots,
             free: self.free.clone(),
             category: self.category,
             stats: self.stats.clone(),
-            sums: self.sums.clone(),
             verify: self.verify,
             fault: self.fault.as_ref().map(|c| FaultCell::new(c.lock().clone())),
             read_delay: self.read_delay,
@@ -115,16 +159,56 @@ impl Pager {
         assert!(page_size > 0, "page size must be positive");
         Pager {
             page_size,
-            pages: Vec::new(),
+            table: Arc::new(Vec::new()),
+            n_slots: 0,
             free: Vec::new(),
             category,
             stats,
-            sums: Vec::new(),
             verify: false,
             fault: None,
             read_delay: None,
             dirty: BTreeSet::new(),
         }
+    }
+
+    /// Packs a dense slot vector into the two-level copy-on-write table.
+    fn build_table(pages: Vec<Option<Box<[u8]>>>) -> (Arc<Vec<Arc<PageGroup>>>, usize) {
+        let n_slots = pages.len();
+        let mut groups: Vec<Arc<PageGroup>> = Vec::with_capacity(n_slots.div_ceil(GROUP_PAGES));
+        let mut current = PageGroup::empty();
+        for (i, slot) in pages.into_iter().enumerate() {
+            current.slots[i & GROUP_MASK] = slot.map(Arc::from);
+            if i & GROUP_MASK == GROUP_MASK {
+                groups.push(Arc::new(std::mem::replace(&mut current, PageGroup::empty())));
+            }
+        }
+        if n_slots & GROUP_MASK != 0 {
+            groups.push(Arc::new(current));
+        }
+        (Arc::new(groups), n_slots)
+    }
+
+    /// The slot for page id `idx`, `None` when dead or out of range.
+    #[inline]
+    fn slot(&self, idx: usize) -> Option<&Arc<[u8]>> {
+        if idx >= self.n_slots {
+            return None;
+        }
+        self.table[idx >> GROUP_SHIFT].slots[idx & GROUP_MASK].as_ref()
+    }
+
+    /// The recorded checksum of slot `idx` (only meaningful while `verify`).
+    #[inline]
+    fn sum(&self, idx: usize) -> u32 {
+        self.table[idx >> GROUP_SHIFT].sums[idx & GROUP_MASK]
+    }
+
+    /// Exclusive access to the group holding slot `idx`, re-owning the spine
+    /// and the group if they are shared with a snapshot (copy-on-write).
+    /// The caller must have bounds-checked `idx < n_slots`.
+    fn group_mut(&mut self, idx: usize) -> &mut PageGroup {
+        let table = Arc::make_mut(&mut self.table);
+        Arc::make_mut(&mut table[idx >> GROUP_SHIFT])
     }
 
     /// Rebuilds a pager from raw parts: the page table (dense slot vector,
@@ -147,13 +231,14 @@ impl Pager {
                 assert_eq!(p.len(), page_size, "page {i} has the wrong length");
             }
         }
+        let (table, n_slots) = Self::build_table(pages);
         Pager {
             page_size,
-            pages,
+            table,
+            n_slots,
             free,
             category,
             stats,
-            sums: Vec::new(),
             verify: false,
             fault: None,
             read_delay: None,
@@ -181,17 +266,31 @@ impl Pager {
 
     /// Number of live (allocated, not freed) pages.
     pub fn live_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.table.iter().flat_map(|g| g.slots.iter()).filter(|s| s.is_some()).count()
     }
 
     /// Ids of all live pages, in allocation order. Chaos tests use this to
     /// pick corruption targets.
     pub fn live_page_ids(&self) -> Vec<PageId> {
-        self.pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|_| PageId(i as u32)))
+        (0..self.n_slots)
+            .filter(|&i| self.slot(i).is_some())
+            .map(|i| PageId(i as u32))
             .collect()
+    }
+
+    /// Number of page slots whose bytes are physically shared (same `Arc`)
+    /// with `other` — i.e. pages a copy-on-write clone has *not* had to
+    /// duplicate. Tests use this to prove epoch snapshots share clean pages.
+    pub fn pages_shared_with(&self, other: &Pager) -> usize {
+        let mut shared = 0;
+        for idx in 0..self.n_slots.min(other.n_slots) {
+            if let (Some(a), Some(b)) = (self.slot(idx), other.slot(idx)) {
+                if Arc::ptr_eq(a, b) {
+                    shared += 1;
+                }
+            }
+        }
+        shared
     }
 
     /// Total bytes occupied by live pages.
@@ -201,7 +300,7 @@ impl Pager {
 
     /// Number of page slots (live + dead); ids are dense in `0..n_slots`.
     pub fn n_slots(&self) -> usize {
-        self.pages.len()
+        self.n_slots
     }
 
     /// The current free list, in pop order (last entry is allocated next).
@@ -212,7 +311,7 @@ impl Pager {
     /// The raw contents of a page, `None` if the slot is dead. Uncounted and
     /// unfaulted: this is the checkpointer's view of what memory holds.
     pub fn page_bytes(&self, pid: PageId) -> Option<&[u8]> {
-        self.pages.get(pid.index()).and_then(Option::as_ref).map(|p| &p[..])
+        self.slot(pid.index()).map(|p| &p[..])
     }
 
     /// Drains and returns the ids of pages mutated since the last drain, in
@@ -240,14 +339,13 @@ impl Pager {
     /// path. Enabling checksums (re)computes them for every live page.
     pub fn set_checksums(&mut self, on: bool) {
         self.verify = on;
-        if on {
-            self.sums = self
-                .pages
-                .iter()
-                .map(|slot| slot.as_ref().map_or(0, |p| crc32(p)))
-                .collect();
-        } else {
-            self.sums = Vec::new();
+        let table = Arc::make_mut(&mut self.table);
+        for group in table.iter_mut() {
+            let group = Arc::make_mut(group);
+            for i in 0..GROUP_PAGES {
+                group.sums[i] =
+                    if on { group.slots[i].as_ref().map_or(0, |p| crc32(p)) } else { 0 };
+            }
         }
     }
 
@@ -296,12 +394,15 @@ impl Pager {
     /// at-rest corruption ("bit rot"). Test hook for chaos harnesses.
     pub fn corrupt_page(&mut self, pid: PageId, offset: usize, xor_mask: u8) -> Result<(), StorageError> {
         let page_size = self.page_size;
-        let slot = self
-            .pages
-            .get_mut(pid.index())
-            .and_then(Option::as_mut)
+        let idx = pid.index();
+        if self.slot(idx).is_none() {
+            return Err(StorageError::DeadPage { pid, op: PageOp::Write });
+        }
+        let group = self.group_mut(idx);
+        let slot = group.slots[idx & GROUP_MASK]
+            .as_mut()
             .ok_or(StorageError::DeadPage { pid, op: PageOp::Write })?;
-        slot[offset % page_size] ^= xor_mask;
+        page_mut(slot)[offset % page_size] ^= xor_mask;
         Ok(())
     }
 
@@ -315,26 +416,30 @@ impl Pager {
                 return Err(StorageError::OutOfPages);
             }
         }
-        let zeroed = vec![0u8; self.page_size].into_boxed_slice();
+        let zeroed: Arc<[u8]> = vec![0u8; self.page_size].into();
         let zero_sum = if self.verify { crc32(&zeroed) } else { 0 };
         if let Some(pid) = self.free.pop() {
-            self.pages[pid.index()] = Some(zeroed);
-            if self.verify {
-                self.sums[pid.index()] = zero_sum;
-            }
+            let idx = pid.index();
+            let group = self.group_mut(idx);
+            group.slots[idx & GROUP_MASK] = Some(zeroed);
+            group.sums[idx & GROUP_MASK] = zero_sum;
             self.dirty.insert(pid.0);
             return Ok(pid);
         }
         // PageId::INVALID (u32::MAX) is reserved, so the last usable id is
         // u32::MAX - 1.
-        let idx = self.pages.len();
+        let idx = self.n_slots;
         if idx >= u32::MAX as usize {
             return Err(StorageError::OutOfPages);
         }
-        self.pages.push(Some(zeroed));
-        if self.verify {
-            self.sums.push(zero_sum);
+        let table = Arc::make_mut(&mut self.table);
+        if idx >> GROUP_SHIFT == table.len() {
+            table.push(Arc::new(PageGroup::empty()));
         }
+        let group = Arc::make_mut(&mut table[idx >> GROUP_SHIFT]);
+        group.slots[idx & GROUP_MASK] = Some(zeroed);
+        group.sums[idx & GROUP_MASK] = zero_sum;
+        self.n_slots += 1;
         self.dirty.insert(idx as u32);
         Ok(PageId(idx as u32))
     }
@@ -350,13 +455,14 @@ impl Pager {
     /// Returns [`StorageError::DoubleFree`] for a page that is already free
     /// and [`StorageError::DeadPage`] for one that never existed.
     pub fn try_free(&mut self, pid: PageId) -> Result<(), StorageError> {
-        let slot = self
-            .pages
-            .get_mut(pid.index())
-            .ok_or(StorageError::DeadPage { pid, op: PageOp::Free })?;
-        if slot.take().is_none() {
+        let idx = pid.index();
+        if idx >= self.n_slots {
+            return Err(StorageError::DeadPage { pid, op: PageOp::Free });
+        }
+        if self.slot(idx).is_none() {
             return Err(StorageError::DoubleFree { pid });
         }
+        self.group_mut(idx).slots[idx & GROUP_MASK] = None;
         self.free.push(pid);
         self.dirty.insert(pid.0);
         Ok(())
@@ -391,13 +497,10 @@ impl Pager {
                 return Err(StorageError::Io { pid, op: PageOp::Read });
             }
         }
-        let page = self
-            .pages
-            .get(pid.index())
-            .and_then(Option::as_ref)
-            .ok_or(StorageError::DeadPage { pid, op: PageOp::Read })?;
+        let page =
+            self.slot(pid.index()).ok_or(StorageError::DeadPage { pid, op: PageOp::Read })?;
         if self.verify {
-            let expected = self.sums.get(pid.index()).copied().unwrap_or(0);
+            let expected = self.sum(pid.index());
             let actual = crc32(page);
             if expected != actual {
                 return Err(StorageError::Corrupt { pid, expected, actual });
@@ -422,9 +525,7 @@ impl Pager {
     /// [`crate::BufferPool`] (which charges only on cache miss) and in-memory
     /// rebuild passes that the paper does not count as query I/O.
     pub fn read_uncounted(&self, pid: PageId) -> &[u8] {
-        self.pages
-            .get(pid.index())
-            .and_then(Option::as_ref)
+        self.slot(pid.index())
             .unwrap_or_else(|| panic!("{}", StorageError::DeadPage { pid, op: PageOp::Read }))
     }
 
@@ -446,23 +547,28 @@ impl Pager {
         if effect == WriteEffect::Fail {
             return Err(StorageError::Io { pid, op: PageOp::Write });
         }
-        let slot = self
-            .pages
-            .get_mut(pid.index())
-            .and_then(Option::as_mut)
+        let idx = pid.index();
+        if self.slot(idx).is_none() {
+            return Err(StorageError::DeadPage { pid, op: PageOp::Write });
+        }
+        let verify = self.verify;
+        let group = self.group_mut(idx);
+        let slot = group.slots[idx & GROUP_MASK]
+            .as_mut()
             .ok_or(StorageError::DeadPage { pid, op: PageOp::Write })?;
+        let page = page_mut(slot);
         match effect {
-            WriteEffect::Clean | WriteEffect::Fail => slot.copy_from_slice(data),
-            WriteEffect::Torn(n) => slot[..n].copy_from_slice(&data[..n]),
+            WriteEffect::Clean | WriteEffect::Fail => page.copy_from_slice(data),
+            WriteEffect::Torn(n) => page[..n].copy_from_slice(&data[..n]),
             WriteEffect::BitFlip { byte, mask } => {
-                slot.copy_from_slice(data);
-                slot[byte] ^= mask;
+                page.copy_from_slice(data);
+                page[byte] ^= mask;
             }
         }
-        if self.verify {
+        if verify {
             // Checksum of the *intended* bytes: torn/bit-flipped writes are
             // detected when the page is next read.
-            self.sums[pid.index()] = crc32(data);
+            group.sums[idx & GROUP_MASK] = crc32(data);
         }
         self.dirty.insert(pid.0);
         Ok(())
@@ -502,19 +608,23 @@ impl Pager {
         if effect == WriteEffect::Fail {
             return Err(StorageError::Io { pid, op: PageOp::Update });
         }
+        let idx = pid.index();
+        if self.slot(idx).is_none() {
+            return Err(StorageError::DeadPage { pid, op: PageOp::Update });
+        }
         let verify = self.verify;
-        let slot = self
-            .pages
-            .get_mut(pid.index())
-            .and_then(Option::as_mut)
+        let group = self.group_mut(idx);
+        let slot = group.slots[idx & GROUP_MASK]
+            .as_mut()
             .ok_or(StorageError::DeadPage { pid, op: PageOp::Update })?;
-        let out = f(slot);
-        let sum = if verify { crc32(slot) } else { 0 };
+        let page = page_mut(slot);
+        let out = f(page);
+        let sum = if verify { crc32(page) } else { 0 };
         if let WriteEffect::BitFlip { byte, mask } = effect {
-            slot[byte] ^= mask; // after the checksum: detected on next read
+            page[byte] ^= mask; // after the checksum: detected on next read
         }
         if verify {
-            self.sums[pid.index()] = sum;
+            group.sums[idx & GROUP_MASK] = sum;
         }
         self.dirty.insert(pid.0);
         Ok(out)
@@ -540,11 +650,11 @@ impl Pager {
         let mut buf = [0u8; 8];
         crate::write_u64(&mut buf, 0, self.page_size as u64);
         out.extend_from_slice(&buf);
-        crate::write_u64(&mut buf, 0, self.pages.len() as u64);
+        crate::write_u64(&mut buf, 0, self.n_slots as u64);
         out.extend_from_slice(&buf);
         let mut b4 = [0u8; 4];
-        for slot in &self.pages {
-            match slot {
+        for idx in 0..self.n_slots {
+            match self.slot(idx) {
                 None => out.push(0),
                 Some(p) => {
                     out.push(1);
@@ -643,14 +753,15 @@ impl Pager {
                 ),
             });
         }
+        let (table, n_slots) = Self::build_table(pages);
         Ok((
             Pager {
                 page_size,
-                pages,
+                table,
+                n_slots,
                 free,
                 category,
                 stats,
-                sums: Vec::new(),
                 verify: false,
                 fault: None,
                 read_delay: None,
@@ -1001,6 +1112,52 @@ mod tests {
         assert_eq!(q.read_uncounted(a)[0], 3);
         assert_eq!(q.allocate(), b, "free list survives");
         assert_eq!(q.take_dirty(), vec![b], "rebuild starts clean; only the new alloc is dirty");
+    }
+
+    #[test]
+    fn clone_shares_pages_until_either_side_writes() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let pids: Vec<PageId> = (0..200).map(|_| p.allocate()).collect();
+        for (i, &pid) in pids.iter().enumerate() {
+            p.write(pid, &[i as u8; 64]);
+        }
+        let mut q = p.clone();
+        assert_eq!(p.pages_shared_with(&q), 200, "a fresh clone shares every page");
+
+        // A write on either side re-owns only the touched page; the other
+        // side keeps the old bytes (snapshot isolation at page granularity).
+        q.write(pids[7], &[0xEE; 64]);
+        assert_eq!(p.pages_shared_with(&q), 199);
+        assert_eq!(p.read(pids[7])[0], 7, "the original must not see the clone's write");
+        assert_eq!(q.read(pids[7])[0], 0xEE);
+
+        p.update(pids[100], |b| b[0] = 0xAA);
+        assert_eq!(p.pages_shared_with(&q), 198);
+        assert_eq!(q.read(pids[100])[0], 100, "the clone must not see the original's update");
+
+        // Frees and recycled allocations on the clone leave the original intact.
+        q.free(pids[3]);
+        assert_eq!(q.allocate(), pids[3]);
+        assert!(q.read(pids[3]).iter().all(|&b| b == 0));
+        assert_eq!(p.read(pids[3])[0], 3);
+    }
+
+    #[test]
+    fn checksums_work_across_cow_clones() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        p.write(a, &[5u8; 64]);
+        p.set_checksums(true);
+        let mut q = p.clone();
+        q.write(a, &[6u8; 64]);
+        assert!(p.try_read(a).is_ok());
+        assert!(q.try_read(a).is_ok());
+        // Corruption on the clone is detected there and invisible to the
+        // original.
+        q.corrupt_page(a, 10, 0x40).unwrap();
+        assert!(matches!(q.try_read(a), Err(StorageError::Corrupt { .. })));
+        assert!(p.try_read(a).is_ok());
+        assert_eq!(p.read(a)[10], 5);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct IoStats {
     writes: [AtomicU64; 5],
     /// Signature loads that failed and fell back to unfiltered traversal.
     degraded_reads: AtomicU64,
+    /// WAL fsync attempts that failed transiently and were retried.
+    wal_retries: AtomicU64,
+    /// Total microseconds spent in exponential backoff between WAL fsync
+    /// retries. Soak harnesses assert this stays bounded — transient storage
+    /// faults must surface as bounded retries, never silent stalls.
+    wal_backoff_us: AtomicU64,
 }
 
 /// Reference-counted, thread-safe handle to an [`IoStats`] ledger.
@@ -153,6 +159,27 @@ impl IoStats {
         self.degraded_reads.load(Ordering::Relaxed)
     }
 
+    /// Records one retried WAL fsync and the backoff it paid before the
+    /// retry. The WAL's durability path calls this for every transient fsync
+    /// failure it absorbs, so harnesses can assert retries are bounded.
+    #[inline]
+    pub fn record_wal_retry(&self, backoff_us: u64) {
+        self.wal_retries.fetch_add(1, Ordering::Relaxed);
+        self.wal_backoff_us.fetch_add(backoff_us, Ordering::Relaxed);
+    }
+
+    /// Number of transiently-failed-and-retried WAL fsyncs so far.
+    #[inline]
+    pub fn wal_retries(&self) -> u64 {
+        self.wal_retries.load(Ordering::Relaxed)
+    }
+
+    /// Total microseconds of WAL fsync retry backoff paid so far.
+    #[inline]
+    pub fn wal_backoff_us(&self) -> u64 {
+        self.wal_backoff_us.load(Ordering::Relaxed)
+    }
+
     /// Copies the current counter values into an owned [`IoSnapshot`].
     ///
     /// Each counter is read independently; while other threads are recording,
@@ -176,6 +203,8 @@ impl IoStats {
                 load(&self.writes[4]),
             ],
             degraded_reads: load(&self.degraded_reads),
+            wal_retries: load(&self.wal_retries),
+            wal_backoff_us: load(&self.wal_backoff_us),
         }
     }
 
@@ -188,6 +217,8 @@ impl IoStats {
             c.store(0, Ordering::Relaxed);
         }
         self.degraded_reads.store(0, Ordering::Relaxed);
+        self.wal_retries.store(0, Ordering::Relaxed);
+        self.wal_backoff_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -198,6 +229,8 @@ pub struct IoSnapshot {
     reads: [u64; 5],
     writes: [u64; 5],
     degraded_reads: u64,
+    wal_retries: u64,
+    wal_backoff_us: u64,
 }
 
 impl IoSnapshot {
@@ -216,6 +249,16 @@ impl IoSnapshot {
         self.degraded_reads
     }
 
+    /// Retried WAL fsyncs recorded at snapshot time.
+    pub fn wal_retries(&self) -> u64 {
+        self.wal_retries
+    }
+
+    /// Microseconds of WAL fsync retry backoff recorded at snapshot time.
+    pub fn wal_backoff_us(&self) -> u64 {
+        self.wal_backoff_us
+    }
+
     /// Counter-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         let mut out = IoSnapshot::default();
@@ -224,6 +267,8 @@ impl IoSnapshot {
             out.writes[i] = self.writes[i].saturating_sub(earlier.writes[i]);
         }
         out.degraded_reads = self.degraded_reads.saturating_sub(earlier.degraded_reads);
+        out.wal_retries = self.wal_retries.saturating_sub(earlier.wal_retries);
+        out.wal_backoff_us = self.wal_backoff_us.saturating_sub(earlier.wal_backoff_us);
         out
     }
 

@@ -23,6 +23,41 @@
 
 use crate::crc::crc32;
 use crate::bytes::{read_u32, read_u64, write_u32, write_u64};
+use crate::fault::FaultPlan;
+use crate::stats::SharedStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Maximum fsync attempts before [`Wal::sync`] gives up with a typed error.
+const MAX_SYNC_ATTEMPTS: u32 = 6;
+
+/// Backoff before the first fsync retry, in microseconds; doubles per retry
+/// (20, 40, 80, 160, 320 µs — bounded at well under a millisecond total).
+const SYNC_BACKOFF_BASE_US: u64 = 20;
+
+/// The WAL could not be made durable: every fsync attempt failed, retries
+/// and backoff exhausted. The unsynced tail is still pending — nothing was
+/// lost, nothing was acknowledged — so the caller can surface a typed error
+/// to its clients and try again later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalSyncError {
+    /// Fsync attempts made (initial try + retries).
+    pub attempts: u32,
+    /// Total microseconds spent in exponential backoff between attempts.
+    pub backoff_us: u64,
+}
+
+impl fmt::Display for WalSyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wal fsync failed after {} attempts ({} us of backoff)",
+            self.attempts, self.backoff_us
+        )
+    }
+}
+
+impl std::error::Error for WalSyncError {}
 
 /// Log sequence number: the position of a record in the WAL, monotonically
 /// increasing from 1 and never reused (truncation keeps the counter).
@@ -345,19 +380,51 @@ pub struct Wal {
     tail_records: u64,
     next_lsn: Lsn,
     stats: WalStats,
+    /// Injected-fault schedule for the durability path (transient fsync
+    /// failures). `None` = healthy disk.
+    fault: Option<FaultPlan>,
+    /// Ledger that absorbed retries are reported to (`wal_retries`,
+    /// `wal_backoff_us`), so harnesses can assert they are bounded.
+    io_stats: Option<SharedStats>,
 }
 
 impl Wal {
     /// An empty log; the first record gets LSN 1.
     pub fn new() -> Self {
-        Wal { durable: Vec::new(), tail: Vec::new(), tail_records: 0, next_lsn: 1, stats: WalStats::default() }
+        Wal::from_durable(Vec::new(), 1)
     }
 
     /// Re-opens a log over bytes recovered from durable storage. `next_lsn`
     /// must exceed every LSN in `durable` (recovery computes it from the
     /// replay scan).
     pub fn from_durable(durable: Vec<u8>, next_lsn: Lsn) -> Self {
-        Wal { durable, tail: Vec::new(), tail_records: 0, next_lsn, stats: WalStats::default() }
+        Wal {
+            durable,
+            tail: Vec::new(),
+            tail_records: 0,
+            next_lsn,
+            stats: WalStats::default(),
+            fault: None,
+            io_stats: None,
+        }
+    }
+
+    /// Installs a deterministic fault schedule on the durability path:
+    /// [`Wal::sync`] consults it per fsync attempt and retries transient
+    /// failures with exponential backoff before surfacing [`WalSyncError`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes the fault plan, returning it (with its injection counts).
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// Attaches the shared I/O ledger that absorbed fsync retries and their
+    /// backoff are reported to.
+    pub fn attach_stats(&mut self, stats: SharedStats) {
+        self.io_stats = Some(stats);
     }
 
     /// Appends one framed record to the unsynced tail, returning its LSN.
@@ -393,14 +460,35 @@ impl Wal {
     }
 
     /// Makes the tail durable (models one fsync). Returns the bytes synced.
-    pub fn sync(&mut self) -> usize {
+    ///
+    /// With a fault plan armed ([`Wal::set_fault_plan`]), each fsync attempt
+    /// may fail transiently; failures are retried up to [`MAX_SYNC_ATTEMPTS`]
+    /// times with exponential backoff (each retry recorded on the attached
+    /// [`SharedStats`] ledger). When the budget is exhausted the tail stays
+    /// **pending** — not durable, but not lost either — and the caller gets a
+    /// typed [`WalSyncError`] instead of a panic or a silent half-sync.
+    pub fn sync(&mut self) -> Result<usize, WalSyncError> {
+        let mut attempts = 1u32;
+        let mut backoff_total = 0u64;
+        while self.fault.as_mut().is_some_and(FaultPlan::fsync_attempt_fails) {
+            if attempts >= MAX_SYNC_ATTEMPTS {
+                return Err(WalSyncError { attempts, backoff_us: backoff_total });
+            }
+            let backoff = SYNC_BACKOFF_BASE_US << (attempts - 1);
+            if let Some(stats) = &self.io_stats {
+                stats.record_wal_retry(backoff);
+            }
+            backoff_total += backoff;
+            std::thread::sleep(Duration::from_micros(backoff));
+            attempts += 1;
+        }
         let n = self.tail.len();
         self.durable.append(&mut self.tail);
         self.stats.syncs += 1;
         self.stats.records_synced += self.tail_records;
         self.stats.bytes_synced += n as u64;
         self.tail_records = 0;
-        n
+        Ok(n)
     }
 
     /// Models a crash **mid-fsync**: only the first `keep` bytes of the tail
@@ -527,6 +615,7 @@ fn peek_frame(bytes: &[u8], pos: usize) -> Option<(Lsn, WalRecord, usize)> {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::fault::WalDamage;
 
     fn sample_records() -> Vec<WalRecord> {
         vec![
@@ -561,7 +650,7 @@ mod tests {
         }
         assert_eq!(wal.durable_len(), 0, "nothing durable before sync");
         assert_eq!(wal.pending_records(), recs.len() as u64);
-        wal.sync();
+        wal.sync().unwrap();
         assert_eq!(wal.pending_records(), 0);
         let replay = Wal::replay(wal.durable_bytes());
         assert_eq!(replay.torn_tail_bytes, 0);
@@ -575,7 +664,7 @@ mod tests {
     fn unsynced_tail_is_lost() {
         let mut wal = Wal::new();
         wal.append(&WalRecord::Commit { txn: 1 });
-        wal.sync();
+        wal.sync().unwrap();
         wal.append(&WalRecord::Commit { txn: 2 });
         // No sync: a crash preserves only txn 1.
         let replay = Wal::replay(wal.durable_bytes());
@@ -587,7 +676,7 @@ mod tests {
     fn torn_sync_drops_the_partial_frame() {
         let mut wal = Wal::new();
         wal.append(&WalRecord::Commit { txn: 1 });
-        wal.sync();
+        wal.sync().unwrap();
         let durable_before = wal.durable_len();
         wal.append(&WalRecord::SigUpdate { txn: 2, cell: 1, sets: 1, clears: 0 });
         let torn_at = wal.pending_bytes() / 2;
@@ -603,7 +692,7 @@ mod tests {
         for r in sample_records() {
             wal.append(&r);
         }
-        wal.sync();
+        wal.sync().unwrap();
         let mut bytes = wal.durable_bytes().to_vec();
         // Flip a bit somewhere in the middle of the log.
         let mid = bytes.len() / 2;
@@ -623,7 +712,7 @@ mod tests {
         for txn in 1..=5u64 {
             wal.append(&WalRecord::Commit { txn });
         }
-        wal.sync();
+        wal.sync().unwrap();
         let reclaimed = wal.truncate_durable_before(4);
         assert!(reclaimed > 0);
         let replay = Wal::replay(wal.durable_bytes());
@@ -639,7 +728,7 @@ mod tests {
         for txn in 1..=5u64 {
             wal.append(&WalRecord::Commit { txn });
         }
-        wal.sync();
+        wal.sync().unwrap();
         let dropped = wal.truncate_durable_from(4);
         assert!(dropped > 0);
         let replay = Wal::replay(wal.durable_bytes());
@@ -661,12 +750,95 @@ mod tests {
     }
 
     #[test]
+    fn transient_fsync_failures_are_retried_with_bounded_backoff() {
+        let stats = crate::stats::IoStats::new_shared();
+        let mut wal = Wal::new();
+        wal.attach_stats(stats.clone());
+        // ~40% per-attempt failure rate: statistically certain to hit some
+        // retries over 50 syncs, statistically certain to never exhaust the
+        // 6-attempt budget on every single one.
+        wal.set_fault_plan(FaultPlan::seeded(77).with_fsync_failures(0.4));
+        let mut ok = 0u32;
+        for txn in 1..=50u64 {
+            wal.append(&WalRecord::Commit { txn });
+            if wal.sync().is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok > 0, "some syncs must eventually succeed");
+        assert!(stats.wal_retries() > 0, "retries must be reported, not silent");
+        assert!(stats.wal_backoff_us() > 0);
+        // Backoff is exponential from the base and capped by the attempt
+        // budget per sync.
+        let max_per_sync: u64 = (0..MAX_SYNC_ATTEMPTS - 1).map(|i| SYNC_BACKOFF_BASE_US << i).sum();
+        assert!(stats.wal_backoff_us() <= max_per_sync * 50);
+        let counts = wal.take_fault_plan().unwrap().counts();
+        assert_eq!(counts.fsync_failures, stats.wal_retries() + (50 - ok as u64), "every failed attempt is either retried or ends a failed sync");
+    }
+
+    #[test]
+    fn exhausted_fsync_retries_keep_the_tail_pending() {
+        let mut wal = Wal::new();
+        wal.set_fault_plan(FaultPlan::seeded(5).with_fsync_failures(1.0));
+        wal.append(&WalRecord::Commit { txn: 1 });
+        let err = wal.sync().unwrap_err();
+        assert_eq!(err.attempts, 6);
+        assert!(err.backoff_us > 0);
+        assert_eq!(wal.durable_len(), 0, "nothing became durable");
+        assert_eq!(wal.pending_records(), 1, "the tail is still pending, not lost");
+        // Healing the disk lets the same tail sync.
+        wal.take_fault_plan();
+        assert!(wal.sync().is_ok());
+        assert_eq!(Wal::replay(wal.durable_bytes()).records.len(), 1);
+    }
+
+    #[test]
+    fn wal_damage_tears_or_rots_deterministically_and_replay_survives() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r);
+        }
+        wal.sync().unwrap();
+        let image = wal.durable_bytes().to_vec();
+        let n = sample_records().len();
+        for seed in 0..50u64 {
+            let mut torn_plan = FaultPlan::seeded(seed).with_wal_torn(1.0);
+            let mut rot_plan = FaultPlan::seeded(seed).with_wal_bit_rot(1.0);
+            let mut a = image.clone();
+            let mut b = image.clone();
+            let da = torn_plan.damage_wal_image(&mut a).unwrap();
+            let db = rot_plan.damage_wal_image(&mut b).unwrap();
+            assert!(matches!(da, WalDamage::Torn { .. }));
+            assert!(matches!(db, WalDamage::BitRot { .. }));
+            // Determinism: the same seed reproduces the same damage.
+            let mut again = FaultPlan::seeded(seed).with_wal_torn(1.0);
+            assert_eq!(again.next_wal_damage(image.len()), Some(da));
+            for damaged in [a, b] {
+                let replay = Wal::replay(&damaged);
+                assert!(replay.records.len() <= n);
+                // The surviving prefix decodes to a prefix of the originals.
+                for ((_, got), want) in replay.records.iter().zip(sample_records()) {
+                    assert_eq!(*got, want);
+                }
+            }
+        }
+        let counts = {
+            let mut p = FaultPlan::seeded(9).with_wal_torn(1.0);
+            let mut img = image.clone();
+            p.damage_wal_image(&mut img);
+            p.counts()
+        };
+        assert_eq!(counts.wal_torn, 1);
+        assert_eq!(counts.total(), 1);
+    }
+
+    #[test]
     fn group_commit_batches_syncs() {
         let mut wal = Wal::new();
         for txn in 1..=8u64 {
             wal.append(&WalRecord::Commit { txn });
             if txn % 4 == 0 {
-                wal.sync();
+                wal.sync().unwrap();
             }
         }
         let stats = wal.stats();

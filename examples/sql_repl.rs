@@ -75,10 +75,20 @@ fn main() {
         // shutdown surfaces as a typed RecoveryReport, not a panic.
         Some("--durable") => {
             let Some(dir) = args.get(1) else {
-                eprintln!("usage: sql_repl --durable <dir>");
+                eprintln!("usage: sql_repl --durable <dir> [--fsync-every N]");
                 std::process::exit(2);
             };
-            let opts = DurabilityOptions::default();
+            let mut opts = DurabilityOptions::default();
+            // Group-commit window: fsync once per N commits instead of per
+            // commit. Commits inside the window report `durable: false`
+            // until the window's fsync lands.
+            if let Some(flag) = args.iter().position(|a| a == "--fsync-every") {
+                let every = args.get(flag + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fsync-every needs a number of commits");
+                    std::process::exit(2);
+                });
+                opts.fsync_every = every;
+            }
             if std::path::Path::new(dir).join("checkpoint.pcube").exists() {
                 match DurableDb::open_or_recover(dir, opts) {
                     Ok((db, report)) => {

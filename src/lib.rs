@@ -78,8 +78,11 @@ pub mod prelude {
         QueryStats, RankingFunction, RecoveryReport, Signature, SkylineOutcome, TopKOutcome,
         WeightedDistanceFn,
     };
+    pub use pcube_core::{CommitError, CommitQueue, CommitQueuePolicy, GroupCommitStats};
     pub use pcube_cube::{
         CellKey, CuboidMask, MaterializationPlan, Predicate, Relation, Schema, Selection,
     };
-    pub use pcube_storage::{CostModel, CrashPlan, CrashPoint, IoCategory};
+    pub use pcube_storage::{
+        CostModel, CrashPlan, CrashPoint, FaultPlan, IoCategory, WalDamage, WalSyncError,
+    };
 }

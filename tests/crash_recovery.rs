@@ -326,7 +326,7 @@ fn torn_fsync_tail_is_dropped_not_misread() {
     // Seeded torn-length plans land the crash mid-frame: recovery must
     // report a torn tail and still satisfy the contract.
     let steps = script();
-    let opts = DurabilityOptions { fsync_every: 2, checkpoint_every: 0 };
+    let opts = DurabilityOptions { fsync_every: 2, ..DurabilityOptions::default() };
 
     let mut counter = DurableDb::create(seed_relation(), &PCubeConfig::default(), opts);
     counter.set_crash_plan(CrashPlan::count_only());
@@ -357,6 +357,125 @@ fn torn_fsync_tail_is_dropped_not_misread() {
         }
     }
     assert!(torn_runs > 0, "no run produced a torn tail — the sweep never cut a frame");
+}
+
+// --------------------------------------------- at-rest WAL damage matrix --
+
+/// Seeds the damage sweep runs; CI's reduced matrix overrides via
+/// `PCUBE_DAMAGE_SEEDS`.
+fn damage_seeds() -> u64 {
+    std::env::var("PCUBE_DAMAGE_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Torn writes and bit rot strike the *surviving* WAL image between the
+/// crash and the reopen: every seeded cut or flipped bit must degrade into
+/// a typed `RecoveryReport` (truncate-and-report at the first bad frame),
+/// the recovered transaction set must stay a prefix of the applied order,
+/// and the recovered database must answer oracle-exact for that prefix.
+/// Never a panic, never a fabricated transaction.
+#[test]
+fn wal_damage_matrix_recovers_typed_and_prefix_closed() {
+    let steps = script();
+    // Odd seeds drop the checkpoints so the whole script rides in the WAL
+    // and damage can cut anywhere in 0..=N_TXNS; even seeds keep them, so
+    // damage also lands on post-checkpoint logs with marker records.
+    let no_ckpt: Vec<Step> =
+        steps.iter().filter(|s| matches!(s, Step::Txn(_))).cloned().collect();
+
+    let (mut torn_seen, mut rot_seen, mut lossy) = (0u64, 0u64, 0u64);
+    for seed in 0..damage_seeds() {
+        let script = if seed % 2 == 0 { &steps } else { &no_ckpt };
+        let mut db = DurableDb::create(
+            seed_relation(),
+            &PCubeConfig::default(),
+            DurabilityOptions::default(),
+        );
+        drive(&mut db, script).expect("clean drive");
+        let applied = db.applied_txns();
+        let mut state = db.durable_state();
+
+        let mut plan = FaultPlan::seeded(seed).with_wal_torn(0.5).with_wal_bit_rot(0.5);
+        match plan.damage_wal_image(&mut state.wal) {
+            Some(WalDamage::Torn { .. }) => torn_seen += 1,
+            Some(WalDamage::BitRot { .. }) => rot_seen += 1,
+            None => {}
+        }
+
+        let (recovered, report) =
+            DurableDb::open_or_recover_from_state(&state, DurabilityOptions::default())
+                .unwrap_or_else(|e| {
+                    panic!("seed {seed}: damaged-WAL recovery must degrade gracefully, got {e}")
+                });
+        let n = recovered.applied_txns();
+        assert!(
+            report.checkpoint_txns <= n && n <= applied,
+            "seed {seed}: recovered {n} outside [{}, {applied}]",
+            report.checkpoint_txns
+        );
+        if n < applied {
+            lossy += 1;
+            assert!(
+                report.torn_tail_bytes > 0 || report.txns_dropped > 0,
+                "seed {seed}: transactions vanished without the report saying so: {report}"
+            );
+        }
+        assert_oracle_exact(recovered.db(), n, &format!("damage seed {seed}"));
+        assert_recovered_is_reusable(recovered, &format!("damage seed {seed}"));
+    }
+    assert!(torn_seen > 0, "the sweep never tore the image");
+    assert!(rot_seen > 0, "the sweep never flipped a bit");
+    assert!(lossy > 0, "no damage ever reached a frame — the matrix tested nothing");
+}
+
+/// Transient fsync failures during the live workload: retries are bounded
+/// (exponential backoff, then a typed `WalSync` error), accounted on the
+/// I/O ledger — and the pending tail is never lost: it lands on a later
+/// sync or survives into recovery.
+#[test]
+fn transient_fsync_failures_retry_bounded_and_lose_nothing() {
+    let steps = script();
+    let (mut retried, mut terminal) = (0u64, 0u64);
+    for seed in 0..16 {
+        let mut db = DurableDb::create(
+            seed_relation(),
+            &PCubeConfig::default(),
+            DurabilityOptions::default(),
+        );
+        db.set_wal_fault_plan(FaultPlan::seeded(seed * 131 + 17).with_fsync_failures(0.6));
+        let outcome = drive(&mut db, &steps);
+        match &outcome {
+            Ok(_) => {}
+            Err(DurabilityError::WalSync { attempts, backoff_us }) => {
+                terminal += 1;
+                assert_eq!(*attempts, 6, "seed {seed}: retries must stop at the bound");
+                assert!(*backoff_us > 0, "seed {seed}: backoff went unaccounted");
+            }
+            Err(e) => panic!("seed {seed}: unexpected failure {e}"),
+        }
+        retried += db.db().stats().wal_retries();
+        let applied = db.applied_txns();
+        let acked = db.durable_txns();
+
+        // Heal the device; the pending tail must land, not evaporate.
+        db.take_wal_fault_plan();
+        db.sync().unwrap_or_else(|e| panic!("seed {seed}: healed sync failed: {e}"));
+        assert_eq!(db.durable_txns(), applied, "seed {seed}: tail lost after healing");
+
+        let (recovered, _) =
+            DurableDb::open_or_recover_from_state(&db.durable_state(), DurabilityOptions::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        let n = recovered.applied_txns();
+        assert!(
+            acked <= n && n <= applied,
+            "seed {seed}: contract violated (acked {acked}, recovered {n}, applied {applied})"
+        );
+        assert_oracle_exact(recovered.db(), n, &format!("fsync-fault seed {seed}"));
+    }
+    assert!(retried > 0, "the sweep never exercised a retry");
+    assert!(terminal > 0, "the sweep never exhausted the retry bound");
 }
 
 #[test]
