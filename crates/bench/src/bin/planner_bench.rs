@@ -24,7 +24,8 @@ use pcube_baselines::{
     BooleanFirstExecutor, BooleanIndexSet, DominationFirstExecutor, IndexMergeExecutor,
 };
 use pcube_core::{
-    EngineKind, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, Planner, QuerySpec,
+    EngineKind, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, PSkylineClass, Planner,
+    PriorityGraph, QueryBudget, QueryClass, QuerySpec, SubspaceSkylineClass,
 };
 use pcube_cube::{Predicate, Relation, Schema, Selection};
 use rand::rngs::StdRng;
@@ -106,6 +107,67 @@ struct WorkloadRow {
     measured_best: EngineKind,
     hit: bool,
     engines: Vec<EngineRun>,
+}
+
+/// Engines every plugged-in query class supports (index-merge is a
+/// ranking-only engine and stays out of the generic dispatch set).
+const CLASS_ENGINES: [EngineKind; 3] =
+    [EngineKind::PCube, EngineKind::BooleanFirst, EngineKind::DominationFirst];
+
+/// One calibration workload for a plugged-in [`QueryClass`]: measure every
+/// generic engine, compare against [`Planner::estimate_class`], record the
+/// pick, and oracle-check the planner-dispatched answer against the class's
+/// naive reference over an independently filtered candidate set.
+fn class_workload<C: QueryClass + Sync>(
+    db: &PCubeDb,
+    planner: &Planner,
+    class: &C,
+    label: &str,
+    sel: &Selection,
+    input: &[(u64, Vec<f64>)],
+) -> (WorkloadRow, bool)
+where
+    C::Row: PartialEq,
+{
+    let estimates = planner.estimate_class(sel, class);
+    let mut engines: Vec<EngineRun> = Vec::new();
+    for kind in CLASS_ENGINES {
+        let (_, stats) = db.run_class_on(class, sel, kind).expect("generic engine");
+        let est = estimates
+            .iter()
+            .find(|e| e.engine == kind)
+            .map(|e| e.blocks())
+            .unwrap_or(f64::NAN);
+        engines.push(EngineRun {
+            engine: kind,
+            estimated_blocks: est,
+            measured_blocks: stats.io.total_reads(),
+        });
+    }
+
+    let decision = planner.choose_class(sel, class, &CLASS_ENGINES);
+    let (got, _) = db
+        .plan_and_run_class(planner, class, sel, &QueryBudget::unlimited(), None)
+        .expect("planner dispatch");
+    let ok = got == class.oracle(input);
+
+    let measured_best = engines
+        .iter()
+        .min_by_key(|e| e.measured_blocks)
+        .expect("at least one engine")
+        .engine;
+    (
+        WorkloadRow {
+            label: format!("{label} / {}", class.name()),
+            selectivity: decision.selectivity,
+            qualifying: input.len(),
+            chosen: decision.chosen,
+            measured_best,
+            hit: decision.chosen == measured_best,
+            engines,
+        },
+        ok,
+    )
 }
 
 fn main() {
@@ -218,6 +280,28 @@ fn main() {
                 hit: decision.chosen == measured_best,
                 engines,
             });
+        }
+    }
+
+    // Plugged-in query classes ride the same sweep through the generic
+    // planner seam (estimate_class / choose_class / plan_and_run_class) —
+    // a second pass so the legacy workloads above keep an identical
+    // execution order and their measurements stay comparable run-to-run.
+    let pskyline = PSkylineClass::new(
+        PriorityGraph::new(vec![0, 1], &[(0, 1)]).expect("a single edge is a DAG"),
+    );
+    let subspace = SubspaceSkylineClass::new(vec![1]);
+    for (label, sel) in &selections {
+        let input = oracle_input(sel);
+        for (row, ok) in [
+            class_workload(&db, &planner, &pskyline, label, sel, &input),
+            class_workload(&db, &planner, &subspace, label, sel, &input),
+        ] {
+            if !ok {
+                eprintln!("ORACLE MISMATCH: {}", row.label);
+                mismatches += 1;
+            }
+            rows.push(row);
         }
     }
 

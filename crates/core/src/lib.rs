@@ -64,9 +64,11 @@ pub use query::{
     par_skyline_query_governed, par_topk_query, par_topk_query_governed, skyline_drill_down,
     skyline_query, skyline_query_governed, skyline_query_probed, skyline_roll_up,
     topk_drill_down, topk_query, topk_query_governed, topk_query_probed, topk_roll_up,
-    CancelToken, ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome,
-    ParallelOptions, Progress, QueryBudget, QueryOutcome, QueryStats, SkylineOutcome,
-    SkylineState, StageTimes, StopReason, TopKOutcome, TopKState,
+    CancelToken, ClassOutcome, DynamicSkylineClass, HullClass, PSkylineClass,
+    ParDynamicSkylineOutcome, ParHullOutcome, ParSkylineOutcome, ParTopKOutcome, ParallelOptions,
+    PriorityGraph, PriorityGraphError, Progress, QueryBudget, QueryClass, QueryOutcome,
+    QueryStats, SkyPoint, SkylineClass, SkylineOutcome, SkylineState, StageTimes, StopReason,
+    SubspaceSkylineClass, TopKClass, TopKOutcome, TopKState,
 };
 pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
 pub use signature::Signature;

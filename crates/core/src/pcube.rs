@@ -602,6 +602,114 @@ impl PCubeDb {
     }
 }
 
+/// The generic query-class entry points: any
+/// [`QueryClass`](crate::query::QueryClass) — built in or user defined —
+/// runs through these four methods with no facade changes.
+/// The named wrappers above (and the p-skyline / subspace wrappers below)
+/// are thin calls into the same machinery.
+impl PCubeDb {
+    /// Runs a pluggable query class through the serial Algorithm-1 kernel
+    /// under the signature probe.
+    pub fn run<C: crate::query::QueryClass>(
+        &self,
+        selection: &Selection,
+        class: &C,
+    ) -> crate::query::ClassOutcome<C::Row> {
+        crate::query::class::run_class(
+            self,
+            selection,
+            class,
+            false,
+            &crate::query::QueryBudget::unlimited(),
+            None,
+        )
+    }
+
+    /// [`Self::run`] under a [`QueryBudget`](crate::query::QueryBudget) and
+    /// optional [`CancelToken`](crate::query::CancelToken).
+    pub fn run_governed<C: crate::query::QueryClass>(
+        &self,
+        selection: &Selection,
+        class: &C,
+        budget: &crate::query::QueryBudget,
+        cancel: Option<&crate::query::CancelToken>,
+    ) -> crate::query::ClassOutcome<C::Row> {
+        crate::query::class::run_class(self, selection, class, false, budget, cancel)
+    }
+
+    /// [`Self::run`] with a parallel subtree fan-out; results are identical
+    /// to the serial run (the class's merge contract guarantees it).
+    pub fn par_run<C: crate::query::QueryClass + Sync>(
+        &self,
+        selection: &Selection,
+        class: &C,
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ClassOutcome<C::Row> {
+        crate::query::par_run_class(
+            self,
+            selection,
+            class,
+            opts,
+            &crate::query::QueryBudget::unlimited(),
+            None,
+        )
+    }
+
+    /// [`Self::par_run`] under a budget and optional cancel token.
+    pub fn par_run_governed<C: crate::query::QueryClass + Sync>(
+        &self,
+        selection: &Selection,
+        class: &C,
+        opts: crate::query::ParallelOptions,
+        budget: &crate::query::QueryBudget,
+        cancel: Option<&crate::query::CancelToken>,
+    ) -> crate::query::ClassOutcome<C::Row> {
+        crate::query::par_run_class(self, selection, class, opts, budget, cancel)
+    }
+
+    /// Prioritized skyline (p-skyline): the skyline under the priority
+    /// graph's dominance relation `≻_Γ` — serial.
+    pub fn pskyline(
+        &self,
+        selection: &Selection,
+        graph: &crate::query::PriorityGraph,
+    ) -> crate::query::ClassOutcome<(u64, Vec<f64>)> {
+        self.run(selection, &crate::query::PSkylineClass::new(graph.clone()))
+    }
+
+    /// Prioritized skyline with a parallel subtree fan-out.
+    pub fn par_pskyline(
+        &self,
+        selection: &Selection,
+        graph: &crate::query::PriorityGraph,
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ClassOutcome<(u64, Vec<f64>)> {
+        self.par_run(selection, &crate::query::PSkylineClass::new(graph.clone()), opts)
+    }
+
+    /// Subspace skyline: the skyline of the qualifying tuples projected
+    /// onto `dims`, with distinct-value semantics on the projection —
+    /// serial. Returned coordinate vectors hold only the projected
+    /// dimensions, in the order given.
+    pub fn subspace_skyline(
+        &self,
+        selection: &Selection,
+        dims: &[usize],
+    ) -> crate::query::ClassOutcome<(u64, Vec<f64>)> {
+        self.run(selection, &crate::query::SubspaceSkylineClass::new(dims.to_vec()))
+    }
+
+    /// Subspace skyline with a parallel subtree fan-out.
+    pub fn par_subspace_skyline(
+        &self,
+        selection: &Selection,
+        dims: &[usize],
+        opts: crate::query::ParallelOptions,
+    ) -> crate::query::ClassOutcome<(u64, Vec<f64>)> {
+        self.par_run(selection, &crate::query::SubspaceSkylineClass::new(dims.to_vec()), opts)
+    }
+}
+
 // The whole read path must stay shareable across threads: the parallel
 // engines and any multi-client server lean on this.
 const _: () = {

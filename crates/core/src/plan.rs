@@ -37,7 +37,8 @@ use pcube_cube::{normalize, Selection};
 use pcube_storage::CostModel;
 
 use crate::pcube::PCubeDb;
-use crate::query::{CancelToken, QueryBudget, QueryStats};
+use crate::query::class::{run_class, run_class_scan, run_class_verify_all};
+use crate::query::{CancelToken, QueryBudget, QueryClass, QueryStats};
 use crate::rank::RankingFunction;
 
 /// The engine families the planner chooses among (§VI-A).
@@ -108,6 +109,9 @@ impl CostEstimate {
 /// [`QueryStats`] for `EXPLAIN`-style reporting.
 #[derive(Debug, Clone)]
 pub struct PlanDecision {
+    /// The query class the plan was made for (a [`QueryClass::name`], or
+    /// `"topk"`/`"skyline"` for the legacy [`QuerySpec`] paths).
+    pub class: &'static str,
     /// The engine the planner dispatched to.
     pub chosen: EngineKind,
     /// Every candidate engine's estimate (including the winner's).
@@ -347,8 +351,10 @@ impl Planner {
     }
 
     /// Expected skyline size of `q` independently distributed points in
-    /// `dims` dimensions: `ln(1+q)^(dims-1)`, clamped to `[1, q]`.
-    fn skyline_size(q: f64, dims: usize) -> f64 {
+    /// `dims` dimensions: `ln(1+q)^(dims-1)`, clamped to `[1, q]`. Public
+    /// so [`crate::query::QueryClass::expected_results`] implementations
+    /// can reuse it.
+    pub fn skyline_size(q: f64, dims: usize) -> f64 {
         if q < 1.0 {
             return q.max(0.0);
         }
@@ -392,6 +398,33 @@ impl Planner {
     ///   `σ' = max(σ, 1/m)` per leaf for top-k, `s(q)` accepted plus a
     ///   spine for skylines; plus signature pages, no tuple fetches.
     pub fn estimate(&self, selection: &Selection, query: &QuerySpec<'_>) -> Vec<CostEstimate> {
+        let wanted_of = |q: f64| match query {
+            QuerySpec::TopK { k } => (*k as f64).min(q.max(1.0)),
+            QuerySpec::Skyline { pref_dims } => Self::skyline_size(q, pref_dims.len()),
+        };
+        let index_merge = matches!(query, QuerySpec::TopK { .. });
+        self.estimate_inner(selection, &wanted_of, index_merge)
+    }
+
+    /// [`Self::estimate`] for a pluggable [`QueryClass`]: identical cost
+    /// formulas, with the single class-specific term — the expected answer
+    /// cardinality — supplied by [`QueryClass::expected_results`] and the
+    /// index-merge estimate included only when the class declares support.
+    pub fn estimate_class<C: QueryClass>(
+        &self,
+        selection: &Selection,
+        class: &C,
+    ) -> Vec<CostEstimate> {
+        let wanted_of = |q: f64| class.expected_results(q);
+        self.estimate_inner(selection, &wanted_of, class.supports(EngineKind::IndexMerge))
+    }
+
+    fn estimate_inner(
+        &self,
+        selection: &Selection,
+        wanted_of: &dyn Fn(f64) -> f64,
+        index_merge: bool,
+    ) -> Vec<CostEstimate> {
         let selection = normalize(selection);
         let preds = selection.len();
         let sigma = self.selectivity(&selection).clamp(0.0, 1.0);
@@ -428,10 +461,7 @@ impl Planner {
             estimates.push(self.finish(EngineKind::BooleanFirst, random, sequential));
         }
 
-        let wanted = match query {
-            QuerySpec::TopK { k } => (*k as f64).min(q.max(1.0)),
-            QuerySpec::Skyline { pref_dims } => Self::skyline_size(q, pref_dims.len()),
-        };
+        let wanted = wanted_of(q);
 
         // Domination-first: every surfaced candidate is a random fetch.
         {
@@ -440,8 +470,9 @@ impl Planner {
             estimates.push(self.finish(EngineKind::DominationFirst, random, 0.0));
         }
 
-        // Index-merge (top-k only): per-candidate B+-tree leaf probes.
-        if let QuerySpec::TopK { .. } = query {
+        // Index-merge (top-k style classes only): per-candidate B+-tree
+        // leaf probes.
+        if index_merge {
             let cand = surfaced(wanted.max(1.0));
             let random = self.rtree_nodes(cand) + cand * preds as f64;
             estimates.push(self.finish(EngineKind::IndexMerge, random, 0.0));
@@ -484,12 +515,38 @@ impl Planner {
         query: &QuerySpec<'_>,
         available: &[EngineKind],
     ) -> PlanDecision {
+        let class = match query {
+            QuerySpec::TopK { .. } => "topk",
+            QuerySpec::Skyline { .. } => "skyline",
+        };
         let selection = normalize(selection);
-        let estimates: Vec<CostEstimate> = self
-            .estimate(&selection, query)
-            .into_iter()
-            .filter(|e| available.contains(&e.engine))
-            .collect();
+        let estimates = self.estimate(&selection, query);
+        self.choose_from(&selection, estimates, available, class)
+    }
+
+    /// [`Self::choose`] for a pluggable [`QueryClass`]: same argmin over the
+    /// class-parameterised estimates, with [`PlanDecision::class`] recording
+    /// the class name.
+    pub fn choose_class<C: QueryClass>(
+        &self,
+        selection: &Selection,
+        class: &C,
+        available: &[EngineKind],
+    ) -> PlanDecision {
+        let selection = normalize(selection);
+        let estimates = self.estimate_class(&selection, class);
+        self.choose_from(&selection, estimates, available, class.name())
+    }
+
+    fn choose_from(
+        &self,
+        selection: &Selection,
+        estimates: Vec<CostEstimate>,
+        available: &[EngineKind],
+        class: &'static str,
+    ) -> PlanDecision {
+        let estimates: Vec<CostEstimate> =
+            estimates.into_iter().filter(|e| available.contains(&e.engine)).collect();
         let chosen = estimates
             .iter()
             .min_by(|a, b| {
@@ -499,8 +556,9 @@ impl Planner {
             })
             .map(|e| e.engine)
             .unwrap_or(EngineKind::PCube);
-        let sigma = self.selectivity(&selection);
+        let sigma = self.selectivity(selection);
         PlanDecision {
+            class,
             chosen,
             estimates,
             selectivity: sigma,
@@ -524,7 +582,24 @@ impl Planner {
         available: &[EngineKind],
         budget: &QueryBudget,
     ) -> PlanDecision {
-        let mut decision = self.choose(selection, query, available);
+        let decision = self.choose(selection, query, available);
+        Self::govern(decision, budget)
+    }
+
+    /// [`Self::choose_class`] under a [`QueryBudget`] — same fallback
+    /// semantics as [`Self::choose_governed`].
+    pub fn choose_class_governed<C: QueryClass>(
+        &self,
+        selection: &Selection,
+        class: &C,
+        available: &[EngineKind],
+        budget: &QueryBudget,
+    ) -> PlanDecision {
+        let decision = self.choose_class(selection, class, available);
+        Self::govern(decision, budget)
+    }
+
+    fn govern(mut decision: PlanDecision, budget: &QueryBudget) -> PlanDecision {
         let fits = |e: &CostEstimate| -> bool {
             budget.max_blocks().is_none_or(|b| e.blocks() <= b as f64)
                 && budget.deadline().is_none_or(|d| e.seconds <= d.as_secs_f64())
@@ -691,6 +766,86 @@ impl PCubeDb {
         stats.plan = Some(decision);
         Ok((result, stats))
     }
+
+    /// Plans and runs any pluggable [`QueryClass`] under a [`QueryBudget`]
+    /// and optional [`CancelToken`].
+    ///
+    /// Three engines are offered to the planner (filtered further by
+    /// [`QueryClass::supports`]):
+    ///
+    /// * **P-Cube** — the signature-pruned Algorithm-1 traversal, fully
+    ///   governed (budget/cancel produce `Partial` outcomes).
+    /// * **Domination-first** — the same traversal without boolean pruning:
+    ///   every popped tuple is verified against the base table
+    ///   ([`crate::query::VerifyAllPruner`]), also fully governed.
+    /// * **Boolean-first** — the selection is resolved to a candidate list
+    ///   first (index or scan route, picked inside the relation layer) and
+    ///   the class's reference preference step runs over it in memory. The
+    ///   candidate materialisation is not interruptible, so budget/cancel
+    ///   are ignored on this path — the planner only picks it when the
+    ///   predicted cost fits the budget anyway.
+    ///
+    /// The decision (with per-engine estimates and the class name) is
+    /// recorded in `stats.plan`.
+    pub fn plan_and_run_class<C: QueryClass + Sync>(
+        &self,
+        planner: &Planner,
+        class: &C,
+        selection: &Selection,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Vec<C::Row>, QueryStats), PlanError> {
+        let available: Vec<EngineKind> =
+            [EngineKind::PCube, EngineKind::BooleanFirst, EngineKind::DominationFirst]
+                .into_iter()
+                .filter(|&kind| class.supports(kind))
+                .collect();
+        if available.is_empty() {
+            return Err(PlanError::NoExecutor);
+        }
+        let decision = planner.choose_class_governed(selection, class, &available, budget);
+        let outcome = match decision.chosen {
+            EngineKind::BooleanFirst => run_class_scan(self, selection, class),
+            EngineKind::DominationFirst => {
+                run_class_verify_all(self, selection, class, budget, cancel)
+            }
+            // The generic dispatch never offers index-merge (there is no
+            // generic index-merge engine); if a class ever claims it, run
+            // the signature-guided traversal instead.
+            EngineKind::PCube | EngineKind::IndexMerge => {
+                run_class(self, selection, class, false, budget, cancel)
+            }
+        };
+        let mut stats = outcome.stats;
+        stats.plan = Some(decision);
+        Ok((outcome.rows, stats))
+    }
+
+    /// Runs `class` on one specific engine, bypassing the planner — the
+    /// seam the calibration bench uses to measure every engine's actual
+    /// block count against [`Planner::estimate_class`]. Errors when the
+    /// class does not support the engine (or for `IndexMerge`, which has
+    /// no generic engine).
+    pub fn run_class_on<C: QueryClass + Sync>(
+        &self,
+        class: &C,
+        selection: &Selection,
+        engine: EngineKind,
+    ) -> Result<(Vec<C::Row>, QueryStats), PlanError> {
+        if !class.supports(engine) {
+            return Err(PlanError::NoExecutor);
+        }
+        let budget = QueryBudget::unlimited();
+        let outcome = match engine {
+            EngineKind::BooleanFirst => run_class_scan(self, selection, class),
+            EngineKind::DominationFirst => {
+                run_class_verify_all(self, selection, class, &budget, None)
+            }
+            EngineKind::PCube => run_class(self, selection, class, false, &budget, None),
+            EngineKind::IndexMerge => return Err(PlanError::NoExecutor),
+        };
+        Ok((outcome.rows, outcome.stats))
+    }
 }
 
 #[cfg(test)]
@@ -833,5 +988,85 @@ mod tests {
         let direct = crate::query::skyline_query(&db, &sel, &[0, 1], false);
         assert_eq!(sky, direct.skyline);
         assert!(stats.plan.is_some());
+    }
+
+    /// The class-parameterised estimator must reproduce the legacy
+    /// QuerySpec estimates exactly for the built-in classes — the planner
+    /// refactor may not shift a single cost number or pick.
+    #[test]
+    fn class_estimates_match_legacy_spec_estimates() {
+        let db = db(1000);
+        let planner = Planner::new(&db);
+        let f = crate::rank::MinCoordSum::all(2);
+        let selections: Vec<Selection> = vec![
+            vec![],
+            vec![Predicate { dim: 0, value: 1 }],
+            vec![Predicate { dim: 0, value: 0 }, Predicate { dim: 1, value: 2 }],
+        ];
+        for sel in &selections {
+            for k in [1usize, 10, 100] {
+                let legacy = planner.estimate(sel, &QuerySpec::TopK { k });
+                let class = planner.estimate_class(sel, &crate::query::TopKClass::new(k, &f));
+                assert_eq!(legacy.len(), class.len());
+                for (a, b) in legacy.iter().zip(&class) {
+                    assert_eq!(a.engine, b.engine);
+                    assert_eq!(a.blocks(), b.blocks());
+                    assert_eq!(a.seconds, b.seconds);
+                }
+            }
+            let legacy = planner.estimate(sel, &QuerySpec::Skyline { pref_dims: &[0, 1] });
+            let class =
+                planner.estimate_class(sel, &crate::query::SkylineClass::new(vec![0, 1]));
+            assert_eq!(legacy.len(), class.len());
+            for (a, b) in legacy.iter().zip(&class) {
+                assert_eq!(a.engine, b.engine);
+                assert_eq!(a.blocks(), b.blocks());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_and_run_class_matches_direct_run() {
+        let db = db(800);
+        let planner = Planner::new(&db);
+        let budget = QueryBudget::unlimited();
+        let sel = vec![Predicate { dim: 1, value: 2 }];
+
+        // Top-k through the generic path == the legacy serial engine.
+        let f = crate::rank::LinearFn::new(vec![0.5, 0.5]);
+        let class = crate::query::TopKClass::new(5, &f);
+        let (rows, stats) =
+            db.plan_and_run_class(&planner, &class, &sel, &budget, None).expect("planned");
+        let direct = crate::query::topk_query(&db, &sel, 5, &f, false);
+        assert_eq!(
+            rows.iter().map(|t| t.0).collect::<Vec<_>>(),
+            direct.topk.iter().map(|t| t.0).collect::<Vec<_>>()
+        );
+        let plan = stats.plan.expect("decision recorded");
+        assert_eq!(plan.class, "topk");
+
+        // Skyline likewise, and the decision carries the class name.
+        let class = crate::query::SkylineClass::new(vec![0, 1]);
+        let (rows, stats) =
+            db.plan_and_run_class(&planner, &class, &sel, &budget, None).expect("planned");
+        let direct = crate::query::skyline_query(&db, &sel, &[0, 1], false);
+        assert_eq!(rows, direct.skyline);
+        assert_eq!(stats.plan.expect("decision recorded").class, "skyline");
+    }
+
+    /// Every generic engine the class dispatcher can pick returns the same
+    /// answer (boolean-first and domination-first are verification paths
+    /// for the signature-guided traversal).
+    #[test]
+    fn class_engines_agree_on_every_route() {
+        let db = db(600);
+        let sel = vec![Predicate { dim: 0, value: 0 }];
+        let class = crate::query::SkylineClass::new(vec![0, 1]);
+        let budget = QueryBudget::unlimited();
+        let pcube = run_class(&db, &sel, &class, false, &budget, None);
+        let verify = run_class_verify_all(&db, &sel, &class, &budget, None);
+        let scan = run_class_scan(&db, &sel, &class);
+        assert_eq!(pcube.rows, verify.rows);
+        assert_eq!(pcube.rows, scan.rows);
     }
 }

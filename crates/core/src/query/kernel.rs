@@ -35,6 +35,7 @@ use pcube_rtree::{DecodedEntry, Mbr, Path};
 
 use crate::pcube::PCubeDb;
 use crate::query::budget::{Governor, StopReason};
+use crate::query::class::PriorityGraph;
 use crate::query::hull::{monotone_chain, strictly_inside_hull};
 use crate::query::{dominates, Candidate, CandidateHeap, HeapEntry, ResultEntry};
 use crate::rank::{MinCoordSum, RankingFunction};
@@ -76,6 +77,26 @@ impl BooleanPruner for NoPruner {
     }
     fn is_lossy(&self) -> bool {
         false
+    }
+    fn partials_loaded(&self) -> u64 {
+        0
+    }
+}
+
+/// A pruner that admits every candidate but reports itself lossy, so the
+/// kernel verifies each accepted tuple against the base table — the
+/// minimal-probing discipline of the domination-first baseline family,
+/// expressed as an Algorithm 1 instantiation. Used by the generic
+/// [`QueryClass`](crate::query::class::QueryClass) planner dispatch as its
+/// domination-first engine.
+pub struct VerifyAllPruner;
+
+impl BooleanPruner for VerifyAllPruner {
+    fn contains(&mut self, _path: &Path) -> bool {
+        true
+    }
+    fn is_lossy(&self) -> bool {
+        true
     }
     fn partials_loaded(&self) -> u64 {
         0
@@ -482,7 +503,7 @@ pub(crate) const WINDOW_REFRESH_INTERVAL: u64 = 32;
 /// frontier is then saved as `d_list` by the kernel); shared mode keeps a
 /// local k-best and halts once the smallest outstanding lower bound exceeds
 /// the shared global bound.
-pub(crate) struct TopKLogic<'a> {
+pub struct TopKLogic<'a> {
     k: usize,
     f: &'a dyn RankingFunction,
     bound: Option<&'a SharedBound>,
@@ -566,7 +587,7 @@ pub(crate) type CornerFn<'a> = &'a (dyn Fn(&Mbr) -> Vec<f64> + Sync);
 /// (Dynamic) skyline accumulation: BBS dominance pruning against the
 /// accepted result, plus — in parallel workers — a periodically refreshed
 /// mirror of the shared window.
-pub(crate) struct SkylineLogic<'a> {
+pub struct SkylineLogic<'a> {
     f: MinCoordSum,
     pref_dims: &'a [usize],
     transform: Option<TransformFn<'a>>,
@@ -696,6 +717,105 @@ impl PreferenceLogic for SkylineLogic<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Prioritized skyline logic (Mindolin & Chomicki winnow semantics)
+// ---------------------------------------------------------------------------
+
+/// Prioritized-skyline accumulation: BBS-style pruning where dominance is
+/// the p-skyline relation `≻_Γ` induced by a priority DAG over dimensions
+/// ([`PriorityGraph`]). The sum-of-coordinates heap score is *not* order
+/// compatible with `≻_Γ`, so accepts are tentative: members of the true
+/// p-skyline are never pruned (pruning only ever removes `≻_Γ`-dominated
+/// candidates, and `≻_Γ` is transitive), and the class's merge step winnows
+/// the accepted superset down to the exact maximal set.
+pub struct PSkylineLogic<'a> {
+    f: MinCoordSum,
+    graph: &'a PriorityGraph,
+    window: Option<&'a SharedWindow>,
+    result: Vec<ResultEntry>,
+    /// Local mirror of the shared window (other workers' accepted points).
+    seen: Vec<Vec<f64>>,
+    seen_mark: usize,
+    pops: u64,
+}
+
+impl<'a> PSkylineLogic<'a> {
+    pub(crate) fn new(graph: &'a PriorityGraph, window: Option<&'a SharedWindow>) -> Self {
+        PSkylineLogic {
+            f: MinCoordSum::new(graph.dims().to_vec()),
+            graph,
+            window,
+            result: Vec::new(),
+            seen: Vec::new(),
+            seen_mark: 0,
+            pops: 0,
+        }
+    }
+
+    /// A candidate is pruned if some accepted point `≻_Γ`-dominates its
+    /// attainable lower corner. Monotonicity makes the node rule sound:
+    /// `p ≻_Γ mbr.min` implies `p ≻_Γ t` for every tuple `t` inside the
+    /// node, because moving `t` up coordinate-wise only grows `W(p, t)`
+    /// and shrinks `W(t, p)`.
+    fn dominated(&self, p: &[f64]) -> bool {
+        self.result.iter().any(|r| self.graph.dominates(&r.coords, p))
+            || self.seen.iter().any(|r| self.graph.dominates(r, p))
+    }
+
+    fn corner(cand: &Candidate) -> &[f64] {
+        match cand {
+            Candidate::Tuple { coords, .. } => coords,
+            // The seeded root's `-∞` corner is never dominated (no point is
+            // strictly smaller than `-∞` anywhere), so no special guard.
+            Candidate::Node { mbr, .. } => &mbr.min,
+        }
+    }
+
+    /// `(score, tid, domination coords, original coords)` — the merge's
+    /// working representation; for p-skylines domination space is the
+    /// original space.
+    pub(crate) fn into_points(self) -> Vec<(f64, u64, Vec<f64>, Vec<f64>)> {
+        self.result
+            .into_iter()
+            .map(|r| (r.score, r.tid, r.coords.clone(), r.coords))
+            .collect()
+    }
+}
+
+impl PreferenceLogic for PSkylineLogic<'_> {
+    fn on_pop(&mut self, entry: &HeapEntry) -> PopVerdict {
+        self.pops += 1;
+        if let Some(w) = self.window {
+            if self.pops.is_multiple_of(WINDOW_REFRESH_INTERVAL) {
+                self.seen_mark = w.refresh(self.seen_mark, &mut self.seen);
+            }
+        }
+        if self.dominated(Self::corner(&entry.cand)) {
+            return PopVerdict::Prune;
+        }
+        PopVerdict::Continue
+    }
+
+    fn score_tuple(&self, coords: &[f64]) -> f64 {
+        self.f.score(coords)
+    }
+
+    fn score_node(&self, mbr: &Mbr, _path: &Path) -> f64 {
+        self.f.lower_bound(mbr)
+    }
+
+    fn prune_child(&self, _score: f64, cand: &Candidate) -> bool {
+        self.dominated(Self::corner(cand))
+    }
+
+    fn accept(&mut self, score: f64, tid: u64, path: Path, coords: Vec<f64>) {
+        if let Some(w) = self.window {
+            w.push(coords.clone());
+        }
+        self.result.push(ResultEntry { tid, coords, path, score });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Convex hull logic (§VII): geometric pruning
 // ---------------------------------------------------------------------------
 
@@ -705,7 +825,7 @@ impl PreferenceLogic for SkylineLogic<'_> {
 /// Scores send tuples first (`-∞`) and nodes deepest-first, so points
 /// surface early and keep the inside-test sharp — the heap-driven analogue
 /// of the original DFS.
-pub(crate) struct HullLogic {
+pub struct HullLogic {
     dims: (usize, usize),
     points: Vec<(u64, [f64; 2])>,
     hull: Vec<(u64, [f64; 2])>,

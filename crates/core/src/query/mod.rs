@@ -3,6 +3,7 @@
 //! top-k queries, plus the incremental drill-down/roll-up execution of §V-C.
 
 pub mod budget;
+pub mod class;
 mod dynamic;
 mod hull;
 pub mod kernel;
@@ -11,12 +12,16 @@ mod skyline;
 mod topk;
 
 pub use budget::{CancelToken, Governor, Progress, QueryBudget, QueryOutcome, StopReason};
+pub use class::{
+    ClassOutcome, DynamicSkylineClass, HullClass, PSkylineClass, PriorityGraph,
+    PriorityGraphError, QueryClass, SkyPoint, SkylineClass, SubspaceSkylineClass, TopKClass,
+};
 pub use dynamic::{
     dynamic_skyline_query, dynamic_skyline_query_governed, DynamicSkylineOutcome,
 };
 pub use kernel::{
     run_kernel, BooleanPruner, KernelRun, NoPruner, PopVerdict, PreferenceLogic, SavedLists,
-    SharedBound, SharedWindow,
+    SharedBound, SharedWindow, VerifyAllPruner,
 };
 pub use parallel::{
     par_convex_hull_query, par_convex_hull_query_governed, par_dynamic_skyline_query,
@@ -24,6 +29,7 @@ pub use parallel::{
     par_topk_query, par_topk_query_governed, ParDynamicSkylineOutcome, ParHullOutcome,
     ParSkylineOutcome, ParTopKOutcome, ParallelOptions,
 };
+pub(crate) use parallel::par_run_class;
 pub use hull::{convex_hull_query, convex_hull_query_governed, HullOutcome};
 pub use skyline::{
     skyline_drill_down, skyline_query, skyline_query_governed, skyline_query_probed,

@@ -3,25 +3,30 @@
 //! The paper's Algorithm 1 explores one R-tree; once the read path is
 //! `Send + Sync` (atomic [`pcube_storage::IoStats`] counters, lock-guarded
 //! pager reads, per-worker signature cursors), the search parallelizes
-//! across root-level subtrees. Each engine here:
+//! across root-level subtrees. The fan-out is *generic over the query
+//! class* ([`par_run_class`]): for any [`QueryClass`] it
 //!
-//! 1. expands the root once on the calling thread,
+//! 1. expands the root once on the calling thread, scoring children with
+//!    the class's own logic,
 //! 2. deals the root's children round-robin to a fixed pool of **scoped**
 //!    worker threads (no runtime dependency),
 //! 3. runs the *same* [`kernel`](crate::query::kernel) loop the serial
-//!    engines use per worker, with a *shared pruning bound* injected
-//!    through the worker's [`kernel::PreferenceLogic`] — an atomic f64-bit
-//!    threshold for top-k, a mutex-guarded window of accepted points for
-//!    (dynamic) skylines,
-//! 4. merges local results by the canonical `(score, tid)` key.
+//!    engines use per worker, with the class's shared pruning state
+//!    ([`QueryClass::Shared`]) injected through the worker's logic — an
+//!    atomic f64-bit threshold for top-k, a lock-free window of accepted
+//!    points for the skyline family,
+//! 4. merges local results with the class's own [`QueryClass::merge`].
 //!
 //! Results are **identical to the serial engines** — same tuples, same
 //! order — for any worker count, because shared bounds are only ever
 //! conservative (a stale bound admits extra work, never wrong answers) and
-//! the merge key matches the serial heap's deterministic tie-break plus the
-//! serial engines' canonical result sort. The oracle differential suite
+//! every class's merge is traversal-order independent with a canonical
+//! output order. The oracle differential suite
 //! (`tests/differential_oracle.rs`) and the concurrency stress test
 //! (`tests/concurrent_queries.rs`) hold both engines to that contract.
+//! The per-class `par_*` functions below are thin wrappers over
+//! [`par_run_class`] kept for API compatibility; adding a query class
+//! needs no edits here.
 //!
 //! The parallel engines do not produce `b_list`/`d_list` state: incremental
 //! drill-down and roll-up (§V-C) remain a serial-engine feature.
@@ -29,18 +34,19 @@
 use std::time::Instant;
 
 use pcube_cube::{normalize, Selection};
-use pcube_rtree::{DecodedEntry, Mbr, Path};
+use pcube_rtree::{DecodedEntry, Path};
 
 use crate::pcube::PCubeDb;
 use crate::query::budget::{
     CancelToken, Governor, Progress, QueryBudget, QueryOutcome, StopReason,
 };
-use crate::query::hull::monotone_chain;
-use crate::query::kernel::{
-    run_kernel, HullLogic, SharedBound, SharedWindow, SkylineLogic, TopKLogic,
+use crate::query::class::{
+    run_class, ClassOutcome, DynamicSkylineClass, HullClass, QueryClass, SkylineClass,
+    TopKClass,
 };
-use crate::query::{dominates, Candidate, CandidateHeap, QueryStats, ResultEntry};
-use crate::rank::{MinCoordSum, RankingFunction};
+use crate::query::kernel::{run_kernel, PreferenceLogic};
+use crate::query::{Candidate, CandidateHeap, QueryStats};
+use crate::rank::RankingFunction;
 
 /// How a parallel query fans out.
 #[derive(Debug, Clone, Copy)]
@@ -221,23 +227,20 @@ fn worker_governor(db: &PCubeDb, fg: Option<&FleetGovernance>) -> Option<Governo
 type Seed = (f64, Candidate);
 
 /// Expands the root node into per-child seeds (one counted block read —
-/// the `1 +` in [`merge_worker_stats`]).
-fn root_seeds(
-    db: &PCubeDb,
-    score_tuple: &dyn Fn(&[f64]) -> f64,
-    score_node: &dyn Fn(&Mbr) -> f64,
-) -> Vec<Seed> {
+/// the `1 +` in [`merge_worker_stats`]), scored by the class's own logic
+/// so seeds carry exactly the scores the serial engine would compute.
+fn root_seeds_for(db: &PCubeDb, logic: &dyn PreferenceLogic) -> Vec<Seed> {
     let node = db.rtree().read_node(db.rtree().root_pid());
     let mut seeds = Vec::with_capacity(node.entries.len());
     for (slot, child) in node.entries {
         let child_path = Path::root().child(slot as u16 + 1);
         let seed = match child {
             DecodedEntry::Tuple { tid, coords } => {
-                let s = score_tuple(&coords);
+                let s = logic.score_tuple(&coords);
                 (s, Candidate::Tuple { tid, path: child_path, coords })
             }
             DecodedEntry::Child { child, mbr } => {
-                let s = score_node(&mbr);
+                let s = logic.score_node(&mbr, &child_path);
                 (s, Candidate::Node { pid: child, path: child_path, mbr })
             }
         };
@@ -259,7 +262,115 @@ fn deal(seeds: Vec<Seed>, workers: usize) -> Vec<Vec<Seed>> {
 }
 
 // ---------------------------------------------------------------------------
-// Top-k
+// The generic fan-out
+// ---------------------------------------------------------------------------
+
+/// Parallel Algorithm 1 over any [`QueryClass`]: root fan-out, scoped
+/// workers running the shared kernel with the class's shared pruning state,
+/// then the class's own merge. Falls back to the serial
+/// [`run_class`] at `workers <= 1`.
+pub(crate) fn par_run_class<C: QueryClass + Sync>(
+    db: &PCubeDb,
+    selection: &Selection,
+    class: &C,
+    opts: ParallelOptions,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> ClassOutcome<C::Row> {
+    let started = Instant::now();
+    let before = db.stats().snapshot();
+    let selection = normalize(selection);
+    if opts.workers <= 1 {
+        return run_class(db, &selection, class, opts.eager_assembly, budget, cancel);
+    }
+    let fleet = fleet_governance(db, budget, cancel);
+    let seeds = {
+        // A throwaway serial-mode logic: scoring is identical between the
+        // serial and shared modes of every class, so seeds carry exactly
+        // the scores the serial engine would compute.
+        let seed_logic = class.logic(None);
+        root_seeds_for(db, &seed_logic)
+    };
+    let root_children = seeds.len();
+    let groups = deal(seeds, opts.workers);
+
+    let shared = class.new_shared();
+    let locals: Vec<(C::Local, WorkerStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| {
+                let (shared, selection, fleet) = (&shared, &selection, fleet.as_ref());
+                scope.spawn(move || {
+                    class_worker(db, selection, class, opts.eager_assembly, group, shared, fleet)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("query worker panicked")).collect()
+    });
+
+    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
+    let t_merge = Instant::now();
+    let rows = class.merge(locals.into_iter().map(|(local, _)| local).collect());
+    let merge_seconds = t_merge.elapsed().as_secs_f64();
+
+    let mut stats = merge_worker_stats(root_children, &worker_stats);
+    stats.stages.merge_seconds += merge_seconds;
+    stats.io = db.stats().snapshot().since(&before);
+    stats.cpu_seconds = started.elapsed().as_secs_f64();
+    merge_fleet_outcome(&mut stats, &worker_stats, rows.len());
+    ClassOutcome { rows, stats }
+}
+
+/// One worker: the shared kernel over its seed subtrees with the class's
+/// logic in shared mode, returning the class's local result. A governor
+/// trip raises the fleet token so every sibling drains at its next pop.
+fn class_worker<C: QueryClass>(
+    db: &PCubeDb,
+    selection: &Selection,
+    class: &C,
+    eager: bool,
+    seeds: Vec<Seed>,
+    shared: &C::Shared,
+    fg: Option<&FleetGovernance>,
+) -> (C::Local, WorkerStats) {
+    let t_pin = Instant::now();
+    let mut probe = db.pcube().probe(selection, eager);
+    let mut heap = CandidateHeap::new();
+    for (score, cand) in seeds {
+        heap.push(score, cand);
+    }
+    let mut logic = class.logic(Some(shared));
+    let mut gov = worker_governor(db, fg);
+    let pin_seconds = t_pin.elapsed().as_secs_f64();
+    let mut run =
+        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
+    run.stages.pin_seconds += pin_seconds;
+    if run.stop.is_some() {
+        if let Some(g) = fg {
+            g.fleet.cancel();
+        }
+    }
+    let mut stats = WorkerStats {
+        nodes_expanded: run.nodes_expanded,
+        peak_heap: heap.peak_size(),
+        partials_loaded: probe.partials_loaded(),
+        pops: run.pops,
+        frontier: run.frontier,
+        stop: run.stop,
+        overshoot_seconds: run.overshoot_seconds,
+        max_pop_seconds: run.max_pop_seconds,
+        stages: run.stages,
+    };
+    // Local finishing work (e.g. the hull class chains its local vertices
+    // here) is merge-stage time, measured on the worker.
+    let t_finish = Instant::now();
+    let local = class.finish(logic);
+    stats.stages.merge_seconds += t_finish.elapsed().as_secs_f64();
+    (local, stats)
+}
+
+// ---------------------------------------------------------------------------
+// Per-class wrappers (API compatibility)
 // ---------------------------------------------------------------------------
 
 /// Parallel [`topk_query`](crate::query::topk_query): fans root subtrees out
@@ -290,13 +401,12 @@ pub fn par_topk_query_governed(
     budget: &QueryBudget,
     cancel: Option<&CancelToken>,
 ) -> ParTopKOutcome {
-    let started = std::time::Instant::now();
-    let before = db.stats().snapshot();
-    let selection = normalize(selection);
+    // `k == 0` must not fan out: workers would never lower the shared
+    // bound and the fleet would traverse everything for an empty answer.
     if opts.workers <= 1 || k == 0 {
         let out = crate::query::topk_query_governed(
             db,
-            &selection,
+            selection,
             k,
             f,
             opts.eager_assembly,
@@ -305,176 +415,9 @@ pub fn par_topk_query_governed(
         );
         return ParTopKOutcome { topk: out.topk, stats: out.stats };
     }
-    let fleet = fleet_governance(db, budget, cancel);
-    let seeds = root_seeds(db, &|c| f.score(c), &|m| f.lower_bound(m));
-    let root_children = seeds.len();
-    let groups = deal(seeds, opts.workers);
-
-    let bound = SharedBound::unbounded();
-    type Local = (Vec<ResultEntry>, WorkerStats);
-    let locals: Vec<Local> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| {
-                let (bound, selection, fleet) = (&bound, &selection, fleet.as_ref());
-                scope.spawn(move || {
-                    topk_worker(db, selection, k, f, opts.eager_assembly, group, bound, fleet)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("top-k worker panicked")).collect()
-    });
-
-    // Merge by the canonical (score, tid) key — exactly the serial heap's
-    // tuple tie-break — and keep the k best.
-    let t_merge = std::time::Instant::now();
-    let mut merged: Vec<ResultEntry> = locals.iter().flat_map(|(res, _)| res.to_vec()).collect();
-    merged.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.tid.cmp(&b.tid)));
-    merged.truncate(k);
-    let merge_seconds = t_merge.elapsed().as_secs_f64();
-
-    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
-    let mut stats = merge_worker_stats(root_children, &worker_stats);
-    stats.stages.merge_seconds += merge_seconds;
-    stats.io = db.stats().snapshot().since(&before);
-    stats.cpu_seconds = started.elapsed().as_secs_f64();
-    merge_fleet_outcome(&mut stats, &worker_stats, merged.len());
-    ParTopKOutcome {
-        topk: merged.into_iter().map(|r| (r.tid, r.coords, r.score)).collect(),
-        stats,
-    }
-}
-
-/// One top-k worker: the shared kernel over its seed subtrees, keeping the
-/// k best `(score, tid)` tuples seen and pruning against the shared bound.
-#[allow(clippy::too_many_arguments)]
-fn topk_worker(
-    db: &PCubeDb,
-    selection: &Selection,
-    k: usize,
-    f: &(dyn RankingFunction + Sync),
-    eager: bool,
-    seeds: Vec<Seed>,
-    bound: &SharedBound,
-    fg: Option<&FleetGovernance>,
-) -> (Vec<ResultEntry>, WorkerStats) {
-    let t_pin = std::time::Instant::now();
-    let mut probe = db.pcube().probe(selection, eager);
-    let mut heap = CandidateHeap::new();
-    for (score, cand) in seeds {
-        heap.push(score, cand);
-    }
-    let mut logic = TopKLogic::shared(k, f, bound);
-    let mut gov = worker_governor(db, fg);
-    let pin_seconds = t_pin.elapsed().as_secs_f64();
-    let mut run =
-        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
-    run.stages.pin_seconds += pin_seconds;
-    if run.stop.is_some() {
-        if let Some(g) = fg {
-            g.fleet.cancel();
-        }
-    }
-    let stats = WorkerStats {
-        nodes_expanded: run.nodes_expanded,
-        peak_heap: heap.peak_size(),
-        partials_loaded: probe.partials_loaded(),
-        pops: run.pops,
-        frontier: run.frontier,
-        stop: run.stop,
-        overshoot_seconds: run.overshoot_seconds,
-        max_pop_seconds: run.max_pop_seconds,
-        stages: run.stages,
-    };
-    (logic.into_result(), stats)
-}
-
-// ---------------------------------------------------------------------------
-// Skyline (static and dynamic share one worker)
-// ---------------------------------------------------------------------------
-
-/// A skyline worker's accepted tuple:
-/// `(score, tid, domination coords, original coords)`.
-type SkyPoint = (f64, u64, Vec<f64>, Vec<f64>);
-
-/// The domination space a skyline worker prunes in: `transform` maps
-/// original coordinates into it at full dimensionality (identity for
-/// static skylines, `x ↦ |x − q|` for dynamic ones); `corner` gives the
-/// attainable per-dimension lower corner of an MBR there (`mbr.min` resp.
-/// the clamped distance corner) — the exact functions the serial engines
-/// prune with.
-struct DomSpace<'a> {
-    transform: &'a (dyn Fn(&[f64]) -> Vec<f64> + Sync),
-    corner: &'a (dyn Fn(&Mbr) -> Vec<f64> + Sync),
-}
-
-/// One (dynamic) skyline worker: the shared kernel over its seed subtrees
-/// with local + shared-window domination pruning in `space`.
-#[allow(clippy::too_many_arguments)]
-fn skyline_worker(
-    db: &PCubeDb,
-    selection: &Selection,
-    pref_dims: &[usize],
-    eager: bool,
-    seeds: Vec<Seed>,
-    window: &SharedWindow,
-    space: DomSpace<'_>,
-    fg: Option<&FleetGovernance>,
-) -> (Vec<SkyPoint>, WorkerStats) {
-    let t_pin = std::time::Instant::now();
-    let mut probe = db.pcube().probe(selection, eager);
-    let mut heap = CandidateHeap::new();
-    for (score, cand) in seeds {
-        heap.push(score, cand);
-    }
-    let mut logic =
-        SkylineLogic::new(pref_dims, Some(space.transform), Some(space.corner), Some(window));
-    let mut gov = worker_governor(db, fg);
-    let pin_seconds = t_pin.elapsed().as_secs_f64();
-    let mut run =
-        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
-    run.stages.pin_seconds += pin_seconds;
-    if run.stop.is_some() {
-        if let Some(g) = fg {
-            g.fleet.cancel();
-        }
-    }
-    let stats = WorkerStats {
-        nodes_expanded: run.nodes_expanded,
-        peak_heap: heap.peak_size(),
-        partials_loaded: probe.partials_loaded(),
-        pops: run.pops,
-        frontier: run.frontier,
-        stop: run.stop,
-        overshoot_seconds: run.overshoot_seconds,
-        max_pop_seconds: run.max_pop_seconds,
-        stages: run.stages,
-    };
-    (logic.into_points(), stats)
-}
-
-/// Cross-filters worker-local skylines against each other and sorts by the
-/// canonical `(score, tid)` key, yielding `(tid, original coords)`.
-///
-/// A local point survives iff no point from any worker dominates it — which
-/// is exactly global skyline membership, because each local list is a
-/// superset of its subtree's global skyline points (a worker only drops
-/// points dominated by qualifying data points, and a dominated point is
-/// never in the global skyline).
-fn finish_skylines(
-    locals: Vec<(Vec<SkyPoint>, WorkerStats)>,
-    pref_dims: &[usize],
-) -> (Vec<(u64, Vec<f64>)>, Vec<WorkerStats>) {
-    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
-    let all: Vec<SkyPoint> = locals.into_iter().flat_map(|(res, _)| res).collect();
-    let mut skyline: Vec<&SkyPoint> = all
-        .iter()
-        .filter(|(_, tid, dom, _)| {
-            !all.iter().any(|(_, o_tid, o_dom, _)| o_tid != tid && dominates(o_dom, dom, pref_dims))
-        })
-        .collect();
-    skyline.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    (skyline.into_iter().map(|(_, tid, _, orig)| (*tid, orig.clone())).collect(), worker_stats)
+    let class = TopKClass::new(k, f);
+    let out = par_run_class(db, selection, &class, opts, budget, cancel);
+    ParTopKOutcome { topk: out.rows, stats: out.stats }
 }
 
 /// Parallel [`skyline_query`](crate::query::skyline_query): per-subtree BBS
@@ -502,13 +445,10 @@ pub fn par_skyline_query_governed(
     budget: &QueryBudget,
     cancel: Option<&CancelToken>,
 ) -> ParSkylineOutcome {
-    let started = std::time::Instant::now();
-    let before = db.stats().snapshot();
-    let selection = normalize(selection);
     if opts.workers <= 1 {
         let out = crate::query::skyline_query_governed(
             db,
-            &selection,
+            selection,
             pref_dims,
             opts.eager_assembly,
             budget,
@@ -516,47 +456,9 @@ pub fn par_skyline_query_governed(
         );
         return ParSkylineOutcome { skyline: out.skyline, stats: out.stats };
     }
-    let fleet = fleet_governance(db, budget, cancel);
-    let f = MinCoordSum::new(pref_dims.to_vec());
-    let transform = |coords: &[f64]| coords.to_vec();
-    let corner = |mbr: &Mbr| mbr.min.clone();
-    let seeds = root_seeds(db, &|c| f.score(c), &|m| f.lower_bound(m));
-    let root_children = seeds.len();
-    let groups = deal(seeds, opts.workers);
-
-    let window = SharedWindow::new();
-    let locals: Vec<(Vec<SkyPoint>, WorkerStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| {
-                let (window, selection, fleet) = (&window, &selection, fleet.as_ref());
-                let space = DomSpace { transform: &transform, corner: &corner };
-                scope.spawn(move || {
-                    skyline_worker(
-                        db,
-                        selection,
-                        pref_dims,
-                        opts.eager_assembly,
-                        group,
-                        window,
-                        space,
-                        fleet,
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("skyline worker panicked")).collect()
-    });
-
-    let t_merge = std::time::Instant::now();
-    let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
-    let merge_seconds = t_merge.elapsed().as_secs_f64();
-    let mut stats = merge_worker_stats(root_children, &worker_stats);
-    stats.stages.merge_seconds += merge_seconds;
-    stats.io = db.stats().snapshot().since(&before);
-    stats.cpu_seconds = started.elapsed().as_secs_f64();
-    merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
-    ParSkylineOutcome { skyline, stats }
+    let class = SkylineClass::new(pref_dims.to_vec());
+    let out = par_run_class(db, selection, &class, opts, budget, cancel);
+    ParSkylineOutcome { skyline: out.rows, stats: out.stats }
 }
 
 /// Parallel [`dynamic_skyline_query`](crate::query::dynamic_skyline_query):
@@ -600,13 +502,10 @@ pub fn par_dynamic_skyline_query_governed(
         pref_dims.iter().all(|&d| d < q.len()),
         "query point must cover every preference dimension"
     );
-    let started = std::time::Instant::now();
-    let before = db.stats().snapshot();
-    let selection = normalize(selection);
     if opts.workers <= 1 {
         let out = crate::query::dynamic_skyline_query_governed(
             db,
-            &selection,
+            selection,
             q,
             pref_dims,
             budget,
@@ -614,76 +513,10 @@ pub fn par_dynamic_skyline_query_governed(
         );
         return ParDynamicSkylineOutcome { skyline: out.skyline, stats: out.stats };
     }
-    let fleet = fleet_governance(db, budget, cancel);
-
-    // The same transform/corner pair the serial engine uses: full
-    // dimensionality so `dominates(_, _, pref_dims)` indexes directly, and
-    // the per-dimension attainable minimum distance for boxes.
-    let transform = |coords: &[f64]| -> Vec<f64> {
-        coords
-            .iter()
-            .enumerate()
-            .map(|(d, &x)| (x - q.get(d).copied().unwrap_or(0.0)).abs())
-            .collect()
-    };
-    let corner = |mbr: &Mbr| -> Vec<f64> {
-        (0..mbr.dims())
-            .map(|d| {
-                let qd = q[d];
-                if qd < mbr.min[d] {
-                    mbr.min[d] - qd
-                } else if qd > mbr.max[d] {
-                    qd - mbr.max[d]
-                } else {
-                    0.0
-                }
-            })
-            .collect()
-    };
-    let key = |t: &[f64]| -> f64 { pref_dims.iter().map(|&d| t[d]).sum() };
-
-    let seeds = root_seeds(db, &|c| key(&transform(c)), &|m| key(&corner(m)));
-    let root_children = seeds.len();
-    let groups = deal(seeds, opts.workers);
-
-    let window = SharedWindow::new();
-    let locals: Vec<(Vec<SkyPoint>, WorkerStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| {
-                let (window, selection, fleet) = (&window, &selection, fleet.as_ref());
-                let space = DomSpace { transform: &transform, corner: &corner };
-                scope.spawn(move || {
-                    skyline_worker(
-                        db,
-                        selection,
-                        pref_dims,
-                        opts.eager_assembly,
-                        group,
-                        window,
-                        space,
-                        fleet,
-                    )
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("dynamic worker panicked")).collect()
-    });
-
-    let t_merge = std::time::Instant::now();
-    let (skyline, worker_stats) = finish_skylines(locals, pref_dims);
-    let merge_seconds = t_merge.elapsed().as_secs_f64();
-    let mut stats = merge_worker_stats(root_children, &worker_stats);
-    stats.stages.merge_seconds += merge_seconds;
-    stats.io = db.stats().snapshot().since(&before);
-    stats.cpu_seconds = started.elapsed().as_secs_f64();
-    merge_fleet_outcome(&mut stats, &worker_stats, skyline.len());
-    ParDynamicSkylineOutcome { skyline, stats }
+    let class = DynamicSkylineClass::new(q, pref_dims.to_vec());
+    let out = par_run_class(db, selection, &class, opts, budget, cancel);
+    ParDynamicSkylineOutcome { skyline: out.rows, stats: out.stats }
 }
-
-// ---------------------------------------------------------------------------
-// Convex hull
-// ---------------------------------------------------------------------------
 
 /// Parallel [`convex_hull_query`](crate::query::convex_hull_query): each
 /// worker computes its subtrees' local hull (a point interior to a subset's
@@ -715,98 +548,19 @@ pub fn par_convex_hull_query_governed(
     let n_pref = db.relation().schema().n_pref();
     assert!(dims.0 < n_pref && dims.1 < n_pref, "hull dimensions out of range");
     assert_ne!(dims.0, dims.1, "hull needs two distinct dimensions");
-    let started = std::time::Instant::now();
-    let before = db.stats().snapshot();
-    let selection = normalize(selection);
     if opts.workers <= 1 {
-        let out = crate::query::convex_hull_query_governed(db, &selection, dims, budget, cancel);
+        let out = crate::query::convex_hull_query_governed(db, selection, dims, budget, cancel);
         return ParHullOutcome { hull: out.hull, stats: out.stats };
     }
-    let fleet = fleet_governance(db, budget, cancel);
-
-    // The hull kernel's ordering: tuples surface immediately, nodes expand
-    // deepest-first (every root child is at depth 1).
-    let seeds = root_seeds(db, &|_| f64::NEG_INFINITY, &|_| -1.0);
-    let root_children = seeds.len();
-    let groups = deal(seeds, opts.workers);
-
-    type Local = (Vec<(u64, [f64; 2])>, WorkerStats);
-    let locals: Vec<Local> = std::thread::scope(|scope| {
-        let handles: Vec<_> = groups
-            .into_iter()
-            .map(|group| {
-                let (selection, fleet) = (&selection, fleet.as_ref());
-                scope.spawn(move || {
-                    hull_worker(db, selection, dims, opts.eager_assembly, group, fleet)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("hull worker panicked")).collect()
-    });
-
-    let worker_stats: Vec<WorkerStats> = locals.iter().map(|(_, s)| *s).collect();
-    let t_merge = std::time::Instant::now();
-    let all_vertices: Vec<(u64, [f64; 2])> =
-        locals.into_iter().flat_map(|(res, _)| res).collect();
-    let hull = monotone_chain(&all_vertices);
-    let merge_seconds = t_merge.elapsed().as_secs_f64();
-    let mut stats = merge_worker_stats(root_children, &worker_stats);
-    stats.stages.merge_seconds += merge_seconds;
-    stats.io = db.stats().snapshot().since(&before);
-    stats.cpu_seconds = started.elapsed().as_secs_f64();
-    merge_fleet_outcome(&mut stats, &worker_stats, hull.len());
-    ParHullOutcome { hull, stats }
-}
-
-/// One hull worker: the shared kernel with hull geometry over its
-/// subtrees, returning the vertices of its local hull.
-fn hull_worker(
-    db: &PCubeDb,
-    selection: &Selection,
-    dims: (usize, usize),
-    eager: bool,
-    seeds: Vec<Seed>,
-    fg: Option<&FleetGovernance>,
-) -> (Vec<(u64, [f64; 2])>, WorkerStats) {
-    let t_pin = std::time::Instant::now();
-    let mut probe = db.pcube().probe(selection, eager);
-    let mut heap = CandidateHeap::new();
-    for (score, cand) in seeds {
-        heap.push(score, cand);
-    }
-    let mut logic = HullLogic::new(dims);
-    let mut gov = worker_governor(db, fg);
-    let pin_seconds = t_pin.elapsed().as_secs_f64();
-    let mut run =
-        run_kernel(db, selection, &mut probe, &mut heap, &mut logic, None, gov.as_mut());
-    run.stages.pin_seconds += pin_seconds;
-    if run.stop.is_some() {
-        if let Some(g) = fg {
-            g.fleet.cancel();
-        }
-    }
-    let stats = WorkerStats {
-        nodes_expanded: run.nodes_expanded,
-        peak_heap: heap.peak_size(),
-        partials_loaded: probe.partials_loaded(),
-        pops: run.pops,
-        frontier: run.frontier,
-        stop: run.stop,
-        overshoot_seconds: run.overshoot_seconds,
-        max_pop_seconds: run.max_pop_seconds,
-        stages: run.stages,
-    };
-    let t_merge = std::time::Instant::now();
-    let local_hull = monotone_chain(&logic.into_points());
-    let mut stats = stats;
-    stats.stages.merge_seconds += t_merge.elapsed().as_secs_f64();
-    (local_hull, stats)
+    let class = HullClass::new(dims);
+    let out = par_run_class(db, selection, &class, opts, budget, cancel);
+    ParHullOutcome { hull: out.rows, stats: out.stats }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::kernel::{f64_to_ordered, ordered_to_f64};
+    use crate::query::kernel::{f64_to_ordered, ordered_to_f64, SharedBound, SharedWindow};
 
     #[test]
     fn ordered_f64_mapping_is_monotone() {

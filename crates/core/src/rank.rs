@@ -17,6 +17,16 @@ pub trait RankingFunction {
     fn lower_bound(&self, mbr: &Mbr) -> f64;
 }
 
+impl<F: RankingFunction + ?Sized> RankingFunction for &F {
+    fn score(&self, point: &[f64]) -> f64 {
+        (**self).score(point)
+    }
+
+    fn lower_bound(&self, mbr: &Mbr) -> f64 {
+        (**self).lower_bound(mbr)
+    }
+}
+
 /// `f = Σ wᵢ·xᵢ` with arbitrary-sign weights (Fig 13 uses random positive
 /// coefficients `aX + bY + cZ`). The lower bound picks, per dimension, the
 /// corner that minimizes the term.

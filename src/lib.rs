@@ -73,10 +73,11 @@ pub mod prelude {
         par_dynamic_skyline_query, par_skyline_query, par_topk_query, skyline_drill_down,
         skyline_query, skyline_roll_up, topk_drill_down, topk_query, topk_roll_up, CommitReceipt,
         CostEstimate, DurabilityError, DurabilityOptions, DurableDb, DurableState, EngineKind,
-        EpochReader, EpochSnapshot, Executor, LinearFn, MaintenanceOp, MinCoordSum, PCube,
-        PCubeConfig, PCubeDb, PCubeExecutor, ParallelOptions, PlanDecision, Planner, QuerySpec,
-        QueryStats, RankingFunction, RecoveryReport, Signature, SkylineOutcome, TopKOutcome,
-        WeightedDistanceFn,
+        ClassOutcome, EpochReader, EpochSnapshot, Executor, LinearFn, MaintenanceOp, MinCoordSum,
+        PCube, PCubeConfig, PCubeDb, PCubeExecutor, PSkylineClass, ParallelOptions, PlanDecision,
+        Planner, PriorityGraph, PriorityGraphError, QueryClass, QuerySpec, QueryStats,
+        RankingFunction, RecoveryReport, Signature, SkylineClass, SkylineOutcome,
+        SubspaceSkylineClass, TopKClass, TopKOutcome, WeightedDistanceFn,
     };
     pub use pcube_core::{CommitError, CommitQueue, CommitQueuePolicy, GroupCommitStats};
     pub use pcube_cube::{

@@ -26,8 +26,8 @@ use pcube_baselines::{
 };
 use pcube_core::{
     skyline_query_governed, topk_query_governed, CancelToken, DurableDb, Executor, PCubeDb,
-    PCubeExecutor, Planner, QueryBudget, QueryOutcome, QueryStats, RankingFunction, SkylineRows,
-    TopKRows,
+    PCubeExecutor, PSkylineClass, Planner, PriorityGraph, QueryBudget, QueryClass, QueryOutcome,
+    QueryStats, RankingFunction, SkylineRows, SubspaceSkylineClass, TopKRows,
 };
 use pcube_cube::{Predicate, Selection};
 use pcube_rtree::Mbr;
@@ -89,6 +89,26 @@ pub enum SqlQuery {
         predicates: Vec<(String, String)>,
         /// The ranking expression.
         ranking: Vec<RankTerm>,
+    },
+    /// `SELECT SKYLINE [OF …] FROM … [WHERE …] PRIORITIZE a OVER b
+    /// [AND c OVER d]*` — prioritized (p-)skyline under a dimension
+    /// priority DAG.
+    PSkyline {
+        /// `(dimension, value)` equality predicates.
+        predicates: Vec<(String, String)>,
+        /// Preference dimensions (empty = all).
+        pref_dims: Vec<String>,
+        /// `(dominant, dominated)` priority edges.
+        edges: Vec<(String, String)>,
+    },
+    /// `SELECT SKYLINE IN SUBSPACE (…) FROM … [WHERE …]` — skyline of the
+    /// projection onto the listed dimensions, with distinct-value
+    /// semantics on the projected duplicates.
+    SubspaceSkyline {
+        /// `(dimension, value)` equality predicates.
+        predicates: Vec<(String, String)>,
+        /// The subspace dimensions, in projection order.
+        dims: Vec<String>,
     },
 }
 
@@ -209,6 +229,16 @@ impl Parser {
             Some(Token::Number(n)) => Ok(n),
             other => err(format!("expected number, found {other:?}")),
         }
+    }
+
+    /// `ident (, ident)*`
+    fn ident_list(&mut self) -> Result<Vec<String>, SqlError> {
+        let mut dims = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Symbol(','))) {
+            self.pos += 1;
+            dims.push(self.ident()?);
+        }
+        Ok(dims)
     }
 
     fn predicates(&mut self) -> Result<Vec<(String, String)>, SqlError> {
@@ -376,21 +406,55 @@ pub fn parse_statement(sql: &str) -> Result<SqlStatement, SqlError> {
 fn parse_query(p: &mut Parser) -> Result<SqlQuery, SqlError> {
     p.expect_keyword("select")?;
     let query = if p.keyword("skyline") || p.keyword("skylines") {
+        // `OF d1, d2` before FROM — same meaning as `PREFERENCE BY` after
+        // the WHERE clause; at most one of the two may appear.
+        let mut pref_dims = if p.keyword("of") { p.ident_list()? } else { Vec::new() };
+        // `IN SUBSPACE (d1, d2)`: the projected-skyline form.
+        let subspace = if p.keyword("in") {
+            p.expect_keyword("subspace")?;
+            p.expect_symbol('(')?;
+            let dims = p.ident_list()?;
+            p.expect_symbol(')')?;
+            Some(dims)
+        } else {
+            None
+        };
         p.expect_keyword("from")?;
         let _table = p.ident()?;
         let predicates = p.predicates()?;
-        let mut pref_dims = Vec::new();
         if p.keyword("preference") {
             p.expect_keyword("by")?;
+            if !pref_dims.is_empty() {
+                return err("give the skyline dimensions once: OF … or PREFERENCE BY …, not both");
+            }
+            pref_dims = p.ident_list()?;
+        }
+        // `PRIORITIZE a OVER b [AND c OVER d]*`: priority edges.
+        let mut edges = Vec::new();
+        if p.keyword("prioritize") {
             loop {
-                pref_dims.push(p.ident()?);
-                if !matches!(p.peek(), Some(Token::Symbol(','))) {
+                let dominant = p.ident()?;
+                p.expect_keyword("over")?;
+                let dominated = p.ident()?;
+                edges.push((dominant, dominated));
+                if !p.keyword("and") {
                     break;
                 }
-                p.pos += 1;
             }
         }
-        SqlQuery::Skyline { predicates, pref_dims }
+        match subspace {
+            Some(dims) => {
+                if !pref_dims.is_empty() {
+                    return err("IN SUBSPACE already fixes the dimensions; drop OF / PREFERENCE BY");
+                }
+                if !edges.is_empty() {
+                    return err("PRIORITIZE cannot be combined with IN SUBSPACE");
+                }
+                SqlQuery::SubspaceSkyline { predicates, dims }
+            }
+            None if !edges.is_empty() => SqlQuery::PSkyline { predicates, pref_dims, edges },
+            None => SqlQuery::Skyline { predicates, pref_dims },
+        }
     } else if p.keyword("top") {
         let k = p.number()? as usize;
         if k == 0 {
@@ -606,6 +670,98 @@ fn execute_statement(
                 stats,
             })
         }
+        SqlQuery::PSkyline { predicates, pref_dims, edges } => {
+            let selection = bind_selection(db, &predicates)?;
+            let names: Vec<String> = if pref_dims.is_empty() {
+                (0..db.relation().schema().n_pref())
+                    .map(|d| db.relation().schema().pref_name(d).to_owned())
+                    .collect()
+            } else {
+                pref_dims
+            };
+            reject_duplicate_dims(&names, "the skyline dimension list")?;
+            let dims = names
+                .iter()
+                .map(|n| bind_pref_dim(db, n))
+                .collect::<Result<Vec<_>, _>>()?;
+            let edge_ids = edges
+                .iter()
+                .map(|(a, b)| {
+                    let a_id = bind_pref_dim(db, a)?;
+                    let b_id = bind_pref_dim(db, b)?;
+                    for (name, id) in [(a, a_id), (b, b_id)] {
+                        if !dims.contains(&id) {
+                            return err(format!(
+                                "PRIORITIZE mentions {name:?}, which is not one of \
+                                 this query's skyline dimensions"
+                            ));
+                        }
+                    }
+                    Ok((a_id, b_id))
+                })
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            let graph = PriorityGraph::new(dims, &edge_ids)
+                .map_err(|e| SqlError(format!("invalid PRIORITIZE clause: {e}")))?;
+            let class = PSkylineClass::new(graph);
+            let (rows, stats) = run_class_statement(db, &class, &selection, stmt.explain, budget, cancel)?;
+            Ok(SqlOutcome {
+                rows: rows
+                    .iter()
+                    .map(|(tid, coords)| decode_row(db, *tid, coords, None))
+                    .collect(),
+                stats,
+            })
+        }
+        SqlQuery::SubspaceSkyline { predicates, dims } => {
+            let selection = bind_selection(db, &predicates)?;
+            reject_duplicate_dims(&dims, "SUBSPACE")?;
+            let dim_ids = dims
+                .iter()
+                .map(|n| bind_pref_dim(db, n))
+                .collect::<Result<Vec<_>, _>>()?;
+            let class = SubspaceSkylineClass::new(dim_ids);
+            let (rows, stats) = run_class_statement(db, &class, &selection, stmt.explain, budget, cancel)?;
+            // Subspace rows carry only the projected coordinates, in the
+            // order the SUBSPACE clause listed them.
+            Ok(SqlOutcome {
+                rows: rows
+                    .iter()
+                    .map(|(tid, coords)| decode_row(db, *tid, coords, None))
+                    .collect(),
+                stats,
+            })
+        }
+    }
+}
+
+fn reject_duplicate_dims(names: &[String], what: &str) -> Result<(), SqlError> {
+    for (i, n) in names.iter().enumerate() {
+        if names[..i].iter().any(|m| m == n) {
+            return err(format!("duplicate dimension {n:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+/// Runs a pluggable query class the way the legacy statements run: direct
+/// serial engine normally, or through the §VI planner when the statement
+/// was `EXPLAIN`-prefixed (the decision lands in `stats.plan` either way
+/// only for the planned path).
+fn run_class_statement<C: QueryClass + Sync>(
+    db: &PCubeDb,
+    class: &C,
+    selection: &Selection,
+    explain: bool,
+    budget: &QueryBudget,
+    cancel: Option<&CancelToken>,
+) -> Result<(Vec<C::Row>, QueryStats), SqlError> {
+    if explain {
+        let planner = Planner::new(db);
+        db.plan_and_run_class(&planner, class, selection, budget, cancel)
+            .map_err(|e| SqlError(e.to_string()))
+    } else {
+        let out = db.run_governed(selection, class, budget, cancel);
+        Ok((out.rows, out.stats))
     }
 }
 
@@ -772,7 +928,8 @@ pub fn render_outcome(stats: &QueryStats) -> Option<String> {
 pub fn explain_plan(stats: &QueryStats) -> Option<String> {
     let plan = stats.plan.as_ref()?;
     let mut out = format!(
-        "plan: {} (selectivity {:.4}, ~{:.0} qualifying)\n",
+        "plan: {} via {} (selectivity {:.4}, ~{:.0} qualifying)\n",
+        plan.class,
         plan.chosen.name(),
         plan.selectivity,
         plan.qualifying_est,
@@ -988,6 +1145,120 @@ mod tests {
             Some(StopReason::BlockBudgetExceeded),
             "the chosen engine still stops when the budget trips"
         );
+    }
+
+    #[test]
+    fn parses_pskyline_forms() {
+        let q = parse(
+            "SELECT SKYLINE OF price, mileage FROM cars WHERE type = 'sedan' \
+             PRIORITIZE price OVER mileage",
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            SqlQuery::PSkyline {
+                predicates: vec![("type".into(), "sedan".into())],
+                pref_dims: vec!["price".into(), "mileage".into()],
+                edges: vec![("price".into(), "mileage".into())],
+            }
+        );
+        // PREFERENCE BY works too, and AND chains edges.
+        let q = parse(
+            "select skyline from r preference by x, y, z \
+             prioritize x over y and y over z",
+        )
+        .unwrap();
+        let SqlQuery::PSkyline { edges, .. } = q else { panic!("expected p-skyline") };
+        assert_eq!(edges.len(), 2);
+        // No dimension list: priorities over all preference dimensions.
+        let q = parse("select skyline from r prioritize x over y").unwrap();
+        assert!(matches!(q, SqlQuery::PSkyline { ref pref_dims, .. } if pref_dims.is_empty()));
+    }
+
+    #[test]
+    fn parses_subspace_forms() {
+        let q = parse("SELECT SKYLINE IN SUBSPACE (price, age) FROM cars").unwrap();
+        assert_eq!(
+            q,
+            SqlQuery::SubspaceSkyline {
+                predicates: vec![],
+                dims: vec!["price".into(), "age".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_class_clauses() {
+        for bad in [
+            "select skyline of from r",
+            "select skyline of x from r preference by y",
+            "select skyline in subspace from r",
+            "select skyline in subspace () from r",
+            "select skyline in subspace (x from r",
+            "select skyline of x in subspace (y) from r",
+            "select skyline in subspace (x) from r prioritize x over y",
+            "select skyline from r prioritize x",
+            "select skyline from r prioritize x over",
+            "select skyline from r prioritize over x",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn binding_errors_are_typed_not_panics() {
+        use pcube_core::PCubeConfig;
+        use pcube_data::{synthetic, SyntheticSpec};
+
+        let spec = SyntheticSpec { n_tuples: 100, n_bool: 2, n_pref: 3, ..Default::default() };
+        let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+        // n_pref = 3 → dims N0, N1, N2.
+        for bad in [
+            // Unknown dimension names.
+            "select skyline in subspace (nope) from r",
+            "select skyline from r prioritize nope over N0",
+            // Duplicates.
+            "select skyline in subspace (N0, N0) from r",
+            "select skyline of N0, N0 from r prioritize N0 over N0",
+            // Edge endpoint outside the listed dimensions.
+            "select skyline of N0, N1 from r prioritize N0 over N2",
+            // Cycles (direct and via transitivity).
+            "select skyline from r prioritize N0 over N0",
+            "select skyline from r prioritize N0 over N1 and N1 over N2 and N2 over N0",
+        ] {
+            assert!(execute(&db, bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn executes_pskyline_and_subspace_statements() {
+        use pcube_core::PCubeConfig;
+        use pcube_data::{synthetic, SyntheticSpec};
+        use std::collections::HashSet;
+
+        let spec = SyntheticSpec { n_tuples: 400, n_bool: 2, n_pref: 3, ..Default::default() };
+        let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+
+        // The p-skyline is a subset of the Pareto skyline over the same
+        // dimensions, and an empty PRIORITIZE-free statement reproduces it.
+        let pareto = execute(&db, "select skyline from r").unwrap();
+        let pareto_tids: HashSet<u64> = pareto.rows.iter().map(|r| r.tid).collect();
+        let p = execute(&db, "select skyline from r prioritize N0 over N1 and N0 over N2")
+            .unwrap();
+        assert!(!p.rows.is_empty());
+        assert!(p.rows.iter().all(|r| pareto_tids.contains(&r.tid)), "p-skyline ⊆ skyline");
+
+        // Subspace rows carry exactly the projected coordinates.
+        let sub = execute(&db, "select skyline in subspace (N2, N0) from r").unwrap();
+        assert!(!sub.rows.is_empty());
+        assert!(sub.rows.iter().all(|r| r.coords.len() == 2));
+
+        // EXPLAIN routes through the planner and names the class.
+        let out = execute(&db, "explain select skyline from r prioritize N0 over N1").unwrap();
+        let rendered = explain_plan(&out.stats).expect("EXPLAIN records a plan");
+        assert!(rendered.contains("p-skyline"), "got: {rendered}");
+        let out = execute(&db, "explain select skyline in subspace (N0, N1) from r").unwrap();
+        assert!(explain_plan(&out.stats).unwrap().contains("subspace-skyline"));
     }
 
     #[test]

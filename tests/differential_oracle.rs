@@ -13,8 +13,9 @@ use pcube::baselines::{
 use pcube::core::{
     convex_hull_query, dynamic_skyline_query, par_convex_hull_query, par_dynamic_skyline_query,
     par_skyline_query, par_topk_query, skyline_query, skyline_query_governed, topk_query,
-    topk_query_governed, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, ParallelOptions,
-    Planner, QueryBudget, RankingFunction, StopReason,
+    topk_query_governed, Executor, LinearFn, PCubeConfig, PCubeDb, PCubeExecutor, PSkylineClass,
+    ParallelOptions, Planner, PriorityGraph, QueryBudget, RankingFunction, StopReason,
+    SubspaceSkylineClass,
 };
 use pcube::cube::{Predicate, Relation, Schema, Selection};
 use proptest::prelude::*;
@@ -32,6 +33,24 @@ fn arb_rows(n_bool: usize, n_pref: usize, max_rows: usize) -> impl Strategy<Valu
         (
             prop::collection::vec(0u32..4, n_bool..=n_bool),
             prop::collection::vec(0.0f64..1.0, n_pref..=n_pref),
+        )
+            .prop_map(|(codes, coords)| Row { codes, coords }),
+        1..max_rows,
+    )
+}
+
+/// Rows whose coordinates come from a 5-value grid, so projections onto a
+/// subspace collide often — the interesting regime for distinct-value
+/// subspace semantics.
+fn arb_coarse_rows(
+    n_bool: usize,
+    n_pref: usize,
+    max_rows: usize,
+) -> impl Strategy<Value = Vec<Row>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u32..4, n_bool..=n_bool),
+            prop::collection::vec((0u8..5).prop_map(|v| v as f64 * 0.25), n_pref..=n_pref),
         )
             .prop_map(|(codes, coords)| Row { codes, coords }),
         1..max_rows,
@@ -93,6 +112,100 @@ fn oracle_dynamic(
         })
         .collect()
 }
+
+/// Transitive closure of priority edges over dimension ids `0..n` —
+/// a plain boolean-matrix Floyd–Warshall, independent of the engine's
+/// bitmask representation.
+fn priority_closure(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+    let mut c = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        c[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if c[i][k] && c[k][j] {
+                    c[i][j] = true;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `a ≻_Γ b` (Mindolin & Chomicki): `a` is strictly better somewhere, and
+/// every dimension where `a` is strictly worse is excused by some
+/// strictly-better dimension with (transitive) priority over it.
+fn gamma_dominates(a: &[f64], b: &[f64], dims: &[usize], cl: &[Vec<bool>]) -> bool {
+    let better: Vec<usize> = dims.iter().copied().filter(|&d| a[d] < b[d]).collect();
+    if better.is_empty() {
+        return false;
+    }
+    dims.iter().copied().filter(|&d| a[d] > b[d]).all(|d| better.iter().any(|&g| cl[g][d]))
+}
+
+/// Oracle p-skyline: the ≻_Γ-maximal points of a full scan, in the
+/// engines' canonical `(coordinate sum over dims, tid)` order.
+fn oracle_pskyline(
+    points: &[(u64, Vec<f64>)],
+    dims: &[usize],
+    edges: &[(usize, usize)],
+    n_pref: usize,
+) -> Vec<(u64, Vec<f64>)> {
+    let cl = priority_closure(n_pref, edges);
+    let mut sky: Vec<(u64, Vec<f64>)> = points
+        .iter()
+        .filter(|(t, c)| {
+            !points.iter().any(|(o, oc)| o != t && gamma_dominates(oc, c, dims, &cl))
+        })
+        .cloned()
+        .collect();
+    let key = |c: &[f64]| -> f64 { dims.iter().map(|&d| c[d]).sum() };
+    sky.sort_by(|a, b| key(&a.1).total_cmp(&key(&b.1)).then(a.0.cmp(&b.0)));
+    sky
+}
+
+/// Oracle subspace skyline: Pareto-maximal points of the projection onto
+/// `dims`, canonical `(projected sum, tid)` order, then distinct-value
+/// dedup keeping the smallest tid per projected point; reported with the
+/// projected coordinates only.
+fn oracle_subspace(points: &[(u64, Vec<f64>)], dims: &[usize]) -> Vec<(u64, Vec<f64>)> {
+    let mut kept: Vec<(u64, Vec<f64>)> = points
+        .iter()
+        .filter(|(t, c)| {
+            !points.iter().any(|(o, oc)| {
+                o != t
+                    && dims.iter().all(|&d| oc[d] <= c[d])
+                    && dims.iter().any(|&d| oc[d] < c[d])
+            })
+        })
+        .cloned()
+        .collect();
+    let key = |c: &[f64]| -> f64 { dims.iter().map(|&d| c[d]).sum() };
+    kept.sort_by(|a, b| key(&a.1).total_cmp(&key(&b.1)).then(a.0.cmp(&b.0)));
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    let mut out = Vec::new();
+    for (t, c) in kept {
+        let proj_bits: Vec<u64> = dims.iter().map(|&d| c[d].to_bits()).collect();
+        if seen.contains(&proj_bits) {
+            continue;
+        }
+        seen.push(proj_bits);
+        out.push((t, dims.iter().map(|&d| c[d]).collect()));
+    }
+    out
+}
+
+/// Priority DAGs exercised by the p-skyline differential tests (edges in
+/// actual dimension ids over 3 preference dimensions): empty (= Pareto),
+/// a single edge, a transitive chain, shared dominated/dominant dims.
+const PRIORITY_EDGE_SETS: [&[(usize, usize)]; 5] = [
+    &[],
+    &[(0, 1)],
+    &[(0, 1), (1, 2)],
+    &[(0, 2), (1, 2)],
+    &[(2, 0), (2, 1)],
+];
 
 /// Oracle convex hull: Andrew's monotone chain over a full scan — the same
 /// tie conventions as the engine (sort by `(x, y, tid)`, coordinate dedup
@@ -335,6 +448,130 @@ proptest! {
             }
         } else {
             prop_assert_eq!(&cut.skyline, &full_sky.skyline);
+        }
+    }
+
+    /// The plugged-in p-skyline class: kernel == independent naive oracle
+    /// for a spread of priority DAGs (including the empty one, which must
+    /// reproduce the Pareto skyline), and parallel == serial bit-for-bit
+    /// at every worker count.
+    #[test]
+    fn pskyline_serial_and_parallel_match_oracle(
+        rows in arb_rows(2, 3, 120),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        edge_set in 0usize..PRIORITY_EDGE_SETS.len(),
+    ) {
+        let db = db_from(&rows, 2, 3);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let edges = PRIORITY_EDGE_SETS[edge_set];
+        let graph = PriorityGraph::new(vec![0, 1, 2], edges).expect("the edge sets are DAGs");
+        let oracle = oracle_pskyline(&qualifying(&rows, &sel), &[0, 1, 2], edges, 3);
+        let serial = db.pskyline(&sel, &graph);
+        prop_assert_eq!(&serial.rows, &oracle, "edges {:?}", edges);
+        if edges.is_empty() {
+            let pareto = skyline_query(&db, &sel, &[0, 1, 2], false);
+            prop_assert_eq!(&serial.rows, &pareto.skyline, "empty Γ is the Pareto skyline");
+        }
+        for workers in WORKER_COUNTS {
+            let par = db.par_pskyline(&sel, &graph, ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.rows, &serial.rows, "workers={}", workers);
+        }
+    }
+
+    /// The plugged-in subspace skyline class: kernel == independent naive
+    /// oracle (coarse coordinates force duplicate projections, so the
+    /// distinct-value dedup is actually exercised), parallel == serial.
+    #[test]
+    fn subspace_skyline_serial_and_parallel_match_oracle(
+        rows in arb_coarse_rows(2, 3, 120),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        which in 0usize..3,
+    ) {
+        let dims_options: [&[usize]; 3] = [&[0], &[2, 0], &[1, 2]];
+        let dims = dims_options[which];
+        let db = db_from(&rows, 2, 3);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let oracle = oracle_subspace(&qualifying(&rows, &sel), dims);
+        let serial = db.subspace_skyline(&sel, dims);
+        prop_assert_eq!(&serial.rows, &oracle, "dims {:?}", dims);
+        for workers in WORKER_COUNTS {
+            let par = db.par_subspace_skyline(&sel, dims, ParallelOptions::with_workers(workers));
+            prop_assert_eq!(&par.rows, &serial.rows, "workers={}", workers);
+        }
+    }
+
+    /// Budget semantics for the new classes: an untripped governed run is
+    /// bit-identical to the full answer; a partial answer contains only
+    /// qualifying tuples and is internally consistent (mutually
+    /// non-dominated, distinct projections for the subspace class).
+    #[test]
+    fn pskyline_and_subspace_partials_are_sound(
+        rows in arb_coarse_rows(2, 3, 150),
+        d0 in 0u32..4,
+        n_preds in 0usize..=1,
+        max_blocks in 1u64..40,
+    ) {
+        let db = db_from(&rows, 2, 3);
+        let sel: Selection = [Predicate { dim: 0, value: d0 }][..n_preds].to_vec();
+        let budget = QueryBudget::unlimited().with_block_budget(max_blocks);
+        let qual: std::collections::HashSet<u64> =
+            qualifying(&rows, &sel).iter().map(|(t, _)| *t).collect();
+
+        let edges = [(0usize, 1usize), (0, 2)];
+        let graph = PriorityGraph::new(vec![0, 1, 2], &edges).expect("DAG");
+        let class = PSkylineClass::new(graph);
+        let full = db.run(&sel, &class);
+        let cut = db.run_governed(&sel, &class, &budget, None);
+        match &cut.stats.outcome {
+            pcube::core::QueryOutcome::Complete => {
+                prop_assert_eq!(&cut.rows, &full.rows, "untripped run is identical");
+            }
+            pcube::core::QueryOutcome::Partial { reason, progress } => {
+                prop_assert_eq!(*reason, StopReason::BlockBudgetExceeded);
+                prop_assert_eq!(progress.results_so_far, cut.rows.len());
+                let cl = priority_closure(3, &edges);
+                for (t, c) in &cut.rows {
+                    prop_assert!(qual.contains(t), "partial rows qualify");
+                    prop_assert_eq!(c, &rows[*t as usize].coords, "coords come from the row");
+                    for (o, oc) in &cut.rows {
+                        prop_assert!(
+                            o == t || !gamma_dominates(oc, c, &[0, 1, 2], &cl),
+                            "partial rows are mutually ≻_Γ-incomparable"
+                        );
+                    }
+                }
+            }
+        }
+
+        let dims = [1usize, 2];
+        let class = SubspaceSkylineClass::new(dims.to_vec());
+        let full = db.run(&sel, &class);
+        let cut = db.run_governed(&sel, &class, &budget, None);
+        match &cut.stats.outcome {
+            pcube::core::QueryOutcome::Complete => {
+                prop_assert_eq!(&cut.rows, &full.rows, "untripped run is identical");
+            }
+            pcube::core::QueryOutcome::Partial { reason, .. } => {
+                prop_assert_eq!(*reason, StopReason::BlockBudgetExceeded);
+                for (t, c) in &cut.rows {
+                    prop_assert!(qual.contains(t), "partial rows qualify");
+                    let expect: Vec<f64> =
+                        dims.iter().map(|&d| rows[*t as usize].coords[d]).collect();
+                    prop_assert_eq!(c, &expect, "projected coords come from the row");
+                    for (o, oc) in &cut.rows {
+                        if o != t {
+                            prop_assert!(oc != c, "projections are distinct");
+                            prop_assert!(
+                                !(oc[0] <= c[0] && oc[1] <= c[1]
+                                    && (oc[0] < c[0] || oc[1] < c[1])),
+                                "partial rows are mutually non-dominated"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -27,6 +27,12 @@ proptest! {
                 Just("order".to_string()),
                 Just("by".to_string()),
                 Just("preference".to_string()),
+                Just("of".to_string()),
+                Just("in".to_string()),
+                Just("subspace".to_string()),
+                Just("prioritize".to_string()),
+                Just("over".to_string()),
+                Just(",".to_string()),
                 Just("(".to_string()),
                 Just(")".to_string()),
                 Just("^".to_string()),
