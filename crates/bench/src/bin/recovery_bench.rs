@@ -21,6 +21,11 @@
 //!   [`CommitQueue`] against a simulated fsync latency must beat the
 //!   one-fsync-per-commit baseline by at least 3x.
 //!
+//! A fifth sweep gates self-healing: every live signature page is rotted,
+//! the degraded engine must still answer the probe exactly, and a scrub +
+//! WAL-routed repair must return blocks-per-probe to the clean baseline —
+//! timed and emitted under `"self_healing"`.
+//!
 //! Also a correctness gate: every recovered database must answer the probe
 //! skyline exactly like the live master it was recovered from, or the
 //! binary exits non-zero.
@@ -31,9 +36,9 @@
 
 use pcube_core::{
     skyline_query, CommitQueue, CommitQueuePolicy, DurabilityOptions, DurableDb, MaintenanceOp,
-    PCubeConfig, PCubeDb,
+    PCubeConfig, PCubeDb, QueryBudget,
 };
-use pcube_cube::Relation;
+use pcube_cube::{Predicate, Relation};
 use pcube_data::{synthetic, SyntheticSpec};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -375,6 +380,91 @@ fn main() {
         mismatches += 1;
     }
 
+    // --- sweep 5: scrub + repair (self-healing) ---------------------------
+    // Rot every live signature page, prove the degraded engine still answers
+    // the probe exactly, then time the scrub pass and the WAL-routed repair.
+    // Gates: degraded and healed answers must match the clean ones, and
+    // blocks-per-probe must return to the clean baseline after repair.
+    let mut heal = DurableDb::create(
+        seed_relation(cfg.tuples),
+        &PCubeConfig::default(),
+        DurabilityOptions { fsync_every: 1, checkpoint_every: 0, ..DurabilityOptions::default() },
+    );
+    let mut w = Workload::new(cfg.tuples, cfg.ops_per_txn);
+    for t in 0..cfg.txns.min(32) {
+        heal.apply(&w.txn(t)).expect("apply");
+    }
+    heal.signature_store_mut().sig_pager_mut().set_checksums(true);
+    // A *selected* probe — the empty selection never touches signatures, so
+    // only a boolean-pruned query exercises the damaged pages.
+    let selected_probe = |d: &PCubeDb| -> Vec<u64> {
+        let sel = vec![Predicate { dim: 0, value: 1 }];
+        let mut tids: Vec<u64> =
+            skyline_query(d, &sel, &[0, 1], false).skyline.iter().map(|p| p.0).collect();
+        tids.sort_unstable();
+        tids
+    };
+    let probe_reads = |d: &DurableDb, want: &[u64], what: &str, mismatches: &mut u64| -> u64 {
+        let answer = selected_probe(d.db()); // warm pass
+        if answer != want {
+            eprintln!("FAIL: {what} probe diverged");
+            *mismatches += 1;
+        }
+        let before = d.db().stats().snapshot();
+        selected_probe(d.db());
+        d.db().stats().snapshot().since(&before).total_reads()
+    };
+    let want = selected_probe(heal.db());
+    let reads_clean = probe_reads(&heal, &want, "clean", &mut mismatches);
+    let sig_pages = {
+        let pager = heal.signature_store_mut().sig_pager_mut();
+        let page_size = pager.page_size();
+        let pages = pager.live_page_ids();
+        for (i, &pid) in pages.iter().enumerate() {
+            pager.corrupt_page(pid, (i * 97) % page_size, 0x41).expect("corrupt live page");
+        }
+        pages.len()
+    };
+    let degraded_before = heal.db().stats().snapshot();
+    let reads_degraded = probe_reads(&heal, &want, "degraded", &mut mismatches);
+    let degraded_reads = heal.db().stats().snapshot().since(&degraded_before).degraded_reads();
+    if degraded_reads == 0 {
+        eprintln!("FAIL: degraded probe left no trace on the ledger");
+        mismatches += 1;
+    }
+    let start = Instant::now();
+    let scrub_report = heal.scrub(&QueryBudget::unlimited());
+    let scrub_us = start.elapsed().as_micros();
+    if (scrub_report.newly_quarantined + scrub_report.already_quarantined) as usize != sig_pages {
+        eprintln!("FAIL: scrub missed damage: {scrub_report}");
+        mismatches += 1;
+    }
+    let start = Instant::now();
+    let repair = heal.repair().expect("repair");
+    let repair_us = start.elapsed().as_micros();
+    if repair.pages_healed as usize != sig_pages {
+        eprintln!("FAIL: repair healed {} of {sig_pages} pages", repair.pages_healed);
+        mismatches += 1;
+    }
+    let healed_before = heal.db().stats().snapshot();
+    let reads_healed = probe_reads(&heal, &want, "healed", &mut mismatches);
+    if heal.db().stats().snapshot().since(&healed_before).degraded_reads() > 0 {
+        eprintln!("FAIL: healed store still issues degraded reads");
+        mismatches += 1;
+    }
+    if reads_healed != reads_clean {
+        eprintln!(
+            "FAIL: blocks-per-probe did not recover ({reads_healed} healed vs {reads_clean} clean)"
+        );
+        mismatches += 1;
+    }
+    eprintln!(
+        "  self-healing: {sig_pages} pages rotted; probe reads {reads_clean} clean -> \
+         {reads_degraded} degraded -> {reads_healed} healed; scrub {scrub_us} us, \
+         repair {repair_us} us ({} cells)",
+        repair.cells_rebuilt
+    );
+
     // --- emit ------------------------------------------------------------
     // Hand-rolled JSON (the workspace deliberately has no serde).
     let mut json = String::new();
@@ -427,6 +517,18 @@ fn main() {
         group_stats.fsync_amortization()
     );
     json.push_str("  },\n");
+    json.push_str("  \"self_healing\": {\n");
+    let _ = writeln!(json, "    \"sig_pages_rotted\": {sig_pages},");
+    let _ = writeln!(json, "    \"probe_reads_clean\": {reads_clean},");
+    let _ = writeln!(json, "    \"probe_reads_degraded\": {reads_degraded},");
+    let _ = writeln!(json, "    \"probe_reads_healed\": {reads_healed},");
+    let _ = writeln!(json, "    \"degraded_reads\": {degraded_reads},");
+    let _ = writeln!(json, "    \"scrub_us\": {scrub_us},");
+    let _ = writeln!(json, "    \"scrub_pages_scanned\": {},", scrub_report.pages_scanned);
+    let _ = writeln!(json, "    \"repair_us\": {repair_us},");
+    let _ = writeln!(json, "    \"cells_rebuilt\": {},", repair.cells_rebuilt);
+    let _ = writeln!(json, "    \"pages_healed\": {}", repair.pages_healed);
+    json.push_str("  },\n");
     let _ = writeln!(json, "  \"result_mismatches\": {mismatches}");
     json.push_str("}\n");
     std::fs::write(&cfg.out, &json).expect("write results json");
@@ -436,5 +538,5 @@ fn main() {
         eprintln!("FAIL: {mismatches} recovered databases diverged from their masters");
         std::process::exit(1);
     }
-    eprintln!("OK: recovery scales with WAL depth; checkpoint resets it");
+    eprintln!("OK: recovery scales with WAL depth; checkpoint resets it; scrub+repair heals");
 }

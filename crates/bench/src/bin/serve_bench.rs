@@ -218,6 +218,11 @@ struct ConfigResult {
     p99_us: u64,
     mismatches: u64,
     counter_consistent: bool,
+    /// Self-healing counters over the run: a healthy serving harness must
+    /// see zero degraded reads, quarantines, and repairs.
+    degraded_reads: u64,
+    pages_quarantined: u64,
+    pages_repaired: u64,
     /// Per-stage wall time summed over every executed query (all clients).
     stages: StageTimes,
 }
@@ -305,6 +310,21 @@ fn run_config(
             consistent = false;
         }
     }
+    // The self-healing ledger is part of the same gate: a read-only serving
+    // run over a healthy store must never degrade, quarantine, or repair —
+    // any nonzero delta here means silent damage (or a double charge).
+    if delta.degraded_reads() != 0
+        || delta.pages_quarantined() != 0
+        || delta.pages_repaired() != 0
+    {
+        eprintln!(
+            "self-healing drift: degraded_reads {}, pages_quarantined {}, pages_repaired {}",
+            delta.degraded_reads(),
+            delta.pages_quarantined(),
+            delta.pages_repaired(),
+        );
+        consistent = false;
+    }
 
     // Modeled makespan: charge each executed query its measured CPU time
     // plus the cost model's I/O time, then list-schedule the instances in
@@ -346,6 +366,9 @@ fn run_config(
         p99_us: percentile(&all_lat, 0.99),
         mismatches: mismatches.load(Ordering::Relaxed),
         counter_consistent: consistent,
+        degraded_reads: delta.degraded_reads(),
+        pages_quarantined: delta.pages_quarantined(),
+        pages_repaired: delta.pages_repaired(),
         stages,
     }
 }
@@ -497,7 +520,7 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"wall_seconds\": {:.4}, \"qps_wall\": {:.1}, \"qps_modeled\": {:.3}, \"wall_speedup_vs_1_thread\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \"result_mismatches\": {}, \"counter_consistent\": {}, \"stage_seconds\": {{\"pin\": {:.4}, \"page_read\": {:.4}, \"score\": {:.4}, \"merge\": {:.4}}}}}{}",
+            "    {{\"threads\": {}, \"wall_seconds\": {:.4}, \"qps_wall\": {:.1}, \"qps_modeled\": {:.3}, \"wall_speedup_vs_1_thread\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \"result_mismatches\": {}, \"counter_consistent\": {}, \"degraded_reads\": {}, \"pages_quarantined\": {}, \"pages_repaired\": {}, \"stage_seconds\": {{\"pin\": {:.4}, \"page_read\": {:.4}, \"score\": {:.4}, \"merge\": {:.4}}}}}{}",
             r.threads,
             r.wall_seconds,
             r.qps_wall,
@@ -507,6 +530,9 @@ fn main() {
             r.p99_us,
             r.mismatches,
             r.counter_consistent,
+            r.degraded_reads,
+            r.pages_quarantined,
+            r.pages_repaired,
             r.stages.pin_seconds,
             r.stages.page_read_seconds,
             r.stages.score_seconds,

@@ -28,7 +28,9 @@ pub struct BPlusTree {
     pin_internal: bool,
     /// `RwLock` so concurrent query threads can serve pinned internal
     /// pages from the cache; writes happen only on first read of a page and
-    /// on invalidation.
+    /// on invalidation. Lock poisoning is recovered from, not propagated:
+    /// the cache holds whole-page copies installed atomically, so whatever a
+    /// panicking holder left behind is still servable (or clearable).
     internal_cache: RwLock<HashMap<PageId, Box<[u8]>>>,
 }
 
@@ -98,14 +100,14 @@ impl BPlusTree {
     pub fn set_internal_pinning(&mut self, on: bool) {
         self.pin_internal = on;
         if !on {
-            self.internal_cache.write().expect("cache lock poisoned").clear();
+            self.internal_cache.write().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
     /// Reads a node page, serving pinned internal pages from memory.
     fn read_page(&self, pid: PageId) -> Vec<u8> {
         if self.pin_internal {
-            if let Some(page) = self.internal_cache.read().expect("cache lock poisoned").get(&pid) {
+            if let Some(page) = self.internal_cache.read().unwrap_or_else(|e| e.into_inner()).get(&pid) {
                 return page.to_vec();
             }
         }
@@ -113,7 +115,7 @@ impl BPlusTree {
         if self.pin_internal && node::node_type(&page) != TYPE_LEAF {
             self.internal_cache
                 .write()
-                .expect("cache lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .insert(pid, page.clone().into_boxed_slice());
         }
         page
@@ -121,7 +123,7 @@ impl BPlusTree {
 
     fn invalidate_cache(&mut self) {
         if self.pin_internal {
-            self.internal_cache.write().expect("cache lock poisoned").clear();
+            self.internal_cache.write().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 
@@ -255,7 +257,7 @@ impl BPlusTree {
     /// corrupt bytes surface as [`StorageError`] instead of a slice panic.
     fn try_read_page(&self, pid: PageId) -> Result<Vec<u8>, StorageError> {
         if self.pin_internal {
-            if let Some(page) = self.internal_cache.read().expect("cache lock poisoned").get(&pid) {
+            if let Some(page) = self.internal_cache.read().unwrap_or_else(|e| e.into_inner()).get(&pid) {
                 return Ok(page.to_vec());
             }
         }
@@ -267,7 +269,7 @@ impl BPlusTree {
         if self.pin_internal && node::node_type(&page) != TYPE_LEAF {
             self.internal_cache
                 .write()
-                .expect("cache lock poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .insert(pid, page.clone().into_boxed_slice());
         }
         Ok(page)

@@ -82,8 +82,7 @@ impl AdmissionGate {
     /// permit releases the slot when dropped.
     pub fn admit(&self) -> Result<AdmissionPermit<'_>, AdmissionError> {
         let started = Instant::now();
-        let mut in_flight =
-            self.in_flight.lock().expect("admission mutex poisoned");
+        let mut in_flight = self.lock();
         while *in_flight >= self.max_in_flight {
             let waited = started.elapsed();
             let Some(left) = self.max_wait.checked_sub(waited) else {
@@ -94,7 +93,8 @@ impl AdmissionGate {
             let (guard, timeout) = self
                 .freed
                 .wait_timeout(in_flight, left)
-                .expect("admission mutex poisoned");
+                // Same poison policy as `Self::lock`.
+                .unwrap_or_else(|e| e.into_inner());
             in_flight = guard;
             if timeout.timed_out() && *in_flight >= self.max_in_flight {
                 drop(in_flight);
@@ -121,7 +121,7 @@ impl AdmissionGate {
 
     /// Queries currently holding a slot.
     pub fn in_flight(&self) -> usize {
-        *self.in_flight.lock().expect("admission mutex poisoned")
+        *self.lock()
     }
 
     /// Total queries admitted so far.
@@ -135,11 +135,19 @@ impl AdmissionGate {
     }
 
     fn release(&self) {
-        let mut in_flight =
-            self.in_flight.lock().expect("admission mutex poisoned");
+        let mut in_flight = self.lock();
         *in_flight = in_flight.saturating_sub(1);
         drop(in_flight);
         self.freed.notify_one();
+    }
+
+    /// Locks the in-flight count, recovering from lock poisoning: the count
+    /// is a plain integer (never left mid-update by a panicking holder), and
+    /// `AdmissionPermit::drop` still releases slots during unwinding, so the
+    /// gate stays correct — refusing every later query over a stale
+    /// `PoisonError` would not.
+    fn lock(&self) -> std::sync::MutexGuard<'_, usize> {
+        self.in_flight.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 

@@ -35,15 +35,15 @@
 //! recovers from [`DurableDb::durable_state`] and differential-tests the
 //! result (`tests/crash_recovery.rs`).
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use pcube_bptree::BPlusTree;
-use pcube_cube::Relation;
-use pcube_rtree::{RTree, RTreeConfig};
+use pcube_cube::{CellKey, Relation};
+use pcube_rtree::{Path as TreePath, RTree, RTreeConfig};
 use pcube_storage::{
     crc32, CrashPlan, CrashPoint, IoCategory, IoStats, Lsn, PageId, Pager, SharedStats, StoreKind,
     TreeOp, Wal, WalRecord, WalStats,
@@ -53,6 +53,7 @@ use crate::pcube::{PCube, PCubeConfig, PCubeDb};
 use crate::persist::{
     self, open_section, put_section, put_u32, put_u64, PersistError, Reader,
 };
+use crate::signature::Signature;
 use crate::store::SignatureStore;
 
 /// 8-byte magic of a serialized checkpoint image; the version is the last
@@ -137,6 +138,33 @@ pub struct CheckpointOutcome {
     pub pages_flushed: u64,
     /// WAL bytes reclaimed by truncation.
     pub wal_bytes_reclaimed: u64,
+}
+
+/// What an online repair pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Cells whose signatures were rebuilt from the base table.
+    pub cells_rebuilt: u64,
+    /// Quarantined pages healed (freed unread and re-allocated clean).
+    pub pages_healed: u64,
+    /// The WAL transaction that made the rebuild durable, or `None` when
+    /// nothing was quarantined and repair was a no-op.
+    pub txn: Option<u64>,
+    /// The catalog epoch after repair published (unchanged on a no-op).
+    pub epoch: u64,
+}
+
+impl std::fmt::Display for RepairOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.txn {
+            Some(txn) => write!(
+                f,
+                "repair: {} cells rebuilt, {} pages healed (txn {}, epoch {})",
+                self.cells_rebuilt, self.pages_healed, txn, self.epoch
+            ),
+            None => write!(f, "repair: nothing quarantined, no-op"),
+        }
+    }
 }
 
 /// A typed account of what recovery found and did.
@@ -254,6 +282,14 @@ pub enum DurabilityError {
         /// Total microseconds of backoff spent across the retries.
         backoff_us: u64,
     },
+    /// Online repair could not rebuild the quarantined signatures — e.g.
+    /// the damage blast radius could not be established because the
+    /// signature *directory* is unreadable too. Repair heals derived data
+    /// only; it never guesses. Nothing was logged or mutated.
+    Repair {
+        /// What stopped the rebuild.
+        cause: String,
+    },
     /// A persist-format error inside the checkpoint metadata.
     Persist(PersistError),
     /// A filesystem error (file mode only).
@@ -285,6 +321,7 @@ impl std::fmt::Display for DurabilityError {
                 f,
                 "wal fsync failed after {attempts} attempts ({backoff_us} us of backoff); tail still pending"
             ),
+            DurabilityError::Repair { cause } => write!(f, "repair failed: {cause}"),
             DurabilityError::Persist(e) => write!(f, "{e}"),
             DurabilityError::Io { path, cause } => write!(f, "io error on {path}: {cause}"),
         }
@@ -1070,6 +1107,22 @@ impl DurableDb {
         self.wal.take_fault_plan()
     }
 
+    /// Mutable access to the master's signature store — the chaos hook the
+    /// scrub suite uses to seed bit rot (`corrupt_page`) against the live
+    /// store. Damage injected here deliberately bypasses the WAL, exactly
+    /// like real media decay: no redo record describes it, no dirty bit is
+    /// set, and only scrub + repair can find and heal it.
+    pub fn signature_store_mut(&mut self) -> &mut SignatureStore {
+        self.master_mut().pcube.store_mut()
+    }
+
+    /// Runs an online scrub pass over the master's signature store (see
+    /// [`crate::scrub::scrub`]). Takes `&self`: scrubbing is a read-side
+    /// walk and coexists with pinned epoch readers.
+    pub fn scrub(&self, budget: &crate::query::QueryBudget) -> crate::scrub::ScrubReport {
+        self.master.scrub(budget)
+    }
+
     /// `(epochs published, total nanoseconds spent publishing)`. With
     /// copy-on-write snapshots the per-publish cost is size-independent;
     /// `recovery_bench` divides these to gate on exactly that.
@@ -1343,6 +1396,93 @@ impl DurableDb {
         Ok(CheckpointOutcome { epoch, txns, pages_flushed, wal_bytes_reclaimed: reclaimed })
     }
 
+    /// Online repair: rebuilds every quarantined signature page from the
+    /// base table, routed through the WAL so the heal is crash-safe at
+    /// every boundary.
+    ///
+    /// Signatures are *derived* data — §VII keeps answers exact without
+    /// them — so a quarantined page never holds the only copy of anything.
+    /// Repair exploits that: it maps the quarantined pages back to the
+    /// cells whose partials live there (a directory range scan that never
+    /// reads the damaged bytes), then per cell logs a logical
+    /// [`WalRecord::SigRebuild`] redo record and re-derives the signature
+    /// from the live R-tree paths. `write_signature` frees the old pages
+    /// *unread* (auto-clearing their quarantine entries) and allocates
+    /// fresh ones, the rebuilt pages get the usual `PageWrite` CRC
+    /// witnesses, and the whole batch seals with one `Commit`, one fsync,
+    /// and one epoch publish.
+    ///
+    /// Crash safety: a crash before the commit record is durable leaves
+    /// recovery replaying from the last checkpoint — whose pages are the
+    /// clean pre-corruption copies, since in-memory corruption never marks
+    /// a page dirty — so the store comes back in its pre-repair (or
+    /// equivalently, never-corrupted) state. A crash after the commit
+    /// record replays the `SigRebuild` records, re-deriving the identical
+    /// rebuild deterministically. Either way no reader ever observes a
+    /// torn heal: the epoch publish is the single visibility point.
+    pub fn repair(&mut self) -> Result<RepairOutcome, DurabilityError> {
+        self.ensure_alive()?;
+        let store = &self.master.pcube.store;
+        let (sig_pager, ..) = store.parts_ref();
+        let quarantined: HashSet<u32> =
+            sig_pager.quarantine_entries().iter().map(|(pid, _)| pid.0).collect();
+        if quarantined.is_empty() {
+            return Ok(RepairOutcome {
+                cells_rebuilt: 0,
+                pages_healed: 0,
+                txn: None,
+                epoch: self.epoch,
+            });
+        }
+        // Establish the blast radius without touching the damaged bytes:
+        // the directory records which cells keep partials on each page. If
+        // the *directory itself* is unreadable, repair refuses — it heals
+        // derived data, it never guesses. Nothing has been logged yet.
+        let cells = store
+            .cells_on_pages(&quarantined)
+            .map_err(|e| DurabilityError::Repair { cause: e.to_string() })?;
+        let healed_base = self.master.stats().snapshot().pages_repaired();
+
+        // Tuple paths come from the R-tree (live rows only), one walk
+        // shared by every rebuilt cell.
+        let paths = collect_paths(&self.master);
+        let m_max = self.master.rtree.m_max();
+        let txn = self.next_txn;
+        let mut cells_rebuilt = 0u64;
+        for &cell in &cells {
+            self.observe(CrashPoint::RepairCell)?;
+            self.wal_append(WalRecord::SigRebuild { txn, cell })?;
+            let sig = rebuild_cell_signature(&self.master, &paths, cell)
+                .unwrap_or_else(|| Signature::empty(m_max));
+            self.master_mut().pcube.store_mut().write_signature(cell, &sig);
+            cells_rebuilt += 1;
+        }
+        self.append_witnesses(txn)?;
+        let _lsn = self.wal_append(WalRecord::Commit { txn })?;
+        self.next_txn += 1;
+        self.applied_txns = txn;
+        self.commits_since_sync += 1;
+        self.commits_since_checkpoint += 1;
+
+        // Repair is always synced before it becomes visible: a volatile
+        // heal that a crash could un-heal would defeat the point.
+        self.sync_internal()?;
+        self.observe(CrashPoint::RepairInstall)?;
+        self.publish();
+
+        // Entries for pages no cell referenced (orphans — e.g. a freed
+        // page corrupted before reuse) can only be cleared, not freed:
+        // freeing outside a logged transaction would shift the free list
+        // under future PageWrite witnesses. Clearing the registry entry is
+        // safe — it is not durable state.
+        let sig_pager = self.master.pcube.store.parts_ref().0;
+        for pid in &quarantined {
+            sig_pager.clear_quarantine(PageId(*pid));
+        }
+        let pages_healed = self.master.stats().snapshot().pages_repaired() - healed_base;
+        Ok(RepairOutcome { cells_rebuilt, pages_healed, txn: Some(txn), epoch: self.epoch })
+    }
+
     // ----------------------------------------------------------- internals --
 
     fn ensure_alive(&self) -> Result<(), DurabilityError> {
@@ -1406,6 +1546,11 @@ impl DurableDb {
     fn publish(&mut self) {
         let start = std::time::Instant::now();
         self.epoch += 1;
+        // Stamp the epoch onto the quarantine registries so entries created
+        // from here on record which epoch first observed the failure.
+        for kind in STORE_KINDS {
+            self.pager_of(kind).set_quarantine_epoch(self.epoch);
+        }
         let snapshot = Arc::new(EpochSnapshot { epoch: self.epoch, db: Arc::clone(&self.master) });
         let previous = {
             let mut slot = self.published.write().unwrap_or_else(|e| e.into_inner());
@@ -1998,6 +2143,48 @@ fn io_err(path: &Path, e: std::io::Error) -> DurabilityError {
     DurabilityError::Io { path: path.display().to_string(), cause: e.to_string() }
 }
 
+/// One R-tree walk collecting every live tuple's path — the shared input
+/// to per-cell signature rebuilds. Tombstoned rows are absent from the
+/// tree, so they are naturally excluded.
+fn collect_paths(master: &PCubeDb) -> HashMap<u64, TreePath> {
+    let mut paths = HashMap::new();
+    master.rtree.for_each_tuple(|tid, path, _| {
+        paths.insert(tid, path.clone());
+    });
+    paths
+}
+
+/// Re-derives one cell's signature from the base table: scan the relation
+/// for rows matching the cell's boolean selection, keep the live ones (the
+/// R-tree walk skipped tombstones), and regenerate the signature from
+/// their tree paths — exactly the §IV-B generation procedure, so a rebuild
+/// is bit-identical to a never-corrupted original. `None` when the cell is
+/// not registered or no live row matches (the caller writes an empty
+/// signature, which deletes the cell's partials).
+fn rebuild_cell_signature(
+    master: &PCubeDb,
+    paths: &HashMap<u64, TreePath>,
+    cell: u32,
+) -> Option<Signature> {
+    let key: &CellKey = master.pcube.registry().key(cell)?;
+    let dims = key.mask.dims();
+    let mut matched: Vec<&TreePath> = Vec::new();
+    for tid in 0..master.relation.len() as u64 {
+        let Some(path) = paths.get(&tid) else { continue };
+        if dims
+            .iter()
+            .zip(&key.values)
+            .all(|(&d, &v)| master.relation.bool_code(tid, d) == v)
+        {
+            matched.push(path);
+        }
+    }
+    if matched.is_empty() {
+        return None;
+    }
+    Some(Signature::from_paths(master.rtree.m_max(), matched))
+}
+
 /// Re-executes one committed transaction and verifies it against the logged
 /// evidence: re-derived tuple ids must match the redo records, re-derived
 /// signature summaries must match the `SigUpdate` records, and every
@@ -2011,6 +2198,9 @@ fn replay_txn(
     let diverged = |cause: String| DurabilityError::Replay { txn, cause };
     let mut logged_sigs: Vec<(u32, u32, u32)> = Vec::new();
     let mut replayed_sigs: Vec<(u32, u32, u32)> = Vec::new();
+    // Lazily built on the first `SigRebuild` record: one R-tree walk shared
+    // by every rebuilt cell in the transaction, same as live repair.
+    let mut rebuild_paths: Option<HashMap<u64, TreePath>> = None;
     for rec in recs {
         match rec {
             WalRecord::TreeSplit { op, tid, codes, coords, .. } => match op {
@@ -2050,6 +2240,21 @@ fn replay_txn(
                     )));
                 }
                 repaired.insert((*store, *pid));
+            }
+            WalRecord::SigRebuild { cell, .. } => {
+                // A logical redo record of online repair: re-derive the
+                // cell's signature from the replayed base table. The
+                // rebuild is deterministic, so the `PageWrite` witnesses
+                // that follow in the same transaction verify it
+                // byte-for-byte.
+                if rebuild_paths.is_none() {
+                    rebuild_paths = Some(collect_paths(master));
+                }
+                let paths = rebuild_paths.as_ref().expect("just populated");
+                let m_max = master.rtree.m_max();
+                let sig = rebuild_cell_signature(master, paths, *cell)
+                    .unwrap_or_else(|| Signature::empty(m_max));
+                master.pcube.store_mut().write_signature(*cell, &sig);
             }
             WalRecord::Commit { .. } | WalRecord::Checkpoint { .. } => {}
         }

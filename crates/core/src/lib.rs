@@ -41,6 +41,7 @@ pub mod persist;
 pub mod plan;
 pub mod query;
 pub mod rank;
+pub mod scrub;
 pub mod signature;
 pub mod store;
 
@@ -49,7 +50,7 @@ pub use bloom::BloomSignature;
 pub use durable::{
     CheckpointImage, CheckpointOutcome, CommitError, CommitQueue, CommitQueuePolicy,
     CommitReceipt, DurabilityError, DurabilityOptions, DurableDb, DurableState, EpochReader,
-    EpochSnapshot, GroupCommitStats, MaintenanceOp, RecoveryReport,
+    EpochSnapshot, GroupCommitStats, MaintenanceOp, RecoveryReport, RepairOutcome,
 };
 pub use pcube::{PCube, PCubeConfig, PCubeDb, SigTouch};
 pub use persist::PersistError;
@@ -71,5 +72,6 @@ pub use query::{
     SubspaceSkylineClass, TopKClass, TopKOutcome, TopKState,
 };
 pub use rank::{LinearFn, MinCoordSum, RankingFunction, WeightedDistanceFn};
+pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use signature::Signature;
 pub use store::{BooleanProbe, SignatureCursor, SignatureStore};

@@ -364,6 +364,13 @@ impl PCubeDb {
         &self.stats
     }
 
+    /// Runs an online, budget-limited integrity scrub over the signature
+    /// store (see [`crate::scrub::scrub`]). Takes `&self`, so it can run
+    /// concurrently with the `par_*` query paths.
+    pub fn scrub(&self, budget: &crate::query::QueryBudget) -> crate::scrub::ScrubReport {
+        crate::scrub::scrub(self, budget)
+    }
+
     /// Installs (or clears) a wall-clock latency charged per counted read
     /// on every pager-backed structure a query touches: R-tree blocks,
     /// signature pages, and directory pages. This pays the paper's block

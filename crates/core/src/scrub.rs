@@ -1,0 +1,205 @@
+//! Online integrity scrubbing for the signature store.
+//!
+//! The P-Cube keeps answers exact even when a signature page is unreadable
+//! (§VII base-table verification), but degraded cells pay the verification
+//! cost on every query until the damage is found and repaired. The scrubber
+//! is the *finding* half of self-healing: an online, rate-limited walker
+//! that verifies every signature page (CRC32 when checksums are on) and
+//! every cell's structural invariants (directory locators in bounds,
+//! records decodable), quarantining each deterministic failure exactly once
+//! so later probes skip the page in O(1).
+//!
+//! Scrubbing takes only `&PCubeDb` — the same shared-reference discipline
+//! as the `par_*` query paths — so it can run concurrently with readers.
+//! Rate limiting reuses the [`QueryBudget`] machinery: a deadline and/or a
+//! block budget bound the sweep, and a truncated sweep reports how far it
+//! got plus the [`StopReason`] that tripped.
+
+use pcube_storage::{PageId, StorageError};
+
+use crate::pcube::PCubeDb;
+use crate::query::{Governor, QueryBudget, StopReason};
+
+/// One deterministic failure found (and quarantined) by a scrub pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubFinding {
+    /// The damaged signature page.
+    pub page: PageId,
+    /// The typed error the probe surfaced.
+    pub error: StorageError,
+}
+
+/// What a scrub pass saw: coverage counters, the failures it quarantined,
+/// and whether the sweep ran to completion or was cut short by its budget.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrubReport {
+    /// Signature pages probed this pass (physical reads issued).
+    pub pages_scanned: u64,
+    /// Pages whose bytes read back clean.
+    pub pages_ok: u64,
+    /// Pages already quarantined before this pass (skipped, not re-read).
+    pub already_quarantined: u64,
+    /// Pages this pass moved into quarantine.
+    pub newly_quarantined: u64,
+    /// Cells whose directory locators and record encodings were verified.
+    pub cells_checked: u64,
+    /// Partial-signature records decoded successfully.
+    pub partials_verified: u64,
+    /// The failures found this pass, in page order per phase.
+    pub findings: Vec<ScrubFinding>,
+    /// `Some` when the budget tripped before the sweep finished; the
+    /// counters then describe a prefix of the store.
+    pub stopped: Option<StopReason>,
+    /// Whether per-page CRC32 verification was armed on the signature
+    /// pager. Without it the page sweep only proves readability — the
+    /// structural walk still catches malformed records either way.
+    pub checksums_enabled: bool,
+}
+
+impl ScrubReport {
+    /// `true` when the sweep covered the whole store and found nothing bad.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stopped.is_none()
+    }
+
+    /// The report as one JSON object (hand-rolled, like the bench
+    /// emitters), for the CI artifact and `recovery_bench`.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| format!("{{\"page\":{},\"error\":\"{}\"}}", f.page.0, f.error))
+            .collect();
+        format!(
+            "{{\"pages_scanned\":{},\"pages_ok\":{},\"already_quarantined\":{},\
+             \"newly_quarantined\":{},\"cells_checked\":{},\"partials_verified\":{},\
+             \"stopped\":{},\"checksums_enabled\":{},\"findings\":[{}]}}",
+            self.pages_scanned,
+            self.pages_ok,
+            self.already_quarantined,
+            self.newly_quarantined,
+            self.cells_checked,
+            self.partials_verified,
+            self.stopped.map_or("null".to_string(), |r| format!("\"{r}\"")),
+            self.checksums_enabled,
+            findings.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scrub: {} pages scanned ({} ok, {} newly quarantined, {} already quarantined), \
+             {} cells checked, {} partials verified",
+            self.pages_scanned,
+            self.pages_ok,
+            self.newly_quarantined,
+            self.already_quarantined,
+            self.cells_checked,
+            self.partials_verified
+        )?;
+        if let Some(reason) = self.stopped {
+            write!(f, " — stopped early: {reason}")?;
+        }
+        if !self.checksums_enabled {
+            write!(f, " (checksums off: page sweep proves readability only)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Scrubs the signature store: a page sweep (phase 1) followed by a
+/// structural walk of every materialized cell (phase 2).
+///
+/// Phase 1 reads every live signature page once — with checksums armed the
+/// pager verifies CRC32 and quarantines mismatches itself. Phase 2 runs
+/// [`SignatureStore::verify_cell`](crate::SignatureStore::verify_cell) per
+/// registered cell, catching structural damage checksums cannot (stale
+/// locators, malformed records) and quarantining those pages too.
+///
+/// The `budget`'s deadline and block budget are enforced between pages and
+/// between cells (the same cooperative cadence as query governance); an
+/// exhausted budget truncates the sweep and sets [`ScrubReport::stopped`].
+pub fn scrub(db: &PCubeDb, budget: &QueryBudget) -> ScrubReport {
+    let store = db.pcube().store();
+    let (sig_pager, ..) = store.parts_ref();
+    let stats = db.stats().clone();
+    let base = stats.snapshot();
+    let mut governor =
+        Governor::new(budget).with_ledger(stats.clone(), base.total_reads());
+    let mut report = ScrubReport {
+        checksums_enabled: sig_pager.checksums_enabled(),
+        ..ScrubReport::default()
+    };
+
+    // Phase 1: the page sweep. Already-quarantined pages are skipped — their
+    // failure is memoized; re-probing them would only burn budget.
+    for pid in sig_pager.live_page_ids() {
+        if let Some(reason) = governor.check(0) {
+            report.stopped = Some(reason);
+            return report;
+        }
+        if sig_pager.is_quarantined(pid) {
+            report.already_quarantined += 1;
+            continue;
+        }
+        report.pages_scanned += 1;
+        match sig_pager.try_read(pid) {
+            Ok(_) => report.pages_ok += 1,
+            Err(error) => {
+                // Deterministic failures were quarantined by the pager (or
+                // stay transient, e.g. injected I/O errors — those are not).
+                if sig_pager.is_quarantined(pid) {
+                    report.newly_quarantined += 1;
+                }
+                report.findings.push(ScrubFinding { page: pid, error });
+            }
+        }
+    }
+
+    // Phase 2: the structural walk. Registry codes are dense, so every
+    // materialized cell is 0..len. `verify_cell` quarantines malformed
+    // pages itself; a cell whose pages are already quarantined fails fast
+    // on the memoized error without physical reads.
+    let n_cells = db.pcube().registry().len() as u32;
+    for cell in 0..n_cells {
+        if let Some(reason) = governor.check(0) {
+            report.stopped = Some(reason);
+            return report;
+        }
+        let before = sig_pager.quarantine_len();
+        match store.verify_cell(cell) {
+            Ok(partials) => {
+                report.cells_checked += 1;
+                report.partials_verified += partials;
+            }
+            Err(error) => {
+                if sig_pager.quarantine_len() > before {
+                    report.newly_quarantined += 1;
+                }
+                // One finding per distinct page: many cells can share a
+                // damaged page, and quarantined pages answer every later
+                // cell with the same memoized error.
+                if let Some(page) = error_page(&error) {
+                    if report.findings.iter().all(|f| f.page != page) {
+                        report.findings.push(ScrubFinding { page, error });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The page an error implicates, when it names one.
+fn error_page(error: &StorageError) -> Option<PageId> {
+    match error {
+        StorageError::Io { pid, .. }
+        | StorageError::Corrupt { pid, .. }
+        | StorageError::Malformed { pid, .. }
+        | StorageError::DeadPage { pid, .. } => Some(*pid),
+        _ => None,
+    }
+}

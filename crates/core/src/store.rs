@@ -223,21 +223,26 @@ impl SignatureStore {
         let (pid, offset) = Self::unpack_locator(loc);
         let page = self.pager.try_read(pid)?;
         if offset + RECORD_HEADER > page.len() {
-            return Err(StorageError::Malformed {
-                pid,
-                what: "partial-signature locator points outside the page",
-            });
+            return Err(self.malformed(pid, "partial-signature locator points outside the page"));
         }
         let len = read_u32(page, offset) as usize;
         if len > page.len() - offset - RECORD_HEADER {
-            return Err(StorageError::Malformed {
-                pid,
-                what: "partial-signature length exceeds the page",
-            });
+            return Err(self.malformed(pid, "partial-signature length exceeds the page"));
         }
-        decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len]).ok_or(
-            StorageError::Malformed { pid, what: "undecodable partial signature" },
-        )
+        match decode_partial(&page[offset + RECORD_HEADER..offset + RECORD_HEADER + len]) {
+            Some(partial) => Ok(partial),
+            None => Err(self.malformed(pid, "undecodable partial signature")),
+        }
+    }
+
+    /// A structural failure on a signature page: the bytes read back fine
+    /// but cannot be a partial-signature record. Deterministic, so the page
+    /// is quarantined — later probes get the memoized error in O(1) instead
+    /// of re-reading and re-failing.
+    fn malformed(&self, pid: pcube_storage::PageId, what: &'static str) -> StorageError {
+        let err = StorageError::Malformed { pid, what };
+        self.pager.quarantine(pid, err.clone());
+        err
     }
 
     /// All `(reference SID, locator)` pairs of a cell, via one directory
@@ -250,6 +255,40 @@ impl SignatureStore {
             .into_iter()
             .map(|(k, loc)| (Sid(u64::from(split_key(k).1)), loc))
             .collect())
+    }
+
+    /// Verifies every partial signature of `cell` end to end: the directory
+    /// scan, each signature-page read (CRC-checked when checksums are on)
+    /// and each record decode. Returns the number of partials verified.
+    ///
+    /// The first failure aborts the walk with its typed error; deterministic
+    /// failures (corrupt or malformed pages) land the page in the pager's
+    /// quarantine as a side effect, which is exactly what the scrubber is
+    /// after.
+    pub fn verify_cell(&self, cell: u32) -> Result<u64, StorageError> {
+        let locators = self.try_locators_of(cell)?;
+        let mut verified = 0u64;
+        for &loc in locators.values() {
+            self.try_load_partial_at(loc)?;
+            verified += 1;
+        }
+        Ok(verified)
+    }
+
+    /// The cells having at least one partial stored on any page in `pages`,
+    /// ascending and deduplicated — the blast radius of a set of bad pages,
+    /// and therefore the rebuild set for repair. Costs one full directory
+    /// scan; touches no signature pages.
+    pub fn cells_on_pages(&self, pages: &HashSet<u32>) -> Result<Vec<u32>, StorageError> {
+        let mut cells: Vec<u32> = self
+            .directory
+            .try_range_collect(..)?
+            .into_iter()
+            .filter(|(_, loc)| pages.contains(&((loc >> 32) as u32)))
+            .map(|(key, _)| split_key(key).0)
+            .collect();
+        cells.dedup();
+        Ok(cells)
     }
 
     /// Loads and reassembles the complete signature of `cell` (used by

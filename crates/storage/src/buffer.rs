@@ -210,6 +210,17 @@ struct Shard {
     fetch_done: Condvar,
 }
 
+impl Shard {
+    /// Locks the shard, recovering from lock poisoning. A shard only caches
+    /// immutable copies of pages the pager can always re-serve, so the state
+    /// a panicking thread abandoned is still structurally sound — dropping
+    /// the cache contents (or serving them) is safe either way, and killing
+    /// every later reader over a stale `PoisonError` would not be.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BufferShard> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// A thread-safe LRU read cache: N independent shards, each behind its own
 /// mutex, with lock-free hit/miss accounting.
 ///
@@ -336,7 +347,7 @@ impl ShardedBufferPool {
 
     /// Pages currently cached across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.state.lock().expect("shard poisoned").entries.len()).sum()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// `true` if nothing is cached.
@@ -363,7 +374,7 @@ impl ShardedBufferPool {
     pub fn try_read(&self, pager: &Pager, pid: PageId) -> Result<Arc<[u8]>, crate::StorageError> {
         let idx = self.shard_index(pid);
         let shard = &self.shards[idx];
-        let mut state = shard.state.lock().expect("shard poisoned");
+        let mut state = shard.lock();
         self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
         loop {
             if let Some(page) = state.get(pid) {
@@ -378,7 +389,7 @@ impl ShardedBufferPool {
                 drop(state);
                 let fetched: Result<Arc<[u8]>, crate::StorageError> =
                     pager.try_read(pid).map(Arc::from);
-                let mut state = shard.state.lock().expect("shard poisoned");
+                let mut state = shard.lock();
                 self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
                 state.in_flight.remove(&pid);
                 if let Ok(data) = &fetched {
@@ -394,7 +405,9 @@ impl ShardedBufferPool {
             // land, then re-check. On success the page is cached (hit); on
             // failure it is neither cached nor in flight, so this reader
             // becomes the next fetcher.
-            state = shard.fetch_done.wait(state).expect("shard poisoned");
+            // Same poison policy as `Shard::lock`: re-acquire the guard a
+            // panicking fetcher abandoned rather than propagating the panic.
+            state = shard.fetch_done.wait(state).unwrap_or_else(|e| e.into_inner());
             self.lock_acquisitions[idx].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -402,7 +415,7 @@ impl ShardedBufferPool {
     /// Drops any cached copy of `pid` (call after writing the page through
     /// the pager).
     pub fn invalidate(&self, pid: PageId) {
-        self.shard(pid).state.lock().expect("shard poisoned").invalidate(pid);
+        self.shard(pid).lock().invalidate(pid);
     }
 
     /// Writes through to the pager and invalidates the cached copy.
@@ -415,7 +428,7 @@ impl ShardedBufferPool {
     /// to model a cold cache).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.state.lock().expect("shard poisoned").clear();
+            shard.lock().clear();
         }
     }
 }

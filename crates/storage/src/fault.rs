@@ -315,6 +315,12 @@ pub enum CrashPoint {
     /// After the checkpoint is installed and logged, but before the WAL
     /// prefix it covers is truncated.
     CheckpointTruncate,
+    /// Before logging and rebuilding one quarantined cell's signature during
+    /// online repair.
+    RepairCell,
+    /// After the repair transaction is committed and synced, but before the
+    /// healed epoch is published and the quarantine entries clear.
+    RepairInstall,
 }
 
 impl CrashPoint {
@@ -326,6 +332,8 @@ impl CrashPoint {
             CrashPoint::PageFlush => "page-flush",
             CrashPoint::CheckpointInstall => "checkpoint-install",
             CrashPoint::CheckpointTruncate => "checkpoint-truncate",
+            CrashPoint::RepairCell => "repair-cell",
+            CrashPoint::RepairInstall => "repair-install",
         }
     }
 }

@@ -6,8 +6,8 @@ use crate::error::{ImageError, PageOp, StorageError};
 use crate::fault::{FaultCounts, FaultPlan, WriteEffect};
 use crate::page::PageId;
 use crate::stats::{IoCategory, SharedStats};
-use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -61,7 +61,50 @@ impl FaultCell {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, FaultPlan> {
-        self.plan.lock().expect("fault plan lock poisoned")
+        // Poison recovery: the plan is a self-contained RNG + counters; a
+        // panic mid-roll cannot leave it inconsistent, so keep serving it.
+        self.plan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One quarantined page: the memoized deterministic failure that every
+/// later probe is answered with, without re-issuing the doomed read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// The typed error the first failed read surfaced.
+    pub error: StorageError,
+    /// The owner's catalog epoch when the page was quarantined (`0` for
+    /// non-durable databases, which have no epochs).
+    pub epoch: u64,
+}
+
+/// The page quarantine: a registry of pages whose reads failed
+/// *deterministically* (CRC mismatch, malformed contents). Shared across
+/// copy-on-write clones of a pager — the registry describes the shared page
+/// table, and a heal observed through any handle serves them all.
+///
+/// `try_read` consults only the atomic `armed` flag on the hot path, so an
+/// empty quarantine (the overwhelmingly common case) costs one relaxed load
+/// and the concurrent read path stays lock-free.
+#[derive(Debug, Default)]
+struct Quarantine {
+    armed: AtomicBool,
+    /// Stamped onto new entries; durable owners bump it at each publish.
+    epoch: AtomicU64,
+    /// Each entry also records the address of the `Arc` page version it
+    /// condemned. The registry is shared across copy-on-write clones, but
+    /// page contents are not: a handle whose slot re-owned its copy (so the
+    /// corruption is not in *its* bytes) must not be served another handle's
+    /// memoized failure. The read path honors an entry only while the slot
+    /// still holds the exact page version that failed.
+    entries: Mutex<BTreeMap<u32, (QuarantineEntry, usize)>>,
+}
+
+impl Quarantine {
+    /// Poison recovery: the map is only ever inserted into / removed from —
+    /// a panicking thread cannot leave an entry half-written.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<u32, (QuarantineEntry, usize)>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -125,6 +168,9 @@ pub struct Pager {
     /// order — the WAL witnesses and checkpoint flushes built from this set
     /// must be byte-identical across runs.
     dirty: BTreeSet<u32>,
+    /// Memoized deterministic read failures; see [`QuarantineEntry`]. Shared
+    /// (like `stats`) across copy-on-write clones.
+    quarantine: Arc<Quarantine>,
 }
 
 impl Clone for Pager {
@@ -146,6 +192,7 @@ impl Clone for Pager {
             fault: self.fault.as_ref().map(|c| FaultCell::new(c.lock().clone())),
             read_delay: self.read_delay,
             dirty: self.dirty.clone(),
+            quarantine: Arc::clone(&self.quarantine),
         }
     }
 }
@@ -168,6 +215,7 @@ impl Pager {
             fault: None,
             read_delay: None,
             dirty: BTreeSet::new(),
+            quarantine: Arc::new(Quarantine::default()),
         }
     }
 
@@ -243,6 +291,7 @@ impl Pager {
             fault: None,
             read_delay: None,
             dirty: BTreeSet::new(),
+            quarantine: Arc::new(Quarantine::default()),
         }
     }
 
@@ -362,7 +411,9 @@ impl Pager {
 
     /// Removes the fault plan, returning it (with its injection counts).
     pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
-        self.fault.take().map(|c| c.plan.into_inner().expect("fault plan lock poisoned"))
+        // Same poison policy as `FaultCell::lock`: the plan is just counters
+        // and thresholds, valid whether or not a holder panicked.
+        self.fault.take().map(|c| c.plan.into_inner().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Injection counts of the installed plan, if any.
@@ -404,6 +455,100 @@ impl Pager {
             .ok_or(StorageError::DeadPage { pid, op: PageOp::Write })?;
         page_mut(slot)[offset % page_size] ^= xor_mask;
         Ok(())
+    }
+
+    // ------------------------------------------------------- quarantine --
+
+    /// Quarantines `pid`: memoizes `error` so every later probe is answered
+    /// in O(1) with a clone of it instead of re-issuing the doomed read.
+    /// Records a page exactly once — returns `true` (and bumps the ledger's
+    /// `pages_quarantined`) only when the page was not already quarantined.
+    ///
+    /// The fallible read path calls this automatically for *deterministic*
+    /// failures (CRC mismatches); injected transient I/O errors are never
+    /// quarantined. Higher layers (the signature store, the scrubber) call
+    /// it for structural failures the pager cannot see.
+    pub fn quarantine(&self, pid: PageId, error: StorageError) -> bool {
+        let epoch = self.quarantine.epoch.load(Ordering::Relaxed);
+        let ptr = self.slot_ptr(pid);
+        let mut entries = self.quarantine.lock();
+        if let Some(prev) = entries.get(&pid.0) {
+            if prev.1 == ptr {
+                return false;
+            }
+            // A different handle's page version was condemned before; this
+            // handle's version failed too. Re-point the entry (not a new
+            // quarantined page — the ledger already counted this pid).
+            entries.insert(pid.0, (QuarantineEntry { error, epoch }, ptr));
+            return false;
+        }
+        entries.insert(pid.0, (QuarantineEntry { error, epoch }, ptr));
+        self.quarantine.armed.store(true, Ordering::Relaxed);
+        self.stats.record_pages_quarantined(1);
+        true
+    }
+
+    /// Removes `pid` from quarantine (the page was healed: rewritten with
+    /// fresh contents, or freed so its slot no longer exists). Returns
+    /// `true` (and bumps the ledger's `pages_repaired`) if an entry was
+    /// cleared. The write/free paths call this automatically.
+    pub fn clear_quarantine(&self, pid: PageId) -> bool {
+        let mut entries = self.quarantine.lock();
+        if entries.remove(&pid.0).is_none() {
+            return false;
+        }
+        if entries.is_empty() {
+            self.quarantine.armed.store(false, Ordering::Relaxed);
+        }
+        self.stats.record_pages_repaired(1);
+        true
+    }
+
+    /// Whether `pid` is currently quarantined.
+    pub fn is_quarantined(&self, pid: PageId) -> bool {
+        self.quarantine.armed.load(Ordering::Relaxed) && self.quarantine.lock().contains_key(&pid.0)
+    }
+
+    /// Number of currently quarantined pages.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.lock().len()
+    }
+
+    /// The quarantined pages and their memoized failures, in page order.
+    pub fn quarantine_entries(&self) -> Vec<(PageId, QuarantineEntry)> {
+        self.quarantine.lock().iter().map(|(&pid, (e, _))| (PageId(pid), e.clone())).collect()
+    }
+
+    /// Stamps the epoch recorded on *future* quarantine entries. The durable
+    /// engine calls this at each publish so entries say which epoch first
+    /// observed the failure; non-durable databases leave it at zero.
+    pub fn set_quarantine_epoch(&self, epoch: u64) {
+        self.quarantine.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// The memoized failure for `pid`, if quarantined *and* this handle's
+    /// slot still holds the exact page version that failed (copy-on-write
+    /// clones with a re-owned healthy copy fall through to a real read).
+    /// One relaxed atomic load when the quarantine is empty.
+    #[inline]
+    fn quarantined_error(&self, pid: PageId) -> Option<StorageError> {
+        if !self.quarantine.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let ptr = self.slot_ptr(pid);
+        self.quarantine
+            .lock()
+            .get(&pid.0)
+            .filter(|(_, condemned)| *condemned == ptr)
+            .map(|(e, _)| e.error.clone())
+    }
+
+    /// The address of the `Arc` page version currently in `pid`'s slot
+    /// (`0` for dead or out-of-range pages) — the identity quarantine
+    /// entries are keyed to.
+    #[inline]
+    fn slot_ptr(&self, pid: PageId) -> usize {
+        self.slot(pid.0 as usize).map_or(0, |a| Arc::as_ptr(a).cast::<u8>() as usize)
     }
 
     /// Allocates a zeroed page and returns its id. Recycles freed pages.
@@ -465,6 +610,9 @@ impl Pager {
         self.group_mut(idx).slots[idx & GROUP_MASK] = None;
         self.free.push(pid);
         self.dirty.insert(pid.0);
+        // Freeing releases the bad bytes; reallocation hands back a zeroed
+        // page. This is how repair retires a quarantined page.
+        self.clear_quarantine(pid);
         Ok(())
     }
 
@@ -481,7 +629,14 @@ impl Pager {
     ///
     /// Fails on dead pages, injected I/O errors, and (when checksums are on)
     /// pages whose contents no longer match their recorded CRC32.
+    /// A quarantined page short-circuits in O(1): the memoized error comes
+    /// back without a physical read (no category read is charged, no read
+    /// delay is paid — the ledger's `quarantine_hits` counts the skip).
     pub fn try_read(&self, pid: PageId) -> Result<&[u8], StorageError> {
+        if let Some(err) = self.quarantined_error(pid) {
+            self.stats.record_quarantine_hits(1);
+            return Err(err);
+        }
         self.stats.record_reads(self.category, 1);
         if let Some(delay) = self.read_delay {
             // Charged with no lock held: concurrent readers must be able to
@@ -503,7 +658,12 @@ impl Pager {
             let expected = self.sum(pid.index());
             let actual = crc32(page);
             if expected != actual {
-                return Err(StorageError::Corrupt { pid, expected, actual });
+                // Deterministic: the same bytes will mismatch on every
+                // probe, so memoize the failure. (Injected `Io` errors
+                // above are transient and must keep re-rolling.)
+                let err = StorageError::Corrupt { pid, expected, actual };
+                self.quarantine(pid, err.clone());
+                return Err(err);
             }
         }
         Ok(page)
@@ -571,6 +731,10 @@ impl Pager {
             group.sums[idx & GROUP_MASK] = crc32(data);
         }
         self.dirty.insert(pid.0);
+        // A full overwrite replaces whatever bytes were bad: the page is
+        // healed (a freshly injected torn/bit-flip write re-quarantines on
+        // the next verified read).
+        self.clear_quarantine(pid);
         Ok(())
     }
 
@@ -593,6 +757,13 @@ impl Pager {
         pid: PageId,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, StorageError> {
+        // An in-place update reads the stored bytes first; on a quarantined
+        // page those are known-bad, so serve the memoized failure instead of
+        // mutating garbage. Heal with a full `try_write` or a free+rebuild.
+        if let Some(err) = self.quarantined_error(pid) {
+            self.stats.record_quarantine_hits(1);
+            return Err(err);
+        }
         self.stats.record_reads(self.category, 1);
         self.stats.record_writes(self.category, 1);
         let effect = match &self.fault {
@@ -766,6 +937,7 @@ impl Pager {
                 fault: None,
                 read_delay: None,
                 dirty: BTreeSet::new(),
+                quarantine: Arc::new(Quarantine::default()),
             },
             pos,
         ))
@@ -935,6 +1107,100 @@ mod tests {
         // Overwriting heals the page.
         p.write(a, &[1u8; 64]);
         assert!(p.try_read(a).is_ok());
+    }
+
+    #[test]
+    fn quarantine_memoizes_a_corrupt_page_after_one_physical_read() {
+        let stats = IoStats::new_shared();
+        let mut p = Pager::new(64, IoCategory::SignaturePage, stats.clone());
+        let a = p.allocate();
+        p.write(a, &[9u8; 64]);
+        p.set_checksums(true);
+        p.corrupt_page(a, 5, 0xFF).unwrap();
+        let base = stats.snapshot();
+        // Regression: a known-bad page must cost exactly ONE physical read;
+        // every later probe is served from the quarantine in O(1).
+        let first = p.try_read(a);
+        assert!(matches!(first, Err(StorageError::Corrupt { .. })));
+        assert!(p.is_quarantined(a));
+        for _ in 0..9 {
+            assert_eq!(p.try_read(a), first, "memoized error is stable");
+        }
+        let delta = stats.snapshot().since(&base);
+        assert_eq!(delta.reads(IoCategory::SignaturePage), 1, "one doomed read, then skips");
+        assert_eq!(delta.quarantine_hits(), 9);
+        assert_eq!(delta.pages_quarantined(), 1, "recorded exactly once");
+        assert_eq!(stats.pages_repaired(), 0);
+    }
+
+    #[test]
+    fn overwrite_and_free_heal_a_quarantined_page() {
+        let stats = IoStats::new_shared();
+        let mut p = Pager::new(64, IoCategory::SignaturePage, stats.clone());
+        let a = p.allocate();
+        let b = p.allocate();
+        p.write(a, &[1u8; 64]);
+        p.write(b, &[2u8; 64]);
+        p.set_checksums(true);
+        p.corrupt_page(a, 0, 1).unwrap();
+        p.corrupt_page(b, 0, 1).unwrap();
+        assert!(p.try_read(a).is_err());
+        assert!(p.try_read(b).is_err());
+        assert_eq!(p.quarantine_len(), 2);
+        // Heal one page by overwriting, the other by freeing it.
+        p.write(a, &[7u8; 64]);
+        assert!(!p.is_quarantined(a));
+        assert_eq!(p.try_read(a).unwrap()[0], 7);
+        p.free(b);
+        assert_eq!(p.quarantine_len(), 0);
+        assert_eq!(stats.pages_repaired(), 2);
+        // The recycled slot comes back zeroed and readable.
+        let b2 = p.allocate();
+        assert_eq!(b2, b);
+        assert!(p.try_read(b2).is_ok());
+    }
+
+    #[test]
+    fn quarantine_update_is_blocked_and_entries_carry_the_epoch() {
+        let mut p = Pager::new(64, IoCategory::BptreePage, IoStats::new_shared());
+        let a = p.allocate();
+        p.write(a, &[3u8; 64]);
+        p.set_checksums(true);
+        p.set_quarantine_epoch(17);
+        p.corrupt_page(a, 1, 0x10).unwrap();
+        assert!(p.try_read(a).is_err());
+        // In-place updates must not mutate known-bad bytes.
+        assert!(matches!(p.try_update(a, |pg| pg[0] = 1), Err(StorageError::Corrupt { .. })));
+        let entries = p.quarantine_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, a);
+        assert_eq!(entries[0].1.epoch, 17);
+    }
+
+    #[test]
+    fn quarantine_is_shared_across_cow_clones() {
+        let mut p = Pager::new(64, IoCategory::SignaturePage, IoStats::new_shared());
+        let a = p.allocate();
+        p.write(a, &[4u8; 64]);
+        p.set_checksums(true);
+        p.corrupt_page(a, 2, 0x08).unwrap();
+        let snapshot = p.clone();
+        assert!(snapshot.try_read(a).is_err(), "clone sees the shared corrupt page");
+        assert!(p.is_quarantined(a), "quarantined through the clone's probe");
+        // Healing the master clears the shared registry for both handles.
+        p.write(a, &[5u8; 64]);
+        assert!(!snapshot.is_quarantined(a));
+    }
+
+    #[test]
+    fn transient_injected_read_errors_are_not_quarantined() {
+        let mut p = Pager::new(64, IoCategory::HeapScan, IoStats::new_shared());
+        let a = p.allocate();
+        p.set_fault_plan(FaultPlan::seeded(11).with_read_errors(0.5));
+        for _ in 0..50 {
+            let _ = p.try_read(a);
+        }
+        assert_eq!(p.quarantine_len(), 0, "injected Io faults stay transient");
     }
 
     #[test]

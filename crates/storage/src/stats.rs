@@ -87,6 +87,15 @@ pub struct IoStats {
     /// retries. Soak harnesses assert this stays bounded — transient storage
     /// faults must surface as bounded retries, never silent stalls.
     wal_backoff_us: AtomicU64,
+    /// Pages whose deterministic read failure was memoized in a pager's
+    /// quarantine registry (each page counts once per quarantine episode).
+    pages_quarantined: AtomicU64,
+    /// Reads answered from a quarantine entry in O(1) — the doomed physical
+    /// read was skipped, so these do *not* also count as category reads.
+    quarantine_hits: AtomicU64,
+    /// Quarantined pages healed back to service: rewritten with fresh
+    /// contents or freed and rebuilt by the repair path.
+    pages_repaired: AtomicU64,
 }
 
 /// Reference-counted, thread-safe handle to an [`IoStats`] ledger.
@@ -180,6 +189,43 @@ impl IoStats {
         self.wal_backoff_us.load(Ordering::Relaxed)
     }
 
+    /// Records `n` pages entering quarantine (first failure only; repeat
+    /// probes of an already-quarantined page count as hits instead).
+    #[inline]
+    pub fn record_pages_quarantined(&self, n: u64) {
+        self.pages_quarantined.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Pages quarantined so far.
+    #[inline]
+    pub fn pages_quarantined(&self) -> u64 {
+        self.pages_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` reads short-circuited by a quarantine entry.
+    #[inline]
+    pub fn record_quarantine_hits(&self, n: u64) {
+        self.quarantine_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads short-circuited by quarantine entries so far.
+    #[inline]
+    pub fn quarantine_hits(&self) -> u64 {
+        self.quarantine_hits.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` quarantined pages healed (rewritten or freed-and-rebuilt).
+    #[inline]
+    pub fn record_pages_repaired(&self, n: u64) {
+        self.pages_repaired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Quarantined pages healed so far.
+    #[inline]
+    pub fn pages_repaired(&self) -> u64 {
+        self.pages_repaired.load(Ordering::Relaxed)
+    }
+
     /// Copies the current counter values into an owned [`IoSnapshot`].
     ///
     /// Each counter is read independently; while other threads are recording,
@@ -205,6 +251,9 @@ impl IoStats {
             degraded_reads: load(&self.degraded_reads),
             wal_retries: load(&self.wal_retries),
             wal_backoff_us: load(&self.wal_backoff_us),
+            pages_quarantined: load(&self.pages_quarantined),
+            quarantine_hits: load(&self.quarantine_hits),
+            pages_repaired: load(&self.pages_repaired),
         }
     }
 
@@ -219,6 +268,9 @@ impl IoStats {
         self.degraded_reads.store(0, Ordering::Relaxed);
         self.wal_retries.store(0, Ordering::Relaxed);
         self.wal_backoff_us.store(0, Ordering::Relaxed);
+        self.pages_quarantined.store(0, Ordering::Relaxed);
+        self.quarantine_hits.store(0, Ordering::Relaxed);
+        self.pages_repaired.store(0, Ordering::Relaxed);
     }
 }
 
@@ -231,6 +283,9 @@ pub struct IoSnapshot {
     degraded_reads: u64,
     wal_retries: u64,
     wal_backoff_us: u64,
+    pages_quarantined: u64,
+    quarantine_hits: u64,
+    pages_repaired: u64,
 }
 
 impl IoSnapshot {
@@ -259,6 +314,21 @@ impl IoSnapshot {
         self.wal_backoff_us
     }
 
+    /// Pages quarantined at snapshot time.
+    pub fn pages_quarantined(&self) -> u64 {
+        self.pages_quarantined
+    }
+
+    /// Quarantine-served reads at snapshot time.
+    pub fn quarantine_hits(&self) -> u64 {
+        self.quarantine_hits
+    }
+
+    /// Quarantined pages healed at snapshot time.
+    pub fn pages_repaired(&self) -> u64 {
+        self.pages_repaired
+    }
+
     /// Counter-wise difference `self - earlier`, saturating at zero.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         let mut out = IoSnapshot::default();
@@ -269,6 +339,9 @@ impl IoSnapshot {
         out.degraded_reads = self.degraded_reads.saturating_sub(earlier.degraded_reads);
         out.wal_retries = self.wal_retries.saturating_sub(earlier.wal_retries);
         out.wal_backoff_us = self.wal_backoff_us.saturating_sub(earlier.wal_backoff_us);
+        out.pages_quarantined = self.pages_quarantined.saturating_sub(earlier.pages_quarantined);
+        out.quarantine_hits = self.quarantine_hits.saturating_sub(earlier.quarantine_hits);
+        out.pages_repaired = self.pages_repaired.saturating_sub(earlier.pages_repaired);
         out
     }
 

@@ -179,6 +179,17 @@ pub enum WalRecord {
         /// Committed transactions contained in the image.
         txns: u64,
     },
+    /// The logical redo record of online repair: transaction `txn` rebuilt
+    /// cell `cell`'s signature from the base table (quarantined pages were
+    /// freed, fresh ones written). Replay re-derives the identical rebuild
+    /// deterministically — the base table at that point in the log is
+    /// exactly what the original rebuild read.
+    SigRebuild {
+        /// Owning transaction.
+        txn: u64,
+        /// The rebuilt cell's registry code.
+        cell: u32,
+    },
 }
 
 const KIND_TREE_SPLIT: u8 = 1;
@@ -186,6 +197,7 @@ const KIND_SIG_UPDATE: u8 = 2;
 const KIND_PAGE_WRITE: u8 = 3;
 const KIND_COMMIT: u8 = 4;
 const KIND_CHECKPOINT: u8 = 5;
+const KIND_SIG_REBUILD: u8 = 6;
 
 /// Upper bound on one frame's payload; a length field beyond this is treated
 /// as corruption rather than an allocation request.
@@ -198,7 +210,8 @@ impl WalRecord {
             WalRecord::TreeSplit { txn, .. }
             | WalRecord::SigUpdate { txn, .. }
             | WalRecord::PageWrite { txn, .. }
-            | WalRecord::Commit { txn } => Some(*txn),
+            | WalRecord::Commit { txn }
+            | WalRecord::SigRebuild { txn, .. } => Some(*txn),
             WalRecord::Checkpoint { .. } => None,
         }
     }
@@ -248,6 +261,10 @@ impl WalRecord {
                 put_u64(out, *epoch);
                 put_u64(out, *txns);
             }
+            WalRecord::SigRebuild { txn, cell } => {
+                put_u64(out, *txn);
+                put_u32(out, *cell);
+            }
         }
     }
 
@@ -258,6 +275,7 @@ impl WalRecord {
             WalRecord::PageWrite { .. } => KIND_PAGE_WRITE,
             WalRecord::Commit { .. } => KIND_COMMIT,
             WalRecord::Checkpoint { .. } => KIND_CHECKPOINT,
+            WalRecord::SigRebuild { .. } => KIND_SIG_REBUILD,
         }
     }
 
@@ -332,6 +350,10 @@ impl WalRecord {
             KIND_CHECKPOINT => WalRecord::Checkpoint {
                 epoch: u64_at(&mut pos)?,
                 txns: u64_at(&mut pos)?,
+            },
+            KIND_SIG_REBUILD => WalRecord::SigRebuild {
+                txn: u64_at(&mut pos)?,
+                cell: u32_at(&mut pos)?,
             },
             _ => return None,
         };

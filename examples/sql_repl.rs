@@ -21,6 +21,12 @@
 //! the `RecoveryReport` is printed — records replayed, pages repaired,
 //! torn tail dropped — instead of panicking. The extra `CHECKPOINT`
 //! directive flushes dirty pages and truncates the log.
+//!
+//! Self-healing at the prompt: `STATS` prints the I/O ledger (including
+//! `degraded_reads` and the quarantine counters), `SCRUB` runs an online
+//! integrity pass under the session budget, and — durable shells only —
+//! `REPAIR` rebuilds quarantined signature pages from the base table
+//! through the WAL.
 
 use pcube::prelude::*;
 use pcube::sql;
@@ -145,9 +151,9 @@ fn main() {
     println!("example: select top 5 from r where {} = '…' order by {}",
         bools.first().map(String::as_str).unwrap_or("dim"),
         prefs.first().map(String::as_str).unwrap_or("dim"));
-    print!("session: SET DEADLINE_MS n | SET MAX_BLOCKS n | CANCEL | RESET");
+    print!("session: SET DEADLINE_MS n | SET MAX_BLOCKS n | CANCEL | RESET | STATS | SCRUB");
     if matches!(shell, Shell::Durable(_)) {
-        print!(" | CHECKPOINT");
+        print!(" | REPAIR | CHECKPOINT");
     }
     println!();
 

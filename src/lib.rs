@@ -76,9 +76,10 @@ pub mod prelude {
         ClassOutcome, EpochReader, EpochSnapshot, Executor, LinearFn, MaintenanceOp, MinCoordSum,
         PCube, PCubeConfig, PCubeDb, PCubeExecutor, PSkylineClass, ParallelOptions, PlanDecision,
         Planner, PriorityGraph, PriorityGraphError, QueryClass, QuerySpec, QueryStats,
-        RankingFunction, RecoveryReport, Signature, SkylineClass, SkylineOutcome,
+        RankingFunction, RecoveryReport, RepairOutcome, Signature, SkylineClass, SkylineOutcome,
         SubspaceSkylineClass, TopKClass, TopKOutcome, WeightedDistanceFn,
     };
+    pub use pcube_core::{scrub, QueryBudget, ScrubFinding, ScrubReport, StopReason};
     pub use pcube_core::{CommitError, CommitQueue, CommitQueuePolicy, GroupCommitStats};
     pub use pcube_cube::{
         CellKey, CuboidMask, MaterializationPlan, Predicate, Relation, Schema, Selection,

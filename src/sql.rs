@@ -344,6 +344,19 @@ pub enum SqlCommand {
     /// ([`SqlSession::run_durable`]); against a read-only database it is
     /// an error.
     Checkpoint,
+    /// `SCRUB` — run an online integrity pass over the signature store
+    /// under the session's deadline/block budget: verify every page's
+    /// CRC32 and every cell's structural invariants, quarantining each
+    /// deterministic failure so later probes skip it in O(1).
+    Scrub,
+    /// `REPAIR` — rebuild every quarantined signature page from the base
+    /// table, through the WAL (crash-safe), publishing the healed store as
+    /// a new epoch. Requires a durable session.
+    Repair,
+    /// `STATS` — the session database's I/O ledger: reads/writes plus the
+    /// self-healing counters (`degraded_reads`, `pages_quarantined`,
+    /// `quarantine_hits`, `pages_repaired`).
+    Stats,
 }
 
 /// Parses one REPL line: a session directive (`SET …`, `CANCEL`, `RESET`)
@@ -384,6 +397,24 @@ pub fn parse_command(sql: &str) -> Result<SqlCommand, SqlError> {
             return err(format!("trailing input at {:?}", p.peek()));
         }
         return Ok(SqlCommand::Checkpoint);
+    }
+    if p.keyword("scrub") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Scrub);
+    }
+    if p.keyword("repair") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Repair);
+    }
+    if p.keyword("stats") {
+        if p.peek().is_some() {
+            return err(format!("trailing input at {:?}", p.peek()));
+        }
+        return Ok(SqlCommand::Stats);
     }
     let explain = p.keyword("explain");
     let query = parse_query(&mut p)?;
@@ -841,6 +872,16 @@ impl SqlSession {
                 "CHECKPOINT requires a durable session — open the database with \
                  DurableDb and drive it through SqlSession::run_durable",
             ),
+            SqlCommand::Scrub => {
+                let report = db.scrub(&self.budget());
+                Ok(SessionReply::Ack(report.to_string()))
+            }
+            SqlCommand::Repair => err(
+                "REPAIR requires a durable session — the rebuild is logged through \
+                 the WAL; open the database with DurableDb and drive it through \
+                 SqlSession::run_durable",
+            ),
+            SqlCommand::Stats => Ok(SessionReply::Ack(render_stats(db))),
             SqlCommand::Statement(stmt) => {
                 execute_statement(db, stmt, &self.budget(), Some(&self.cancel))
                     .map(|out| SessionReply::Rows(Box::new(out)))
@@ -867,9 +908,33 @@ impl SqlSession {
                     outcome.wal_bytes_reclaimed
                 )))
             }
+            SqlCommand::Repair => {
+                let outcome = db.repair().map_err(|e| SqlError(e.to_string()))?;
+                Ok(SessionReply::Ack(outcome.to_string()))
+            }
             _ => self.run(db.db(), line),
         }
     }
+}
+
+/// Renders the database's I/O ledger as a one-line-per-counter summary —
+/// the `STATS` directive. The self-healing counters make degraded
+/// operation visible at the prompt: `degraded_reads` grows while damaged
+/// pages are being verified around, `pages_quarantined`/`quarantine_hits`
+/// show the memoization working, and `pages_repaired` confirms a `REPAIR`
+/// healed them.
+fn render_stats(db: &PCubeDb) -> String {
+    let s = db.stats().snapshot();
+    format!(
+        "reads: {} (degraded: {}), writes: {}, pages_quarantined: {}, \
+         quarantine_hits: {}, pages_repaired: {}",
+        s.total_reads(),
+        s.degraded_reads(),
+        s.total_writes(),
+        s.pages_quarantined(),
+        s.quarantine_hits(),
+        s.pages_repaired(),
+    )
 }
 
 /// Runs a top-k statement through the planner over all four engines.
@@ -1077,6 +1142,87 @@ mod tests {
         {
             assert!(parse_command(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parses_self_healing_directives() {
+        assert_eq!(parse_command("SCRUB").unwrap(), SqlCommand::Scrub);
+        assert_eq!(parse_command("repair").unwrap(), SqlCommand::Repair);
+        assert_eq!(parse_command("Stats").unwrap(), SqlCommand::Stats);
+        for bad in ["scrub now", "repair all", "stats verbose"] {
+            assert!(parse_command(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scrub_and_repair_directives_heal_a_corrupted_durable_store() {
+        use pcube_core::{DurabilityOptions, DurableDb, PCubeConfig};
+        use pcube_data::{synthetic, SyntheticSpec};
+
+        let spec = SyntheticSpec { n_tuples: 300, n_bool: 2, n_pref: 2, ..Default::default() };
+        let relation = synthetic(&spec);
+        let mut db =
+            DurableDb::create(relation, &PCubeConfig::default(), DurabilityOptions::default());
+        let mut session = SqlSession::new();
+
+        let SessionReply::Rows(clean) =
+            session.run_durable(&mut db, "select skyline from r").unwrap()
+        else {
+            panic!("query lines return rows");
+        };
+
+        // Arm checksums, then flip one bit on a live signature page —
+        // silent media decay, invisible until someone looks.
+        db.signature_store_mut().sig_pager_mut().set_checksums(true);
+        let pid = db.signature_store_mut().sig_pager_mut().live_page_ids()[0];
+        db.signature_store_mut().sig_pager_mut().corrupt_page(pid, 3, 0x20).unwrap();
+
+        let SessionReply::Ack(scrub) = session.run_durable(&mut db, "SCRUB").unwrap() else {
+            panic!("directives return acks");
+        };
+        assert!(scrub.contains("1 newly quarantined"), "scrub found the damage: {scrub}");
+
+        let SessionReply::Ack(stats) = session.run_durable(&mut db, "STATS").unwrap() else {
+            panic!("directives return acks");
+        };
+        assert!(stats.contains("pages_quarantined: 1"), "stats show the quarantine: {stats}");
+
+        let SessionReply::Ack(repair) = session.run_durable(&mut db, "REPAIR").unwrap() else {
+            panic!("directives return acks");
+        };
+        assert!(repair.contains("pages healed"), "repair reports healing: {repair}");
+
+        // Healed store answers bit-identically and a second scrub is clean.
+        let SessionReply::Ack(rescrub) = session.run_durable(&mut db, "SCRUB").unwrap() else {
+            panic!("directives return acks");
+        };
+        assert!(rescrub.contains("0 newly quarantined"), "store is clean again: {rescrub}");
+        let SessionReply::Rows(healed) =
+            session.run_durable(&mut db, "select skyline from r").unwrap()
+        else {
+            panic!("query lines return rows");
+        };
+        let tids = |rows: &SqlOutcome| -> Vec<u64> {
+            let mut t: Vec<u64> = rows.rows.iter().map(|r| r.tid).collect();
+            t.sort_unstable();
+            t
+        };
+        assert_eq!(tids(&clean), tids(&healed));
+    }
+
+    #[test]
+    fn repair_requires_a_durable_session() {
+        use pcube_core::PCubeConfig;
+        use pcube_data::{synthetic, SyntheticSpec};
+
+        let spec = SyntheticSpec { n_tuples: 50, n_bool: 2, n_pref: 2, ..Default::default() };
+        let db = PCubeDb::build(synthetic(&spec), &PCubeConfig::default());
+        let mut session = SqlSession::new();
+        let Err(e) = session.run(&db, "REPAIR") else { panic!("REPAIR needs durability") };
+        assert!(e.to_string().contains("durable"), "points at run_durable: {e}");
+        // SCRUB and STATS work read-only.
+        assert!(matches!(session.run(&db, "SCRUB"), Ok(SessionReply::Ack(_))));
+        assert!(matches!(session.run(&db, "STATS"), Ok(SessionReply::Ack(_))));
     }
 
     #[test]
